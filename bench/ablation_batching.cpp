@@ -1,0 +1,81 @@
+// Ablation — request batching on a partitioned GPU (the serving-layer
+// technique of the paper's GSlice/D-STACK lineage [9, 10]): on a 30 % MPS
+// partition, sweep the batch cap under a fixed Poisson load and report the
+// throughput/latency tradeoff that makes small partitions viable for CNN
+// serving.
+#include <iostream>
+
+#include "sched/engines.hpp"
+#include "trace/table.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+#include "workloads/batching.hpp"
+
+using namespace faaspart;
+using namespace util::literals;
+
+namespace {
+
+struct Outcome {
+  double p50_ms = 0;
+  double p95_ms = 0;
+  double mean_batch = 0;
+  std::size_t served = 0;
+  double makespan_s = 0;
+};
+
+Outcome run(int max_batch, double rate_hz, double gpu_pct) {
+  sim::Simulator sim;
+  gpu::Device dev(sim, gpu::arch::a100_80gb(), 0, sched::mps_factory());
+  const auto ctx =
+      dev.create_context("server", {.active_thread_percentage = gpu_pct});
+  workloads::BatchingServer server(sim, dev, ctx, workloads::models::resnet50(),
+                                   {max_batch, 10_ms});
+  sim.spawn(server.run(util::TimePoint{} + 30_s), "server");
+  sim.spawn([](sim::Simulator& s, workloads::BatchingServer& srv,
+               double rate) -> sim::Co<void> {
+    util::Rng rng(9);
+    const util::TimePoint end = s.now() + 20_s;
+    while (s.now() < end) {
+      co_await s.delay(rng.exponential_duration(util::from_seconds(1.0 / rate)));
+      (void)srv.infer();
+    }
+  }(sim, server, rate_hz));
+  sim.run();
+
+  Outcome out;
+  const auto lat = server.latency_summary();
+  out.p50_ms = lat.p50 * 1e3;
+  out.p95_ms = lat.p95 * 1e3;
+  out.mean_batch = server.mean_batch_size();
+  out.served = server.requests_served();
+  out.makespan_s = sim.now().seconds();
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  trace::print_banner(std::cout,
+                      "Ablation: request batching on a 30% MPS partition "
+                      "(ResNet-50 serving)");
+
+  const double rate = 400.0;  // req/s offered for 20 s
+  trace::Table table({"max batch", "mean batch", "served", "p50 (ms)",
+                      "p95 (ms)", "drained by (s)"});
+  for (const int b : {1, 2, 4, 8, 16}) {
+    const auto o = run(b, rate, 30.0);
+    table.add_row({std::to_string(b), util::fixed(o.mean_batch, 1),
+                   std::to_string(o.served), util::fixed(o.p50_ms, 1),
+                   util::fixed(o.p95_ms, 1), util::fixed(o.makespan_s, 1)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nReading: batch-1 serving cannot keep up with 400 req/s on"
+               " 1/3 of an A100 (the queue drains long after the load"
+               " stops); modest batching amortizes launches and widens the"
+               " kernels, keeping tail latency flat — which is what lets a"
+               " right-sized partition host a CNN tenant at production"
+               " rates.\n";
+  return 0;
+}

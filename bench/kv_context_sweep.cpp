@@ -1,0 +1,67 @@
+// Extension study — long-context serving: with KV-cache modelling enabled,
+// each decode step also streams the K/V history, so per-token latency grows
+// with context length and the right-sized partition drifts upward. At the
+// paper's ~100-token contexts the effect is negligible (which is why the
+// calibrated benches leave it off); at 4k+ contexts it changes the
+// partitioning answer — a forward-looking input to the §7 right-sizing tool.
+#include <iostream>
+
+#include "core/rightsize.hpp"
+#include "gpu/device.hpp"
+#include "sched/engines.hpp"
+#include "trace/table.hpp"
+#include "util/strings.hpp"
+#include "workloads/llama.hpp"
+
+using namespace faaspart;
+
+namespace {
+
+double completion_seconds(const workloads::LlamaRunConfig& cfg, int prompt,
+                          int out_tokens) {
+  sim::Simulator sim;
+  gpu::Device dev(sim, gpu::arch::a100_80gb(), 0, sched::mps_factory());
+  const auto ctx = dev.create_context("llama");
+  sim.spawn(workloads::llama_completion(sim, dev, ctx, workloads::llama2_7b(),
+                                        cfg, {prompt, out_tokens}));
+  sim.run();
+  return sim.now().seconds();
+}
+
+}  // namespace
+
+int main() {
+  trace::print_banner(std::cout,
+                      "Extension: context length vs decode cost (KV cache on)");
+
+  auto cfg = workloads::serving_config();
+  cfg.model_kv_cache = true;
+  cfg.host_gap_per_token = util::milliseconds(5);  // isolate the GPU effect
+  const auto spec = workloads::llama2_7b();
+  const int out_tokens = 64;
+
+  trace::Table table({"context (tokens)", "KV cache", "completion (s)",
+                      "per-token (ms)", "suggested SMs (5% knee)"});
+  for (const int context : {128, 512, 1024, 2048, 4096, 8192}) {
+    const double total = completion_seconds(cfg, context, out_tokens);
+    const auto kv = workloads::llama_kv_bytes_per_token(spec, cfg) *
+                    (context + out_tokens);
+    // Right-size against the *last* decode step (worst case).
+    const auto knee = core::rightsize_kernels(
+        gpu::arch::a100_80gb(),
+        {workloads::llama_decode_kernel_at(spec, cfg, context + out_tokens)},
+        0.05);
+    table.add_row({std::to_string(context), util::format_bytes(kv),
+                   util::fixed(total, 2),
+                   util::fixed(1e3 * total / out_tokens, 1),
+                   std::to_string(knee.suggested_sms)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nReading: the KV stream is invisible at the paper's"
+               " ~100-token contexts but dominates by 8k tokens — per-token"
+               " cost grows and the right-sized partition widens, so a"
+               " long-context tenant needs a bigger slice than its"
+               " short-context profile suggests.\n";
+  return 0;
+}

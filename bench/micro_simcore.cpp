@@ -1,0 +1,92 @@
+// Microbenchmarks of the simulation substrate (google-benchmark): event
+// throughput, coroutine scheduling, and the MPS engine's replanning cost —
+// the knobs that bound how large an experiment the library can simulate.
+#include <benchmark/benchmark.h>
+
+#include "gpu/device.hpp"
+#include "sched/engines.hpp"
+#include "sim/future.hpp"
+#include "sim/simulator.hpp"
+#include "sim/sync.hpp"
+#include "util/rng.hpp"
+
+using namespace faaspart;
+using namespace util::literals;
+
+namespace {
+
+void BM_ScheduleAndRunEvents(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator sim;
+    util::Rng rng(1);
+    for (int i = 0; i < n; ++i) {
+      sim.schedule_in(util::nanoseconds(rng.uniform_int(0, 1'000'000)), [] {});
+    }
+    sim.run();
+    benchmark::DoNotOptimize(sim.processed_events());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ScheduleAndRunEvents)->Arg(1000)->Arg(100000);
+
+sim::Co<void> ping(sim::Simulator& sim, int hops) {
+  for (int i = 0; i < hops; ++i) co_await sim.delay(1_ns);
+}
+
+void BM_CoroutineDelayHops(benchmark::State& state) {
+  const auto hops = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator sim;
+    sim.spawn(ping(sim, hops));
+    sim.run();
+  }
+  state.SetItemsProcessed(state.iterations() * hops);
+}
+BENCHMARK(BM_CoroutineDelayHops)->Arg(1000)->Arg(10000);
+
+void BM_MailboxProducerConsumer(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator sim;
+    sim::Mailbox<int> mb(sim);
+    sim.spawn([](sim::Mailbox<int>& m, int count) -> sim::Co<void> {
+      for (int i = 0; i < count; ++i) (void)co_await m.get();
+    }(mb, n));
+    sim.spawn([](sim::Simulator& s, sim::Mailbox<int>& m, int count) -> sim::Co<void> {
+      for (int i = 0; i < count; ++i) {
+        m.put(i);
+        co_await s.delay(1_ns);
+      }
+    }(sim, mb, n));
+    sim.run();
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_MailboxProducerConsumer)->Arg(10000);
+
+void BM_MpsEngineConcurrentKernels(benchmark::State& state) {
+  const auto clients = static_cast<int>(state.range(0));
+  const int kernels_per_client = 50;
+  for (auto _ : state) {
+    sim::Simulator sim;
+    gpu::Device dev(sim, gpu::arch::a100_80gb(), 0, sched::mps_factory());
+    std::vector<gpu::ContextId> ctxs;
+    for (int c = 0; c < clients; ++c) {
+      ctxs.push_back(dev.create_context(
+          "c" + std::to_string(c),
+          {.active_thread_percentage = 100.0 / clients}));
+    }
+    gpu::KernelDesc k{"k", gpu::KernelKind::kGemv, 1e9, 256 * util::MB, 20, 0.3};
+    for (int i = 0; i < kernels_per_client; ++i) {
+      for (const auto ctx : ctxs) (void)dev.launch(ctx, k);
+    }
+    sim.run();
+  }
+  state.SetItemsProcessed(state.iterations() * clients * kernels_per_client);
+}
+BENCHMARK(BM_MpsEngineConcurrentKernels)->Arg(2)->Arg(8);
+
+}  // namespace
+
+BENCHMARK_MAIN();

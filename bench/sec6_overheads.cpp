@@ -1,0 +1,167 @@
+// §6 — "Discussion: execution overhead".
+//
+// Two measurements from the section:
+//  (a) GPU cold-start decomposition: (1) function initialization,
+//      (2) GPU context initialization, (3) application (model) loading —
+//      with the paper's observation that loading LLaMa-2 13B takes ~10 s;
+//  (b) partition reallocation: changing an MPS percentage forces a process
+//      restart (10–20 s with an LLM because the model reloads); MIG
+//      re-layout additionally resets the GPU (1–2 s) and disturbs every
+//      tenant on it.
+#include <iostream>
+
+#include "core/partitioner.hpp"
+#include "core/reconfigure.hpp"
+#include "faas/dfk.hpp"
+#include "faas/provider.hpp"
+#include "nvml/manager.hpp"
+#include "trace/table.hpp"
+#include "util/strings.hpp"
+#include "workloads/llama.hpp"
+
+using namespace faaspart;
+using namespace util::literals;
+
+namespace {
+
+struct ColdStart {
+  double worker_spawn_s = 0;
+  double context_init_s = 0;
+  double function_init_s = 0;
+  double model_load_s = 0;
+  double first_task_total_s = 0;
+};
+
+ColdStart measure_cold_start(const workloads::LlamaSpec& spec,
+                             workloads::LlamaRunConfig run) {
+  sim::Simulator sim;
+  nvml::DeviceManager mgr(sim);
+  mgr.add_device(gpu::arch::a100_80gb());
+  faas::LocalProvider provider(sim, 24);
+  core::GpuPartitioner part(mgr);
+
+  faas::HtexConfig htex;
+  htex.label = "gpu";
+  htex.available_accelerators = {"0"};
+  auto ex = part.build_executor(sim, provider, htex);
+
+  const auto app = std::make_shared<const faas::AppDef>(
+      workloads::make_llama_completion_app(spec.name, spec, run, {16, 1}));
+  auto h = ex->submit(app);
+  sim.run();
+
+  ColdStart c;
+  c.worker_spawn_s = provider.worker_launch_cost().seconds();
+  c.context_init_s = mgr.device(0).arch().context_create.seconds();
+  c.function_init_s = app->function_init.seconds();
+  c.model_load_s = static_cast<double>(app->model_bytes) /
+                   mgr.device(0).arch().model_load_bw;
+  c.first_task_total_s = (h.record->started - h.record->submitted).seconds();
+  return c;
+}
+
+struct ReallocCost {
+  double restart_only_s = 0;   ///< reconfigure wall time (workers down+up)
+  double ready_again_s = 0;    ///< until the model is reloaded and serving
+  bool gpu_reset = false;
+};
+
+ReallocCost measure_realloc(bool mig) {
+  sim::Simulator sim;
+  nvml::DeviceManager mgr(sim);
+  mgr.add_device(gpu::arch::a100_80gb());
+  faas::LocalProvider provider(sim, 24);
+  core::GpuPartitioner part(mgr);
+  core::Reconfigurer recon(mgr);
+
+  faas::HtexConfig htex;
+  htex.label = "gpu";
+  if (mig) {
+    gpu::Device& dev = mgr.device(0);
+    dev.enable_mig();
+    for (int i = 0; i < 2; ++i) {
+      htex.available_accelerators.push_back(
+          dev.instance(dev.create_instance("3g.40gb")).uuid);
+    }
+  } else {
+    htex.available_accelerators = {"0", "0"};
+    htex.gpu_percentages = {50, 50};
+  }
+  auto ex = part.build_executor(sim, provider, htex);
+
+  // Warm both workers (model resident).
+  const auto app = std::make_shared<const faas::AppDef>(
+      workloads::make_llama_completion_app("chat", workloads::llama2_7b(),
+                                           workloads::serving_config(), {16, 1}));
+  (void)ex->submit(app);
+  (void)ex->submit(app);
+  sim.run();
+
+  auto report = std::make_shared<core::ReconfigureReport>();
+  const util::TimePoint t0 = sim.now();
+  if (mig) {
+    sim.spawn([](core::Reconfigurer& r, faas::HighThroughputExecutor& e,
+                 std::shared_ptr<core::ReconfigureReport> out) -> sim::Co<void> {
+      const std::vector<std::string> layout{"2g.20gb", "2g.20gb"};
+      *out = co_await r.change_mig_layout(e, 0, layout);
+    }(recon, *ex, report));
+  } else {
+    sim.spawn([](core::Reconfigurer& r, faas::HighThroughputExecutor& e,
+                 std::shared_ptr<core::ReconfigureReport> out) -> sim::Co<void> {
+      const std::vector<int> pcts{70, 30};
+      *out = co_await r.change_mps_percentages(e, pcts);
+    }(recon, *ex, report));
+  }
+  sim.run();
+
+  // "Ready" = the first post-reconfigure task has its model loaded again.
+  auto h = ex->submit(app);
+  sim.run();
+  ReallocCost out;
+  out.restart_only_s = report->total_time.seconds();
+  out.ready_again_s = (h.record->started - t0).seconds();
+  out.gpu_reset = report->gpu_reset;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  trace::print_banner(std::cout, "Sec 6: cold start and reallocation overheads");
+
+  std::cout << "(a) GPU cold-start decomposition, first invocation on a fresh"
+               " worker:\n\n";
+  trace::Table cold({"component", "LLaMa-2 7B fp16 (s)", "LLaMa-2 13B fp32 (s)"});
+  auto cfg13 = workloads::fig2_config();  // fp32, as in the paper's 10 s claim
+  const auto c7 = measure_cold_start(workloads::llama2_7b(),
+                                     workloads::serving_config());
+  const auto c13 = measure_cold_start(workloads::llama2_13b(), cfg13);
+  cold.add_row({"(0) worker process spawn", util::fixed(c7.worker_spawn_s, 2),
+                util::fixed(c13.worker_spawn_s, 2)});
+  cold.add_row({"(1) function initialization", util::fixed(c7.function_init_s, 2),
+                util::fixed(c13.function_init_s, 2)});
+  cold.add_row({"(2) GPU context init", util::fixed(c7.context_init_s, 2),
+                util::fixed(c13.context_init_s, 2)});
+  cold.add_row({"(3) model load into HBM", util::fixed(c7.model_load_s, 2),
+                util::fixed(c13.model_load_s, 2)});
+  cold.add_row({"total until body runs", util::fixed(c7.first_task_total_s, 2),
+                util::fixed(c13.first_task_total_s, 2)});
+  cold.print(std::cout);
+  std::cout << "\nPaper: \"the loading time of LLaMa 2 13B can take up to 10"
+               " seconds\" -- component (3) above.\n";
+
+  std::cout << "\n(b) partition reallocation (2 workers, LLaMa-2 7B resident):\n\n";
+  trace::Table realloc({"technique", "workers back up (s)",
+                        "serving again (s)", "GPU reset"});
+  const auto mps = measure_realloc(/*mig=*/false);
+  const auto mig = measure_realloc(/*mig=*/true);
+  realloc.add_row({"MPS percentage change", util::fixed(mps.restart_only_s, 2),
+                   util::fixed(mps.ready_again_s, 2), "no"});
+  realloc.add_row({"MIG re-layout", util::fixed(mig.restart_only_s, 2),
+                   util::fixed(mig.ready_again_s, 2), "yes (1.5 s)"});
+  realloc.print(std::cout);
+  std::cout << "\nPaper: MPS reallocation costs a process restart and model"
+               " reload (10-20 s for LLMs); MIG adds the GPU reset (1-2 s) and"
+               " interferes with every other tenant on the GPU.\n";
+  return 0;
+}

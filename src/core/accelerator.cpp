@@ -1,0 +1,50 @@
+#include "core/accelerator.hpp"
+
+#include <cctype>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace faaspart::core {
+
+namespace {
+
+bool all_digits(const std::string& s) {
+  if (s.empty()) return false;
+  for (const char c : s) {
+    if (std::isdigit(static_cast<unsigned char>(c)) == 0) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+AcceleratorRef AcceleratorRef::parse(const std::string& text) {
+  const std::string t = util::trim(text);
+  if (t.empty()) throw util::ConfigError("empty accelerator reference");
+
+  if (util::starts_with(t, "MIG-")) {
+    return AcceleratorRef{Kind::kMigInstance, -1, t};
+  }
+  std::string digits = t;
+  const std::string lower = util::to_lower(t);
+  if (util::starts_with(lower, "cuda:")) {
+    digits = t.substr(5);
+  } else if (util::starts_with(lower, "gpu:")) {
+    digits = t.substr(4);
+  } else if (util::starts_with(lower, "gpu-")) {
+    digits = t.substr(4);
+  }
+  if (!all_digits(digits)) {
+    throw util::ConfigError(util::strf("unparseable accelerator reference '", text,
+                                       "' (expected a GPU index or MIG-... UUID)"));
+  }
+  return AcceleratorRef{Kind::kGpu, std::stoi(digits), ""};
+}
+
+std::string AcceleratorRef::to_string() const {
+  if (kind == Kind::kMigInstance) return mig_uuid;
+  return util::strf("cuda:", gpu_index);
+}
+
+}  // namespace faaspart::core

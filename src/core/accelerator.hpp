@@ -1,0 +1,25 @@
+// Accelerator references — the strings that appear in
+// `available_accelerators` (Listings 1–3): plain GPU indices and MIG UUIDs.
+#pragma once
+
+#include <string>
+
+namespace faaspart::core {
+
+struct AcceleratorRef {
+  enum class Kind { kGpu, kMigInstance };
+
+  Kind kind = Kind::kGpu;
+  int gpu_index = -1;     ///< valid for kGpu
+  std::string mig_uuid;   ///< valid for kMigInstance
+
+  /// Accepts "0", "3", "cuda:1", "gpu:2", "GPU-4" or a MIG UUID
+  /// ("MIG-..."). Throws util::ConfigError on anything else.
+  static AcceleratorRef parse(const std::string& text);
+
+  [[nodiscard]] std::string to_string() const;
+
+  bool operator==(const AcceleratorRef&) const = default;
+};
+
+}  // namespace faaspart::core

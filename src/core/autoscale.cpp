@@ -1,0 +1,107 @@
+#include "core/autoscale.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace faaspart::core {
+
+Autoscaler::Autoscaler(sim::Simulator& sim, Reconfigurer& reconfigurer,
+                       AutoscalerOptions opts)
+    : sim_(sim), reconfigurer_(reconfigurer), opts_(opts) {
+  FP_CHECK_MSG(opts_.interval.ns > 0, "control interval must be positive");
+  FP_CHECK_MSG(opts_.min_percentage >= 1, "floor must be >= 1%");
+  FP_CHECK_MSG(opts_.ewma_alpha > 0.0 && opts_.ewma_alpha <= 1.0,
+               "ewma_alpha in (0, 1]");
+}
+
+void Autoscaler::add_tenant(faas::HighThroughputExecutor& executor,
+                            int initial_percentage) {
+  FP_CHECK_MSG(initial_percentage >= opts_.min_percentage &&
+                   initial_percentage <= 100,
+               "initial percentage outside [floor, 100]");
+  tenants_.push_back(Tenant{&executor, initial_percentage, 0.0});
+}
+
+double Autoscaler::instantaneous_demand(const faas::HighThroughputExecutor& ex) {
+  double demand = static_cast<double>(ex.queue_depth());
+  for (std::size_t i = 0; i < ex.worker_count(); ++i) {
+    if (ex.worker_info(i).busy) demand += 1.0;
+  }
+  return demand;
+}
+
+std::vector<int> Autoscaler::target_split() const {
+  const std::size_t n = tenants_.size();
+  std::vector<int> split(n, 0);
+  double total = 0;
+  for (const auto& t : tenants_) total += t.demand_ewma;
+  if (total <= 0) {
+    // No demand anywhere: keep the current allocation.
+    for (std::size_t i = 0; i < n; ++i) split[i] = tenants_[i].percentage;
+    return split;
+  }
+  const int budget = 100;
+  const int floor_total = opts_.min_percentage * static_cast<int>(n);
+  FP_CHECK_MSG(floor_total <= budget, "floors exceed 100%");
+  int assigned = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double share = tenants_[i].demand_ewma / total;
+    split[i] = std::max(
+        opts_.min_percentage,
+        static_cast<int>(std::floor(share * (budget - floor_total))) +
+            opts_.min_percentage);
+    assigned += split[i];
+  }
+  // Trim any overshoot from the largest shares (floors stay intact).
+  while (assigned > budget) {
+    auto it = std::max_element(split.begin(), split.end());
+    FP_CHECK(*it > opts_.min_percentage);
+    --*it;
+    --assigned;
+  }
+  return split;
+}
+
+std::vector<int> Autoscaler::current_percentages() const {
+  std::vector<int> out;
+  out.reserve(tenants_.size());
+  for (const auto& t : tenants_) out.push_back(t.percentage);
+  return out;
+}
+
+sim::Co<void> Autoscaler::run(util::TimePoint deadline) {
+  FP_CHECK_MSG(!tenants_.empty(), "autoscaler needs tenants");
+  while (sim_.now() + opts_.interval <= deadline) {
+    co_await sim_.delay(opts_.interval);
+
+    for (auto& t : tenants_) {
+      const double d = instantaneous_demand(*t.executor);
+      t.demand_ewma =
+          opts_.ewma_alpha * d + (1.0 - opts_.ewma_alpha) * t.demand_ewma;
+    }
+
+    const std::vector<int> target = target_split();
+    int max_shift = 0;
+    for (std::size_t i = 0; i < tenants_.size(); ++i) {
+      max_shift = std::max(max_shift, std::abs(target[i] - tenants_[i].percentage));
+    }
+    if (max_shift < opts_.min_delta) continue;  // not worth the restarts
+
+    for (std::size_t i = 0; i < tenants_.size(); ++i) {
+      Tenant& t = tenants_[i];
+      if (target[i] == t.percentage) continue;
+      // Split the tenant's allocation evenly across its workers.
+      const int per_worker = std::max(
+          1, target[i] / static_cast<int>(t.executor->worker_count()));
+      std::vector<int> pcts(t.executor->worker_count(), per_worker);
+      (void)co_await reconfigurer_.change_mps_percentages(*t.executor, pcts);
+      t.percentage = target[i];
+    }
+    decisions_.push_back(Decision{sim_.now(), target});
+  }
+}
+
+}  // namespace faaspart::core

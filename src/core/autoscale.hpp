@@ -1,0 +1,67 @@
+// Autoscaler — the closed control loop the paper sketches in §7: "change
+// GPU resources depending on demand".
+//
+// Tenants are executors whose workers hold MPS partitions of one GPU. Each
+// control period the autoscaler measures tenant demand (queued + running
+// tasks, EWMA-smoothed), converts demand shares into GPU percentages, and —
+// only when the shift is worth the §6 restart cost (min_delta) — applies it
+// through the Reconfigurer. Pair it with a WeightCache to make the restarts
+// cheap, which is precisely the paper's motivation for that future work.
+#pragma once
+
+#include <vector>
+
+#include "core/reconfigure.hpp"
+#include "faas/executor.hpp"
+
+namespace faaspart::core {
+
+struct AutoscalerOptions {
+  util::Duration interval = util::seconds(15);  ///< control period
+  int min_percentage = 10;   ///< floor per tenant (keep it responsive)
+  int min_delta = 10;        ///< smallest per-tenant shift worth a restart
+  double ewma_alpha = 0.5;   ///< demand smoothing (1 = instantaneous)
+};
+
+class Autoscaler {
+ public:
+  Autoscaler(sim::Simulator& sim, Reconfigurer& reconfigurer,
+             AutoscalerOptions opts = {});
+
+  /// Registers a tenant executor; `initial_percentage` must match what the
+  /// partitioner configured. All tenants are assumed to share one device.
+  void add_tenant(faas::HighThroughputExecutor& executor, int initial_percentage);
+
+  /// The control loop; spawn on the simulator. Runs until `deadline`.
+  sim::Co<void> run(util::TimePoint deadline);
+
+  struct Decision {
+    util::TimePoint at{};
+    std::vector<int> percentages;  ///< applied split, one per tenant
+  };
+
+  [[nodiscard]] const std::vector<Decision>& decisions() const { return decisions_; }
+  [[nodiscard]] int reconfigurations() const { return static_cast<int>(decisions_.size()); }
+  [[nodiscard]] std::vector<int> current_percentages() const;
+
+ private:
+  struct Tenant {
+    faas::HighThroughputExecutor* executor = nullptr;
+    int percentage = 0;
+    double demand_ewma = 0;
+  };
+
+  [[nodiscard]] static double instantaneous_demand(
+      const faas::HighThroughputExecutor& ex);
+  /// Converts smoothed demands into a percentage split (sums to <= 100,
+  /// respects the floor).
+  [[nodiscard]] std::vector<int> target_split() const;
+
+  sim::Simulator& sim_;
+  Reconfigurer& reconfigurer_;
+  AutoscalerOptions opts_;
+  std::vector<Tenant> tenants_;
+  std::vector<Decision> decisions_;
+};
+
+}  // namespace faaspart::core

@@ -1,0 +1,56 @@
+#include "core/migplan.hpp"
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace faaspart::core {
+
+namespace {
+
+gpu::MigProfile smallest_covering(const gpu::GpuArchSpec& arch,
+                                  const TenantRequirement& t) {
+  for (const auto& p : gpu::mig_profiles(arch)) {
+    if (p.sms(arch) >= t.min_sms && p.memory(arch) >= t.min_memory) return p;
+  }
+  throw util::NotFoundError(util::strf(
+      "tenant '", t.name, "' needs ", t.min_sms, " SMs and ",
+      util::format_bytes(t.min_memory), " — no MIG profile on ", arch.name,
+      " covers that"));
+}
+
+}  // namespace
+
+MigPlan plan_mig_layout(const gpu::GpuArchSpec& arch,
+                        const std::vector<TenantRequirement>& tenants) {
+  FP_CHECK_MSG(!tenants.empty(), "plan needs at least one tenant");
+  if (!arch.mig_capable) {
+    throw util::StateError(arch.name + " is not MIG-capable");
+  }
+  MigPlan plan;
+  for (const auto& t : tenants) {
+    const auto p = smallest_covering(arch, t);
+    plan.compute_slices_used += p.compute_slices;
+    plan.mem_slices_used += p.mem_slices;
+    plan.profiles.push_back(p);
+  }
+  if (plan.compute_slices_used > arch.mig_slices ||
+      plan.mem_slices_used > arch.mem_slices) {
+    throw util::StateError(util::strf(
+        "tenants need ", plan.compute_slices_used, "/", arch.mig_slices,
+        " compute and ", plan.mem_slices_used, "/", arch.mem_slices,
+        " memory slices on ", arch.name, " — they cannot co-reside"));
+  }
+  return plan;
+}
+
+bool mig_layout_fits(const gpu::GpuArchSpec& arch,
+                     const std::vector<TenantRequirement>& tenants) {
+  try {
+    (void)plan_mig_layout(arch, tenants);
+    return true;
+  } catch (const util::Error&) {
+    return false;
+  }
+}
+
+}  // namespace faaspart::core

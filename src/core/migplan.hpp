@@ -1,0 +1,50 @@
+// MIG layout planning — the missing piece between §7's per-function
+// right-sizing and §4.2's instance creation: given the tenants' compute and
+// memory requirements, pick a set of MIG profiles that fits the GPU's slice
+// budgets (7 compute / 8 memory slices on A100).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/rightsize.hpp"
+#include "gpu/mig.hpp"
+
+namespace faaspart::core {
+
+/// One tenant's needs, typically from rightsize_kernels() + the model's
+/// memory footprint.
+struct TenantRequirement {
+  std::string name;
+  int min_sms = 1;
+  util::Bytes min_memory = 0;
+};
+
+struct MigPlan {
+  /// profiles[i] hosts requirements[i] (same order as the input).
+  std::vector<gpu::MigProfile> profiles;
+  int compute_slices_used = 0;
+  int mem_slices_used = 0;
+
+  [[nodiscard]] std::vector<std::string> profile_names() const {
+    std::vector<std::string> out;
+    out.reserve(profiles.size());
+    for (const auto& p : profiles) out.push_back(p.name);
+    return out;
+  }
+};
+
+/// Plans a layout: each tenant gets the smallest profile covering its needs;
+/// if the naive sum exceeds the slice budgets, the planner greedily upgrades
+/// nothing and instead fails — a partial placement would silently starve a
+/// tenant. Throws util::StateError with a capacity breakdown when the
+/// tenants cannot co-reside; util::NotFoundError when a single tenant
+/// exceeds every profile.
+MigPlan plan_mig_layout(const gpu::GpuArchSpec& arch,
+                        const std::vector<TenantRequirement>& tenants);
+
+/// True when the tenants fit (same logic, no throw).
+bool mig_layout_fits(const gpu::GpuArchSpec& arch,
+                     const std::vector<TenantRequirement>& tenants);
+
+}  // namespace faaspart::core

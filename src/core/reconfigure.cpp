@@ -1,0 +1,78 @@
+#include "core/reconfigure.hpp"
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace faaspart::core {
+
+sim::Co<ReconfigureReport> Reconfigurer::change_mps_percentages(
+    faas::HighThroughputExecutor& ex, std::vector<int> new_percentages) {
+  if (new_percentages.size() != ex.worker_count()) {
+    throw util::ConfigError(util::strf(
+        "change_mps_percentages: ", new_percentages.size(), " percentages for ",
+        ex.worker_count(), " workers"));
+  }
+  for (const int pct : new_percentages) {
+    if (pct <= 0 || pct > 100) {
+      throw util::ConfigError(util::strf("GPU percentage ", pct, " outside (0, 100]"));
+    }
+  }
+  const util::TimePoint t0 = manager_.simulator().now();
+  std::vector<sim::Future<>> done;
+  done.reserve(ex.worker_count());
+  for (std::size_t i = 0; i < ex.worker_count(); ++i) {
+    gpu::ContextOptions opts;
+    opts.active_thread_percentage = new_percentages[i];
+    done.push_back(ex.restart_worker(i, opts));
+  }
+  co_await sim::when_all(std::move(done));
+
+  ReconfigureReport report;
+  report.total_time = manager_.simulator().now() - t0;
+  report.workers_restarted = static_cast<int>(ex.worker_count());
+  co_return report;
+}
+
+sim::Co<ReconfigureReport> Reconfigurer::change_mig_layout(
+    faas::HighThroughputExecutor& ex, int device_index,
+    std::vector<std::string> profiles, WeightCache* cache) {
+  if (profiles.size() != ex.worker_count()) {
+    throw util::ConfigError(util::strf("change_mig_layout: ", profiles.size(),
+                                       " profiles for ", ex.worker_count(),
+                                       " workers"));
+  }
+  const util::TimePoint t0 = manager_.simulator().now();
+  gpu::Device& dev = manager_.device(device_index);
+
+  // 1. Every tenant off the device ("we must shut down all the applications
+  //    that are running on the GPU", §6).
+  std::vector<sim::Future<>> parked;
+  parked.reserve(ex.worker_count());
+  for (std::size_t i = 0; i < ex.worker_count(); ++i) {
+    parked.push_back(ex.park_worker(i));
+  }
+  co_await sim::when_all(std::move(parked));
+  if (cache != nullptr) cache->release_device(dev);
+
+  // 2. GPU reset + new instances.
+  const std::vector<std::string> uuids =
+      co_await manager_.configure_mig(device_index, profiles);
+
+  // 3. Workers back up against the new instances.
+  std::vector<sim::Future<>> restarted;
+  restarted.reserve(ex.worker_count());
+  for (std::size_t i = 0; i < ex.worker_count(); ++i) {
+    gpu::ContextOptions opts;
+    opts.instance = dev.instance_by_uuid(uuids[i]);
+    restarted.push_back(ex.restart_worker(i, opts));
+  }
+  co_await sim::when_all(std::move(restarted));
+
+  ReconfigureReport report;
+  report.total_time = manager_.simulator().now() - t0;
+  report.workers_restarted = static_cast<int>(ex.worker_count());
+  report.gpu_reset = true;
+  co_return report;
+}
+
+}  // namespace faaspart::core

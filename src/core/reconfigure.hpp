@@ -1,0 +1,54 @@
+// Reconfigurer — timed GPU-partition reallocation (§6 "Execution overhead"
+// and §7 "Re-configuring GPU resources Faster").
+//
+// MPS path: a client's GPU% cannot change while its process lives, so every
+// affected worker restarts — paying process spawn + context init + model
+// reload (10–20 s for LLaMa-sized models with the stock DirectLoader, ~0.1 s
+// with the WeightCache).
+//
+// MIG path: every context must leave the device, the GPU resets (1–2 s,
+// interfering with all tenants), instances are recreated, and all workers
+// restart against the new instances — strictly more disruptive than MPS,
+// exactly as Table 1 ranks it.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/weightcache.hpp"
+#include "faas/executor.hpp"
+#include "nvml/manager.hpp"
+
+namespace faaspart::core {
+
+struct ReconfigureReport {
+  util::Duration total_time{};  ///< wall-clock (virtual) for the whole operation
+  int workers_restarted = 0;
+  bool gpu_reset = false;
+};
+
+class Reconfigurer {
+ public:
+  explicit Reconfigurer(nvml::DeviceManager& manager) : manager_(manager) {}
+
+  /// Restarts every worker of `ex` with a new MPS percentage
+  /// (new_percentages[i] → worker i). Workers restart concurrently; the
+  /// report's total_time is the start-to-finish wall time.
+  sim::Co<ReconfigureReport> change_mps_percentages(
+      faas::HighThroughputExecutor& ex, std::vector<int> new_percentages);
+
+  /// Re-layouts device `device_index` to `profiles` and rebinds every worker
+  /// of `ex` to the new instances (worker i → profiles[i], which must match
+  /// the worker count). `cache`, when given, is flushed off the device first
+  /// (its daemon contexts would otherwise block the reset) — pass the same
+  /// cache the executor loads through.
+  sim::Co<ReconfigureReport> change_mig_layout(faas::HighThroughputExecutor& ex,
+                                               int device_index,
+                                               std::vector<std::string> profiles,
+                                               WeightCache* cache = nullptr);
+
+ private:
+  nvml::DeviceManager& manager_;
+};
+
+}  // namespace faaspart::core

@@ -1,0 +1,66 @@
+#include "core/rightsize.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace faaspart::core {
+
+util::Duration estimate_runtime(const gpu::GpuArchSpec& arch,
+                                const std::vector<gpu::KernelDesc>& kernels,
+                                int sms, util::Duration host_gap) {
+  FP_CHECK_MSG(sms >= 1 && sms <= arch.total_sms, "grant outside device");
+  util::Duration total{0};
+  for (const auto& k : kernels) {
+    total += gpu::solo_service_time(arch, k, gpu::KernelGrant{sms});
+    total += host_gap;
+  }
+  return total;
+}
+
+RightsizeResult rightsize_kernels(const gpu::GpuArchSpec& arch,
+                                  const std::vector<gpu::KernelDesc>& kernels,
+                                  double epsilon, util::Duration host_gap) {
+  FP_CHECK_MSG(!kernels.empty(), "rightsize needs at least one kernel");
+  FP_CHECK_MSG(epsilon >= 0.0, "epsilon must be non-negative");
+
+  RightsizeResult r;
+  r.curve.reserve(static_cast<std::size_t>(arch.total_sms));
+  for (int sms = 1; sms <= arch.total_sms; ++sms) {
+    r.curve.push_back({sms, estimate_runtime(arch, kernels, sms, host_gap)});
+  }
+  r.latency_at_full = r.curve.back().latency;
+
+  const double budget =
+      static_cast<double>(r.latency_at_full.ns) * (1.0 + epsilon);
+  for (const auto& p : r.curve) {
+    if (static_cast<double>(p.latency.ns) <= budget) {
+      r.suggested_sms = p.sms;
+      r.latency_at_suggested = p.latency;
+      break;
+    }
+  }
+  FP_CHECK(r.suggested_sms >= 1);  // the full grant always qualifies
+  r.suggested_percentage = static_cast<int>(
+      std::ceil(100.0 * r.suggested_sms / arch.total_sms));
+  return r;
+}
+
+gpu::MigProfile suggest_mig_profile(const gpu::GpuArchSpec& arch,
+                                    const RightsizeResult& suggestion,
+                                    util::Bytes memory_needed) {
+  // Profiles come smallest-first from the catalogue; pick the first that
+  // covers both dimensions.
+  for (const auto& p : gpu::mig_profiles(arch)) {
+    if (p.sms(arch) >= suggestion.suggested_sms &&
+        p.memory(arch) >= memory_needed) {
+      return p;
+    }
+  }
+  throw util::NotFoundError(util::strf(
+      "no MIG profile on ", arch.name, " covers ", suggestion.suggested_sms,
+      " SMs and ", util::format_bytes(memory_needed)));
+}
+
+}  // namespace faaspart::core

@@ -1,0 +1,60 @@
+// Right-sizing (§7 "Understanding GPU resource requirement"): approximate
+// how much GPU a function needs from a static profile of its kernels.
+//
+// The tool sweeps the analytic service time of a kernel sequence over SM
+// grants and finds the knee: the smallest grant whose latency is within
+// (1 + epsilon) of the full-GPU latency. For LLaMa-2 decode this lands at
+// ~20 SMs — exactly the Fig 2 observation the paper wants to automate.
+#pragma once
+
+#include <vector>
+
+#include "gpu/arch.hpp"
+#include "gpu/kernel.hpp"
+#include "gpu/mig.hpp"
+#include "util/units.hpp"
+
+namespace faaspart::core {
+
+struct RightsizePoint {
+  int sms = 0;
+  util::Duration latency{};
+};
+
+struct RightsizeResult {
+  int suggested_sms = 0;
+  /// suggested_sms as a CUDA_MPS_ACTIVE_THREAD_PERCENTAGE (rounded up).
+  int suggested_percentage = 0;
+  util::Duration latency_at_suggested{};
+  util::Duration latency_at_full{};
+  std::vector<RightsizePoint> curve;  ///< latency at every probed grant
+
+  /// Fraction of the GPU freed for other tenants by taking the suggestion.
+  [[nodiscard]] double freed_fraction(int total_sms) const {
+    return 1.0 - static_cast<double>(suggested_sms) / total_sms;
+  }
+};
+
+/// Profiles a kernel sequence (one inference / one iteration) against an
+/// architecture. `host_gap` is CPU time between consecutive kernels (it
+/// dilutes the benefit of more SMs, so it belongs in the estimate).
+RightsizeResult rightsize_kernels(const gpu::GpuArchSpec& arch,
+                                  const std::vector<gpu::KernelDesc>& kernels,
+                                  double epsilon = 0.05,
+                                  util::Duration host_gap = util::Duration{0});
+
+/// Estimated runtime of the sequence at a specific grant — the "runtime
+/// approximation based on GPU resources" half of §7.
+util::Duration estimate_runtime(const gpu::GpuArchSpec& arch,
+                                const std::vector<gpu::KernelDesc>& kernels,
+                                int sms,
+                                util::Duration host_gap = util::Duration{0});
+
+/// The smallest MIG profile whose compute slice covers the suggestion and
+/// whose memory covers `memory_needed`. Throws util::NotFoundError when not
+/// even the full-GPU profile fits (on a non-MIG part, always throws).
+gpu::MigProfile suggest_mig_profile(const gpu::GpuArchSpec& arch,
+                                    const RightsizeResult& suggestion,
+                                    util::Bytes memory_needed);
+
+}  // namespace faaspart::core

@@ -1,0 +1,107 @@
+#include "core/weightcache.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace faaspart::core {
+
+WeightCache::Scope& WeightCache::scope_for(gpu::Device& dev, gpu::ContextId ctx) {
+  const auto inst = dev.context(ctx).instance();
+  const ScopeKey key =
+      key_for(dev, inst.has_value() ? static_cast<std::int64_t>(*inst) : -1);
+  auto it = scopes_.find(key);
+  if (it == scopes_.end()) {
+    Scope scope;
+    gpu::ContextOptions opts;
+    opts.instance = inst;
+    scope.daemon_ctx = dev.create_context("weight-cache", opts);
+    it = scopes_.emplace(key, std::move(scope)).first;
+  }
+  return it->second;
+}
+
+sim::Co<void> WeightCache::load(gpu::Device& dev, gpu::ContextId ctx,
+                                const faas::AppDef& app) {
+  if (app.model_bytes <= 0) co_return;
+  Scope& scope = scope_for(dev, ctx);
+  const std::string& key = app.effective_model_key();
+
+  const auto hit = scope.entries.find(key);
+  if (hit != scope.entries.end()) {
+    hit->second.last_used = ++clock_;
+    ++hits_;
+    co_await dev.simulator().delay(attach_cost_);
+    co_return;
+  }
+
+  // Miss: allocate in the daemon context, evicting LRU entries on pressure.
+  ++misses_;
+  gpu::AllocationId alloc = 0;
+  while (true) {
+    try {
+      alloc = dev.alloc(scope.daemon_ctx, app.model_bytes, "cache:" + key);
+      break;
+    } catch (const util::OutOfMemoryError&) {
+      // Evict the least-recently-used entry in this scope; rethrow when the
+      // scope has nothing left to give back.
+      auto lru = scope.entries.end();
+      for (auto it = scope.entries.begin(); it != scope.entries.end(); ++it) {
+        if (lru == scope.entries.end() ||
+            it->second.last_used < lru->second.last_used) {
+          lru = it;
+        }
+      }
+      if (lru == scope.entries.end()) throw;
+      dev.free(scope.daemon_ctx, lru->second.alloc);
+      scope.entries.erase(lru);
+      ++evictions_;
+    }
+  }
+
+  scope.entries.emplace(key, Entry{alloc, app.model_bytes, ++clock_});
+  const double rate = dev.arch().model_load_bw;
+  co_await dev.simulator().delay(
+      util::from_seconds(static_cast<double>(app.model_bytes) / rate));
+  // The requesting worker then attaches like any other consumer.
+  co_await dev.simulator().delay(attach_cost_);
+}
+
+util::Bytes WeightCache::resident_bytes(const gpu::Device& dev) const {
+  util::Bytes total = 0;
+  for (const auto& [key, scope] : scopes_) {
+    if (key.dev != &dev) continue;
+    for (const auto& [name, entry] : scope.entries) total += entry.bytes;
+  }
+  return total;
+}
+
+void WeightCache::release_device(gpu::Device& dev) {
+  for (auto it = scopes_.begin(); it != scopes_.end();) {
+    if (it->first.dev == &dev) {
+      // Destroying the daemon context frees all of its allocations.
+      dev.destroy_context(it->second.daemon_ctx);
+      it = scopes_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void WeightCache::evict(gpu::Device& dev, const std::string& model_key) {
+  for (auto& [key, scope] : scopes_) {
+    if (key.dev != &dev) continue;
+    const auto it = scope.entries.find(model_key);
+    if (it != scope.entries.end()) {
+      dev.free(scope.daemon_ctx, it->second.alloc);
+      ++evictions_;
+      scope.entries.erase(it);
+      return;
+    }
+  }
+  throw util::NotFoundError(util::strf("model '", model_key, "' not cached on ",
+                                       dev.name()));
+}
+
+}  // namespace faaspart::core

@@ -1,0 +1,94 @@
+// WeightCache — the §7 future-work optimization: share model weights across
+// function instances so re-loads (and reconfiguration restarts) stop paying
+// the 10–20 s upload.
+//
+// The cache owns a daemon context per memory pool (device, or MIG instance)
+// and keeps weight segments resident there. A worker's first load of a
+// model pays the full upload into the cache; every later load — including
+// after the worker restarts with a new GPU percentage — only pays a small
+// attach cost (the cuIpcOpenMemHandle-style remap). Segments survive worker
+// context teardown because they belong to the daemon context.
+//
+// Capacity pressure evicts least-recently-used unattached-by-anyone... —
+// simplification: LRU by last load time; eviction never invalidates a model
+// a live worker is actively using mid-kernel because attach order is FIFO
+// within the simulator's single thread.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <string>
+
+#include "faas/loader.hpp"
+#include "gpu/device.hpp"
+
+namespace faaspart::core {
+
+class WeightCache final : public faas::ModelLoader {
+ public:
+  /// `attach_cost`: virtual time to map an already-resident model into a
+  /// new context (IPC handle open + pointer fix-up).
+  explicit WeightCache(util::Duration attach_cost = util::milliseconds(120))
+      : attach_cost_(attach_cost) {}
+
+  sim::Co<void> load(gpu::Device& dev, gpu::ContextId ctx,
+                     const faas::AppDef& app) override;
+
+  /// Cache survives worker restarts by design — nothing to do.
+  void on_context_destroyed(gpu::Device& dev, gpu::ContextId ctx) override {
+    (void)dev;
+    (void)ctx;
+  }
+
+  [[nodiscard]] const char* name() const override { return "weight-cache"; }
+
+  [[nodiscard]] std::uint64_t hits() const { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const { return misses_; }
+  [[nodiscard]] std::uint64_t evictions() const { return evictions_; }
+
+  /// Weights currently resident for one pool scope.
+  [[nodiscard]] util::Bytes resident_bytes(const gpu::Device& dev) const;
+
+  /// Drops one model from a device's cache; throws util::NotFoundError when
+  /// it is not resident.
+  void evict(gpu::Device& dev, const std::string& model_key);
+
+  /// Destroys every cache scope (daemon context + entries) on a device.
+  /// Required before a MIG re-layout or GPU reset — the daemon contexts
+  /// would otherwise keep the instances alive.
+  void release_device(gpu::Device& dev);
+
+ private:
+  /// One cache scope per memory pool: the bare device or one MIG instance.
+  struct ScopeKey {
+    const gpu::Device* dev;
+    std::int64_t instance;  // -1 = bare device
+    auto operator<=>(const ScopeKey&) const = default;
+  };
+
+  struct Entry {
+    gpu::AllocationId alloc = 0;
+    util::Bytes bytes = 0;
+    std::uint64_t last_used = 0;
+  };
+
+  struct Scope {
+    gpu::ContextId daemon_ctx = 0;
+    std::map<std::string, Entry> entries;
+  };
+
+  Scope& scope_for(gpu::Device& dev, gpu::ContextId ctx);
+  static ScopeKey key_for(const gpu::Device& dev, std::int64_t instance) {
+    return ScopeKey{&dev, instance};
+  }
+
+  util::Duration attach_cost_;
+  std::map<ScopeKey, Scope> scopes_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+  std::uint64_t clock_ = 0;
+};
+
+}  // namespace faaspart::core

@@ -1,0 +1,162 @@
+#include "faas/dfk.hpp"
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace faaspart::faas {
+
+DataFlowKernel::DataFlowKernel(sim::Simulator& sim, Config cfg)
+    : sim_(sim), cfg_(std::move(cfg)) {}
+
+void DataFlowKernel::add_executor(std::unique_ptr<Executor> executor) {
+  FP_CHECK(executor != nullptr);
+  const std::string label = executor->label();
+  const auto [it, inserted] = executors_.emplace(label, std::move(executor));
+  if (!inserted) {
+    throw util::ConfigError(util::strf("duplicate executor label '", label, "'"));
+  }
+}
+
+Executor& DataFlowKernel::executor(const std::string& label) {
+  const auto it = executors_.find(label);
+  if (it == executors_.end()) {
+    throw util::NotFoundError(util::strf("executor '", label, "'"));
+  }
+  return *it->second;
+}
+
+const Executor& DataFlowKernel::executor(const std::string& label) const {
+  const auto it = executors_.find(label);
+  if (it == executors_.end()) {
+    throw util::NotFoundError(util::strf("executor '", label, "'"));
+  }
+  return *it->second;
+}
+
+AppHandle DataFlowKernel::submit(AppDef app, const std::string& executor_label) {
+  return submit_after({}, std::move(app), executor_label);
+}
+
+AppHandle DataFlowKernel::submit_after(std::vector<sim::Future<AppValue>> deps,
+                                       AppDef app,
+                                       const std::string& executor_label) {
+  Executor* ex = &executor(executor_label);
+  auto logical = std::make_shared<TaskRecord>();
+  logical->id = next_id_++;
+  logical->app = app.name;
+  logical->executor = executor_label;
+  logical->submitted = sim_.now();
+  sim::Promise<AppValue> outer(sim_);
+  auto future = outer.future();
+  records_.push_back(logical);
+  futures_.push_back(future);
+  sim_.spawn(run_attempts(std::make_shared<const AppDef>(std::move(app)), ex,
+                          std::move(outer), logical, std::move(deps)),
+             "dfk/task" + std::to_string(logical->id));
+  return AppHandle{std::move(future), std::move(logical)};
+}
+
+sim::Co<void> DataFlowKernel::run_attempts(
+    std::shared_ptr<const AppDef> app, Executor* ex,
+    sim::Promise<AppValue> outer, std::shared_ptr<TaskRecord> logical,
+    std::vector<sim::Future<AppValue>> deps) {
+  // Dependency stage: a failed parent fails this task immediately.
+  for (auto& dep : deps) {
+    try {
+      (void)co_await dep;
+    } catch (...) {
+      logical->state = TaskRecord::State::kFailed;
+      logical->finished = sim_.now();
+      logical->error = "dependency failed";
+      outer.set_exception(std::make_exception_ptr(
+          util::TaskFailedError(util::strf(app->name, ": dependency failed"))));
+      co_return;
+    }
+  }
+
+  // Memoization (Parsl app caching): a prior successful run with the same
+  // (name, memo_key) answers instantly, consuming no executor capacity.
+  if (!app->memo_key.empty()) {
+    const auto it = memo_.find({app->name, app->memo_key});
+    if (it != memo_.end()) {
+      ++memo_hits_;
+      logical->memoized = true;
+      logical->tries = 0;
+      logical->worker = "memo";
+      logical->started = sim_.now();
+      logical->finished = sim_.now();
+      logical->state = TaskRecord::State::kDone;
+      outer.set_value(it->second);
+      co_return;
+    }
+  }
+
+  for (int attempt = 0;; ++attempt) {
+    AppHandle h = ex->submit(app);
+    logical->tries = attempt + 1;
+    try {
+      AppValue v = co_await h.future;
+      // Fold the successful attempt's observables into the logical record.
+      logical->worker = h.record->worker;
+      logical->started = h.record->started;
+      logical->finished = h.record->finished;
+      logical->cold_start = h.record->cold_start;
+      logical->state = TaskRecord::State::kDone;
+      logical->slo_miss = app->deadline.ns > 0 &&
+                          logical->completion_time() > app->deadline;
+      if (!app->memo_key.empty()) {
+        memo_.emplace(std::make_pair(app->name, app->memo_key), v);
+      }
+      outer.set_value(std::move(v));
+      co_return;
+    } catch (const std::exception& e) {
+      if (attempt >= cfg_.retries) {
+        logical->worker = h.record->worker;
+        logical->finished = sim_.now();
+        logical->state = TaskRecord::State::kFailed;
+        logical->error = e.what();
+        outer.set_exception(std::current_exception());
+        co_return;
+      }
+      // else: resubmit (Parsl logs and retries transparently)
+    }
+  }
+}
+
+sim::Co<void> DataFlowKernel::wait_all_settled() {
+  // New tasks may be submitted while we wait (workflows submit from task
+  // callbacks), so loop until the snapshot stops growing.
+  std::size_t waited = 0;
+  while (waited < futures_.size()) {
+    const auto f = futures_[waited];
+    ++waited;
+    try {
+      (void)co_await f;
+    } catch (...) {
+      // Failures are reflected in the records; settling is all we need.
+    }
+  }
+}
+
+sim::Co<void> DataFlowKernel::shutdown() {
+  co_await wait_all_settled();
+  for (auto& [label, ex] : executors_) {
+    co_await ex->shutdown();
+  }
+}
+
+std::size_t DataFlowKernel::tasks_failed() const {
+  std::size_t n = 0;
+  for (const auto& r : records_) {
+    if (r->state == TaskRecord::State::kFailed) ++n;
+  }
+  return n;
+}
+
+std::size_t DataFlowKernel::slo_misses() const {
+  std::size_t n = 0;
+  for (const auto& r : records_) n += r->slo_miss ? 1 : 0;
+  return n;
+}
+
+}  // namespace faaspart::faas

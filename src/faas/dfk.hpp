@@ -1,0 +1,72 @@
+// DataFlowKernel — Parsl's task orchestrator: app registry, routing by
+// executor label, dependency handling and retries (Listing 1: retries=1).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "faas/app.hpp"
+#include "faas/config.hpp"
+#include "faas/executor.hpp"
+
+namespace faaspart::faas {
+
+class DataFlowKernel {
+ public:
+  DataFlowKernel(sim::Simulator& sim, Config cfg);
+
+  /// Takes ownership; the executor's label routes submissions.
+  void add_executor(std::unique_ptr<Executor> executor);
+
+  [[nodiscard]] Executor& executor(const std::string& label);
+  [[nodiscard]] const Executor& executor(const std::string& label) const;
+  [[nodiscard]] const Config& config() const { return cfg_; }
+
+  /// Submits an app to the labeled executor with DFK-level retries: on
+  /// failure the task is resubmitted up to cfg.retries times; the returned
+  /// future settles with the final outcome. The returned record is the
+  /// logical task (tries counts attempts).
+  AppHandle submit(AppDef app, const std::string& executor_label);
+
+  /// Like submit, but waits for `deps` to succeed first. A failed dependency
+  /// fails this task without consuming retries (dependency errors are not
+  /// execution errors — mirrors Parsl).
+  AppHandle submit_after(std::vector<sim::Future<AppValue>> deps, AppDef app,
+                         const std::string& executor_label);
+
+  /// Awaits every task submitted so far; does not throw on task failures
+  /// (inspect records / counts instead).
+  sim::Co<void> wait_all_settled();
+
+  /// Drains and shuts down every executor.
+  sim::Co<void> shutdown();
+
+  [[nodiscard]] std::size_t tasks_submitted() const { return records_.size(); }
+  [[nodiscard]] std::size_t tasks_failed() const;
+  [[nodiscard]] std::size_t slo_misses() const;
+  [[nodiscard]] std::size_t memo_hits() const { return memo_hits_; }
+  void clear_memo() { memo_.clear(); }
+  [[nodiscard]] const std::vector<std::shared_ptr<TaskRecord>>& records() const {
+    return records_;
+  }
+
+ private:
+  sim::Co<void> run_attempts(std::shared_ptr<const AppDef> app, Executor* ex,
+                             sim::Promise<AppValue> outer,
+                             std::shared_ptr<TaskRecord> logical,
+                             std::vector<sim::Future<AppValue>> deps);
+
+  sim::Simulator& sim_;
+  Config cfg_;
+  std::map<std::string, std::unique_ptr<Executor>> executors_;
+  /// (app name, memo key) → cached successful result (Parsl app caching).
+  std::map<std::pair<std::string, std::string>, AppValue> memo_;
+  std::size_t memo_hits_ = 0;
+  std::vector<std::shared_ptr<TaskRecord>> records_;
+  std::vector<sim::Future<AppValue>> futures_;
+  std::uint64_t next_id_ = 1;
+};
+
+}  // namespace faaspart::faas

@@ -1,0 +1,62 @@
+#include "faas/elastic.hpp"
+
+#include "util/error.hpp"
+
+namespace faaspart::faas {
+
+ElasticController::ElasticController(sim::Simulator& sim,
+                                     HighThroughputExecutor& executor,
+                                     ElasticOptions opts)
+    : sim_(sim), executor_(executor), opts_(opts) {
+  FP_CHECK_MSG(opts_.min_workers >= 1, "min_workers must be >= 1");
+  FP_CHECK_MSG(opts_.max_workers >= opts_.min_workers,
+               "max_workers below min_workers");
+  FP_CHECK_MSG(opts_.interval.ns > 0, "control interval must be positive");
+}
+
+std::size_t ElasticController::busy_workers() const {
+  std::size_t busy = 0;
+  for (std::size_t i = 0; i < executor_.worker_count(); ++i) {
+    const auto info = executor_.worker_info(i);
+    if (!info.retired && info.busy) ++busy;
+  }
+  return busy;
+}
+
+std::size_t ElasticController::pick_idle_worker() const {
+  for (std::size_t i = executor_.worker_count(); i-- > 0;) {
+    const auto info = executor_.worker_info(i);
+    if (!info.retired && info.alive && !info.busy) return i;
+  }
+  return static_cast<std::size_t>(-1);
+}
+
+sim::Co<void> ElasticController::run(util::TimePoint deadline) {
+  while (sim_.now() + opts_.interval <= deadline) {
+    co_await sim_.delay(opts_.interval);
+
+    const auto active = executor_.active_worker_count();
+    const auto queued = executor_.queue_depth();
+    const auto busy = busy_workers();
+
+    if (static_cast<double>(queued) >
+            opts_.scale_out_queue_per_worker * static_cast<double>(active) &&
+        static_cast<int>(active) < opts_.max_workers) {
+      (void)executor_.add_worker();
+      ++scale_outs_;
+      continue;
+    }
+
+    if (queued == 0 &&
+        static_cast<int>(active) > opts_.min_workers &&
+        active - busy >= static_cast<std::size_t>(opts_.scale_in_idle_threshold)) {
+      const std::size_t victim = pick_idle_worker();
+      if (victim != static_cast<std::size_t>(-1)) {
+        (void)executor_.retire_worker(victim);
+        ++scale_ins_;
+      }
+    }
+  }
+}
+
+}  // namespace faaspart::faas

@@ -1,0 +1,46 @@
+// ElasticController — Parsl's scaling "strategy" for an executor: watch the
+// queue, add CPU workers under backlog, retire idle ones when the burst
+// passes. (GPU workers stay static — their count is the partitioning
+// decision the core module owns; elasticity here is about the CPU side of
+// §2.1's "rapid spin up and down of function instances".)
+#pragma once
+
+#include "faas/executor.hpp"
+
+namespace faaspart::faas {
+
+struct ElasticOptions {
+  int min_workers = 1;
+  int max_workers = 8;
+  util::Duration interval = util::seconds(5);  ///< control period
+  /// Scale out by one when queued tasks per active worker exceed this.
+  double scale_out_queue_per_worker = 2.0;
+  /// Scale in by one when the queue is empty and at least this many workers
+  /// sit idle.
+  int scale_in_idle_threshold = 2;
+};
+
+class ElasticController {
+ public:
+  ElasticController(sim::Simulator& sim, HighThroughputExecutor& executor,
+                    ElasticOptions opts = {});
+
+  /// The control loop; spawn on the simulator. Runs until `deadline`.
+  sim::Co<void> run(util::TimePoint deadline);
+
+  [[nodiscard]] int scale_outs() const { return scale_outs_; }
+  [[nodiscard]] int scale_ins() const { return scale_ins_; }
+
+ private:
+  [[nodiscard]] std::size_t busy_workers() const;
+  /// Highest-indexed active idle worker, or npos.
+  [[nodiscard]] std::size_t pick_idle_worker() const;
+
+  sim::Simulator& sim_;
+  HighThroughputExecutor& executor_;
+  ElasticOptions opts_;
+  int scale_outs_ = 0;
+  int scale_ins_ = 0;
+};
+
+}  // namespace faaspart::faas

@@ -1,0 +1,421 @@
+#include "faas/executor.hpp"
+
+#include "util/error.hpp"
+#include "util/logging.hpp"
+#include "util/strings.hpp"
+
+namespace faaspart::faas {
+
+// ---------------------------------------------------------------------------
+// TaskContext (declared in app.hpp; implemented here to keep app.hpp light)
+// ---------------------------------------------------------------------------
+
+gpu::Device& TaskContext::device() {
+  if (device_ == nullptr) {
+    throw util::StateError(util::strf("worker '", worker_name_,
+                                      "' has no accelerator binding"));
+  }
+  return *device_;
+}
+
+int TaskContext::sm_cap() const {
+  if (device_ == nullptr) return 0;
+  return device_->context(gpu_ctx_).sm_cap();
+}
+
+sim::Future<> TaskContext::launch(gpu::KernelDesc kernel) {
+  return device().launch(gpu_ctx_, std::move(kernel));
+}
+
+// ---------------------------------------------------------------------------
+// HighThroughputExecutor
+// ---------------------------------------------------------------------------
+
+HighThroughputExecutor::HighThroughputExecutor(sim::Simulator& sim,
+                                               ExecutionProvider& provider,
+                                               Options opts, ModelLoader* loader,
+                                               trace::Recorder* rec)
+    : sim_(sim),
+      provider_(provider),
+      opts_(std::move(opts)),
+      loader_(loader),
+      rec_(rec),
+      central_(sim),
+      idle_(sim),
+      drained_(sim) {
+  if (loader_ == nullptr) {
+    default_loader_ = std::make_unique<DirectLoader>();
+    loader_ = default_loader_.get();
+  }
+  seeder_ = util::Rng(opts_.seed);
+
+  if (!opts_.bindings.empty()) {
+    // GPU executor: one worker per accelerator entry (Parsl's pinning).
+    for (auto& binding : opts_.bindings) (void)create_worker(binding);
+  } else {
+    FP_CHECK_MSG(opts_.cpu_workers >= 1, "executor needs at least one worker");
+    for (int i = 0; i < opts_.cpu_workers; ++i) (void)create_worker(std::nullopt);
+  }
+}
+
+std::size_t HighThroughputExecutor::create_worker(
+    std::optional<WorkerBinding> binding) {
+  const std::size_t index = workers_.size();
+  auto w = std::make_unique<Worker>();
+  w->name = util::strf(opts_.label, "/worker", index);
+  if (binding.has_value() && !binding->accelerator.empty()) {
+    w->name += "@" + binding->accelerator;
+  }
+  w->binding = std::move(binding);
+  w->inbox = std::make_unique<sim::Mailbox<Msg>>(sim_);
+  w->rng = seeder_.fork();
+  if (rec_ != nullptr) w->lane = rec_->add_lane(w->name);
+  workers_.push_back(std::move(w));
+  return index;
+}
+
+std::size_t HighThroughputExecutor::add_worker(
+    std::optional<WorkerBinding> binding) {
+  if (stopping_) throw util::StateError("executor is shutting down");
+  const std::size_t index = create_worker(std::move(binding));
+  if (started_) sim_.spawn(worker_main(index), workers_[index]->name);
+  return index;
+}
+
+sim::Future<> HighThroughputExecutor::retire_worker(std::size_t index) {
+  FP_CHECK_MSG(index < workers_.size(), "worker index out of range");
+  FP_CHECK_MSG(started_, "executor not started");
+  Worker& w = *workers_[index];
+  FP_CHECK_MSG(!w.retired, "worker already retired");
+  FP_CHECK_MSG(active_worker_count() > 1,
+               "cannot retire the executor's last worker");
+  w.retired = true;  // dispatcher drops this worker's stale idle tokens
+  sim::Promise<> ack(sim_);
+  Msg m;
+  m.kind = Msg::Kind::kStop;
+  m.ack = ack;
+  w.inbox->put(std::move(m));
+  return ack.future();
+}
+
+std::size_t HighThroughputExecutor::active_worker_count() const {
+  std::size_t n = 0;
+  for (const auto& w : workers_) n += w->retired ? 0 : 1;
+  return n;
+}
+
+HighThroughputExecutor::~HighThroughputExecutor() = default;
+
+void HighThroughputExecutor::start() {
+  if (started_) throw util::StateError("executor '" + opts_.label + "' already started");
+  started_ = true;
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    sim_.spawn(worker_main(i), workers_[i]->name);
+  }
+  sim_.spawn(dispatcher_main(), opts_.label + "/interchange");
+}
+
+AppHandle HighThroughputExecutor::submit(std::shared_ptr<const AppDef> app) {
+  FP_CHECK_MSG(app != nullptr && static_cast<bool>(app->body), "empty app");
+  if (stopping_) {
+    throw util::StateError("executor '" + opts_.label + "' is shutting down");
+  }
+  auto record = std::make_shared<TaskRecord>();
+  record->id = next_task_id_++;
+  record->app = app->name;
+  record->executor = opts_.label;
+  record->submitted = sim_.now();
+  sim::Promise<AppValue> promise(sim_);
+  auto future = promise.future();
+  future.on_ready([this] { note_task_settled(); });
+  ++outstanding_;
+  const int priority = app->priority;
+  central_.put(QueuedTask{std::move(app), std::move(promise), record}, priority);
+  return AppHandle{std::move(future), std::move(record)};
+}
+
+void HighThroughputExecutor::note_task_settled() {
+  FP_CHECK(outstanding_ > 0);
+  --outstanding_;
+  ++tasks_completed_;
+  if (stopping_ && outstanding_ == 0) drained_.open();
+}
+
+sim::Co<void> HighThroughputExecutor::dispatcher_main() {
+  while (true) {
+    QueuedTask task;
+    try {
+      task = co_await central_.get();
+    } catch (const util::StateError&) {
+      break;  // closed and drained — shutdown
+    }
+    // Drop stale idle tokens of retired workers (scale-in).
+    std::size_t w = co_await idle_.get();
+    while (workers_[w]->retired) w = co_await idle_.get();
+    Msg m;
+    m.kind = Msg::Kind::kTask;
+    m.task = std::move(task);
+    workers_[w]->inbox->put(std::move(m));
+  }
+}
+
+sim::Co<void> HighThroughputExecutor::worker_boot(Worker& w) {
+  // (process spawn + interpreter + imports) then CUDA context init (§6).
+  co_await sim_.delay(provider_.worker_launch_cost());
+  if (w.binding.has_value()) {
+    gpu::Device& dev = *w.binding->device;
+    co_await sim_.delay(dev.arch().context_create);
+    w.ctx = dev.create_context(w.name, w.binding->ctx_opts);
+    w.ctx_live = true;
+  }
+  w.alive = true;
+}
+
+void HighThroughputExecutor::worker_teardown(Worker& w) {
+  w.alive = false;
+  if (w.ctx_live) {
+    gpu::Device& dev = *w.binding->device;
+    loader_->on_context_destroyed(dev, w.ctx);
+    dev.destroy_context(w.ctx);
+    w.ctx_live = false;
+    w.ctx = 0;
+  }
+  // A fresh process has no warm state: function inits and model loads are
+  // re-charged after a restart (this is the §6 reallocation cost).
+  w.inited_apps.clear();
+  w.loaded_models.clear();
+}
+
+sim::Co<void> HighThroughputExecutor::worker_main(std::size_t index) {
+  Worker& w = *workers_[index];
+  auto core_lease =
+      co_await provider_.cpu_cores().acquire(opts_.cpu_cores_per_worker);
+  co_await worker_boot(w);
+  idle_.put(index);
+
+  // Tasks assigned (via a stale idle token) while the worker is parked wait
+  // here and run right after the next boot.
+  std::deque<QueuedTask> backlog;
+  const auto drain_one = [&](QueuedTask task) -> sim::Co<void> {
+    w.busy = true;
+    co_await run_task(w, std::move(task));
+    w.busy = false;
+    ++w.tasks_done;
+    idle_.put(index);
+  };
+
+  while (true) {
+    Msg m = co_await w.inbox->get();
+    if (m.kind == Msg::Kind::kStop) {
+      worker_teardown(w);
+      m.ack.set_value();
+      break;
+    }
+    if (m.kind == Msg::Kind::kPark) {
+      worker_teardown(w);
+      m.ack.set_value();
+      continue;
+    }
+    if (m.kind == Msg::Kind::kRestart) {
+      worker_teardown(w);
+      if (m.new_opts.has_value() && w.binding.has_value()) {
+        w.binding->ctx_opts = *m.new_opts;
+      }
+      co_await worker_boot(w);
+      ++w.restarts;
+      m.ack.set_value();
+      while (!backlog.empty()) {
+        QueuedTask t = std::move(backlog.front());
+        backlog.pop_front();
+        co_await drain_one(std::move(t));
+      }
+      continue;  // idle tokens track task capacity; restart consumed none
+    }
+    if (w.binding.has_value() && !w.ctx_live) {
+      backlog.push_back(std::move(m.task));  // parked — run after restart
+      continue;
+    }
+    co_await drain_one(std::move(m.task));
+    if (w.crash_pending) {
+      // The process died before delivering the result (run_task already
+      // failed the task). Respawn cold.
+      w.crash_pending = false;
+      worker_teardown(w);
+      co_await worker_boot(w);
+      ++w.restarts;
+    }
+  }
+}
+
+sim::Co<void> HighThroughputExecutor::run_task(Worker& w, QueuedTask task) {
+  const AppDef& app = *task.app;
+  TaskRecord& rec = *task.record;
+  rec.worker = w.name;
+  rec.state = TaskRecord::State::kRunning;
+  const util::TimePoint t0 = sim_.now();
+
+  try {
+    // Cold start (1): function initialization, once per worker incarnation.
+    if (app.function_init.ns > 0 && w.inited_apps.count(app.name) == 0) {
+      co_await sim_.delay(app.function_init);
+      w.inited_apps.insert(app.name);
+    }
+    // Cold start (3): model upload, once per worker incarnation and model key.
+    if (app.model_bytes > 0 && w.ctx_live &&
+        w.loaded_models.count(app.effective_model_key()) == 0) {
+      co_await loader_->load(*w.binding->device, w.ctx, app);
+      w.loaded_models.insert(app.effective_model_key());
+    }
+    rec.cold_start = sim_.now() - t0;
+    rec.started = sim_.now();
+
+    TaskContext tctx(sim_, w.rng, w.name, opts_.cpu_cores_per_worker,
+                     w.binding.has_value() ? w.binding->device : nullptr, w.ctx);
+    AppValue value = co_await app.body(tctx);
+
+    if (w.crash_pending) {
+      // Injected failure: the process dies before the result leaves it.
+      throw util::TaskFailedError(
+          util::strf("worker '", w.name, "' crashed before returning"));
+    }
+
+    rec.finished = sim_.now();
+    rec.state = TaskRecord::State::kDone;
+    if (rec_ != nullptr) {
+      if (rec.cold_start.ns > 0) {
+        rec_->record(w.lane, app.name, "cold:" + app.name, t0, rec.started);
+      }
+      rec_->record(w.lane, app.name, "task:" + app.name, rec.started, rec.finished);
+    }
+    task.promise.set_value(std::move(value));
+  } catch (const std::exception& e) {
+    rec.finished = sim_.now();
+    rec.state = TaskRecord::State::kFailed;
+    rec.error = e.what();
+    FP_LOG_DEBUG("task " << rec.id << " (" << app.name << ") failed: " << e.what());
+    task.promise.set_exception(std::current_exception());
+  }
+}
+
+sim::Future<> HighThroughputExecutor::restart_worker(
+    std::size_t index, std::optional<gpu::ContextOptions> new_opts) {
+  FP_CHECK_MSG(index < workers_.size(), "worker index out of range");
+  FP_CHECK_MSG(started_, "executor not started");
+  sim::Promise<> ack(sim_);
+  Msg m;
+  m.kind = Msg::Kind::kRestart;
+  m.new_opts = new_opts;
+  m.ack = ack;
+  workers_[index]->inbox->put(std::move(m));
+  return ack.future();
+}
+
+void HighThroughputExecutor::inject_worker_crash(std::size_t index) {
+  FP_CHECK_MSG(index < workers_.size(), "worker index out of range");
+  workers_[index]->crash_pending = true;
+}
+
+sim::Future<> HighThroughputExecutor::park_worker(std::size_t index) {
+  FP_CHECK_MSG(index < workers_.size(), "worker index out of range");
+  FP_CHECK_MSG(started_, "executor not started");
+  sim::Promise<> ack(sim_);
+  Msg m;
+  m.kind = Msg::Kind::kPark;
+  m.ack = ack;
+  workers_[index]->inbox->put(std::move(m));
+  return ack.future();
+}
+
+HighThroughputExecutor::WorkerInfo HighThroughputExecutor::worker_info(
+    std::size_t index) const {
+  FP_CHECK_MSG(index < workers_.size(), "worker index out of range");
+  const Worker& w = *workers_[index];
+  WorkerInfo info;
+  info.name = w.name;
+  info.accelerator = w.binding.has_value() ? w.binding->accelerator : "";
+  info.alive = w.alive;
+  info.busy = w.busy;
+  info.retired = w.retired;
+  info.restarts = w.restarts;
+  info.tasks_done = w.tasks_done;
+  info.gpu_ctx = w.ctx_live ? w.ctx : 0;
+  return info;
+}
+
+sim::Co<void> HighThroughputExecutor::shutdown() {
+  FP_CHECK_MSG(started_, "shutdown of an executor that never started");
+  stopping_ = true;
+  if (outstanding_ > 0) {
+    co_await drained_.wait();
+  }
+  central_.close();
+  std::vector<sim::Future<>> acks;
+  for (auto& w : workers_) {
+    if (w->retired) continue;  // already stopped by retire_worker()
+    sim::Promise<> p(sim_);
+    Msg m;
+    m.kind = Msg::Kind::kStop;
+    m.ack = p;
+    w->inbox->put(std::move(m));
+    acks.push_back(p.future());
+  }
+  co_await sim::when_all(std::move(acks));
+}
+
+// ---------------------------------------------------------------------------
+// ThreadPoolExecutor
+// ---------------------------------------------------------------------------
+
+ThreadPoolExecutor::ThreadPoolExecutor(sim::Simulator& sim, std::string label,
+                                       int max_threads, std::uint64_t seed)
+    : sim_(sim),
+      label_(std::move(label)),
+      threads_(sim, max_threads, label_ + "-threads"),
+      rng_(seed),
+      drained_(sim) {}
+
+AppHandle ThreadPoolExecutor::submit(std::shared_ptr<const AppDef> app) {
+  FP_CHECK_MSG(app != nullptr && static_cast<bool>(app->body), "empty app");
+  if (stopping_) throw util::StateError("executor '" + label_ + "' is shutting down");
+  auto record = std::make_shared<TaskRecord>();
+  record->id = next_task_id_++;
+  record->app = app->name;
+  record->executor = label_;
+  record->submitted = sim_.now();
+  sim::Promise<AppValue> promise(sim_);
+  auto future = promise.future();
+  future.on_ready([this] {
+    --outstanding_;
+    if (stopping_ && outstanding_ == 0) drained_.open();
+  });
+  ++outstanding_;
+  sim_.spawn(run_one(app, promise, record), label_ + "/task");
+  return AppHandle{std::move(future), std::move(record)};
+}
+
+sim::Co<void> ThreadPoolExecutor::run_one(std::shared_ptr<const AppDef> app,
+                                          sim::Promise<AppValue> promise,
+                                          std::shared_ptr<TaskRecord> record) {
+  auto lease = co_await threads_.acquire(1);
+  record->started = sim_.now();
+  record->state = TaskRecord::State::kRunning;
+  record->worker = label_;
+  TaskContext tctx(sim_, rng_, label_, 1, nullptr, 0);
+  try {
+    AppValue v = co_await app->body(tctx);
+    record->finished = sim_.now();
+    record->state = TaskRecord::State::kDone;
+    promise.set_value(std::move(v));
+  } catch (const std::exception&) {
+    record->finished = sim_.now();
+    record->state = TaskRecord::State::kFailed;
+    promise.set_exception(std::current_exception());
+  }
+}
+
+sim::Co<void> ThreadPoolExecutor::shutdown() {
+  stopping_ = true;
+  if (outstanding_ > 0) co_await drained_.wait();
+}
+
+}  // namespace faaspart::faas

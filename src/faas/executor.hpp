@@ -1,0 +1,219 @@
+// Executors — the pilot-job runtime that hosts workers and runs tasks.
+//
+// HighThroughputExecutor mirrors Parsl's architecture (§2.2.1): submitted
+// tasks land in a central queue (the "interchange"), a dispatcher hands them
+// to idle workers, and each worker is a long-lived process pinned to CPU
+// cores and (optionally) one accelerator entry from the configuration.
+//
+// Worker ↔ accelerator binding follows the paper's extension: one worker per
+// `available_accelerators` entry; the entry's GPU percentage (Listing 2) or
+// MIG UUID (Listing 3) is fixed in the worker's environment before the
+// process starts, so changing it requires a worker restart (§6) — exposed
+// here as restart_worker(), which core::Reconfigurer uses and which charges
+// the full process-respawn + context-init + model-reload path.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "faas/app.hpp"
+#include "faas/loader.hpp"
+#include "faas/provider.hpp"
+#include "gpu/device.hpp"
+#include "sim/sync.hpp"
+#include "trace/recorder.hpp"
+#include "util/rng.hpp"
+
+namespace faaspart::faas {
+
+/// Resolved accelerator assignment for one worker slot (produced from the
+/// config strings by core::GpuPartitioner).
+struct WorkerBinding {
+  gpu::Device* device = nullptr;
+  gpu::ContextOptions ctx_opts;
+  std::string accelerator;  ///< original reference string, for labels
+};
+
+class Executor {
+ public:
+  virtual ~Executor() = default;
+  [[nodiscard]] virtual const std::string& label() const = 0;
+  virtual AppHandle submit(std::shared_ptr<const AppDef> app) = 0;
+  /// Drains queued/running tasks, then stops workers.
+  virtual sim::Co<void> shutdown() = 0;
+  [[nodiscard]] virtual std::size_t outstanding() const = 0;
+};
+
+class HighThroughputExecutor final : public Executor {
+ public:
+  struct Options {
+    std::string label = "htex";
+    /// CPU-only worker count, used when `bindings` is empty (Listing 1's
+    /// max_workers).
+    int cpu_workers = 1;
+    int cpu_cores_per_worker = 1;
+    /// One worker per binding (GPU executors).
+    std::vector<WorkerBinding> bindings;
+    std::uint64_t seed = 1;
+  };
+
+  /// Per-worker observable state.
+  struct WorkerInfo {
+    std::string name;
+    std::string accelerator;   ///< empty for CPU workers
+    bool alive = false;
+    bool busy = false;
+    bool retired = false;
+    int restarts = 0;
+    std::uint64_t tasks_done = 0;
+    gpu::ContextId gpu_ctx = 0;  ///< 0 when no context is live
+  };
+
+  HighThroughputExecutor(sim::Simulator& sim, ExecutionProvider& provider,
+                         Options opts, ModelLoader* loader = nullptr,
+                         trace::Recorder* rec = nullptr);
+  ~HighThroughputExecutor() override;
+
+  /// Spawns the dispatcher and the worker processes. Idempotent guards: a
+  /// second call throws util::StateError.
+  void start();
+
+  AppHandle submit(std::shared_ptr<const AppDef> app) override;
+  sim::Co<void> shutdown() override;
+
+  /// Restarts one worker, optionally with new context options (a new MPS
+  /// percentage or MIG target) — the §6 reallocation path. The returned
+  /// future completes when the worker is back up; the restart drains the
+  /// worker's in-flight task first and wipes its warm state (function init
+  /// and loaded models are re-charged).
+  sim::Future<> restart_worker(std::size_t index,
+                               std::optional<gpu::ContextOptions> new_opts);
+
+  /// Tears the worker's process/context down and leaves it parked (it keeps
+  /// accepting mail but runs nothing). Used by MIG re-layout, which needs
+  /// *every* context off the device before the GPU reset; follow with
+  /// restart_worker() to bring the worker back. Queued tasks for a parked
+  /// worker wait in its inbox.
+  sim::Future<> park_worker(std::size_t index);
+
+  /// Scale-out: adds a worker at runtime (CPU-only when `binding` is empty).
+  /// If the executor is already started, the worker boots immediately.
+  /// Returns the new worker's index.
+  std::size_t add_worker(std::optional<WorkerBinding> binding = std::nullopt);
+
+  /// Scale-in: permanently retires a worker. It finishes any in-flight
+  /// task, tears down its process/context and releases its CPU cores; work
+  /// already assigned but not started bounces back through the dispatcher.
+  /// The future completes when the worker is down.
+  sim::Future<> retire_worker(std::size_t index);
+
+  /// Workers that are not retired (the elastic controller's denominator).
+  [[nodiscard]] std::size_t active_worker_count() const;
+
+  /// Failure injection: the worker process dies at its next task boundary —
+  /// the in-flight (or next) task's result is lost (the task fails with
+  /// util::TaskFailedError) and the worker respawns cold (context recreated,
+  /// function inits and model loads re-charged). Mirrors a worker crash
+  /// whose result never reaches the interchange; DFK retries then re-execute
+  /// elsewhere/again.
+  void inject_worker_crash(std::size_t index);
+
+  [[nodiscard]] const std::string& label() const override { return opts_.label; }
+  [[nodiscard]] std::size_t outstanding() const override { return outstanding_; }
+  [[nodiscard]] std::size_t worker_count() const { return workers_.size(); }
+  [[nodiscard]] WorkerInfo worker_info(std::size_t index) const;
+  [[nodiscard]] std::size_t queue_depth() const { return central_.size(); }
+  [[nodiscard]] std::uint64_t tasks_completed() const { return tasks_completed_; }
+
+ private:
+  struct QueuedTask {
+    std::shared_ptr<const AppDef> app;
+    sim::Promise<AppValue> promise;
+    std::shared_ptr<TaskRecord> record;
+  };
+
+  struct Msg {
+    enum class Kind { kTask, kRestart, kPark, kStop } kind = Kind::kTask;
+    QueuedTask task;                                // kTask
+    std::optional<gpu::ContextOptions> new_opts;    // kRestart
+    sim::Promise<> ack;                             // kRestart / kStop
+  };
+
+  struct Worker {
+    std::string name;
+    std::optional<WorkerBinding> binding;
+    gpu::ContextId ctx = 0;
+    bool ctx_live = false;
+    bool alive = false;
+    bool busy = false;
+    bool retired = false;
+    bool crash_pending = false;
+    int restarts = 0;
+    std::uint64_t tasks_done = 0;
+    std::set<std::string> inited_apps;
+    std::set<std::string> loaded_models;
+    std::unique_ptr<sim::Mailbox<Msg>> inbox;
+    util::Rng rng{0};
+    trace::LaneId lane = 0;
+  };
+
+  std::size_t create_worker(std::optional<WorkerBinding> binding);
+  sim::Co<void> dispatcher_main();
+  sim::Co<void> worker_main(std::size_t index);
+  sim::Co<void> worker_boot(Worker& w);
+  void worker_teardown(Worker& w);
+  sim::Co<void> run_task(Worker& w, QueuedTask task);
+  void note_task_settled();
+
+  sim::Simulator& sim_;
+  ExecutionProvider& provider_;
+  Options opts_;
+  ModelLoader* loader_;          // may be null → owned default DirectLoader
+  std::unique_ptr<ModelLoader> default_loader_;
+  trace::Recorder* rec_;
+
+  sim::PriorityMailbox<QueuedTask> central_;
+  sim::Mailbox<std::size_t> idle_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  util::Rng seeder_{1};
+
+  bool started_ = false;
+  bool stopping_ = false;
+  std::size_t outstanding_ = 0;
+  std::uint64_t tasks_completed_ = 0;
+  std::uint64_t next_task_id_ = 1;
+  sim::Gate drained_;
+};
+
+/// Parsl also exposes Python's ThreadPoolExecutor for lightweight CPU tasks;
+/// this analogue runs up to `max_threads` bodies concurrently with no
+/// process cold start and no accelerator access.
+class ThreadPoolExecutor final : public Executor {
+ public:
+  ThreadPoolExecutor(sim::Simulator& sim, std::string label, int max_threads,
+                     std::uint64_t seed = 1);
+
+  AppHandle submit(std::shared_ptr<const AppDef> app) override;
+  sim::Co<void> shutdown() override;
+  [[nodiscard]] const std::string& label() const override { return label_; }
+  [[nodiscard]] std::size_t outstanding() const override { return outstanding_; }
+
+ private:
+  sim::Co<void> run_one(std::shared_ptr<const AppDef> app,
+                        sim::Promise<AppValue> promise,
+                        std::shared_ptr<TaskRecord> record);
+
+  sim::Simulator& sim_;
+  std::string label_;
+  sim::Resource threads_;
+  util::Rng rng_;
+  std::size_t outstanding_ = 0;
+  std::uint64_t next_task_id_ = 1;
+  sim::Gate drained_;
+  bool stopping_ = false;
+};
+
+}  // namespace faaspart::faas

@@ -1,0 +1,16 @@
+#include "faas/loader.hpp"
+
+namespace faaspart::faas {
+
+sim::Co<void> DirectLoader::load(gpu::Device& dev, gpu::ContextId ctx,
+                                 const AppDef& app) {
+  if (app.model_bytes <= 0) co_return;
+  // Allocation is instantaneous; the upload pays the deserialization-limited
+  // model_load_bw of the part (§6).
+  (void)dev.alloc(ctx, app.model_bytes, "model:" + app.effective_model_key());
+  const double rate = dev.arch().model_load_bw;
+  co_await dev.simulator().delay(
+      util::from_seconds(static_cast<double>(app.model_bytes) / rate));
+}
+
+}  // namespace faaspart::faas

@@ -1,0 +1,44 @@
+// ModelLoader — how app model weights get into device memory.
+//
+// DirectLoader reproduces the stock behaviour the paper measures in §6:
+// every worker (re)start re-uploads the model at the device's effective
+// load rate (~10 s for LLaMa-2 13B). The core module's WeightCache plugs in
+// here to implement the §7 future-work optimization: weights survive worker
+// restarts in a device-resident cache and re-attachment is nearly free.
+#pragma once
+
+#include "faas/app.hpp"
+#include "gpu/device.hpp"
+#include "sim/co.hpp"
+
+namespace faaspart::faas {
+
+class ModelLoader {
+ public:
+  virtual ~ModelLoader() = default;
+
+  /// Makes `app`'s weights available to `ctx` on `dev`, charging whatever
+  /// virtual time the strategy costs and allocating device memory as
+  /// needed. Called once per (worker incarnation, app with model_bytes > 0).
+  virtual sim::Co<void> load(gpu::Device& dev, gpu::ContextId ctx,
+                             const AppDef& app) = 0;
+
+  /// Notification that a worker context was destroyed (restart/shutdown);
+  /// lets caching strategies keep or drop their device-side state.
+  virtual void on_context_destroyed(gpu::Device& dev, gpu::ContextId ctx) {
+    (void)dev;
+    (void)ctx;
+  }
+
+  [[nodiscard]] virtual const char* name() const = 0;
+};
+
+/// Stock path: allocate in the worker's context and pay the full upload.
+class DirectLoader final : public ModelLoader {
+ public:
+  sim::Co<void> load(gpu::Device& dev, gpu::ContextId ctx,
+                     const AppDef& app) override;
+  [[nodiscard]] const char* name() const override { return "direct"; }
+};
+
+}  // namespace faaspart::faas

@@ -1,0 +1,62 @@
+// Monitoring — the analogue of Parsl's monitoring database (Listing 1's
+// `log_dir: Path to store monitoring DB and parsl logs`).
+//
+// Snapshots the DataFlowKernel's task table and the trace recorder into CSV
+// files under the configured run_dir, and answers the summary queries an
+// operator dashboard would ask (per-app latency, per-worker load, failure
+// counts).
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "faas/dfk.hpp"
+#include "trace/recorder.hpp"
+#include "trace/stats.hpp"
+
+namespace faaspart::faas {
+
+struct AppSummary {
+  std::string app;
+  std::size_t submitted = 0;
+  std::size_t done = 0;
+  std::size_t failed = 0;
+  std::size_t slo_misses = 0;
+  std::size_t memoized = 0;
+  trace::Summary run_time;        ///< seconds, completed tasks
+  trace::Summary queue_time;      ///< seconds
+  util::Duration cold_start_total{};
+};
+
+struct WorkerSummary {
+  std::string worker;
+  std::size_t tasks = 0;
+  util::Duration busy{};
+};
+
+class Monitoring {
+ public:
+  /// `run_dir` is created on demand when exporting.
+  Monitoring(const DataFlowKernel& dfk, const trace::Recorder* rec,
+             std::string run_dir)
+      : dfk_(dfk), rec_(rec), run_dir_(std::move(run_dir)) {}
+
+  /// Per-app aggregates over everything submitted so far.
+  [[nodiscard]] std::vector<AppSummary> app_summaries() const;
+
+  /// Per-worker task counts and busy time.
+  [[nodiscard]] std::vector<WorkerSummary> worker_summaries() const;
+
+  /// Writes <run_dir>/tasks.csv (one row per task) and, when a recorder is
+  /// attached, <run_dir>/spans.csv. Returns the paths written.
+  std::vector<std::string> export_csv() const;
+
+  [[nodiscard]] const std::string& run_dir() const { return run_dir_; }
+
+ private:
+  const DataFlowKernel& dfk_;
+  const trace::Recorder* rec_;
+  std::string run_dir_;
+};
+
+}  // namespace faaspart::faas

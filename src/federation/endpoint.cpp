@@ -1,0 +1,51 @@
+#include "federation/endpoint.hpp"
+
+#include "util/error.hpp"
+
+namespace faaspart::federation {
+
+Endpoint::Endpoint(sim::Simulator& sim, Options opts, trace::Recorder* rec)
+    : sim_(sim),
+      opts_(std::move(opts)),
+      rec_(rec),
+      devices_(sim, rec),
+      provider_(sim, opts_.cpu_cores),
+      partitioner_(devices_),
+      dfk_(sim, faas::Config{.run_dir = "runinfo/" + opts_.name,
+                             .retries = opts_.dfk_retries,
+                             .executors = {}}) {
+  FP_CHECK_MSG(!opts_.name.empty(), "endpoint needs a name");
+  FP_CHECK_MSG(opts_.rtt.ns >= 0, "negative RTT");
+  for (const auto& arch : opts_.gpus) devices_.add_device(arch);
+}
+
+void Endpoint::add_cpu_executor(const std::string& label, int workers) {
+  faas::HighThroughputExecutor::Options ex_opts;
+  ex_opts.label = label;
+  ex_opts.cpu_workers = workers;
+  auto ex = std::make_unique<faas::HighThroughputExecutor>(
+      sim_, provider_, std::move(ex_opts), nullptr, rec_);
+  ex->start();
+  dfk_.add_executor(std::move(ex));
+  executor_labels_.push_back(label);
+  worker_slots_ += static_cast<std::size_t>(workers);
+}
+
+void Endpoint::add_gpu_executor(const faas::HtexConfig& cfg,
+                                faas::ModelLoader* loader) {
+  dfk_.add_executor(partitioner_.build_executor(sim_, provider_, cfg, loader, rec_));
+  executor_labels_.push_back(cfg.label);
+  worker_slots_ += cfg.available_accelerators.empty()
+                       ? static_cast<std::size_t>(cfg.max_workers)
+                       : cfg.available_accelerators.size();
+}
+
+std::size_t Endpoint::outstanding() const {
+  std::size_t n = 0;
+  for (const auto& label : executor_labels_) {
+    n += dfk_.executor(label).outstanding();
+  }
+  return n;
+}
+
+}  // namespace faaspart::federation

@@ -1,0 +1,74 @@
+// Endpoint — the Globus Compute deployment unit (§2.2): a user-deployed
+// compute site (workstation, cluster login node, supercomputer) that runs a
+// Parsl DataFlowKernel locally and receives work from the cloud service.
+//
+// An Endpoint bundles the whole node-local stack this library models:
+// devices (nvml::DeviceManager), the CPU pool (LocalProvider), the GPU
+// partitioner and a DataFlowKernel, plus the WAN round-trip time to the
+// cloud service that routed the task.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/partitioner.hpp"
+#include "faas/dfk.hpp"
+#include "faas/provider.hpp"
+#include "nvml/manager.hpp"
+#include "trace/recorder.hpp"
+
+namespace faaspart::federation {
+
+class Endpoint {
+ public:
+  struct Options {
+    std::string name;
+    int cpu_cores = 24;
+    /// WAN round trip between this endpoint and the cloud service.
+    util::Duration rtt = util::milliseconds(40);
+    /// GPUs installed on the node.
+    std::vector<gpu::GpuArchSpec> gpus;
+    int dfk_retries = 0;
+  };
+
+  Endpoint(sim::Simulator& sim, Options opts, trace::Recorder* rec = nullptr);
+
+  [[nodiscard]] const std::string& name() const { return opts_.name; }
+  [[nodiscard]] util::Duration rtt() const { return opts_.rtt; }
+
+  [[nodiscard]] nvml::DeviceManager& devices() { return devices_; }
+  [[nodiscard]] faas::LocalProvider& provider() { return provider_; }
+  [[nodiscard]] core::GpuPartitioner& partitioner() { return partitioner_; }
+  [[nodiscard]] faas::DataFlowKernel& dfk() { return dfk_; }
+
+  /// Convenience: a CPU executor with `workers` slots under `label`.
+  void add_cpu_executor(const std::string& label, int workers);
+
+  /// Convenience: a GPU executor from a paper-style HtexConfig (accelerator
+  /// strings + optional percentages), built through the partitioner.
+  void add_gpu_executor(const faas::HtexConfig& cfg,
+                        faas::ModelLoader* loader = nullptr);
+
+  /// Tasks queued or running across all executors — the load signal the
+  /// service's least-loaded routing uses.
+  [[nodiscard]] std::size_t outstanding() const;
+
+  /// Total worker slots across the endpoint's executors (routing weight).
+  [[nodiscard]] std::size_t worker_slots() const { return worker_slots_; }
+
+  [[nodiscard]] sim::Simulator& simulator() { return sim_; }
+
+ private:
+  sim::Simulator& sim_;
+  Options opts_;
+  trace::Recorder* rec_;
+  nvml::DeviceManager devices_;
+  faas::LocalProvider provider_;
+  core::GpuPartitioner partitioner_;
+  faas::DataFlowKernel dfk_;
+  std::vector<std::string> executor_labels_;
+  std::size_t worker_slots_ = 0;
+};
+
+}  // namespace faaspart::federation

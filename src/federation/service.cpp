@@ -1,0 +1,166 @@
+#include "federation/service.hpp"
+
+#include <limits>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace faaspart::federation {
+
+Endpoint& ComputeService::register_endpoint(std::unique_ptr<Endpoint> endpoint) {
+  FP_CHECK(endpoint != nullptr);
+  const std::string name = endpoint->name();
+  const auto [it, inserted] = endpoints_.emplace(name, std::move(endpoint));
+  if (!inserted) {
+    throw util::ConfigError(util::strf("duplicate endpoint '", name, "'"));
+  }
+  return *it->second;
+}
+
+Endpoint& ComputeService::endpoint(const std::string& name) {
+  const auto it = endpoints_.find(name);
+  if (it == endpoints_.end()) {
+    throw util::NotFoundError(util::strf("endpoint '", name, "'"));
+  }
+  return *it->second;
+}
+
+std::vector<std::string> ComputeService::endpoint_names() const {
+  std::vector<std::string> out;
+  out.reserve(endpoints_.size());
+  for (const auto& [name, ep] : endpoints_) out.push_back(name);
+  return out;
+}
+
+std::string ComputeService::register_function(faas::AppDef app) {
+  FP_CHECK_MSG(static_cast<bool>(app.body), "function needs a body");
+  const std::string id = util::strf("fn-", next_function_++, "-", app.name);
+  functions_.emplace(id, std::move(app));
+  return id;
+}
+
+const faas::AppDef& ComputeService::function(const std::string& function_id) const {
+  const auto it = functions_.find(function_id);
+  if (it == functions_.end()) {
+    throw util::NotFoundError(util::strf("function '", function_id, "'"));
+  }
+  return it->second;
+}
+
+namespace {
+
+/// Dispatch leg: wait half the RTT, submit at the endpoint, await the
+/// result, wait the return leg, settle the outer promise.
+sim::Co<void> wan_task(sim::Simulator* sim, Endpoint* ep, faas::AppDef app,
+                       std::string executor_label,
+                       sim::Promise<faas::AppValue> outer,
+                       std::shared_ptr<faas::TaskRecord> record) {
+  co_await sim->delay(ep->rtt() * 0.5);
+  faas::AppHandle inner = ep->dfk().submit(std::move(app), executor_label);
+  faas::AppValue value;
+  std::exception_ptr error;
+  try {
+    value = co_await inner.future;
+  } catch (...) {
+    error = std::current_exception();
+  }
+  co_await sim->delay(ep->rtt() * 0.5);  // result's way back over the WAN
+  // Adopt the endpoint-side execution observables (started/finished bound
+  // the actual run, so run_time stays endpoint-local) but keep the
+  // service-side identity and submission time. The return WAN leg is
+  // visible through the outer future's settle time.
+  const auto submitted = record->submitted;
+  const auto executor = record->executor;
+  *record = *inner.record;
+  record->submitted = submitted;
+  record->executor = executor;
+  if (error) {
+    outer.set_exception(error);
+  } else {
+    outer.set_value(std::move(value));
+  }
+}
+
+}  // namespace
+
+faas::AppHandle ComputeService::dispatch(const faas::AppDef& app, Endpoint& ep,
+                                         const std::string& executor_label) {
+  ++tasks_submitted_;
+  ++dispatch_counts_[ep.name()];
+  ++inflight_[ep.name()];
+  auto record = std::make_shared<faas::TaskRecord>();
+  record->app = app.name;
+  record->executor = ep.name() + "/" + executor_label;
+  record->submitted = sim_.now();
+  sim::Promise<faas::AppValue> outer(sim_);
+  auto future = outer.future();
+  futures_.push_back(future);
+  future.on_ready([this, name = ep.name()] { --inflight_[name]; });
+  sim_.spawn(wan_task(&sim_, &ep, app, executor_label, std::move(outer), record),
+             "wan-task@" + ep.name());
+  return faas::AppHandle{std::move(future), std::move(record)};
+}
+
+faas::AppHandle ComputeService::submit(const std::string& function_id,
+                                       const std::string& endpoint_name,
+                                       const std::string& executor_label) {
+  return dispatch(function(function_id), endpoint(endpoint_name), executor_label);
+}
+
+faas::AppHandle ComputeService::submit_routed(const std::string& function_id,
+                                              const std::string& executor_label,
+                                              RoutingPolicy policy) {
+  FP_CHECK_MSG(!endpoints_.empty(), "no endpoints registered");
+  Endpoint* chosen = nullptr;
+  switch (policy) {
+    case RoutingPolicy::kRoundRobin: {
+      auto it = endpoints_.begin();
+      std::advance(it, round_robin_next_ % endpoints_.size());
+      ++round_robin_next_;
+      chosen = it->second.get();
+      break;
+    }
+    case RoutingPolicy::kLeastLoaded: {
+      // Normalize by worker count so a 4-worker site and a 1-worker edge box
+      // compare by per-worker backlog, and count service-side in-flight
+      // tasks that have not reached the endpoint yet.
+      double best = std::numeric_limits<double>::max();
+      for (auto& [name, ep] : endpoints_) {
+        const auto it = inflight_.find(name);
+        const std::size_t wan = it != inflight_.end() ? it->second : 0;
+        const double load = static_cast<double>(std::max(ep->outstanding(), wan));
+        const double workers =
+            static_cast<double>(std::max<std::size_t>(1, ep->worker_slots()));
+        const double score = load / workers;
+        if (score < best) {
+          best = score;
+          chosen = ep.get();
+        }
+      }
+      break;
+    }
+  }
+  FP_CHECK(chosen != nullptr);
+  return dispatch(function(function_id), *chosen, executor_label);
+}
+
+sim::Co<void> ComputeService::shutdown() {
+  // Settle service-routed tasks first — a WAN dispatch leg may not have
+  // reached its endpoint executor yet. New submissions during the wait are
+  // covered by re-checking the (growing) list.
+  std::size_t settled = 0;
+  while (settled < futures_.size()) {
+    const auto f = futures_[settled];
+    ++settled;
+    try {
+      (void)co_await f;
+    } catch (...) {
+      // Failures settle too; that's all shutdown needs.
+    }
+  }
+  for (auto& [name, ep] : endpoints_) {
+    co_await ep->dfk().shutdown();
+  }
+}
+
+}  // namespace faaspart::federation

@@ -1,0 +1,76 @@
+// ComputeService — the cloud side of Globus Compute (§2.2): users register
+// functions once, submit invocations to the service, and the service routes
+// them to registered endpoints. Each hop pays the endpoint's WAN RTT (half
+// on dispatch, half on the result's way back).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "faas/app.hpp"
+#include "federation/endpoint.hpp"
+
+namespace faaspart::federation {
+
+enum class RoutingPolicy {
+  kRoundRobin,
+  kLeastLoaded,  ///< fewest outstanding tasks at dispatch time
+};
+
+class ComputeService {
+ public:
+  explicit ComputeService(sim::Simulator& sim) : sim_(sim) {}
+
+  /// Registers an endpoint; its name becomes the routing key.
+  Endpoint& register_endpoint(std::unique_ptr<Endpoint> endpoint);
+
+  [[nodiscard]] Endpoint& endpoint(const std::string& name);
+  [[nodiscard]] std::size_t endpoint_count() const { return endpoints_.size(); }
+  [[nodiscard]] std::vector<std::string> endpoint_names() const;
+
+  /// Registers a function; returns its id (Globus Compute's function UUID).
+  std::string register_function(faas::AppDef app);
+
+  /// Submits a registered function to a named endpoint's executor.
+  faas::AppHandle submit(const std::string& function_id,
+                         const std::string& endpoint_name,
+                         const std::string& executor_label);
+
+  /// Submits to an endpoint chosen by policy; every endpoint must expose
+  /// `executor_label`.
+  faas::AppHandle submit_routed(const std::string& function_id,
+                                const std::string& executor_label,
+                                RoutingPolicy policy = RoutingPolicy::kLeastLoaded);
+
+  /// Waits for every service-routed task to settle (including in-flight WAN
+  /// dispatch legs), then shuts down every endpoint's DataFlowKernel.
+  sim::Co<void> shutdown();
+
+  [[nodiscard]] std::size_t tasks_submitted() const { return tasks_submitted_; }
+  /// Dispatch counts per endpoint (routing observability).
+  [[nodiscard]] std::map<std::string, std::size_t> dispatch_counts() const {
+    return dispatch_counts_;
+  }
+
+ private:
+  faas::AppHandle dispatch(const faas::AppDef& app, Endpoint& ep,
+                           const std::string& executor_label);
+  [[nodiscard]] const faas::AppDef& function(const std::string& function_id) const;
+
+  sim::Simulator& sim_;
+  std::map<std::string, std::unique_ptr<Endpoint>> endpoints_;
+  std::map<std::string, faas::AppDef> functions_;
+  std::uint64_t next_function_ = 1;
+  std::size_t round_robin_next_ = 0;
+  std::size_t tasks_submitted_ = 0;
+  std::map<std::string, std::size_t> dispatch_counts_;
+  /// Service-visible load: routed tasks not yet settled, per endpoint —
+  /// includes tasks still in their WAN dispatch leg, which the endpoint's
+  /// own outstanding() cannot see yet.
+  std::map<std::string, std::size_t> inflight_;
+  std::vector<sim::Future<faas::AppValue>> futures_;
+};
+
+}  // namespace faaspart::federation

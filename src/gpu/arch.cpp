@@ -1,0 +1,101 @@
+#include "gpu/arch.hpp"
+
+using namespace faaspart::util::literals;
+
+namespace faaspart::gpu::arch {
+
+GpuArchSpec a100_sxm4_40gb() {
+  GpuArchSpec s;
+  s.name = "A100-SXM4-40GB";
+  s.total_sms = 108;
+  s.fp32_flops = 19.5e12;
+  s.memory = 40 * util::GB;
+  s.mem_bw = 1555e9;
+  s.host_link_bw = 25e9;   // PCIe 4.0 x16 effective
+  s.model_load_bw = 5e9;   // deserialization-limited (§6)
+  s.kernel_launch_overhead = 8_us;
+  s.context_create = 250_ms;
+  s.context_switch = 50_us;
+  s.mig_reset = 1500_ms;
+  s.mig_capable = true;
+  s.mig_slices = 7;
+  s.sms_per_slice = 14;  // 98 of 108 SMs are usable under MIG
+  s.mem_slices = 8;
+  return s;
+}
+
+GpuArchSpec a100_80gb() {
+  GpuArchSpec s = a100_sxm4_40gb();
+  s.name = "A100-80GB";
+  s.memory = 80 * util::GB;
+  s.mem_bw = 1935e9;  // HBM2e
+  return s;
+}
+
+GpuArchSpec h100_80gb() {
+  GpuArchSpec s;
+  s.name = "H100-80GB";
+  s.total_sms = 132;
+  s.fp32_flops = 67e12;
+  s.memory = 80 * util::GB;
+  s.mem_bw = 3350e9;
+  s.host_link_bw = 64e9;
+  s.model_load_bw = 8e9;
+  s.kernel_launch_overhead = 6_us;
+  s.context_create = 220_ms;
+  s.context_switch = 40_us;
+  s.mig_reset = 1200_ms;
+  s.mig_capable = true;
+  s.mig_slices = 7;
+  s.sms_per_slice = 16;
+  s.mem_slices = 8;
+  return s;
+}
+
+GpuArchSpec mi210() {
+  GpuArchSpec s;
+  s.name = "MI210";
+  s.total_sms = 104;  // compute units
+  s.fp32_flops = 22.6e12;
+  s.memory = 64 * util::GB;
+  s.mem_bw = 1638e9;
+  s.host_link_bw = 32e9;
+  s.model_load_bw = 5e9;
+  s.kernel_launch_overhead = 10_us;
+  s.context_create = 300_ms;
+  s.context_switch = 60_us;
+  s.mig_capable = false;  // CU masking exists, but no MIG equivalent (Table 1)
+  return s;
+}
+
+GpuArchSpec a30() {
+  GpuArchSpec s;
+  s.name = "A30";
+  s.total_sms = 56;
+  s.fp32_flops = 10.3e12;
+  s.memory = 24 * util::GB;
+  s.mem_bw = 933e9;
+  s.host_link_bw = 25e9;
+  s.model_load_bw = 5e9;
+  s.kernel_launch_overhead = 8_us;
+  s.context_create = 250_ms;
+  s.context_switch = 50_us;
+  s.mig_reset = 1500_ms;
+  s.mig_capable = true;
+  s.mig_slices = 4;
+  s.sms_per_slice = 14;
+  s.mem_slices = 4;
+  return s;
+}
+
+CpuSpec xeon_testbed() {
+  CpuSpec c;
+  c.name = "Xeon-2.2GHz-24c";
+  c.cores = 24;
+  // ~2.2 GHz * 16 fp32 lanes (AVX-512 FMA, derated): sustained ~35 GFLOP/s/core.
+  c.flops_per_core = 35e9;
+  c.mem_bw = 120e9;
+  return c;
+}
+
+}  // namespace faaspart::gpu::arch

@@ -1,0 +1,84 @@
+// GPU (and CPU baseline) architecture descriptions.
+//
+// Numbers mirror the hardware the paper's testbed uses (§5.1: A100-SXM4 with
+// 40 GB, CUDA 11.8) plus the 80 GB variant used in the Fig 4/5 experiments
+// and two comparison parts mentioned in §3.4 (H100, AMD MI210).
+#pragma once
+
+#include <string>
+
+#include "util/units.hpp"
+
+namespace faaspart::gpu {
+
+using util::Bytes;
+using util::Duration;
+using util::Flops;
+
+/// Static description of one accelerator part.
+struct GpuArchSpec {
+  std::string name;
+
+  // Compute.
+  int total_sms = 0;        ///< streaming multiprocessors (NVIDIA) / CUs (AMD)
+  Flops fp32_flops = 0;     ///< peak FP32 FLOP/s across all SMs
+
+  // Memory system.
+  Bytes memory = 0;         ///< HBM capacity
+  double mem_bw = 0;        ///< peak HBM bandwidth, bytes/s
+  double host_link_bw = 0;  ///< PCIe/NVLink host link, bytes/s
+
+  /// Effective model-upload rate including host-side deserialization —
+  /// §6 reports ~10 s to load LLaMa-2 13B (52 GB fp32), i.e. ~5 GB/s.
+  double model_load_bw = 0;
+
+  // Overheads.
+  Duration kernel_launch_overhead{};  ///< per-kernel fixed cost
+  Duration context_create{};          ///< CUDA context init (§6 cold start)
+  Duration context_switch{};          ///< time-sharing switch between clients
+  Duration mig_reset{};               ///< §6: re-configuring MIG, 1–2 s
+
+  // MIG geometry.
+  bool mig_capable = false;
+  int mig_slices = 0;      ///< compute slices on a full GPU (A100/H100: 7)
+  int sms_per_slice = 0;   ///< SMs in a 1g slice (A100: 14)
+  int mem_slices = 0;      ///< memory slices (A100: 8)
+
+  /// FP32 throughput of a single SM.
+  [[nodiscard]] Flops flops_per_sm() const {
+    return total_sms > 0 ? fp32_flops / total_sms : 0.0;
+  }
+};
+
+/// Host CPU description for the GPU-vs-CPU comparisons in Fig 2.
+struct CpuSpec {
+  std::string name;
+  int cores = 0;
+  Flops flops_per_core = 0;  ///< sustained FP32 FLOP/s per core
+  double mem_bw = 0;         ///< sustained memory bandwidth, bytes/s
+};
+
+namespace arch {
+
+/// NVIDIA A100-SXM4 40 GB — the paper's primary testbed GPU (§5.1).
+GpuArchSpec a100_sxm4_40gb();
+
+/// NVIDIA A100 80 GB — used for the 4-way LLaMa-2 multiplexing runs (§5.2).
+GpuArchSpec a100_80gb();
+
+/// NVIDIA H100 80 GB — "newer generation" comparison point (§3.4).
+GpuArchSpec h100_80gb();
+
+/// AMD MI210 — CU-based comparison part (§3.4): 104 CUs, 22.6 TF fp32.
+GpuArchSpec mi210();
+
+/// NVIDIA A30 — a smaller MIG-capable part (4 compute / 4 memory slices);
+/// exercises the non-A100 MIG geometry.
+GpuArchSpec a30();
+
+/// 24-core Xeon host matching the testbed (§5.1), used for CPU baselines.
+CpuSpec xeon_testbed();
+
+}  // namespace arch
+
+}  // namespace faaspart::gpu

@@ -1,0 +1,298 @@
+#include "gpu/device.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace faaspart::gpu {
+
+Device::Device(sim::Simulator& sim, GpuArchSpec arch, int index,
+               EngineFactory make_engine, trace::Recorder* rec)
+    : sim_(sim),
+      arch_(std::move(arch)),
+      index_(index),
+      make_engine_(std::move(make_engine)),
+      rec_(rec) {
+  FP_CHECK_MSG(static_cast<bool>(make_engine_), "Device needs an engine factory");
+  FP_CHECK_MSG(arch_.total_sms > 0, "arch must have SMs");
+  if (rec_ != nullptr) lane_ = rec_->add_lane(name());
+  memory_ = std::make_unique<MemoryPool>(arch_.memory);
+  engine_ = make_engine_(EngineEnv{&sim_, rec_, lane_, arch_, arch_.total_sms,
+                                   arch_.mem_bw});
+}
+
+std::string Device::name() const { return util::strf("GPU", index_, ":", arch_.name); }
+
+void Device::set_engine_factory(EngineFactory make_engine) {
+  FP_CHECK_MSG(static_cast<bool>(make_engine), "null engine factory");
+  if (!contexts_.empty()) {
+    throw util::StateError(util::strf(
+        "cannot change the sharing policy of ", name(), " with ",
+        contexts_.size(), " live context(s); clients must restart"));
+  }
+  make_engine_ = std::move(make_engine);
+  engine_ = make_engine_(EngineEnv{&sim_, rec_, lane_, arch_, arch_.total_sms,
+                                   arch_.mem_bw});
+}
+
+SharingEngine& Device::engine() { return *engine_; }
+const SharingEngine& Device::engine() const { return *engine_; }
+
+ContextId Device::create_context(std::string owner, ContextOptions opts) {
+  if (opts.active_thread_percentage <= 0.0 || opts.active_thread_percentage > 100.0) {
+    throw util::ConfigError(util::strf("active thread percentage ",
+                                       opts.active_thread_percentage,
+                                       " outside (0, 100]"));
+  }
+  int envelope_sms = arch_.total_sms;
+  if (opts.instance.has_value()) {
+    GpuInstance& inst = instance(*opts.instance);
+    envelope_sms = inst.profile.sms(arch_);
+    ++inst.context_count;
+  } else if (mig_enabled_) {
+    throw util::StateError(util::strf(
+        name(), " is in MIG mode; contexts must target a MIG instance"));
+  }
+
+  GpuContext ctx;
+  ctx.id_ = next_ctx_id_++;
+  ctx.owner_ = std::move(owner);
+  ctx.opts_ = opts;
+  // NVIDIA rounds the SM grant from the percentage; at least 1 SM.
+  ctx.sm_cap_ = std::max(
+      1, static_cast<int>(std::lround(envelope_sms * opts.active_thread_percentage / 100.0)));
+  const ContextId id = ctx.id_;
+  contexts_.emplace(id, std::move(ctx));
+  return id;
+}
+
+void Device::destroy_context(ContextId id) {
+  GpuContext& ctx = context_mut(id);
+  if (ctx.inflight_ || !ctx.queue_.empty()) {
+    throw util::StateError(util::strf("context ", id, " ('", ctx.owner_,
+                                      "') still has kernels in flight"));
+  }
+  MemoryPool& pool = pool_for(ctx);
+  for (const AllocationId a : ctx.allocations_) {
+    if (pool.contains(a)) pool.free(a);
+  }
+  if (ctx.opts_.instance.has_value()) {
+    --instance(*ctx.opts_.instance).context_count;
+  }
+  contexts_.erase(id);
+}
+
+const GpuContext& Device::context(ContextId id) const {
+  const auto it = contexts_.find(id);
+  if (it == contexts_.end()) throw util::NotFoundError(util::strf("context ", id));
+  return it->second;
+}
+
+GpuContext& Device::context_mut(ContextId id) {
+  const auto it = contexts_.find(id);
+  if (it == contexts_.end()) throw util::NotFoundError(util::strf("context ", id));
+  return it->second;
+}
+
+MemoryPool& Device::pool_for(const GpuContext& ctx) {
+  if (ctx.opts_.instance.has_value()) return *instance(*ctx.opts_.instance).memory;
+  return *memory_;
+}
+
+SharingEngine& Device::engine_for(const GpuContext& ctx) {
+  if (ctx.opts_.instance.has_value()) return *instance(*ctx.opts_.instance).engine;
+  return *engine_;
+}
+
+AllocationId Device::alloc(ContextId id, util::Bytes size, std::string tag) {
+  GpuContext& ctx = context_mut(id);
+  const AllocationId a =
+      pool_for(ctx).allocate(size, util::strf(ctx.owner_, "/", tag));
+  ctx.allocations_.push_back(a);
+  ctx.allocated_ += size;
+  return a;
+}
+
+void Device::free(ContextId id, AllocationId alloc_id) {
+  GpuContext& ctx = context_mut(id);
+  const auto it = std::find(ctx.allocations_.begin(), ctx.allocations_.end(), alloc_id);
+  if (it == ctx.allocations_.end()) {
+    throw util::NotFoundError(
+        util::strf("allocation ", alloc_id, " not owned by context ", id));
+  }
+  ctx.allocated_ -= pool_for(ctx).info(alloc_id).size;
+  pool_for(ctx).free(alloc_id);
+  ctx.allocations_.erase(it);
+}
+
+sim::Future<> Device::launch(ContextId id, KernelDesc kernel) {
+  GpuContext& ctx = context_mut(id);
+  sim::Promise<> done(sim_);
+  auto fut = done.future();
+  if (ctx.inflight_) {
+    ctx.queue_.push_back(GpuContext::PendingLaunch{std::move(kernel), std::move(done)});
+  } else {
+    dispatch(ctx, std::move(kernel), std::move(done));
+  }
+  return fut;
+}
+
+void Device::dispatch(GpuContext& ctx, KernelDesc kernel, sim::Promise<> done) {
+  ctx.inflight_ = true;
+  sim::Promise<> engine_done(sim_);
+  const ContextId id = ctx.id_;
+  // When the engine finishes this kernel: complete the caller's future and
+  // feed the next queued launch (CUDA stream ordering).
+  engine_done.future().on_ready([this, id, done]() {
+    const auto it = contexts_.find(id);
+    // The context may have been torn down between completion and this
+    // callback only if destroy raced a completion — forbidden by the
+    // in-flight check, so it must still exist.
+    FP_CHECK(it != contexts_.end());
+    GpuContext& c = it->second;
+    c.inflight_ = false;
+    done.set_value();
+    if (!c.queue_.empty()) {
+      auto next = std::move(c.queue_.front());
+      c.queue_.pop_front();
+      dispatch(c, std::move(next.kernel), std::move(next.done));
+    }
+  });
+  engine_for(ctx).submit(KernelJob{ctx.id_, ctx.sm_cap_, std::move(kernel),
+                                   std::move(engine_done), ctx.owner_});
+}
+
+void Device::enable_mig() {
+  if (!arch_.mig_capable) {
+    throw util::StateError(arch_.name + " does not support MIG");
+  }
+  if (!contexts_.empty()) {
+    throw util::StateError(util::strf(
+        "enabling MIG on ", name(), " requires a GPU reset; ",
+        contexts_.size(), " context(s) are still alive"));
+  }
+  mig_enabled_ = true;
+}
+
+void Device::disable_mig() {
+  if (!contexts_.empty()) {
+    throw util::StateError(util::strf(
+        "disabling MIG on ", name(), " requires a GPU reset; ",
+        contexts_.size(), " context(s) are still alive"));
+  }
+  instances_.clear();
+  mig_enabled_ = false;
+}
+
+InstanceId Device::create_instance(const MigProfile& profile) {
+  if (!mig_enabled_) {
+    throw util::StateError(util::strf(name(), " is not in MIG mode"));
+  }
+  if (used_compute_slices() + profile.compute_slices > arch_.mig_slices) {
+    throw util::StateError(util::strf(
+        "profile ", profile.name, " needs ", profile.compute_slices,
+        " compute slices; only ", arch_.mig_slices - used_compute_slices(),
+        " of ", arch_.mig_slices, " free on ", name()));
+  }
+  if (used_mem_slices() + profile.mem_slices > arch_.mem_slices) {
+    throw util::StateError(util::strf(
+        "profile ", profile.name, " needs ", profile.mem_slices,
+        " memory slices; only ", arch_.mem_slices - used_mem_slices(),
+        " of ", arch_.mem_slices, " free on ", name()));
+  }
+
+  GpuInstance inst;
+  inst.id = next_instance_id_++;
+  inst.profile = profile;
+  inst.uuid = util::strf("MIG-GPU", index_, "/", profile.name, "/", inst.id);
+  inst.memory = std::make_unique<MemoryPool>(profile.memory(arch_));
+  inst.lane = rec_ != nullptr ? rec_->add_lane(inst.uuid) : lane_;
+  inst.engine = make_engine_(EngineEnv{&sim_, rec_, inst.lane, arch_,
+                                       profile.sms(arch_), profile.bandwidth(arch_)});
+  const InstanceId id = inst.id;
+  instances_.emplace(id, std::move(inst));
+  return id;
+}
+
+InstanceId Device::create_instance(const std::string& profile_name) {
+  return create_instance(mig_profile(arch_, profile_name));
+}
+
+void Device::destroy_instance(InstanceId id) {
+  GpuInstance& inst = instance(id);
+  if (inst.context_count > 0) {
+    throw util::StateError(util::strf("MIG instance ", inst.uuid, " has ",
+                                      inst.context_count, " live context(s)"));
+  }
+  instances_.erase(id);
+}
+
+const GpuInstance& Device::instance(InstanceId id) const {
+  const auto it = instances_.find(id);
+  if (it == instances_.end()) {
+    throw util::NotFoundError(util::strf("MIG instance ", id));
+  }
+  return it->second;
+}
+
+GpuInstance& Device::instance(InstanceId id) {
+  const auto it = instances_.find(id);
+  if (it == instances_.end()) {
+    throw util::NotFoundError(util::strf("MIG instance ", id));
+  }
+  return it->second;
+}
+
+InstanceId Device::instance_by_uuid(const std::string& uuid) const {
+  for (const auto& [id, inst] : instances_) {
+    if (inst.uuid == uuid) return id;
+  }
+  throw util::NotFoundError(util::strf("MIG UUID '", uuid, "' on ", arch_.name));
+}
+
+std::vector<InstanceId> Device::instance_ids() const {
+  std::vector<InstanceId> out;
+  out.reserve(instances_.size());
+  for (const auto& [id, inst] : instances_) out.push_back(id);
+  return out;
+}
+
+int Device::used_compute_slices() const {
+  int used = 0;
+  for (const auto& [id, inst] : instances_) used += inst.profile.compute_slices;
+  return used;
+}
+
+int Device::used_mem_slices() const {
+  int used = 0;
+  for (const auto& [id, inst] : instances_) used += inst.profile.mem_slices;
+  return used;
+}
+
+util::Duration Device::busy_time() const {
+  if (!mig_enabled_) return engine_->busy_time();
+  util::Duration total{0};
+  for (const auto& [id, inst] : instances_) {
+    const double share = static_cast<double>(inst.profile.sms(arch_)) /
+                         static_cast<double>(arch_.total_sms);
+    total += inst.engine->busy_time() * share;
+  }
+  return total;
+}
+
+double Device::measured_utilization(util::TimePoint from, util::TimePoint to) const {
+  if (rec_ == nullptr || to <= from) return 0.0;
+  // Weight each envelope by its share of the device's SMs.
+  double util_sum = rec_->utilization(lane_, from, to) *
+                    (mig_enabled_ ? 0.0 : 1.0);
+  for (const auto& [id, inst] : instances_) {
+    const double share = static_cast<double>(inst.profile.sms(arch_)) /
+                         static_cast<double>(arch_.total_sms);
+    util_sum += rec_->utilization(inst.lane, from, to) * share;
+  }
+  return util_sum;
+}
+
+}  // namespace faaspart::gpu

@@ -1,0 +1,108 @@
+// SharingEngine — the strategy interface for how concurrent kernels share
+// one compute envelope (a whole GPU, or one MIG instance).
+//
+// Concrete policies live in src/sched/: TimeShareEngine (the NVIDIA
+// default), MpsEngine (concurrent kernels with per-client SM caps), and the
+// vGPU slot engine. A Device owns one engine; each MIG instance owns its
+// own engine over its slice of SMs and bandwidth.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "gpu/arch.hpp"
+#include "gpu/kernel.hpp"
+#include "sim/future.hpp"
+#include "sim/simulator.hpp"
+#include "trace/recorder.hpp"
+
+namespace faaspart::gpu {
+
+using ContextId = std::uint64_t;
+
+/// The resource envelope an engine schedules over.
+struct EngineEnv {
+  sim::Simulator* sim = nullptr;
+  trace::Recorder* rec = nullptr;  ///< optional span sink
+  trace::LaneId lane = 0;          ///< lane for kernel spans
+  GpuArchSpec arch;                ///< part description (per-SM rate, overheads)
+  int sms = 0;                     ///< SMs in this envelope (slice for MIG)
+  double bw_peak = 0;              ///< memory bandwidth ceiling of this envelope
+};
+
+/// One kernel launch handed to an engine.
+struct KernelJob {
+  ContextId ctx = 0;      ///< submitting client (stream ordering is enforced
+                          ///  by the Device before jobs reach the engine)
+  int sm_cap = 0;         ///< client's SM cap (MPS percentage → SMs); 0 = uncapped
+  KernelDesc kernel;
+  sim::Promise<> done;    ///< completed when the kernel finishes
+  std::string client;     ///< owner name, used in span labels
+};
+
+class SharingEngine {
+ public:
+  explicit SharingEngine(EngineEnv env) : env_(std::move(env)) {}
+  virtual ~SharingEngine() = default;
+  SharingEngine(const SharingEngine&) = delete;
+  SharingEngine& operator=(const SharingEngine&) = delete;
+
+  [[nodiscard]] virtual const char* policy_name() const = 0;
+
+  /// Accepts a job; the engine decides when it runs and completes job.done.
+  virtual void submit(KernelJob job) = 0;
+
+  [[nodiscard]] virtual std::size_t active() const = 0;  ///< kernels executing
+  [[nodiscard]] virtual std::size_t queued() const = 0;  ///< kernels waiting
+
+  [[nodiscard]] bool idle() const { return active() == 0 && queued() == 0; }
+
+  [[nodiscard]] const EngineEnv& env() const { return env_; }
+
+  /// Cumulative time this envelope had at least one kernel executing,
+  /// including the currently-running stretch — live (unlike the recorder,
+  /// which only sees completed spans), so samplers like
+  /// nvml::UtilizationMonitor read true utilization mid-kernel.
+  [[nodiscard]] util::Duration busy_time() const {
+    util::Duration busy = busy_integral_;
+    if (running_count_ > 0) busy += env_.sim->now() - busy_since_;
+    return busy;
+  }
+
+ protected:
+  /// Engines call this with +1 when a kernel starts executing and -1 when
+  /// it finishes; the base integrates the "any kernel active" time.
+  void note_running_delta(int delta) {
+    const std::size_t before = running_count_;
+    running_count_ = static_cast<std::size_t>(
+        static_cast<std::int64_t>(running_count_) + delta);
+    if (before == 0 && running_count_ > 0) {
+      busy_since_ = env_.sim->now();
+    } else if (before > 0 && running_count_ == 0) {
+      busy_integral_ += env_.sim->now() - busy_since_;
+    }
+  }
+  /// Records a kernel span if a recorder is attached.
+  void record_span(const KernelJob& job, util::TimePoint start, util::TimePoint end) const {
+    if (env_.rec != nullptr) {
+      env_.rec->record(env_.lane, job.client + "/" + job.kernel.name,
+                       std::string("kernel:") + kernel_kind_name(job.kernel.kind),
+                       start, end);
+    }
+  }
+
+  EngineEnv env_;
+
+ private:
+  std::size_t running_count_ = 0;
+  util::TimePoint busy_since_{};
+  util::Duration busy_integral_{};
+};
+
+/// Constructs an engine for a given envelope; injected into Device so the
+/// gpu module stays independent of the concrete policies in src/sched/.
+using EngineFactory = std::function<std::unique_ptr<SharingEngine>(EngineEnv)>;
+
+}  // namespace faaspart::gpu

@@ -1,0 +1,95 @@
+#include "gpu/memory.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace faaspart::gpu {
+
+MemoryPool::MemoryPool(Bytes capacity) : capacity_(capacity) {
+  FP_CHECK_MSG(capacity > 0, "memory pool capacity must be positive");
+  free_segments_.emplace(0, capacity);
+}
+
+AllocationId MemoryPool::allocate(Bytes size, std::string tag) {
+  FP_CHECK_MSG(size > 0, "allocation size must be positive");
+  for (auto it = free_segments_.begin(); it != free_segments_.end(); ++it) {
+    if (it->second < size) continue;
+    const Bytes offset = it->first;
+    const Bytes seg_size = it->second;
+    free_segments_.erase(it);
+    if (seg_size > size) {
+      free_segments_.emplace(offset + size, seg_size - size);
+    }
+    const AllocationId id = next_id_++;
+    allocs_.emplace(id, AllocationInfo{id, offset, size, std::move(tag)});
+    used_ += size;
+    return id;
+  }
+  throw util::OutOfMemoryError(util::strf(
+      "requested ", util::format_bytes(size), " '", tag, "', free ",
+      util::format_bytes(free_bytes()), ", largest block ",
+      util::format_bytes(largest_free_block())));
+}
+
+void MemoryPool::free(AllocationId id) {
+  const auto it = allocs_.find(id);
+  if (it == allocs_.end()) {
+    throw util::NotFoundError(util::strf("allocation id ", id));
+  }
+  const Bytes offset = it->second.offset;
+  const Bytes size = it->second.size;
+  used_ -= size;
+  allocs_.erase(it);
+  free_segments_.emplace(offset, size);
+  coalesce_around(offset);
+}
+
+void MemoryPool::coalesce_around(Bytes offset) {
+  auto it = free_segments_.find(offset);
+  FP_CHECK(it != free_segments_.end());
+  // Merge with successor.
+  auto next = std::next(it);
+  if (next != free_segments_.end() && it->first + it->second == next->first) {
+    it->second += next->second;
+    free_segments_.erase(next);
+  }
+  // Merge with predecessor.
+  if (it != free_segments_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->first + prev->second == it->first) {
+      prev->second += it->second;
+      free_segments_.erase(it);
+    }
+  }
+}
+
+bool MemoryPool::contains(AllocationId id) const { return allocs_.count(id) > 0; }
+
+const AllocationInfo& MemoryPool::info(AllocationId id) const {
+  const auto it = allocs_.find(id);
+  if (it == allocs_.end()) {
+    throw util::NotFoundError(util::strf("allocation id ", id));
+  }
+  return it->second;
+}
+
+Bytes MemoryPool::largest_free_block() const {
+  Bytes best = 0;
+  for (const auto& [off, size] : free_segments_) best = std::max(best, size);
+  return best;
+}
+
+Bytes MemoryPool::external_fragmentation() const {
+  return free_bytes() - largest_free_block();
+}
+
+std::vector<AllocationInfo> MemoryPool::allocations() const {
+  std::vector<AllocationInfo> out;
+  out.reserve(allocs_.size());
+  for (const auto& [id, info] : allocs_) out.push_back(info);
+  return out;
+}
+
+}  // namespace faaspart::gpu

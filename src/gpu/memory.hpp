@@ -1,0 +1,68 @@
+// Device memory pool with offset-based first-fit allocation.
+//
+// Real allocations matter to the paper twice: MPS offers *no* memory
+// isolation (one client can OOM another — Table 1), and capacity is what
+// limits co-residency ("only four concurrent LLaMa-2 7B instances fit in an
+// 80 GB A100", §5.2). Tracking offsets rather than just a counter also lets
+// tests exercise fragmentation behaviour.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace faaspart::gpu {
+
+using util::Bytes;
+
+using AllocationId = std::uint64_t;
+
+struct AllocationInfo {
+  AllocationId id = 0;
+  Bytes offset = 0;
+  Bytes size = 0;
+  std::string tag;
+};
+
+class MemoryPool {
+ public:
+  explicit MemoryPool(Bytes capacity);
+
+  /// First-fit allocation; throws util::OutOfMemoryError when no free
+  /// segment fits (the message reports requested/free/largest to mirror a
+  /// helpful CUDA OOM report).
+  AllocationId allocate(Bytes size, std::string tag);
+
+  /// Frees an allocation; throws util::NotFoundError for unknown ids
+  /// (double-free surfaces as an error, not corruption).
+  void free(AllocationId id);
+
+  [[nodiscard]] bool contains(AllocationId id) const;
+  [[nodiscard]] const AllocationInfo& info(AllocationId id) const;
+
+  [[nodiscard]] Bytes capacity() const { return capacity_; }
+  [[nodiscard]] Bytes used() const { return used_; }
+  [[nodiscard]] Bytes free_bytes() const { return capacity_ - used_; }
+  [[nodiscard]] Bytes largest_free_block() const;
+  [[nodiscard]] std::size_t allocation_count() const { return allocs_.size(); }
+
+  /// free_bytes that are unreachable by a single allocation of
+  /// largest_free_block size — 0 when the free space is one segment.
+  [[nodiscard]] Bytes external_fragmentation() const;
+
+  [[nodiscard]] std::vector<AllocationInfo> allocations() const;
+
+ private:
+  void coalesce_around(Bytes offset);
+
+  Bytes capacity_;
+  Bytes used_ = 0;
+  AllocationId next_id_ = 1;
+  std::map<AllocationId, AllocationInfo> allocs_;
+  std::map<Bytes, Bytes> free_segments_;  // offset -> size, non-adjacent
+};
+
+}  // namespace faaspart::gpu

@@ -1,0 +1,52 @@
+#include "gpu/mig.hpp"
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace faaspart::gpu {
+
+std::vector<MigProfile> mig_profiles(const GpuArchSpec& arch) {
+  if (!arch.mig_capable) return {};
+  // (compute slices, memory slices) pairs per NVIDIA's A100/H100 catalogue.
+  // {1, 2} is the double-memory 1g profile (1g.20gb on the 80 GB part),
+  // which is what lets four LLaMa-7B tenants each get a 1/7 compute slice
+  // with enough memory (§5.2's 4-process MIG configuration).
+  static constexpr struct {
+    int g;
+    int mem;
+  } kShapes[] = {{1, 1}, {1, 2}, {2, 2}, {3, 4}, {4, 4}, {7, 8}};
+
+  std::vector<MigProfile> out;
+  for (const auto& s : kShapes) {
+    // Smaller parts (e.g. A30 with 4 compute slices) only expose the shapes
+    // that fit their slice counts; the full-GPU shape becomes Ng.<all>.
+    const int g = s.g == 7 ? arch.mig_slices : s.g;
+    const int mem = s.mem == 8 ? arch.mem_slices : s.mem;
+    if (g > arch.mig_slices || mem > arch.mem_slices) continue;
+    MigProfile p;
+    p.compute_slices = g;
+    p.mem_slices = mem;
+    const auto gb = (arch.memory / arch.mem_slices * mem) / util::GB;
+    p.name = util::strf(g, "g.", gb, "gb");
+    // Skip duplicates (a 4-slice part's "4g" shows up once).
+    bool dup = false;
+    for (const auto& existing : out) dup = dup || existing.name == p.name;
+    if (!dup) out.push_back(std::move(p));
+  }
+  return out;
+}
+
+MigProfile mig_profile(const GpuArchSpec& arch, const std::string& name) {
+  if (!arch.mig_capable) {
+    throw util::NotFoundError(util::strf("MIG profile '", name, "': ", arch.name,
+                                         " is not MIG-capable"));
+  }
+  for (const auto& p : mig_profiles(arch)) {
+    if (p.name == name) return p;
+    // Accept the compute prefix alone: "2g" matches "2g.20gb".
+    if (util::starts_with(p.name, name + ".")) return p;
+  }
+  throw util::NotFoundError(util::strf("MIG profile '", name, "' on ", arch.name));
+}
+
+}  // namespace faaspart::gpu

@@ -1,0 +1,40 @@
+// MIG profile catalogue and naming (§4.2).
+//
+// A profile like "3g.40gb" is <compute slices>g.<memory><gb>. Compute slices
+// map to SMs (A100: 14 SMs per slice), memory to HBM slices (A100: 8 of
+// them). The catalogue mirrors NVIDIA's: 1g, 2g, 3g, 4g, 7g — note 3g takes
+// 4 memory slices, which is why only two 3g instances fit.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "gpu/arch.hpp"
+
+namespace faaspart::gpu {
+
+struct MigProfile {
+  std::string name;      ///< e.g. "3g.40gb" (memory part depends on the GPU)
+  int compute_slices = 0;
+  int mem_slices = 0;
+
+  [[nodiscard]] int sms(const GpuArchSpec& arch) const {
+    return compute_slices * arch.sms_per_slice;
+  }
+  [[nodiscard]] util::Bytes memory(const GpuArchSpec& arch) const {
+    return arch.memory / arch.mem_slices * mem_slices;
+  }
+  [[nodiscard]] double bandwidth(const GpuArchSpec& arch) const {
+    return arch.mem_bw / arch.mem_slices * mem_slices;
+  }
+};
+
+/// All profiles supported on `arch` (empty if not MIG-capable), with names
+/// rendered for that part's memory size (A100-80GB: 1g.10gb … 7g.80gb).
+std::vector<MigProfile> mig_profiles(const GpuArchSpec& arch);
+
+/// Looks a profile up by name ("2g.20gb") or by its compute prefix ("2g").
+/// Throws util::NotFoundError if the profile does not exist on this part.
+MigProfile mig_profile(const GpuArchSpec& arch, const std::string& name);
+
+}  // namespace faaspart::gpu

@@ -1,0 +1,61 @@
+#include "nvml/monitor.hpp"
+
+#include "trace/csv.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace faaspart::nvml {
+
+UtilizationMonitor::UtilizationMonitor(DeviceManager& manager, int device_index,
+                                       util::Duration period)
+    : manager_(manager), device_(device_index), period_(period) {
+  FP_CHECK_MSG(period.ns > 0, "sampling period must be positive");
+  (void)manager_.device(device_index);  // validates the index
+}
+
+sim::Co<void> UtilizationMonitor::run(util::TimePoint deadline) {
+  auto& sim = manager_.simulator();
+  util::Duration prev_busy = manager_.device(device_).busy_time();
+  while (sim.now() + period_ <= deadline) {
+    co_await sim.delay(period_);
+    const gpu::Device& dev = manager_.device(device_);
+    UtilizationSample s;
+    s.at = sim.now();
+    // Live busy-time delta — sees in-flight kernels, unlike the recorder.
+    const util::Duration busy = dev.busy_time();
+    s.utilization = (busy - prev_busy) / period_;
+    prev_busy = busy;
+    if (dev.mig_enabled()) {
+      for (const auto id : dev.instance_ids()) {
+        s.memory_used += dev.instance(id).memory->used();
+      }
+    } else {
+      s.memory_used = dev.memory().used();
+    }
+    samples_.push_back(s);
+  }
+}
+
+trace::Summary UtilizationMonitor::utilization_summary() const {
+  std::vector<double> xs;
+  xs.reserve(samples_.size());
+  for (const auto& s : samples_) xs.push_back(s.utilization);
+  return trace::summarize(std::move(xs));
+}
+
+util::Bytes UtilizationMonitor::peak_memory() const {
+  util::Bytes peak = 0;
+  for (const auto& s : samples_) peak = std::max(peak, s.memory_used);
+  return peak;
+}
+
+void UtilizationMonitor::write_csv(std::ostream& os) const {
+  trace::CsvWriter csv(os);
+  csv.row({"timestamp_s", "utilization", "memory_used_bytes"});
+  for (const auto& s : samples_) {
+    csv.row({util::fixed(s.at.seconds(), 3), util::fixed(s.utilization, 4),
+             std::to_string(s.memory_used)});
+  }
+}
+
+}  // namespace faaspart::nvml

@@ -1,0 +1,45 @@
+// UtilizationMonitor — the `nvidia-smi dmon` analogue: samples a device's
+// utilization and memory occupancy on a fixed period into a time series
+// (the data behind utilization plots like the paper's Fig 3 discussion).
+#pragma once
+
+#include <ostream>
+#include <vector>
+
+#include "nvml/manager.hpp"
+#include "sim/co.hpp"
+#include "trace/stats.hpp"
+
+namespace faaspart::nvml {
+
+struct UtilizationSample {
+  util::TimePoint at{};        ///< end of the sampling window
+  double utilization = 0;      ///< busy fraction over the window, SM-weighted
+  util::Bytes memory_used = 0; ///< device (or summed instance) occupancy
+};
+
+class UtilizationMonitor {
+ public:
+  UtilizationMonitor(DeviceManager& manager, int device_index,
+                     util::Duration period);
+
+  /// Sampling loop; spawn on the simulator, runs until `deadline`.
+  sim::Co<void> run(util::TimePoint deadline);
+
+  [[nodiscard]] const std::vector<UtilizationSample>& samples() const {
+    return samples_;
+  }
+  [[nodiscard]] trace::Summary utilization_summary() const;
+  [[nodiscard]] util::Bytes peak_memory() const;
+
+  /// "timestamp_s,utilization,memory_used_bytes" rows.
+  void write_csv(std::ostream& os) const;
+
+ private:
+  DeviceManager& manager_;
+  int device_;
+  util::Duration period_;
+  std::vector<UtilizationSample> samples_;
+};
+
+}  // namespace faaspart::nvml

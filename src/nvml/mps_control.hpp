@@ -1,0 +1,43 @@
+// MpsControl — the nvidia-cuda-mps-control daemon for one device.
+//
+// Operational semantics from the paper (§4.1, Table 1):
+//   * the daemon must be started on the compute node *before* any function
+//     with GPU code runs — starting it swaps the device's sharing policy to
+//     MPS, which requires that no client contexts exist;
+//   * each client's CUDA_MPS_ACTIVE_THREAD_PERCENTAGE is read once, when
+//     its process (context) starts — changing an allocation requires a
+//     process restart (§6);
+//   * stopping the daemon returns the device to default time-slicing.
+#pragma once
+
+#include "gpu/device.hpp"
+#include "sched/mps.hpp"
+#include "util/units.hpp"
+
+namespace faaspart::nvml {
+
+class MpsControl {
+ public:
+  explicit MpsControl(gpu::Device& device) : device_(device) {}
+
+  [[nodiscard]] bool running() const { return running_; }
+
+  /// Starts the daemon (throws util::StateError if clients exist or it is
+  /// already running).
+  void start(sched::MpsOptions opts = {});
+
+  /// Stops the daemon; the device reverts to default time-sharing.
+  void stop();
+
+  /// Daemon spin-up cost, charged by the FaaS partitioner when it brings a
+  /// node up (the paper launches mps-control through Parsl bash ops).
+  [[nodiscard]] util::Duration startup_cost() const { return util::milliseconds(400); }
+
+  [[nodiscard]] gpu::Device& device() { return device_; }
+
+ private:
+  gpu::Device& device_;
+  bool running_ = false;
+};
+
+}  // namespace faaspart::nvml

@@ -1,0 +1,48 @@
+#include "nvml/smi.hpp"
+
+#include <sstream>
+
+#include "trace/table.hpp"
+#include "util/strings.hpp"
+
+namespace faaspart::nvml {
+
+std::string format_smi(const DeviceManager& manager) {
+  std::ostringstream os;
+  os << "+-- faaspart-smi " << std::string(60, '-') << "+\n";
+
+  trace::Table devices({"GPU", "name", "policy", "MIG", "memory", "ctxs"});
+  bool any_mig = false;
+  for (std::size_t i = 0; i < manager.device_count(); ++i) {
+    const auto st = manager.status(static_cast<int>(i));
+    any_mig = any_mig || st.mig_enabled;
+    devices.add_row({std::to_string(st.index), st.name, st.sharing_policy,
+                     st.mig_enabled ? "on" : "off",
+                     util::strf(util::format_bytes(st.memory_used), " / ",
+                                util::format_bytes(st.memory_total)),
+                     std::to_string(st.contexts)});
+  }
+  devices.print(os);
+
+  if (any_mig) {
+    os << "\nMIG instances:\n";
+    trace::Table instances({"GPU", "UUID", "profile", "SMs", "memory"});
+    for (std::size_t i = 0; i < manager.device_count(); ++i) {
+      const auto& dev = manager.device(static_cast<int>(i));
+      if (!dev.mig_enabled()) continue;
+      for (const auto id : dev.instance_ids()) {
+        const auto& inst = dev.instance(id);
+        instances.add_row(
+            {std::to_string(i), inst.uuid, inst.profile.name,
+             std::to_string(inst.profile.sms(dev.arch())),
+             util::strf(util::format_bytes(inst.memory->used()), " / ",
+                        util::format_bytes(inst.memory->capacity()))});
+      }
+    }
+    instances.print(os);
+  }
+  os << "+" << std::string(77, '-') << "+\n";
+  return os.str();
+}
+
+}  // namespace faaspart::nvml

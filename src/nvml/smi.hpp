@@ -1,0 +1,14 @@
+// format_smi — an `nvidia-smi`-style textual snapshot of the node's GPUs:
+// per-device memory/policy/context rows plus a MIG-instance table when any
+// device is partitioned. Meant for examples and operator-facing logs.
+#pragma once
+
+#include <string>
+
+#include "nvml/manager.hpp"
+
+namespace faaspart::nvml {
+
+std::string format_smi(const DeviceManager& manager);
+
+}  // namespace faaspart::nvml

@@ -1,0 +1,125 @@
+#include "sched/mps.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "util/error.hpp"
+
+namespace faaspart::sched {
+
+int MpsEngine::effective_sms(const gpu::KernelJob& job) const {
+  int cap = job.sm_cap;
+  if (cap <= 0) {
+    FP_CHECK_MSG(opts_.allow_uncapped, "uncapped client on a capped MPS engine");
+    cap = env_.sms;
+  }
+  cap = std::min(cap, env_.sms);
+  return std::max(1, std::min(cap, job.kernel.width_sms));
+}
+
+void MpsEngine::submit(gpu::KernelJob job) {
+  queue_.push_back(std::move(job));
+  try_admit();
+}
+
+void MpsEngine::try_admit() {
+  bool admitted = false;
+  // FIFO admission: the head waits for SMs; later jobs do not jump it (this
+  // mirrors the hardware work scheduler filling SMs in launch order).
+  while (!queue_.empty()) {
+    const int need = effective_sms(queue_.front());
+    if (sms_in_use_ + need > env_.sms) break;
+    admit(std::move(queue_.front()));
+    queue_.pop_front();
+    admitted = true;
+  }
+  if (admitted) replan();
+}
+
+void MpsEngine::admit(gpu::KernelJob job) {
+  Running r;
+  r.sms = effective_sms(job);
+  const gpu::KernelTiming t =
+      gpu::kernel_timing(env_.arch, job.kernel, gpu::KernelGrant{r.sms});
+  const util::TimePoint now = env_.sim->now();
+  r.start = now;
+  r.compute_end = now + env_.arch.kernel_launch_overhead + t.compute;
+  r.demand = t.solo_bw;
+  r.remaining_bytes = static_cast<double>(t.bytes);
+  // The memory drain also starts after the launch overhead; last_advance in
+  // the future makes replan() hold the bytes until then.
+  r.last_advance = now + env_.arch.kernel_launch_overhead;
+  r.job = std::move(job);
+  sms_in_use_ += r.sms;
+  note_running_delta(+1);
+  const std::uint64_t rid = next_rid_++;
+  running_.emplace(rid, std::move(r));
+  // replan() (called by try_admit) assigns the rate and completion event.
+}
+
+void MpsEngine::replan() {
+  const util::TimePoint now = env_.sim->now();
+
+  // 1. Drain bytes at the old rates up to now. A last_advance in the future
+  //    means the kernel is still in its launch window — nothing drains yet.
+  for (auto& [rid, r] : running_) {
+    if (now <= r.last_advance) continue;
+    const double dt = (now - r.last_advance).seconds();
+    r.remaining_bytes = std::max(0.0, r.remaining_bytes - r.rate * dt);
+    r.last_advance = now;
+  }
+
+  // 2. Recompute contended rates.
+  double total_demand = 0;
+  std::size_t draining = 0;
+  for (const auto& [rid, r] : running_) {
+    if (r.remaining_bytes > 0) {
+      total_demand += r.demand;
+      ++draining;
+    }
+  }
+  const double overload =
+      total_demand > env_.bw_peak ? env_.bw_peak / total_demand : 1.0;
+  const double interference =
+      1.0 / (1.0 + opts_.interference_alpha *
+                       static_cast<double>(draining > 0 ? draining - 1 : 0));
+
+  // 3. Reschedule completions.
+  for (auto& [rid, r] : running_) {
+    r.rate = std::max(1.0, r.demand * overload * interference);
+    util::TimePoint finish = r.compute_end;
+    if (r.remaining_bytes > 0) {
+      const util::TimePoint drain_from = std::max(now, r.last_advance);
+      const util::TimePoint drain_end =
+          drain_from + util::from_seconds(r.remaining_bytes / r.rate);
+      finish = std::max(finish, drain_end);
+    }
+    finish = std::max(finish, now);
+    if (r.event != 0) env_.sim->cancel(r.event);
+    r.event = env_.sim->schedule_at(finish, [this, rid = rid] { complete(rid); });
+  }
+}
+
+void MpsEngine::complete(std::uint64_t rid) {
+  const auto it = running_.find(rid);
+  FP_CHECK(it != running_.end());
+  Running r = std::move(it->second);
+  running_.erase(it);
+  sms_in_use_ -= r.sms;
+  note_running_delta(-1);
+  record_span(r.job, r.start, env_.sim->now());
+  r.job.done.set_value();
+  // Admission first (freed SMs may admit queued work), then replan picks up
+  // both the departure and any admissions in one pass.
+  const std::size_t before = running_.size();
+  try_admit();
+  if (running_.size() == before) replan();  // departure-only: rates improved
+}
+
+gpu::EngineFactory mps_factory(MpsOptions opts) {
+  return [opts](gpu::EngineEnv env) -> std::unique_ptr<gpu::SharingEngine> {
+    return std::make_unique<MpsEngine>(std::move(env), opts);
+  };
+}
+
+}  // namespace faaspart::sched

@@ -1,0 +1,53 @@
+#include "sched/timeshare.hpp"
+
+#include <algorithm>
+#include <memory>
+
+namespace faaspart::sched {
+
+void TimeShareEngine::submit(gpu::KernelJob job) {
+  queue_.push_back(std::move(job));
+  if (!busy_) start_next();
+}
+
+void TimeShareEngine::start_next() {
+  if (queue_.empty()) {
+    busy_ = false;
+    return;
+  }
+  busy_ = true;
+  gpu::KernelJob job = std::move(queue_.front());
+  queue_.pop_front();
+
+  util::Duration switch_cost{0};
+  if (have_last_ && job.ctx != last_ctx_) switch_cost = env_.arch.context_switch;
+  last_ctx_ = job.ctx;
+  have_last_ = true;
+
+  // Exclusive access: the kernel gets the whole envelope (time-sharing does
+  // not enforce MPS-style caps), limited only by its own saturation width.
+  const gpu::KernelTiming t =
+      gpu::kernel_timing(env_.arch, job.kernel, gpu::KernelGrant{env_.sms});
+  const double rate = std::min(t.solo_bw, env_.bw_peak);
+  const util::Duration mem =
+      util::from_seconds(static_cast<double>(t.bytes) / rate);
+  const util::Duration dur =
+      switch_cost + env_.arch.kernel_launch_overhead + std::max(t.compute, mem);
+
+  const util::TimePoint start = env_.sim->now();
+  note_running_delta(+1);
+  env_.sim->schedule_in(dur, [this, job, start]() {
+    note_running_delta(-1);
+    record_span(job, start, env_.sim->now());
+    job.done.set_value();
+    start_next();
+  });
+}
+
+gpu::EngineFactory timeshare_factory() {
+  return [](gpu::EngineEnv env) -> std::unique_ptr<gpu::SharingEngine> {
+    return std::make_unique<TimeShareEngine>(std::move(env));
+  };
+}
+
+}  // namespace faaspart::sched

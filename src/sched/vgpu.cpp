@@ -1,0 +1,85 @@
+#include "sched/vgpu.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "util/error.hpp"
+
+namespace faaspart::sched {
+
+VgpuEngine::VgpuEngine(gpu::EngineEnv env, VgpuOptions opts)
+    : SharingEngine(std::move(env)), opts_(opts) {
+  FP_CHECK_MSG(opts_.slots >= 1, "vGPU needs at least one slot");
+  FP_CHECK_MSG(opts_.slots <= env_.sms, "more vGPU slots than SMs");
+  slot_sms_ = std::max(1, env_.sms / opts_.slots);
+  slot_bw_ = env_.bw_peak / opts_.slots;
+  slots_.resize(static_cast<std::size_t>(opts_.slots));
+}
+
+int VgpuEngine::assign_slot(gpu::ContextId ctx) {
+  const auto it = pinned_.find(ctx);
+  if (it != pinned_.end()) return it->second;
+  const int slot = next_slot_;
+  next_slot_ = (next_slot_ + 1) % opts_.slots;
+  pinned_.emplace(ctx, slot);
+  return slot;
+}
+
+int VgpuEngine::slot_of(gpu::ContextId ctx) const {
+  const auto it = pinned_.find(ctx);
+  return it == pinned_.end() ? -1 : it->second;
+}
+
+void VgpuEngine::submit(gpu::KernelJob job) {
+  const int slot = assign_slot(job.ctx);
+  slots_[static_cast<std::size_t>(slot)].queue.push_back(std::move(job));
+  if (!slots_[static_cast<std::size_t>(slot)].busy) start_next(slot);
+}
+
+void VgpuEngine::start_next(int slot) {
+  Slot& s = slots_[static_cast<std::size_t>(slot)];
+  if (s.queue.empty()) {
+    s.busy = false;
+    return;
+  }
+  s.busy = true;
+  gpu::KernelJob job = std::move(s.queue.front());
+  s.queue.pop_front();
+
+  const gpu::KernelTiming t =
+      gpu::kernel_timing(env_.arch, job.kernel, gpu::KernelGrant{slot_sms_});
+  const double rate = std::min(t.solo_bw, slot_bw_);
+  const util::Duration mem =
+      util::from_seconds(static_cast<double>(t.bytes) / rate);
+  const util::Duration dur =
+      env_.arch.kernel_launch_overhead + std::max(t.compute, mem);
+
+  const util::TimePoint start = env_.sim->now();
+  note_running_delta(+1);
+  env_.sim->schedule_in(dur, [this, job, start, slot]() {
+    note_running_delta(-1);
+    record_span(job, start, env_.sim->now());
+    job.done.set_value();
+    start_next(slot);
+  });
+}
+
+std::size_t VgpuEngine::active() const {
+  std::size_t n = 0;
+  for (const auto& s : slots_) n += s.busy ? 1 : 0;
+  return n;
+}
+
+std::size_t VgpuEngine::queued() const {
+  std::size_t n = 0;
+  for (const auto& s : slots_) n += s.queue.size();
+  return n;
+}
+
+gpu::EngineFactory vgpu_factory(VgpuOptions opts) {
+  return [opts](gpu::EngineEnv env) -> std::unique_ptr<gpu::SharingEngine> {
+    return std::make_unique<VgpuEngine>(std::move(env), opts);
+  };
+}
+
+}  // namespace faaspart::sched

@@ -1,0 +1,175 @@
+// Co<T> — a lazy, awaitable coroutine task for simulation processes.
+//
+// Modeled on the well-known task<> design (symmetric transfer at final
+// suspend): a Co does not run until awaited; when it finishes, control
+// transfers directly back to the awaiting coroutine. Ownership is simple and
+// RAII: the Co object owns the coroutine frame and destroys it when the Co
+// goes out of scope, which for `co_await child()` is the end of the full
+// expression — after the result has been moved out.
+//
+// Simulation processes are Co<void> chains rooted at Simulator::spawn().
+#pragma once
+
+#include <coroutine>
+#include <exception>
+#include <utility>
+#include <variant>
+
+#include "util/error.hpp"
+
+namespace faaspart::sim {
+
+template <typename T>
+class Co;
+
+namespace detail {
+
+template <typename T>
+struct CoPromiseBase {
+  std::coroutine_handle<> continuation;  // who to resume when we finish
+
+  struct FinalAwaiter {
+    bool await_ready() const noexcept { return false; }
+    template <typename Promise>
+    std::coroutine_handle<> await_suspend(std::coroutine_handle<Promise> h) const noexcept {
+      auto cont = h.promise().continuation;
+      return cont ? cont : std::noop_coroutine();
+    }
+    void await_resume() const noexcept {}
+  };
+
+  std::suspend_always initial_suspend() noexcept { return {}; }
+  FinalAwaiter final_suspend() noexcept { return {}; }
+};
+
+}  // namespace detail
+
+/// Lazy coroutine task. Move-only.
+template <typename T = void>
+class [[nodiscard]] Co {
+ public:
+  struct promise_type : detail::CoPromiseBase<T> {
+    std::variant<std::monostate, T, std::exception_ptr> result;
+
+    Co get_return_object() {
+      return Co(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    template <typename U>
+    void return_value(U&& v) {
+      result.template emplace<1>(std::forward<U>(v));
+    }
+    void unhandled_exception() { result.template emplace<2>(std::current_exception()); }
+  };
+
+  Co() = default;
+  Co(Co&& o) noexcept : h_(std::exchange(o.h_, nullptr)) {}
+  Co& operator=(Co&& o) noexcept {
+    if (this != &o) {
+      destroy();
+      h_ = std::exchange(o.h_, nullptr);
+    }
+    return *this;
+  }
+  Co(const Co&) = delete;
+  Co& operator=(const Co&) = delete;
+  ~Co() { destroy(); }
+
+  [[nodiscard]] bool valid() const { return h_ != nullptr; }
+
+  /// Awaiting a Co starts it (symmetric transfer into the child frame) and
+  /// resumes the awaiter when the child completes. The child's return value
+  /// is moved out; a stored exception is rethrown in the awaiter.
+  auto operator co_await() && noexcept {
+    struct Awaiter {
+      std::coroutine_handle<promise_type> h;
+      bool await_ready() const noexcept { return false; }
+      std::coroutine_handle<> await_suspend(std::coroutine_handle<> cont) noexcept {
+        h.promise().continuation = cont;
+        return h;
+      }
+      T await_resume() {
+        auto& r = h.promise().result;
+        if (r.index() == 2) std::rethrow_exception(std::get<2>(r));
+        FP_CHECK_MSG(r.index() == 1, "Co<T> finished without a value");
+        return std::move(std::get<1>(r));
+      }
+    };
+    return Awaiter{h_};
+  }
+
+  /// Releases ownership of the frame (used by the spawn driver).
+  std::coroutine_handle<promise_type> release() { return std::exchange(h_, nullptr); }
+
+ private:
+  explicit Co(std::coroutine_handle<promise_type> h) : h_(h) {}
+
+  void destroy() {
+    if (h_ != nullptr) {
+      h_.destroy();
+      h_ = nullptr;
+    }
+  }
+
+  std::coroutine_handle<promise_type> h_ = nullptr;
+};
+
+/// void specialization — same shape, no stored value.
+template <>
+class [[nodiscard]] Co<void> {
+ public:
+  struct promise_type : detail::CoPromiseBase<void> {
+    std::exception_ptr error;
+
+    Co get_return_object() {
+      return Co(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    void return_void() {}
+    void unhandled_exception() { error = std::current_exception(); }
+  };
+
+  Co() = default;
+  Co(Co&& o) noexcept : h_(std::exchange(o.h_, nullptr)) {}
+  Co& operator=(Co&& o) noexcept {
+    if (this != &o) {
+      destroy();
+      h_ = std::exchange(o.h_, nullptr);
+    }
+    return *this;
+  }
+  Co(const Co&) = delete;
+  Co& operator=(const Co&) = delete;
+  ~Co() { destroy(); }
+
+  [[nodiscard]] bool valid() const { return h_ != nullptr; }
+
+  auto operator co_await() && noexcept {
+    struct Awaiter {
+      std::coroutine_handle<promise_type> h;
+      bool await_ready() const noexcept { return false; }
+      std::coroutine_handle<> await_suspend(std::coroutine_handle<> cont) noexcept {
+        h.promise().continuation = cont;
+        return h;
+      }
+      void await_resume() {
+        if (h.promise().error) std::rethrow_exception(h.promise().error);
+      }
+    };
+    return Awaiter{h_};
+  }
+
+  std::coroutine_handle<promise_type> release() { return std::exchange(h_, nullptr); }
+
+ private:
+  explicit Co(std::coroutine_handle<promise_type> h) : h_(h) {}
+
+  void destroy() {
+    if (h_ != nullptr) {
+      h_.destroy();
+      h_ = nullptr;
+    }
+  }
+
+  std::coroutine_handle<promise_type> h_ = nullptr;
+};
+
+}  // namespace faaspart::sim

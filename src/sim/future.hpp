@@ -1,0 +1,179 @@
+// Virtual-time futures.
+//
+// Future<T>/Promise<T> connect producers (sharing engines, executors) to
+// consumers (coroutine processes or callback code). Completion wakes waiters
+// through the event queue at the *current instant*, never inline — the event
+// loop stays the only resumer of coroutines, which rules out reentrancy bugs
+// by construction.
+//
+// Promise is copyable (shared state) so it can be captured in std::function
+// callbacks; Future is copyable so several processes can await one result.
+#pragma once
+
+#include <coroutine>
+#include <exception>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "sim/co.hpp"
+#include "sim/simulator.hpp"
+#include "util/error.hpp"
+
+namespace faaspart::sim {
+
+namespace detail {
+
+template <typename T>
+struct FutureState {
+  Simulator* sim;
+  std::optional<T> value;
+  std::exception_ptr error;
+  bool done = false;
+  std::vector<std::coroutine_handle<>> waiters;
+  std::vector<std::function<void()>> callbacks;
+
+  explicit FutureState(Simulator& s) : sim(&s) {}
+
+  void complete() {
+    done = true;
+    for (auto h : waiters) sim->schedule_now([h] { h.resume(); });
+    waiters.clear();
+    for (auto& cb : callbacks) sim->schedule_now(std::move(cb));
+    callbacks.clear();
+  }
+};
+
+// void uses the same shape with a unit payload.
+struct Unit {};
+
+}  // namespace detail
+
+template <typename T>
+class Future;
+
+template <typename T = void>
+class Promise {
+  using Payload = std::conditional_t<std::is_void_v<T>, detail::Unit, T>;
+
+ public:
+  /// An empty Promise; using it before assignment from a real one is an
+  /// FP_CHECK failure. Exists so structs holding a Promise stay
+  /// default-constructible.
+  Promise() = default;
+
+  explicit Promise(Simulator& sim)
+      : st_(std::make_shared<detail::FutureState<Payload>>(sim)) {}
+
+  [[nodiscard]] bool valid() const { return st_ != nullptr; }
+
+  [[nodiscard]] Future<T> future() const;
+
+  template <typename U = T>
+    requires(!std::is_void_v<U>)
+  void set_value(U v) const {
+    FP_CHECK_MSG(valid(), "empty promise");
+    FP_CHECK_MSG(!st_->done, "promise completed twice");
+    st_->value.emplace(std::move(v));
+    st_->complete();
+  }
+
+  template <typename U = T>
+    requires std::is_void_v<U>
+  void set_value() const {
+    FP_CHECK_MSG(valid(), "empty promise");
+    FP_CHECK_MSG(!st_->done, "promise completed twice");
+    st_->value.emplace();
+    st_->complete();
+  }
+
+  void set_exception(std::exception_ptr e) const {
+    FP_CHECK_MSG(valid(), "empty promise");
+    FP_CHECK_MSG(!st_->done, "promise completed twice");
+    FP_CHECK(e != nullptr);
+    st_->error = e;
+    st_->complete();
+  }
+
+ private:
+  friend class Future<T>;
+  std::shared_ptr<detail::FutureState<Payload>> st_;
+};
+
+template <typename T = void>
+class Future {
+  using Payload = std::conditional_t<std::is_void_v<T>, detail::Unit, T>;
+
+ public:
+  Future() = default;
+  explicit Future(std::shared_ptr<detail::FutureState<Payload>> st) : st_(std::move(st)) {}
+
+  [[nodiscard]] bool valid() const { return st_ != nullptr; }
+  [[nodiscard]] bool ready() const { return st_ != nullptr && st_->done; }
+  [[nodiscard]] bool failed() const { return ready() && st_->error != nullptr; }
+
+  /// The completed value; requires ready() and !failed().
+  template <typename U = T>
+    requires(!std::is_void_v<U>)
+  [[nodiscard]] const U& value() const {
+    FP_CHECK_MSG(ready(), "Future::value before completion");
+    if (st_->error) std::rethrow_exception(st_->error);
+    return *st_->value;
+  }
+
+  [[nodiscard]] std::exception_ptr error() const {
+    FP_CHECK(ready());
+    return st_->error;
+  }
+
+  /// Runs `cb` (via the event queue) once the future completes; immediately
+  /// scheduled if already complete.
+  void on_ready(std::function<void()> cb) const {
+    FP_CHECK(valid());
+    if (st_->done) {
+      st_->sim->schedule_now(std::move(cb));
+    } else {
+      st_->callbacks.push_back(std::move(cb));
+    }
+  }
+
+  auto operator co_await() const {
+    struct Awaiter {
+      std::shared_ptr<detail::FutureState<Payload>> st;
+      bool await_ready() const noexcept { return st->done; }
+      void await_suspend(std::coroutine_handle<> h) const { st->waiters.push_back(h); }
+      T await_resume() const {
+        if (st->error) std::rethrow_exception(st->error);
+        if constexpr (!std::is_void_v<T>) return *st->value;
+      }
+    };
+    FP_CHECK_MSG(valid(), "awaiting an empty Future");
+    return Awaiter{st_};
+  }
+
+ private:
+  std::shared_ptr<detail::FutureState<Payload>> st_;
+};
+
+template <typename T>
+Future<T> Promise<T>::future() const {
+  FP_CHECK_MSG(valid(), "empty promise");
+  return Future<T>(st_);
+}
+
+/// Awaits every future in turn; completes when all have completed. If any
+/// failed, rethrows the first failure encountered (after all are done).
+template <typename T>
+Co<void> when_all(std::vector<Future<T>> futures) {
+  std::exception_ptr first_error;
+  for (auto& f : futures) {
+    try {
+      co_await f;
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace faaspart::sim

@@ -1,0 +1,147 @@
+#include "sim/simulator.hpp"
+
+#include <utility>
+
+#include "util/error.hpp"
+#include "util/logging.hpp"
+
+namespace faaspart::sim {
+
+void DelayAwaiter::await_suspend(std::coroutine_handle<> h) {
+  FP_CHECK_MSG(d.ns >= 0, "negative delay");
+  sim.schedule_in(d, [h] { h.resume(); });
+}
+
+Simulator::EventId Simulator::schedule_at(TimePoint t, Callback cb) {
+  FP_CHECK_MSG(t >= now_, "event scheduled in the past");
+  FP_CHECK_MSG(static_cast<bool>(cb), "null event callback");
+  const EventId id = next_id_++;
+  heap_.push(HeapEntry{t, next_seq_++, id});
+  callbacks_.emplace(id, std::move(cb));
+  ++live_events_;
+  return id;
+}
+
+Simulator::EventId Simulator::schedule_in(Duration d, Callback cb) {
+  FP_CHECK_MSG(d.ns >= 0, "negative delay");
+  return schedule_at(now_ + d, std::move(cb));
+}
+
+bool Simulator::cancel(EventId id) {
+  const auto it = callbacks_.find(id);
+  if (it == callbacks_.end()) return false;
+  callbacks_.erase(it);
+  --live_events_;
+  // The heap entry stays behind and is skipped lazily in step().
+  return true;
+}
+
+bool Simulator::step() {
+  while (!heap_.empty()) {
+    const HeapEntry top = heap_.top();
+    const auto it = callbacks_.find(top.id);
+    if (it == callbacks_.end()) {
+      heap_.pop();  // cancelled — discard the stale heap entry
+      continue;
+    }
+    FP_CHECK(top.t >= now_);
+    heap_.pop();
+    now_ = top.t;
+    Callback cb = std::move(it->second);
+    callbacks_.erase(it);
+    --live_events_;
+    ++processed_;
+    cb();
+    return true;
+  }
+  return false;
+}
+
+void Simulator::run() {
+  // A process may have failed synchronously (before its first suspension),
+  // leaving nothing in the queue — surface that too.
+  rethrow_failure_if_any();
+  while (step()) rethrow_failure_if_any();
+}
+
+void Simulator::run_until(TimePoint t) {
+  FP_CHECK_MSG(t >= now_, "run_until into the past");
+  rethrow_failure_if_any();
+  while (!heap_.empty()) {
+    // Skip stale (cancelled) entries so the horizon check sees a real event.
+    if (callbacks_.find(heap_.top().id) == callbacks_.end()) {
+      heap_.pop();
+      continue;
+    }
+    if (heap_.top().t > t) break;
+    step();
+    rethrow_failure_if_any();
+  }
+  now_ = t;
+}
+
+void Simulator::rethrow_failure_if_any() {
+  // Each failure is rethrown exactly once; all stay inspectable via
+  // failures().
+  if (next_failure_to_rethrow_ >= failures_.size()) return;
+  const std::size_t i = next_failure_to_rethrow_++;
+  std::rethrow_exception(failures_[i].error);
+}
+
+// Lets the root-wrapper coroutine call the private reap hook.
+struct RootReaper {
+  static void reap(Simulator& sim, std::uint64_t id) {
+    // Deferred: the wrapper is still running; it suspends at its final
+    // suspend point right after this, and the scheduled event destroys it.
+    sim.schedule_now([&sim, id] { sim.reap_root(id); });
+  }
+};
+
+namespace {
+
+// Root driver: runs the top-level Co<void>, funnels escaped exceptions into
+// the simulator's failure list, and asks to be reaped when done. The frame
+// parks at final_suspend until the simulator destroys it (via the reap
+// event, or wholesale in ~Simulator for processes that never finish).
+Co<void> root_wrapper(Simulator* sim, std::uint64_t id, std::size_t* live,
+                      Co<void> proc, std::string name,
+                      std::vector<Simulator::ProcessFailure>* failures) {
+  ++*live;
+  try {
+    co_await std::move(proc);
+  } catch (...) {
+    FP_LOG_DEBUG("process '" << name << "' terminated with exception");
+    failures->push_back({std::move(name), std::current_exception()});
+  }
+  --*live;
+  RootReaper::reap(*sim, id);
+}
+
+}  // namespace
+
+void Simulator::spawn(Co<void> proc, std::string name) {
+  FP_CHECK_MSG(proc.valid(), "spawn of empty Co<void>");
+  const std::uint64_t id = next_root_id_++;
+  Co<void> root = root_wrapper(this, id, &live_processes_, std::move(proc),
+                               std::move(name), &failures_);
+  const auto handle = root.release();  // ownership moves to roots_
+  roots_.emplace(id, handle);
+  handle.resume();  // run synchronously to the first suspension
+}
+
+void Simulator::reap_root(std::uint64_t id) {
+  const auto it = roots_.find(id);
+  if (it == roots_.end()) return;
+  it->second.destroy();
+  roots_.erase(it);
+}
+
+Simulator::~Simulator() {
+  // Destroy still-suspended process chains. Their frame destructors may
+  // interact with sync primitives (releasing leases, waking waiters) — the
+  // wakeups land in the queue and are simply never run.
+  for (auto& [id, handle] : roots_) handle.destroy();
+  roots_.clear();
+}
+
+}  // namespace faaspart::sim

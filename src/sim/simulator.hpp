@@ -1,0 +1,139 @@
+// The discrete-event simulation core.
+//
+// A Simulator owns a virtual clock and an event queue ordered by
+// (time, insertion sequence): events at equal timestamps run in FIFO order,
+// which makes every run bit-for-bit deterministic. All higher layers — GPU
+// sharing engines, the FaaS executor, workload processes — advance time only
+// through this queue.
+//
+// Two programming styles are supported and freely mixed:
+//   * callback events  — schedule_in()/schedule_at()/cancel(), used by the
+//     sharing engines that need to re-plan in-flight work;
+//   * coroutine processes — Co<void> chains rooted at spawn(), used by
+//     workloads and the FaaS runtime, suspending on delay() and Futures.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/co.hpp"
+#include "util/units.hpp"
+
+namespace faaspart::sim {
+
+using util::Duration;
+using util::TimePoint;
+
+class Simulator;
+
+/// Awaitable returned by Simulator::delay().
+struct DelayAwaiter {
+  Simulator& sim;
+  Duration d;
+  bool await_ready() const noexcept { return false; }
+  void await_suspend(std::coroutine_handle<> h);
+  void await_resume() const noexcept {}
+};
+
+// NOTE (GCC 12.x): do not build non-trivially-destructible *braced-init*
+// temporaries inside a co_await expression, e.g.
+//     co_await ctx.launch(gpu::KernelDesc{...});   // miscompiled by GCC 12
+// GCC 12 fails to place such temporaries in the coroutine frame, so their
+// destructor runs on reused stack memory after resumption (heap corruption).
+// Bind them to a named local first:
+//     gpu::KernelDesc k{...};
+//     co_await ctx.launch(k);
+// Function-return temporaries and lvalue copies are unaffected.
+class Simulator {
+ public:
+  using EventId = std::uint64_t;
+  using Callback = std::function<void()>;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+  /// Destroys still-suspended spawned processes (their frames cascade down
+  /// the await chain), so a torn-down simulation leaks nothing.
+  ~Simulator();
+
+  [[nodiscard]] TimePoint now() const { return now_; }
+
+  /// Schedules `cb` at absolute virtual time `t` (must be >= now).
+  EventId schedule_at(TimePoint t, Callback cb);
+
+  /// Schedules `cb` after a non-negative delay.
+  EventId schedule_in(Duration d, Callback cb);
+
+  /// Schedules `cb` at the current instant, after already-queued events with
+  /// the same timestamp.
+  EventId schedule_now(Callback cb) { return schedule_in(Duration{0}, std::move(cb)); }
+
+  /// Cancels a pending event. Returns false if it already ran or was
+  /// cancelled (both are benign — cancellation is idempotent).
+  bool cancel(EventId id);
+
+  /// Runs the next event. Returns false when the queue is empty.
+  bool step();
+
+  /// Runs until the queue drains. Rethrows the first exception that escaped
+  /// a spawned process.
+  void run();
+
+  /// Runs all events with time <= t, then advances the clock to exactly t.
+  void run_until(TimePoint t);
+
+  /// Starts a detached simulation process at the current instant. The
+  /// process runs synchronously until its first suspension point. An
+  /// exception escaping the process is recorded and rethrown from run().
+  void spawn(Co<void> proc, std::string name = "process");
+
+  /// Suspends the awaiting coroutine for `d` of virtual time.
+  [[nodiscard]] DelayAwaiter delay(Duration d) { return DelayAwaiter{*this, d}; }
+
+  [[nodiscard]] std::size_t pending_events() const { return live_events_; }
+  [[nodiscard]] std::uint64_t processed_events() const { return processed_; }
+  [[nodiscard]] std::size_t live_processes() const { return live_processes_; }
+
+  struct ProcessFailure {
+    std::string name;
+    std::exception_ptr error;
+  };
+  [[nodiscard]] const std::vector<ProcessFailure>& failures() const { return failures_; }
+
+ private:
+  struct HeapEntry {
+    TimePoint t;
+    std::uint64_t seq;
+    EventId id;
+    bool operator>(const HeapEntry& o) const {
+      return t > o.t || (t == o.t && seq > o.seq);
+    }
+  };
+
+  void rethrow_failure_if_any();
+  void reap_root(std::uint64_t id);
+  friend struct RootReaper;  // defined in simulator.cpp
+
+  TimePoint now_{};
+  std::uint64_t next_seq_ = 0;
+  EventId next_id_ = 1;
+  std::uint64_t processed_ = 0;
+  std::size_t live_events_ = 0;  // scheduled and not yet run/cancelled
+  std::size_t live_processes_ = 0;
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>> heap_;
+  std::unordered_map<EventId, Callback> callbacks_;
+  std::vector<ProcessFailure> failures_;
+  std::size_t next_failure_to_rethrow_ = 0;
+
+  // Root coroutine frames, owned by the simulator: reaped right after a
+  // process finishes, destroyed wholesale (suspended mid-chain or not) when
+  // the simulator goes away.
+  std::uint64_t next_root_id_ = 1;
+  std::unordered_map<std::uint64_t, std::coroutine_handle<>> roots_;
+};
+
+}  // namespace faaspart::sim

@@ -1,0 +1,64 @@
+#include "sim/sync.hpp"
+
+namespace faaspart::sim {
+
+void ResourceLease::release() {
+  if (res_ == nullptr) return;
+  const auto res = std::exchange(res_, nullptr);
+  const std::int64_t n = std::exchange(count_, 0);
+  if (*res != nullptr) (*res)->release_units(n);
+}
+
+Resource::Resource(Simulator& sim, std::int64_t capacity, std::string name)
+    : sim_(sim),
+      name_(std::move(name)),
+      capacity_(capacity),
+      available_(capacity),
+      self_(std::make_shared<Resource*>(this)) {
+  FP_CHECK_MSG(capacity > 0, "Resource capacity must be positive");
+}
+
+Resource::~Resource() { *self_ = nullptr; }
+
+Co<ResourceLease> Resource::acquire(std::int64_t n) {
+  FP_CHECK_MSG(n > 0, "acquire count must be positive");
+  FP_CHECK_MSG(n <= capacity_, "acquire exceeds total capacity of " + name_);
+  // Fast path keeps FIFO: only bypass the queue when nobody is waiting.
+  if (waiters_.empty() && available_ >= n) {
+    available_ -= n;
+    co_return ResourceLease(self_, n);
+  }
+  co_await AcquireAwaiter{*this, n};
+  co_return ResourceLease(self_, n);
+}
+
+ResourceLease Resource::try_acquire(std::int64_t n) {
+  FP_CHECK_MSG(n > 0, "acquire count must be positive");
+  if (waiters_.empty() && available_ >= n) {
+    available_ -= n;
+    return ResourceLease(self_, n);
+  }
+  return {};
+}
+
+void Resource::AcquireAwaiter::await_suspend(std::coroutine_handle<> h) {
+  res.waiters_.push_back(Waiter{n, h});
+}
+
+void Resource::release_units(std::int64_t n) {
+  available_ += n;
+  FP_CHECK_MSG(available_ <= capacity_, "Resource over-release on " + name_);
+  drain();
+}
+
+void Resource::drain() {
+  // Grant strictly from the front; a blocked head blocks everyone behind it.
+  while (!waiters_.empty() && waiters_.front().n <= available_) {
+    const Waiter w = waiters_.front();
+    waiters_.pop_front();
+    available_ -= w.n;
+    sim_.schedule_now([h = w.handle] { h.resume(); });
+  }
+}
+
+}  // namespace faaspart::sim

@@ -1,0 +1,61 @@
+#include "trace/chrometrace.hpp"
+
+namespace faaspart::trace {
+
+namespace {
+
+void write_json_string(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& os, const Recorder& rec,
+                        const std::string& process_name) {
+  os << "{\"traceEvents\":[";
+  bool first = true;
+
+  // Thread-name metadata per lane.
+  for (LaneId l = 0; l < rec.lane_count(); ++l) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" << l + 1
+       << ",\"args\":{\"name\":";
+    write_json_string(os, rec.lane_name(l));
+    os << "}}";
+  }
+  os << ",{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"args\":{\"name\":";
+  write_json_string(os, process_name);
+  os << "}}";
+
+  for (const auto& s : rec.spans()) {
+    os << ",{\"name\":";
+    write_json_string(os, s.name);
+    os << ",\"cat\":";
+    write_json_string(os, s.category);
+    // Trace Event timestamps are µs; keep sub-µs precision as fractions.
+    os << ",\"ph\":\"X\",\"pid\":1,\"tid\":" << s.lane + 1
+       << ",\"ts\":" << static_cast<double>(s.start.ns) / 1e3
+       << ",\"dur\":" << static_cast<double>((s.end - s.start).ns) / 1e3 << "}";
+  }
+  os << "]}";
+}
+
+}  // namespace faaspart::trace

@@ -1,0 +1,18 @@
+// chrome://tracing (Perfetto-compatible) export of a Recorder's spans —
+// drag the JSON into chrome://tracing or ui.perfetto.dev to browse a run's
+// timeline interactively.
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "trace/recorder.hpp"
+
+namespace faaspart::trace {
+
+/// Writes Trace Event Format JSON: one complete ("X") event per span, lanes
+/// mapped to tids under a single process. Virtual-time ns map to trace µs.
+void write_chrome_trace(std::ostream& os, const Recorder& rec,
+                        const std::string& process_name = "faaspart");
+
+}  // namespace faaspart::trace

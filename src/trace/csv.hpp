@@ -1,0 +1,49 @@
+// Minimal CSV emission for offline plotting of bench series.
+#pragma once
+
+#include <fstream>
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace faaspart::trace {
+
+/// Writes rows with RFC-4180-style quoting (quotes fields containing the
+/// separator, quotes, or newlines).
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& os) : os_(os) {}
+
+  void row(const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (i > 0) os_ << ',';
+      write_field(cells[i]);
+    }
+    os_ << '\n';
+  }
+
+  void row(std::initializer_list<std::string> cells) {
+    row(std::vector<std::string>(cells));
+  }
+
+ private:
+  void write_field(const std::string& f) {
+    if (f.find_first_of(",\"\n") == std::string::npos) {
+      os_ << f;
+      return;
+    }
+    os_ << '"';
+    for (const char c : f) {
+      if (c == '"') os_ << '"';
+      os_ << c;
+    }
+    os_ << '"';
+  }
+
+  std::ostream& os_;
+};
+
+}  // namespace faaspart::trace

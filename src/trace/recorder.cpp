@@ -1,0 +1,92 @@
+#include "trace/recorder.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace faaspart::trace {
+
+LaneId Recorder::add_lane(std::string name) {
+  lanes_.push_back(std::move(name));
+  return static_cast<LaneId>(lanes_.size() - 1);
+}
+
+const std::string& Recorder::lane_name(LaneId id) const {
+  FP_CHECK_MSG(id < lanes_.size(), "unknown lane id");
+  return lanes_[id];
+}
+
+void Recorder::record(LaneId lane, std::string name, std::string category,
+                      TimePoint start, TimePoint end) {
+  FP_CHECK_MSG(lane < lanes_.size(), "record on unknown lane");
+  FP_CHECK_MSG(end >= start, "span ends before it starts");
+  spans_.push_back(Span{lane, std::move(name), std::move(category), start, end});
+}
+
+std::vector<Span> Recorder::lane_spans(LaneId lane) const {
+  std::vector<Span> out;
+  for (const auto& s : spans_) {
+    if (s.lane == lane) out.push_back(s);
+  }
+  return out;
+}
+
+std::vector<Span> Recorder::category_spans(const std::string& category) const {
+  std::vector<Span> out;
+  for (const auto& s : spans_) {
+    if (s.category == category) out.push_back(s);
+  }
+  return out;
+}
+
+Duration Recorder::busy_time(LaneId lane, TimePoint from, TimePoint to) const {
+  FP_CHECK(to >= from);
+  // Collect clipped intervals, sort, merge overlaps, sum.
+  std::vector<std::pair<std::int64_t, std::int64_t>> ivals;
+  for (const auto& s : spans_) {
+    if (s.lane != lane) continue;
+    const std::int64_t b = std::max(s.start.ns, from.ns);
+    const std::int64_t e = std::min(s.end.ns, to.ns);
+    if (e > b) ivals.emplace_back(b, e);
+  }
+  std::sort(ivals.begin(), ivals.end());
+  std::int64_t busy = 0;
+  std::int64_t cur_b = 0;
+  std::int64_t cur_e = -1;
+  for (const auto& [b, e] : ivals) {
+    if (cur_e < 0) {
+      cur_b = b;
+      cur_e = e;
+    } else if (b <= cur_e) {
+      cur_e = std::max(cur_e, e);
+    } else {
+      busy += cur_e - cur_b;
+      cur_b = b;
+      cur_e = e;
+    }
+  }
+  if (cur_e >= 0) busy += cur_e - cur_b;
+  return Duration{busy};
+}
+
+double Recorder::utilization(LaneId lane, TimePoint from, TimePoint to) const {
+  const Duration window = to - from;
+  if (window.ns <= 0) return 0.0;
+  return busy_time(lane, from, to) / window;
+}
+
+TimePoint Recorder::first_start() const {
+  TimePoint t{INT64_MAX};
+  for (const auto& s : spans_) t = std::min(t, s.start);
+  return spans_.empty() ? TimePoint{0} : t;
+}
+
+TimePoint Recorder::last_end() const {
+  TimePoint t{0};
+  for (const auto& s : spans_) t = std::max(t, s.end);
+  return t;
+}
+
+void Recorder::clear() { spans_.clear(); }
+
+}  // namespace faaspart::trace

@@ -1,0 +1,72 @@
+// Span recording and utilization accounting.
+//
+// Every timed activity in the simulator (a kernel on a GPU, a task on a
+// worker, a workflow phase) can be recorded as a Span on a named lane. The
+// Recorder answers the questions the paper's evaluation asks: how busy was
+// each lane (GPU utilization, Fig 3's idle gaps), when did phases run, and
+// what does the timeline look like.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace faaspart::trace {
+
+using util::Duration;
+using util::TimePoint;
+
+using LaneId = std::uint32_t;
+
+struct Span {
+  LaneId lane = 0;
+  std::string name;      // e.g. kernel or task name
+  std::string category;  // e.g. "kernel", "task", "phase:train"
+  TimePoint start{};
+  TimePoint end{};
+
+  [[nodiscard]] Duration duration() const { return end - start; }
+};
+
+class Recorder {
+ public:
+  /// Registers a lane (a GPU, a worker, a logical swimlane). Lane names are
+  /// not required to be unique, ids are.
+  LaneId add_lane(std::string name);
+
+  [[nodiscard]] const std::string& lane_name(LaneId id) const;
+  [[nodiscard]] std::size_t lane_count() const { return lanes_.size(); }
+
+  /// Records a closed span; `end >= start` is enforced.
+  void record(LaneId lane, std::string name, std::string category,
+              TimePoint start, TimePoint end);
+
+  [[nodiscard]] const std::vector<Span>& spans() const { return spans_; }
+
+  /// Spans on one lane, in recording order.
+  [[nodiscard]] std::vector<Span> lane_spans(LaneId lane) const;
+
+  /// Spans whose category matches exactly.
+  [[nodiscard]] std::vector<Span> category_spans(const std::string& category) const;
+
+  /// Total time in [from, to] during which at least one span on `lane` was
+  /// active (overlapping spans are unioned, not double-counted).
+  [[nodiscard]] Duration busy_time(LaneId lane, TimePoint from, TimePoint to) const;
+
+  /// busy_time / (to - from); 0 for an empty window.
+  [[nodiscard]] double utilization(LaneId lane, TimePoint from, TimePoint to) const;
+
+  /// Earliest start / latest end over all spans (simulation extent).
+  [[nodiscard]] TimePoint first_start() const;
+  [[nodiscard]] TimePoint last_end() const;
+
+  void clear();
+
+ private:
+  std::vector<std::string> lanes_;
+  std::vector<Span> spans_;
+};
+
+}  // namespace faaspart::trace

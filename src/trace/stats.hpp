@@ -1,0 +1,52 @@
+// Summary statistics for latency/throughput reporting.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace faaspart::trace {
+
+/// Order statistics and moments of a sample set.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
+/// Computes a Summary; an empty input yields an all-zero Summary.
+Summary summarize(std::vector<double> samples);
+
+/// Linear-interpolated percentile of a *sorted* sample vector, q in [0, 1].
+double percentile_sorted(const std::vector<double>& sorted, double q);
+
+/// Convenience: summarize durations in seconds.
+Summary summarize_durations(const std::vector<util::Duration>& ds);
+
+/// Streaming mean/variance (Welford) for long-running meters.
+class OnlineStats {
+ public:
+  void add(double x);
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return min_; }
+  [[nodiscard]] double max() const { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace faaspart::trace

@@ -1,0 +1,77 @@
+#include "trace/table.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace faaspart::trace {
+
+namespace {
+
+bool looks_numeric(const std::string& s) {
+  if (s.empty()) return false;
+  for (const char c : s) {
+    if (std::isdigit(static_cast<unsigned char>(c)) == 0 && c != '.' && c != '-' &&
+        c != '+' && c != '%' && c != 'e' && c != 'x' && c != ' ') {
+      return false;
+    }
+  }
+  return std::isdigit(static_cast<unsigned char>(s[0])) != 0 || s[0] == '-' ||
+         s[0] == '+' || s[0] == '.';
+}
+
+}  // namespace
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  FP_CHECK_MSG(!headers_.empty(), "table needs at least one column");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  FP_CHECK_MSG(cells.size() == headers_.size(), "row width mismatch");
+  rows_.push_back(std::move(cells));
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  const auto emit = [&](const std::vector<std::string>& cells, bool align_numeric) {
+    os << "| ";
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      const std::string& cell = cells[c];
+      const std::size_t pad = widths[c] - cell.size();
+      const bool right = align_numeric && looks_numeric(cell);
+      if (right) os << std::string(pad, ' ') << cell;
+      else os << cell << std::string(pad, ' ');
+      os << (c + 1 < cells.size() ? " | " : " |\n");
+    }
+    if (cells.size() == 1) return;  // separator already printed inline
+  };
+
+  emit(headers_, /*align_numeric=*/false);
+  os << "|";
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    os << std::string(widths[c] + 2, '-') << (c + 1 < widths.size() ? "+" : "|\n");
+  }
+  for (const auto& row : rows_) emit(row, /*align_numeric=*/true);
+}
+
+std::string Table::to_string() const {
+  std::ostringstream os;
+  print(os);
+  return os.str();
+}
+
+void print_banner(std::ostream& os, const std::string& title) {
+  const std::size_t pad = title.size() < 72 ? 76 - title.size() : 4;
+  os << "\n== " << title << " " << std::string(pad, '=') << "\n\n";
+}
+
+}  // namespace faaspart::trace

@@ -1,0 +1,35 @@
+// Console table rendering for bench output.
+//
+// Benches print paper-style tables; this keeps the formatting in one place
+// (column sizing, right-alignment of numerics, separators).
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace faaspart::trace {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Adds a row; must match the header count.
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders with a header separator; numeric-looking cells right-align.
+  void print(std::ostream& os) const;
+
+  [[nodiscard]] std::string to_string() const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Section banner used between experiment blocks in bench output.
+void print_banner(std::ostream& os, const std::string& title);
+
+}  // namespace faaspart::trace

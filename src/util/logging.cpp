@@ -1,0 +1,36 @@
+#include "util/logging.hpp"
+
+#include <cstdio>
+
+namespace faaspart::util {
+
+namespace {
+LogLevel g_level = LogLevel::kWarn;
+}
+
+LogLevel log_level() { return g_level; }
+
+void set_log_level(LogLevel level) { g_level = level; }
+
+const char* log_level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+void log_line(LogLevel level, const char* file, int line, const std::string& msg) {
+  // Strip the path; the basename is enough to locate the call site.
+  const char* base = file;
+  for (const char* p = file; *p != '\0'; ++p) {
+    if (*p == '/') base = p + 1;
+  }
+  std::fprintf(stderr, "[%s] %s:%d %s\n", log_level_name(level), base, line, msg.c_str());
+}
+
+}  // namespace faaspart::util

@@ -1,0 +1,39 @@
+// Minimal leveled logger.
+//
+// The simulator is single-threaded by construction (discrete-event core), so
+// the logger needs no locking. Level filtering happens before argument
+// formatting via the macro, keeping disabled log statements nearly free.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace faaspart::util {
+
+enum class LogLevel : int { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4, kOff = 5 };
+
+/// Process-wide minimum level; defaults to kWarn so tests and benches stay quiet.
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+/// Emits one formatted line to stderr. Prefer the FP_LOG macro.
+void log_line(LogLevel level, const char* file, int line, const std::string& msg);
+
+const char* log_level_name(LogLevel level);
+
+}  // namespace faaspart::util
+
+#define FP_LOG(level, expr)                                                    \
+  do {                                                                         \
+    if (static_cast<int>(level) >= static_cast<int>(::faaspart::util::log_level())) { \
+      std::ostringstream fp_log_os;                                            \
+      fp_log_os << expr;                                                       \
+      ::faaspart::util::log_line(level, __FILE__, __LINE__, fp_log_os.str());  \
+    }                                                                          \
+  } while (0)
+
+#define FP_LOG_TRACE(expr) FP_LOG(::faaspart::util::LogLevel::kTrace, expr)
+#define FP_LOG_DEBUG(expr) FP_LOG(::faaspart::util::LogLevel::kDebug, expr)
+#define FP_LOG_INFO(expr) FP_LOG(::faaspart::util::LogLevel::kInfo, expr)
+#define FP_LOG_WARN(expr) FP_LOG(::faaspart::util::LogLevel::kWarn, expr)
+#define FP_LOG_ERROR(expr) FP_LOG(::faaspart::util::LogLevel::kError, expr)

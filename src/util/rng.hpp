@@ -1,0 +1,61 @@
+// Deterministic, platform-independent pseudo-randomness.
+//
+// std::mt19937 is deterministic but std::*_distribution is not specified
+// bit-for-bit across standard libraries, so we implement both the generator
+// (xoshiro256**, Blackman & Vigna 2018, public domain) and the distributions
+// ourselves. Every stochastic component of the simulator takes an explicit
+// Rng so experiments replay exactly from a seed.
+#pragma once
+
+#include <cstdint>
+
+#include "util/units.hpp"
+
+namespace faaspart::util {
+
+/// xoshiro256** seeded via SplitMix64.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  /// Uniform 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, 1).
+  double next_double();
+
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Exponential with the given mean (> 0).
+  double exponential(double mean);
+
+  /// Normal via Box–Muller (polar form avoided to keep the stream simple:
+  /// exactly two next_double() draws per sample).
+  double normal(double mean, double stddev);
+
+  /// Lognormal parameterized by the *target* mean and coefficient of
+  /// variation of the resulting distribution (more convenient for workload
+  /// models than mu/sigma of the underlying normal).
+  double lognormal_mean_cv(double mean, double cv);
+
+  /// Bernoulli draw.
+  bool chance(double p);
+
+  /// Derives an independent child stream; used to give each simulated actor
+  /// its own stream so adding an actor does not perturb the others.
+  Rng fork();
+
+  // Duration-valued conveniences for workload models.
+  Duration exponential_duration(Duration mean);
+  Duration lognormal_duration(Duration mean, double cv);
+  Duration uniform_duration(Duration lo, Duration hi);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace faaspart::util

@@ -1,0 +1,37 @@
+// Small string helpers shared by config parsing and report rendering.
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace faaspart::util {
+
+/// Splits on a single character; empty fields are preserved.
+std::vector<std::string> split(std::string_view s, char sep);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string trim(std::string_view s);
+
+/// Joins with a separator.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// True if `s` starts with `prefix`.
+bool starts_with(std::string_view s, std::string_view prefix);
+
+/// ASCII lowercase copy.
+std::string to_lower(std::string_view s);
+
+/// ostringstream-based formatter: strf("x=", 3, " y=", 4.5).
+template <typename... Args>
+std::string strf(Args&&... args) {
+  std::ostringstream os;
+  (os << ... << std::forward<Args>(args));
+  return os.str();
+}
+
+/// Fixed-precision double → string ("3.14" for fixed(3.14159, 2)).
+std::string fixed(double v, int precision);
+
+}  // namespace faaspart::util

@@ -1,0 +1,58 @@
+#include "util/units.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace faaspart::util {
+
+namespace {
+
+std::string scaled(double value, const char* unit) {
+  char buf[64];
+  if (value >= 100.0) {
+    std::snprintf(buf, sizeof buf, "%.0f %s", value, unit);
+  } else if (value >= 10.0) {
+    std::snprintf(buf, sizeof buf, "%.1f %s", value, unit);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.2f %s", value, unit);
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::string format_duration(Duration d) {
+  const double ns = static_cast<double>(d.ns);
+  const double mag = std::fabs(ns);
+  if (mag >= 60e9) {
+    // minutes:seconds for long spans — bench tables report multi-minute runs.
+    const double s = ns * 1e-9;
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.0fm%04.1fs", std::trunc(s / 60.0),
+                  std::fabs(s) - std::fabs(std::trunc(s / 60.0)) * 60.0);
+    return buf;
+  }
+  if (mag >= 1e9) return scaled(ns * 1e-9, "s");
+  if (mag >= 1e6) return scaled(ns * 1e-6, "ms");
+  if (mag >= 1e3) return scaled(ns * 1e-3, "us");
+  return scaled(ns, "ns");
+}
+
+std::string format_bytes(Bytes b) {
+  const double v = static_cast<double>(b);
+  const double mag = std::fabs(v);
+  if (mag >= 1e9) return scaled(v * 1e-9, "GB");
+  if (mag >= 1e6) return scaled(v * 1e-6, "MB");
+  if (mag >= 1e3) return scaled(v * 1e-3, "KB");
+  return scaled(v, "B");
+}
+
+std::string format_flops(Flops f) {
+  const double mag = std::fabs(f);
+  if (mag >= 1e12) return scaled(f * 1e-12, "TFLOP");
+  if (mag >= 1e9) return scaled(f * 1e-9, "GFLOP");
+  if (mag >= 1e6) return scaled(f * 1e-6, "MFLOP");
+  return scaled(f, "FLOP");
+}
+
+}  // namespace faaspart::util

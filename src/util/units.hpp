@@ -1,0 +1,113 @@
+// Physical units used throughout the simulator.
+//
+// Virtual time is kept as integer nanoseconds (deterministic, overflow-safe
+// for > 290 years of simulated time). Byte counts are signed 64-bit so that
+// accounting bugs surface as negative values in FP_CHECKs instead of silent
+// wraparound. Floating-point is reserved for rates (flop/s, B/s) where the
+// dynamic range requires it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace faaspart::util {
+
+// ---------------------------------------------------------------------------
+// Time
+// ---------------------------------------------------------------------------
+
+/// A span of virtual time in nanoseconds.
+struct Duration {
+  std::int64_t ns = 0;
+
+  constexpr Duration() = default;
+  explicit constexpr Duration(std::int64_t nanos) : ns(nanos) {}
+
+  [[nodiscard]] constexpr double seconds() const { return static_cast<double>(ns) * 1e-9; }
+  [[nodiscard]] constexpr double millis() const { return static_cast<double>(ns) * 1e-6; }
+  [[nodiscard]] constexpr double micros() const { return static_cast<double>(ns) * 1e-3; }
+
+  constexpr auto operator<=>(const Duration&) const = default;
+
+  constexpr Duration operator+(Duration o) const { return Duration{ns + o.ns}; }
+  constexpr Duration operator-(Duration o) const { return Duration{ns - o.ns}; }
+  constexpr Duration& operator+=(Duration o) { ns += o.ns; return *this; }
+  constexpr Duration& operator-=(Duration o) { ns -= o.ns; return *this; }
+  constexpr Duration operator*(double f) const {
+    return Duration{static_cast<std::int64_t>(static_cast<double>(ns) * f)};
+  }
+  constexpr Duration operator/(std::int64_t d) const { return Duration{ns / d}; }
+  [[nodiscard]] constexpr double operator/(Duration o) const {
+    return static_cast<double>(ns) / static_cast<double>(o.ns);
+  }
+};
+
+constexpr Duration nanoseconds(std::int64_t v) { return Duration{v}; }
+constexpr Duration microseconds(std::int64_t v) { return Duration{v * 1'000}; }
+constexpr Duration milliseconds(std::int64_t v) { return Duration{v * 1'000'000}; }
+constexpr Duration seconds(std::int64_t v) { return Duration{v * 1'000'000'000}; }
+constexpr Duration minutes(std::int64_t v) { return seconds(v * 60); }
+
+/// Converts a floating-point second count, rounding to the nearest ns.
+constexpr Duration from_seconds(double s) {
+  return Duration{static_cast<std::int64_t>(s * 1e9 + (s >= 0 ? 0.5 : -0.5))};
+}
+
+/// A point on the virtual timeline (ns since simulation start).
+struct TimePoint {
+  std::int64_t ns = 0;
+
+  constexpr TimePoint() = default;
+  explicit constexpr TimePoint(std::int64_t nanos) : ns(nanos) {}
+
+  [[nodiscard]] constexpr double seconds() const { return static_cast<double>(ns) * 1e-9; }
+
+  constexpr auto operator<=>(const TimePoint&) const = default;
+
+  constexpr TimePoint operator+(Duration d) const { return TimePoint{ns + d.ns}; }
+  constexpr TimePoint operator-(Duration d) const { return TimePoint{ns - d.ns}; }
+  constexpr Duration operator-(TimePoint o) const { return Duration{ns - o.ns}; }
+};
+
+namespace literals {
+constexpr Duration operator""_ns(unsigned long long v) { return nanoseconds(static_cast<std::int64_t>(v)); }
+constexpr Duration operator""_us(unsigned long long v) { return microseconds(static_cast<std::int64_t>(v)); }
+constexpr Duration operator""_ms(unsigned long long v) { return milliseconds(static_cast<std::int64_t>(v)); }
+constexpr Duration operator""_s(unsigned long long v) { return seconds(static_cast<std::int64_t>(v)); }
+constexpr Duration operator""_s(long double v) { return from_seconds(static_cast<double>(v)); }
+constexpr Duration operator""_ms(long double v) { return from_seconds(static_cast<double>(v) * 1e-3); }
+}  // namespace literals
+
+// ---------------------------------------------------------------------------
+// Bytes / compute
+// ---------------------------------------------------------------------------
+
+using Bytes = std::int64_t;
+
+constexpr Bytes KiB = 1024;
+constexpr Bytes MiB = 1024 * KiB;
+constexpr Bytes GiB = 1024 * MiB;
+/// Decimal gigabyte — GPU marketing numbers (40 GB HBM) use powers of ten.
+constexpr Bytes GB = 1'000'000'000;
+constexpr Bytes MB = 1'000'000;
+
+/// Floating-point operation count. double holds exact integers to 2^53,
+/// far beyond any single kernel we model.
+using Flops = double;
+
+constexpr Flops TFLOP = 1e12;
+constexpr Flops GFLOP = 1e9;
+constexpr Flops MFLOP = 1e6;
+
+// ---------------------------------------------------------------------------
+// Human-readable formatting (used in benches / traces)
+// ---------------------------------------------------------------------------
+
+/// "1.50 s", "340 ms", "12.0 us" — picks a scale that keeps 3 significant digits.
+std::string format_duration(Duration d);
+/// "40.0 GB", "512 MB", "1.2 KB" (decimal units to match GPU spec sheets).
+std::string format_bytes(Bytes b);
+/// "3.86 GFLOP", "19.5 TFLOP/s" style (caller appends "/s" for rates).
+std::string format_flops(Flops f);
+
+}  // namespace faaspart::util

@@ -1,0 +1,64 @@
+#include "workloads/batching.hpp"
+
+#include "util/error.hpp"
+
+namespace faaspart::workloads {
+
+BatchingServer::BatchingServer(sim::Simulator& sim, gpu::Device& device,
+                               gpu::ContextId ctx, DnnModel model,
+                               BatchingServerConfig cfg)
+    : sim_(sim), device_(device), ctx_(ctx), model_(std::move(model)), cfg_(cfg) {
+  FP_CHECK_MSG(cfg_.max_batch >= 1, "max_batch must be >= 1");
+  FP_CHECK_MSG(cfg_.flush_every.ns > 0, "flush period must be positive");
+}
+
+sim::Future<> BatchingServer::infer() {
+  Pending p{sim::Promise<>(sim_), sim_.now()};
+  auto fut = p.done.future();
+  queue_.push_back(std::move(p));
+  return fut;
+}
+
+sim::Co<void> BatchingServer::run_one_batch(std::vector<Pending> batch) {
+  const int b = static_cast<int>(batch.size());
+  batch_sizes_.push_back(b);
+  for (const auto& k : model_.inference_kernels(b)) {
+    co_await device_.launch(ctx_, k);
+  }
+  const util::TimePoint done_at = sim_.now();
+  for (auto& p : batch) {
+    latencies_s_.push_back((done_at - p.enqueued).seconds());
+    p.done.set_value();
+    ++served_;
+  }
+}
+
+sim::Co<void> BatchingServer::run(util::TimePoint deadline) {
+  while (true) {
+    co_await sim_.delay(cfg_.flush_every);
+    // Drain everything queued this tick, max_batch at a time.
+    while (!queue_.empty()) {
+      std::vector<Pending> batch;
+      while (!queue_.empty() &&
+             static_cast<int>(batch.size()) < cfg_.max_batch) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+      co_await run_one_batch(std::move(batch));
+    }
+    if (sim_.now() >= deadline) break;
+  }
+}
+
+double BatchingServer::mean_batch_size() const {
+  if (batch_sizes_.empty()) return 0.0;
+  double sum = 0;
+  for (const int b : batch_sizes_) sum += b;
+  return sum / static_cast<double>(batch_sizes_.size());
+}
+
+trace::Summary BatchingServer::latency_summary() const {
+  return trace::summarize(latencies_s_);
+}
+
+}  // namespace faaspart::workloads

@@ -1,0 +1,67 @@
+// BatchingServer — a DNN inference server that groups queued requests into
+// batches before launching (the serving-layer optimization of the paper's
+// own GSlice/D-STACK lineage [9, 10]). Batching amortizes kernel launches
+// and widens the kernels, which is what makes small MPS/MIG partitions
+// throughput-efficient for CNN serving (§3.3/Table 1's workload).
+//
+// The server drains its queue on a fixed flush tick: each tick it forms
+// batches of up to `max_batch` requests and runs the model's kernel
+// sequence per batch on its GPU context.
+#pragma once
+
+#include <deque>
+#include <vector>
+
+#include "gpu/device.hpp"
+#include "sim/future.hpp"
+#include "trace/stats.hpp"
+#include "workloads/dnn.hpp"
+
+namespace faaspart::workloads {
+
+struct BatchingServerConfig {
+  int max_batch = 8;
+  /// Queue drain period; also the worst-case added queueing delay.
+  util::Duration flush_every = util::milliseconds(10);
+};
+
+class BatchingServer {
+ public:
+  BatchingServer(sim::Simulator& sim, gpu::Device& device, gpu::ContextId ctx,
+                 DnnModel model, BatchingServerConfig cfg = {});
+
+  /// Client API: one inference request; the future completes when its batch
+  /// finishes on the GPU.
+  sim::Future<> infer();
+
+  /// Serving loop; spawn on the simulator. Runs until `deadline`, then
+  /// drains whatever is still queued.
+  sim::Co<void> run(util::TimePoint deadline);
+
+  [[nodiscard]] std::size_t requests_served() const { return served_; }
+  [[nodiscard]] std::size_t batches_run() const { return batch_sizes_.size(); }
+  [[nodiscard]] double mean_batch_size() const;
+  /// Request latencies (enqueue → batch completion), seconds.
+  [[nodiscard]] trace::Summary latency_summary() const;
+  [[nodiscard]] std::size_t queue_depth() const { return queue_.size(); }
+
+ private:
+  struct Pending {
+    sim::Promise<> done;
+    util::TimePoint enqueued{};
+  };
+
+  sim::Co<void> run_one_batch(std::vector<Pending> batch);
+
+  sim::Simulator& sim_;
+  gpu::Device& device_;
+  gpu::ContextId ctx_;
+  DnnModel model_;
+  BatchingServerConfig cfg_;
+  std::deque<Pending> queue_;
+  std::vector<int> batch_sizes_;
+  std::vector<double> latencies_s_;
+  std::size_t served_ = 0;
+};
+
+}  // namespace faaspart::workloads

@@ -1,0 +1,289 @@
+#include "workloads/dnn.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace faaspart::workloads {
+
+util::Flops DnnModel::flops_per_image() const {
+  util::Flops total = 0;
+  for (const auto& l : layers) total += l.flops;
+  return total;
+}
+
+util::Bytes DnnModel::weight_bytes() const {
+  util::Bytes total = 0;
+  for (const auto& l : layers) total += l.weight_bytes;
+  return total;
+}
+
+double DnnModel::param_count() const {
+  return static_cast<double>(weight_bytes()) / 4.0;
+}
+
+std::vector<LayerSpec> DnnModel::compute_layers() const {
+  std::vector<LayerSpec> out;
+  for (const auto& l : layers) {
+    if (l.type != LayerType::kPool) out.push_back(l);
+  }
+  return out;
+}
+
+std::vector<gpu::KernelDesc> DnnModel::inference_kernels(int batch) const {
+  FP_CHECK_MSG(batch >= 1, "batch must be >= 1");
+  std::vector<gpu::KernelDesc> out;
+  for (const auto& l : compute_layers()) {
+    gpu::KernelDesc k;
+    k.name = name + "/" + l.name;
+    k.kind = l.type == LayerType::kConv ? gpu::KernelKind::kConv
+                                        : gpu::KernelKind::kGemv;
+    k.flops = l.flops * batch;
+    // Weights read once per batch; activations move per image.
+    k.bytes = l.weight_bytes + l.activation_bytes * batch;
+    // Occupancy heuristic: one SM per ~8k output elements, clamped.
+    const double out_elems =
+        static_cast<double>(l.out_c) * l.out_h * l.out_w * batch;
+    k.width_sms = std::clamp(static_cast<int>(out_elems / 8192.0), 2, 108);
+    k.bw_fraction = l.type == LayerType::kConv ? 0.5 : 0.8;
+    out.push_back(std::move(k));
+  }
+  return out;
+}
+
+namespace models {
+namespace {
+
+/// Incremental graph builder tracking the activation shape.
+class Builder {
+ public:
+  Builder(std::string model_name, int channels, int hw)
+      : model_(std::move(model_name)), c_(channels), h_(hw), w_(hw) {}
+
+  void conv(const std::string& name, int out_c, int k, int stride, int pad) {
+    LayerSpec l;
+    l.name = name;
+    l.type = LayerType::kConv;
+    l.in_c = c_;
+    l.in_h = h_;
+    l.in_w = w_;
+    l.kernel = k;
+    l.stride = stride;
+    l.out_c = out_c;
+    l.out_h = (h_ + 2 * pad - k) / stride + 1;
+    l.out_w = (w_ + 2 * pad - k) / stride + 1;
+    const double macs = static_cast<double>(k) * k * c_ * l.out_h * l.out_w * out_c;
+    l.flops = 2.0 * macs;
+    l.weight_bytes = static_cast<util::Bytes>(
+        (static_cast<std::int64_t>(k) * k * c_ * out_c + out_c) * 4);
+    l.activation_bytes = static_cast<util::Bytes>(
+        (static_cast<std::int64_t>(c_) * h_ * w_ +
+         static_cast<std::int64_t>(out_c) * l.out_h * l.out_w) *
+        4);
+    layers_.push_back(l);
+    c_ = out_c;
+    h_ = l.out_h;
+    w_ = l.out_w;
+  }
+
+  void pool(const std::string& name, int k, int stride, int pad = 0) {
+    LayerSpec l;
+    l.name = name;
+    l.type = LayerType::kPool;
+    l.in_c = c_;
+    l.in_h = h_;
+    l.in_w = w_;
+    l.kernel = k;
+    l.stride = stride;
+    l.out_c = c_;
+    l.out_h = (h_ + 2 * pad - k) / stride + 1;
+    l.out_w = (w_ + 2 * pad - k) / stride + 1;
+    l.flops = static_cast<double>(k) * k * l.out_c * l.out_h * l.out_w;
+    l.activation_bytes = static_cast<util::Bytes>(
+        (static_cast<std::int64_t>(c_) * h_ * w_ +
+         static_cast<std::int64_t>(l.out_c) * l.out_h * l.out_w) *
+        4);
+    layers_.push_back(l);
+    h_ = l.out_h;
+    w_ = l.out_w;
+  }
+
+  void global_avgpool(const std::string& name) {
+    LayerSpec l;
+    l.name = name;
+    l.type = LayerType::kPool;
+    l.in_c = c_;
+    l.in_h = h_;
+    l.in_w = w_;
+    l.kernel = h_;
+    l.stride = h_;
+    l.out_c = c_;
+    l.out_h = 1;
+    l.out_w = 1;
+    l.flops = static_cast<double>(c_) * h_ * w_;
+    l.activation_bytes =
+        static_cast<util::Bytes>((static_cast<std::int64_t>(c_) * h_ * w_ + c_) * 4);
+    layers_.push_back(l);
+    h_ = 1;
+    w_ = 1;
+  }
+
+  void fc(const std::string& name, int out) {
+    const int in = c_ * h_ * w_;
+    LayerSpec l;
+    l.name = name;
+    l.type = LayerType::kFc;
+    l.in_c = in;
+    l.in_h = 1;
+    l.in_w = 1;
+    l.out_c = out;
+    l.out_h = 1;
+    l.out_w = 1;
+    l.kernel = 1;
+    l.flops = 2.0 * in * out;
+    l.weight_bytes =
+        static_cast<util::Bytes>((static_cast<std::int64_t>(in) * out + out) * 4);
+    l.activation_bytes = static_cast<util::Bytes>((in + out) * 4);
+    layers_.push_back(l);
+    c_ = out;
+    h_ = 1;
+    w_ = 1;
+  }
+
+  /// A convolution on explicit input geometry that does not advance the
+  /// main shape chain — used for residual projection shortcuts, which read
+  /// the block *input* in parallel with the main path.
+  void side_conv(const std::string& name, int in_c, int in_h, int in_w,
+                 int out_c, int k, int stride, int pad) {
+    const int keep_c = c_;
+    const int keep_h = h_;
+    const int keep_w = w_;
+    c_ = in_c;
+    h_ = in_h;
+    w_ = in_w;
+    conv(name, out_c, k, stride, pad);
+    c_ = keep_c;
+    h_ = keep_h;
+    w_ = keep_w;
+  }
+
+  [[nodiscard]] int channels() const { return c_; }
+  [[nodiscard]] int height() const { return h_; }
+  [[nodiscard]] int width() const { return w_; }
+
+  DnnModel finish() { return DnnModel{model_, std::move(layers_)}; }
+
+ private:
+  std::string model_;
+  int c_, h_, w_;
+  std::vector<LayerSpec> layers_;
+};
+
+/// ResNet basic block (18/34): two 3×3 convs (+ 1×1 projection on entry).
+void basic_block(Builder& b, const std::string& tag, int out_c, int stride,
+                 bool project) {
+  const int in_c = b.channels();
+  const int in_h = b.height();
+  const int in_w = b.width();
+  b.conv(tag + ".conv1", out_c, 3, stride, 1);
+  b.conv(tag + ".conv2", out_c, 3, 1, 1);
+  if (project) {
+    b.side_conv(tag + ".proj", in_c, in_h, in_w, out_c, 1, stride, 0);
+  }
+}
+
+/// ResNet bottleneck block (50/101/152): 1×1 reduce, 3×3, 1×1 expand.
+void bottleneck_block(Builder& b, const std::string& tag, int mid_c, int out_c,
+                      int stride, bool project) {
+  const int in_c = b.channels();
+  const int in_h = b.height();
+  const int in_w = b.width();
+  b.conv(tag + ".conv1", mid_c, 1, 1, 0);
+  b.conv(tag + ".conv2", mid_c, 3, stride, 1);
+  b.conv(tag + ".conv3", out_c, 1, 1, 0);
+  if (project) {
+    b.side_conv(tag + ".proj", in_c, in_h, in_w, out_c, 1, stride, 0);
+  }
+}
+
+DnnModel resnet(const std::string& name, const std::vector<int>& blocks,
+                bool bottleneck) {
+  Builder b(name, 3, 224);
+  b.conv("conv1", 64, 7, 2, 3);
+  b.pool("maxpool", 3, 2, 1);
+  const int stage_mid[4] = {64, 128, 256, 512};
+  for (int stage = 0; stage < 4; ++stage) {
+    const int mid = stage_mid[stage];
+    const int out = bottleneck ? mid * 4 : mid;
+    for (int i = 0; i < blocks[static_cast<std::size_t>(stage)]; ++i) {
+      const int stride = (stage > 0 && i == 0) ? 2 : 1;
+      const bool project = i == 0;  // channel change (and stride) on entry
+      const std::string tag = util::strf("layer", stage + 1, ".", i);
+      if (bottleneck) {
+        bottleneck_block(b, tag, mid, out, stride, project);
+      } else {
+        basic_block(b, tag, out, stride, project);
+      }
+    }
+  }
+  b.global_avgpool("avgpool");
+  b.fc("fc", 1000);
+  return b.finish();
+}
+
+}  // namespace
+
+DnnModel alexnet() {
+  Builder b("alexnet", 3, 224);
+  b.conv("conv1", 64, 11, 4, 2);
+  b.pool("pool1", 3, 2);
+  b.conv("conv2", 192, 5, 1, 2);
+  b.pool("pool2", 3, 2);
+  b.conv("conv3", 384, 3, 1, 1);
+  b.conv("conv4", 256, 3, 1, 1);
+  b.conv("conv5", 256, 3, 1, 1);
+  b.pool("pool5", 3, 2);
+  b.fc("fc6", 4096);
+  b.fc("fc7", 4096);
+  b.fc("fc8", 1000);
+  return b.finish();
+}
+
+DnnModel vgg16() {
+  Builder b("vgg16", 3, 224);
+  const int cfg[5][3] = {{64, 64, 0}, {128, 128, 0}, {256, 256, 256},
+                         {512, 512, 512}, {512, 512, 512}};
+  for (int stage = 0; stage < 5; ++stage) {
+    for (int i = 0; i < 3; ++i) {
+      if (cfg[stage][i] == 0) continue;
+      b.conv(util::strf("conv", stage + 1, "_", i + 1), cfg[stage][i], 3, 1, 1);
+    }
+    b.pool(util::strf("pool", stage + 1), 2, 2);
+  }
+  b.fc("fc6", 4096);
+  b.fc("fc7", 4096);
+  b.fc("fc8", 1000);
+  return b.finish();
+}
+
+DnnModel resnet18() { return resnet("resnet18", {2, 2, 2, 2}, false); }
+DnnModel resnet34() { return resnet("resnet34", {3, 4, 6, 3}, false); }
+DnnModel resnet50() { return resnet("resnet50", {3, 4, 6, 3}, true); }
+DnnModel resnet101() { return resnet("resnet101", {3, 4, 23, 3}, true); }
+DnnModel resnet152() { return resnet("resnet152", {3, 8, 36, 3}, true); }
+
+std::vector<DnnModel> all() {
+  return {alexnet(), vgg16(),    resnet18(), resnet34(),
+          resnet50(), resnet101(), resnet152()};
+}
+
+DnnModel by_name(const std::string& name) {
+  for (auto& m : all()) {
+    if (m.name == name) return m;
+  }
+  throw util::NotFoundError(util::strf("DNN model '", name, "'"));
+}
+
+}  // namespace models
+}  // namespace faaspart::workloads

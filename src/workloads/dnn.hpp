@@ -1,0 +1,66 @@
+// CNN architectures and per-layer arithmetic (Fig 1, §3.3, §3.4).
+//
+// Fig 1 plots the floating-point work of every convolution layer of popular
+// torchvision models to show how compute demand varies wildly *within* one
+// inference. These builders construct the layer graphs analytically:
+// geometry in, closed-form FLOP/byte counts out, validated against the
+// well-known parameter counts (ResNet-50 ≈ 25.6 M, VGG-16 ≈ 138 M, ...).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "gpu/kernel.hpp"
+#include "util/units.hpp"
+
+namespace faaspart::workloads {
+
+enum class LayerType { kConv, kFc, kPool };
+
+struct LayerSpec {
+  std::string name;
+  LayerType type = LayerType::kConv;
+
+  // Geometry (per image).
+  int in_c = 0, in_h = 0, in_w = 0;
+  int out_c = 0, out_h = 0, out_w = 0;
+  int kernel = 0, stride = 1;
+
+  util::Flops flops = 0;            ///< per image (2 × MACs)
+  util::Bytes weight_bytes = 0;     ///< fp32 weights + bias
+  util::Bytes activation_bytes = 0; ///< fp32 input + output activations
+};
+
+struct DnnModel {
+  std::string name;
+  std::vector<LayerSpec> layers;
+
+  [[nodiscard]] util::Flops flops_per_image() const;
+  [[nodiscard]] util::Bytes weight_bytes() const;
+  [[nodiscard]] double param_count() const;  ///< weight_bytes / 4
+
+  /// Convolution/FC layers only — the series Fig 1 plots.
+  [[nodiscard]] std::vector<LayerSpec> compute_layers() const;
+
+  /// One kernel per compute layer for a batched inference. Kernel widths
+  /// follow layer output size (early high-resolution convs are wide, late
+  /// small maps and batch-1 FC layers are narrow — the Fig 1 variability).
+  [[nodiscard]] std::vector<gpu::KernelDesc> inference_kernels(int batch) const;
+};
+
+namespace models {
+DnnModel alexnet();
+DnnModel vgg16();
+DnnModel resnet18();
+DnnModel resnet34();
+DnnModel resnet50();
+DnnModel resnet101();
+DnnModel resnet152();
+
+/// All of the above, the Fig 1 roster.
+std::vector<DnnModel> all();
+/// Lookup by name ("resnet50"); throws util::NotFoundError.
+DnnModel by_name(const std::string& name);
+}  // namespace models
+
+}  // namespace faaspart::workloads

@@ -1,0 +1,279 @@
+#include "workloads/moldesign.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace faaspart::workloads {
+
+using faas::AppDef;
+using faas::AppValue;
+using faas::TaskContext;
+
+MolDesignCampaign::MolDesignCampaign(faas::DataFlowKernel& dfk,
+                                     std::string cpu_label, std::string gpu_label,
+                                     MolDesignConfig cfg, trace::Recorder* rec)
+    : dfk_(dfk),
+      cpu_label_(std::move(cpu_label)),
+      gpu_label_(std::move(gpu_label)),
+      cfg_(cfg),
+      rec_(rec),
+      rng_(cfg.seed) {
+  FP_CHECK_MSG(cfg_.rounds >= 1, "campaign needs at least one round");
+  FP_CHECK_MSG(cfg_.inference_chunk >= 1, "inference chunk must be positive");
+  FP_CHECK_MSG(!cfg_.pipelined || cfg_.retrain_every >= 1,
+               "pipelined mode needs retrain_every >= 1");
+  FP_CHECK_MSG(!cfg_.pipelined || cfg_.simulation_window >= 1,
+               "pipelined mode needs a positive simulation window");
+  if (rec_ != nullptr) {
+    lane_sim_ = rec_->add_lane("simulation");
+    lane_train_ = rec_->add_lane("training");
+    lane_infer_ = rec_->add_lane("inference");
+  }
+}
+
+std::vector<MolDesignCampaign::Molecule> MolDesignCampaign::make_pool() {
+  std::vector<Molecule> pool(static_cast<std::size_t>(cfg_.candidate_pool));
+  for (auto& m : pool) {
+    m.true_ip = rng_.normal(10.0, 1.5);
+    // Before any training the emulator knows nothing: random ranking.
+    m.estimated_ip = rng_.normal(10.0, 1.5);
+  }
+  return pool;
+}
+
+AppDef MolDesignCampaign::make_simulate_app(double true_ip) {
+  AppDef app;
+  app.name = "simulate_molecule";
+  const util::Duration mean = cfg_.simulation_mean;
+  const double cv = cfg_.simulation_cv;
+  app.body = [mean, cv, true_ip](TaskContext& ctx) -> sim::Co<AppValue> {
+    // Quantum-chemistry step: CPU-bound for a lognormal time (§3.4: the
+    // simulation phase uses only CPU).
+    co_await ctx.compute(ctx.rng().lognormal_duration(mean, cv));
+    co_return AppValue{true_ip};
+  };
+  return app;
+}
+
+AppDef MolDesignCampaign::make_train_app(int dataset_size) {
+  AppDef app;
+  app.name = "train_emulator";
+  app.function_init = util::milliseconds(800);  // TF 2.8 import (§5.1)
+  app.model_bytes = 512 * util::MB;             // emulator weights + optimizer
+  app.model_key = "mol-emulator";
+  const double flops =
+      cfg_.train_flops_per_sample * dataset_size * cfg_.train_epochs;
+  const int epochs = cfg_.train_epochs;
+  app.body = [flops, epochs](TaskContext& ctx) -> sim::Co<AppValue> {
+    // One wide GEMM-shaped kernel per epoch.
+    for (int e = 0; e < epochs; ++e) {
+      gpu::KernelDesc k;
+      k.name = util::strf("train/epoch", e);
+      k.kind = gpu::KernelKind::kGemm;
+      k.flops = flops / epochs;
+      k.bytes = 256 * util::MB;
+      k.width_sms = 80;
+      k.bw_fraction = 0.4;
+      co_await ctx.launch(std::move(k));
+    }
+    co_return AppValue{};
+  };
+  return app;
+}
+
+AppDef MolDesignCampaign::make_infer_app(int chunk_size) {
+  AppDef app;
+  app.name = "infer_emulator";
+  app.function_init = util::milliseconds(800);
+  app.model_bytes = 512 * util::MB;
+  app.model_key = "mol-emulator";
+  const double flops = cfg_.infer_flops_per_molecule * chunk_size;
+  app.body = [flops](TaskContext& ctx) -> sim::Co<AppValue> {
+    gpu::KernelDesc k;
+    k.name = "infer/chunk";
+    k.kind = gpu::KernelKind::kGemm;
+    k.flops = flops;
+    k.bytes = 128 * util::MB;
+    k.width_sms = 40;  // modest batch → far from saturating an A100 (§3.4)
+    k.bw_fraction = 0.4;
+    co_await ctx.launch(std::move(k));
+    co_return AppValue{};
+  };
+  return app;
+}
+
+void MolDesignCampaign::record_phase(const faas::TaskRecord& rec,
+                                     trace::LaneId lane,
+                                     const std::string& phase) {
+  if (rec_ == nullptr || rec.state != faas::TaskRecord::State::kDone) return;
+  rec_->record(lane, rec.app, "phase:" + phase, rec.started, rec.finished);
+}
+
+void MolDesignCampaign::note_extent(const faas::TaskRecord& rec) {
+  first_start_ = std::min(first_start_, rec.started);
+  last_finish_ = std::max(last_finish_, rec.finished);
+}
+
+sim::Co<void> MolDesignCampaign::train_and_rank(std::vector<Molecule>& pool,
+                                                int dataset_size) {
+  // Train the emulator on everything gathered so far.
+  {
+    auto h = dfk_.submit(make_train_app(dataset_size), gpu_label_);
+    co_await h.future;
+    ++result_.training_tasks;
+    result_.training_busy += h.record->run_time();
+    record_phase(*h.record, lane_train_, "training");
+    note_extent(*h.record);
+  }
+  // Emulator inference over the candidate pool, in chunks.
+  std::vector<faas::AppHandle> infers;
+  for (int off = 0; off < cfg_.candidate_pool; off += cfg_.inference_chunk) {
+    const int n = std::min(cfg_.inference_chunk, cfg_.candidate_pool - off);
+    infers.push_back(dfk_.submit(make_infer_app(n), gpu_label_));
+  }
+  for (auto& h : infers) {
+    co_await h.future;
+    ++result_.inference_tasks;
+    result_.inference_busy += h.record->run_time();
+    record_phase(*h.record, lane_infer_, "inference");
+    note_extent(*h.record);
+  }
+  // Estimates: true IP + noise shrinking with the dataset size.
+  const double noise = 2.0 / std::sqrt(static_cast<double>(dataset_size));
+  for (auto& m : pool) m.estimated_ip = m.true_ip + rng_.normal(0.0, noise);
+}
+
+sim::Co<void> MolDesignCampaign::run() {
+  if (cfg_.pipelined) {
+    co_await run_pipelined();
+  } else {
+    co_await run_rounds();
+  }
+  result_.makespan = last_finish_ > first_start_ ? last_finish_ - first_start_
+                                                 : util::Duration{0};
+}
+
+sim::Co<void> MolDesignCampaign::run_rounds() {
+  std::vector<Molecule> pool = make_pool();
+
+  // Initial batch: random picks from the pool (the MOSES seed set).
+  std::vector<std::size_t> batch;
+  for (int i = 0; i < cfg_.simulations_per_round; ++i) {
+    batch.push_back(static_cast<std::size_t>(
+        rng_.uniform_int(0, static_cast<std::int64_t>(pool.size()) - 1)));
+  }
+
+  int dataset_size = 0;
+  double best_ip = -1e300;
+
+  for (int round = 0; round < cfg_.rounds; ++round) {
+    // (1) Simulations on the CPU executor — a hard barrier before training.
+    std::vector<faas::AppHandle> sims;
+    sims.reserve(batch.size());
+    for (const auto idx : batch) {
+      sims.push_back(dfk_.submit(make_simulate_app(pool[idx].true_ip), cpu_label_));
+    }
+    for (auto& h : sims) {
+      const AppValue v = co_await h.future;
+      best_ip = std::max(best_ip, std::get<double>(v));
+      ++dataset_size;
+      ++result_.simulation_tasks;
+      result_.simulation_busy += h.record->run_time();
+      record_phase(*h.record, lane_sim_, "simulation");
+      note_extent(*h.record);
+    }
+
+    // (2)+(3) Train and re-rank — the GPU phase the CPUs wait behind.
+    co_await train_and_rank(pool, dataset_size);
+
+    // (4) Top estimates become the next round's simulations.
+    std::vector<std::size_t> order(pool.size());
+    for (std::size_t i = 0; i < pool.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return pool[a].estimated_ip > pool[b].estimated_ip;
+    });
+    batch.assign(order.begin(),
+                 order.begin() +
+                     std::min<std::size_t>(
+                         order.size(),
+                         static_cast<std::size_t>(cfg_.simulations_per_round)));
+
+    result_.best_ip_per_round.push_back(best_ip);
+  }
+}
+
+sim::Co<void> MolDesignCampaign::run_pipelined() {
+  std::vector<Molecule> pool = make_pool();
+  const int total_sims = cfg_.rounds * cfg_.simulations_per_round;
+
+  std::set<std::size_t> used;  // simulated or in flight
+  const auto pick_best_unused = [&]() -> std::size_t {
+    std::size_t best = pool.size();
+    for (std::size_t i = 0; i < pool.size(); ++i) {
+      if (used.count(i) > 0) continue;
+      if (best == pool.size() ||
+          pool[i].estimated_ip > pool[best].estimated_ip) {
+        best = i;
+      }
+    }
+    FP_CHECK_MSG(best < pool.size(), "candidate pool exhausted");
+    return best;
+  };
+
+  int launched = 0;
+  int completed = 0;
+  int dataset_size = 0;
+  int since_train = 0;
+  double best_ip = -1e300;
+  std::vector<faas::AppHandle> inflight;
+
+  const auto top_up = [&] {
+    while (launched < total_sims &&
+           static_cast<int>(inflight.size()) < cfg_.simulation_window) {
+      const std::size_t idx = pick_best_unused();
+      used.insert(idx);
+      inflight.push_back(
+          dfk_.submit(make_simulate_app(pool[idx].true_ip), cpu_label_));
+      ++launched;
+    }
+  };
+
+  const auto harvest = [&](faas::AppHandle& h, const AppValue& v) {
+    best_ip = std::max(best_ip, std::get<double>(v));
+    ++dataset_size;
+    ++completed;
+    ++since_train;
+    ++result_.simulation_tasks;
+    result_.simulation_busy += h.record->run_time();
+    record_phase(*h.record, lane_sim_, "simulation");
+    note_extent(*h.record);
+    if (completed % cfg_.simulations_per_round == 0) {
+      result_.best_ip_per_round.push_back(best_ip);
+    }
+  };
+
+  while (completed < total_sims) {
+    top_up();
+    // Await the oldest in-flight simulation (results arrive roughly in
+    // order; awaiting a settled future costs nothing).
+    FP_CHECK(!inflight.empty());
+    faas::AppHandle h = inflight.front();
+    inflight.erase(inflight.begin());
+    const AppValue v = co_await h.future;
+    harvest(h, v);
+
+    // Refresh the emulator whenever enough new data accumulated — the GPU
+    // works while the remaining simulations keep running (the pipelining).
+    if (since_train >= cfg_.retrain_every && completed < total_sims) {
+      since_train = 0;
+      top_up();  // keep the CPU window full through the GPU phase
+      co_await train_and_rank(pool, dataset_size);
+    }
+  }
+}
+
+}  // namespace faaspart::workloads

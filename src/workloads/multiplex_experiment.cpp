@@ -1,0 +1,108 @@
+#include "workloads/multiplex_experiment.hpp"
+
+#include "core/partitioner.hpp"
+#include "faas/dfk.hpp"
+#include "faas/provider.hpp"
+#include "nvml/manager.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace faaspart::workloads {
+
+const char* multiplex_mode_name(MultiplexMode mode) {
+  switch (mode) {
+    case MultiplexMode::kSingle: return "single";
+    case MultiplexMode::kTimeshare: return "timeshare";
+    case MultiplexMode::kMps: return "mps";
+    case MultiplexMode::kMig: return "mig";
+  }
+  return "?";
+}
+
+std::string mig_profile_for_processes(int processes) {
+  switch (processes) {
+    case 1: return "7g.80gb";
+    case 2: return "3g.40gb";
+    case 3: return "2g.20gb";
+    case 4: return "1g.20gb";
+    default:
+      throw util::ConfigError(util::strf("no MIG layout for ", processes,
+                                         " processes on one A100"));
+  }
+}
+
+MultiplexRunResult run_multiplex_experiment(const MultiplexRunConfig& cfg) {
+  FP_CHECK_MSG(cfg.processes >= 1, "need at least one process");
+  FP_CHECK_MSG(
+      static_cast<util::Bytes>(cfg.processes) *
+              llama_memory_footprint(cfg.model, cfg.run) <=
+          cfg.arch.memory,
+      "instances exceed device memory (only four 7B fit an 80 GB A100, §5.2)");
+  if (cfg.mode == MultiplexMode::kSingle) {
+    FP_CHECK_MSG(cfg.processes == 1, "single mode means one process");
+  }
+
+  sim::Simulator sim;
+  trace::Recorder rec;
+  nvml::DeviceManager mgr(sim, &rec);
+  const int gpu = mgr.add_device(cfg.arch);
+  faas::LocalProvider provider(sim, 24);  // §5.1 testbed
+  core::GpuPartitioner part(mgr);
+  faas::DataFlowKernel dfk(sim, faas::Config{});
+
+  faas::HtexConfig htex;
+  htex.label = "gpu";
+  switch (cfg.mode) {
+    case MultiplexMode::kSingle:
+      htex.available_accelerators = {"0"};
+      break;
+    case MultiplexMode::kTimeshare:
+      // Repeat the GPU id, no percentages: NVIDIA's default sharing.
+      for (int i = 0; i < cfg.processes; ++i) {
+        htex.available_accelerators.push_back("0");
+      }
+      break;
+    case MultiplexMode::kMps:
+      // Listing 2: equal split — 50 % each at 2, 33 % at 3, 25 % at 4.
+      for (int i = 0; i < cfg.processes; ++i) {
+        htex.available_accelerators.push_back("0");
+        htex.gpu_percentages.push_back(100 / cfg.processes);
+      }
+      break;
+    case MultiplexMode::kMig: {
+      const std::string profile = mig_profile_for_processes(cfg.processes);
+      gpu::Device& dev = mgr.device(gpu);
+      dev.enable_mig();
+      for (int i = 0; i < cfg.processes; ++i) {
+        const auto id = dev.create_instance(profile);
+        htex.available_accelerators.push_back(dev.instance(id).uuid);
+      }
+      break;
+    }
+  }
+
+  dfk.add_executor(part.build_executor(sim, provider, htex, nullptr, &rec,
+                                       cfg.seed));
+
+  const faas::AppDef app = make_llama_completion_app(
+      cfg.model.name + "-chat", cfg.model, cfg.run, cfg.shape);
+
+  auto out = std::make_shared<BatchRunResult>();
+  spawn_closed_loop_batch(sim, dfk, "gpu", app, cfg.processes,
+                          cfg.total_completions, out);
+  sim.run();
+  FP_CHECK_MSG(out->tasks == static_cast<std::size_t>(cfg.total_completions),
+               "batch did not complete");
+  FP_CHECK_MSG(out->failures == 0, "tasks failed during the batch");
+
+  MultiplexRunResult result;
+  result.config = cfg;
+  result.batch = *out;
+  // Utilization over the measured window (first body start → last finish).
+  const auto extent_end = rec.last_end();
+  result.gpu_utilization = mgr.device(gpu).measured_utilization(
+      extent_end - result.batch.makespan, extent_end);
+  return result;
+}
+
+}  // namespace faaspart::workloads

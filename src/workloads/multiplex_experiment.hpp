@@ -1,0 +1,54 @@
+// The §5.2 multiplexed-vs-non-multiplexed LLaMa-2 experiment (Figs 4 & 5).
+//
+// One A100-80GB serves N concurrent LLaMa-2 7B chatbots completing a fixed
+// batch of paragraph completions ("work divided equally across number of
+// processes"). Sharing mode per the paper:
+//   timeshare — available_accelerators repeats the GPU, no percentages;
+//   mps       — equal GPU percentages (100/N each, Listing 2);
+//   mig       — N instances: 3g.40gb ×2, 2g.20gb ×3, 1g.20gb ×4 (Listing 3;
+//               the 4-way row uses the double-memory 1g profile so the fp16
+//               model fits — see EXPERIMENTS.md);
+//   N = 1     — the non-multiplexed FaaS default the paper compares against.
+//
+// Each run builds a fresh virtual testbed, so runs are independent and
+// deterministic.
+#pragma once
+
+#include <string>
+
+#include "workloads/llama.hpp"
+#include "workloads/serving.hpp"
+
+namespace faaspart::workloads {
+
+enum class MultiplexMode { kSingle, kTimeshare, kMps, kMig };
+
+const char* multiplex_mode_name(MultiplexMode mode);
+
+struct MultiplexRunConfig {
+  int processes = 1;        ///< concurrent model instances (1–4)
+  MultiplexMode mode = MultiplexMode::kSingle;
+  int total_completions = 100;  ///< the paper's batch
+  LlamaSpec model = llama2_7b();
+  LlamaRunConfig run = serving_config();
+  CompletionShape shape{128, 100};
+  /// The GPU under test — A100-80GB per §5.2; swap in H100/MI210 for the
+  /// cross-architecture study.
+  gpu::GpuArchSpec arch = gpu::arch::a100_80gb();
+  std::uint64_t seed = 1;
+};
+
+struct MultiplexRunResult {
+  MultiplexRunConfig config;
+  BatchRunResult batch;
+  double gpu_utilization = 0;  ///< measured over the batch window
+};
+
+/// Builds the testbed, runs the batch to completion, returns measurements.
+MultiplexRunResult run_multiplex_experiment(const MultiplexRunConfig& cfg);
+
+/// The MIG profile the paper assigns for N concurrent models on an 80 GB
+/// A100 (7g/3g/2g/1g for 1–4 processes).
+std::string mig_profile_for_processes(int processes);
+
+}  // namespace faaspart::workloads

@@ -1,0 +1,97 @@
+#include "workloads/serving.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace faaspart::workloads {
+
+BatchRunResult summarize_handles(const std::vector<faas::AppHandle>& handles) {
+  BatchRunResult r;
+  r.tasks = handles.size();
+  std::vector<double> run_times;
+  std::vector<double> completions;
+  util::TimePoint first_start{INT64_MAX};
+  util::TimePoint last_finish{0};
+  for (const auto& h : handles) {
+    const auto& rec = *h.record;
+    if (rec.state == faas::TaskRecord::State::kFailed) {
+      ++r.failures;
+      continue;
+    }
+    FP_CHECK_MSG(rec.state == faas::TaskRecord::State::kDone,
+                 "summarize_handles before all tasks settled");
+    run_times.push_back(rec.run_time().seconds());
+    completions.push_back(rec.completion_time().seconds());
+    first_start = std::min(first_start, rec.started);
+    last_finish = std::max(last_finish, rec.finished);
+  }
+  if (last_finish > first_start) r.makespan = last_finish - first_start;
+  r.latency = trace::summarize(std::move(run_times));
+  r.completion = trace::summarize(std::move(completions));
+  return r;
+}
+
+namespace {
+
+sim::Co<void> client_loop(faas::DataFlowKernel& dfk, std::string label,
+                          faas::AppDef app, int requests,
+                          std::shared_ptr<std::vector<faas::AppHandle>> handles,
+                          std::shared_ptr<int> clients_left,
+                          std::shared_ptr<BatchRunResult> out) {
+  for (int i = 0; i < requests; ++i) {
+    faas::AppHandle h = dfk.submit(app, label);
+    handles->push_back(h);
+    try {
+      (void)co_await h.future;
+    } catch (...) {
+      // Failure is reflected in the record; the loop carries on (a real
+      // client would log and continue).
+    }
+  }
+  if (--*clients_left == 0) *out = summarize_handles(*handles);
+}
+
+sim::Co<void> open_loop(sim::Simulator& sim, faas::DataFlowKernel& dfk,
+                        std::string label, faas::AppDef app, double rate_hz,
+                        util::Duration duration, std::uint64_t seed,
+                        std::shared_ptr<std::vector<faas::AppHandle>> out) {
+  util::Rng rng(seed);
+  const util::TimePoint end = sim.now() + duration;
+  while (sim.now() < end) {
+    co_await sim.delay(rng.exponential_duration(util::from_seconds(1.0 / rate_hz)));
+    if (sim.now() >= end) break;
+    out->push_back(dfk.submit(app, label));
+  }
+}
+
+}  // namespace
+
+void spawn_closed_loop_batch(sim::Simulator& sim, faas::DataFlowKernel& dfk,
+                             const std::string& executor_label, faas::AppDef app,
+                             int clients, int total_tasks,
+                             std::shared_ptr<BatchRunResult> out) {
+  FP_CHECK_MSG(clients >= 1, "need at least one client");
+  FP_CHECK_MSG(total_tasks >= clients, "fewer tasks than clients");
+  auto handles = std::make_shared<std::vector<faas::AppHandle>>();
+  auto left = std::make_shared<int>(clients);
+  const int base = total_tasks / clients;
+  int extra = total_tasks % clients;
+  for (int c = 0; c < clients; ++c) {
+    const int n = base + (extra-- > 0 ? 1 : 0);
+    sim.spawn(client_loop(dfk, executor_label, app, n, handles, left, out),
+              "client" + std::to_string(c));
+  }
+}
+
+void spawn_open_loop(sim::Simulator& sim, faas::DataFlowKernel& dfk,
+                     const std::string& executor_label, faas::AppDef app,
+                     double rate_hz, util::Duration duration, std::uint64_t seed,
+                     std::shared_ptr<std::vector<faas::AppHandle>> out) {
+  FP_CHECK_MSG(rate_hz > 0, "rate must be positive");
+  sim.spawn(open_loop(sim, dfk, executor_label, std::move(app), rate_hz, duration,
+                      seed, std::move(out)),
+            "open-loop");
+}
+
+}  // namespace faaspart::workloads

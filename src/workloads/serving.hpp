@@ -1,0 +1,49 @@
+// Request generators for the serving experiments.
+//
+// closed-loop: N concurrent clients each issue their share of a fixed batch
+// back-to-back (the Fig 4/5 setup: "work was divided equally across number
+// of processes"). open-loop: Poisson arrivals for the Table 1 mixed
+// workload.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "faas/dfk.hpp"
+#include "trace/stats.hpp"
+#include "util/rng.hpp"
+
+namespace faaspart::workloads {
+
+struct BatchRunResult {
+  util::Duration makespan{};        ///< first task start → last task finish
+  trace::Summary latency;           ///< per-task body run times, seconds
+  trace::Summary completion;        ///< per-task submit→finish, seconds
+  std::size_t tasks = 0;
+  std::size_t failures = 0;
+  /// Tasks per second of makespan.
+  [[nodiscard]] double throughput() const {
+    return makespan.ns > 0 ? static_cast<double>(tasks) / makespan.seconds() : 0.0;
+  }
+};
+
+/// Spawns `clients` closed loops on the simulator, splitting `total_tasks`
+/// of `app` as evenly as possible, and fills `out` when all loops finish.
+/// Caller runs the simulator. Latency/makespan are measured on task records
+/// (cold starts excluded from `latency`, included in `completion`).
+void spawn_closed_loop_batch(sim::Simulator& sim, faas::DataFlowKernel& dfk,
+                             const std::string& executor_label, faas::AppDef app,
+                             int clients, int total_tasks,
+                             std::shared_ptr<BatchRunResult> out);
+
+/// Spawns a Poisson open-loop generator: submits `app` at `rate_hz` for
+/// `duration`, appending handles to `out`. Caller runs the simulator.
+void spawn_open_loop(sim::Simulator& sim, faas::DataFlowKernel& dfk,
+                     const std::string& executor_label, faas::AppDef app,
+                     double rate_hz, util::Duration duration, std::uint64_t seed,
+                     std::shared_ptr<std::vector<faas::AppHandle>> out);
+
+/// Folds a set of finished handles into a BatchRunResult.
+BatchRunResult summarize_handles(const std::vector<faas::AppHandle>& handles);
+
+}  // namespace faaspart::workloads

@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include "core/autoscale.hpp"
+#include "core/partitioner.hpp"
+#include "core/rightsize.hpp"
+#include "faas/provider.hpp"
+#include "nvml/manager.hpp"
+#include "util/error.hpp"
+#include "workloads/llama.hpp"
+
+namespace faaspart::core {
+namespace {
+
+using namespace util::literals;
+
+struct AutoscaleFixture : ::testing::Test {
+  sim::Simulator sim;
+  nvml::DeviceManager mgr{sim};
+  faas::LocalProvider provider{sim, 24};
+  GpuPartitioner part{mgr};
+  Reconfigurer recon{mgr};
+
+  AutoscaleFixture() { mgr.add_device(gpu::arch::a100_80gb()); }
+
+  std::unique_ptr<faas::HighThroughputExecutor> tenant(const std::string& label,
+                                                       int pct) {
+    faas::HtexConfig cfg;
+    cfg.label = label;
+    cfg.available_accelerators = {"0"};
+    cfg.gpu_percentages = {pct};
+    return part.build_executor(sim, provider, cfg);
+  }
+
+  faas::AppDef work(util::Duration kernel_scale) {
+    faas::AppDef app;
+    app.name = "work";
+    const double flops = kernel_scale.seconds() * 19.5e12;  // ~scale at full GPU
+    app.body = [flops](faas::TaskContext& ctx) -> sim::Co<faas::AppValue> {
+      // Named local, not a braced temp in the co_await (GCC 12 workaround —
+      // see the note in sim/simulator.hpp).
+      gpu::KernelDesc k{"k", gpu::KernelKind::kGemm, flops, 64 * util::MB, 108,
+                        0.5};
+      co_await ctx.launch(std::move(k));
+      co_return faas::AppValue{};
+    };
+    return app;
+  }
+};
+
+TEST_F(AutoscaleFixture, ShiftsTowardsTheLoadedTenant) {
+  auto a = tenant("a", 50);
+  auto b = tenant("b", 50);
+  Autoscaler scaler(sim, recon, {.interval = 10_s, .min_percentage = 10,
+                                 .min_delta = 10, .ewma_alpha = 1.0});
+  scaler.add_tenant(*a, 50);
+  scaler.add_tenant(*b, 50);
+  sim.spawn(scaler.run(util::TimePoint{} + 120_s), "autoscaler");
+
+  // Tenant A gets a long backlog; B stays idle.
+  const auto app = std::make_shared<const faas::AppDef>(work(500_ms));
+  for (int i = 0; i < 60; ++i) (void)a->submit(app);
+  sim.run_until(util::TimePoint{} + 120_s);
+
+  EXPECT_GE(scaler.reconfigurations(), 1);
+  const auto pcts = scaler.current_percentages();
+  EXPECT_GT(pcts[0], 70);  // A got most of the GPU
+  EXPECT_EQ(pcts[1], 10);  // B floored
+  sim.run();
+}
+
+TEST_F(AutoscaleFixture, BalancedLoadCausesNoChurn) {
+  auto a = tenant("a", 50);
+  auto b = tenant("b", 50);
+  Autoscaler scaler(sim, recon, {.interval = 10_s, .min_delta = 15});
+  scaler.add_tenant(*a, 50);
+  scaler.add_tenant(*b, 50);
+  sim.spawn(scaler.run(util::TimePoint{} + 100_s), "autoscaler");
+
+  const auto app = std::make_shared<const faas::AppDef>(work(200_ms));
+  for (int i = 0; i < 20; ++i) {
+    (void)a->submit(app);
+    (void)b->submit(app);
+  }
+  sim.run();
+  EXPECT_EQ(scaler.reconfigurations(), 0);
+  const auto pcts = scaler.current_percentages();
+  EXPECT_EQ(pcts[0], 50);
+  EXPECT_EQ(pcts[1], 50);
+}
+
+TEST_F(AutoscaleFixture, IdleSystemKeepsAllocation) {
+  auto a = tenant("a", 60);
+  auto b = tenant("b", 40);
+  Autoscaler scaler(sim, recon, {.interval = 10_s});
+  scaler.add_tenant(*a, 60);
+  scaler.add_tenant(*b, 40);
+  sim.spawn(scaler.run(util::TimePoint{} + 60_s), "autoscaler");
+  sim.run();
+  EXPECT_EQ(scaler.reconfigurations(), 0);
+}
+
+TEST_F(AutoscaleFixture, ShiftsBackWhenLoadMoves) {
+  auto a = tenant("a", 50);
+  auto b = tenant("b", 50);
+  Autoscaler scaler(sim, recon, {.interval = 10_s, .min_percentage = 10,
+                                 .min_delta = 10, .ewma_alpha = 1.0});
+  scaler.add_tenant(*a, 50);
+  scaler.add_tenant(*b, 50);
+  sim.spawn(scaler.run(util::TimePoint{} + 400_s), "autoscaler");
+
+  const auto app = std::make_shared<const faas::AppDef>(work(500_ms));
+  // Phase 1: A loaded.
+  for (int i = 0; i < 40; ++i) (void)a->submit(app);
+  // Phase 2 (from t=200s): B loaded.
+  sim.schedule_at(util::TimePoint{} + 200_s, [&, app] {
+    for (int i = 0; i < 40; ++i) (void)b->submit(app);
+  });
+  sim.run_until(util::TimePoint{} + 150_s);
+  const auto mid = scaler.current_percentages();
+  EXPECT_GT(mid[0], mid[1]);
+  sim.run();
+  const auto end = scaler.current_percentages();
+  EXPECT_GT(end[1], end[0]);
+  EXPECT_GE(scaler.reconfigurations(), 2);
+}
+
+TEST_F(AutoscaleFixture, OptionValidation) {
+  EXPECT_THROW(Autoscaler(sim, recon, {.interval = util::Duration{0}}),
+               util::Error);
+  EXPECT_THROW(Autoscaler(sim, recon, {.min_percentage = 0}), util::Error);
+  EXPECT_THROW(Autoscaler(sim, recon, {.ewma_alpha = 0.0}), util::Error);
+  Autoscaler ok(sim, recon, {});
+  sim.spawn(ok.run(util::TimePoint{} + 10_s), "empty");
+  EXPECT_THROW(sim.run(), util::Error);  // no tenants registered
+}
+
+// suggest_mig_profile lives with the rightsizing tool; tested here alongside
+// the other §7 machinery.
+TEST(SuggestMigProfile, PicksSmallestCoveringProfile) {
+  const auto arch = gpu::arch::a100_80gb();
+  RightsizeResult r;
+  r.suggested_sms = 20;
+  // 20 SMs, 15 GB → 1g is too narrow (14 SMs), 2g.20gb fits both.
+  EXPECT_EQ(suggest_mig_profile(arch, r, 15 * util::GB).name, "2g.20gb");
+  // 20 SMs but 30 GB of weights → needs 3g.40gb's memory.
+  EXPECT_EQ(suggest_mig_profile(arch, r, 30 * util::GB).name, "3g.40gb");
+  // Tiny: 10 SMs, 8 GB → 1g.10gb.
+  r.suggested_sms = 10;
+  EXPECT_EQ(suggest_mig_profile(arch, r, 8 * util::GB).name, "1g.10gb");
+  // 10 SMs, 18 GB → the double-memory 1g profile.
+  EXPECT_EQ(suggest_mig_profile(arch, r, 18 * util::GB).name, "1g.20gb");
+  // Impossible: more memory than the part has.
+  EXPECT_THROW((void)suggest_mig_profile(arch, r, 100 * util::GB),
+               util::NotFoundError);
+  // Non-MIG part.
+  EXPECT_THROW((void)suggest_mig_profile(gpu::arch::mi210(), r, util::GB),
+               util::NotFoundError);
+}
+
+}  // namespace
+}  // namespace faaspart::core

@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/migplan.hpp"
+#include "nvml/monitor.hpp"
+#include "sched/engines.hpp"
+#include "util/error.hpp"
+#include "workloads/llama.hpp"
+
+namespace faaspart::core {
+namespace {
+
+using namespace util::literals;
+
+TEST(MigPlan, EachTenantGetsSmallestCoveringProfile) {
+  const auto arch = gpu::arch::a100_80gb();
+  const auto plan = plan_mig_layout(
+      arch, {{"decode", 20, 15 * util::GB},   // → 2g.20gb (14 SMs too few)
+             {"tiny", 8, 8 * util::GB},       // → 1g.10gb
+             {"trainer", 40, 35 * util::GB}}); // → 3g.40gb
+  ASSERT_EQ(plan.profiles.size(), 3u);
+  EXPECT_EQ(plan.profiles[0].name, "2g.20gb");
+  EXPECT_EQ(plan.profiles[1].name, "1g.10gb");
+  EXPECT_EQ(plan.profiles[2].name, "3g.40gb");
+  EXPECT_EQ(plan.compute_slices_used, 6);
+  EXPECT_EQ(plan.mem_slices_used, 7);
+}
+
+TEST(MigPlan, PaperServingLayoutsFit) {
+  // The Fig 4/5 MIG layouts, derived from the actual model footprint.
+  const auto arch = gpu::arch::a100_80gb();
+  const auto fp = workloads::llama_memory_footprint(workloads::llama2_7b(),
+                                                    workloads::serving_config());
+  for (int n = 2; n <= 4; ++n) {
+    std::vector<TenantRequirement> tenants;
+    for (int i = 0; i < n; ++i) {
+      tenants.push_back({"llama" + std::to_string(i), 14, fp});
+    }
+    EXPECT_TRUE(mig_layout_fits(arch, tenants)) << n << " tenants";
+  }
+}
+
+TEST(MigPlan, OverCommitRejectedWithBreakdown) {
+  const auto arch = gpu::arch::a100_80gb();
+  std::vector<TenantRequirement> tenants;
+  for (int i = 0; i < 3; ++i) tenants.push_back({"big", 40, 35 * util::GB});
+  try {
+    (void)plan_mig_layout(arch, tenants);
+    FAIL();
+  } catch (const util::StateError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("compute"), std::string::npos);
+    EXPECT_NE(what.find("cannot co-reside"), std::string::npos);
+  }
+  EXPECT_FALSE(mig_layout_fits(arch, tenants));
+}
+
+TEST(MigPlan, SingleTenantTooBigThrowsNotFound) {
+  const auto arch = gpu::arch::a100_80gb();
+  EXPECT_THROW((void)plan_mig_layout(arch, {{"impossible", 14, 200 * util::GB}}),
+               util::NotFoundError);
+}
+
+TEST(MigPlan, NonMigPartRejected) {
+  EXPECT_THROW((void)plan_mig_layout(gpu::arch::mi210(), {{"t", 1, util::GB}}),
+               util::StateError);
+  EXPECT_FALSE(mig_layout_fits(gpu::arch::mi210(), {{"t", 1, util::GB}}));
+}
+
+TEST(MigPlan, MemorySlicesCanBeTheBinder) {
+  // Compute fits easily, memory doesn't: 3 tenants wanting 30 GB each need
+  // 12 memory slices (3 × 3g.40gb's 4) > 8.
+  const auto arch = gpu::arch::a100_80gb();
+  std::vector<TenantRequirement> tenants(3, {"mem-heavy", 2, 30 * util::GB});
+  EXPECT_FALSE(mig_layout_fits(arch, tenants));
+  tenants.pop_back();
+  EXPECT_TRUE(mig_layout_fits(arch, tenants));
+}
+
+// ---------------------------------------------------------------------------
+// UtilizationMonitor
+// ---------------------------------------------------------------------------
+
+struct MonitorFixture : ::testing::Test {
+  sim::Simulator sim;
+  trace::Recorder rec;
+  nvml::DeviceManager mgr{sim, &rec};
+
+  MonitorFixture() { mgr.add_device(gpu::arch::a100_80gb()); }
+};
+
+TEST_F(MonitorFixture, SamplesUtilizationWindows) {
+  auto& dev = mgr.device(0);
+  dev.set_engine_factory(sched::mps_factory());
+  const auto ctx = dev.create_context("t");
+  (void)dev.alloc(ctx, 10 * util::GB, "weights");
+
+  nvml::UtilizationMonitor mon(mgr, 0, 1_s);
+  sim.spawn(mon.run(util::TimePoint{} + 10_s), "dmon");
+
+  // Busy for the first ~5 s (5 kernels of ~1 s), idle after.
+  sim.spawn([](gpu::Device& d, gpu::ContextId c) -> sim::Co<void> {
+    for (int i = 0; i < 5; ++i) {
+      gpu::KernelDesc k{"k", gpu::KernelKind::kGemm, 19.5e12, 64 * util::MB,
+                        108, 0.5};
+      co_await d.launch(c, std::move(k));
+    }
+  }(dev, ctx));
+  sim.run();
+
+  ASSERT_EQ(mon.samples().size(), 10u);
+  // Early windows busy, late windows idle.
+  EXPECT_GT(mon.samples()[1].utilization, 0.9);
+  EXPECT_LT(mon.samples()[8].utilization, 0.05);
+  EXPECT_EQ(mon.peak_memory(), 10 * util::GB);
+  const auto s = mon.utilization_summary();
+  EXPECT_GT(s.max, 0.9);
+  EXPECT_LT(s.min, 0.05);
+}
+
+TEST_F(MonitorFixture, CsvOutput) {
+  nvml::UtilizationMonitor mon(mgr, 0, 1_s);
+  sim.spawn(mon.run(util::TimePoint{} + 3_s), "dmon");
+  sim.run();
+  std::ostringstream os;
+  mon.write_csv(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("timestamp_s,utilization,memory_used_bytes"),
+            std::string::npos);
+  // Header + 3 samples.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+}
+
+TEST_F(MonitorFixture, Validation) {
+  EXPECT_THROW(nvml::UtilizationMonitor(mgr, 5, 1_s), util::NotFoundError);
+  EXPECT_THROW(nvml::UtilizationMonitor(mgr, 0, util::Duration{0}), util::Error);
+}
+
+TEST_F(MonitorFixture, SeesInFlightKernels) {
+  // The live busy-time path must report utilization while a long kernel is
+  // still executing (the recorder only captures completed spans).
+  auto& dev = mgr.device(0);
+  const auto ctx = dev.create_context("t");
+  gpu::KernelDesc k{"long", gpu::KernelKind::kGemm, 10 * 19.5e12, 64 * util::MB,
+                    108, 0.5};  // ~10 s kernel
+  (void)dev.launch(ctx, std::move(k));
+  nvml::UtilizationMonitor mon(mgr, 0, 1_s);
+  sim.spawn(mon.run(util::TimePoint{} + 5_s), "dmon");
+  sim.run_until(util::TimePoint{} + 5_s);
+  ASSERT_EQ(mon.samples().size(), 5u);
+  for (const auto& s : mon.samples()) EXPECT_NEAR(s.utilization, 1.0, 1e-6);
+  sim.run();
+}
+
+}  // namespace
+}  // namespace faaspart::core

@@ -1,0 +1,221 @@
+#include <gtest/gtest.h>
+
+#include "core/accelerator.hpp"
+#include "core/partitioner.hpp"
+#include "core/rightsize.hpp"
+#include "util/error.hpp"
+#include "workloads/dnn.hpp"
+#include "workloads/llama.hpp"
+
+namespace faaspart::core {
+namespace {
+
+// ---------------------------------------------------------------------------
+// AcceleratorRef
+// ---------------------------------------------------------------------------
+
+TEST(AcceleratorRef, ParsesGpuIndices) {
+  EXPECT_EQ(AcceleratorRef::parse("0").gpu_index, 0);
+  EXPECT_EQ(AcceleratorRef::parse("3").gpu_index, 3);
+  EXPECT_EQ(AcceleratorRef::parse("cuda:1").gpu_index, 1);
+  EXPECT_EQ(AcceleratorRef::parse("GPU:2").gpu_index, 2);
+  EXPECT_EQ(AcceleratorRef::parse("gpu-4").gpu_index, 4);
+  EXPECT_EQ(AcceleratorRef::parse(" 5 ").gpu_index, 5);
+  EXPECT_EQ(AcceleratorRef::parse("0").kind, AcceleratorRef::Kind::kGpu);
+}
+
+TEST(AcceleratorRef, ParsesMigUuids) {
+  const auto r = AcceleratorRef::parse("MIG-GPU0/2g.20gb/1");
+  EXPECT_EQ(r.kind, AcceleratorRef::Kind::kMigInstance);
+  EXPECT_EQ(r.mig_uuid, "MIG-GPU0/2g.20gb/1");
+  EXPECT_EQ(r.to_string(), "MIG-GPU0/2g.20gb/1");
+}
+
+TEST(AcceleratorRef, RejectsGarbage) {
+  EXPECT_THROW((void)AcceleratorRef::parse(""), util::ConfigError);
+  EXPECT_THROW((void)AcceleratorRef::parse("banana"), util::ConfigError);
+  EXPECT_THROW((void)AcceleratorRef::parse("cuda:x"), util::ConfigError);
+  EXPECT_THROW((void)AcceleratorRef::parse("-1"), util::ConfigError);
+}
+
+TEST(AcceleratorRef, RoundTrip) {
+  EXPECT_EQ(AcceleratorRef::parse("cuda:7").to_string(), "cuda:7");
+}
+
+// ---------------------------------------------------------------------------
+// GpuPartitioner
+// ---------------------------------------------------------------------------
+
+struct PartitionFixture : ::testing::Test {
+  sim::Simulator sim;
+  nvml::DeviceManager mgr{sim};
+  faas::LocalProvider provider{sim, 24};
+  GpuPartitioner part{mgr};
+
+  PartitionFixture() {
+    mgr.add_device(gpu::arch::a100_80gb());
+    mgr.add_device(gpu::arch::a100_80gb());
+  }
+};
+
+TEST_F(PartitionFixture, ListingTwoMpsConfig) {
+  // Listing 2: repeated GPU with percentages 50/25/30 (+ a second GPU).
+  faas::HtexConfig cfg;
+  cfg.label = "gpu";
+  cfg.available_accelerators = {"0", "0", "1"};
+  cfg.gpu_percentages = {50, 25, 30};
+  const auto bindings = part.resolve(cfg);
+  ASSERT_EQ(bindings.size(), 3u);
+  EXPECT_EQ(bindings[0].device, &mgr.device(0));
+  EXPECT_EQ(bindings[1].device, &mgr.device(0));
+  EXPECT_EQ(bindings[2].device, &mgr.device(1));
+  EXPECT_DOUBLE_EQ(bindings[0].ctx_opts.active_thread_percentage, 50.0);
+  EXPECT_DOUBLE_EQ(bindings[1].ctx_opts.active_thread_percentage, 25.0);
+  // §4.1: the MPS daemon must be up on every referenced device.
+  EXPECT_TRUE(part.mps(0).running());
+  EXPECT_TRUE(part.mps(1).running());
+  EXPECT_STREQ(mgr.device(0).engine().policy_name(), "mps");
+}
+
+TEST_F(PartitionFixture, NoPercentagesMeansTimeshare) {
+  faas::HtexConfig cfg;
+  cfg.label = "gpu";
+  cfg.available_accelerators = {"0", "0"};
+  const auto bindings = part.resolve(cfg);
+  ASSERT_EQ(bindings.size(), 2u);
+  EXPECT_FALSE(part.mps(0).running());
+  EXPECT_STREQ(mgr.device(0).engine().policy_name(), "timeshare");
+  EXPECT_DOUBLE_EQ(bindings[0].ctx_opts.active_thread_percentage, 100.0);
+}
+
+TEST_F(PartitionFixture, PercentageCountMismatchRejected) {
+  faas::HtexConfig cfg;
+  cfg.label = "gpu";
+  cfg.available_accelerators = {"0", "1"};
+  cfg.gpu_percentages = {50};
+  EXPECT_THROW((void)part.resolve(cfg), util::ConfigError);
+}
+
+TEST_F(PartitionFixture, PercentageRangeValidated) {
+  faas::HtexConfig cfg;
+  cfg.label = "gpu";
+  cfg.available_accelerators = {"0"};
+  cfg.gpu_percentages = {0};
+  EXPECT_THROW((void)part.resolve(cfg), util::ConfigError);
+  cfg.gpu_percentages = {101};
+  EXPECT_THROW((void)part.resolve(cfg), util::ConfigError);
+}
+
+TEST_F(PartitionFixture, ListingThreeMigConfig) {
+  mgr.device(0).enable_mig();
+  const auto i1 = mgr.device(0).create_instance("3g.40gb");
+  const auto i2 = mgr.device(0).create_instance("3g.40gb");
+  faas::HtexConfig cfg;
+  cfg.label = "gpu";
+  cfg.available_accelerators = {mgr.device(0).instance(i1).uuid,
+                                mgr.device(0).instance(i2).uuid};
+  const auto bindings = part.resolve(cfg);
+  ASSERT_EQ(bindings.size(), 2u);
+  EXPECT_EQ(bindings[0].ctx_opts.instance, i1);
+  EXPECT_EQ(bindings[1].ctx_opts.instance, i2);
+  EXPECT_FALSE(part.mps(0).running());  // MIG alone needs no daemon
+}
+
+TEST_F(PartitionFixture, UnknownDeviceOrUuidRejected) {
+  faas::HtexConfig cfg;
+  cfg.label = "gpu";
+  cfg.available_accelerators = {"7"};
+  EXPECT_THROW((void)part.resolve(cfg), util::NotFoundError);
+  cfg.available_accelerators = {"MIG-nope"};
+  EXPECT_THROW((void)part.resolve(cfg), util::NotFoundError);
+}
+
+TEST_F(PartitionFixture, BuildExecutorEndToEnd) {
+  faas::HtexConfig cfg;
+  cfg.label = "gpu";
+  cfg.available_accelerators = {"0", "0"};
+  cfg.gpu_percentages = {50, 50};
+  auto ex = part.build_executor(sim, provider, cfg);
+  faas::AppDef app;
+  app.name = "probe";
+  app.body = [](faas::TaskContext& ctx) -> sim::Co<faas::AppValue> {
+    co_return faas::AppValue{static_cast<double>(ctx.sm_cap())};
+  };
+  auto h = ex->submit(std::make_shared<const faas::AppDef>(std::move(app)));
+  sim.run();
+  EXPECT_DOUBLE_EQ(std::get<double>(h.future.value()), 54.0);
+  sim.spawn(ex->shutdown());
+  sim.run();
+}
+
+// ---------------------------------------------------------------------------
+// Right-sizing (§7)
+// ---------------------------------------------------------------------------
+
+TEST(Rightsize, FindsLlamaDecodeKnee) {
+  const auto arch = gpu::arch::a100_sxm4_40gb();
+  const auto spec = workloads::llama2_7b();
+  const auto cfg = workloads::fig2_config();
+  const auto r = rightsize_kernels(
+      arch, {workloads::llama_decode_kernel(spec, cfg)}, 0.05);
+  // Fig 2: the model "can only properly utilize about 20 SMs".
+  EXPECT_NEAR(r.suggested_sms, 20, 1);
+  EXPECT_EQ(r.suggested_percentage, 19);  // ceil(100·20/108)
+  EXPECT_GT(r.freed_fraction(arch.total_sms), 0.8);
+}
+
+TEST(Rightsize, WideKernelWantsWholeGpu) {
+  const auto arch = gpu::arch::a100_sxm4_40gb();
+  gpu::KernelDesc k{"gemm", gpu::KernelKind::kGemm, 1e13, 64 * util::MB, 108, 0.8};
+  const auto r = rightsize_kernels(arch, {k}, 0.05);
+  EXPECT_GT(r.suggested_sms, 100);
+}
+
+TEST(Rightsize, EpsilonTradesLatencyForSharing) {
+  const auto arch = gpu::arch::a100_sxm4_40gb();
+  gpu::KernelDesc k{"gemm", gpu::KernelKind::kGemm, 1e13, 64 * util::MB, 108, 0.8};
+  const auto tight = rightsize_kernels(arch, {k}, 0.01);
+  const auto loose = rightsize_kernels(arch, {k}, 0.50);
+  EXPECT_LT(loose.suggested_sms, tight.suggested_sms);
+  EXPECT_GE(loose.latency_at_suggested.ns, tight.latency_at_suggested.ns);
+}
+
+TEST(Rightsize, HostGapFlattensTheCurve) {
+  // With big CPU gaps between kernels, extra SMs buy little — the suggested
+  // partition shrinks.
+  const auto arch = gpu::arch::a100_sxm4_40gb();
+  gpu::KernelDesc k{"gemm", gpu::KernelKind::kGemm, 1e11, 64 * util::MB, 108, 0.8};
+  const auto no_gap = rightsize_kernels(arch, {k}, 0.05);
+  const auto gap = rightsize_kernels(arch, {k}, 0.05, util::milliseconds(50));
+  EXPECT_LT(gap.suggested_sms, no_gap.suggested_sms);
+}
+
+TEST(Rightsize, CurveIsMonotone) {
+  const auto arch = gpu::arch::a100_80gb();
+  const auto kernels = workloads::models::resnet50().inference_kernels(8);
+  const auto r = rightsize_kernels(arch, kernels, 0.05);
+  ASSERT_EQ(r.curve.size(), static_cast<std::size_t>(arch.total_sms));
+  for (std::size_t i = 1; i < r.curve.size(); ++i) {
+    EXPECT_LE(r.curve[i].latency.ns, r.curve[i - 1].latency.ns);
+  }
+  EXPECT_EQ(r.latency_at_full, r.curve.back().latency);
+}
+
+TEST(Rightsize, EstimateRuntimeMatchesCurve) {
+  const auto arch = gpu::arch::a100_80gb();
+  const auto kernels = workloads::models::resnet18().inference_kernels(1);
+  const auto r = rightsize_kernels(arch, kernels, 0.05);
+  EXPECT_EQ(estimate_runtime(arch, kernels, 54).ns, r.curve[53].latency.ns);
+}
+
+TEST(Rightsize, InvalidInputsRejected) {
+  const auto arch = gpu::arch::a100_80gb();
+  EXPECT_THROW((void)rightsize_kernels(arch, {}, 0.05), util::Error);
+  gpu::KernelDesc k{"k", gpu::KernelKind::kGemm, 1e9, 1, 10, 0.5};
+  EXPECT_THROW((void)rightsize_kernels(arch, {k}, -0.1), util::Error);
+  EXPECT_THROW((void)estimate_runtime(arch, {k}, 0), util::Error);
+  EXPECT_THROW((void)estimate_runtime(arch, {k}, 109), util::Error);
+}
+
+}  // namespace
+}  // namespace faaspart::core

@@ -1,0 +1,179 @@
+#include <gtest/gtest.h>
+
+#include "faas/elastic.hpp"
+#include "faas/provider.hpp"
+#include "util/error.hpp"
+
+namespace faaspart::faas {
+namespace {
+
+using namespace util::literals;
+
+struct ElasticFixture : ::testing::Test {
+  sim::Simulator sim;
+  LocalProvider provider{sim, 24};
+
+  std::unique_ptr<HighThroughputExecutor> make_executor(int workers) {
+    HighThroughputExecutor::Options opts;
+    opts.label = "cpu";
+    opts.cpu_workers = workers;
+    auto ex = std::make_unique<HighThroughputExecutor>(sim, provider,
+                                                       std::move(opts));
+    ex->start();
+    return ex;
+  }
+
+  std::shared_ptr<const AppDef> sleepy(util::Duration d) {
+    AppDef app;
+    app.name = "sleepy";
+    app.body = [d](TaskContext& ctx) -> sim::Co<AppValue> {
+      co_await ctx.compute(d);
+      co_return AppValue{};
+    };
+    return std::make_shared<const AppDef>(std::move(app));
+  }
+};
+
+TEST_F(ElasticFixture, AddWorkerAtRuntimeServesTasks) {
+  auto ex = make_executor(1);
+  const auto idx = ex->add_worker();
+  EXPECT_EQ(idx, 1u);
+  auto a = ex->submit(sleepy(10_s));
+  auto b = ex->submit(sleepy(10_s));
+  sim.run();
+  // Both ran concurrently on the two workers.
+  EXPECT_EQ(a.record->finished, b.record->finished);
+}
+
+TEST_F(ElasticFixture, RetireDrainsInFlightTaskFirst) {
+  auto ex = make_executor(2);
+  auto h = ex->submit(sleepy(10_s));
+  sim.run_until(sim.now() + 2_s);  // task running on worker 0
+  auto retired = ex->retire_worker(0);
+  sim.run();
+  EXPECT_TRUE(retired.ready());
+  EXPECT_FALSE(h.future.failed());  // in-flight task completed
+  EXPECT_TRUE(ex->worker_info(0).retired);
+  EXPECT_FALSE(ex->worker_info(0).alive);
+  EXPECT_EQ(ex->active_worker_count(), 1u);
+}
+
+TEST_F(ElasticFixture, RetiredWorkerTokenIsDropped) {
+  auto ex = make_executor(2);
+  sim.run();  // both idle, both tokens in the pool
+  (void)ex->retire_worker(1);
+  sim.run();
+  // New tasks only ever land on worker 0.
+  std::vector<AppHandle> hs;
+  for (int i = 0; i < 4; ++i) hs.push_back(ex->submit(sleepy(1_s)));
+  sim.run();
+  for (const auto& h : hs) {
+    EXPECT_FALSE(h.future.failed());
+    EXPECT_EQ(h.record->worker, ex->worker_info(0).name);
+  }
+  EXPECT_EQ(ex->worker_info(1).tasks_done, 0u);
+}
+
+TEST_F(ElasticFixture, RetireReleasesCpuCores) {
+  auto ex = make_executor(4);
+  sim.run();
+  EXPECT_EQ(provider.cpu_cores().in_use(), 4);
+  (void)ex->retire_worker(3);
+  sim.run();
+  EXPECT_EQ(provider.cpu_cores().in_use(), 3);
+}
+
+TEST_F(ElasticFixture, LastWorkerCannotRetire) {
+  auto ex = make_executor(1);
+  sim.run();
+  EXPECT_THROW((void)ex->retire_worker(0), util::Error);
+}
+
+TEST_F(ElasticFixture, ShutdownAfterRetire) {
+  auto ex = make_executor(3);
+  sim.run();
+  (void)ex->retire_worker(2);
+  sim.run();
+  sim.spawn(ex->shutdown());
+  sim.run();  // must not hang on the already-stopped worker
+  EXPECT_FALSE(ex->worker_info(0).alive);
+  EXPECT_FALSE(ex->worker_info(1).alive);
+}
+
+TEST_F(ElasticFixture, ControllerScalesOutUnderBacklog) {
+  auto ex = make_executor(1);
+  ElasticController ctl(sim, *ex,
+                        {.min_workers = 1, .max_workers = 6,
+                         .interval = 5_s, .scale_out_queue_per_worker = 1.0});
+  sim.spawn(ctl.run(util::TimePoint{} + 600_s), "elastic");
+  std::vector<AppHandle> hs;
+  for (int i = 0; i < 24; ++i) hs.push_back(ex->submit(sleepy(20_s)));
+  sim.run_until(util::TimePoint{} + 600_s);
+  EXPECT_GT(ctl.scale_outs(), 0);
+  EXPECT_GT(ex->worker_count(), 1u);
+  for (const auto& h : hs) EXPECT_TRUE(h.future.ready());
+  sim.run();
+}
+
+TEST_F(ElasticFixture, ControllerScalesBackInWhenIdle) {
+  auto ex = make_executor(1);
+  ElasticController ctl(sim, *ex,
+                        {.min_workers = 1, .max_workers = 6,
+                         .interval = 5_s, .scale_out_queue_per_worker = 1.0,
+                         .scale_in_idle_threshold = 2});
+  sim.spawn(ctl.run(util::TimePoint{} + 2000_s), "elastic");
+  for (int i = 0; i < 24; ++i) (void)ex->submit(sleepy(20_s));
+  sim.run_until(util::TimePoint{} + 2000_s);
+  EXPECT_GT(ctl.scale_outs(), 0);
+  EXPECT_GT(ctl.scale_ins(), 0);
+  // Burst long gone: back down to the floor.
+  EXPECT_EQ(ex->active_worker_count(), 1u);
+  sim.run();
+}
+
+TEST_F(ElasticFixture, ElasticFasterThanStaticSingleWorker) {
+  // The point of scaling: a burst clears much faster than on a fixed
+  // single worker (24 tasks x 20 s = 480 s serial vs ~80 s at 6 workers).
+  const auto run_mode = [&](bool elastic) {
+    sim::Simulator s2;
+    LocalProvider p2(s2, 24);
+    HighThroughputExecutor::Options opts;
+    opts.label = "cpu";
+    opts.cpu_workers = 1;
+    HighThroughputExecutor ex(s2, p2, std::move(opts));
+    ex.start();
+    ElasticController ctl(s2, ex,
+                          {.min_workers = 1, .max_workers = 6, .interval = 5_s,
+                           .scale_out_queue_per_worker = 1.0});
+    if (elastic) s2.spawn(ctl.run(util::TimePoint{} + 3600_s), "elastic");
+    AppDef app;
+    app.name = "sleepy";
+    app.body = [](TaskContext& ctx) -> sim::Co<AppValue> {
+      co_await ctx.compute(20_s);
+      co_return AppValue{};
+    };
+    std::vector<AppHandle> hs;
+    const auto shared = std::make_shared<const AppDef>(std::move(app));
+    for (int i = 0; i < 24; ++i) hs.push_back(ex.submit(shared));
+    s2.run_until(util::TimePoint{} + 3600_s);
+    util::TimePoint last{0};
+    for (const auto& h : hs) last = std::max(last, h.record->finished);
+    return last.seconds();
+  };
+  const double fixed = run_mode(false);
+  const double elastic = run_mode(true);
+  EXPECT_LT(elastic, 0.5 * fixed);
+}
+
+TEST_F(ElasticFixture, OptionValidation) {
+  auto ex = make_executor(1);
+  EXPECT_THROW(ElasticController(sim, *ex, {.min_workers = 0}), util::Error);
+  EXPECT_THROW(ElasticController(sim, *ex, {.min_workers = 4, .max_workers = 2}),
+               util::Error);
+  EXPECT_THROW(
+      ElasticController(sim, *ex, {.interval = util::Duration{0}}),
+      util::Error);
+}
+
+}  // namespace
+}  // namespace faaspart::faas

@@ -1,0 +1,527 @@
+#include <gtest/gtest.h>
+
+#include "faas/dfk.hpp"
+#include "faas/executor.hpp"
+#include "faas/provider.hpp"
+#include "gpu/device.hpp"
+#include "sched/engines.hpp"
+#include "util/error.hpp"
+
+namespace faaspart::faas {
+namespace {
+
+using namespace util::literals;
+
+AppDef sleep_app(const std::string& name, util::Duration d) {
+  AppDef app;
+  app.name = name;
+  app.body = [d](TaskContext& ctx) -> sim::Co<AppValue> {
+    co_await ctx.compute(d);
+    co_return AppValue{d.seconds()};
+  };
+  return app;
+}
+
+AppDef failing_app(const std::string& name, int fail_times,
+                   std::shared_ptr<int> counter) {
+  AppDef app;
+  app.name = name;
+  app.body = [fail_times, counter](TaskContext&) -> sim::Co<AppValue> {
+    if ((*counter)++ < fail_times) {
+      throw util::TaskFailedError("transient");
+    }
+    co_return AppValue{1.0};
+  };
+  return app;
+}
+
+struct FaasFixture : ::testing::Test {
+  sim::Simulator sim;
+  LocalProvider provider{sim, 24};
+
+  std::unique_ptr<HighThroughputExecutor> make_cpu_executor(int workers) {
+    HighThroughputExecutor::Options opts;
+    opts.label = "cpu";
+    opts.cpu_workers = workers;
+    auto ex = std::make_unique<HighThroughputExecutor>(sim, provider,
+                                                       std::move(opts));
+    ex->start();
+    return ex;
+  }
+};
+
+TEST_F(FaasFixture, TaskRunsAndReturnsValue) {
+  auto ex = make_cpu_executor(1);
+  auto h = ex->submit(std::make_shared<const AppDef>(sleep_app("s", 2_s)));
+  sim.run();
+  EXPECT_TRUE(h.future.ready());
+  EXPECT_DOUBLE_EQ(std::get<double>(h.future.value()), 2.0);
+  EXPECT_EQ(h.record->state, TaskRecord::State::kDone);
+  EXPECT_EQ(h.record->run_time(), 2_s);
+  EXPECT_EQ(ex->tasks_completed(), 1u);
+}
+
+TEST_F(FaasFixture, WorkerLaunchCostPrecedesFirstTask) {
+  auto ex = make_cpu_executor(1);
+  auto h = ex->submit(std::make_shared<const AppDef>(sleep_app("s", 1_s)));
+  sim.run();
+  // First task can only start after the worker process spawns (750 ms).
+  EXPECT_GE(h.record->started.ns, provider.worker_launch_cost().ns);
+}
+
+TEST_F(FaasFixture, TasksRunConcurrentlyAcrossWorkers) {
+  auto ex = make_cpu_executor(4);
+  std::vector<AppHandle> hs;
+  for (int i = 0; i < 4; ++i) {
+    hs.push_back(ex->submit(std::make_shared<const AppDef>(sleep_app("s", 10_s))));
+  }
+  sim.run();
+  // All four finish at the same virtual time — full parallelism.
+  for (const auto& h : hs) {
+    EXPECT_EQ(h.record->finished, hs[0].record->finished);
+  }
+}
+
+TEST_F(FaasFixture, QueueingWhenWorkersBusy) {
+  auto ex = make_cpu_executor(1);
+  auto a = ex->submit(std::make_shared<const AppDef>(sleep_app("a", 5_s)));
+  auto b = ex->submit(std::make_shared<const AppDef>(sleep_app("b", 5_s)));
+  sim.run();
+  EXPECT_EQ((b.record->finished - a.record->finished), 5_s);
+  EXPECT_GT(b.record->queue_time().ns, 0);
+}
+
+TEST_F(FaasFixture, FunctionInitChargedOncePerWorker) {
+  auto ex = make_cpu_executor(1);
+  AppDef app = sleep_app("heavy", 1_s);
+  app.function_init = 3_s;
+  const auto shared = std::make_shared<const AppDef>(std::move(app));
+  auto first = ex->submit(shared);
+  auto second = ex->submit(shared);
+  sim.run();
+  EXPECT_EQ(first.record->cold_start, 3_s);   // paid
+  EXPECT_EQ(second.record->cold_start.ns, 0); // warm
+}
+
+TEST_F(FaasFixture, CpuWorkerCannotUseAccelerator) {
+  auto ex = make_cpu_executor(1);
+  AppDef app;
+  app.name = "gpu-app";
+  app.body = [](TaskContext& ctx) -> sim::Co<AppValue> {
+    (void)ctx.device();  // throws on a CPU worker
+    co_return AppValue{};
+  };
+  auto h = ex->submit(std::make_shared<const AppDef>(std::move(app)));
+  sim.run();
+  EXPECT_TRUE(h.future.failed());
+  EXPECT_EQ(h.record->state, TaskRecord::State::kFailed);
+}
+
+TEST_F(FaasFixture, SubmitAfterShutdownRejected) {
+  auto ex = make_cpu_executor(1);
+  sim.spawn(ex->shutdown());
+  sim.run();
+  EXPECT_THROW(
+      (void)ex->submit(std::make_shared<const AppDef>(sleep_app("s", 1_s))),
+      util::StateError);
+}
+
+TEST_F(FaasFixture, ShutdownDrainsQueuedTasks) {
+  auto ex = make_cpu_executor(1);
+  auto a = ex->submit(std::make_shared<const AppDef>(sleep_app("a", 2_s)));
+  auto b = ex->submit(std::make_shared<const AppDef>(sleep_app("b", 2_s)));
+  sim.spawn(ex->shutdown());
+  sim.run();
+  EXPECT_TRUE(a.future.ready());
+  EXPECT_TRUE(b.future.ready());
+  EXPECT_EQ(ex->outstanding(), 0u);
+  EXPECT_FALSE(ex->worker_info(0).alive);
+}
+
+TEST_F(FaasFixture, WorkerPinsCpuCores) {
+  // 24 cores, 8 per worker → only 3 of 4 workers can boot; the fourth waits
+  // forever, but 3 workers still serve tasks.
+  HighThroughputExecutor::Options opts;
+  opts.label = "big";
+  opts.cpu_workers = 4;
+  opts.cpu_cores_per_worker = 8;
+  HighThroughputExecutor ex(sim, provider, std::move(opts));
+  ex.start();
+  std::vector<AppHandle> hs;
+  for (int i = 0; i < 3; ++i) {
+    hs.push_back(ex.submit(std::make_shared<const AppDef>(sleep_app("s", 1_s))));
+  }
+  sim.run();
+  for (const auto& h : hs) EXPECT_TRUE(h.future.ready());
+  EXPECT_EQ(provider.cpu_cores().in_use(), 24);
+}
+
+// ---------------------------------------------------------------------------
+// GPU-bound workers
+// ---------------------------------------------------------------------------
+
+struct GpuFaasFixture : FaasFixture {
+  trace::Recorder rec;
+  gpu::Device dev{sim, gpu::arch::a100_80gb(), 0, sched::mps_factory(), &rec};
+
+  std::unique_ptr<HighThroughputExecutor> make_gpu_executor(
+      std::vector<double> percentages, ModelLoader* loader = nullptr) {
+    HighThroughputExecutor::Options opts;
+    opts.label = "gpu";
+    std::size_t i = 0;
+    for (const double pct : percentages) {
+      WorkerBinding b;
+      b.device = &dev;
+      b.ctx_opts.active_thread_percentage = pct;
+      b.accelerator = "cuda:0#" + std::to_string(i++);
+      opts.bindings.push_back(std::move(b));
+    }
+    auto ex = std::make_unique<HighThroughputExecutor>(sim, provider,
+                                                       std::move(opts), loader);
+    ex->start();
+    return ex;
+  }
+};
+
+AppDef kernel_app(const std::string& name, util::Bytes model = 0) {
+  AppDef app;
+  app.name = name;
+  app.model_bytes = model;
+  app.body = [](TaskContext& ctx) -> sim::Co<AppValue> {
+    gpu::KernelDesc k{"k", gpu::KernelKind::kGemm, 1e11, 64 * util::MB, 40, 0.4};
+    co_await ctx.launch(std::move(k));
+    co_return AppValue{static_cast<double>(ctx.sm_cap())};
+  };
+  return app;
+}
+
+TEST_F(GpuFaasFixture, WorkerCreatesContextWithPercentage) {
+  auto ex = make_gpu_executor({50.0, 25.0});
+  auto a = ex->submit(std::make_shared<const AppDef>(kernel_app("a")));
+  auto b = ex->submit(std::make_shared<const AppDef>(kernel_app("b")));
+  sim.run();
+  // sm_cap reported by the task: 54 and 27 SMs in some order.
+  std::vector<double> caps{std::get<double>(a.future.value()),
+                           std::get<double>(b.future.value())};
+  std::sort(caps.begin(), caps.end());
+  EXPECT_DOUBLE_EQ(caps[0], 27.0);
+  EXPECT_DOUBLE_EQ(caps[1], 54.0);
+  EXPECT_EQ(dev.context_count(), 2u);
+}
+
+TEST_F(GpuFaasFixture, ModelLoadedOncePerWorker) {
+  auto ex = make_gpu_executor({100.0});
+  const auto app =
+      std::make_shared<const AppDef>(kernel_app("m", 10 * util::GB));
+  auto first = ex->submit(app);
+  auto second = ex->submit(app);
+  sim.run();
+  // 10 GB at 5 GB/s = 2 s cold start on the first task only.
+  EXPECT_NEAR(first.record->cold_start.seconds(), 2.0, 0.01);
+  EXPECT_EQ(second.record->cold_start.ns, 0);
+  EXPECT_EQ(dev.memory().used(), 10 * util::GB);
+}
+
+TEST_F(GpuFaasFixture, RestartReloadsModel) {
+  auto ex = make_gpu_executor({100.0});
+  const auto app =
+      std::make_shared<const AppDef>(kernel_app("m", 10 * util::GB));
+  auto first = ex->submit(app);
+  sim.run();
+  auto restart = ex->restart_worker(0, std::nullopt);
+  sim.run();
+  EXPECT_TRUE(restart.ready());
+  EXPECT_EQ(ex->worker_info(0).restarts, 1);
+  auto after = ex->submit(app);
+  sim.run();
+  // §6: reallocation forces the model reload.
+  EXPECT_NEAR(after.record->cold_start.seconds(), 2.0, 0.01);
+  (void)first;
+}
+
+TEST_F(GpuFaasFixture, RestartChangesPercentage) {
+  auto ex = make_gpu_executor({100.0});
+  gpu::ContextOptions opts;
+  opts.active_thread_percentage = 25.0;
+  auto f = ex->restart_worker(0, opts);
+  sim.run();
+  auto h = ex->submit(std::make_shared<const AppDef>(kernel_app("a")));
+  sim.run();
+  EXPECT_DOUBLE_EQ(std::get<double>(h.future.value()), 27.0);
+  (void)f;
+}
+
+TEST_F(GpuFaasFixture, ParkedWorkerDefersTasks) {
+  auto ex = make_gpu_executor({100.0});
+  sim.run();  // boot
+  auto parked = ex->park_worker(0);
+  sim.run();
+  EXPECT_TRUE(parked.ready());
+  EXPECT_EQ(dev.context_count(), 0u);
+  // Task submitted while parked waits for the restart.
+  auto h = ex->submit(std::make_shared<const AppDef>(kernel_app("late")));
+  sim.run_until(sim.now() + 60_s);
+  EXPECT_FALSE(h.future.ready());
+  (void)ex->restart_worker(0, std::nullopt);
+  sim.run();
+  EXPECT_TRUE(h.future.ready());
+  EXPECT_FALSE(h.future.failed());
+}
+
+TEST_F(GpuFaasFixture, OomModelFailsTask) {
+  auto ex = make_gpu_executor({100.0, 100.0});
+  const auto big =
+      std::make_shared<const AppDef>(kernel_app("big", 50 * util::GB));
+  auto a = ex->submit(big);
+  auto b = ex->submit(big);  // second worker: 100 GB > 80 GB pool
+  sim.run();
+  const int failures = (a.future.failed() ? 1 : 0) + (b.future.failed() ? 1 : 0);
+  EXPECT_EQ(failures, 1);
+}
+
+TEST_F(FaasFixture, PriorityClassesJumpTheQueue) {
+  auto ex = make_cpu_executor(1);
+  // Fill the single worker, then queue a batch of low- and one high-priority
+  // task; the high one must run next despite arriving last.
+  auto running = ex->submit(std::make_shared<const AppDef>(sleep_app("r", 10_s)));
+  sim.run_until(sim.now() + 2_s);  // "r" is now executing on the worker
+  std::vector<AppHandle> low;
+  for (int i = 0; i < 3; ++i) {
+    low.push_back(ex->submit(std::make_shared<const AppDef>(sleep_app("low", 1_s))));
+  }
+  AppDef urgent = sleep_app("urgent", 1_s);
+  urgent.priority = 10;
+  auto high = ex->submit(std::make_shared<const AppDef>(std::move(urgent)));
+  sim.run();
+  for (const auto& l : low) {
+    EXPECT_LT(high.record->started.ns, l.record->started.ns);
+  }
+  EXPECT_GT(high.record->started.ns, running.record->started.ns);  // no preemption
+}
+
+// ---------------------------------------------------------------------------
+// Failure injection
+// ---------------------------------------------------------------------------
+
+TEST_F(GpuFaasFixture, InjectedCrashFailsTaskAndRespawnsWorker) {
+  auto ex = make_gpu_executor({100.0});
+  ex->inject_worker_crash(0);
+  auto h = ex->submit(std::make_shared<const AppDef>(kernel_app("victim")));
+  sim.run();
+  EXPECT_TRUE(h.future.failed());
+  EXPECT_NE(h.record->error.find("crashed"), std::string::npos);
+  EXPECT_EQ(ex->worker_info(0).restarts, 1);
+  EXPECT_TRUE(ex->worker_info(0).alive);
+  // Next task succeeds on the respawned process.
+  auto h2 = ex->submit(std::make_shared<const AppDef>(kernel_app("next")));
+  sim.run();
+  EXPECT_FALSE(h2.future.failed());
+}
+
+TEST_F(GpuFaasFixture, CrashWipesWarmState) {
+  auto ex = make_gpu_executor({100.0});
+  const auto app =
+      std::make_shared<const AppDef>(kernel_app("m", 10 * util::GB));
+  auto warm = ex->submit(app);
+  sim.run();
+  EXPECT_NEAR(warm.record->cold_start.seconds(), 2.0, 0.01);
+  ex->inject_worker_crash(0);
+  auto lost = ex->submit(app);
+  sim.run();
+  EXPECT_TRUE(lost.future.failed());
+  // Model must reload after the crash (process memory is gone).
+  auto reload = ex->submit(app);
+  sim.run();
+  EXPECT_NEAR(reload.record->cold_start.seconds(), 2.0, 0.01);
+}
+
+TEST_F(FaasFixture, DfkRetryRecoversFromWorkerCrash) {
+  Config cfg;
+  cfg.retries = 1;
+  DataFlowKernel dfk(sim, cfg);
+  auto ex_owned = make_cpu_executor(1);
+  auto* ex = ex_owned.get();
+  dfk.add_executor(std::move(ex_owned));
+  ex->inject_worker_crash(0);
+  auto h = dfk.submit(sleep_app("resilient", 1_s), "cpu");
+  sim.run();
+  // First attempt lost to the crash; the retry lands on the respawned worker.
+  EXPECT_FALSE(h.future.failed());
+  EXPECT_EQ(h.record->tries, 2);
+  EXPECT_EQ(ex->worker_info(0).restarts, 1);
+}
+
+TEST_F(FaasFixture, CrashedWorkerDoesNotLoseQueuedTasks) {
+  auto ex = make_cpu_executor(1);
+  ex->inject_worker_crash(0);
+  auto a = ex->submit(std::make_shared<const AppDef>(sleep_app("a", 1_s)));
+  auto b = ex->submit(std::make_shared<const AppDef>(sleep_app("b", 1_s)));
+  sim.run();
+  EXPECT_TRUE(a.future.failed());   // lost to the crash
+  EXPECT_FALSE(b.future.failed());  // served after respawn
+}
+
+// ---------------------------------------------------------------------------
+// DataFlowKernel
+// ---------------------------------------------------------------------------
+
+TEST_F(FaasFixture, DfkRoutesByLabel) {
+  DataFlowKernel dfk(sim, Config{});
+  dfk.add_executor(make_cpu_executor(1));
+  EXPECT_THROW((void)dfk.executor("nope"), util::NotFoundError);
+  auto h = dfk.submit(sleep_app("s", 1_s), "cpu");
+  sim.run();
+  EXPECT_TRUE(h.future.ready());
+  EXPECT_EQ(dfk.tasks_submitted(), 1u);
+}
+
+TEST_F(FaasFixture, DfkDuplicateLabelRejected) {
+  DataFlowKernel dfk(sim, Config{});
+  dfk.add_executor(make_cpu_executor(1));
+  EXPECT_THROW(dfk.add_executor(make_cpu_executor(1)), util::ConfigError);
+}
+
+TEST_F(FaasFixture, DfkRetriesTransientFailure) {
+  Config cfg;
+  cfg.retries = 1;  // Listing 1
+  DataFlowKernel dfk(sim, cfg);
+  dfk.add_executor(make_cpu_executor(1));
+  auto count = std::make_shared<int>(0);
+  auto h = dfk.submit(failing_app("flaky", 1, count), "cpu");
+  sim.run();
+  EXPECT_FALSE(h.future.failed());
+  EXPECT_EQ(h.record->tries, 2);
+  EXPECT_EQ(dfk.tasks_failed(), 0u);
+}
+
+TEST_F(FaasFixture, DfkExhaustsRetries) {
+  Config cfg;
+  cfg.retries = 2;
+  DataFlowKernel dfk(sim, cfg);
+  dfk.add_executor(make_cpu_executor(1));
+  auto count = std::make_shared<int>(0);
+  auto h = dfk.submit(failing_app("hopeless", 100, count), "cpu");
+  sim.run();
+  EXPECT_TRUE(h.future.failed());
+  EXPECT_EQ(h.record->tries, 3);  // 1 + 2 retries
+  EXPECT_EQ(dfk.tasks_failed(), 1u);
+  EXPECT_EQ(*count, 3);
+}
+
+TEST_F(FaasFixture, DfkDependenciesOrderExecution) {
+  DataFlowKernel dfk(sim, Config{});
+  dfk.add_executor(make_cpu_executor(4));
+  auto a = dfk.submit(sleep_app("a", 5_s), "cpu");
+  auto b = dfk.submit_after({a.future}, sleep_app("b", 1_s), "cpu");
+  sim.run();
+  EXPECT_GE(b.record->started.ns, a.record->finished.ns);
+}
+
+TEST_F(FaasFixture, DfkFailedDependencyFailsChild) {
+  DataFlowKernel dfk(sim, Config{});
+  dfk.add_executor(make_cpu_executor(2));
+  auto count = std::make_shared<int>(0);
+  auto bad = dfk.submit(failing_app("bad", 100, count), "cpu");
+  auto child = dfk.submit_after({bad.future}, sleep_app("child", 1_s), "cpu");
+  sim.run();
+  EXPECT_TRUE(child.future.failed());
+  EXPECT_EQ(child.record->error, "dependency failed");
+}
+
+TEST_F(FaasFixture, DfkMemoizationReturnsCachedResult) {
+  DataFlowKernel dfk(sim, Config{});
+  dfk.add_executor(make_cpu_executor(1));
+  AppDef app = sleep_app("expensive", 10_s);
+  app.memo_key = "input-42";
+  auto first = dfk.submit(app, "cpu");
+  sim.run();
+  const auto t_first = sim.now();
+  auto second = dfk.submit(app, "cpu");
+  sim.run();
+  EXPECT_EQ(dfk.memo_hits(), 1u);
+  EXPECT_TRUE(second.record->memoized);
+  EXPECT_FALSE(first.record->memoized);
+  EXPECT_EQ(sim.now(), t_first);  // the hit consumed zero virtual time
+  EXPECT_DOUBLE_EQ(std::get<double>(second.future.value()),
+                   std::get<double>(first.future.value()));
+}
+
+TEST_F(FaasFixture, DfkMemoKeyDistinguishesInputs) {
+  DataFlowKernel dfk(sim, Config{});
+  dfk.add_executor(make_cpu_executor(1));
+  AppDef a = sleep_app("f", 1_s);
+  a.memo_key = "x";
+  AppDef b = sleep_app("f", 1_s);
+  b.memo_key = "y";
+  (void)dfk.submit(a, "cpu");
+  (void)dfk.submit(b, "cpu");
+  sim.run();
+  EXPECT_EQ(dfk.memo_hits(), 0u);  // different keys both executed
+  (void)dfk.submit(a, "cpu");
+  sim.run();
+  EXPECT_EQ(dfk.memo_hits(), 1u);
+  dfk.clear_memo();
+  (void)dfk.submit(a, "cpu");
+  sim.run();
+  EXPECT_EQ(dfk.memo_hits(), 1u);  // cleared → re-executed
+}
+
+TEST_F(FaasFixture, DfkFailuresAreNotMemoized) {
+  Config cfg;
+  DataFlowKernel dfk(sim, cfg);
+  dfk.add_executor(make_cpu_executor(1));
+  auto count = std::make_shared<int>(0);
+  AppDef flaky = failing_app("flaky", 1, count);
+  flaky.memo_key = "k";
+  auto bad = dfk.submit(flaky, "cpu");
+  sim.run();
+  EXPECT_TRUE(bad.future.failed());
+  auto good = dfk.submit(flaky, "cpu");  // re-executes (now succeeds)
+  sim.run();
+  EXPECT_FALSE(good.future.failed());
+  EXPECT_EQ(dfk.memo_hits(), 0u);
+}
+
+TEST_F(FaasFixture, DeadlineMissesAreFlagged) {
+  DataFlowKernel dfk(sim, Config{});
+  dfk.add_executor(make_cpu_executor(1));
+  AppDef strict = sleep_app("strict", 5_s);
+  strict.deadline = 2_s;  // impossible: body alone takes 5 s
+  AppDef lax = sleep_app("lax", 1_s);
+  lax.deadline = 60_s;
+  auto h1 = dfk.submit(strict, "cpu");
+  auto h2 = dfk.submit(lax, "cpu");
+  sim.run();
+  EXPECT_TRUE(h1.record->slo_miss);
+  EXPECT_FALSE(h1.future.failed());  // a miss is not a failure
+  EXPECT_FALSE(h2.record->slo_miss);
+  EXPECT_EQ(dfk.slo_misses(), 1u);
+}
+
+TEST_F(FaasFixture, DfkShutdown) {
+  DataFlowKernel dfk(sim, Config{});
+  dfk.add_executor(make_cpu_executor(2));
+  for (int i = 0; i < 5; ++i) (void)dfk.submit(sleep_app("s", 1_s), "cpu");
+  sim.spawn(dfk.shutdown());
+  sim.run();
+  EXPECT_EQ(dfk.tasks_failed(), 0u);
+  EXPECT_EQ(dfk.executor("cpu").outstanding(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// ThreadPoolExecutor
+// ---------------------------------------------------------------------------
+
+TEST_F(FaasFixture, ThreadPoolRunsConcurrently) {
+  ThreadPoolExecutor ex(sim, "tp", 2);
+  auto a = ex.submit(std::make_shared<const AppDef>(sleep_app("a", 4_s)));
+  auto b = ex.submit(std::make_shared<const AppDef>(sleep_app("b", 4_s)));
+  auto c = ex.submit(std::make_shared<const AppDef>(sleep_app("c", 4_s)));
+  sim.run();
+  EXPECT_EQ(a.record->finished, b.record->finished);       // concurrent pair
+  EXPECT_EQ((c.record->finished - a.record->finished), 4_s);  // third waits
+  EXPECT_EQ(sim.now(), util::TimePoint{} + 8_s);  // no process cold start
+}
+
+}  // namespace
+}  // namespace faaspart::faas

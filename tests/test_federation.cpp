@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include "federation/service.hpp"
+#include "util/error.hpp"
+#include "workloads/llama.hpp"
+
+namespace faaspart::federation {
+namespace {
+
+using namespace util::literals;
+
+struct FederationFixture : ::testing::Test {
+  sim::Simulator sim;
+  ComputeService service{sim};
+
+  Endpoint& make_endpoint(const std::string& name, int gpus,
+                          util::Duration rtt) {
+    Endpoint::Options opts;
+    opts.name = name;
+    opts.cpu_cores = 24;
+    opts.rtt = rtt;
+    for (int g = 0; g < gpus; ++g) opts.gpus.push_back(gpu::arch::a100_80gb());
+    auto ep = std::make_unique<Endpoint>(sim, std::move(opts));
+    Endpoint& ref = service.register_endpoint(std::move(ep));
+    faas::HtexConfig cfg;
+    cfg.label = "gpu";
+    for (int g = 0; g < gpus; ++g) {
+      cfg.available_accelerators.push_back(std::to_string(g));
+    }
+    ref.add_gpu_executor(cfg);
+    return ref;
+  }
+
+  faas::AppDef quick_app(util::Duration d = 1_s) {
+    faas::AppDef app;
+    app.name = "quick";
+    app.body = [d](faas::TaskContext& ctx) -> sim::Co<faas::AppValue> {
+      co_await ctx.compute(d);
+      co_return faas::AppValue{1.0};
+    };
+    return app;
+  }
+};
+
+TEST_F(FederationFixture, RegistrationAndLookup) {
+  make_endpoint("hpc-site", 2, 40_ms);
+  make_endpoint("edge-box", 1, 5_ms);
+  EXPECT_EQ(service.endpoint_count(), 2u);
+  EXPECT_EQ(service.endpoint("hpc-site").name(), "hpc-site");
+  EXPECT_THROW((void)service.endpoint("nope"), util::NotFoundError);
+  const auto names = service.endpoint_names();
+  EXPECT_EQ(names.size(), 2u);
+}
+
+TEST_F(FederationFixture, DuplicateEndpointRejected) {
+  make_endpoint("a", 1, 1_ms);
+  Endpoint::Options opts;
+  opts.name = "a";
+  EXPECT_THROW(service.register_endpoint(std::make_unique<Endpoint>(sim, opts)),
+               util::ConfigError);
+}
+
+TEST_F(FederationFixture, FunctionRegistry) {
+  const auto id = service.register_function(quick_app());
+  EXPECT_NE(id.find("quick"), std::string::npos);
+  EXPECT_THROW((void)service.submit("fn-unknown", "x", "gpu"),
+               util::NotFoundError);
+}
+
+TEST_F(FederationFixture, SubmitChargesWanRtt) {
+  make_endpoint("site", 1, 100_ms);
+  const auto fn = service.register_function(quick_app(1_s));
+  auto settled_at = std::make_shared<util::TimePoint>();
+  auto h = service.submit(fn, "site", "gpu");
+  h.future.on_ready([&sim = sim, settled_at] { *settled_at = sim.now(); });
+  sim.run();
+  EXPECT_FALSE(h.future.failed());
+  // The run time itself excludes the WAN (endpoint-side measurement).
+  EXPECT_NEAR(h.record->run_time().seconds(), 1.0, 1e-9);
+  // The result settles only after the full round trip: the dispatch leg
+  // precedes the endpoint-side start, the return leg follows the finish.
+  EXPECT_GE(h.record->started.seconds() - h.record->submitted.seconds(), 0.05);
+  EXPECT_GE(settled_at->seconds() - h.record->finished.seconds(), 0.05 - 1e-9);
+}
+
+TEST_F(FederationFixture, RoundRobinAlternates) {
+  make_endpoint("a", 1, 1_ms);
+  make_endpoint("b", 1, 1_ms);
+  const auto fn = service.register_function(quick_app());
+  for (int i = 0; i < 6; ++i) {
+    (void)service.submit_routed(fn, "gpu", RoutingPolicy::kRoundRobin);
+  }
+  sim.run();
+  const auto counts = service.dispatch_counts();
+  EXPECT_EQ(counts.at("a"), 3u);
+  EXPECT_EQ(counts.at("b"), 3u);
+}
+
+TEST_F(FederationFixture, LeastLoadedPrefersIdleEndpoint) {
+  make_endpoint("busy", 1, 1_ms);
+  make_endpoint("idle", 1, 1_ms);
+  const auto fn = service.register_function(quick_app(30_s));
+  // Pre-load "busy" directly and let the dispatch legs land.
+  for (int i = 0; i < 4; ++i) (void)service.submit(fn, "busy", "gpu");
+  sim.run_until(sim.now() + 2_s);
+  // Routed submissions now see the imbalance and pick the idle endpoint.
+  for (int i = 0; i < 3; ++i) {
+    (void)service.submit_routed(fn, "gpu", RoutingPolicy::kLeastLoaded);
+  }
+  sim.run();
+  const auto counts = service.dispatch_counts();
+  EXPECT_EQ(counts.at("busy"), 4u);
+  EXPECT_EQ(counts.at("idle"), 3u);
+}
+
+TEST_F(FederationFixture, HeterogeneousEndpointsServeTheSameFunction) {
+  make_endpoint("big", 2, 40_ms);
+  make_endpoint("small", 1, 5_ms);
+  const auto fn = service.register_function(workloads::make_llama_completion_app(
+      "chat", workloads::llama2_7b(), workloads::serving_config(), {16, 4}));
+  std::vector<faas::AppHandle> hs;
+  for (int i = 0; i < 6; ++i) {
+    hs.push_back(service.submit_routed(fn, "gpu", RoutingPolicy::kRoundRobin));
+  }
+  sim.spawn(service.shutdown());
+  sim.run();
+  for (const auto& h : hs) {
+    EXPECT_EQ(h.record->state, faas::TaskRecord::State::kDone);
+  }
+  EXPECT_EQ(service.tasks_submitted(), 6u);
+}
+
+TEST_F(FederationFixture, EndpointFailurePropagatesOverWan) {
+  make_endpoint("site", 1, 10_ms);
+  faas::AppDef bad;
+  bad.name = "bad";
+  bad.body = [](faas::TaskContext&) -> sim::Co<faas::AppValue> {
+    throw util::TaskFailedError("boom");
+    co_return faas::AppValue{};
+  };
+  const auto fn = service.register_function(std::move(bad));
+  auto h = service.submit(fn, "site", "gpu");
+  sim.run();
+  EXPECT_TRUE(h.future.failed());
+  EXPECT_EQ(h.record->state, faas::TaskRecord::State::kFailed);
+}
+
+TEST_F(FederationFixture, CpuExecutorConvenience) {
+  Endpoint::Options opts;
+  opts.name = "cpu-only";
+  opts.rtt = 1_ms;
+  Endpoint& ep = service.register_endpoint(std::make_unique<Endpoint>(sim, opts));
+  ep.add_cpu_executor("cpu", 4);
+  const auto fn = service.register_function(quick_app());
+  auto h = service.submit(fn, "cpu-only", "cpu");
+  sim.run();
+  EXPECT_FALSE(h.future.failed());
+  EXPECT_EQ(ep.devices().device_count(), 0u);
+}
+
+}  // namespace
+}  // namespace faaspart::federation

@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include "gpu/arch.hpp"
+#include "gpu/kernel.hpp"
+#include "util/error.hpp"
+
+namespace faaspart::gpu {
+namespace {
+
+TEST(Arch, A100Presets) {
+  const auto a40 = arch::a100_sxm4_40gb();
+  EXPECT_EQ(a40.total_sms, 108);
+  EXPECT_DOUBLE_EQ(a40.fp32_flops, 19.5e12);
+  EXPECT_EQ(a40.memory, 40 * util::GB);
+  EXPECT_TRUE(a40.mig_capable);
+  EXPECT_EQ(a40.mig_slices, 7);
+  EXPECT_EQ(a40.sms_per_slice, 14);
+
+  const auto a80 = arch::a100_80gb();
+  EXPECT_EQ(a80.memory, 80 * util::GB);
+  EXPECT_EQ(a80.total_sms, 108);
+}
+
+TEST(Arch, Mi210HasNoMig) {
+  const auto mi = arch::mi210();
+  EXPECT_EQ(mi.total_sms, 104);  // compute units
+  EXPECT_FALSE(mi.mig_capable);
+}
+
+TEST(Arch, FlopsPerSm) {
+  const auto a = arch::a100_sxm4_40gb();
+  EXPECT_NEAR(a.flops_per_sm(), 19.5e12 / 108, 1.0);
+}
+
+TEST(Arch, CpuBaselineMatchesTestbed) {
+  const auto c = arch::xeon_testbed();
+  EXPECT_EQ(c.cores, 24);  // §5.1: 24 Intel Xeon CPUs
+  EXPECT_GT(c.flops_per_core, 0.0);
+}
+
+TEST(KernelModel, ComputeBoundScalesWithSms) {
+  const auto a = arch::a100_sxm4_40gb();
+  KernelDesc k{"gemm", KernelKind::kGemm, 1e12, 1000, /*width=*/108, 0.9};
+  const auto full = solo_service_time(a, k, {108});
+  const auto half = solo_service_time(a, k, {54});
+  EXPECT_NEAR(half.seconds() / full.seconds(), 2.0, 0.01);
+}
+
+TEST(KernelModel, WidthSaturation) {
+  const auto a = arch::a100_sxm4_40gb();
+  // 20-SM-wide kernel (LLaMa-2 decode shape, Fig 2).
+  KernelDesc k{"gemv", KernelKind::kGemv, 1e10, 1 * util::GB, /*width=*/20, 0.5};
+  const auto at20 = solo_service_time(a, k, {20});
+  const auto at54 = solo_service_time(a, k, {54});
+  const auto at108 = solo_service_time(a, k, {108});
+  // Beyond the saturation width, more SMs do not reduce latency.
+  EXPECT_EQ(at20.ns, at54.ns);
+  EXPECT_EQ(at54.ns, at108.ns);
+  // Below the width they do.
+  const auto at10 = solo_service_time(a, k, {10});
+  EXPECT_GT(at10.ns, at20.ns);
+}
+
+TEST(KernelModel, MemoryBoundUsesBandwidth) {
+  const auto a = arch::a100_sxm4_40gb();
+  // Pure streaming kernel: no flops, 15.55 GB of traffic at full bandwidth
+  // fraction → exactly 10 ms at 1555 GB/s.
+  KernelDesc k{"stream", KernelKind::kElementwise, 0, 15'550'000'000LL, 108, 1.0};
+  const auto t = solo_service_time(a, k, {108});
+  EXPECT_NEAR(t.seconds(), 0.010 + a.kernel_launch_overhead.seconds(), 1e-6);
+}
+
+TEST(KernelModel, RooflineTakesMax) {
+  const auto a = arch::a100_sxm4_40gb();
+  // Heavy compute + tiny memory → compute-bound.
+  KernelDesc c{"c", KernelKind::kGemm, 1e12, 1, 108, 1.0};
+  const auto tc = kernel_timing(a, c, {108});
+  EXPECT_GT(tc.compute.ns, 0);
+  // Tiny compute + heavy memory → duration from bytes.
+  KernelDesc m{"m", KernelKind::kElementwise, 1, 10 * util::GB, 108, 1.0};
+  const auto sm = solo_service_time(a, m, {108});
+  const auto sc = solo_service_time(a, c, {108});
+  EXPECT_NEAR(sc.seconds(), 1e12 / 19.5e12 + a.kernel_launch_overhead.seconds(), 1e-6);
+  EXPECT_NEAR(sm.seconds(), 10e9 / 1555e9 + a.kernel_launch_overhead.seconds(), 1e-6);
+}
+
+TEST(KernelModel, FewerSmsReduceAchievableBandwidth) {
+  const auto a = arch::a100_sxm4_40gb();
+  KernelDesc k{"bw", KernelKind::kGemv, 0, 1 * util::GB, /*width=*/40, 1.0};
+  const auto t40 = kernel_timing(a, k, {40});
+  const auto t10 = kernel_timing(a, k, {10});
+  EXPECT_NEAR(t40.solo_bw / t10.solo_bw, 4.0, 0.01);
+}
+
+TEST(KernelModel, InvalidInputsRejected) {
+  const auto a = arch::a100_sxm4_40gb();
+  KernelDesc k{"k", KernelKind::kOther, 1, 1, 1, 1.0};
+  EXPECT_THROW((void)kernel_timing(a, k, {0}), util::Error);
+  k.width_sms = 0;
+  EXPECT_THROW((void)kernel_timing(a, k, {1}), util::Error);
+  k.width_sms = 1;
+  k.bw_fraction = 0.0;
+  EXPECT_THROW((void)kernel_timing(a, k, {1}), util::Error);
+  k.bw_fraction = 1.5;
+  EXPECT_THROW((void)kernel_timing(a, k, {1}), util::Error);
+}
+
+TEST(KernelModel, KindNames) {
+  EXPECT_STREQ(kernel_kind_name(KernelKind::kGemv), "gemv");
+  EXPECT_STREQ(kernel_kind_name(KernelKind::kMemcpyH2D), "memcpy_h2d");
+}
+
+}  // namespace
+}  // namespace faaspart::gpu

@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include "gpu/memory.hpp"
+#include "util/error.hpp"
+
+namespace faaspart::gpu {
+namespace {
+
+TEST(MemoryPool, AllocateAndFree) {
+  MemoryPool pool(1000);
+  const auto a = pool.allocate(400, "model");
+  EXPECT_EQ(pool.used(), 400);
+  EXPECT_EQ(pool.free_bytes(), 600);
+  pool.free(a);
+  EXPECT_EQ(pool.used(), 0);
+  EXPECT_EQ(pool.largest_free_block(), 1000);
+}
+
+TEST(MemoryPool, OutOfMemoryThrows) {
+  MemoryPool pool(100);
+  (void)pool.allocate(80, "a");
+  EXPECT_THROW((void)pool.allocate(30, "b"), util::OutOfMemoryError);
+  // The failed allocation must not corrupt accounting.
+  EXPECT_EQ(pool.used(), 80);
+  (void)pool.allocate(20, "c");
+  EXPECT_EQ(pool.free_bytes(), 0);
+}
+
+TEST(MemoryPool, OomMessageIsInformative) {
+  MemoryPool pool(100);
+  (void)pool.allocate(90, "resident");
+  try {
+    (void)pool.allocate(50, "llama-weights");
+    FAIL();
+  } catch (const util::OutOfMemoryError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("llama-weights"), std::string::npos);
+    EXPECT_NE(what.find("free"), std::string::npos);
+  }
+}
+
+TEST(MemoryPool, DoubleFreeDetected) {
+  MemoryPool pool(100);
+  const auto a = pool.allocate(10, "x");
+  pool.free(a);
+  EXPECT_THROW(pool.free(a), util::NotFoundError);
+}
+
+TEST(MemoryPool, UnknownIdRejected) {
+  MemoryPool pool(100);
+  EXPECT_THROW(pool.free(42), util::NotFoundError);
+  EXPECT_THROW((void)pool.info(42), util::NotFoundError);
+  EXPECT_FALSE(pool.contains(42));
+}
+
+TEST(MemoryPool, FirstFitReusesHoles) {
+  MemoryPool pool(100);
+  const auto a = pool.allocate(30, "a");
+  const auto b = pool.allocate(30, "b");
+  (void)pool.allocate(40, "c");
+  pool.free(a);
+  // The 30-byte hole at offset 0 is reused first-fit.
+  const auto d = pool.allocate(20, "d");
+  EXPECT_EQ(pool.info(d).offset, 0);
+  (void)b;
+}
+
+TEST(MemoryPool, FragmentationVisible) {
+  MemoryPool pool(100);
+  const auto a = pool.allocate(25, "a");
+  const auto b = pool.allocate(25, "b");
+  const auto c = pool.allocate(25, "c");
+  (void)pool.allocate(25, "d");
+  pool.free(a);
+  pool.free(c);
+  // 50 bytes free but in two 25-byte holes.
+  EXPECT_EQ(pool.free_bytes(), 50);
+  EXPECT_EQ(pool.largest_free_block(), 25);
+  EXPECT_EQ(pool.external_fragmentation(), 25);
+  EXPECT_THROW((void)pool.allocate(40, "big"), util::OutOfMemoryError);
+  (void)b;
+}
+
+TEST(MemoryPool, CoalesceAdjacentFrees) {
+  MemoryPool pool(100);
+  const auto a = pool.allocate(25, "a");
+  const auto b = pool.allocate(25, "b");
+  const auto c = pool.allocate(25, "c");
+  (void)pool.allocate(25, "guard");  // pins the tail so merges stay visible
+  pool.free(a);
+  pool.free(c);
+  EXPECT_EQ(pool.largest_free_block(), 25);
+  pool.free(b);  // merges with both neighbours
+  EXPECT_EQ(pool.largest_free_block(), 75);
+  const auto big = pool.allocate(75, "big");
+  EXPECT_EQ(pool.info(big).offset, 0);
+}
+
+TEST(MemoryPool, AllocationsListing) {
+  MemoryPool pool(100);
+  (void)pool.allocate(10, "w1");
+  (void)pool.allocate(20, "w2");
+  const auto all = pool.allocations();
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(all[0].tag, "w1");
+  EXPECT_EQ(all[1].size, 20);
+}
+
+TEST(MemoryPool, InvalidConstruction) {
+  EXPECT_THROW(MemoryPool(0), util::Error);
+  EXPECT_THROW(MemoryPool(-5), util::Error);
+}
+
+TEST(MemoryPool, ZeroSizeAllocationRejected) {
+  MemoryPool pool(10);
+  EXPECT_THROW((void)pool.allocate(0, "z"), util::Error);
+}
+
+TEST(MemoryPool, ExactFit) {
+  MemoryPool pool(100);
+  const auto a = pool.allocate(100, "all");
+  EXPECT_EQ(pool.free_bytes(), 0);
+  EXPECT_EQ(pool.largest_free_block(), 0);
+  pool.free(a);
+  EXPECT_EQ(pool.largest_free_block(), 100);
+}
+
+}  // namespace
+}  // namespace faaspart::gpu

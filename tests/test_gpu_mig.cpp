@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include "gpu/device.hpp"
+#include "gpu/mig.hpp"
+#include "sched/engines.hpp"
+#include "util/error.hpp"
+
+namespace faaspart::gpu {
+namespace {
+
+TEST(MigProfiles, CatalogueFor80Gb) {
+  const auto a = arch::a100_80gb();
+  const auto profiles = mig_profiles(a);
+  ASSERT_EQ(profiles.size(), 6u);
+  // §4.2 names 1g.10gb, 2g.20gb, 3g.40gb, 4g.40gb, 7g.80gb explicitly;
+  // 1g.20gb is the double-memory 1g profile from NVIDIA's catalogue.
+  EXPECT_EQ(profiles[0].name, "1g.10gb");
+  EXPECT_EQ(profiles[1].name, "1g.20gb");
+  EXPECT_EQ(profiles[2].name, "2g.20gb");
+  EXPECT_EQ(profiles[3].name, "3g.40gb");
+  EXPECT_EQ(profiles[4].name, "4g.40gb");
+  EXPECT_EQ(profiles[5].name, "7g.80gb");
+}
+
+TEST(MigProfiles, CatalogueFor40Gb) {
+  const auto a = arch::a100_sxm4_40gb();
+  const auto profiles = mig_profiles(a);
+  ASSERT_EQ(profiles.size(), 6u);
+  EXPECT_EQ(profiles[0].name, "1g.5gb");
+  EXPECT_EQ(profiles[5].name, "7g.40gb");
+}
+
+TEST(MigProfiles, FourDoubleMemoryOneGInstancesFit) {
+  const auto a = arch::a100_80gb();
+  const auto p = mig_profile(a, "1g.20gb");
+  EXPECT_EQ(p.compute_slices, 1);
+  EXPECT_EQ(p.mem_slices, 2);
+  EXPECT_EQ(p.memory(a), 20 * util::GB);
+  // 4 × (1 compute, 2 memory) fits the 7/8 slice budget.
+  EXPECT_LE(4 * p.compute_slices, a.mig_slices);
+  EXPECT_LE(4 * p.mem_slices, a.mem_slices);
+}
+
+TEST(MigProfiles, SmsAndMemory) {
+  const auto a = arch::a100_80gb();
+  const auto p1 = mig_profile(a, "1g.10gb");
+  EXPECT_EQ(p1.sms(a), 14);
+  EXPECT_EQ(p1.memory(a), 10 * util::GB);
+  const auto p3 = mig_profile(a, "3g.40gb");
+  EXPECT_EQ(p3.sms(a), 42);
+  EXPECT_EQ(p3.memory(a), 40 * util::GB);  // 3g takes 4 memory slices
+  EXPECT_EQ(p3.mem_slices, 4);
+  const auto p7 = mig_profile(a, "7g.80gb");
+  EXPECT_EQ(p7.sms(a), 98);  // 98 of 108 SMs usable under MIG
+}
+
+TEST(MigProfiles, BandwidthScalesWithMemSlices) {
+  const auto a = arch::a100_80gb();
+  const auto p2 = mig_profile(a, "2g.20gb");
+  EXPECT_NEAR(p2.bandwidth(a), a.mem_bw * 2 / 8, 1.0);
+}
+
+TEST(MigProfiles, LookupByComputePrefix) {
+  const auto a = arch::a100_80gb();
+  EXPECT_EQ(mig_profile(a, "2g").name, "2g.20gb");
+  EXPECT_EQ(mig_profile(a, "7g").name, "7g.80gb");
+}
+
+TEST(MigProfiles, UnknownProfileThrows) {
+  const auto a = arch::a100_80gb();
+  EXPECT_THROW((void)mig_profile(a, "5g"), util::NotFoundError);
+  EXPECT_THROW((void)mig_profile(a, "1g.5gb"), util::NotFoundError);  // 40 GB name
+}
+
+TEST(MigProfiles, SmallerPartGeometry) {
+  // A30: 4 compute / 4 memory slices, 24 GB.
+  const auto a = arch::a30();
+  const auto profiles = mig_profiles(a);
+  // {1,1}=1g.6gb, {1,2}=1g.12gb, {2,2}=2g.12gb, {3,4}=3g.24gb,
+  // {4,4}=4g.24gb; the full-GPU shape collapses onto 4g (deduplicated).
+  ASSERT_EQ(profiles.size(), 5u);
+  EXPECT_EQ(profiles[0].name, "1g.6gb");
+  EXPECT_EQ(profiles[1].name, "1g.12gb");
+  EXPECT_EQ(profiles[2].name, "2g.12gb");
+  EXPECT_EQ(profiles.back().name, "4g.24gb");
+  EXPECT_EQ(mig_profile(a, "4g").sms(a), 56);
+  // Budget checks still apply with the smaller slice counts.
+  sim::Simulator sim;
+  Device dev(sim, a, 0, sched::timeshare_factory());
+  dev.enable_mig();
+  (void)dev.create_instance("2g.12gb");
+  (void)dev.create_instance("2g.12gb");
+  EXPECT_THROW((void)dev.create_instance("1g.6gb"), util::StateError);
+}
+
+TEST(MigProfiles, NonMigPartHasNone) {
+  const auto mi = arch::mi210();
+  EXPECT_TRUE(mig_profiles(mi).empty());
+  EXPECT_THROW((void)mig_profile(mi, "1g"), util::NotFoundError);
+}
+
+}  // namespace
+}  // namespace faaspart::gpu

@@ -1,0 +1,184 @@
+// End-to-end integration tests: the full stack (config → partitioner →
+// executors → workers → devices → engines) exercised the way the paper's
+// deployment uses it.
+#include <gtest/gtest.h>
+
+#include "core/partitioner.hpp"
+#include "core/reconfigure.hpp"
+#include "core/rightsize.hpp"
+#include "core/weightcache.hpp"
+#include "faas/dfk.hpp"
+#include "faas/provider.hpp"
+#include "nvml/manager.hpp"
+#include "trace/recorder.hpp"
+#include "util/error.hpp"
+#include "workloads/llama.hpp"
+#include "workloads/multiplex_experiment.hpp"
+#include "workloads/serving.hpp"
+
+namespace faaspart {
+namespace {
+
+using namespace util::literals;
+
+struct StackFixture : ::testing::Test {
+  sim::Simulator sim;
+  trace::Recorder rec;
+  nvml::DeviceManager mgr{sim, &rec};
+  faas::LocalProvider provider{sim, 24};
+  core::GpuPartitioner part{mgr};
+  faas::DataFlowKernel dfk{sim, faas::Config{}};
+
+  StackFixture() { mgr.add_device(gpu::arch::a100_80gb()); }
+};
+
+TEST_F(StackFixture, PaperListing2EndToEnd) {
+  // Listing 2's shape: one executor, repeated GPU, per-slot percentages.
+  faas::HtexConfig cfg;
+  cfg.label = "gpu";
+  cfg.available_accelerators = {"0", "0"};
+  cfg.gpu_percentages = {50, 50};
+  dfk.add_executor(part.build_executor(sim, provider, cfg, nullptr, &rec));
+
+  const auto app = workloads::make_llama_completion_app(
+      "chat", workloads::llama2_7b(), workloads::serving_config(), {32, 8});
+  std::vector<faas::AppHandle> handles;
+  for (int i = 0; i < 6; ++i) handles.push_back(dfk.submit(app, "gpu"));
+  sim.spawn(dfk.shutdown());
+  sim.run();
+
+  for (const auto& h : handles) {
+    EXPECT_EQ(h.record->state, faas::TaskRecord::State::kDone);
+  }
+  // Both workers served tasks (dispatcher spread the load).
+  const auto spans = rec.category_spans("task:chat");
+  EXPECT_EQ(spans.size(), 6u);
+}
+
+TEST_F(StackFixture, FifthLlamaInstanceOnEightyGbOoms) {
+  // §5.2's capacity constraint, end to end: a 5th fp16 7B worker cannot
+  // load its model.
+  faas::HtexConfig cfg;
+  cfg.label = "gpu";
+  for (int i = 0; i < 5; ++i) {
+    cfg.available_accelerators.push_back("0");
+    cfg.gpu_percentages.push_back(20);
+  }
+  dfk.add_executor(part.build_executor(sim, provider, cfg, nullptr, &rec));
+  const auto app = workloads::make_llama_completion_app(
+      "chat", workloads::llama2_7b(), workloads::serving_config(), {16, 2});
+  std::vector<faas::AppHandle> handles;
+  for (int i = 0; i < 5; ++i) handles.push_back(dfk.submit(app, "gpu"));
+  sim.run();
+  std::size_t failed = 0;
+  for (const auto& h : handles) {
+    if (h.record->state == faas::TaskRecord::State::kFailed) {
+      ++failed;
+      EXPECT_NE(h.record->error.find("out of device memory"), std::string::npos);
+    }
+  }
+  EXPECT_EQ(failed, 1u);
+}
+
+TEST_F(StackFixture, MigEndToEndWithPartitioner) {
+  // Listing 3's shape: MIG UUIDs as accelerators.
+  sim.spawn([](nvml::DeviceManager& m) -> sim::Co<void> {
+    const std::vector<std::string> layout{"3g.40gb", "3g.40gb"};
+    (void)co_await m.configure_mig(0, layout);
+  }(mgr));
+  sim.run();
+  faas::HtexConfig cfg;
+  cfg.label = "gpu";
+  for (const auto id : mgr.device(0).instance_ids()) {
+    cfg.available_accelerators.push_back(mgr.device(0).instance(id).uuid);
+  }
+  dfk.add_executor(part.build_executor(sim, provider, cfg, nullptr, &rec));
+  const auto app = workloads::make_llama_completion_app(
+      "chat", workloads::llama2_7b(), workloads::serving_config(), {32, 4});
+  auto a = dfk.submit(app, "gpu");
+  auto b = dfk.submit(app, "gpu");
+  sim.run();
+  EXPECT_EQ(a.record->state, faas::TaskRecord::State::kDone);
+  EXPECT_EQ(b.record->state, faas::TaskRecord::State::kDone);
+  // Memory landed in the instances, not the bare-device pool.
+  EXPECT_EQ(mgr.device(0).memory().used(), 0);
+}
+
+TEST_F(StackFixture, RightsizeThenPartitionLoop) {
+  // The §7 workflow: profile → suggest → configure MPS with the suggestion.
+  const auto arch = mgr.device(0).arch();
+  const auto decode = workloads::llama_decode_kernel(
+      workloads::llama2_7b(), workloads::serving_config());
+  const auto suggestion = core::rightsize_kernels(arch, {decode}, 0.05);
+  ASSERT_GT(suggestion.suggested_percentage, 0);
+  ASSERT_LT(suggestion.suggested_percentage, 50);
+
+  const int tenants = 100 / suggestion.suggested_percentage;
+  faas::HtexConfig cfg;
+  cfg.label = "gpu";
+  for (int i = 0; i < tenants; ++i) {
+    cfg.available_accelerators.push_back("0");
+    cfg.gpu_percentages.push_back(suggestion.suggested_percentage);
+  }
+  EXPECT_GE(tenants, 3);  // right-sizing packs at least 3 decode tenants
+  auto ex = part.build_executor(sim, provider, cfg, nullptr, &rec);
+  faas::AppDef probe;
+  probe.name = "probe";
+  probe.body = [](faas::TaskContext& ctx) -> sim::Co<faas::AppValue> {
+    co_return faas::AppValue{static_cast<double>(ctx.sm_cap())};
+  };
+  auto h = ex->submit(std::make_shared<const faas::AppDef>(std::move(probe)));
+  sim.run();
+  EXPECT_NEAR(std::get<double>(h.future.value()),
+              108.0 * suggestion.suggested_percentage / 100.0, 1.0);
+}
+
+TEST_F(StackFixture, WeightCacheAcrossReconfiguration) {
+  // Full §7 story: warm 2 tenants, change the split, verify the cache
+  // absorbed the reload and tasks flow again.
+  core::WeightCache cache;
+  core::Reconfigurer recon(mgr);
+  faas::HtexConfig cfg;
+  cfg.label = "gpu";
+  cfg.available_accelerators = {"0", "0"};
+  cfg.gpu_percentages = {50, 50};
+  auto ex_owned = part.build_executor(sim, provider, cfg, &cache, &rec);
+  auto* ex = ex_owned.get();
+  dfk.add_executor(std::move(ex_owned));
+
+  const auto app = workloads::make_llama_completion_app(
+      "chat", workloads::llama2_7b(), workloads::serving_config(), {16, 2});
+  (void)dfk.submit(app, "gpu");
+  (void)dfk.submit(app, "gpu");
+  sim.run();
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 1u);  // second worker attached
+
+  sim.spawn([](core::Reconfigurer& r, faas::HighThroughputExecutor& e) -> sim::Co<void> {
+    const std::vector<int> pcts{60, 40};
+    (void)co_await r.change_mps_percentages(e, pcts);
+  }(recon, *ex));
+  sim.run();
+  auto h1 = dfk.submit(app, "gpu");
+  auto h2 = dfk.submit(app, "gpu");
+  sim.run();
+  EXPECT_EQ(h1.record->state, faas::TaskRecord::State::kDone);
+  EXPECT_EQ(h2.record->state, faas::TaskRecord::State::kDone);
+  EXPECT_EQ(cache.misses(), 1u);  // never reloaded
+  EXPECT_EQ(cache.hits(), 3u);
+}
+
+TEST(IntegrationDeterminism, MultiplexExperimentIsReproducible) {
+  workloads::MultiplexRunConfig cfg;
+  cfg.mode = workloads::MultiplexMode::kMps;
+  cfg.processes = 3;
+  cfg.total_completions = 12;
+  const auto a = workloads::run_multiplex_experiment(cfg);
+  const auto b = workloads::run_multiplex_experiment(cfg);
+  EXPECT_EQ(a.batch.makespan.ns, b.batch.makespan.ns);
+  EXPECT_DOUBLE_EQ(a.batch.latency.mean, b.batch.latency.mean);
+  EXPECT_DOUBLE_EQ(a.gpu_utilization, b.gpu_utilization);
+}
+
+}  // namespace
+}  // namespace faaspart

@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include "nvml/manager.hpp"
+#include "nvml/mps_control.hpp"
+#include "sched/engines.hpp"
+#include "util/error.hpp"
+
+namespace faaspart::nvml {
+namespace {
+
+using namespace util::literals;
+
+struct NvmlFixture : ::testing::Test {
+  sim::Simulator sim;
+  DeviceManager mgr{sim};
+};
+
+TEST_F(NvmlFixture, AddAndQueryDevices) {
+  const int a = mgr.add_device(gpu::arch::a100_sxm4_40gb());
+  const int b = mgr.add_device(gpu::arch::a100_sxm4_40gb());
+  EXPECT_EQ(a, 0);
+  EXPECT_EQ(b, 1);
+  EXPECT_EQ(mgr.device_count(), 2u);
+  EXPECT_THROW((void)mgr.device(2), util::NotFoundError);
+  EXPECT_THROW((void)mgr.device(-1), util::NotFoundError);
+}
+
+TEST_F(NvmlFixture, DefaultPolicyIsTimeshare) {
+  mgr.add_device(gpu::arch::a100_80gb());
+  EXPECT_STREQ(mgr.device(0).engine().policy_name(), "timeshare");
+  EXPECT_EQ(mgr.status(0).sharing_policy, "timeshare");
+}
+
+TEST_F(NvmlFixture, StatusReportsMemoryAndContexts) {
+  mgr.add_device(gpu::arch::a100_80gb());
+  auto& dev = mgr.device(0);
+  const auto ctx = dev.create_context("tenant");
+  (void)dev.alloc(ctx, 10 * util::GB, "w");
+  const auto st = mgr.status(0);
+  EXPECT_EQ(st.contexts, 1u);
+  EXPECT_EQ(st.memory_used, 10 * util::GB);
+  EXPECT_EQ(st.memory_total, 80 * util::GB);
+  EXPECT_FALSE(st.mig_enabled);
+}
+
+TEST_F(NvmlFixture, ConfigureMigChargesResetTime) {
+  mgr.add_device(gpu::arch::a100_80gb());
+  std::vector<std::string> uuids;
+  sim.spawn([](DeviceManager& m, std::vector<std::string>& out) -> sim::Co<void> {
+    const std::vector<std::string> arg1{"3g.40gb", "3g.40gb"};
+    out = co_await m.configure_mig(0, arg1);
+  }(mgr, uuids));
+  sim.run();
+  EXPECT_EQ(uuids.size(), 2u);
+  // §6: MIG reconfiguration adds 1–2 s.
+  EXPECT_EQ(sim.now(), util::TimePoint{} + mgr.device(0).arch().mig_reset);
+  EXPECT_TRUE(mgr.device(0).mig_enabled());
+  const auto st = mgr.status(0);
+  EXPECT_EQ(st.mig_instances.size(), 2u);
+}
+
+TEST_F(NvmlFixture, ReconfigureMigReplacesInstances) {
+  mgr.add_device(gpu::arch::a100_80gb());
+  sim.spawn([](DeviceManager& m) -> sim::Co<void> {
+    const std::vector<std::string> arg2{"7g.80gb"};
+    (void)co_await m.configure_mig(0, arg2);
+    const std::vector<std::string> arg3{"2g.20gb", "2g.20gb", "2g.20gb"};
+    (void)co_await m.configure_mig(0, arg3);
+  }(mgr));
+  sim.run();
+  EXPECT_EQ(mgr.device(0).instance_ids().size(), 3u);
+  EXPECT_EQ(mgr.device(0).used_compute_slices(), 6);
+}
+
+TEST_F(NvmlFixture, ConfigureMigWithLiveContextsFailsFast) {
+  mgr.add_device(gpu::arch::a100_80gb());
+  (void)mgr.device(0).create_context("t");
+  sim.spawn([](DeviceManager& m) -> sim::Co<void> {
+    const std::vector<std::string> arg4{"7g.80gb"};
+    (void)co_await m.configure_mig(0, arg4);
+  }(mgr));
+  EXPECT_THROW(sim.run(), util::StateError);
+  // Failed fast: no reset time charged.
+  EXPECT_EQ(sim.now().ns, 0);
+}
+
+TEST_F(NvmlFixture, ClearMig) {
+  mgr.add_device(gpu::arch::a100_80gb());
+  sim.spawn([](DeviceManager& m) -> sim::Co<void> {
+    const std::vector<std::string> arg5{"1g.10gb"};
+    (void)co_await m.configure_mig(0, arg5);
+    co_await m.clear_mig(0);
+  }(mgr));
+  sim.run();
+  EXPECT_FALSE(mgr.device(0).mig_enabled());
+}
+
+TEST_F(NvmlFixture, DeviceOfInstance) {
+  mgr.add_device(gpu::arch::a100_80gb());
+  mgr.add_device(gpu::arch::a100_80gb());
+  mgr.device(1).enable_mig();
+  const auto inst = mgr.device(1).create_instance("2g.20gb");
+  const auto& uuid = mgr.device(1).instance(inst).uuid;
+  EXPECT_EQ(mgr.device_of_instance(uuid), 1);
+  EXPECT_THROW((void)mgr.device_of_instance("MIG-missing"), util::NotFoundError);
+}
+
+TEST_F(NvmlFixture, MpsControlLifecycle) {
+  mgr.add_device(gpu::arch::a100_80gb());
+  MpsControl mps(mgr.device(0));
+  EXPECT_FALSE(mps.running());
+  mps.start();
+  EXPECT_TRUE(mps.running());
+  EXPECT_STREQ(mgr.device(0).engine().policy_name(), "mps");
+  EXPECT_THROW(mps.start(), util::StateError);
+  mps.stop();
+  EXPECT_STREQ(mgr.device(0).engine().policy_name(), "timeshare");
+  EXPECT_THROW(mps.stop(), util::StateError);
+}
+
+TEST_F(NvmlFixture, MpsStartRequiresNoClients) {
+  mgr.add_device(gpu::arch::a100_80gb());
+  const auto ctx = mgr.device(0).create_context("t");
+  MpsControl mps(mgr.device(0));
+  EXPECT_THROW(mps.start(), util::StateError);
+  mgr.device(0).destroy_context(ctx);
+  mps.start();
+  EXPECT_TRUE(mps.running());
+}
+
+}  // namespace
+}  // namespace faaspart::nvml

@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sim/co.hpp"
+#include "sim/simulator.hpp"
+#include "util/error.hpp"
+
+namespace faaspart::sim {
+namespace {
+
+using namespace util::literals;
+
+Co<int> answer() { co_return 42; }
+
+Co<int> add(int a, int b) {
+  const int x = co_await answer();
+  co_return a + b + x - 42;
+}
+
+Co<void> record_times(Simulator& sim, std::vector<std::int64_t>& out) {
+  out.push_back(sim.now().ns);
+  co_await sim.delay(1_s);
+  out.push_back(sim.now().ns);
+  co_await sim.delay(500_ms);
+  out.push_back(sim.now().ns);
+}
+
+TEST(Co, SpawnRunsToFirstSuspension) {
+  Simulator sim;
+  std::vector<std::int64_t> times;
+  sim.spawn(record_times(sim, times));
+  // Runs synchronously until the first delay.
+  ASSERT_EQ(times.size(), 1u);
+  EXPECT_EQ(times[0], 0);
+  sim.run();
+  ASSERT_EQ(times.size(), 3u);
+  EXPECT_EQ(times[1], (1_s).ns);
+  EXPECT_EQ(times[2], (1.5_s).ns);
+}
+
+TEST(Co, NestedAwaitPropagatesValues) {
+  Simulator sim;
+  int result = 0;
+  sim.spawn([](int& out) -> Co<void> {
+    out = co_await add(1, 2);
+  }(result));
+  sim.run();
+  EXPECT_EQ(result, 3);
+}
+
+Co<void> thrower() {
+  co_await std::suspend_never{};
+  throw util::StateError("boom");
+}
+
+TEST(Co, ExceptionPropagatesThroughAwait) {
+  Simulator sim;
+  bool caught = false;
+  sim.spawn([](bool& flag) -> Co<void> {
+    try {
+      co_await thrower();
+    } catch (const util::StateError&) {
+      flag = true;
+    }
+  }(caught));
+  sim.run();
+  EXPECT_TRUE(caught);
+}
+
+TEST(Co, UncaughtExceptionSurfacesFromRun) {
+  Simulator sim;
+  sim.spawn([](Simulator& s) -> Co<void> {
+    co_await s.delay(1_s);
+    throw util::StateError("process died");
+  }(sim), "dying-process");
+  EXPECT_THROW(sim.run(), util::StateError);
+  ASSERT_EQ(sim.failures().size(), 1u);
+  EXPECT_EQ(sim.failures()[0].name, "dying-process");
+}
+
+TEST(Co, LiveProcessCounting) {
+  Simulator sim;
+  EXPECT_EQ(sim.live_processes(), 0u);
+  sim.spawn([](Simulator& s) -> Co<void> { co_await s.delay(2_s); }(sim));
+  EXPECT_EQ(sim.live_processes(), 1u);
+  sim.run();
+  EXPECT_EQ(sim.live_processes(), 0u);
+}
+
+TEST(Co, ManyConcurrentProcessesInterleave) {
+  Simulator sim;
+  std::vector<int> done_order;
+  for (int i = 0; i < 10; ++i) {
+    sim.spawn([](Simulator& s, std::vector<int>& order, int id) -> Co<void> {
+      // Later-spawned processes sleep less → finish first.
+      co_await s.delay(util::seconds(10 - id));
+      order.push_back(id);
+    }(sim, done_order, i));
+  }
+  sim.run();
+  ASSERT_EQ(done_order.size(), 10u);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(done_order[static_cast<size_t>(i)], 9 - i);
+}
+
+TEST(Co, SpawnEmptyCoRejected) {
+  Simulator sim;
+  Co<void> empty;
+  EXPECT_THROW(sim.spawn(std::move(empty)), util::Error);
+}
+
+TEST(Co, MoveSemantics) {
+  auto c = answer();
+  EXPECT_TRUE(c.valid());
+  Co<int> d = std::move(c);
+  EXPECT_FALSE(c.valid());  // NOLINT(bugprone-use-after-move) — explicit check
+  EXPECT_TRUE(d.valid());
+}
+
+Co<std::string> make_string() { co_return "moved-through"; }
+
+TEST(Co, MoveOnlyResultFlows) {
+  Simulator sim;
+  std::string out;
+  sim.spawn([](std::string& o) -> Co<void> {
+    o = co_await make_string();
+  }(out));
+  sim.run();
+  EXPECT_EQ(out, "moved-through");
+}
+
+}  // namespace
+}  // namespace faaspart::sim

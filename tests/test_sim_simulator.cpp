@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "util/error.hpp"
+
+namespace faaspart::sim {
+namespace {
+
+using namespace util::literals;
+
+TEST(Simulator, StartsAtZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.now().ns, 0);
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(Simulator, EventsRunInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_in(3_s, [&] { order.push_back(3); });
+  sim.schedule_in(1_s, [&] { order.push_back(1); });
+  sim.schedule_in(2_s, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), TimePoint{} + 3_s);
+}
+
+TEST(Simulator, EqualTimestampsRunFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_in(1_s, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(Simulator, NestedScheduling) {
+  Simulator sim;
+  std::vector<std::int64_t> times;
+  sim.schedule_in(1_s, [&] {
+    times.push_back(sim.now().ns);
+    sim.schedule_in(1_s, [&] { times.push_back(sim.now().ns); });
+  });
+  sim.run();
+  ASSERT_EQ(times.size(), 2u);
+  EXPECT_EQ(times[0], (1_s).ns);
+  EXPECT_EQ(times[1], (2_s).ns);
+}
+
+TEST(Simulator, ScheduleNowRunsAfterQueuedSameTime) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_in(0_s, [&] { order.push_back(1); });
+  sim.schedule_now([&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator sim;
+  bool ran = false;
+  const auto id = sim.schedule_in(1_s, [&] { ran = true; });
+  EXPECT_TRUE(sim.cancel(id));
+  sim.run();
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(Simulator, CancelIsIdempotent) {
+  Simulator sim;
+  const auto id = sim.schedule_in(1_s, [] {});
+  EXPECT_TRUE(sim.cancel(id));
+  EXPECT_FALSE(sim.cancel(id));
+  sim.run();
+  EXPECT_FALSE(sim.cancel(id));
+}
+
+TEST(Simulator, SchedulingInPastThrows) {
+  Simulator sim;
+  sim.schedule_in(5_s, [] {});
+  sim.run();
+  EXPECT_THROW(sim.schedule_at(TimePoint{} + 1_s, [] {}), util::Error);
+  EXPECT_THROW(sim.schedule_in(util::Duration{-1}, [] {}), util::Error);
+}
+
+TEST(Simulator, RunUntilAdvancesClockExactly) {
+  Simulator sim;
+  int count = 0;
+  sim.schedule_in(1_s, [&] { ++count; });
+  sim.schedule_in(10_s, [&] { ++count; });
+  sim.run_until(TimePoint{} + 5_s);
+  EXPECT_EQ(count, 1);
+  EXPECT_EQ(sim.now(), TimePoint{} + 5_s);
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.run();
+  EXPECT_EQ(count, 2);
+}
+
+TEST(Simulator, RunUntilIncludesBoundary) {
+  Simulator sim;
+  bool ran = false;
+  sim.schedule_in(5_s, [&] { ran = true; });
+  sim.run_until(TimePoint{} + 5_s);
+  EXPECT_TRUE(ran);
+}
+
+TEST(Simulator, RunUntilSkipsCancelledHead) {
+  Simulator sim;
+  bool ran = false;
+  const auto id = sim.schedule_in(1_s, [] {});
+  sim.schedule_in(2_s, [&] { ran = true; });
+  sim.cancel(id);
+  sim.run_until(TimePoint{} + 3_s);
+  EXPECT_TRUE(ran);
+}
+
+TEST(Simulator, ProcessedEventCount) {
+  Simulator sim;
+  for (int i = 0; i < 5; ++i) sim.schedule_in(util::seconds(i), [] {});
+  sim.run();
+  EXPECT_EQ(sim.processed_events(), 5u);
+}
+
+TEST(Simulator, StepReturnsFalseWhenEmpty) {
+  Simulator sim;
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(Simulator, NullCallbackRejected) {
+  Simulator sim;
+  EXPECT_THROW(sim.schedule_in(1_s, Simulator::Callback{}), util::Error);
+}
+
+}  // namespace
+}  // namespace faaspart::sim

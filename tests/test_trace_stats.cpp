@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include "trace/stats.hpp"
+
+namespace faaspart::trace {
+namespace {
+
+TEST(Stats, EmptySummaryIsZero) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+  EXPECT_DOUBLE_EQ(s.p99, 0.0);
+}
+
+TEST(Stats, SingleSample) {
+  const Summary s = summarize({5.0});
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_DOUBLE_EQ(s.min, 5.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.p50, 5.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+}
+
+TEST(Stats, KnownDistribution) {
+  const Summary s = summarize({1, 2, 3, 4, 5, 6, 7, 8, 9, 10});
+  EXPECT_EQ(s.count, 10u);
+  EXPECT_DOUBLE_EQ(s.mean, 5.5);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 10.0);
+  EXPECT_DOUBLE_EQ(s.p50, 5.5);
+  EXPECT_NEAR(s.stddev, 3.0276503540974917, 1e-12);
+}
+
+TEST(Stats, PercentileInterpolation) {
+  const std::vector<double> sorted{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(percentile_sorted(sorted, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted(sorted, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted(sorted, 1.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted(sorted, 0.25), 2.5);
+}
+
+TEST(Stats, PercentileEmptyAndSingle) {
+  EXPECT_DOUBLE_EQ(percentile_sorted({}, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted({3.0}, 0.99), 3.0);
+}
+
+TEST(Stats, UnsortedInputHandled) {
+  const Summary s = summarize({9.0, 1.0, 5.0});
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 9.0);
+  EXPECT_DOUBLE_EQ(s.p50, 5.0);
+}
+
+TEST(Stats, SummarizeDurations) {
+  using util::seconds;
+  const Summary s = summarize_durations({seconds(1), seconds(2), seconds(3)});
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_DOUBLE_EQ(s.mean, 2.0);
+}
+
+TEST(Stats, OnlineMatchesBatch) {
+  OnlineStats os;
+  const std::vector<double> xs{1.5, 2.5, 3.5, 10.0, -4.0};
+  for (const double x : xs) os.add(x);
+  const Summary batch = summarize(xs);
+  EXPECT_EQ(os.count(), batch.count);
+  EXPECT_NEAR(os.mean(), batch.mean, 1e-12);
+  EXPECT_NEAR(os.stddev(), batch.stddev, 1e-12);
+  EXPECT_DOUBLE_EQ(os.min(), -4.0);
+  EXPECT_DOUBLE_EQ(os.max(), 10.0);
+}
+
+TEST(Stats, OnlineEmpty) {
+  const OnlineStats os;
+  EXPECT_EQ(os.count(), 0u);
+  EXPECT_DOUBLE_EQ(os.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(os.variance(), 0.0);
+}
+
+}  // namespace
+}  // namespace faaspart::trace

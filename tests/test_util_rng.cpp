@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace faaspart::util {
+namespace {
+
+TEST(Rng, DeterministicFromSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = r.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, UniformRange) {
+  Rng r(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = r.uniform(-2.0, 5.0);
+    EXPECT_GE(x, -2.0);
+    EXPECT_LT(x, 5.0);
+  }
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng r(11);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = r.uniform_int(3, 6);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 6);
+    saw_lo = saw_lo || v == 3;
+    saw_hi = saw_hi || v == 6;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformIntDegenerate) {
+  Rng r(13);
+  EXPECT_EQ(r.uniform_int(5, 5), 5);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng r(17);
+  double sum = 0.0;
+  constexpr int kN = 50000;
+  for (int i = 0; i < kN; ++i) sum += r.exponential(2.0);
+  EXPECT_NEAR(sum / kN, 2.0, 0.05);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng r(19);
+  double sum = 0.0;
+  double sq = 0.0;
+  constexpr int kN = 50000;
+  for (int i = 0; i < kN; ++i) {
+    const double x = r.normal(10.0, 3.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / kN;
+  const double var = sq / kN - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.1);
+  EXPECT_NEAR(std::sqrt(var), 3.0, 0.1);
+}
+
+TEST(Rng, LognormalMeanCv) {
+  Rng r(23);
+  double sum = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) sum += r.lognormal_mean_cv(5.0, 0.5);
+  EXPECT_NEAR(sum / kN, 5.0, 0.1);
+}
+
+TEST(Rng, LognormalZeroCvIsConstant) {
+  Rng r(29);
+  EXPECT_DOUBLE_EQ(r.lognormal_mean_cv(3.0, 0.0), 3.0);
+}
+
+TEST(Rng, ForkIndependence) {
+  Rng parent(31);
+  Rng child = parent.fork();
+  // Child stream differs from the parent's subsequent output.
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (parent.next_u64() == child.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, DurationHelpers) {
+  Rng r(37);
+  const Duration d = r.exponential_duration(seconds(2));
+  EXPECT_GT(d.ns, 0);
+  const Duration u = r.uniform_duration(seconds(1), seconds(2));
+  EXPECT_GE(u.ns, seconds(1).ns);
+  EXPECT_LE(u.ns, seconds(2).ns);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng r(41);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.chance(0.0));
+    EXPECT_TRUE(r.chance(1.0));
+  }
+}
+
+}  // namespace
+}  // namespace faaspart::util

@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace faaspart::util {
+namespace {
+
+TEST(Strings, SplitBasic) {
+  const auto parts = split("a,b,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(Strings, SplitKeepsEmptyFields) {
+  const auto parts = split(",x,", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "");
+  EXPECT_EQ(parts[1], "x");
+  EXPECT_EQ(parts[2], "");
+}
+
+TEST(Strings, SplitNoSeparator) {
+  const auto parts = split("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  x y  "), "x y");
+  EXPECT_EQ(trim("\t\n"), "");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("z"), "z");
+}
+
+TEST(Strings, Join) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"solo"}, ","), "solo");
+}
+
+TEST(Strings, StartsWith) {
+  EXPECT_TRUE(starts_with("MIG-abc", "MIG-"));
+  EXPECT_FALSE(starts_with("MI", "MIG"));
+}
+
+TEST(Strings, ToLower) { EXPECT_EQ(to_lower("GPU-0"), "gpu-0"); }
+
+TEST(Strings, Strf) { EXPECT_EQ(strf("x=", 3, " y=", 4.5), "x=3 y=4.5"); }
+
+TEST(Strings, Fixed) {
+  EXPECT_EQ(fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(fixed(2.0, 0), "2");
+}
+
+TEST(Error, CheckMacroThrows) {
+  EXPECT_THROW(FP_CHECK(1 == 2), Error);
+  EXPECT_NO_THROW(FP_CHECK(1 == 1));
+}
+
+TEST(Error, CheckMessageIncluded) {
+  try {
+    FP_CHECK_MSG(false, "context detail");
+    FAIL() << "should have thrown";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("context detail"), std::string::npos);
+  }
+}
+
+TEST(Error, Hierarchy) {
+  EXPECT_THROW(throw OutOfMemoryError("40 GB"), Error);
+  EXPECT_THROW(throw ConfigError("bad"), Error);
+  EXPECT_THROW(throw StateError("bad"), Error);
+  EXPECT_THROW(throw NotFoundError("bad"), Error);
+}
+
+}  // namespace
+}  // namespace faaspart::util

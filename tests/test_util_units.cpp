@@ -1,0 +1,72 @@
+#include <gtest/gtest.h>
+
+#include "util/units.hpp"
+
+namespace faaspart::util {
+namespace {
+
+using namespace util::literals;
+
+TEST(Units, DurationArithmetic) {
+  EXPECT_EQ((seconds(1) + milliseconds(500)).ns, 1'500'000'000);
+  EXPECT_EQ((seconds(2) - seconds(1)).ns, 1'000'000'000);
+  EXPECT_DOUBLE_EQ(seconds(3).seconds(), 3.0);
+  EXPECT_DOUBLE_EQ(milliseconds(250).millis(), 250.0);
+}
+
+TEST(Units, DurationScaling) {
+  EXPECT_EQ((seconds(10) * 0.5).ns, seconds(5).ns);
+  EXPECT_EQ((seconds(10) / 4).ns, milliseconds(2500).ns);
+  EXPECT_DOUBLE_EQ(seconds(10) / seconds(4), 2.5);
+}
+
+TEST(Units, Literals) {
+  EXPECT_EQ((5_s).ns, 5'000'000'000);
+  EXPECT_EQ((5_ms).ns, 5'000'000);
+  EXPECT_EQ((5_us).ns, 5'000);
+  EXPECT_EQ((7_ns).ns, 7);
+  EXPECT_EQ((1.5_s).ns, 1'500'000'000);
+  EXPECT_EQ((0.5_ms).ns, 500'000);
+}
+
+TEST(Units, FromSecondsRounds) {
+  EXPECT_EQ(from_seconds(1e-9).ns, 1);
+  EXPECT_EQ(from_seconds(2.5e-9).ns, 3);  // round half up
+  EXPECT_EQ(from_seconds(0.0).ns, 0);
+}
+
+TEST(Units, TimePointOrdering) {
+  const TimePoint a{100};
+  const TimePoint b = a + seconds(1);
+  EXPECT_LT(a, b);
+  EXPECT_EQ((b - a).ns, seconds(1).ns);
+  EXPECT_EQ((b - seconds(1)), a);
+}
+
+TEST(Units, FormatDuration) {
+  EXPECT_EQ(format_duration(seconds(1) + milliseconds(500)), "1.50 s");
+  EXPECT_EQ(format_duration(milliseconds(340)), "340 ms");
+  EXPECT_EQ(format_duration(microseconds(12)), "12.0 us");
+  EXPECT_EQ(format_duration(nanoseconds(7)), "7.00 ns");
+  EXPECT_EQ(format_duration(minutes(2) + seconds(3)), "2m03.0s");
+}
+
+TEST(Units, FormatBytes) {
+  EXPECT_EQ(format_bytes(40 * GB), "40.0 GB");
+  EXPECT_EQ(format_bytes(512 * MB), "512 MB");
+  EXPECT_EQ(format_bytes(1500), "1.50 KB");
+  EXPECT_EQ(format_bytes(99), "99.0 B");
+}
+
+TEST(Units, FormatFlops) {
+  EXPECT_EQ(format_flops(19.5 * TFLOP), "19.5 TFLOP");
+  EXPECT_EQ(format_flops(3.86 * GFLOP), "3.86 GFLOP");
+}
+
+TEST(Units, ByteConstants) {
+  EXPECT_EQ(GiB, 1073741824);
+  EXPECT_EQ(GB, 1000000000);
+}
+
+}  // namespace
+}  // namespace faaspart::util

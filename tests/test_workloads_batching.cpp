@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include "nvml/smi.hpp"
+#include "sched/engines.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "workloads/batching.hpp"
+
+namespace faaspart::workloads {
+namespace {
+
+using namespace util::literals;
+
+struct BatchingFixture : ::testing::Test {
+  sim::Simulator sim;
+  gpu::Device dev{sim, gpu::arch::a100_80gb(), 0, sched::mps_factory()};
+  gpu::ContextId ctx = dev.create_context("server",
+                                          {.active_thread_percentage = 30.0});
+
+  BatchingServer make_server(int max_batch, util::Duration flush = 10_ms) {
+    return BatchingServer(sim, dev, ctx, models::resnet50(),
+                          {max_batch, flush});
+  }
+};
+
+TEST_F(BatchingFixture, AllRequestsServed) {
+  auto server = make_server(8);
+  sim.spawn(server.run(util::TimePoint{} + 5_s), "server");
+  std::vector<sim::Future<>> futs;
+  for (int i = 0; i < 20; ++i) futs.push_back(server.infer());
+  sim.run();
+  EXPECT_EQ(server.requests_served(), 20u);
+  for (const auto& f : futs) EXPECT_TRUE(f.ready());
+}
+
+TEST_F(BatchingFixture, BatchSizeBounded) {
+  auto server = make_server(4);
+  sim.spawn(server.run(util::TimePoint{} + 5_s), "server");
+  for (int i = 0; i < 19; ++i) (void)server.infer();
+  sim.run();
+  EXPECT_EQ(server.requests_served(), 19u);
+  EXPECT_GE(server.batches_run(), 5u);  // ceil(19/4)
+  EXPECT_LE(server.mean_batch_size(), 4.0);
+}
+
+TEST_F(BatchingFixture, SimultaneousArrivalsShareABatch) {
+  auto server = make_server(8);
+  sim.spawn(server.run(util::TimePoint{} + 1_s), "server");
+  for (int i = 0; i < 8; ++i) (void)server.infer();
+  sim.run();
+  EXPECT_EQ(server.batches_run(), 1u);
+  EXPECT_DOUBLE_EQ(server.mean_batch_size(), 8.0);
+}
+
+TEST_F(BatchingFixture, LatencyIncludesFlushDelay) {
+  auto server = make_server(8, 50_ms);
+  sim.spawn(server.run(util::TimePoint{} + 1_s), "server");
+  auto f = server.infer();
+  sim.run();
+  EXPECT_TRUE(f.ready());
+  const auto lat = server.latency_summary();
+  // At least the flush tick, at most tick + service time.
+  EXPECT_GE(lat.min, 0.05 - 1e-9);
+  EXPECT_LT(lat.max, 0.2);
+}
+
+TEST_F(BatchingFixture, BatchingBeatsBatchOneUnderLoad) {
+  // Same Poisson arrivals on a 30% partition: batch-8 keeps up where
+  // batch-1 builds an ever-growing queue.
+  const auto run_server = [&](int max_batch) {
+    sim::Simulator s2;
+    gpu::Device d2(s2, gpu::arch::a100_80gb(), 0, sched::mps_factory());
+    const auto c2 = d2.create_context("srv", {.active_thread_percentage = 30.0});
+    BatchingServer server(s2, d2, c2, models::resnet50(), {max_batch, 10_ms});
+    s2.spawn(server.run(util::TimePoint{} + 20_s), "server");
+    s2.spawn([](sim::Simulator& s, BatchingServer& srv) -> sim::Co<void> {
+      util::Rng rng(5);
+      // ~400 req/s for 10 s.
+      const util::TimePoint end = s.now() + 10_s;
+      while (s.now() < end) {
+        co_await s.delay(rng.exponential_duration(2500_us));
+        (void)srv.infer();
+      }
+    }(s2, server));
+    s2.run();
+    return std::make_pair(server.latency_summary().p95,
+                          server.requests_served());
+  };
+  const auto [p95_batched, served_batched] = run_server(8);
+  const auto [p95_single, served_single] = run_server(1);
+  EXPECT_EQ(served_batched, served_single);  // both eventually drain
+  EXPECT_LT(p95_batched, p95_single * 0.5);  // batched keeps the queue short
+}
+
+TEST_F(BatchingFixture, Validation) {
+  EXPECT_THROW(make_server(0), util::Error);
+  EXPECT_THROW(BatchingServer(sim, dev, ctx, models::resnet50(),
+                              {4, util::Duration{0}}),
+               util::Error);
+}
+
+// ---------------------------------------------------------------------------
+// faaspart-smi formatter (small; tested here with the serving fixtures)
+// ---------------------------------------------------------------------------
+
+TEST(Smi, FormatsDevicesAndMig) {
+  sim::Simulator sim;
+  nvml::DeviceManager mgr(sim);
+  mgr.add_device(gpu::arch::a100_80gb());
+  mgr.add_device(gpu::arch::a100_80gb());
+  auto& dev = mgr.device(1);
+  dev.enable_mig();
+  const auto inst = dev.create_instance("3g.40gb");
+  const auto ctx = dev.create_context("tenant", {.instance = inst});
+  (void)dev.alloc(ctx, 10 * util::GB, "weights");
+
+  const std::string out = nvml::format_smi(mgr);
+  EXPECT_NE(out.find("A100-80GB"), std::string::npos);
+  EXPECT_NE(out.find("timeshare"), std::string::npos);
+  EXPECT_NE(out.find("3g.40gb"), std::string::npos);
+  EXPECT_NE(out.find("MIG-GPU1"), std::string::npos);
+  EXPECT_NE(out.find("10.0 GB"), std::string::npos);
+  EXPECT_NE(out.find("faaspart-smi"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace faaspart::workloads

@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "workloads/dnn.hpp"
+
+namespace faaspart::workloads {
+namespace {
+
+// Parameter counts validate the builders against the published models
+// (torchvision values; ours exclude batch-norm parameters, hence the bands).
+TEST(Dnn, ParameterCounts) {
+  EXPECT_NEAR(models::alexnet().param_count(), 61.1e6, 1.5e6);
+  EXPECT_NEAR(models::vgg16().param_count(), 138.4e6, 2e6);
+  EXPECT_NEAR(models::resnet18().param_count(), 11.7e6, 0.5e6);
+  EXPECT_NEAR(models::resnet34().param_count(), 21.8e6, 0.8e6);
+  EXPECT_NEAR(models::resnet50().param_count(), 25.6e6, 1.5e6);
+  EXPECT_NEAR(models::resnet101().param_count(), 44.5e6, 2.5e6);
+  EXPECT_NEAR(models::resnet152().param_count(), 60.2e6, 3e6);
+}
+
+// FLOPs per 224×224 image (2 × published MACs).
+TEST(Dnn, FlopsPerImage) {
+  EXPECT_NEAR(models::resnet50().flops_per_image(), 8.2e9, 0.8e9);
+  EXPECT_NEAR(models::resnet101().flops_per_image(), 15.7e9, 1.5e9);
+  EXPECT_NEAR(models::vgg16().flops_per_image(), 31.0e9, 2e9);
+  EXPECT_NEAR(models::resnet18().flops_per_image(), 3.6e9, 0.4e9);
+  EXPECT_NEAR(models::alexnet().flops_per_image(), 1.4e9, 0.3e9);
+}
+
+TEST(Dnn, ShapesChainCorrectly) {
+  const auto m = models::resnet50();
+  // conv1: 224 → 112, then maxpool → 56.
+  ASSERT_GE(m.layers.size(), 2u);
+  EXPECT_EQ(m.layers[0].out_h, 112);
+  EXPECT_EQ(m.layers[1].out_h, 56);
+  // Final FC: 2048 → 1000.
+  const auto& fc = m.layers.back();
+  EXPECT_EQ(fc.type, LayerType::kFc);
+  EXPECT_EQ(fc.in_c, 2048);
+  EXPECT_EQ(fc.out_c, 1000);
+}
+
+TEST(Dnn, Resnet18FinalFcIs512) {
+  EXPECT_EQ(models::resnet18().layers.back().in_c, 512);
+}
+
+TEST(Dnn, PerLayerVariabilityIsLarge) {
+  // Fig 1's message: compute demand varies rapidly across layers.
+  const auto layers = models::resnet50().compute_layers();
+  double min_f = 1e30;
+  double max_f = 0;
+  for (const auto& l : layers) {
+    min_f = std::min(min_f, l.flops);
+    max_f = std::max(max_f, l.flops);
+  }
+  EXPECT_GT(max_f / min_f, 20.0);
+}
+
+TEST(Dnn, ComputeLayersExcludePools) {
+  const auto m = models::vgg16();
+  for (const auto& l : m.compute_layers()) {
+    EXPECT_NE(l.type, LayerType::kPool);
+  }
+  // VGG-16: 13 convs + 3 FCs.
+  EXPECT_EQ(m.compute_layers().size(), 16u);
+}
+
+TEST(Dnn, InferenceKernelsScaleWithBatch) {
+  const auto m = models::resnet50();
+  const auto k1 = m.inference_kernels(1);
+  const auto k32 = m.inference_kernels(32);
+  ASSERT_EQ(k1.size(), k32.size());
+  for (std::size_t i = 0; i < k1.size(); ++i) {
+    EXPECT_NEAR(k32[i].flops / k1[i].flops, 32.0, 1e-6);
+    EXPECT_GE(k32[i].width_sms, k1[i].width_sms);
+  }
+}
+
+TEST(Dnn, KernelWidthsVaryAcrossLayers) {
+  const auto ks = models::resnet50().inference_kernels(1);
+  int min_w = 1000;
+  int max_w = 0;
+  for (const auto& k : ks) {
+    min_w = std::min(min_w, k.width_sms);
+    max_w = std::max(max_w, k.width_sms);
+    EXPECT_GE(k.width_sms, 2);
+    EXPECT_LE(k.width_sms, 108);
+  }
+  EXPECT_GT(max_w, 4 * min_w);  // early convs wide, late layers narrow
+}
+
+TEST(Dnn, InvalidBatchRejected) {
+  EXPECT_THROW((void)models::resnet18().inference_kernels(0), util::Error);
+}
+
+TEST(Dnn, LookupByName) {
+  EXPECT_EQ(models::by_name("resnet101").name, "resnet101");
+  EXPECT_THROW((void)models::by_name("resnet999"), util::NotFoundError);
+  EXPECT_EQ(models::all().size(), 7u);
+}
+
+TEST(Dnn, WeightBytesAre4xParams) {
+  const auto m = models::resnet50();
+  EXPECT_DOUBLE_EQ(static_cast<double>(m.weight_bytes()), m.param_count() * 4.0);
+}
+
+}  // namespace
+}  // namespace faaspart::workloads

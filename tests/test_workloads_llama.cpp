@@ -1,0 +1,179 @@
+#include <gtest/gtest.h>
+
+#include "gpu/device.hpp"
+#include "sched/engines.hpp"
+#include "util/error.hpp"
+#include "workloads/llama.hpp"
+
+namespace faaspart::workloads {
+namespace {
+
+TEST(Llama, ParameterCounts) {
+  EXPECT_NEAR(llama2_7b().params(), 6.74e9, 0.15e9);
+  EXPECT_NEAR(llama2_13b().params(), 13.0e9, 0.3e9);
+  EXPECT_NEAR(llama2_70b().params(), 69e9, 3e9);
+}
+
+TEST(Llama, WeightBytesFollowPrecisionAndShards) {
+  const auto spec = llama2_7b();
+  auto cfg = fig2_config();
+  const auto fp32 = llama_weight_bytes(spec, cfg);
+  EXPECT_NEAR(static_cast<double>(fp32), 27e9, 1e9);
+  cfg.bytes_per_param = 2;
+  EXPECT_NEAR(static_cast<double>(llama_weight_bytes(spec, cfg)),
+              static_cast<double>(fp32) / 2, 1e6);
+  cfg.bytes_per_param = 4;
+  cfg.shards = 2;
+  EXPECT_NEAR(static_cast<double>(llama_weight_bytes(spec, cfg)),
+              static_cast<double>(fp32) / 2, 1e6);
+}
+
+TEST(Llama, Fp32SevenBFitsOn40GbGpu) {
+  // §3.4: 7B fp32 ran on a single A100-40GB.
+  const auto fit = llama_memory_footprint(llama2_7b(), fig2_config());
+  EXPECT_LT(fit, 40 * util::GB);
+  // 13B fp32 does not fit one 40 GB GPU — the paper used 2 A100s.
+  EXPECT_GT(llama_memory_footprint(llama2_13b(), fig2_config(1)), 40 * util::GB);
+  EXPECT_LT(llama_memory_footprint(llama2_13b(), fig2_config(2)), 40 * util::GB);
+}
+
+TEST(Llama, ExactlyFourServingInstancesFitIn80Gb) {
+  // §5.2: "we could fit only four concurrent instances of LLaMa2 (7B) in an
+  // 80 GB NVIDIA A100".
+  const auto one = llama_memory_footprint(llama2_7b(), serving_config());
+  EXPECT_LE(4 * one, 80 * util::GB);
+  EXPECT_GT(5 * one, 80 * util::GB);
+}
+
+TEST(Llama, DecodeTokenTimeMonotoneWithKnee) {
+  const auto spec = llama2_7b();
+  const auto cfg = fig2_config();
+  const auto arch = gpu::arch::a100_sxm4_40gb();
+  util::Duration prev = util::seconds(1'000'000);
+  for (int sms = 1; sms <= 108; ++sms) {
+    const auto t = llama_decode_token_time(spec, cfg, arch, sms);
+    EXPECT_LE(t, prev);  // monotone non-increasing
+    prev = t;
+  }
+  // Fig 2: no benefit beyond ~20 SMs.
+  const auto at20 = llama_decode_token_time(spec, cfg, arch, 20);
+  const auto at108 = llama_decode_token_time(spec, cfg, arch, 108);
+  EXPECT_EQ(at20.ns, at108.ns);
+  const auto at10 = llama_decode_token_time(spec, cfg, arch, 10);
+  EXPECT_GT(at10.ns, at20.ns);
+  EXPECT_NEAR(static_cast<double>(at10.ns) / at20.ns, 2.0, 0.05);
+}
+
+TEST(Llama, CpuBaselineMatchesPaper) {
+  // Fig 2 text: CPU inference of a 20-word completion takes ~180 s (7B) and
+  // ~360 s (13B) — "approximately 40 times slower" than the GPU.
+  const auto cpu = gpu::arch::xeon_testbed();
+  const auto t7 = llama_cpu_completion_time(llama2_7b(), cpu, 27);
+  const auto t13 = llama_cpu_completion_time(llama2_13b(), cpu, 27);
+  EXPECT_NEAR(t7.seconds(), 180.0, 25.0);
+  EXPECT_NEAR(t13.seconds(), 360.0, 50.0);
+}
+
+TEST(Llama, GpuRoughlyFortyTimesFasterThanCpu) {
+  const auto spec = llama2_7b();
+  const auto cfg = fig2_config();
+  const auto arch = gpu::arch::a100_sxm4_40gb();
+  const int tokens = 27;
+  const double gpu_s =
+      llama_decode_token_time(spec, cfg, arch, arch.total_sms).seconds() * tokens;
+  const double cpu_s =
+      llama_cpu_completion_time(spec, gpu::arch::xeon_testbed(), tokens).seconds();
+  const double ratio = cpu_s / gpu_s;
+  EXPECT_GT(ratio, 25.0);
+  EXPECT_LT(ratio, 60.0);
+}
+
+TEST(Llama, TensorParallelSyncCost) {
+  const auto spec = llama2_13b();
+  const auto arch = gpu::arch::a100_sxm4_40gb();
+  const auto t1 = llama_decode_token_time(spec, fig2_config(1), arch, 108);
+  const auto t2 = llama_decode_token_time(spec, fig2_config(2), arch, 108);
+  // Two shards halve the per-GPU weight traffic but pay per-layer syncs.
+  const auto cfg2 = fig2_config(2);
+  EXPECT_GT(t2 + util::Duration{0}, (t1 * 0.5));
+  EXPECT_NEAR((t2 - t1 * 0.5).seconds(),
+              (cfg2.sync_per_layer * spec.n_layers).seconds(), 1e-3);
+}
+
+TEST(Llama, CompletionRunsOnDevice) {
+  sim::Simulator sim;
+  gpu::Device dev(sim, gpu::arch::a100_sxm4_40gb(), 0, sched::timeshare_factory());
+  const auto ctx = dev.create_context("t");
+  const auto spec = llama2_7b();
+  const auto cfg = fig2_config();
+  sim.spawn(llama_completion(sim, dev, ctx, spec, cfg, {32, 10}));
+  sim.run();
+  // ≥ 10 decode token times + host gaps.
+  const double decode10 =
+      llama_decode_token_time(spec, cfg, gpu::arch::a100_sxm4_40gb(), 108).seconds() *
+      10;
+  EXPECT_GT(sim.now().seconds(), decode10);
+  EXPECT_GT(sim.now().seconds(), 10 * cfg.host_gap_per_token.seconds());
+}
+
+TEST(Llama, CompletionAppDefinition) {
+  const auto app = make_llama_completion_app("chat", llama2_7b(), serving_config(),
+                                             {128, 100});
+  EXPECT_EQ(app.name, "chat");
+  EXPECT_GT(app.model_bytes, 13 * util::GB);  // fp16 weights + overhead
+  EXPECT_FALSE(app.model_key.empty());
+  EXPECT_TRUE(static_cast<bool>(app.body));
+}
+
+TEST(Llama, KvBytesPerToken) {
+  // 7B fp16: K+V of d_model × 32 layers = 2 × 4096 × 2 B × 32 = 512 KiB.
+  auto cfg = serving_config();
+  EXPECT_EQ(llama_kv_bytes_per_token(llama2_7b(), cfg), 524288);
+  cfg.shards = 2;
+  EXPECT_EQ(llama_kv_bytes_per_token(llama2_7b(), cfg), 262144);
+  // 70B's grouped-query attention shrinks the cache 8x per hidden unit.
+  cfg.shards = 1;
+  const auto b70 = llama_kv_bytes_per_token(llama2_70b(), cfg);
+  EXPECT_EQ(b70, 2 * 8192 / 8 * 2 * 80);
+}
+
+TEST(Llama, KvCacheModelGrowsWithPosition) {
+  auto cfg = serving_config();
+  // Off by default: position is ignored (the calibrated paths stay put).
+  const auto base = llama_decode_kernel_at(llama2_7b(), cfg, 4096);
+  EXPECT_EQ(base.bytes, llama_decode_kernel(llama2_7b(), cfg).bytes);
+  cfg.model_kv_cache = true;
+  const auto near = llama_decode_kernel_at(llama2_7b(), cfg, 128);
+  const auto far = llama_decode_kernel_at(llama2_7b(), cfg, 8192);
+  EXPECT_GT(near.bytes, base.bytes);
+  EXPECT_GT(far.bytes, near.bytes);
+  EXPECT_GT(far.flops, near.flops);
+  EXPECT_GT(far.width_sms, near.width_sms);  // long-context attention widens
+}
+
+TEST(Llama, KvCacheAllocatedForCompletionDuration) {
+  sim::Simulator sim;
+  gpu::Device dev(sim, gpu::arch::a100_80gb(), 0, sched::mps_factory());
+  const auto ctx = dev.create_context("t");
+  auto cfg = serving_config();
+  cfg.model_kv_cache = true;
+  const auto spec = llama2_7b();
+  sim.spawn(llama_completion(sim, dev, ctx, spec, cfg, {1024, 16}));
+  sim.run_until(sim.now() + util::seconds(1));
+  // Mid-completion: the request's KV cache is resident.
+  EXPECT_EQ(dev.memory().used(), llama_kv_bytes_per_token(spec, cfg) * 1040);
+  sim.run();
+  EXPECT_EQ(dev.memory().used(), 0);  // freed when the completion ended
+}
+
+TEST(Llama, PrefillScalesWithPromptLength) {
+  const auto spec = llama2_7b();
+  const auto cfg = serving_config();
+  const auto short_k = llama_prefill_kernel(spec, cfg, 16);
+  const auto long_k = llama_prefill_kernel(spec, cfg, 256);
+  EXPECT_NEAR(long_k.flops / short_k.flops, 16.0, 1e-6);
+  EXPECT_EQ(short_k.bytes, long_k.bytes);  // weights read once either way
+}
+
+}  // namespace
+}  // namespace faaspart::workloads

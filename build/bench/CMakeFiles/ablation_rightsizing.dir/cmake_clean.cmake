@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_rightsizing.dir/ablation_rightsizing.cpp.o"
+  "CMakeFiles/ablation_rightsizing.dir/ablation_rightsizing.cpp.o.d"
+  "ablation_rightsizing"
+  "ablation_rightsizing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_rightsizing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

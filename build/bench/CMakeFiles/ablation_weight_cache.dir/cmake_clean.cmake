@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_weight_cache.dir/ablation_weight_cache.cpp.o"
+  "CMakeFiles/ablation_weight_cache.dir/ablation_weight_cache.cpp.o.d"
+  "ablation_weight_cache"
+  "ablation_weight_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_weight_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cross_arch.dir/cross_arch.cpp.o"
+  "CMakeFiles/cross_arch.dir/cross_arch.cpp.o.d"
+  "cross_arch"
+  "cross_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cross_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

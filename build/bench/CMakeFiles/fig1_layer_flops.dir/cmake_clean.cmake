@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_layer_flops.dir/fig1_layer_flops.cpp.o"
+  "CMakeFiles/fig1_layer_flops.dir/fig1_layer_flops.cpp.o.d"
+  "fig1_layer_flops"
+  "fig1_layer_flops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_layer_flops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_inference_latency.dir/fig5_inference_latency.cpp.o"
+  "CMakeFiles/fig5_inference_latency.dir/fig5_inference_latency.cpp.o.d"
+  "fig5_inference_latency"
+  "fig5_inference_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_inference_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kv_context_sweep.dir/kv_context_sweep.cpp.o"
+  "CMakeFiles/kv_context_sweep.dir/kv_context_sweep.cpp.o.d"
+  "kv_context_sweep"
+  "kv_context_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kv_context_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

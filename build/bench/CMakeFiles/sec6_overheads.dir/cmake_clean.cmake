@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec6_overheads.dir/sec6_overheads.cpp.o"
+  "CMakeFiles/sec6_overheads.dir/sec6_overheads.cpp.o.d"
+  "sec6_overheads"
+  "sec6_overheads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec6_overheads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_multiplexing.dir/table1_multiplexing.cpp.o"
+  "CMakeFiles/table1_multiplexing.dir/table1_multiplexing.cpp.o.d"
+  "table1_multiplexing"
+  "table1_multiplexing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_multiplexing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

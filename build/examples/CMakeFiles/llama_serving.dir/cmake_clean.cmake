@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/llama_serving.dir/llama_serving.cpp.o"
+  "CMakeFiles/llama_serving.dir/llama_serving.cpp.o.d"
+  "llama_serving"
+  "llama_serving.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/llama_serving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

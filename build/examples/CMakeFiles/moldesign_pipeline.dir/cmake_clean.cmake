@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/moldesign_pipeline.dir/moldesign_pipeline.cpp.o"
+  "CMakeFiles/moldesign_pipeline.dir/moldesign_pipeline.cpp.o.d"
+  "moldesign_pipeline"
+  "moldesign_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/moldesign_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

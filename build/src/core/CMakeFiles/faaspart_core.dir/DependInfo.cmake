@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/accelerator.cpp" "src/core/CMakeFiles/faaspart_core.dir/accelerator.cpp.o" "gcc" "src/core/CMakeFiles/faaspart_core.dir/accelerator.cpp.o.d"
+  "/root/repo/src/core/autoscale.cpp" "src/core/CMakeFiles/faaspart_core.dir/autoscale.cpp.o" "gcc" "src/core/CMakeFiles/faaspart_core.dir/autoscale.cpp.o.d"
+  "/root/repo/src/core/migplan.cpp" "src/core/CMakeFiles/faaspart_core.dir/migplan.cpp.o" "gcc" "src/core/CMakeFiles/faaspart_core.dir/migplan.cpp.o.d"
+  "/root/repo/src/core/partitioner.cpp" "src/core/CMakeFiles/faaspart_core.dir/partitioner.cpp.o" "gcc" "src/core/CMakeFiles/faaspart_core.dir/partitioner.cpp.o.d"
+  "/root/repo/src/core/reconfigure.cpp" "src/core/CMakeFiles/faaspart_core.dir/reconfigure.cpp.o" "gcc" "src/core/CMakeFiles/faaspart_core.dir/reconfigure.cpp.o.d"
+  "/root/repo/src/core/rightsize.cpp" "src/core/CMakeFiles/faaspart_core.dir/rightsize.cpp.o" "gcc" "src/core/CMakeFiles/faaspart_core.dir/rightsize.cpp.o.d"
+  "/root/repo/src/core/weightcache.cpp" "src/core/CMakeFiles/faaspart_core.dir/weightcache.cpp.o" "gcc" "src/core/CMakeFiles/faaspart_core.dir/weightcache.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/faas/CMakeFiles/faaspart_faas.dir/DependInfo.cmake"
+  "/root/repo/build/src/nvml/CMakeFiles/faaspart_nvml.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/faaspart_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/faaspart_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/faaspart_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/faaspart_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/faaspart_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/faaspart_core.dir/accelerator.cpp.o"
+  "CMakeFiles/faaspart_core.dir/accelerator.cpp.o.d"
+  "CMakeFiles/faaspart_core.dir/autoscale.cpp.o"
+  "CMakeFiles/faaspart_core.dir/autoscale.cpp.o.d"
+  "CMakeFiles/faaspart_core.dir/migplan.cpp.o"
+  "CMakeFiles/faaspart_core.dir/migplan.cpp.o.d"
+  "CMakeFiles/faaspart_core.dir/partitioner.cpp.o"
+  "CMakeFiles/faaspart_core.dir/partitioner.cpp.o.d"
+  "CMakeFiles/faaspart_core.dir/reconfigure.cpp.o"
+  "CMakeFiles/faaspart_core.dir/reconfigure.cpp.o.d"
+  "CMakeFiles/faaspart_core.dir/rightsize.cpp.o"
+  "CMakeFiles/faaspart_core.dir/rightsize.cpp.o.d"
+  "CMakeFiles/faaspart_core.dir/weightcache.cpp.o"
+  "CMakeFiles/faaspart_core.dir/weightcache.cpp.o.d"
+  "libfaaspart_core.a"
+  "libfaaspart_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/faaspart_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

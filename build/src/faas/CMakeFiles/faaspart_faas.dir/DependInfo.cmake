@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/faas/dfk.cpp" "src/faas/CMakeFiles/faaspart_faas.dir/dfk.cpp.o" "gcc" "src/faas/CMakeFiles/faaspart_faas.dir/dfk.cpp.o.d"
+  "/root/repo/src/faas/elastic.cpp" "src/faas/CMakeFiles/faaspart_faas.dir/elastic.cpp.o" "gcc" "src/faas/CMakeFiles/faaspart_faas.dir/elastic.cpp.o.d"
+  "/root/repo/src/faas/executor.cpp" "src/faas/CMakeFiles/faaspart_faas.dir/executor.cpp.o" "gcc" "src/faas/CMakeFiles/faaspart_faas.dir/executor.cpp.o.d"
+  "/root/repo/src/faas/loader.cpp" "src/faas/CMakeFiles/faaspart_faas.dir/loader.cpp.o" "gcc" "src/faas/CMakeFiles/faaspart_faas.dir/loader.cpp.o.d"
+  "/root/repo/src/faas/monitoring.cpp" "src/faas/CMakeFiles/faaspart_faas.dir/monitoring.cpp.o" "gcc" "src/faas/CMakeFiles/faaspart_faas.dir/monitoring.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gpu/CMakeFiles/faaspart_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/faaspart_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/faaspart_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/faaspart_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/faaspart_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/faaspart_faas.dir/dfk.cpp.o"
+  "CMakeFiles/faaspart_faas.dir/dfk.cpp.o.d"
+  "CMakeFiles/faaspart_faas.dir/elastic.cpp.o"
+  "CMakeFiles/faaspart_faas.dir/elastic.cpp.o.d"
+  "CMakeFiles/faaspart_faas.dir/executor.cpp.o"
+  "CMakeFiles/faaspart_faas.dir/executor.cpp.o.d"
+  "CMakeFiles/faaspart_faas.dir/loader.cpp.o"
+  "CMakeFiles/faaspart_faas.dir/loader.cpp.o.d"
+  "CMakeFiles/faaspart_faas.dir/monitoring.cpp.o"
+  "CMakeFiles/faaspart_faas.dir/monitoring.cpp.o.d"
+  "libfaaspart_faas.a"
+  "libfaaspart_faas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/faaspart_faas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/faaspart_federation.dir/endpoint.cpp.o"
+  "CMakeFiles/faaspart_federation.dir/endpoint.cpp.o.d"
+  "CMakeFiles/faaspart_federation.dir/service.cpp.o"
+  "CMakeFiles/faaspart_federation.dir/service.cpp.o.d"
+  "libfaaspart_federation.a"
+  "libfaaspart_federation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/faaspart_federation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

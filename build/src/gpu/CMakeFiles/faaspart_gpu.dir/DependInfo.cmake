@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gpu/arch.cpp" "src/gpu/CMakeFiles/faaspart_gpu.dir/arch.cpp.o" "gcc" "src/gpu/CMakeFiles/faaspart_gpu.dir/arch.cpp.o.d"
+  "/root/repo/src/gpu/device.cpp" "src/gpu/CMakeFiles/faaspart_gpu.dir/device.cpp.o" "gcc" "src/gpu/CMakeFiles/faaspart_gpu.dir/device.cpp.o.d"
+  "/root/repo/src/gpu/kernel.cpp" "src/gpu/CMakeFiles/faaspart_gpu.dir/kernel.cpp.o" "gcc" "src/gpu/CMakeFiles/faaspart_gpu.dir/kernel.cpp.o.d"
+  "/root/repo/src/gpu/memory.cpp" "src/gpu/CMakeFiles/faaspart_gpu.dir/memory.cpp.o" "gcc" "src/gpu/CMakeFiles/faaspart_gpu.dir/memory.cpp.o.d"
+  "/root/repo/src/gpu/mig.cpp" "src/gpu/CMakeFiles/faaspart_gpu.dir/mig.cpp.o" "gcc" "src/gpu/CMakeFiles/faaspart_gpu.dir/mig.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/faaspart_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/faaspart_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/faaspart_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

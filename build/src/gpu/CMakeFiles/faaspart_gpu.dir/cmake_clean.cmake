@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/faaspart_gpu.dir/arch.cpp.o"
+  "CMakeFiles/faaspart_gpu.dir/arch.cpp.o.d"
+  "CMakeFiles/faaspart_gpu.dir/device.cpp.o"
+  "CMakeFiles/faaspart_gpu.dir/device.cpp.o.d"
+  "CMakeFiles/faaspart_gpu.dir/kernel.cpp.o"
+  "CMakeFiles/faaspart_gpu.dir/kernel.cpp.o.d"
+  "CMakeFiles/faaspart_gpu.dir/memory.cpp.o"
+  "CMakeFiles/faaspart_gpu.dir/memory.cpp.o.d"
+  "CMakeFiles/faaspart_gpu.dir/mig.cpp.o"
+  "CMakeFiles/faaspart_gpu.dir/mig.cpp.o.d"
+  "libfaaspart_gpu.a"
+  "libfaaspart_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/faaspart_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

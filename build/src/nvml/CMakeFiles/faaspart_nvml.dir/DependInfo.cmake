@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nvml/manager.cpp" "src/nvml/CMakeFiles/faaspart_nvml.dir/manager.cpp.o" "gcc" "src/nvml/CMakeFiles/faaspart_nvml.dir/manager.cpp.o.d"
+  "/root/repo/src/nvml/monitor.cpp" "src/nvml/CMakeFiles/faaspart_nvml.dir/monitor.cpp.o" "gcc" "src/nvml/CMakeFiles/faaspart_nvml.dir/monitor.cpp.o.d"
+  "/root/repo/src/nvml/mps_control.cpp" "src/nvml/CMakeFiles/faaspart_nvml.dir/mps_control.cpp.o" "gcc" "src/nvml/CMakeFiles/faaspart_nvml.dir/mps_control.cpp.o.d"
+  "/root/repo/src/nvml/smi.cpp" "src/nvml/CMakeFiles/faaspart_nvml.dir/smi.cpp.o" "gcc" "src/nvml/CMakeFiles/faaspart_nvml.dir/smi.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gpu/CMakeFiles/faaspart_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/faaspart_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/faaspart_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/faaspart_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/faaspart_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/faaspart_nvml.dir/manager.cpp.o"
+  "CMakeFiles/faaspart_nvml.dir/manager.cpp.o.d"
+  "CMakeFiles/faaspart_nvml.dir/monitor.cpp.o"
+  "CMakeFiles/faaspart_nvml.dir/monitor.cpp.o.d"
+  "CMakeFiles/faaspart_nvml.dir/mps_control.cpp.o"
+  "CMakeFiles/faaspart_nvml.dir/mps_control.cpp.o.d"
+  "CMakeFiles/faaspart_nvml.dir/smi.cpp.o"
+  "CMakeFiles/faaspart_nvml.dir/smi.cpp.o.d"
+  "libfaaspart_nvml.a"
+  "libfaaspart_nvml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/faaspart_nvml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

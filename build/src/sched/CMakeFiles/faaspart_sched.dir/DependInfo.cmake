@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/mps.cpp" "src/sched/CMakeFiles/faaspart_sched.dir/mps.cpp.o" "gcc" "src/sched/CMakeFiles/faaspart_sched.dir/mps.cpp.o.d"
+  "/root/repo/src/sched/timeshare.cpp" "src/sched/CMakeFiles/faaspart_sched.dir/timeshare.cpp.o" "gcc" "src/sched/CMakeFiles/faaspart_sched.dir/timeshare.cpp.o.d"
+  "/root/repo/src/sched/vgpu.cpp" "src/sched/CMakeFiles/faaspart_sched.dir/vgpu.cpp.o" "gcc" "src/sched/CMakeFiles/faaspart_sched.dir/vgpu.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gpu/CMakeFiles/faaspart_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/faaspart_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/faaspart_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/faaspart_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

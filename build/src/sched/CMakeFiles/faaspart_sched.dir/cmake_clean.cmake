@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/faaspart_sched.dir/mps.cpp.o"
+  "CMakeFiles/faaspart_sched.dir/mps.cpp.o.d"
+  "CMakeFiles/faaspart_sched.dir/timeshare.cpp.o"
+  "CMakeFiles/faaspart_sched.dir/timeshare.cpp.o.d"
+  "CMakeFiles/faaspart_sched.dir/vgpu.cpp.o"
+  "CMakeFiles/faaspart_sched.dir/vgpu.cpp.o.d"
+  "libfaaspart_sched.a"
+  "libfaaspart_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/faaspart_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/faaspart_sim.dir/simulator.cpp.o"
+  "CMakeFiles/faaspart_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/faaspart_sim.dir/sync.cpp.o"
+  "CMakeFiles/faaspart_sim.dir/sync.cpp.o.d"
+  "libfaaspart_sim.a"
+  "libfaaspart_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/faaspart_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfaaspart_sim.a"
+)

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/faaspart_trace.dir/chrometrace.cpp.o"
+  "CMakeFiles/faaspart_trace.dir/chrometrace.cpp.o.d"
+  "CMakeFiles/faaspart_trace.dir/gantt.cpp.o"
+  "CMakeFiles/faaspart_trace.dir/gantt.cpp.o.d"
+  "CMakeFiles/faaspart_trace.dir/recorder.cpp.o"
+  "CMakeFiles/faaspart_trace.dir/recorder.cpp.o.d"
+  "CMakeFiles/faaspart_trace.dir/stats.cpp.o"
+  "CMakeFiles/faaspart_trace.dir/stats.cpp.o.d"
+  "CMakeFiles/faaspart_trace.dir/table.cpp.o"
+  "CMakeFiles/faaspart_trace.dir/table.cpp.o.d"
+  "libfaaspart_trace.a"
+  "libfaaspart_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/faaspart_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

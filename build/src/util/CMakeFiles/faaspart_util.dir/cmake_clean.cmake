@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/faaspart_util.dir/error.cpp.o"
+  "CMakeFiles/faaspart_util.dir/error.cpp.o.d"
+  "CMakeFiles/faaspart_util.dir/logging.cpp.o"
+  "CMakeFiles/faaspart_util.dir/logging.cpp.o.d"
+  "CMakeFiles/faaspart_util.dir/rng.cpp.o"
+  "CMakeFiles/faaspart_util.dir/rng.cpp.o.d"
+  "CMakeFiles/faaspart_util.dir/strings.cpp.o"
+  "CMakeFiles/faaspart_util.dir/strings.cpp.o.d"
+  "CMakeFiles/faaspart_util.dir/units.cpp.o"
+  "CMakeFiles/faaspart_util.dir/units.cpp.o.d"
+  "libfaaspart_util.a"
+  "libfaaspart_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/faaspart_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/batching.cpp" "src/workloads/CMakeFiles/faaspart_workloads.dir/batching.cpp.o" "gcc" "src/workloads/CMakeFiles/faaspart_workloads.dir/batching.cpp.o.d"
+  "/root/repo/src/workloads/dnn.cpp" "src/workloads/CMakeFiles/faaspart_workloads.dir/dnn.cpp.o" "gcc" "src/workloads/CMakeFiles/faaspart_workloads.dir/dnn.cpp.o.d"
+  "/root/repo/src/workloads/llama.cpp" "src/workloads/CMakeFiles/faaspart_workloads.dir/llama.cpp.o" "gcc" "src/workloads/CMakeFiles/faaspart_workloads.dir/llama.cpp.o.d"
+  "/root/repo/src/workloads/moldesign.cpp" "src/workloads/CMakeFiles/faaspart_workloads.dir/moldesign.cpp.o" "gcc" "src/workloads/CMakeFiles/faaspart_workloads.dir/moldesign.cpp.o.d"
+  "/root/repo/src/workloads/multiplex_experiment.cpp" "src/workloads/CMakeFiles/faaspart_workloads.dir/multiplex_experiment.cpp.o" "gcc" "src/workloads/CMakeFiles/faaspart_workloads.dir/multiplex_experiment.cpp.o.d"
+  "/root/repo/src/workloads/serving.cpp" "src/workloads/CMakeFiles/faaspart_workloads.dir/serving.cpp.o" "gcc" "src/workloads/CMakeFiles/faaspart_workloads.dir/serving.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/faas/CMakeFiles/faaspart_faas.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/faaspart_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/faaspart_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/nvml/CMakeFiles/faaspart_nvml.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/faaspart_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/faaspart_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/faaspart_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/faaspart_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

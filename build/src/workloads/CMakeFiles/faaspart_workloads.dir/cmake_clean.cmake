@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/faaspart_workloads.dir/batching.cpp.o"
+  "CMakeFiles/faaspart_workloads.dir/batching.cpp.o.d"
+  "CMakeFiles/faaspart_workloads.dir/dnn.cpp.o"
+  "CMakeFiles/faaspart_workloads.dir/dnn.cpp.o.d"
+  "CMakeFiles/faaspart_workloads.dir/llama.cpp.o"
+  "CMakeFiles/faaspart_workloads.dir/llama.cpp.o.d"
+  "CMakeFiles/faaspart_workloads.dir/moldesign.cpp.o"
+  "CMakeFiles/faaspart_workloads.dir/moldesign.cpp.o.d"
+  "CMakeFiles/faaspart_workloads.dir/multiplex_experiment.cpp.o"
+  "CMakeFiles/faaspart_workloads.dir/multiplex_experiment.cpp.o.d"
+  "CMakeFiles/faaspart_workloads.dir/serving.cpp.o"
+  "CMakeFiles/faaspart_workloads.dir/serving.cpp.o.d"
+  "libfaaspart_workloads.a"
+  "libfaaspart_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/faaspart_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

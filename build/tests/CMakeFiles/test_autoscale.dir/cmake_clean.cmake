@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_autoscale.dir/test_core_autoscale.cpp.o"
+  "CMakeFiles/test_autoscale.dir/test_core_autoscale.cpp.o.d"
+  "CMakeFiles/test_autoscale.dir/test_core_migplan.cpp.o"
+  "CMakeFiles/test_autoscale.dir/test_core_migplan.cpp.o.d"
+  "test_autoscale"
+  "test_autoscale.pdb"
+  "test_autoscale[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_autoscale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nvml.dir/test_nvml.cpp.o"
+  "CMakeFiles/test_nvml.dir/test_nvml.cpp.o.d"
+  "test_nvml"
+  "test_nvml.pdb"
+  "test_nvml[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nvml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

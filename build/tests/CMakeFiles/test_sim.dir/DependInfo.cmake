@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_sim_co.cpp" "tests/CMakeFiles/test_sim.dir/test_sim_co.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/test_sim_co.cpp.o.d"
+  "/root/repo/tests/test_sim_future.cpp" "tests/CMakeFiles/test_sim.dir/test_sim_future.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/test_sim_future.cpp.o.d"
+  "/root/repo/tests/test_sim_simulator.cpp" "tests/CMakeFiles/test_sim.dir/test_sim_simulator.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/test_sim_simulator.cpp.o.d"
+  "/root/repo/tests/test_sim_sync.cpp" "tests/CMakeFiles/test_sim.dir/test_sim_sync.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/test_sim_sync.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/faaspart_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/federation/CMakeFiles/faaspart_federation.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/faaspart_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/nvml/CMakeFiles/faaspart_nvml.dir/DependInfo.cmake"
+  "/root/repo/build/src/faas/CMakeFiles/faaspart_faas.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/faaspart_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/faaspart_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/faaspart_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/faaspart_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/faaspart_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

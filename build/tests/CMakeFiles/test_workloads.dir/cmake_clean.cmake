@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_workloads.dir/test_workloads_batching.cpp.o"
+  "CMakeFiles/test_workloads.dir/test_workloads_batching.cpp.o.d"
+  "CMakeFiles/test_workloads.dir/test_workloads_dnn.cpp.o"
+  "CMakeFiles/test_workloads.dir/test_workloads_dnn.cpp.o.d"
+  "CMakeFiles/test_workloads.dir/test_workloads_llama.cpp.o"
+  "CMakeFiles/test_workloads.dir/test_workloads_llama.cpp.o.d"
+  "CMakeFiles/test_workloads.dir/test_workloads_moldesign.cpp.o"
+  "CMakeFiles/test_workloads.dir/test_workloads_moldesign.cpp.o.d"
+  "test_workloads"
+  "test_workloads.pdb"
+  "test_workloads[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

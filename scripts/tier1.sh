@@ -1,0 +1,15 @@
+#!/usr/bin/env sh
+# Tier-1 gate: full build + full test suite, then the chaos suite again
+# under AddressSanitizer/UBSan (FAASPART_SANITIZE, see CMakeLists.txt).
+set -eu
+cd "$(dirname "$0")/.."
+
+cmake -B build -S .
+cmake --build build -j2
+ctest --test-dir build --output-on-failure -j2
+
+# Second tree with sanitizers; only the chaos-labelled binaries need to
+# build, which keeps the single-core builder's turnaround tolerable.
+cmake -B build-asan -S . -DFAASPART_SANITIZE=ON
+cmake --build build-asan -j2 --target test_faults test_properties
+ctest --test-dir build-asan -L chaos --output-on-failure

@@ -1,5 +1,11 @@
 #include "core/reconfigure.hpp"
 
+#include <algorithm>
+
+#include "faults/faults.hpp"
+#include "gpu/mig.hpp"
+#include "sched/mps.hpp"
+#include "sched/timeshare.hpp"
 #include "util/error.hpp"
 #include "util/strings.hpp"
 
@@ -54,21 +60,73 @@ sim::Co<ReconfigureReport> Reconfigurer::change_mig_layout(
   co_await sim::when_all(std::move(parked));
   if (cache != nullptr) cache->release_device(dev);
 
-  // 2. GPU reset + new instances.
-  const std::vector<std::string> uuids =
-      co_await manager_.configure_mig(device_index, profiles);
+  // 2. GPU reset + new instances. An injected instance-create failure
+  //    (faults::FaultKind::kMigCreateFail) degrades gracefully instead of
+  //    stranding the parked workers: fall back to MPS percentage caps sized
+  //    like the requested profiles, or to plain timesharing when the MPS
+  //    control daemon is down too (Table 1's isolation ladder, descended).
+  ReconfigureReport report;
+  std::vector<std::string> uuids;
+  try {
+    uuids = co_await manager_.configure_mig(device_index, profiles);
+  } catch (const util::DeviceError& e) {
+    report.degraded = true;
+    report.degrade_reason = e.what();
+  }
 
-  // 3. Workers back up against the new instances.
+  if (!report.degraded) {
+    // 3. Workers back up against the new instances.
+    std::vector<sim::Future<>> restarted;
+    restarted.reserve(ex.worker_count());
+    for (std::size_t i = 0; i < ex.worker_count(); ++i) {
+      gpu::ContextOptions opts;
+      opts.instance = dev.instance_by_uuid(uuids[i]);
+      restarted.push_back(ex.restart_worker(i, opts));
+    }
+    co_await sim::when_all(std::move(restarted));
+
+    report.total_time = manager_.simulator().now() - t0;
+    report.workers_restarted = static_cast<int>(ex.worker_count());
+    report.gpu_reset = true;
+    co_return report;
+  }
+
+  // Degraded path: wipe the half-built layout (second reset), then pick the
+  // best remaining sharing mode.
+  co_await manager_.clear_mig(device_index);
+  auto* fi = manager_.simulator().faults();
+  const std::string device_key = util::strf("gpu:", device_index);
+  const bool mps_ok = fi == nullptr || fi->mps_available(device_key);
+
   std::vector<sim::Future<>> restarted;
   restarted.reserve(ex.worker_count());
-  for (std::size_t i = 0; i < ex.worker_count(); ++i) {
-    gpu::ContextOptions opts;
-    opts.instance = dev.instance_by_uuid(uuids[i]);
-    restarted.push_back(ex.restart_worker(i, opts));
+  if (mps_ok) {
+    report.achieved = "mps";
+    dev.set_engine_factory(sched::mps_factory());
+    for (std::size_t i = 0; i < ex.worker_count(); ++i) {
+      // Approximate each requested profile with its SM share as an MPS
+      // active-thread percentage.
+      const gpu::MigProfile p = gpu::mig_profile(dev.arch(), profiles[i]);
+      const int pct = std::clamp(
+          static_cast<int>(100.0 * p.sms(dev.arch()) / dev.arch().total_sms),
+          1, 100);
+      gpu::ContextOptions opts;
+      opts.active_thread_percentage = pct;
+      restarted.push_back(ex.restart_worker(i, opts));
+    }
+  } else {
+    report.achieved = "timeshare";
+    dev.set_engine_factory(sched::timeshare_factory());
+    for (std::size_t i = 0; i < ex.worker_count(); ++i) {
+      restarted.push_back(ex.restart_worker(i, gpu::ContextOptions{}));
+    }
   }
   co_await sim::when_all(std::move(restarted));
+  if (fi != nullptr) {
+    fi->note_degradation(device_key, "mig", report.achieved,
+                         report.degrade_reason);
+  }
 
-  ReconfigureReport report;
   report.total_time = manager_.simulator().now() - t0;
   report.workers_restarted = static_cast<int>(ex.worker_count());
   report.gpu_reset = true;

@@ -25,6 +25,14 @@ struct ReconfigureReport {
   util::Duration total_time{};  ///< wall-clock (virtual) for the whole operation
   int workers_restarted = 0;
   bool gpu_reset = false;
+  /// Graceful degradation: when the requested MIG layout cannot be built
+  /// (injected instance-create failure), the reconfigurer falls back to MPS
+  /// percentage caps — or plain timesharing if the MPS daemon is down too —
+  /// instead of failing the reconfiguration.
+  bool degraded = false;
+  std::string requested = "mig";
+  std::string achieved = "mig";
+  std::string degrade_reason;
 };
 
 class Reconfigurer {

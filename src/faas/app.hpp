@@ -104,6 +104,15 @@ struct AppDef {
   /// finishes later has TaskRecord::slo_miss set (it still succeeds).
   util::Duration deadline{};
 
+  /// Per-attempt walltime limit; 0 = none. An attempt that exceeds it is
+  /// killed: its in-flight kernels abort, the worker process dies (respawned
+  /// cold, freeing the attempt's device allocations), and the task fails
+  /// with util::TaskTimeoutError — which the DataFlowKernel treats as final.
+  util::Duration timeout{};
+
+  /// Per-app override of Config::retries; negative inherits the DFK config.
+  int retries = -1;
+
   [[nodiscard]] const std::string& effective_model_key() const {
     return model_key.empty() ? name : model_key;
   }
@@ -123,6 +132,7 @@ struct TaskRecord {
   util::TimePoint finished{};
   util::Duration cold_start{}; ///< total cold-start overhead before the body
   int tries = 0;
+  util::Duration backoff_total{};  ///< DFK retry backoff waited between attempts
   bool slo_miss = false;  ///< finished after the app's deadline
   bool memoized = false;  ///< served from the DataFlowKernel's memo table
   std::string error;

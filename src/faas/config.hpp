@@ -8,6 +8,7 @@
 // Listing 3: available_accelerators holds MIG instance UUIDs.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -35,11 +36,25 @@ struct HtexConfig {
   int cpu_cores_per_worker = 1;
 };
 
+/// Exponential backoff between DFK retry attempts (the analogue of Parsl's
+/// retry_handler). The n-th resubmission (n = failed attempts so far, from 1)
+/// waits min(cap, base * multiplier^(n-1)), optionally stretched by a
+/// uniform jitter draw and clamped to cap again. base = 0 keeps the default
+/// behaviour: immediate resubmission, no rng draws.
+struct RetryBackoff {
+  util::Duration base{};
+  double multiplier = 2.0;
+  util::Duration cap = util::seconds(60);
+  double jitter = 0.0;  ///< delay *= 1 + jitter * U[0,1)
+  std::uint64_t seed = 7;
+};
+
 struct Config {
   std::string run_dir = "runinfo";
   /// DataFlowKernel resubmission count on task failure (Listing 1: retries=1).
   int retries = 0;
   std::vector<HtexConfig> executors;
+  RetryBackoff backoff;
 };
 
 }  // namespace faaspart::faas

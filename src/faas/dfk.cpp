@@ -1,12 +1,15 @@
 #include "faas/dfk.hpp"
 
+#include <algorithm>
+#include <cmath>
+
 #include "util/error.hpp"
 #include "util/strings.hpp"
 
 namespace faaspart::faas {
 
 DataFlowKernel::DataFlowKernel(sim::Simulator& sim, Config cfg)
-    : sim_(sim), cfg_(std::move(cfg)) {}
+    : sim_(sim), cfg_(std::move(cfg)), backoff_rng_(cfg_.backoff.seed) {}
 
 void DataFlowKernel::add_executor(std::unique_ptr<Executor> executor) {
   FP_CHECK(executor != nullptr);
@@ -91,6 +94,7 @@ sim::Co<void> DataFlowKernel::run_attempts(
     }
   }
 
+  const int max_retries = app->retries >= 0 ? app->retries : cfg_.retries;
   for (int attempt = 0;; ++attempt) {
     AppHandle h = ex->submit(app);
     logical->tries = attempt + 1;
@@ -109,8 +113,17 @@ sim::Co<void> DataFlowKernel::run_attempts(
       }
       outer.set_value(std::move(v));
       co_return;
+    } catch (const util::TaskTimeoutError& e) {
+      // A walltime kill is final — retrying would only burn capacity
+      // against the same deadline.
+      logical->worker = h.record->worker;
+      logical->finished = sim_.now();
+      logical->state = TaskRecord::State::kFailed;
+      logical->error = e.what();
+      outer.set_exception(std::current_exception());
+      co_return;
     } catch (const std::exception& e) {
-      if (attempt >= cfg_.retries) {
+      if (attempt >= max_retries) {
         logical->worker = h.record->worker;
         logical->finished = sim_.now();
         logical->state = TaskRecord::State::kFailed;
@@ -118,9 +131,28 @@ sim::Co<void> DataFlowKernel::run_attempts(
         outer.set_exception(std::current_exception());
         co_return;
       }
-      // else: resubmit (Parsl logs and retries transparently)
+      // Resubmit (Parsl logs and retries transparently) — the backoff pause
+      // happens below, outside the handler (no co_await in a catch block).
+    }
+    const util::Duration pause = backoff_delay(attempt + 1);
+    if (pause.ns > 0) {
+      logical->backoff_total += pause;
+      co_await sim_.delay(pause);
     }
   }
+}
+
+util::Duration DataFlowKernel::backoff_delay(int failed_attempts) {
+  const RetryBackoff& b = cfg_.backoff;
+  if (b.base.ns <= 0) return util::Duration{};
+  double ns = static_cast<double>(b.base.ns) *
+              std::pow(b.multiplier, failed_attempts - 1);
+  ns = std::min(ns, static_cast<double>(b.cap.ns));
+  if (b.jitter > 0) {
+    ns *= 1.0 + b.jitter * backoff_rng_.next_double();
+    ns = std::min(ns, static_cast<double>(b.cap.ns));
+  }
+  return util::Duration{static_cast<std::int64_t>(ns)};
 }
 
 sim::Co<void> DataFlowKernel::wait_all_settled() {

@@ -57,9 +57,12 @@ class DataFlowKernel {
                              sim::Promise<AppValue> outer,
                              std::shared_ptr<TaskRecord> logical,
                              std::vector<sim::Future<AppValue>> deps);
+  /// Delay before the next resubmission given how many attempts failed.
+  util::Duration backoff_delay(int failed_attempts);
 
   sim::Simulator& sim_;
   Config cfg_;
+  util::Rng backoff_rng_;
   std::map<std::string, std::unique_ptr<Executor>> executors_;
   /// (app name, memo key) → cached successful result (Parsl app caching).
   std::map<std::pair<std::string, std::string>, AppValue> memo_;

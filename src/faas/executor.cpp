@@ -1,5 +1,8 @@
 #include "faas/executor.hpp"
 
+#include <set>
+
+#include "faults/faults.hpp"
 #include "util/error.hpp"
 #include "util/logging.hpp"
 #include "util/strings.hpp"
@@ -104,7 +107,11 @@ std::size_t HighThroughputExecutor::active_worker_count() const {
   return n;
 }
 
-HighThroughputExecutor::~HighThroughputExecutor() = default;
+HighThroughputExecutor::~HighThroughputExecutor() {
+  if (auto* fi = sim_.faults()) {
+    for (const auto id : fault_subs_) fi->unsubscribe(id);
+  }
+}
 
 void HighThroughputExecutor::start() {
   if (started_) throw util::StateError("executor '" + opts_.label + "' already started");
@@ -113,6 +120,85 @@ void HighThroughputExecutor::start() {
     sim_.spawn(worker_main(i), workers_[i]->name);
   }
   sim_.spawn(dispatcher_main(), opts_.label + "/interchange");
+  subscribe_faults();
+}
+
+void HighThroughputExecutor::subscribe_faults() {
+  auto* fi = sim_.faults();
+  if (fi == nullptr) return;
+  fault_subs_.push_back(fi->subscribe(
+      faults::FaultKind::kWorkerCrash, opts_.label,
+      [this](const faults::FaultEvent& ev) {
+        // An explicit worker index wins; otherwise the event's salt picks
+        // uniformly among non-retired workers.
+        if (ev.index >= 0) {
+          if (static_cast<std::size_t>(ev.index) < workers_.size()) {
+            crash_worker_now(static_cast<std::size_t>(ev.index));
+          }
+          return;
+        }
+        std::vector<std::size_t> eligible;
+        for (std::size_t i = 0; i < workers_.size(); ++i) {
+          if (!workers_[i]->retired) eligible.push_back(i);
+        }
+        if (eligible.empty()) return;
+        crash_worker_now(eligible[ev.salt % eligible.size()]);
+      }));
+  // Device-level faults kill every worker process bound to the device (a
+  // reset destroys their contexts); MPS daemon death spares MIG-bound
+  // workers — instances do not go through the control daemon.
+  std::set<gpu::Device*> devices;
+  for (const auto& w : workers_) {
+    if (w->binding.has_value() && w->binding->device != nullptr) {
+      devices.insert(w->binding->device);
+    }
+  }
+  for (gpu::Device* dev : devices) {
+    const std::string key = util::strf("gpu:", dev->index());
+    fault_subs_.push_back(fi->subscribe(
+        faults::FaultKind::kDeviceError, key,
+        [this, dev](const faults::FaultEvent&) {
+          for (std::size_t i = 0; i < workers_.size(); ++i) {
+            const Worker& w = *workers_[i];
+            if (w.binding.has_value() && w.binding->device == dev) {
+              crash_worker_now(i);
+            }
+          }
+        }));
+    fault_subs_.push_back(fi->subscribe(
+        faults::FaultKind::kMpsDaemonDeath, key,
+        [this, dev](const faults::FaultEvent&) {
+          for (std::size_t i = 0; i < workers_.size(); ++i) {
+            const Worker& w = *workers_[i];
+            if (w.binding.has_value() && w.binding->device == dev &&
+                !w.binding->ctx_opts.instance.has_value()) {
+              crash_worker_now(i);
+            }
+          }
+        }));
+  }
+}
+
+void HighThroughputExecutor::crash_worker_now(std::size_t index) {
+  Worker& w = *workers_[index];
+  if (w.retired) return;
+  ++crashes_injected_;
+  ++w.crashes;
+  FP_LOG_DEBUG("worker '" << w.name << "' killed by fault injection");
+  if (w.busy || !w.alive || !w.inbox->empty()) {
+    // A task is in flight (or imminent in the inbox): the process dies
+    // before its result leaves — run_task fails the task and worker_main
+    // respawns the process cold.
+    w.crash_pending = true;
+    return;
+  }
+  // Idle process dies now: respawn cold immediately (dropped ack — nobody
+  // waits on an unplanned death), so the next task pays only the cold start.
+  sim::Promise<> ack(sim_);
+  Msg m;
+  m.kind = Msg::Kind::kRestart;
+  m.ack = ack;
+  w.inbox->put(std::move(m));
 }
 
 AppHandle HighThroughputExecutor::submit(std::shared_ptr<const AppDef> app) {
@@ -254,32 +340,89 @@ sim::Co<void> HighThroughputExecutor::run_task(Worker& w, QueuedTask task) {
   rec.state = TaskRecord::State::kRunning;
   const util::TimePoint t0 = sim_.now();
 
+  if (app.timeout.ns <= 0) {
+    // No walltime bound: run inline (the common path, no extra coroutine).
+    try {
+      // Cold start (1): function initialization, once per worker incarnation.
+      if (app.function_init.ns > 0 && w.inited_apps.count(app.name) == 0) {
+        co_await sim_.delay(app.function_init);
+        w.inited_apps.insert(app.name);
+      }
+      // Cold start (3): model upload, once per worker incarnation and model key.
+      if (app.model_bytes > 0 && w.ctx_live &&
+          w.loaded_models.count(app.effective_model_key()) == 0) {
+        co_await loader_->load(*w.binding->device, w.ctx, app);
+        w.loaded_models.insert(app.effective_model_key());
+      }
+      rec.cold_start = sim_.now() - t0;
+      rec.started = sim_.now();
+
+      TaskContext tctx(sim_, w.rng, w.name, opts_.cpu_cores_per_worker,
+                       w.binding.has_value() ? w.binding->device : nullptr, w.ctx);
+      AppValue value = co_await app.body(tctx);
+
+      if (w.crash_pending) {
+        // Injected failure: the process dies before the result leaves it.
+        throw util::TaskFailedError(
+            util::strf("worker '", w.name, "' crashed before returning"));
+      }
+
+      rec.finished = sim_.now();
+      rec.state = TaskRecord::State::kDone;
+      if (rec_ != nullptr) {
+        if (rec.cold_start.ns > 0) {
+          rec_->record(w.lane, app.name, "cold:" + app.name, t0, rec.started);
+        }
+        rec_->record(w.lane, app.name, "task:" + app.name, rec.started, rec.finished);
+      }
+      task.promise.set_value(std::move(value));
+    } catch (const std::exception& e) {
+      rec.finished = sim_.now();
+      rec.state = TaskRecord::State::kFailed;
+      rec.error = e.what();
+      FP_LOG_DEBUG("task " << rec.id << " (" << app.name << ") failed: " << e.what());
+      task.promise.set_exception(std::current_exception());
+    }
+    co_return;
+  }
+
+  // Walltime-bounded attempt: the body runs in a sibling coroutine while a
+  // deadline timer races it for `outcome`. On timeout the worker process is
+  // killed (SIGKILL model): its in-flight kernels are aborted and the process
+  // respawns cold, which frees anything the attempt allocated.
+  sim::Promise<AppValue> outcome(sim_);
+  sim::Promise<> attempt_done(sim_);
+  auto outcome_f = outcome.future();
+  auto attempt_done_f = attempt_done.future();
+  sim_.spawn(attempt_body(w, task.app, task.record, t0, outcome, attempt_done),
+             w.name + "/attempt");
+  const auto timer = sim_.schedule_in(
+      app.timeout, [this, &w, app_name = app.name, timeout = app.timeout,
+                    outcome]() mutable {
+        if (outcome.future().ready()) return;
+        auto error = std::make_exception_ptr(util::TaskTimeoutError(
+            util::strf(app_name, " on '", w.name, "' exceeded its ",
+                       timeout.seconds(), " s walltime")));
+        // Abort kernels BEFORE settling the outcome: the aborts' dispatch
+        // callbacks run at an earlier event sequence than anything the
+        // settled future wakes, so no phantom in-flight work survives.
+        if (w.ctx_live && w.binding.has_value()) {
+          (void)w.binding->device->abort_context_kernels(w.ctx, error);
+        }
+        outcome.set_exception(error);
+      });
+
+  bool timed_out = false;
+  std::exception_ptr error;
+  AppValue value;
   try {
-    // Cold start (1): function initialization, once per worker incarnation.
-    if (app.function_init.ns > 0 && w.inited_apps.count(app.name) == 0) {
-      co_await sim_.delay(app.function_init);
-      w.inited_apps.insert(app.name);
-    }
-    // Cold start (3): model upload, once per worker incarnation and model key.
-    if (app.model_bytes > 0 && w.ctx_live &&
-        w.loaded_models.count(app.effective_model_key()) == 0) {
-      co_await loader_->load(*w.binding->device, w.ctx, app);
-      w.loaded_models.insert(app.effective_model_key());
-    }
-    rec.cold_start = sim_.now() - t0;
-    rec.started = sim_.now();
-
-    TaskContext tctx(sim_, w.rng, w.name, opts_.cpu_cores_per_worker,
-                     w.binding.has_value() ? w.binding->device : nullptr, w.ctx);
-    AppValue value = co_await app.body(tctx);
-
-    if (w.crash_pending) {
-      // Injected failure: the process dies before the result leaves it.
-      throw util::TaskFailedError(
-          util::strf("worker '", w.name, "' crashed before returning"));
-    }
-
-    rec.finished = sim_.now();
+    value = co_await outcome_f;
+  } catch (...) {
+    error = std::current_exception();
+  }
+  sim_.cancel(timer);
+  rec.finished = sim_.now();
+  if (error == nullptr) {
     rec.state = TaskRecord::State::kDone;
     if (rec_ != nullptr) {
       if (rec.cold_start.ns > 0) {
@@ -288,13 +431,72 @@ sim::Co<void> HighThroughputExecutor::run_task(Worker& w, QueuedTask task) {
       rec_->record(w.lane, app.name, "task:" + app.name, rec.started, rec.finished);
     }
     task.promise.set_value(std::move(value));
-  } catch (const std::exception& e) {
-    rec.finished = sim_.now();
+  } else {
     rec.state = TaskRecord::State::kFailed;
-    rec.error = e.what();
-    FP_LOG_DEBUG("task " << rec.id << " (" << app.name << ") failed: " << e.what());
-    task.promise.set_exception(std::current_exception());
+    try {
+      std::rethrow_exception(error);
+    } catch (const util::TaskTimeoutError& e) {
+      timed_out = true;
+      rec.error = e.what();
+    } catch (const std::exception& e) {
+      rec.error = e.what();
+    }
+    FP_LOG_DEBUG("task " << rec.id << " (" << app.name << ") failed: " << rec.error);
+    if (timed_out) {
+      // The walltime kill is a SIGKILL: the process dies, its context is
+      // destroyed on respawn (releasing any half-loaded model memory).
+      w.crash_pending = true;
+    }
+    task.promise.set_exception(error);
   }
+  // Hold the worker until the attempt coroutine unwinds — it may still be
+  // sleeping inside a cold-start delay after a timeout.
+  co_await attempt_done_f;
+}
+
+sim::Co<void> HighThroughputExecutor::attempt_body(
+    Worker& w, std::shared_ptr<const AppDef> app,
+    std::shared_ptr<TaskRecord> record, util::TimePoint t0,
+    sim::Promise<AppValue> outcome, sim::Promise<> attempt_done) {
+  try {
+    if (app->function_init.ns > 0 && w.inited_apps.count(app->name) == 0) {
+      co_await sim_.delay(app->function_init);
+      if (outcome.future().ready()) {  // killed mid-init: no warm state
+        attempt_done.set_value();
+        co_return;
+      }
+      w.inited_apps.insert(app->name);
+    }
+    if (app->model_bytes > 0 && w.ctx_live &&
+        w.loaded_models.count(app->effective_model_key()) == 0) {
+      co_await loader_->load(*w.binding->device, w.ctx, *app);
+      if (outcome.future().ready()) {  // killed mid-load: allocation freed by
+        attempt_done.set_value();      // the respawn's destroy_context
+        co_return;
+      }
+      w.loaded_models.insert(app->effective_model_key());
+    }
+    record->cold_start = sim_.now() - t0;
+    record->started = sim_.now();
+
+    TaskContext tctx(sim_, w.rng, w.name, opts_.cpu_cores_per_worker,
+                     w.binding.has_value() ? w.binding->device : nullptr, w.ctx);
+    AppValue value = co_await app->body(tctx);
+
+    if (!outcome.future().ready()) {
+      if (w.crash_pending) {
+        outcome.set_exception(std::make_exception_ptr(util::TaskFailedError(
+            util::strf("worker '", w.name, "' crashed before returning"))));
+      } else {
+        outcome.set_value(std::move(value));
+      }
+    }
+  } catch (const std::exception&) {
+    if (!outcome.future().ready()) {
+      outcome.set_exception(std::current_exception());
+    }
+  }
+  attempt_done.set_value();
 }
 
 sim::Future<> HighThroughputExecutor::restart_worker(
@@ -337,6 +539,7 @@ HighThroughputExecutor::WorkerInfo HighThroughputExecutor::worker_info(
   info.busy = w.busy;
   info.retired = w.retired;
   info.restarts = w.restarts;
+  info.crashes = w.crashes;
   info.tasks_done = w.tasks_done;
   info.gpu_ctx = w.ctx_live ? w.ctx : 0;
   return info;

@@ -68,6 +68,7 @@ class HighThroughputExecutor final : public Executor {
     bool busy = false;
     bool retired = false;
     int restarts = 0;
+    int crashes = 0;           ///< injected process deaths (fault layer)
     std::uint64_t tasks_done = 0;
     gpu::ContextId gpu_ctx = 0;  ///< 0 when no context is live
   };
@@ -127,6 +128,8 @@ class HighThroughputExecutor final : public Executor {
   [[nodiscard]] WorkerInfo worker_info(std::size_t index) const;
   [[nodiscard]] std::size_t queue_depth() const { return central_.size(); }
   [[nodiscard]] std::uint64_t tasks_completed() const { return tasks_completed_; }
+  /// Worker-process deaths delivered by the fault layer (crash_worker_now).
+  [[nodiscard]] std::uint64_t crashes_injected() const { return crashes_injected_; }
 
  private:
   struct QueuedTask {
@@ -152,6 +155,7 @@ class HighThroughputExecutor final : public Executor {
     bool retired = false;
     bool crash_pending = false;
     int restarts = 0;
+    int crashes = 0;
     std::uint64_t tasks_done = 0;
     std::set<std::string> inited_apps;
     std::set<std::string> loaded_models;
@@ -166,7 +170,21 @@ class HighThroughputExecutor final : public Executor {
   sim::Co<void> worker_boot(Worker& w);
   void worker_teardown(Worker& w);
   sim::Co<void> run_task(Worker& w, QueuedTask task);
+  /// The walltime-bounded half of run_task: cold starts + body, settling
+  /// `outcome` unless the deadline timer beat it to it.
+  sim::Co<void> attempt_body(Worker& w, std::shared_ptr<const AppDef> app,
+                             std::shared_ptr<TaskRecord> record,
+                             util::TimePoint t0, sim::Promise<AppValue> outcome,
+                             sim::Promise<> attempt_done);
   void note_task_settled();
+  /// Registers fault-layer handlers (worker crashes, device errors, MPS
+  /// daemon death); no-op when the simulator has no injector.
+  void subscribe_faults();
+  /// Kills worker `index` now: a busy (or about-to-be-busy) process loses
+  /// its in-flight task (crash_pending), an idle one respawns cold
+  /// immediately. Unlike inject_worker_crash(), this models the moment of
+  /// death rather than arming the next task boundary.
+  void crash_worker_now(std::size_t index);
 
   sim::Simulator& sim_;
   ExecutionProvider& provider_;
@@ -184,8 +202,10 @@ class HighThroughputExecutor final : public Executor {
   bool stopping_ = false;
   std::size_t outstanding_ = 0;
   std::uint64_t tasks_completed_ = 0;
+  std::uint64_t crashes_injected_ = 0;
   std::uint64_t next_task_id_ = 1;
   sim::Gate drained_;
+  std::vector<std::uint64_t> fault_subs_;
 };
 
 /// Parsl also exposes Python's ThreadPoolExecutor for lightweight CPU tasks;

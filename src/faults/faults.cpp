@@ -1,0 +1,174 @@
+#include "faults/faults.hpp"
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace faaspart::faults {
+
+const char* fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kWorkerCrash: return "worker-crash";
+    case FaultKind::kDeviceError: return "device-error";
+    case FaultKind::kMigCreateFail: return "mig-create-fail";
+    case FaultKind::kMpsDaemonDeath: return "mps-daemon-death";
+    case FaultKind::kWanPartition: return "wan-partition";
+  }
+  return "unknown";
+}
+
+namespace {
+// Distinct SplitMix64 seeds per stream so each fault class draws from an
+// independent sequence: adding one rate does not perturb the others.
+constexpr std::uint64_t kMigStream = 0x9e3779b97f4a7c15ull;
+constexpr std::uint64_t kCrashStream = 0x243f6a8885a308d3ull;
+constexpr std::uint64_t kDeviceStream = 0x13198a2e03707344ull;
+constexpr std::uint64_t kWanStream = 0xa4093822299f31d0ull;
+}  // namespace
+
+FaultInjector::FaultInjector(sim::Simulator& sim, FaultPlan plan,
+                             trace::Recorder* rec)
+    : sim_(sim),
+      plan_(std::move(plan)),
+      rec_(rec),
+      mig_rng_(plan_.seed ^ kMigStream),
+      crash_rng_(plan_.seed ^ kCrashStream),
+      device_rng_(plan_.seed ^ kDeviceStream),
+      wan_rng_(plan_.seed ^ kWanStream) {
+  FP_CHECK_MSG(sim_.faults() == nullptr,
+               "a FaultInjector is already installed on this simulator");
+  const bool has_rates = plan_.worker_crash_rate_hz > 0 ||
+                         plan_.device_error_rate_hz > 0 ||
+                         plan_.wan_partition_rate_hz > 0;
+  FP_CHECK_MSG(!has_rates || plan_.horizon.ns > 0,
+               "rate-based faults need a horizon or the simulator never drains");
+  if (rec_ != nullptr) lane_ = rec_->add_lane("faults");
+  sim_.install_faults(this);
+  for (const auto& ev : plan_.schedule) {
+    FP_CHECK_MSG(ev.at >= sim_.now(), "fault scheduled in the past");
+    fixed_pending_.push_back(
+        sim_.schedule_at(ev.at, [this, ev] { deliver(ev); }));
+  }
+  arm_rate(FaultKind::kWorkerCrash, plan_.worker_crash_rate_hz, crash_rng_);
+  arm_rate(FaultKind::kDeviceError, plan_.device_error_rate_hz, device_rng_);
+  arm_rate(FaultKind::kWanPartition, plan_.wan_partition_rate_hz, wan_rng_);
+}
+
+FaultInjector::~FaultInjector() {
+  stop();
+  if (sim_.faults() == this) sim_.install_faults(nullptr);
+}
+
+FaultInjector::SubscriptionId FaultInjector::subscribe(FaultKind kind,
+                                                       std::string key,
+                                                       Handler handler) {
+  const SubscriptionId id = next_sub_++;
+  subs_.emplace(id, Subscription{kind, std::move(key), std::move(handler)});
+  return id;
+}
+
+void FaultInjector::unsubscribe(SubscriptionId id) { subs_.erase(id); }
+
+void FaultInjector::stop() {
+  stopped_ = true;
+  for (const auto id : fixed_pending_) (void)sim_.cancel(id);
+  fixed_pending_.clear();
+  for (const auto& [kind, id] : rate_pending_) (void)sim_.cancel(id);
+  rate_pending_.clear();
+}
+
+void FaultInjector::arm_rate(FaultKind kind, double rate_hz, util::Rng& rng) {
+  if (rate_hz <= 0 || stopped_) return;
+  const util::TimePoint next =
+      sim_.now() + util::from_seconds(rng.exponential(1.0 / rate_hz));
+  if (next > plan_.horizon) return;
+  rate_pending_[kind] = sim_.schedule_at(next, [this, kind, rate_hz, &rng] {
+    rate_pending_.erase(kind);
+    FaultEvent ev;
+    ev.at = sim_.now();
+    ev.kind = kind;
+    ev.salt = rng.next_u64();
+    if (kind == FaultKind::kWanPartition) {
+      ev.duration = util::from_seconds(
+          rng.exponential(plan_.wan_partition_mean.seconds()));
+    }
+    deliver(std::move(ev));
+    arm_rate(kind, rate_hz, rng);
+  });
+}
+
+void FaultInjector::deliver(FaultEvent ev) {
+  if (stopped_) return;
+  const auto k = static_cast<std::size_t>(ev.kind);
+  ++stats_.injected[k];
+
+  // Resolve a rate event's victim first so the state updates below see the
+  // concrete target. Handlers run on snapshots: they may (un)subscribe.
+  std::vector<Handler> hit;
+  if (ev.target.empty()) {
+    std::vector<const Subscription*> eligible;
+    for (const auto& [id, sub] : subs_) {
+      if (sub.kind == ev.kind) eligible.push_back(&sub);
+    }
+    if (!eligible.empty()) {
+      const Subscription& victim = *eligible[ev.salt % eligible.size()];
+      ev.target = victim.key;
+      hit.push_back(victim.handler);
+    }
+  } else {
+    for (const auto& [id, sub] : subs_) {
+      if (sub.kind == ev.kind && (sub.key.empty() || sub.key == ev.target)) {
+        hit.push_back(sub.handler);
+      }
+    }
+  }
+
+  if (ev.kind == FaultKind::kMpsDaemonDeath && !ev.target.empty()) {
+    mps_dead_.insert(ev.target);
+  }
+  if (ev.kind == FaultKind::kMigCreateFail) {
+    ++armed_mig_failures_[ev.target];  // "" arms the next create anywhere
+  }
+
+  stats_.delivered[k] += hit.size();
+  if (rec_ != nullptr) {
+    rec_->record(lane_,
+                 std::string(fault_kind_name(ev.kind)) +
+                     (ev.target.empty() ? "" : ":" + ev.target),
+                 "fault", sim_.now(), sim_.now());
+  }
+  for (const auto& h : hit) h(ev);
+}
+
+bool FaultInjector::take_mig_create_failure(const std::string& device_key) {
+  auto it = armed_mig_failures_.find(device_key);
+  if (it == armed_mig_failures_.end()) it = armed_mig_failures_.find("");
+  const auto k = static_cast<std::size_t>(FaultKind::kMigCreateFail);
+  if (it != armed_mig_failures_.end() && it->second > 0) {
+    if (--it->second == 0) armed_mig_failures_.erase(it);
+    ++stats_.delivered[k];
+    return true;
+  }
+  if (plan_.mig_create_failure_prob > 0 &&
+      mig_rng_.chance(plan_.mig_create_failure_prob)) {
+    ++stats_.injected[k];
+    ++stats_.delivered[k];
+    return true;
+  }
+  return false;
+}
+
+void FaultInjector::note_degradation(const std::string& device_key,
+                                     const std::string& from_mode,
+                                     const std::string& to_mode,
+                                     const std::string& reason) {
+  degradations_.push_back(
+      util::strf(device_key, ": ", from_mode, " -> ", to_mode,
+                 reason.empty() ? "" : " (" + reason + ")"));
+  if (rec_ != nullptr) {
+    rec_->record(lane_, util::strf("degrade:", device_key, ":", from_mode,
+                                   "->", to_mode),
+                 "degrade", sim_.now(), sim_.now());
+  }
+}
+
+}  // namespace faaspart::faults

@@ -1,0 +1,177 @@
+// Seeded, policy-driven fault injection for the whole stack.
+//
+// A FaultPlan describes *what* goes wrong — a fixed schedule of FaultEvents
+// plus Poisson rates for recurring ones — and a FaultInjector installed on a
+// Simulator decides *when*, entirely inside virtual time, so every chaos run
+// replays bit-for-bit from its seed. Consumers (gpu::Device, the executors,
+// federation::Endpoint, core::Reconfigurer) subscribe by fault kind and a
+// string key ("gpu:0", executor label, "endpoint:<name>"); a run without an
+// injector costs a single null-pointer check per consult site.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "trace/recorder.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace faaspart::faults {
+
+enum class FaultKind {
+  kWorkerCrash,     ///< one worker process dies (segfault/OOM-kill analogue)
+  kDeviceError,     ///< fatal device error + reset: all in-flight kernels lost
+  kMigCreateFail,   ///< the next MIG instance creation on the target fails
+  kMpsDaemonDeath,  ///< MPS control daemon dies; non-MIG clients lose the GPU
+  kWanPartition,    ///< a federated endpoint loses WAN connectivity for a while
+};
+
+inline constexpr std::size_t kFaultKindCount = 5;
+
+/// "worker-crash", "device-error", ...
+const char* fault_kind_name(FaultKind kind);
+
+/// One concrete injected fault.
+struct FaultEvent {
+  util::TimePoint at{};  ///< delivery time (filled by the injector for rate events)
+  FaultKind kind = FaultKind::kWorkerCrash;
+  /// Subscription key this event targets; empty on a rate event until the
+  /// injector picks a victim uniformly by `salt`.
+  std::string target;
+  /// Optional sub-target (e.g. worker index within an executor); -1 lets the
+  /// receiver pick by `salt`.
+  int index = -1;
+  /// WAN partition length; zero means "use the plan's mean" (rate events) or
+  /// the receiver's default (fixed events).
+  util::Duration duration{};
+  /// Per-event random value receivers use for victim selection, so delivery
+  /// stays deterministic without threading an Rng through every consumer.
+  std::uint64_t salt = 0;
+};
+
+/// What to inject over a run. The default-constructed plan is inert:
+/// `enabled()` is false and no injector needs to be created at all.
+struct FaultPlan {
+  std::uint64_t seed = 1;
+
+  /// Faults at fixed virtual times, delivered to every subscriber whose key
+  /// matches `target` (a subscriber with an empty key matches everything).
+  std::vector<FaultEvent> schedule;
+
+  // Poisson processes (events per simulated second); each picks one
+  // subscriber of its kind uniformly at delivery time.
+  double worker_crash_rate_hz = 0;
+  double device_error_rate_hz = 0;
+  double wan_partition_rate_hz = 0;
+  util::Duration wan_partition_mean = util::seconds(5);
+
+  /// Probability that any single MIG instance creation fails (consulted by
+  /// Device::create_instance); fixed kMigCreateFail events arm a guaranteed
+  /// failure for their target instead.
+  double mig_create_failure_prob = 0;
+
+  /// Rate processes stop at this virtual time. Required (> 0) when any rate
+  /// is nonzero — an unbounded Poisson process would keep the event queue
+  /// from ever draining.
+  util::TimePoint horizon{};
+
+  [[nodiscard]] bool enabled() const {
+    return !schedule.empty() || worker_crash_rate_hz > 0 ||
+           device_error_rate_hz > 0 || wan_partition_rate_hz > 0 ||
+           mig_create_failure_prob > 0;
+  }
+};
+
+/// Per-kind injected/delivered counters (copyable snapshot).
+struct FaultStats {
+  std::uint64_t injected[kFaultKindCount] = {};
+  std::uint64_t delivered[kFaultKindCount] = {};
+  [[nodiscard]] std::uint64_t injected_total() const {
+    std::uint64_t n = 0;
+    for (const auto v : injected) n += v;
+    return n;
+  }
+};
+
+class FaultInjector {
+ public:
+  using Handler = std::function<void(const FaultEvent&)>;
+  using SubscriptionId = std::uint64_t;
+
+  /// Installs itself on `sim` (one injector per simulator), schedules the
+  /// plan's fixed events, and starts its rate processes. Passing a recorder
+  /// adds a "faults" lane with a zero-length span per delivered fault.
+  FaultInjector(sim::Simulator& sim, FaultPlan plan, trace::Recorder* rec = nullptr);
+  ~FaultInjector();
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Registers a handler for `kind`. An empty key receives every event of
+  /// the kind; a non-empty key receives fixed events whose target matches
+  /// and is eligible as a rate-event victim under that key.
+  SubscriptionId subscribe(FaultKind kind, std::string key, Handler handler);
+  /// Idempotent; unknown ids are ignored.
+  void unsubscribe(SubscriptionId id);
+
+  /// Cancels everything still pending (fixed and rate); delivered state
+  /// (dead MPS daemons, armed MIG failures) is kept.
+  void stop();
+
+  [[nodiscard]] const FaultPlan& plan() const { return plan_; }
+  [[nodiscard]] FaultStats stats() const { return stats_; }
+
+  /// False once a kMpsDaemonDeath hit `device_key` ("gpu:<index>") — the
+  /// Reconfigurer uses this to pick between the MPS and timeshare fallbacks.
+  [[nodiscard]] bool mps_available(const std::string& device_key) const {
+    return mps_dead_.count(device_key) == 0;
+  }
+
+  /// Consulted by Device::create_instance: true when the creation must fail,
+  /// consuming an armed kMigCreateFail for `device_key` (or an untargeted
+  /// one) if present, else drawing against mig_create_failure_prob.
+  bool take_mig_create_failure(const std::string& device_key);
+
+  /// Records a graceful-degradation decision (Reconfigurer fallback) in the
+  /// trace and the degradation log.
+  void note_degradation(const std::string& device_key, const std::string& from_mode,
+                        const std::string& to_mode, const std::string& reason);
+  [[nodiscard]] const std::vector<std::string>& degradations() const {
+    return degradations_;
+  }
+
+ private:
+  struct Subscription {
+    FaultKind kind;
+    std::string key;
+    Handler handler;
+  };
+
+  void deliver(FaultEvent ev);
+  /// (Re)arms the Poisson process for `kind`; stops past the horizon.
+  void arm_rate(FaultKind kind, double rate_hz, util::Rng& rng);
+
+  sim::Simulator& sim_;
+  FaultPlan plan_;
+  trace::Recorder* rec_;
+  trace::LaneId lane_ = 0;
+  util::Rng mig_rng_;
+  util::Rng crash_rng_;
+  util::Rng device_rng_;
+  util::Rng wan_rng_;
+  std::map<SubscriptionId, Subscription> subs_;
+  SubscriptionId next_sub_ = 1;
+  std::vector<sim::Simulator::EventId> fixed_pending_;
+  std::map<FaultKind, sim::Simulator::EventId> rate_pending_;
+  FaultStats stats_;
+  std::set<std::string> mps_dead_;
+  std::map<std::string, int> armed_mig_failures_;
+  std::vector<std::string> degradations_;
+  bool stopped_ = false;
+};
+
+}  // namespace faaspart::faults

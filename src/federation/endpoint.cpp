@@ -1,6 +1,8 @@
 #include "federation/endpoint.hpp"
 
+#include "faults/faults.hpp"
 #include "util/error.hpp"
+#include "util/strings.hpp"
 
 namespace faaspart::federation {
 
@@ -13,10 +15,38 @@ Endpoint::Endpoint(sim::Simulator& sim, Options opts, trace::Recorder* rec)
       partitioner_(devices_),
       dfk_(sim, faas::Config{.run_dir = "runinfo/" + opts_.name,
                              .retries = opts_.dfk_retries,
-                             .executors = {}}) {
+                             .executors = {}}),
+      wan_gate_(sim, /*open=*/true) {
   FP_CHECK_MSG(!opts_.name.empty(), "endpoint needs a name");
   FP_CHECK_MSG(opts_.rtt.ns >= 0, "negative RTT");
   for (const auto& arch : opts_.gpus) devices_.add_device(arch);
+  if (auto* fi = sim_.faults()) {
+    fault_subs_.push_back(fi->subscribe(
+        faults::FaultKind::kWanPartition, "endpoint:" + opts_.name,
+        [this](const faults::FaultEvent& ev) {
+          partition_for(ev.duration.ns > 0 ? ev.duration : util::seconds(1));
+        }));
+  }
+}
+
+Endpoint::~Endpoint() {
+  if (auto* fi = sim_.faults()) {
+    for (const auto id : fault_subs_) fi->unsubscribe(id);
+  }
+}
+
+void Endpoint::partition_for(util::Duration length) {
+  FP_CHECK_MSG(length.ns > 0, "partition needs a positive length");
+  ++wan_partitions_;
+  const util::TimePoint until = sim_.now() + length;
+  if (until.ns > partition_until_.ns) partition_until_ = until;
+  wan_gate_.close();
+  sim_.schedule_at(partition_until_, [this] {
+    // An overlapping later partition may have pushed the heal time out.
+    if (sim_.now() >= partition_until_ && !wan_gate_.is_open()) {
+      wan_gate_.open();
+    }
+  });
 }
 
 void Endpoint::add_cpu_executor(const std::string& label, int workers) {

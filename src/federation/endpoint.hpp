@@ -16,6 +16,7 @@
 #include "faas/dfk.hpp"
 #include "faas/provider.hpp"
 #include "nvml/manager.hpp"
+#include "sim/sync.hpp"
 #include "trace/recorder.hpp"
 
 namespace faaspart::federation {
@@ -33,9 +34,26 @@ class Endpoint {
   };
 
   Endpoint(sim::Simulator& sim, Options opts, trace::Recorder* rec = nullptr);
+  ~Endpoint();
+  Endpoint(const Endpoint&) = delete;
+  Endpoint& operator=(const Endpoint&) = delete;
 
   [[nodiscard]] const std::string& name() const { return opts_.name; }
   [[nodiscard]] util::Duration rtt() const { return opts_.rtt; }
+
+  // -- WAN fault paths ------------------------------------------------------
+
+  /// False while a WAN partition separates this endpoint from the cloud
+  /// service; dispatch/result legs wait on wan_gate() until it heals.
+  [[nodiscard]] bool reachable() const { return wan_gate_.is_open(); }
+  [[nodiscard]] sim::Gate& wan_gate() { return wan_gate_; }
+
+  /// Severs the endpoint's WAN link for `length` (extends an ongoing
+  /// partition). Traffic is delayed, not dropped — Globus Compute queues and
+  /// retries transport-level sends.
+  void partition_for(util::Duration length);
+
+  [[nodiscard]] std::size_t wan_partitions() const { return wan_partitions_; }
 
   [[nodiscard]] nvml::DeviceManager& devices() { return devices_; }
   [[nodiscard]] faas::LocalProvider& provider() { return provider_; }
@@ -67,6 +85,10 @@ class Endpoint {
   faas::LocalProvider provider_;
   core::GpuPartitioner partitioner_;
   faas::DataFlowKernel dfk_;
+  sim::Gate wan_gate_;
+  util::TimePoint partition_until_{};
+  std::size_t wan_partitions_ = 0;
+  std::vector<std::uint64_t> fault_subs_;
   std::vector<std::string> executor_labels_;
   std::size_t worker_slots_ = 0;
 };

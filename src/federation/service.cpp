@@ -55,6 +55,9 @@ sim::Co<void> wan_task(sim::Simulator* sim, Endpoint* ep, faas::AppDef app,
                        std::string executor_label,
                        sim::Promise<faas::AppValue> outer,
                        std::shared_ptr<faas::TaskRecord> record) {
+  // A WAN partition (faults::FaultKind::kWanPartition) delays traffic rather
+  // than dropping it: each leg waits for the link before paying its half-RTT.
+  co_await ep->wan_gate().wait();
   co_await sim->delay(ep->rtt() * 0.5);
   faas::AppHandle inner = ep->dfk().submit(std::move(app), executor_label);
   faas::AppValue value;
@@ -64,6 +67,7 @@ sim::Co<void> wan_task(sim::Simulator* sim, Endpoint* ep, faas::AppDef app,
   } catch (...) {
     error = std::current_exception();
   }
+  co_await ep->wan_gate().wait();
   co_await sim->delay(ep->rtt() * 0.5);  // result's way back over the WAN
   // Adopt the endpoint-side execution observables (started/finished bound
   // the actual run, so run_time stays endpoint-local) but keep the
@@ -114,17 +118,25 @@ faas::AppHandle ComputeService::submit_routed(const std::string& function_id,
   Endpoint* chosen = nullptr;
   switch (policy) {
     case RoutingPolicy::kRoundRobin: {
-      auto it = endpoints_.begin();
-      std::advance(it, round_robin_next_ % endpoints_.size());
-      ++round_robin_next_;
-      chosen = it->second.get();
+      // Skip partitioned endpoints (their queues only grow while the link is
+      // down); when everything is unreachable fall through to the natural
+      // pick — dispatch legs wait on the gate anyway.
+      for (std::size_t hop = 0; hop < endpoints_.size(); ++hop) {
+        auto it = endpoints_.begin();
+        std::advance(it, round_robin_next_ % endpoints_.size());
+        ++round_robin_next_;
+        chosen = it->second.get();
+        if (chosen->reachable() || hop + 1 == endpoints_.size()) break;
+      }
       break;
     }
     case RoutingPolicy::kLeastLoaded: {
       // Normalize by worker count so a 4-worker site and a 1-worker edge box
       // compare by per-worker backlog, and count service-side in-flight
-      // tasks that have not reached the endpoint yet.
+      // tasks that have not reached the endpoint yet. Reachable endpoints
+      // always beat partitioned ones.
       double best = std::numeric_limits<double>::max();
+      bool best_reachable = false;
       for (auto& [name, ep] : endpoints_) {
         const auto it = inflight_.find(name);
         const std::size_t wan = it != inflight_.end() ? it->second : 0;
@@ -132,8 +144,11 @@ faas::AppHandle ComputeService::submit_routed(const std::string& function_id,
         const double workers =
             static_cast<double>(std::max<std::size_t>(1, ep->worker_slots()));
         const double score = load / workers;
-        if (score < best) {
+        const bool up = ep->reachable();
+        if ((up && !best_reachable) ||
+            (up == best_reachable && score < best)) {
           best = score;
+          best_reachable = up;
           chosen = ep.get();
         }
       }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "faults/faults.hpp"
 #include "util/error.hpp"
 #include "util/strings.hpp"
 
@@ -21,6 +22,25 @@ Device::Device(sim::Simulator& sim, GpuArchSpec arch, int index,
   memory_ = std::make_unique<MemoryPool>(arch_.memory);
   engine_ = make_engine_(EngineEnv{&sim_, rec_, lane_, arch_, arch_.total_sms,
                                    arch_.mem_bw});
+  if (auto* fi = sim_.faults()) {
+    const std::string key = util::strf("gpu:", index_);
+    fault_subs_.push_back(fi->subscribe(
+        faults::FaultKind::kDeviceError, key, [this](const faults::FaultEvent&) {
+          (void)abort_all_kernels(std::make_exception_ptr(
+              util::DeviceError(util::strf(name(), ": injected fatal error, device reset"))));
+        }));
+    fault_subs_.push_back(fi->subscribe(
+        faults::FaultKind::kMpsDaemonDeath, key, [this](const faults::FaultEvent&) {
+          (void)abort_device_kernels(std::make_exception_ptr(
+              util::DeviceError(util::strf(name(), ": MPS control daemon died"))));
+        }));
+  }
+}
+
+Device::~Device() {
+  if (auto* fi = sim_.faults()) {
+    for (const auto id : fault_subs_) fi->unsubscribe(id);
+  }
 }
 
 std::string Device::name() const { return util::strf("GPU", index_, ":", arch_.name); }
@@ -143,9 +163,11 @@ void Device::dispatch(GpuContext& ctx, KernelDesc kernel, sim::Promise<> done) {
   ctx.inflight_ = true;
   sim::Promise<> engine_done(sim_);
   const ContextId id = ctx.id_;
-  // When the engine finishes this kernel: complete the caller's future and
-  // feed the next queued launch (CUDA stream ordering).
-  engine_done.future().on_ready([this, id, done]() {
+  // When the engine finishes this kernel: complete the caller's future the
+  // same way (success or abort error) and feed the next queued launch (CUDA
+  // stream ordering).
+  auto engine_result = engine_done.future();
+  engine_result.on_ready([this, id, done, engine_result]() {
     const auto it = contexts_.find(id);
     // The context may have been torn down between completion and this
     // callback only if destroy raced a completion — forbidden by the
@@ -153,7 +175,11 @@ void Device::dispatch(GpuContext& ctx, KernelDesc kernel, sim::Promise<> done) {
     FP_CHECK(it != contexts_.end());
     GpuContext& c = it->second;
     c.inflight_ = false;
-    done.set_value();
+    if (auto error = engine_result.error()) {
+      done.set_exception(error);
+    } else {
+      done.set_value();
+    }
     if (!c.queue_.empty()) {
       auto next = std::move(c.queue_.front());
       c.queue_.pop_front();
@@ -162,6 +188,41 @@ void Device::dispatch(GpuContext& ctx, KernelDesc kernel, sim::Promise<> done) {
   });
   engine_for(ctx).submit(KernelJob{ctx.id_, ctx.sm_cap_, std::move(kernel),
                                    std::move(engine_done), ctx.owner_});
+}
+
+std::size_t Device::fail_stream_queue(GpuContext& ctx,
+                                      const std::exception_ptr& error) {
+  const std::size_t n = ctx.queue_.size();
+  for (auto& pending : ctx.queue_) pending.done.set_exception(error);
+  ctx.queue_.clear();
+  return n;
+}
+
+std::size_t Device::abort_all_kernels(std::exception_ptr error) {
+  std::size_t n = 0;
+  for (auto& [id, ctx] : contexts_) n += fail_stream_queue(ctx, error);
+  n += engine_->abort_all(error);
+  for (auto& [id, inst] : instances_) n += inst.engine->abort_all(error);
+  return n;
+}
+
+std::size_t Device::abort_device_kernels(std::exception_ptr error) {
+  std::size_t n = 0;
+  for (auto& [id, ctx] : contexts_) {
+    if (ctx.opts_.instance.has_value()) continue;
+    n += fail_stream_queue(ctx, error);
+  }
+  n += engine_->abort_all(error);
+  return n;
+}
+
+std::size_t Device::abort_context_kernels(ContextId id, std::exception_ptr error) {
+  GpuContext& ctx = context_mut(id);
+  // Stream queue first, then the engine: the engine abort schedules the
+  // dispatch callback that would otherwise re-dispatch from the queue.
+  std::size_t n = fail_stream_queue(ctx, error);
+  n += engine_for(ctx).abort_context(id, error);
+  return n;
 }
 
 void Device::enable_mig() {
@@ -201,6 +262,13 @@ InstanceId Device::create_instance(const MigProfile& profile) {
         "profile ", profile.name, " needs ", profile.mem_slices,
         " memory slices; only ", arch_.mem_slices - used_mem_slices(),
         " of ", arch_.mem_slices, " free on ", name()));
+  }
+  // Transient creation failure (nvidia-smi mig -cgi erroring out) — only
+  // after validation, so it models a valid request failing, not a bad one.
+  if (auto* fi = sim_.faults();
+      fi != nullptr && fi->take_mig_create_failure(util::strf("gpu:", index_))) {
+    throw util::DeviceError(util::strf("injected MIG instance-create failure (",
+                                       profile.name, " on ", name(), ")"));
   }
 
   GpuInstance inst;

@@ -92,6 +92,10 @@ class Device {
   /// see sched::timeshare_factory()).
   Device(sim::Simulator& sim, GpuArchSpec arch, int index,
          EngineFactory make_engine, trace::Recorder* rec = nullptr);
+  /// Unsubscribes from the simulator's fault injector, if one is installed.
+  ~Device();
+  Device(const Device&) = delete;
+  Device& operator=(const Device&) = delete;
 
   [[nodiscard]] const GpuArchSpec& arch() const { return arch_; }
   [[nodiscard]] int index() const { return index_; }
@@ -139,6 +143,27 @@ class Device {
   /// the kernel finishes on the engine.
   sim::Future<> launch(ContextId ctx, KernelDesc kernel);
 
+  // -- fault paths ----------------------------------------------------------
+  //
+  // A device-level error (Xid/ECC → reset) or MPS daemon death does not tear
+  // contexts down by itself — it fails every affected launch future with
+  // `error`, and client processes react (the executor kills and respawns its
+  // workers, which frees their contexts). These also run automatically when
+  // a faults::FaultInjector delivers kDeviceError / kMpsDaemonDeath for
+  // "gpu:<index>".
+
+  /// Fails all queued and in-flight kernels on the device: every context's
+  /// stream queue, the device-level engine, and all MIG instance engines.
+  std::size_t abort_all_kernels(std::exception_ptr error);
+
+  /// Fails kernels of non-MIG contexts and the device-level engine only —
+  /// MIG instances bypass the MPS control daemon and survive its death.
+  std::size_t abort_device_kernels(std::exception_ptr error);
+
+  /// Fails one context's queued and in-flight kernels (process kill /
+  /// walltime cancellation); other clients are untouched.
+  std::size_t abort_context_kernels(ContextId id, std::exception_ptr error);
+
   // -- MIG ------------------------------------------------------------------
 
   [[nodiscard]] bool mig_enabled() const { return mig_enabled_; }
@@ -181,6 +206,7 @@ class Device {
   SharingEngine& engine_for(const GpuContext& ctx);
   MemoryPool& pool_for(const GpuContext& ctx);
   void dispatch(GpuContext& ctx, KernelDesc kernel, sim::Promise<> done);
+  std::size_t fail_stream_queue(GpuContext& ctx, const std::exception_ptr& error);
 
   sim::Simulator& sim_;
   GpuArchSpec arch_;
@@ -198,6 +224,8 @@ class Device {
   bool mig_enabled_ = false;
   InstanceId next_instance_id_ = 1;
   std::map<InstanceId, GpuInstance> instances_;
+
+  std::vector<std::uint64_t> fault_subs_;
 };
 
 }  // namespace faaspart::gpu

@@ -57,6 +57,16 @@ class SharingEngine {
   [[nodiscard]] virtual std::size_t active() const = 0;  ///< kernels executing
   [[nodiscard]] virtual std::size_t queued() const = 0;  ///< kernels waiting
 
+  /// Fails every queued and executing kernel with `error` (device reset,
+  /// MPS daemon death). The engine restores its accounting so the envelope
+  /// is immediately usable again. Returns the number of kernels failed.
+  virtual std::size_t abort_all(std::exception_ptr error) = 0;
+
+  /// Fails only `ctx`'s queued/executing kernels (process kill, walltime
+  /// cancellation); other clients keep running and freed capacity is handed
+  /// to them. Returns the number of kernels failed.
+  virtual std::size_t abort_context(ContextId ctx, std::exception_ptr error) = 0;
+
   [[nodiscard]] bool idle() const { return active() == 0 && queued() == 0; }
 
   [[nodiscard]] const EngineEnv& env() const { return env_; }

@@ -116,6 +116,56 @@ void MpsEngine::complete(std::uint64_t rid) {
   if (running_.size() == before) replan();  // departure-only: rates improved
 }
 
+void MpsEngine::evict(std::map<std::uint64_t, Running>::iterator it,
+                      std::exception_ptr error) {
+  Running r = std::move(it->second);
+  running_.erase(it);
+  if (r.event != 0) (void)env_.sim->cancel(r.event);
+  sms_in_use_ -= r.sms;
+  note_running_delta(-1);
+  r.job.done.set_exception(error);
+}
+
+std::size_t MpsEngine::abort_all(std::exception_ptr error) {
+  std::size_t n = queue_.size() + running_.size();
+  for (auto& job : queue_) job.done.set_exception(error);
+  queue_.clear();
+  while (!running_.empty()) evict(running_.begin(), error);
+  return n;
+}
+
+std::size_t MpsEngine::abort_context(gpu::ContextId ctx,
+                                     std::exception_ptr error) {
+  std::size_t n = 0;
+  for (auto it = queue_.begin(); it != queue_.end();) {
+    if (it->ctx == ctx) {
+      it->done.set_exception(error);
+      it = queue_.erase(it);
+      ++n;
+    } else {
+      ++it;
+    }
+  }
+  bool evicted = false;
+  for (auto it = running_.begin(); it != running_.end();) {
+    if (it->second.job.ctx == ctx) {
+      evict(it++, error);
+      evicted = true;
+      ++n;
+    } else {
+      ++it;
+    }
+  }
+  if (evicted) {
+    // Same shape as complete(): freed SMs may admit queued work; a
+    // departure-only change still improves the survivors' rates.
+    const std::size_t before = running_.size();
+    try_admit();
+    if (running_.size() == before) replan();
+  }
+  return n;
+}
+
 gpu::EngineFactory mps_factory(MpsOptions opts) {
   return [opts](gpu::EngineEnv env) -> std::unique_ptr<gpu::SharingEngine> {
     return std::make_unique<MpsEngine>(std::move(env), opts);

@@ -41,6 +41,8 @@ class MpsEngine final : public gpu::SharingEngine {
   void submit(gpu::KernelJob job) override;
   [[nodiscard]] std::size_t active() const override { return running_.size(); }
   [[nodiscard]] std::size_t queued() const override { return queue_.size(); }
+  std::size_t abort_all(std::exception_ptr error) override;
+  std::size_t abort_context(gpu::ContextId ctx, std::exception_ptr error) override;
 
   /// SMs currently occupied by running kernels.
   [[nodiscard]] int sms_in_use() const { return sms_in_use_; }
@@ -61,6 +63,9 @@ class MpsEngine final : public gpu::SharingEngine {
   void try_admit();
   void admit(gpu::KernelJob job);
   void complete(std::uint64_t rid);
+  /// Removes a running kernel without completing it (abort paths).
+  void evict(std::map<std::uint64_t, Running>::iterator it,
+             std::exception_ptr error);
   /// Advances byte drains to `now`, recomputes contended rates, and
   /// reschedules every running kernel's completion event.
   void replan();

@@ -2,20 +2,17 @@
 
 #include <algorithm>
 #include <memory>
+#include <utility>
 
 namespace faaspart::sched {
 
 void TimeShareEngine::submit(gpu::KernelJob job) {
   queue_.push_back(std::move(job));
-  if (!busy_) start_next();
+  if (!inflight_) start_next();
 }
 
 void TimeShareEngine::start_next() {
-  if (queue_.empty()) {
-    busy_ = false;
-    return;
-  }
-  busy_ = true;
+  if (queue_.empty()) return;
   gpu::KernelJob job = std::move(queue_.front());
   queue_.pop_front();
 
@@ -36,12 +33,54 @@ void TimeShareEngine::start_next() {
 
   const util::TimePoint start = env_.sim->now();
   note_running_delta(+1);
-  env_.sim->schedule_in(dur, [this, job, start]() {
+  inflight_.emplace(Inflight{std::move(job), start, 0});
+  inflight_->event = env_.sim->schedule_in(dur, [this]() {
+    Inflight fin = std::move(*inflight_);
+    inflight_.reset();
     note_running_delta(-1);
-    record_span(job, start, env_.sim->now());
-    job.done.set_value();
+    record_span(fin.job, fin.start, env_.sim->now());
+    fin.job.done.set_value();
     start_next();
   });
+}
+
+void TimeShareEngine::fail_inflight(std::exception_ptr error) {
+  Inflight fin = std::move(*inflight_);
+  inflight_.reset();
+  (void)env_.sim->cancel(fin.event);
+  note_running_delta(-1);
+  fin.job.done.set_exception(error);
+}
+
+std::size_t TimeShareEngine::abort_all(std::exception_ptr error) {
+  std::size_t n = queue_.size();
+  for (auto& job : queue_) job.done.set_exception(error);
+  queue_.clear();
+  if (inflight_) {
+    fail_inflight(error);
+    ++n;
+  }
+  return n;
+}
+
+std::size_t TimeShareEngine::abort_context(gpu::ContextId ctx,
+                                           std::exception_ptr error) {
+  std::size_t n = 0;
+  for (auto it = queue_.begin(); it != queue_.end();) {
+    if (it->ctx == ctx) {
+      it->done.set_exception(error);
+      it = queue_.erase(it);
+      ++n;
+    } else {
+      ++it;
+    }
+  }
+  if (inflight_ && inflight_->job.ctx == ctx) {
+    fail_inflight(error);
+    ++n;
+    start_next();  // other clients' queued kernels keep flowing
+  }
+  return n;
 }
 
 gpu::EngineFactory timeshare_factory() {

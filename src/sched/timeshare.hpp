@@ -10,6 +10,7 @@
 #pragma once
 
 #include <deque>
+#include <optional>
 
 #include "gpu/engine.hpp"
 
@@ -21,14 +22,25 @@ class TimeShareEngine final : public gpu::SharingEngine {
 
   [[nodiscard]] const char* policy_name() const override { return "timeshare"; }
   void submit(gpu::KernelJob job) override;
-  [[nodiscard]] std::size_t active() const override { return busy_ ? 1 : 0; }
+  [[nodiscard]] std::size_t active() const override { return inflight_ ? 1 : 0; }
   [[nodiscard]] std::size_t queued() const override { return queue_.size(); }
+  std::size_t abort_all(std::exception_ptr error) override;
+  std::size_t abort_context(gpu::ContextId ctx, std::exception_ptr error) override;
 
  private:
+  /// The one kernel currently executing, with its completion event so abort
+  /// paths can cancel it.
+  struct Inflight {
+    gpu::KernelJob job;
+    util::TimePoint start{};
+    sim::Simulator::EventId event = 0;
+  };
+
   void start_next();
+  void fail_inflight(std::exception_ptr error);
 
   std::deque<gpu::KernelJob> queue_;
-  bool busy_ = false;
+  std::optional<Inflight> inflight_;
   gpu::ContextId last_ctx_ = 0;
   bool have_last_ = false;
 };

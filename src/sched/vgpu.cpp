@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <memory>
+#include <utility>
 
 #include "util/error.hpp"
 
@@ -33,16 +34,12 @@ int VgpuEngine::slot_of(gpu::ContextId ctx) const {
 void VgpuEngine::submit(gpu::KernelJob job) {
   const int slot = assign_slot(job.ctx);
   slots_[static_cast<std::size_t>(slot)].queue.push_back(std::move(job));
-  if (!slots_[static_cast<std::size_t>(slot)].busy) start_next(slot);
+  if (!slots_[static_cast<std::size_t>(slot)].running) start_next(slot);
 }
 
 void VgpuEngine::start_next(int slot) {
   Slot& s = slots_[static_cast<std::size_t>(slot)];
-  if (s.queue.empty()) {
-    s.busy = false;
-    return;
-  }
-  s.busy = true;
+  if (s.queue.empty()) return;
   gpu::KernelJob job = std::move(s.queue.front());
   s.queue.pop_front();
 
@@ -56,17 +53,66 @@ void VgpuEngine::start_next(int slot) {
 
   const util::TimePoint start = env_.sim->now();
   note_running_delta(+1);
-  env_.sim->schedule_in(dur, [this, job, start, slot]() {
+  s.running.emplace(Inflight{std::move(job), start, 0});
+  s.running->event = env_.sim->schedule_in(dur, [this, slot]() {
+    Slot& sl = slots_[static_cast<std::size_t>(slot)];
+    Inflight fin = std::move(*sl.running);
+    sl.running.reset();
     note_running_delta(-1);
-    record_span(job, start, env_.sim->now());
-    job.done.set_value();
+    record_span(fin.job, fin.start, env_.sim->now());
+    fin.job.done.set_value();
     start_next(slot);
   });
 }
 
+void VgpuEngine::fail_running(Slot& s, std::exception_ptr error) {
+  Inflight fin = std::move(*s.running);
+  s.running.reset();
+  (void)env_.sim->cancel(fin.event);
+  note_running_delta(-1);
+  fin.job.done.set_exception(error);
+}
+
+std::size_t VgpuEngine::abort_all(std::exception_ptr error) {
+  std::size_t n = 0;
+  for (auto& s : slots_) {
+    n += s.queue.size();
+    for (auto& job : s.queue) job.done.set_exception(error);
+    s.queue.clear();
+    if (s.running) {
+      fail_running(s, error);
+      ++n;
+    }
+  }
+  return n;
+}
+
+std::size_t VgpuEngine::abort_context(gpu::ContextId ctx,
+                                      std::exception_ptr error) {
+  const int slot = slot_of(ctx);
+  if (slot < 0) return 0;
+  Slot& s = slots_[static_cast<std::size_t>(slot)];
+  std::size_t n = 0;
+  for (auto it = s.queue.begin(); it != s.queue.end();) {
+    if (it->ctx == ctx) {
+      it->done.set_exception(error);
+      it = s.queue.erase(it);
+      ++n;
+    } else {
+      ++it;
+    }
+  }
+  if (s.running && s.running->job.ctx == ctx) {
+    fail_running(s, error);
+    ++n;
+    start_next(slot);  // a slot-mate's queued kernel takes over
+  }
+  return n;
+}
+
 std::size_t VgpuEngine::active() const {
   std::size_t n = 0;
-  for (const auto& s : slots_) n += s.busy ? 1 : 0;
+  for (const auto& s : slots_) n += s.running ? 1 : 0;
   return n;
 }
 

@@ -10,6 +10,7 @@
 
 #include <deque>
 #include <map>
+#include <optional>
 #include <vector>
 
 #include "gpu/engine.hpp"
@@ -28,18 +29,28 @@ class VgpuEngine final : public gpu::SharingEngine {
   void submit(gpu::KernelJob job) override;
   [[nodiscard]] std::size_t active() const override;
   [[nodiscard]] std::size_t queued() const override;
+  std::size_t abort_all(std::exception_ptr error) override;
+  std::size_t abort_context(gpu::ContextId ctx, std::exception_ptr error) override;
 
   [[nodiscard]] int slots() const { return opts_.slots; }
   /// Slot a context is pinned to, or -1 if it has not launched yet.
   [[nodiscard]] int slot_of(gpu::ContextId ctx) const;
 
  private:
+  /// The kernel executing in a slot, with its completion event so abort
+  /// paths can cancel it.
+  struct Inflight {
+    gpu::KernelJob job;
+    util::TimePoint start{};
+    sim::Simulator::EventId event = 0;
+  };
   struct Slot {
-    bool busy = false;
+    std::optional<Inflight> running;
     std::deque<gpu::KernelJob> queue;
   };
 
   void start_next(int slot);
+  void fail_running(Slot& s, std::exception_ptr error);
   int assign_slot(gpu::ContextId ctx);
 
   VgpuOptions opts_;

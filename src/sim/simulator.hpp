@@ -23,6 +23,10 @@
 #include "sim/co.hpp"
 #include "util/units.hpp"
 
+namespace faaspart::faults {
+class FaultInjector;
+}  // namespace faaspart::faults
+
 namespace faaspart::sim {
 
 using util::Duration;
@@ -104,6 +108,13 @@ class Simulator {
   };
   [[nodiscard]] const std::vector<ProcessFailure>& failures() const { return failures_; }
 
+  /// Optional fault-injection layer. faults::FaultInjector installs itself
+  /// here on construction and uninstalls on destruction; consumers (Device,
+  /// executors, endpoints) do a single null check, so a run without faults
+  /// pays nothing.
+  void install_faults(faults::FaultInjector* injector) { faults_ = injector; }
+  [[nodiscard]] faults::FaultInjector* faults() const { return faults_; }
+
  private:
   struct HeapEntry {
     TimePoint t;
@@ -134,6 +145,8 @@ class Simulator {
   // the simulator goes away.
   std::uint64_t next_root_id_ = 1;
   std::unordered_map<std::uint64_t, std::coroutine_handle<>> roots_;
+
+  faults::FaultInjector* faults_ = nullptr;
 };
 
 }  // namespace faaspart::sim

@@ -52,6 +52,22 @@ class TaskFailedError : public Error {
   explicit TaskFailedError(const std::string& what) : Error("task failed: " + what) {}
 };
 
+/// The device hit a fatal runtime error — the analogue of an Xid/ECC error or
+/// cudaErrorDevicesUnavailable. In-flight work on the device is lost; client
+/// processes must re-create their contexts.
+class DeviceError : public Error {
+ public:
+  explicit DeviceError(const std::string& what) : Error("device error: " + what) {}
+};
+
+/// A task attempt exceeded its walltime deadline and was killed. Deadline
+/// kills are final: the DataFlowKernel does not retry them.
+class TaskTimeoutError : public Error {
+ public:
+  explicit TaskTimeoutError(const std::string& what)
+      : Error("task timed out: " + what) {}
+};
+
 namespace detail {
 [[noreturn]] void check_failed(const char* file, int line, const char* expr,
                                const std::string& msg);

@@ -1,9 +1,13 @@
 #include "workloads/multiplex_experiment.hpp"
 
+#include <memory>
+#include <sstream>
+
 #include "core/partitioner.hpp"
 #include "faas/dfk.hpp"
 #include "faas/provider.hpp"
 #include "nvml/manager.hpp"
+#include "trace/chrometrace.hpp"
 #include "util/error.hpp"
 #include "util/strings.hpp"
 
@@ -44,11 +48,20 @@ MultiplexRunResult run_multiplex_experiment(const MultiplexRunConfig& cfg) {
 
   sim::Simulator sim;
   trace::Recorder rec;
+  // The injector outlives the devices/executors that subscribe to it
+  // (declared before DeviceManager so it is destroyed after them).
+  std::unique_ptr<faults::FaultInjector> injector;
+  if (cfg.faults.enabled()) {
+    injector = std::make_unique<faults::FaultInjector>(sim, cfg.faults, &rec);
+  }
   nvml::DeviceManager mgr(sim, &rec);
   const int gpu = mgr.add_device(cfg.arch);
   faas::LocalProvider provider(sim, 24);  // §5.1 testbed
   core::GpuPartitioner part(mgr);
-  faas::DataFlowKernel dfk(sim, faas::Config{});
+  faas::Config dfk_cfg;
+  dfk_cfg.retries = cfg.retries;
+  dfk_cfg.backoff.base = cfg.retry_backoff_base;
+  faas::DataFlowKernel dfk(sim, dfk_cfg);
 
   faas::HtexConfig htex;
   htex.label = "gpu";
@@ -91,13 +104,30 @@ MultiplexRunResult run_multiplex_experiment(const MultiplexRunConfig& cfg) {
   spawn_closed_loop_batch(sim, dfk, "gpu", app, cfg.processes,
                           cfg.total_completions, out);
   sim.run();
+  if (injector != nullptr) injector->stop();
   FP_CHECK_MSG(out->tasks == static_cast<std::size_t>(cfg.total_completions),
                "batch did not complete");
-  FP_CHECK_MSG(out->failures == 0, "tasks failed during the batch");
+  if (!cfg.allow_failures) {
+    FP_CHECK_MSG(out->failures == 0, "tasks failed during the batch");
+  }
 
   MultiplexRunResult result;
   result.config = cfg;
   result.batch = *out;
+  result.failures = out->failures;
+  for (const auto& r : dfk.records()) {
+    if (r->tries > 1) result.retries_used += static_cast<std::size_t>(r->tries - 1);
+  }
+  if (injector != nullptr) {
+    result.faults_injected = injector->stats().injected_total();
+  }
+  if (cfg.capture_chrome_trace) {
+    std::ostringstream os;
+    trace::write_chrome_trace(os, rec);
+    result.chrome_trace = os.str();
+  }
+  result.gpu_busy = mgr.device(gpu).busy_time();
+  result.run_end = sim.now();
   // Utilization over the measured window (first body start → last finish).
   const auto extent_end = rec.last_end();
   result.gpu_utilization = mgr.device(gpu).measured_utilization(

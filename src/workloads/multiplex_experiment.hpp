@@ -16,6 +16,7 @@
 
 #include <string>
 
+#include "faults/faults.hpp"
 #include "workloads/llama.hpp"
 #include "workloads/serving.hpp"
 
@@ -36,12 +37,30 @@ struct MultiplexRunConfig {
   /// cross-architecture study.
   gpu::GpuArchSpec arch = gpu::arch::a100_80gb();
   std::uint64_t seed = 1;
+
+  // -- chaos extensions (bench/chaos_soak, tests) ---------------------------
+  /// Fault plan installed for the run; FaultPlan{} (all-zero) leaves the
+  /// fault layer out entirely, reproducing the undisturbed baseline.
+  faults::FaultPlan faults;
+  /// DFK resubmissions per task and the pause policy between them.
+  int retries = 0;
+  util::Duration retry_backoff_base{};
+  /// Accept task failures (retries exhausted) instead of aborting the run.
+  bool allow_failures = false;
+  /// Serialize the run's chrome trace into the result (determinism checks).
+  bool capture_chrome_trace = false;
 };
 
 struct MultiplexRunResult {
   MultiplexRunConfig config;
   BatchRunResult batch;
   double gpu_utilization = 0;  ///< measured over the batch window
+  std::size_t retries_used = 0;     ///< extra attempts beyond the first
+  std::size_t failures = 0;         ///< tasks that exhausted their retries
+  std::uint64_t faults_injected = 0;
+  std::string chrome_trace;         ///< filled when capture_chrome_trace
+  util::Duration gpu_busy{};        ///< total busy time on the device
+  util::TimePoint run_end{};        ///< virtual clock when the run drained
 };
 
 /// Builds the testbed, runs the batch to completion, returns measurements.

@@ -3,6 +3,7 @@
 #include "core/partitioner.hpp"
 #include "core/reconfigure.hpp"
 #include "core/weightcache.hpp"
+#include "faults/faults.hpp"
 #include "sched/engines.hpp"
 #include "util/error.hpp"
 #include "workloads/llama.hpp"
@@ -186,6 +187,108 @@ TEST_F(ReconFixture, MigRelayoutSlowerThanMpsChange) {
   sim.run();
 
   EXPECT_GT(mig_report->total_time.ns, mps_report->total_time.ns);
+}
+
+TEST_F(ReconFixture, MigCreateFailureDegradesToMps) {
+  // Fault model §6.5: a failed instance creation during re-layout must not
+  // strand the parked workers — the Reconfigurer descends the isolation
+  // ladder to MPS percentage caps sized like the requested profiles.
+  sim.spawn([](nvml::DeviceManager& m) -> sim::Co<void> {
+    const std::vector<std::string> layout{"3g.40gb", "3g.40gb"};
+    (void)co_await m.configure_mig(0, layout);
+  }(mgr));
+  sim.run();
+  faas::HtexConfig cfg;
+  cfg.label = "gpu";
+  for (const auto id : mgr.device(0).instance_ids()) {
+    cfg.available_accelerators.push_back(mgr.device(0).instance(id).uuid);
+  }
+  auto ex = part.build_executor(sim, provider, cfg);
+  warm_up(*ex, llama_app());
+
+  faults::FaultPlan plan;
+  faults::FaultEvent arm;
+  arm.at = sim.now();
+  arm.kind = faults::FaultKind::kMigCreateFail;
+  arm.target = "gpu:0";
+  plan.schedule.push_back(arm);
+  faults::FaultInjector fi(sim, plan);
+  sim.run();  // delivers the arming event
+
+  auto report = std::make_shared<ReconfigureReport>();
+  sim.spawn([](Reconfigurer& r, faas::HighThroughputExecutor& e,
+               std::shared_ptr<ReconfigureReport> out) -> sim::Co<void> {
+    const std::vector<std::string> want{"2g.20gb", "2g.20gb"};
+    *out = co_await r.change_mig_layout(e, 0, want);
+  }(recon, *ex, report));
+  sim.run();
+
+  EXPECT_TRUE(report->degraded);
+  EXPECT_EQ(report->requested, "mig");
+  EXPECT_EQ(report->achieved, "mps");
+  EXPECT_TRUE(report->gpu_reset);
+  EXPECT_EQ(report->workers_restarted, 2);
+  EXPECT_NE(report->degrade_reason.find("MIG instance-create"), std::string::npos);
+  ASSERT_EQ(fi.degradations().size(), 1u);
+  // The half-built layout was wiped (second reset)…
+  EXPECT_TRUE(mgr.device(0).instance_ids().empty());
+  // …and the workers serve again under capped MPS contexts.
+  faas::AppDef probe;
+  probe.name = "probe";
+  probe.body = [](faas::TaskContext& ctx) -> sim::Co<faas::AppValue> {
+    co_return faas::AppValue{static_cast<double>(ctx.sm_cap())};
+  };
+  auto h = ex->submit(std::make_shared<const faas::AppDef>(std::move(probe)));
+  sim.run();
+  const double cap = std::get<double>(h.future.value());
+  EXPECT_GT(cap, 0.0);
+  EXPECT_LT(cap, mgr.device(0).arch().total_sms);  // a 2g share, not the GPU
+}
+
+TEST_F(ReconFixture, MigCreateFailureWithDeadMpsFallsBackToTimeshare) {
+  // Bottom rung of the ladder: MIG creation fails *and* the MPS control
+  // daemon is dead, so the only mode left is plain timesharing.
+  sim.spawn([](nvml::DeviceManager& m) -> sim::Co<void> {
+    const std::vector<std::string> layout{"3g.40gb", "3g.40gb"};
+    (void)co_await m.configure_mig(0, layout);
+  }(mgr));
+  sim.run();
+  faas::HtexConfig cfg;
+  cfg.label = "gpu";
+  for (const auto id : mgr.device(0).instance_ids()) {
+    cfg.available_accelerators.push_back(mgr.device(0).instance(id).uuid);
+  }
+  auto ex = part.build_executor(sim, provider, cfg);
+  warm_up(*ex, llama_app());
+
+  faults::FaultPlan plan;
+  faults::FaultEvent daemon_death;
+  daemon_death.at = sim.now();
+  daemon_death.kind = faults::FaultKind::kMpsDaemonDeath;
+  daemon_death.target = "gpu:0";
+  plan.schedule.push_back(daemon_death);
+  faults::FaultEvent arm = daemon_death;
+  arm.kind = faults::FaultKind::kMigCreateFail;
+  plan.schedule.push_back(arm);
+  faults::FaultInjector fi(sim, plan);
+  sim.run();
+  EXPECT_FALSE(fi.mps_available("gpu:0"));
+
+  auto report = std::make_shared<ReconfigureReport>();
+  sim.spawn([](Reconfigurer& r, faas::HighThroughputExecutor& e,
+               std::shared_ptr<ReconfigureReport> out) -> sim::Co<void> {
+    const std::vector<std::string> want{"2g.20gb", "2g.20gb"};
+    *out = co_await r.change_mig_layout(e, 0, want);
+  }(recon, *ex, report));
+  sim.run();
+
+  EXPECT_TRUE(report->degraded);
+  EXPECT_EQ(report->achieved, "timeshare");
+  EXPECT_EQ(report->workers_restarted, 2);
+  // Workers still make progress after the double fault.
+  auto h = ex->submit(std::make_shared<const faas::AppDef>(llama_app()));
+  sim.run();
+  EXPECT_FALSE(h.future.failed());
 }
 
 TEST_F(ReconFixture, ValidationErrors) {

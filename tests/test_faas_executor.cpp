@@ -509,6 +509,136 @@ TEST_F(FaasFixture, DfkShutdown) {
 }
 
 // ---------------------------------------------------------------------------
+// Retry backoff & walltime timeouts (fault-recovery layer)
+// ---------------------------------------------------------------------------
+
+TEST_F(FaasFixture, DfkBackoffDoublesAndCaps) {
+  Config cfg;
+  cfg.retries = 4;
+  cfg.backoff.base = 1_s;
+  cfg.backoff.multiplier = 2.0;
+  cfg.backoff.cap = 3_s;
+  cfg.backoff.jitter = 0.0;
+  DataFlowKernel dfk(sim, cfg);
+  dfk.add_executor(make_cpu_executor(1));
+  auto count = std::make_shared<int>(0);
+  auto h = dfk.submit(failing_app("hopeless", 100, count), "cpu");
+  sim.run();
+  EXPECT_TRUE(h.future.failed());
+  EXPECT_EQ(h.record->tries, 5);
+  // Pauses between the five attempts: 1, 2, min(4,3), min(8,3) = 9 s total.
+  EXPECT_EQ(h.record->backoff_total, 9_s);
+}
+
+TEST_F(FaasFixture, DfkBackoffJitterStaysBounded) {
+  Config cfg;
+  cfg.retries = 4;
+  cfg.backoff.base = 1_s;
+  cfg.backoff.multiplier = 2.0;
+  cfg.backoff.cap = 3_s;
+  cfg.backoff.jitter = 0.5;
+  DataFlowKernel dfk(sim, cfg);
+  dfk.add_executor(make_cpu_executor(1));
+  auto count = std::make_shared<int>(0);
+  auto h = dfk.submit(failing_app("hopeless", 100, count), "cpu");
+  sim.run();
+  EXPECT_TRUE(h.future.failed());
+  // Base schedule is 1+2+3+3 = 9 s; jitter stretches only the uncapped first
+  // pause (by up to 50 %) — every later one is already clamped at the cap.
+  EXPECT_GE(h.record->backoff_total, 9_s);
+  EXPECT_LE(h.record->backoff_total.ns, (10_s + 500_ms).ns);
+}
+
+TEST_F(FaasFixture, DfkBackoffDeterministicForSeed) {
+  const auto run_once = [](std::uint64_t seed) {
+    sim::Simulator s;
+    LocalProvider prov(s, 24);
+    Config cfg;
+    cfg.retries = 3;
+    cfg.backoff.base = 1_s;
+    cfg.backoff.jitter = 1.0;
+    cfg.backoff.seed = seed;
+    DataFlowKernel dfk(s, cfg);
+    HighThroughputExecutor::Options opts;
+    opts.label = "cpu";
+    auto ex = std::make_unique<HighThroughputExecutor>(s, prov, std::move(opts));
+    ex->start();
+    dfk.add_executor(std::move(ex));
+    auto count = std::make_shared<int>(0);
+    auto h = dfk.submit(failing_app("hopeless", 100, count), "cpu");
+    s.run();
+    return h.record->backoff_total;
+  };
+  EXPECT_EQ(run_once(11), run_once(11));
+  EXPECT_NE(run_once(11), run_once(12));
+}
+
+TEST_F(FaasFixture, DfkTimeoutIsFinal) {
+  Config cfg;
+  cfg.retries = 3;
+  DataFlowKernel dfk(sim, cfg);
+  dfk.add_executor(make_cpu_executor(1));
+  AppDef slow = sleep_app("slow", 10_s);
+  slow.timeout = 1_s;
+  auto h = dfk.submit(slow, "cpu");
+  sim.run();
+  EXPECT_TRUE(h.future.failed());
+  EXPECT_EQ(h.record->tries, 1);  // a walltime kill is not retried
+  EXPECT_NE(h.record->error.find("timed out"), std::string::npos);
+  EXPECT_EQ(dfk.tasks_failed(), 1u);
+}
+
+TEST_F(FaasFixture, PerAppRetriesOverrideConfig) {
+  Config cfg;
+  cfg.retries = 5;
+  DataFlowKernel dfk(sim, cfg);
+  dfk.add_executor(make_cpu_executor(1));
+  auto count = std::make_shared<int>(0);
+  AppDef stubborn = failing_app("stubborn", 100, count);
+  stubborn.retries = 1;  // overrides the config's 5
+  auto h = dfk.submit(stubborn, "cpu");
+  sim.run();
+  EXPECT_TRUE(h.future.failed());
+  EXPECT_EQ(h.record->tries, 2);
+  EXPECT_EQ(*count, 2);
+}
+
+TEST_F(GpuFaasFixture, TimeoutKillsWorkerAndReleasesMemory) {
+  auto ex = make_gpu_executor({100.0});
+  // 10 GB model loads in 2 s; the kernel would then run far past the 3 s
+  // walltime, so the attempt dies 1 s into the kernel.
+  AppDef app = kernel_app("bounded", 10 * util::GB);
+  app.body = [](TaskContext& ctx) -> sim::Co<AppValue> {
+    gpu::KernelDesc k{"k", gpu::KernelKind::kGemm, 1e15, 64 * util::MB, 108, 0.4};
+    co_await ctx.launch(std::move(k));
+    co_return AppValue{1.0};
+  };
+  app.timeout = 3_s;
+  auto h = ex->submit(std::make_shared<const AppDef>(std::move(app)));
+  sim.run();
+  EXPECT_TRUE(h.future.failed());
+  EXPECT_NE(h.record->error.find("timed out"), std::string::npos);
+  // The killed process released its context: the half-used model allocation
+  // is back in the pool, the worker respawned, and the next task succeeds.
+  EXPECT_EQ(dev.memory().used(), 0u);
+  EXPECT_EQ(ex->worker_info(0).restarts, 1);
+  auto next = ex->submit(std::make_shared<const AppDef>(kernel_app("next")));
+  sim.run();
+  EXPECT_FALSE(next.future.failed());
+  EXPECT_EQ(dev.context_count(), 1u);
+}
+
+TEST_F(GpuFaasFixture, TimeoutLongerThanTaskIsHarmless) {
+  auto ex = make_gpu_executor({100.0});
+  AppDef app = kernel_app("quick");
+  app.timeout = 600_s;
+  auto h = ex->submit(std::make_shared<const AppDef>(std::move(app)));
+  sim.run();
+  EXPECT_FALSE(h.future.failed());
+  EXPECT_EQ(ex->worker_info(0).restarts, 0);
+}
+
+// ---------------------------------------------------------------------------
 // ThreadPoolExecutor
 // ---------------------------------------------------------------------------
 

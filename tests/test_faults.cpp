@@ -1,0 +1,453 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "faas/executor.hpp"
+#include "faas/provider.hpp"
+#include "faults/faults.hpp"
+#include "gpu/device.hpp"
+#include "sched/engines.hpp"
+#include "util/error.hpp"
+
+namespace faaspart::faults {
+namespace {
+
+using namespace util::literals;
+
+gpu::KernelDesc small_kernel(const std::string& name = "k") {
+  return gpu::KernelDesc{name, gpu::KernelKind::kGemv, 1e9, 100 * util::MB, 20, 0.5};
+}
+
+/// Runs for minutes of virtual time — guaranteed to still be in flight when
+/// a sub-minute fault fires.
+gpu::KernelDesc long_kernel(const std::string& name = "k") {
+  return gpu::KernelDesc{name, gpu::KernelKind::kGemm, 1e16, 100 * util::MB, 108, 0.5};
+}
+
+// ---------------------------------------------------------------------------
+// Plan & injector basics
+// ---------------------------------------------------------------------------
+
+TEST(FaultPlan, DefaultPlanIsInert) {
+  FaultPlan plan;
+  EXPECT_FALSE(plan.enabled());
+  sim::Simulator sim;
+  EXPECT_EQ(sim.faults(), nullptr);  // nothing installs without an injector
+}
+
+TEST(FaultPlan, AnyKnobEnables) {
+  FaultPlan plan;
+  plan.worker_crash_rate_hz = 0.1;
+  EXPECT_TRUE(plan.enabled());
+  FaultPlan fixed;
+  fixed.schedule.push_back({util::TimePoint{} + 1_s, FaultKind::kDeviceError,
+                            "gpu:0", -1, {}, 0});
+  EXPECT_TRUE(fixed.enabled());
+  FaultPlan mig;
+  mig.mig_create_failure_prob = 0.5;
+  EXPECT_TRUE(mig.enabled());
+}
+
+TEST(FaultInjector, InstallsAndUninstallsOnSimulator) {
+  sim::Simulator sim;
+  {
+    FaultPlan plan;
+    plan.schedule.push_back({util::TimePoint{} + 1_s, FaultKind::kWorkerCrash,
+                             "htex", -1, {}, 0});
+    FaultInjector fi(sim, plan);
+    EXPECT_EQ(sim.faults(), &fi);
+  }
+  EXPECT_EQ(sim.faults(), nullptr);
+}
+
+TEST(FaultInjector, FixedEventFiresAtExactVirtualTime) {
+  sim::Simulator sim;
+  FaultPlan plan;
+  plan.schedule.push_back({util::TimePoint{} + 7_s, FaultKind::kWorkerCrash,
+                           "htex", 2, {}, 0});
+  FaultInjector fi(sim, plan);
+  std::vector<util::TimePoint> seen;
+  int index = -2;
+  (void)fi.subscribe(FaultKind::kWorkerCrash, "htex",
+                     [&](const FaultEvent& ev) {
+                       seen.push_back(sim.now());
+                       index = ev.index;
+                     });
+  sim.run();
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0], util::TimePoint{} + 7_s);
+  EXPECT_EQ(index, 2);
+  EXPECT_EQ(fi.stats().injected[static_cast<int>(FaultKind::kWorkerCrash)], 1u);
+  EXPECT_EQ(fi.stats().delivered[static_cast<int>(FaultKind::kWorkerCrash)], 1u);
+}
+
+TEST(FaultInjector, FixedEventKeyMatching) {
+  sim::Simulator sim;
+  FaultPlan plan;
+  plan.schedule.push_back({util::TimePoint{} + 1_s, FaultKind::kDeviceError,
+                           "gpu:1", -1, {}, 0});
+  FaultInjector fi(sim, plan);
+  int gpu0 = 0, gpu1 = 0, any = 0;
+  (void)fi.subscribe(FaultKind::kDeviceError, "gpu:0",
+                     [&](const FaultEvent&) { ++gpu0; });
+  (void)fi.subscribe(FaultKind::kDeviceError, "gpu:1",
+                     [&](const FaultEvent&) { ++gpu1; });
+  (void)fi.subscribe(FaultKind::kDeviceError, "",
+                     [&](const FaultEvent&) { ++any; });
+  sim.run();
+  EXPECT_EQ(gpu0, 0);
+  EXPECT_EQ(gpu1, 1);
+  EXPECT_EQ(any, 1);  // empty key matches everything
+}
+
+TEST(FaultInjector, UnsubscribeStopsDelivery) {
+  sim::Simulator sim;
+  FaultPlan plan;
+  plan.schedule.push_back({util::TimePoint{} + 1_s, FaultKind::kWorkerCrash,
+                           "x", -1, {}, 0});
+  plan.schedule.push_back({util::TimePoint{} + 2_s, FaultKind::kWorkerCrash,
+                           "x", -1, {}, 0});
+  FaultInjector fi(sim, plan);
+  int hits = 0;
+  const auto id = fi.subscribe(FaultKind::kWorkerCrash, "x",
+                               [&](const FaultEvent&) { ++hits; });
+  sim.run_until(util::TimePoint{} + 1_s + 500_ms);
+  fi.unsubscribe(id);
+  fi.unsubscribe(id);  // idempotent
+  sim.run();
+  EXPECT_EQ(hits, 1);
+}
+
+// ---------------------------------------------------------------------------
+// Seeded rate processes
+// ---------------------------------------------------------------------------
+
+std::vector<std::int64_t> crash_times(std::uint64_t seed) {
+  sim::Simulator sim;
+  FaultPlan plan;
+  plan.seed = seed;
+  plan.worker_crash_rate_hz = 0.5;
+  plan.horizon = util::TimePoint{} + 120_s;
+  FaultInjector fi(sim, plan);
+  std::vector<std::int64_t> times;
+  (void)fi.subscribe(FaultKind::kWorkerCrash, "htex",
+                     [&](const FaultEvent&) { times.push_back(sim.now().ns); });
+  sim.run();
+  return times;
+}
+
+TEST(FaultInjector, RateEventsDeterministicForSeed) {
+  const auto a = crash_times(42);
+  const auto b = crash_times(42);
+  EXPECT_FALSE(a.empty());
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, crash_times(43));
+}
+
+TEST(FaultInjector, RateEventsStopAtHorizon) {
+  sim::Simulator sim;
+  FaultPlan plan;
+  plan.worker_crash_rate_hz = 2.0;
+  plan.horizon = util::TimePoint{} + 30_s;
+  FaultInjector fi(sim, plan);
+  std::vector<std::int64_t> times;
+  (void)fi.subscribe(FaultKind::kWorkerCrash, "htex",
+                     [&](const FaultEvent&) { times.push_back(sim.now().ns); });
+  sim.run();  // must drain: the Poisson process is bounded
+  ASSERT_FALSE(times.empty());
+  for (const auto t : times) EXPECT_LE(t, (util::TimePoint{} + 30_s).ns);
+}
+
+TEST(FaultInjector, RateEventPicksVictimBySalt) {
+  sim::Simulator sim;
+  FaultPlan plan;
+  plan.worker_crash_rate_hz = 1.0;
+  plan.horizon = util::TimePoint{} + 60_s;
+  FaultInjector fi(sim, plan);
+  int a = 0, b = 0;
+  (void)fi.subscribe(FaultKind::kWorkerCrash, "ex-a",
+                     [&](const FaultEvent& ev) {
+                       EXPECT_EQ(ev.target, "ex-a");
+                       ++a;
+                     });
+  (void)fi.subscribe(FaultKind::kWorkerCrash, "ex-b",
+                     [&](const FaultEvent& ev) {
+                       EXPECT_EQ(ev.target, "ex-b");
+                       ++b;
+                     });
+  sim.run();
+  // Uniform victim choice over ~60 events: both subscribers get some.
+  EXPECT_GT(a, 0);
+  EXPECT_GT(b, 0);
+  EXPECT_EQ(static_cast<std::uint64_t>(a + b),
+            fi.stats().delivered[static_cast<int>(FaultKind::kWorkerCrash)]);
+}
+
+TEST(FaultInjector, StopCancelsPendingWork) {
+  sim::Simulator sim;
+  FaultPlan plan;
+  plan.worker_crash_rate_hz = 1.0;
+  plan.horizon = util::TimePoint{} + 1000_s;
+  plan.schedule.push_back({util::TimePoint{} + 900_s, FaultKind::kWorkerCrash,
+                           "x", -1, {}, 0});
+  FaultInjector fi(sim, plan);
+  int hits = 0;
+  (void)fi.subscribe(FaultKind::kWorkerCrash, "x",
+                     [&](const FaultEvent&) { ++hits; });
+  sim.run_until(util::TimePoint{} + 10_s);
+  fi.stop();
+  const int seen = hits;
+  sim.run();
+  EXPECT_EQ(hits, seen);  // nothing fires after stop()
+}
+
+// ---------------------------------------------------------------------------
+// Device faults
+// ---------------------------------------------------------------------------
+
+struct DeviceFaultFixture : ::testing::Test {
+  sim::Simulator sim;
+  trace::Recorder rec;
+};
+
+TEST_F(DeviceFaultFixture, DeviceErrorAbortsInflightKernel) {
+  FaultPlan plan;
+  plan.schedule.push_back({util::TimePoint{} + 1_s, FaultKind::kDeviceError,
+                           "gpu:0", -1, {}, 0});
+  FaultInjector fi(sim, plan);
+  gpu::Device dev(sim, gpu::arch::a100_80gb(), 0, sched::timeshare_factory(),
+                  &rec);
+  const auto ctx = dev.create_context("tenant");
+  auto doomed = dev.launch(ctx, long_kernel("long"));
+  sim.run();
+  ASSERT_TRUE(doomed.failed());
+  try {
+    std::rethrow_exception(doomed.error());
+  } catch (const util::DeviceError& e) {
+    EXPECT_NE(std::string(e.what()).find("device reset"), std::string::npos);
+  }
+  // The device keeps working after the reset: a fresh kernel completes.
+  auto after = dev.launch(ctx, small_kernel("after"));
+  sim.run();
+  EXPECT_TRUE(after.ready());
+  EXPECT_FALSE(after.failed());
+}
+
+TEST_F(DeviceFaultFixture, DeviceErrorOnIdleDeviceIsHarmless) {
+  FaultPlan plan;
+  plan.schedule.push_back({util::TimePoint{} + 1_s, FaultKind::kDeviceError,
+                           "gpu:0", -1, {}, 0});
+  plan.schedule.push_back({util::TimePoint{} + 2_s, FaultKind::kDeviceError,
+                           "gpu:0", -1, {}, 0});
+  FaultInjector fi(sim, plan);
+  gpu::Device dev(sim, gpu::arch::a100_80gb(), 0, sched::timeshare_factory(),
+                  &rec);
+  const auto ctx = dev.create_context("tenant");
+  sim.run();  // both resets fire with nothing in flight
+  auto ok = dev.launch(ctx, small_kernel());
+  sim.run();
+  EXPECT_FALSE(ok.failed());
+  EXPECT_EQ(fi.stats().delivered[static_cast<int>(FaultKind::kDeviceError)], 2u);
+}
+
+TEST_F(DeviceFaultFixture, DeviceErrorAbortsQueuedStreamWork) {
+  FaultPlan plan;
+  plan.schedule.push_back({util::TimePoint{} + 100_ms, FaultKind::kDeviceError,
+                           "gpu:0", -1, {}, 0});
+  FaultInjector fi(sim, plan);
+  gpu::Device dev(sim, gpu::arch::a100_80gb(), 0, sched::timeshare_factory(),
+                  &rec);
+  const auto ctx = dev.create_context("tenant");
+  // Stream order: the second launch waits behind the first in the context
+  // queue; the reset must fail both (no phantom kernel later).
+  auto first = dev.launch(ctx, long_kernel("a"));
+  auto second = dev.launch(ctx, long_kernel("b"));
+  sim.run();
+  EXPECT_TRUE(first.failed());
+  EXPECT_TRUE(second.failed());
+  // Context is still destroyable — nothing left in flight.
+  dev.destroy_context(ctx);
+}
+
+TEST_F(DeviceFaultFixture, MpsDaemonDeathSparesMigInstances) {
+  FaultPlan plan;
+  plan.schedule.push_back({util::TimePoint{} + 100_ms, FaultKind::kMpsDaemonDeath,
+                           "gpu:0", -1, {}, 0});
+  FaultInjector fi(sim, plan);
+  gpu::Device dev(sim, gpu::arch::a100_80gb(), 0, sched::timeshare_factory(),
+                  &rec);
+  dev.enable_mig();
+  const auto inst = dev.create_instance("3g.40gb");
+  const auto ctx = dev.create_context("tenant", {.instance = inst});
+  EXPECT_TRUE(fi.mps_available("gpu:0"));
+  auto fut = dev.launch(ctx, long_kernel());
+  sim.run();
+  // MIG clients bypass the MPS control daemon: the kernel survives.
+  EXPECT_FALSE(fut.failed());
+  EXPECT_FALSE(fi.mps_available("gpu:0"));
+}
+
+TEST_F(DeviceFaultFixture, MpsDaemonDeathKillsDeviceLevelKernels) {
+  FaultPlan plan;
+  plan.schedule.push_back({util::TimePoint{} + 100_ms, FaultKind::kMpsDaemonDeath,
+                           "gpu:0", -1, {}, 0});
+  FaultInjector fi(sim, plan);
+  gpu::Device dev(sim, gpu::arch::a100_80gb(), 0, sched::mps_factory(), &rec);
+  const auto ctx = dev.create_context("tenant", {.active_thread_percentage = 50.0});
+  auto fut = dev.launch(ctx, long_kernel());
+  sim.run();
+  ASSERT_TRUE(fut.failed());
+  try {
+    std::rethrow_exception(fut.error());
+  } catch (const util::DeviceError& e) {
+    EXPECT_NE(std::string(e.what()).find("MPS control daemon"), std::string::npos);
+  }
+}
+
+TEST_F(DeviceFaultFixture, ArmedMigCreateFailureFiresOnce) {
+  FaultPlan plan;
+  plan.schedule.push_back({util::TimePoint{} + 1_s, FaultKind::kMigCreateFail,
+                           "gpu:0", -1, {}, 0});
+  FaultInjector fi(sim, plan);
+  gpu::Device dev(sim, gpu::arch::a100_80gb(), 0, sched::timeshare_factory(),
+                  &rec);
+  dev.enable_mig();
+  sim.run();  // arms the failure
+  EXPECT_THROW((void)dev.create_instance("3g.40gb"), util::DeviceError);
+  // Armed failures are one-shot: the retry succeeds.
+  const auto inst = dev.create_instance("3g.40gb");
+  EXPECT_EQ(dev.instance(inst).profile.compute_slices, 3);
+}
+
+TEST_F(DeviceFaultFixture, MigCreateFailureProbabilityIsSeeded) {
+  const auto failures_for_seed = [](std::uint64_t seed) {
+    sim::Simulator s;
+    FaultPlan plan;
+    plan.seed = seed;
+    plan.mig_create_failure_prob = 0.5;
+    FaultInjector fi(s, plan);
+    int failures = 0;
+    for (int i = 0; i < 16; ++i) {
+      if (fi.take_mig_create_failure("gpu:0")) ++failures;
+    }
+    return failures;
+  };
+  EXPECT_EQ(failures_for_seed(5), failures_for_seed(5));
+  const int n = failures_for_seed(5);
+  EXPECT_GT(n, 0);
+  EXPECT_LT(n, 16);
+}
+
+// ---------------------------------------------------------------------------
+// Worker crashes through the executor
+// ---------------------------------------------------------------------------
+
+struct ExecutorFaultFixture : ::testing::Test {
+  sim::Simulator sim;
+  faas::LocalProvider provider{sim, 24};
+
+  faas::AppDef sleep_app(const std::string& name, util::Duration d) {
+    faas::AppDef app;
+    app.name = name;
+    app.body = [d](faas::TaskContext& ctx) -> sim::Co<faas::AppValue> {
+      co_await ctx.compute(d);
+      co_return faas::AppValue{d.seconds()};
+    };
+    return app;
+  }
+};
+
+TEST_F(ExecutorFaultFixture, ScheduledCrashKillsBusyWorker) {
+  FaultPlan plan;
+  plan.schedule.push_back({util::TimePoint{} + 5_s, FaultKind::kWorkerCrash,
+                           "cpu", 0, {}, 0});
+  FaultInjector fi(sim, plan);
+  faas::HighThroughputExecutor::Options opts;
+  opts.label = "cpu";
+  faas::HighThroughputExecutor ex(sim, provider, std::move(opts));
+  ex.start();
+  auto victim = ex.submit(
+      std::make_shared<const faas::AppDef>(sleep_app("victim", 20_s)));
+  auto next = ex.submit(
+      std::make_shared<const faas::AppDef>(sleep_app("next", 1_s)));
+  sim.run();
+  EXPECT_TRUE(victim.future.failed());
+  EXPECT_NE(victim.record->error.find("crashed"), std::string::npos);
+  EXPECT_FALSE(next.future.failed());  // respawned worker serves the queue
+  EXPECT_EQ(ex.crashes_injected(), 1u);
+  EXPECT_EQ(ex.worker_info(0).crashes, 1);
+  EXPECT_EQ(ex.worker_info(0).restarts, 1);
+}
+
+TEST_F(ExecutorFaultFixture, IdleWorkerCrashRespawnsWithoutLosingTasks) {
+  FaultPlan plan;
+  plan.schedule.push_back({util::TimePoint{} + 30_s, FaultKind::kWorkerCrash,
+                           "cpu", 0, {}, 0});
+  FaultInjector fi(sim, plan);
+  faas::HighThroughputExecutor::Options opts;
+  opts.label = "cpu";
+  faas::HighThroughputExecutor ex(sim, provider, std::move(opts));
+  ex.start();
+  auto before = ex.submit(
+      std::make_shared<const faas::AppDef>(sleep_app("before", 2_s)));
+  sim.run();  // task done by t≈3 s; crash hits an idle worker at t=30 s
+  EXPECT_FALSE(before.future.failed());
+  EXPECT_EQ(ex.worker_info(0).restarts, 1);
+  EXPECT_TRUE(ex.worker_info(0).alive);
+  auto after = ex.submit(
+      std::make_shared<const faas::AppDef>(sleep_app("after", 1_s)));
+  sim.run();
+  EXPECT_FALSE(after.future.failed());  // no task was lost
+  EXPECT_EQ(ex.crashes_injected(), 1u);
+}
+
+TEST_F(ExecutorFaultFixture, DoubleCrashOfOneWorkerLosesOneTask) {
+  FaultPlan plan;
+  plan.schedule.push_back({util::TimePoint{} + 2_s, FaultKind::kWorkerCrash,
+                           "cpu", 0, {}, 0});
+  plan.schedule.push_back({util::TimePoint{} + 3_s, FaultKind::kWorkerCrash,
+                           "cpu", 0, {}, 0});
+  FaultInjector fi(sim, plan);
+  faas::HighThroughputExecutor::Options opts;
+  opts.label = "cpu";
+  faas::HighThroughputExecutor ex(sim, provider, std::move(opts));
+  ex.start();
+  auto victim = ex.submit(
+      std::make_shared<const faas::AppDef>(sleep_app("victim", 20_s)));
+  auto next = ex.submit(
+      std::make_shared<const faas::AppDef>(sleep_app("next", 1_s)));
+  sim.run();
+  // Both crashes land while the same task runs: it is lost once, the worker
+  // respawns once, and the backlog still drains.
+  EXPECT_TRUE(victim.future.failed());
+  EXPECT_FALSE(next.future.failed());
+  EXPECT_EQ(ex.crashes_injected(), 2u);
+  EXPECT_EQ(ex.worker_info(0).crashes, 2);
+  EXPECT_EQ(ex.worker_info(0).restarts, 1);
+  EXPECT_TRUE(ex.worker_info(0).alive);
+}
+
+TEST_F(ExecutorFaultFixture, RateCrashPicksAmongWorkers) {
+  FaultPlan plan;
+  plan.worker_crash_rate_hz = 0.2;
+  plan.horizon = util::TimePoint{} + 100_s;
+  FaultInjector fi(sim, plan);
+  faas::HighThroughputExecutor::Options opts;
+  opts.label = "cpu";
+  opts.cpu_workers = 3;
+  faas::HighThroughputExecutor ex(sim, provider, std::move(opts));
+  ex.start();
+  sim.run();
+  std::uint64_t crashes = 0;
+  for (std::size_t i = 0; i < ex.worker_count(); ++i) {
+    crashes += static_cast<std::uint64_t>(ex.worker_info(i).crashes);
+    EXPECT_TRUE(ex.worker_info(i).alive);  // everyone respawned
+  }
+  EXPECT_EQ(crashes, ex.crashes_injected());
+  EXPECT_GT(crashes, 0u);
+}
+
+}  // namespace
+}  // namespace faaspart::faults

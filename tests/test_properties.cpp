@@ -6,11 +6,16 @@
 #include <map>
 #include <tuple>
 
+#include "faas/dfk.hpp"
+#include "faas/executor.hpp"
+#include "faas/provider.hpp"
+#include "faults/faults.hpp"
 #include "gpu/device.hpp"
 #include "sched/engines.hpp"
 #include "trace/recorder.hpp"
 #include "util/rng.hpp"
 #include "workloads/dnn.hpp"
+#include "workloads/multiplex_experiment.hpp"
 
 namespace faaspart {
 namespace {
@@ -381,6 +386,117 @@ INSTANTIATE_TEST_SUITE_P(Zoo, DnnModelProperties,
                          [](const ::testing::TestParamInfo<const char*>& info) {
                            return std::string(info.param);
                          });
+
+// ===========================================================================
+// 6. Chaos properties: the fault layer preserves determinism, loses no
+//    futures, and cannot create capacity.
+// ===========================================================================
+
+class ChaosProperties
+    : public ::testing::TestWithParam<workloads::MultiplexMode> {
+ protected:
+  static workloads::MultiplexRunConfig chaotic_config(
+      workloads::MultiplexMode mode) {
+    workloads::MultiplexRunConfig cfg;
+    cfg.mode = mode;
+    cfg.processes = 2;
+    cfg.total_completions = 8;
+    cfg.seed = 3;
+    cfg.faults.seed = 9;
+    cfg.faults.worker_crash_rate_hz = 0.02;
+    cfg.faults.device_error_rate_hz = 0.005;
+    cfg.faults.horizon = util::TimePoint{} + util::seconds(600);
+    cfg.retries = 4;
+    cfg.retry_backoff_base = util::milliseconds(100);
+    cfg.allow_failures = true;
+    cfg.capture_chrome_trace = true;
+    return cfg;
+  }
+};
+
+TEST_P(ChaosProperties, SameSeedAndPlanReplayByteIdentical) {
+  const auto cfg = chaotic_config(GetParam());
+  const auto a = workloads::run_multiplex_experiment(cfg);
+  const auto b = workloads::run_multiplex_experiment(cfg);
+  EXPECT_GT(a.faults_injected, 0u);
+  EXPECT_EQ(a.faults_injected, b.faults_injected);
+  EXPECT_EQ(a.batch.makespan.ns, b.batch.makespan.ns);
+  EXPECT_EQ(a.retries_used, b.retries_used);
+  ASSERT_FALSE(a.chrome_trace.empty());
+  EXPECT_EQ(a.chrome_trace, b.chrome_trace);  // byte-identical replay
+}
+
+TEST_P(ChaosProperties, EveryTaskSettlesUnderFaults) {
+  const auto r = workloads::run_multiplex_experiment(chaotic_config(GetParam()));
+  // run_multiplex_experiment FP_CHECKs tasks == total (all futures settled);
+  // here: whatever failed did so only after exhausting its retries.
+  EXPECT_EQ(r.batch.tasks, 8u);
+  EXPECT_LE(r.failures, r.batch.tasks);
+}
+
+TEST_P(ChaosProperties, BusyTimeNeverExceedsCapacityUnderFaults) {
+  const auto r = workloads::run_multiplex_experiment(chaotic_config(GetParam()));
+  // One device: total busy time ≤ elapsed virtual time, even with crashes,
+  // aborted kernels and retried work. (MIG busy is share-weighted, so the
+  // bound holds per-device across modes.)
+  EXPECT_LE(r.gpu_busy.ns, r.run_end.ns);
+  EXPECT_LE(r.gpu_utilization, 1.0 + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Modes, ChaosProperties,
+    ::testing::Values(workloads::MultiplexMode::kTimeshare,
+                      workloads::MultiplexMode::kMps,
+                      workloads::MultiplexMode::kMig),
+    [](const ::testing::TestParamInfo<workloads::MultiplexMode>& info) {
+      return std::string(workloads::multiplex_mode_name(info.param));
+    });
+
+// ===========================================================================
+// 7. No lost futures: every submitted app settles even while workers crash.
+// ===========================================================================
+
+TEST(ChaosNoLostFutures, AllFuturesSettleWithCrashStorm) {
+  sim::Simulator sim;
+  faults::FaultPlan plan;
+  plan.seed = 21;
+  plan.worker_crash_rate_hz = 0.1;
+  plan.horizon = util::TimePoint{} + util::seconds(200);
+  faults::FaultInjector fi(sim, plan);
+
+  faas::LocalProvider provider(sim, 24);
+  faas::Config cfg;
+  cfg.retries = 2;
+  cfg.backoff.base = util::milliseconds(50);
+  faas::DataFlowKernel dfk(sim, cfg);
+  faas::HighThroughputExecutor::Options opts;
+  opts.label = "cpu";
+  opts.cpu_workers = 3;
+  auto ex = std::make_unique<faas::HighThroughputExecutor>(sim, provider,
+                                                           std::move(opts));
+  ex->start();
+  dfk.add_executor(std::move(ex));
+
+  faas::AppDef app;
+  app.name = "sleepy";
+  app.body = [](faas::TaskContext& ctx) -> sim::Co<faas::AppValue> {
+    co_await ctx.compute(util::seconds(5));
+    co_return faas::AppValue{1.0};
+  };
+  std::vector<faas::AppHandle> handles;
+  for (int i = 0; i < 30; ++i) handles.push_back(dfk.submit(app, "cpu"));
+  sim.run();
+
+  EXPECT_GT(fi.stats().injected_total(), 0u);
+  for (const auto& h : handles) {
+    ASSERT_TRUE(h.future.ready());  // no lost futures
+    if (h.record->state == faas::TaskRecord::State::kFailed) {
+      EXPECT_EQ(h.record->tries, 3);  // failed only with retries exhausted
+    } else {
+      EXPECT_EQ(h.record->state, faas::TaskRecord::State::kDone);
+    }
+  }
+}
 
 }  // namespace
 }  // namespace faaspart

@@ -4,12 +4,23 @@
 
 #include "faults/faults.hpp"
 #include "gpu/mig.hpp"
+#include "obs/telemetry.hpp"
 #include "sched/mps.hpp"
 #include "sched/timeshare.hpp"
 #include "util/error.hpp"
 #include "util/strings.hpp"
 
 namespace faaspart::core {
+
+namespace {
+
+void count_reconfigure(sim::Simulator& sim, const char* kind) {
+  if (auto* tel = sim.telemetry()) {
+    tel->metrics().counter("reconfigures_total", {{"kind", kind}}).add();
+  }
+}
+
+}  // namespace
 
 sim::Co<ReconfigureReport> Reconfigurer::change_mps_percentages(
     faas::HighThroughputExecutor& ex, std::vector<int> new_percentages) {
@@ -33,6 +44,7 @@ sim::Co<ReconfigureReport> Reconfigurer::change_mps_percentages(
   }
   co_await sim::when_all(std::move(done));
 
+  count_reconfigure(manager_.simulator(), "mps");
   ReconfigureReport report;
   report.total_time = manager_.simulator().now() - t0;
   report.workers_restarted = static_cast<int>(ex.worker_count());
@@ -85,6 +97,7 @@ sim::Co<ReconfigureReport> Reconfigurer::change_mig_layout(
     }
     co_await sim::when_all(std::move(restarted));
 
+    count_reconfigure(manager_.simulator(), "mig");
     report.total_time = manager_.simulator().now() - t0;
     report.workers_restarted = static_cast<int>(ex.worker_count());
     report.gpu_reset = true;
@@ -125,6 +138,10 @@ sim::Co<ReconfigureReport> Reconfigurer::change_mig_layout(
   if (fi != nullptr) {
     fi->note_degradation(device_key, "mig", report.achieved,
                          report.degrade_reason);
+  }
+  count_reconfigure(manager_.simulator(), "mig");
+  if (auto* tel = manager_.simulator().telemetry()) {
+    tel->metrics().counter("reconfigure_fallbacks_total").add();
   }
 
   report.total_time = manager_.simulator().now() - t0;

@@ -19,6 +19,7 @@
 #include <variant>
 
 #include "gpu/device.hpp"
+#include "obs/context.hpp"
 #include "sim/co.hpp"
 #include "sim/future.hpp"
 #include "sim/simulator.hpp"
@@ -35,13 +36,15 @@ using AppValue = std::variant<std::monostate, double, std::string>;
 class TaskContext {
  public:
   TaskContext(sim::Simulator& sim, util::Rng& rng, std::string worker_name,
-              int cpu_cores, gpu::Device* device, gpu::ContextId gpu_ctx)
+              int cpu_cores, gpu::Device* device, gpu::ContextId gpu_ctx,
+              obs::TraceContext trace = {})
       : sim_(sim),
         rng_(rng),
         worker_name_(std::move(worker_name)),
         cpu_cores_(cpu_cores),
         device_(device),
-        gpu_ctx_(gpu_ctx) {}
+        gpu_ctx_(gpu_ctx),
+        trace_(trace) {}
 
   [[nodiscard]] sim::Simulator& sim() { return sim_; }
   [[nodiscard]] util::Rng& rng() { return rng_; }
@@ -54,6 +57,10 @@ class TaskContext {
   [[nodiscard]] gpu::ContextId gpu_context() const { return gpu_ctx_; }
   /// SMs this task may occupy (the partition the executor configured).
   [[nodiscard]] int sm_cap() const;
+
+  /// Causal trace position of the attempt body; kernels launched through
+  /// this context become its children.
+  [[nodiscard]] obs::TraceContext trace() const { return trace_; }
 
   /// Launches a kernel on the worker's GPU context.
   sim::Future<> launch(gpu::KernelDesc kernel);
@@ -69,6 +76,7 @@ class TaskContext {
   int cpu_cores_;
   gpu::Device* device_;
   gpu::ContextId gpu_ctx_;
+  obs::TraceContext trace_;
 };
 
 using AppBody = std::function<sim::Co<AppValue>(TaskContext&)>;
@@ -135,7 +143,14 @@ struct TaskRecord {
   util::Duration backoff_total{};  ///< DFK retry backoff waited between attempts
   bool slo_miss = false;  ///< finished after the app's deadline
   bool memoized = false;  ///< served from the DataFlowKernel's memo table
+  bool timed_out = false;  ///< killed by the per-attempt walltime limit
   std::string error;
+
+  /// Causal trace position (obs layer). On a logical (DFK) record this is
+  /// the root "task" span; on an executor attempt record it is the attempt
+  /// span the executor parents its queue/cold/body spans under. Inactive
+  /// (all zero) when telemetry is off.
+  obs::TraceContext trace{};
 
   [[nodiscard]] util::Duration queue_time() const { return started - submitted - cold_start; }
   [[nodiscard]] util::Duration run_time() const { return finished - started; }

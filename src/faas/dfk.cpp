@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/telemetry.hpp"
 #include "util/error.hpp"
 #include "util/strings.hpp"
 
@@ -49,6 +50,18 @@ AppHandle DataFlowKernel::submit_after(std::vector<sim::Future<AppValue>> deps,
   logical->app = app.name;
   logical->executor = executor_label;
   logical->submitted = sim_.now();
+  if (auto* tel = sim_.telemetry()) {
+    if (!obs_metrics_resolved_) resolve_task_metrics();
+    submits_counter_->add();
+    if (auto* tracer = tel->tracer()) {
+      // Root of the task's causal tree; every attempt/queue/cold/body/kernel
+      // span downstream hangs off it.
+      const auto trace = tracer->begin_trace();
+      const auto root =
+          tracer->open_span(trace, 0, logical->app, "task", executor_label);
+      logical->trace = obs::TraceContext{trace, root};
+    }
+  }
   sim::Promise<AppValue> outer(sim_);
   auto future = outer.future();
   records_.push_back(logical);
@@ -63,6 +76,18 @@ sim::Co<void> DataFlowKernel::run_attempts(
     std::shared_ptr<const AppDef> app, Executor* ex,
     sim::Promise<AppValue> outer, std::shared_ptr<TaskRecord> logical,
     std::vector<sim::Future<AppValue>> deps) {
+  auto* tel = sim_.telemetry();
+  obs::Tracer* tracer =
+      tel != nullptr && logical->trace.active() ? tel->tracer() : nullptr;
+  const auto count = [tel](const char* name, double n = 1.0) {
+    if (tel != nullptr) tel->metrics().counter(name).add(n);
+  };
+  const auto close_root = [&](const std::string& note) {
+    if (tracer == nullptr) return;
+    if (!note.empty()) tracer->annotate(logical->trace.span, note);
+    tracer->close_span(logical->trace.span);
+  };
+
   // Dependency stage: a failed parent fails this task immediately.
   for (auto& dep : deps) {
     try {
@@ -71,6 +96,8 @@ sim::Co<void> DataFlowKernel::run_attempts(
       logical->state = TaskRecord::State::kFailed;
       logical->finished = sim_.now();
       logical->error = "dependency failed";
+      count("dfk_dependency_failures_total");
+      close_root("dependency failed");
       outer.set_exception(std::make_exception_ptr(
           util::TaskFailedError(util::strf(app->name, ": dependency failed"))));
       co_return;
@@ -89,6 +116,8 @@ sim::Co<void> DataFlowKernel::run_attempts(
       logical->started = sim_.now();
       logical->finished = sim_.now();
       logical->state = TaskRecord::State::kDone;
+      count("dfk_memo_hits_total");
+      close_root("memo hit");
       outer.set_value(it->second);
       co_return;
     }
@@ -96,7 +125,16 @@ sim::Co<void> DataFlowKernel::run_attempts(
 
   const int max_retries = app->retries >= 0 ? app->retries : cfg_.retries;
   for (int attempt = 0;; ++attempt) {
+    std::uint64_t attempt_span = 0;
+    if (tracer != nullptr) {
+      attempt_span =
+          tracer->open_span(logical->trace.trace, logical->trace.span,
+                            app->name, "attempt", logical->executor, attempt + 1);
+    }
     AppHandle h = ex->submit(app);
+    // Safe to stamp after submit(): futures defer every wakeup through the
+    // event queue, so the worker cannot have observed the record yet.
+    h.record->trace = obs::TraceContext{logical->trace.trace, attempt_span};
     logical->tries = attempt + 1;
     try {
       AppValue v = co_await h.future;
@@ -111,6 +149,17 @@ sim::Co<void> DataFlowKernel::run_attempts(
       if (!app->memo_key.empty()) {
         memo_.emplace(std::make_pair(app->name, app->memo_key), v);
       }
+      if (tracer != nullptr) tracer->close_span(attempt_span);
+      if (completion_hist_ != nullptr) {
+        completion_hist_->observe(logical->completion_time().seconds());
+        queue_hist_->observe(logical->queue_time().seconds());
+      }
+      if (logical->slo_miss) {
+        count("dfk_slo_misses_total");
+        close_root("slo miss");
+      } else {
+        close_root("");
+      }
       outer.set_value(std::move(v));
       co_return;
     } catch (const util::TaskTimeoutError& e) {
@@ -119,25 +168,47 @@ sim::Co<void> DataFlowKernel::run_attempts(
       logical->worker = h.record->worker;
       logical->finished = sim_.now();
       logical->state = TaskRecord::State::kFailed;
+      logical->timed_out = true;
       logical->error = e.what();
+      count("dfk_walltime_kills_total");
+      if (tracer != nullptr) {
+        tracer->annotate(attempt_span, e.what());
+        tracer->close_span(attempt_span);
+      }
+      close_root("walltime kill");
       outer.set_exception(std::current_exception());
       co_return;
     } catch (const std::exception& e) {
+      if (tracer != nullptr) {
+        tracer->annotate(attempt_span, e.what());
+        tracer->close_span(attempt_span);
+      }
       if (attempt >= max_retries) {
         logical->worker = h.record->worker;
         logical->finished = sim_.now();
         logical->state = TaskRecord::State::kFailed;
         logical->error = e.what();
+        count("dfk_failures_total");
+        close_root(util::strf("failed after ", logical->tries, " attempts"));
         outer.set_exception(std::current_exception());
         co_return;
       }
       // Resubmit (Parsl logs and retries transparently) — the backoff pause
       // happens below, outside the handler (no co_await in a catch block).
+      count("dfk_retries_total");
     }
     const util::Duration pause = backoff_delay(attempt + 1);
     if (pause.ns > 0) {
       logical->backoff_total += pause;
+      count("dfk_backoff_seconds_total", pause.seconds());
+      std::uint64_t backoff_span = 0;
+      if (tracer != nullptr) {
+        backoff_span =
+            tracer->open_span(logical->trace.trace, logical->trace.span,
+                              app->name, "backoff", "", attempt + 1);
+      }
       co_await sim_.delay(pause);
+      if (tracer != nullptr) tracer->close_span(backoff_span);
     }
   }
 }
@@ -153,6 +224,16 @@ util::Duration DataFlowKernel::backoff_delay(int failed_attempts) {
     ns = std::min(ns, static_cast<double>(b.cap.ns));
   }
   return util::Duration{static_cast<std::int64_t>(ns)};
+}
+
+void DataFlowKernel::resolve_task_metrics() {
+  auto* tel = sim_.telemetry();
+  if (tel == nullptr) return;  // don't latch — telemetry may install later
+  obs_metrics_resolved_ = true;
+  auto& m = tel->metrics();
+  submits_counter_ = &m.counter("dfk_submits_total");
+  completion_hist_ = &m.histogram("dfk_completion_seconds");
+  queue_hist_ = &m.histogram("dfk_queue_seconds");
 }
 
 sim::Co<void> DataFlowKernel::wait_all_settled() {

@@ -59,6 +59,10 @@ class DataFlowKernel {
                              std::vector<sim::Future<AppValue>> deps);
   /// Delay before the next resubmission given how many attempts failed.
   util::Duration backoff_delay(int failed_attempts);
+  /// Resolves the per-task metric handles once (registry pointers are stable
+  /// for the telemetry lifetime) — the submit/completion hot paths then cost
+  /// a cached pointer use instead of a registry lookup per task.
+  void resolve_task_metrics();
 
   sim::Simulator& sim_;
   Config cfg_;
@@ -70,6 +74,12 @@ class DataFlowKernel {
   std::vector<std::shared_ptr<TaskRecord>> records_;
   std::vector<sim::Future<AppValue>> futures_;
   std::uint64_t next_id_ = 1;
+  // Cached per-task metric handles (see resolve_task_metrics()). All set
+  // together; submits_counter_ == nullptr means telemetry is off.
+  obs::Counter* submits_counter_ = nullptr;
+  obs::Histogram* completion_hist_ = nullptr;
+  obs::Histogram* queue_hist_ = nullptr;
+  bool obs_metrics_resolved_ = false;
 };
 
 }  // namespace faaspart::faas

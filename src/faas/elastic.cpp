@@ -1,5 +1,6 @@
 #include "faas/elastic.hpp"
 
+#include "obs/telemetry.hpp"
 #include "util/error.hpp"
 
 namespace faaspart::faas {
@@ -31,7 +32,25 @@ std::size_t ElasticController::pick_idle_worker() const {
   return static_cast<std::size_t>(-1);
 }
 
+double ElasticController::queue_signal(std::size_t instantaneous) const {
+  if (opts_.smooth_samples <= 0) return static_cast<double>(instantaneous);
+  auto* tel = sim_.telemetry();
+  if (tel == nullptr) return static_cast<double>(instantaneous);
+  const auto smoothed = tel->sampler().recent_queue_depth(
+      "queue:" + executor_.label(),
+      static_cast<std::size_t>(opts_.smooth_samples));
+  return smoothed.value_or(static_cast<double>(instantaneous));
+}
+
 sim::Co<void> ElasticController::run(util::TimePoint deadline) {
+  auto* tel = sim_.telemetry();
+  const auto count = [this, tel](const char* name) {
+    if (tel != nullptr) {
+      tel->metrics()
+          .counter(name, {{"executor", executor_.label()}})
+          .add();
+    }
+  };
   while (sim_.now() + opts_.interval <= deadline) {
     co_await sim_.delay(opts_.interval);
 
@@ -39,11 +58,12 @@ sim::Co<void> ElasticController::run(util::TimePoint deadline) {
     const auto queued = executor_.queue_depth();
     const auto busy = busy_workers();
 
-    if (static_cast<double>(queued) >
+    if (queue_signal(queued) >
             opts_.scale_out_queue_per_worker * static_cast<double>(active) &&
         static_cast<int>(active) < opts_.max_workers) {
       (void)executor_.add_worker();
       ++scale_outs_;
+      count("autoscale_scale_outs_total");
       continue;
     }
 
@@ -54,6 +74,7 @@ sim::Co<void> ElasticController::run(util::TimePoint deadline) {
       if (victim != static_cast<std::size_t>(-1)) {
         (void)executor_.retire_worker(victim);
         ++scale_ins_;
+        count("autoscale_scale_ins_total");
       }
     }
   }

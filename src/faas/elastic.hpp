@@ -18,6 +18,11 @@ struct ElasticOptions {
   /// Scale in by one when the queue is empty and at least this many workers
   /// sit idle.
   int scale_in_idle_threshold = 2;
+  /// When > 0 and an obs::Telemetry is installed, the scale-out signal is
+  /// the mean of the last N sampler snapshots of the executor's queue depth
+  /// ("queue:<label>") instead of the instantaneous value — one noisy spike
+  /// no longer triggers a worker. 0 keeps the instantaneous signal.
+  int smooth_samples = 0;
 };
 
 class ElasticController {
@@ -35,6 +40,9 @@ class ElasticController {
   [[nodiscard]] std::size_t busy_workers() const;
   /// Highest-indexed active idle worker, or npos.
   [[nodiscard]] std::size_t pick_idle_worker() const;
+  /// Scale-out signal: the sampler-smoothed queue depth when configured and
+  /// available, the instantaneous depth otherwise.
+  [[nodiscard]] double queue_signal(std::size_t instantaneous) const;
 
   sim::Simulator& sim_;
   HighThroughputExecutor& executor_;

@@ -3,11 +3,24 @@
 #include <set>
 
 #include "faults/faults.hpp"
+#include "obs/telemetry.hpp"
 #include "util/error.hpp"
 #include "util/logging.hpp"
 #include "util/strings.hpp"
 
 namespace faaspart::faas {
+
+namespace {
+
+/// The tracer iff telemetry is installed, tracing is on, and the record is
+/// part of a trace — the single gate every causal-span site goes through.
+obs::Tracer* tracer_for(sim::Simulator& sim, const TaskRecord& rec) {
+  if (!rec.trace.active()) return nullptr;
+  auto* tel = sim.telemetry();
+  return tel != nullptr ? tel->tracer() : nullptr;
+}
+
+}  // namespace
 
 // ---------------------------------------------------------------------------
 // TaskContext (declared in app.hpp; implemented here to keep app.hpp light)
@@ -27,7 +40,19 @@ int TaskContext::sm_cap() const {
 }
 
 sim::Future<> TaskContext::launch(gpu::KernelDesc kernel) {
-  return device().launch(gpu_ctx_, std::move(kernel));
+  obs::Tracer* tracer = nullptr;
+  if (trace_.active()) {
+    if (auto* tel = sim_.telemetry()) tracer = tel->tracer();
+  }
+  if (tracer == nullptr) return device().launch(gpu_ctx_, std::move(kernel));
+  const auto span = tracer->open_span(trace_.trace, trace_.span, kernel.name,
+                                      "kernel", worker_name_);
+  auto fut = device().launch(gpu_ctx_, std::move(kernel));
+  fut.on_ready([tracer, span, fut] {
+    if (fut.error() != nullptr) tracer->annotate(span, "aborted");
+    tracer->close_span(span);
+  });
+  return fut;
 }
 
 // ---------------------------------------------------------------------------
@@ -58,6 +83,15 @@ HighThroughputExecutor::HighThroughputExecutor(sim::Simulator& sim,
   } else {
     FP_CHECK_MSG(opts_.cpu_workers >= 1, "executor needs at least one worker");
     for (int i = 0; i < opts_.cpu_workers; ++i) (void)create_worker(std::nullopt);
+  }
+
+  if (auto* tel = sim_.telemetry()) {
+    obs::UtilizationSampler::Probes probes;
+    probes.queue_depth = [this] {
+      return static_cast<double>(central_.size());
+    };
+    obs_queue_source_ =
+        tel->sampler().add_source("queue:" + opts_.label, std::move(probes));
   }
 }
 
@@ -110,6 +144,9 @@ std::size_t HighThroughputExecutor::active_worker_count() const {
 HighThroughputExecutor::~HighThroughputExecutor() {
   if (auto* fi = sim_.faults()) {
     for (const auto id : fault_subs_) fi->unsubscribe(id);
+  }
+  if (auto* tel = sim_.telemetry()) {
+    tel->sampler().detach(obs_queue_source_);
   }
 }
 
@@ -184,6 +221,11 @@ void HighThroughputExecutor::crash_worker_now(std::size_t index) {
   if (w.retired) return;
   ++crashes_injected_;
   ++w.crashes;
+  if (auto* tel = sim_.telemetry()) {
+    tel->metrics()
+        .counter("htex_crash_respawns_total", {{"executor", opts_.label}})
+        .add();
+  }
   FP_LOG_DEBUG("worker '" << w.name << "' killed by fault injection");
   if (w.busy || !w.alive || !w.inbox->empty()) {
     // A task is in flight (or imminent in the inbox): the process dies
@@ -211,6 +253,8 @@ AppHandle HighThroughputExecutor::submit(std::shared_ptr<const AppDef> app) {
   record->app = app->name;
   record->executor = opts_.label;
   record->submitted = sim_.now();
+  if (!obs_metrics_resolved_) resolve_task_metrics();
+  if (attempts_counter_ != nullptr) attempts_counter_->add();
   sim::Promise<AppValue> promise(sim_);
   auto future = promise.future();
   future.on_ready([this] { note_task_settled(); });
@@ -246,6 +290,7 @@ sim::Co<void> HighThroughputExecutor::dispatcher_main() {
 }
 
 sim::Co<void> HighThroughputExecutor::worker_boot(Worker& w) {
+  const util::TimePoint boot_start = sim_.now();
   // (process spawn + interpreter + imports) then CUDA context init (§6).
   co_await sim_.delay(provider_.worker_launch_cost());
   if (w.binding.has_value()) {
@@ -255,6 +300,13 @@ sim::Co<void> HighThroughputExecutor::worker_boot(Worker& w) {
     w.ctx_live = true;
   }
   w.alive = true;
+  if (auto* tel = sim_.telemetry()) {
+    const obs::Labels labels{{"executor", opts_.label}};
+    tel->metrics().counter("htex_worker_boots_total", labels).add();
+    tel->metrics()
+        .counter("htex_worker_boot_seconds_total", labels)
+        .add((sim_.now() - boot_start).seconds());
+  }
 }
 
 void HighThroughputExecutor::worker_teardown(Worker& w) {
@@ -342,6 +394,7 @@ sim::Co<void> HighThroughputExecutor::run_task(Worker& w, QueuedTask task) {
 
   if (app.timeout.ns <= 0) {
     // No walltime bound: run inline (the common path, no extra coroutine).
+    std::uint64_t body_span = 0;
     try {
       // Cold start (1): function initialization, once per worker incarnation.
       if (app.function_init.ns > 0 && w.inited_apps.count(app.name) == 0) {
@@ -356,9 +409,11 @@ sim::Co<void> HighThroughputExecutor::run_task(Worker& w, QueuedTask task) {
       }
       rec.cold_start = sim_.now() - t0;
       rec.started = sim_.now();
+      body_span = open_body_trace(w, app, rec, t0);
 
       TaskContext tctx(sim_, w.rng, w.name, opts_.cpu_cores_per_worker,
-                       w.binding.has_value() ? w.binding->device : nullptr, w.ctx);
+                       w.binding.has_value() ? w.binding->device : nullptr, w.ctx,
+                       obs::TraceContext{rec.trace.trace, body_span});
       AppValue value = co_await app.body(tctx);
 
       if (w.crash_pending) {
@@ -369,17 +424,21 @@ sim::Co<void> HighThroughputExecutor::run_task(Worker& w, QueuedTask task) {
 
       rec.finished = sim_.now();
       rec.state = TaskRecord::State::kDone;
+      close_body_trace(body_span, "");
       if (rec_ != nullptr) {
         if (rec.cold_start.ns > 0) {
           rec_->record(w.lane, app.name, "cold:" + app.name, t0, rec.started);
         }
         rec_->record(w.lane, app.name, "task:" + app.name, rec.started, rec.finished);
       }
+      note_task_metrics(rec);
       task.promise.set_value(std::move(value));
     } catch (const std::exception& e) {
       rec.finished = sim_.now();
       rec.state = TaskRecord::State::kFailed;
       rec.error = e.what();
+      close_body_trace(body_span, rec.error);
+      note_task_metrics(rec);
       FP_LOG_DEBUG("task " << rec.id << " (" << app.name << ") failed: " << e.what());
       task.promise.set_exception(std::current_exception());
     }
@@ -430,6 +489,7 @@ sim::Co<void> HighThroughputExecutor::run_task(Worker& w, QueuedTask task) {
       }
       rec_->record(w.lane, app.name, "task:" + app.name, rec.started, rec.finished);
     }
+    note_task_metrics(rec);
     task.promise.set_value(std::move(value));
   } else {
     rec.state = TaskRecord::State::kFailed;
@@ -437,6 +497,7 @@ sim::Co<void> HighThroughputExecutor::run_task(Worker& w, QueuedTask task) {
       std::rethrow_exception(error);
     } catch (const util::TaskTimeoutError& e) {
       timed_out = true;
+      rec.timed_out = true;
       rec.error = e.what();
     } catch (const std::exception& e) {
       rec.error = e.what();
@@ -447,6 +508,7 @@ sim::Co<void> HighThroughputExecutor::run_task(Worker& w, QueuedTask task) {
       // destroyed on respawn (releasing any half-loaded model memory).
       w.crash_pending = true;
     }
+    note_task_metrics(rec);
     task.promise.set_exception(error);
   }
   // Hold the worker until the attempt coroutine unwinds — it may still be
@@ -458,6 +520,7 @@ sim::Co<void> HighThroughputExecutor::attempt_body(
     Worker& w, std::shared_ptr<const AppDef> app,
     std::shared_ptr<TaskRecord> record, util::TimePoint t0,
     sim::Promise<AppValue> outcome, sim::Promise<> attempt_done) {
+  std::uint64_t body_span = 0;
   try {
     if (app->function_init.ns > 0 && w.inited_apps.count(app->name) == 0) {
       co_await sim_.delay(app->function_init);
@@ -478,25 +541,92 @@ sim::Co<void> HighThroughputExecutor::attempt_body(
     }
     record->cold_start = sim_.now() - t0;
     record->started = sim_.now();
+    body_span = open_body_trace(w, *app, *record, t0);
 
     TaskContext tctx(sim_, w.rng, w.name, opts_.cpu_cores_per_worker,
-                     w.binding.has_value() ? w.binding->device : nullptr, w.ctx);
+                     w.binding.has_value() ? w.binding->device : nullptr, w.ctx,
+                     obs::TraceContext{record->trace.trace, body_span});
     AppValue value = co_await app->body(tctx);
 
     if (!outcome.future().ready()) {
       if (w.crash_pending) {
+        close_body_trace(body_span, "worker crashed before returning");
         outcome.set_exception(std::make_exception_ptr(util::TaskFailedError(
             util::strf("worker '", w.name, "' crashed before returning"))));
       } else {
+        close_body_trace(body_span, "");
         outcome.set_value(std::move(value));
       }
+    } else {
+      // The walltime timer already settled the attempt; the body's late
+      // result is discarded, exactly like output after a SIGKILL.
+      close_body_trace(body_span, "walltime kill (result discarded)");
     }
-  } catch (const std::exception&) {
+  } catch (const std::exception& e) {
     if (!outcome.future().ready()) {
       outcome.set_exception(std::current_exception());
     }
+    close_body_trace(body_span, e.what());
   }
   attempt_done.set_value();
+}
+
+std::uint64_t HighThroughputExecutor::open_body_trace(const Worker& w,
+                                                      const AppDef& app,
+                                                      const TaskRecord& rec,
+                                                      util::TimePoint t0) {
+  auto* tracer = tracer_for(sim_, rec);
+  if (tracer == nullptr) return 0;
+  if (t0 > rec.submitted) {
+    tracer->add_closed(rec.trace.trace, rec.trace.span, app.name, "queue",
+                       rec.submitted, t0, opts_.label);
+  }
+  if (rec.started > t0) {
+    tracer->add_closed(rec.trace.trace, rec.trace.span, app.name, "cold", t0,
+                       rec.started, w.name);
+  }
+  return tracer->open_span(rec.trace.trace, rec.trace.span, app.name, "body",
+                           w.name);
+}
+
+void HighThroughputExecutor::close_body_trace(std::uint64_t span,
+                                              const std::string& note) {
+  if (span == 0) return;
+  if (auto* tel = sim_.telemetry()) {
+    if (auto* tracer = tel->tracer()) {
+      if (!note.empty()) tracer->annotate(span, note);
+      tracer->close_span(span);
+    }
+  }
+}
+
+void HighThroughputExecutor::note_task_metrics(const TaskRecord& rec) {
+  if (!obs_metrics_resolved_) resolve_task_metrics();
+  if (attempts_counter_ == nullptr) return;
+  if (rec.state == TaskRecord::State::kDone) {
+    tasks_done_counter_->add();
+    run_seconds_hist_->observe(rec.run_time().seconds());
+  } else {
+    tasks_failed_counter_->add();
+  }
+  if (rec.cold_start.ns > 0) {
+    cold_starts_counter_->add();
+    cold_start_seconds_counter_->add(rec.cold_start.seconds());
+  }
+}
+
+void HighThroughputExecutor::resolve_task_metrics() {
+  auto* tel = sim_.telemetry();
+  if (tel == nullptr) return;  // don't latch — telemetry may install later
+  obs_metrics_resolved_ = true;
+  const obs::Labels labels{{"executor", opts_.label}};
+  auto& m = tel->metrics();
+  attempts_counter_ = &m.counter("htex_attempts_total", labels);
+  tasks_done_counter_ = &m.counter("htex_tasks_done_total", labels);
+  tasks_failed_counter_ = &m.counter("htex_tasks_failed_total", labels);
+  run_seconds_hist_ = &m.histogram("htex_task_run_seconds", labels);
+  cold_starts_counter_ = &m.counter("htex_cold_starts_total", labels);
+  cold_start_seconds_counter_ = &m.counter("htex_cold_start_seconds_total", labels);
 }
 
 sim::Future<> HighThroughputExecutor::restart_worker(

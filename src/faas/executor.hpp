@@ -27,6 +27,11 @@
 #include "trace/recorder.hpp"
 #include "util/rng.hpp"
 
+namespace faaspart::obs {
+class Counter;
+class Histogram;
+}  // namespace faaspart::obs
+
 namespace faaspart::faas {
 
 /// Resolved accelerator assignment for one worker slot (produced from the
@@ -170,6 +175,19 @@ class HighThroughputExecutor final : public Executor {
   sim::Co<void> worker_boot(Worker& w);
   void worker_teardown(Worker& w);
   sim::Co<void> run_task(Worker& w, QueuedTask task);
+  /// Causal tracing: records the queue and cold-start intervals as closed
+  /// spans under the attempt span and opens the "body" span whose id the
+  /// TaskContext carries into kernel launches. Returns 0 when telemetry or
+  /// tracing is off.
+  std::uint64_t open_body_trace(const Worker& w, const AppDef& app,
+                                const TaskRecord& rec, util::TimePoint t0);
+  void close_body_trace(std::uint64_t span, const std::string& note);
+  /// Per-task counters/histograms, driven off the settled TaskRecord.
+  void note_task_metrics(const TaskRecord& rec);
+  /// Resolves the per-task metric handles once (registry pointers are stable
+  /// for the telemetry lifetime), so the submit/settle paths cost a cached
+  /// pointer increment instead of a string-keyed registry lookup per task.
+  void resolve_task_metrics();
   /// The walltime-bounded half of run_task: cold starts + body, settling
   /// `outcome` unless the deadline timer beat it to it.
   sim::Co<void> attempt_body(Worker& w, std::shared_ptr<const AppDef> app,
@@ -206,6 +224,18 @@ class HighThroughputExecutor final : public Executor {
   std::uint64_t next_task_id_ = 1;
   sim::Gate drained_;
   std::vector<std::uint64_t> fault_subs_;
+  /// Interchange queue-depth source in the telemetry sampler (kNoSource-style
+  /// sentinel when telemetry is off).
+  std::size_t obs_queue_source_ = static_cast<std::size_t>(-1);
+  // Cached per-task metric handles (see resolve_task_metrics()). All set
+  // together; attempts_counter_ == nullptr means telemetry is off.
+  obs::Counter* attempts_counter_ = nullptr;
+  obs::Counter* tasks_done_counter_ = nullptr;
+  obs::Counter* tasks_failed_counter_ = nullptr;
+  obs::Histogram* run_seconds_hist_ = nullptr;
+  obs::Counter* cold_starts_counter_ = nullptr;
+  obs::Counter* cold_start_seconds_counter_ = nullptr;
+  bool obs_metrics_resolved_ = false;
 };
 
 /// Parsl also exposes Python's ThreadPoolExecutor for lightweight CPU tasks;

@@ -31,6 +31,9 @@ std::vector<AppSummary> Monitoring::app_summaries() const {
     AppSummary& s = by_app[r->app];
     s.app = r->app;
     ++s.submitted;
+    if (r->tries > 1) s.retries += static_cast<std::size_t>(r->tries - 1);
+    if (r->timed_out) ++s.walltime_kills;
+    s.backoff_total += r->backoff_total;
     if (r->state == TaskRecord::State::kDone) {
       ++s.done;
       if (r->slo_miss) ++s.slo_misses;
@@ -78,14 +81,16 @@ std::vector<std::string> Monitoring::export_csv() const {
     trace::CsvWriter csv(os);
     csv.row({"id", "app", "executor", "worker", "state", "tries",
              "submitted_s", "started_s", "finished_s", "cold_start_s",
-             "error"});
+             "error", "backoff_s", "timed_out"});
     for (const auto& r : dfk_.records()) {
       csv.row({std::to_string(r->id), r->app, r->executor, r->worker,
                state_name(r->state), std::to_string(r->tries),
                util::fixed(r->submitted.seconds(), 6),
                util::fixed(r->started.seconds(), 6),
                util::fixed(r->finished.seconds(), 6),
-               util::fixed(r->cold_start.seconds(), 6), r->error});
+               util::fixed(r->cold_start.seconds(), 6), r->error,
+               util::fixed(r->backoff_total.seconds(), 6),
+               r->timed_out ? "1" : "0"});
     }
     written.push_back(path);
   }

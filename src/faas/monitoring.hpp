@@ -23,9 +23,12 @@ struct AppSummary {
   std::size_t failed = 0;
   std::size_t slo_misses = 0;
   std::size_t memoized = 0;
+  std::size_t retries = 0;         ///< extra attempts beyond the first
+  std::size_t walltime_kills = 0;  ///< tasks killed by their walltime
   trace::Summary run_time;        ///< seconds, completed tasks
   trace::Summary queue_time;      ///< seconds
   util::Duration cold_start_total{};
+  util::Duration backoff_total{};  ///< time spent in retry backoff pauses
 };
 
 struct WorkerSummary {

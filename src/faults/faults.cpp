@@ -1,5 +1,6 @@
 #include "faults/faults.hpp"
 
+#include "obs/telemetry.hpp"
 #include "util/error.hpp"
 #include "util/strings.hpp"
 
@@ -130,6 +131,12 @@ void FaultInjector::deliver(FaultEvent ev) {
   }
 
   stats_.delivered[k] += hit.size();
+  if (auto* tel = sim_.telemetry(); tel != nullptr && !hit.empty()) {
+    tel->metrics()
+        .counter("faults_delivered_total",
+                 {{"kind", fault_kind_name(ev.kind)}})
+        .add(static_cast<double>(hit.size()));
+  }
   if (rec_ != nullptr) {
     rec_->record(lane_,
                  std::string(fault_kind_name(ev.kind)) +
@@ -164,6 +171,9 @@ void FaultInjector::note_degradation(const std::string& device_key,
   degradations_.push_back(
       util::strf(device_key, ": ", from_mode, " -> ", to_mode,
                  reason.empty() ? "" : " (" + reason + ")"));
+  if (auto* tel = sim_.telemetry()) {
+    tel->metrics().counter("degradations_total").add();
+  }
   if (rec_ != nullptr) {
     rec_->record(lane_, util::strf("degrade:", device_key, ":", from_mode,
                                    "->", to_mode),

@@ -1,6 +1,7 @@
 #include "federation/endpoint.hpp"
 
 #include "faults/faults.hpp"
+#include "obs/telemetry.hpp"
 #include "util/error.hpp"
 #include "util/strings.hpp"
 
@@ -38,6 +39,11 @@ Endpoint::~Endpoint() {
 void Endpoint::partition_for(util::Duration length) {
   FP_CHECK_MSG(length.ns > 0, "partition needs a positive length");
   ++wan_partitions_;
+  if (auto* tel = sim_.telemetry()) {
+    tel->metrics()
+        .counter("federation_wan_partitions_total", {{"endpoint", opts_.name}})
+        .add();
+  }
   const util::TimePoint until = sim_.now() + length;
   if (until.ns > partition_until_.ns) partition_until_ = until;
   wan_gate_.close();

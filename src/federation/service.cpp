@@ -2,6 +2,7 @@
 
 #include <limits>
 
+#include "obs/telemetry.hpp"
 #include "util/error.hpp"
 #include "util/strings.hpp"
 
@@ -92,6 +93,11 @@ faas::AppHandle ComputeService::dispatch(const faas::AppDef& app, Endpoint& ep,
   ++tasks_submitted_;
   ++dispatch_counts_[ep.name()];
   ++inflight_[ep.name()];
+  if (auto* tel = sim_.telemetry()) {
+    tel->metrics()
+        .counter("federation_dispatches_total", {{"endpoint", ep.name()}})
+        .add();
+  }
   auto record = std::make_shared<faas::TaskRecord>();
   record->app = app.name;
   record->executor = ep.name() + "/" + executor_label;

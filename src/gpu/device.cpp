@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "faults/faults.hpp"
+#include "obs/telemetry.hpp"
 #include "util/error.hpp"
 #include "util/strings.hpp"
 
@@ -35,12 +36,38 @@ Device::Device(sim::Simulator& sim, GpuArchSpec arch, int index,
               util::DeviceError(util::strf(name(), ": MPS control daemon died"))));
         }));
   }
+  if (auto* tel = sim_.telemetry()) {
+    // The device partition: SM-weighted busy (MIG instances fold in via
+    // busy_time()), engine queue plus non-MIG stream queues, device pool use.
+    obs_source_ = tel->sampler().add_source(
+        name(),
+        obs::UtilizationSampler::Probes{
+            [this] { return busy_time(); },
+            [this] {
+              double q = static_cast<double>(engine_->queued());
+              for (const auto& [id, ctx] : contexts_) {
+                if (!ctx.opts_.instance.has_value()) {
+                  q += static_cast<double>(ctx.queue_.size());
+                }
+              }
+              return q;
+            },
+            [this] { return memory_->used(); }});
+  }
 }
 
 Device::~Device() {
   if (auto* fi = sim_.faults()) {
     for (const auto id : fault_subs_) fi->unsubscribe(id);
   }
+  for (auto& [id, inst] : instances_) detach_obs(inst.obs_source);
+  detach_obs(obs_source_);
+}
+
+void Device::detach_obs(std::size_t& source) {
+  if (source == static_cast<std::size_t>(-1)) return;
+  if (auto* tel = sim_.telemetry()) tel->sampler().detach(source);
+  source = static_cast<std::size_t>(-1);
 }
 
 std::string Device::name() const { return util::strf("GPU", index_, ":", arch_.name); }
@@ -85,6 +112,11 @@ ContextId Device::create_context(std::string owner, ContextOptions opts) {
       1, static_cast<int>(std::lround(envelope_sms * opts.active_thread_percentage / 100.0)));
   const ContextId id = ctx.id_;
   contexts_.emplace(id, std::move(ctx));
+  if (auto* tel = sim_.telemetry()) {
+    tel->metrics()
+        .counter("gpu_contexts_created_total", {{"gpu", name()}})
+        .add();
+  }
   return id;
 }
 
@@ -128,10 +160,23 @@ SharingEngine& Device::engine_for(const GpuContext& ctx) {
 
 AllocationId Device::alloc(ContextId id, util::Bytes size, std::string tag) {
   GpuContext& ctx = context_mut(id);
-  const AllocationId a =
-      pool_for(ctx).allocate(size, util::strf(ctx.owner_, "/", tag));
+  MemoryPool& pool = pool_for(ctx);
+  const AllocationId a = pool.allocate(size, util::strf(ctx.owner_, "/", tag));
   ctx.allocations_.push_back(a);
   ctx.allocated_ += size;
+  if (!ctx.mem_gauge_resolved_) {
+    if (auto* tel = sim_.telemetry()) {  // don't latch — may install later
+      ctx.mem_gauge_resolved_ = true;
+      const std::string partition = ctx.opts_.instance.has_value()
+                                        ? instance(*ctx.opts_.instance).uuid
+                                        : name();
+      ctx.mem_gauge_ = &tel->metrics().gauge("gpu_memory_highwater_bytes",
+                                             {{"partition", partition}});
+    }
+  }
+  if (ctx.mem_gauge_ != nullptr) {
+    ctx.mem_gauge_->set_max(static_cast<double>(pool.used()));
+  }
   return a;
 }
 
@@ -243,6 +288,7 @@ void Device::disable_mig() {
         "disabling MIG on ", name(), " requires a GPU reset; ",
         contexts_.size(), " context(s) are still alive"));
   }
+  for (auto& [id, inst] : instances_) detach_obs(inst.obs_source);
   instances_.clear();
   mig_enabled_ = false;
 }
@@ -279,6 +325,20 @@ InstanceId Device::create_instance(const MigProfile& profile) {
   inst.lane = rec_ != nullptr ? rec_->add_lane(inst.uuid) : lane_;
   inst.engine = make_engine_(EngineEnv{&sim_, rec_, inst.lane, arch_,
                                        profile.sms(arch_), profile.bandwidth(arch_)});
+  if (auto* tel = sim_.telemetry()) {
+    tel->metrics()
+        .counter("mig_instance_creates_total", {{"gpu", name()}})
+        .add();
+    // Probe pointers outlive the move below (unique_ptr targets are stable).
+    auto* eng = inst.engine.get();
+    auto* mem = inst.memory.get();
+    inst.obs_source = tel->sampler().add_source(
+        inst.uuid,
+        obs::UtilizationSampler::Probes{
+            [eng] { return eng->busy_time(); },
+            [eng] { return static_cast<double>(eng->queued()); },
+            [mem] { return mem->used(); }});
+  }
   const InstanceId id = inst.id;
   instances_.emplace(id, std::move(inst));
   return id;
@@ -293,6 +353,12 @@ void Device::destroy_instance(InstanceId id) {
   if (inst.context_count > 0) {
     throw util::StateError(util::strf("MIG instance ", inst.uuid, " has ",
                                       inst.context_count, " live context(s)"));
+  }
+  detach_obs(inst.obs_source);
+  if (auto* tel = sim_.telemetry()) {
+    tel->metrics()
+        .counter("mig_instance_destroys_total", {{"gpu", name()}})
+        .add();
   }
   instances_.erase(id);
 }

@@ -72,6 +72,10 @@ class GpuContext {
   std::vector<AllocationId> allocations_;
   std::deque<PendingLaunch> queue_;
   bool inflight_ = false;
+  // Memory high-water gauge, resolved on first alloc and cached — the
+  // partition label is fixed for the context's lifetime (see Device::alloc).
+  obs::Gauge* mem_gauge_ = nullptr;
+  bool mem_gauge_resolved_ = false;
 };
 
 /// One MIG instance: a hard slice of SMs, memory and bandwidth.
@@ -83,6 +87,9 @@ struct GpuInstance {
   std::unique_ptr<SharingEngine> engine;
   trace::LaneId lane = 0;
   std::size_t context_count = 0;
+  /// Utilization-sampler source keyed by the instance UUID; detached when
+  /// the instance is destroyed so the sampler never holds dangling probes.
+  std::size_t obs_source = static_cast<std::size_t>(-1);
 };
 
 class Device {
@@ -207,6 +214,9 @@ class Device {
   MemoryPool& pool_for(const GpuContext& ctx);
   void dispatch(GpuContext& ctx, KernelDesc kernel, sim::Promise<> done);
   std::size_t fail_stream_queue(GpuContext& ctx, const std::exception_ptr& error);
+  /// Detaches a sampler source id (no-op without telemetry / when already
+  /// detached) and resets it.
+  void detach_obs(std::size_t& source);
 
   sim::Simulator& sim_;
   GpuArchSpec arch_;
@@ -226,6 +236,7 @@ class Device {
   std::map<InstanceId, GpuInstance> instances_;
 
   std::vector<std::uint64_t> fault_subs_;
+  std::size_t obs_source_ = static_cast<std::size_t>(-1);
 };
 
 }  // namespace faaspart::gpu

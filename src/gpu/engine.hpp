@@ -9,11 +9,13 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <string>
 
 #include "gpu/arch.hpp"
 #include "gpu/kernel.hpp"
+#include "obs/metrics.hpp"
 #include "sim/future.hpp"
 #include "sim/simulator.hpp"
 #include "trace/recorder.hpp"
@@ -103,12 +105,49 @@ class SharingEngine {
     }
   }
 
+  // -- telemetry hooks (no-ops without an installed obs::Telemetry) ---------
+  // These sit on the per-kernel path, so the common cases are inline: a
+  // cached Counter increment with telemetry on, a resolve that finds no
+  // telemetry and returns with it off.
+  /// Once per submitted kernel → kernel_launches_total{policy}.
+  void note_launch() {
+    if (!metrics_resolved_) resolve_metrics();
+    if (launches_ != nullptr) launches_->add();
+  }
+  /// On abort paths → kernel_aborts_total{policy}.
+  void note_aborts(std::size_t n) {
+    if (n == 0) return;
+    if (!metrics_resolved_) resolve_metrics();
+    if (aborts_ != nullptr) aborts_->add(static_cast<double>(n));
+  }
+  /// SM-cap admission delay → mps_throttle_seconds_total{percentage}, the
+  /// time a kernel sat queued because its client's cap was saturated.
+  void note_throttle(util::Duration waited, int sm_cap) {
+    if (waited.ns <= 0) return;
+    if (sm_cap != throttle_cap_) resolve_throttle(sm_cap);
+    if (throttle_counter_ != nullptr) throttle_counter_->add(waited.seconds());
+  }
+
   EngineEnv env_;
 
  private:
+  void resolve_metrics();
+  void resolve_throttle(int sm_cap);
+
   std::size_t running_count_ = 0;
   util::TimePoint busy_since_{};
   util::Duration busy_integral_{};
+  // Cached counter handles (stable for the registry's lifetime).
+  obs::Counter* launches_ = nullptr;
+  obs::Counter* aborts_ = nullptr;
+  // Throttle counters per SM cap — a handful of distinct caps per engine,
+  // and the int-keyed lookup keeps the admission path off the registry's
+  // string-keyed map. The last-cap pair short-circuits even that (and the
+  // cap → percentage division) for the common equal-caps case.
+  std::map<int, obs::Counter*> throttle_;
+  int throttle_cap_ = -1;
+  obs::Counter* throttle_counter_ = nullptr;
+  bool metrics_resolved_ = false;
 };
 
 /// Constructs an engine for a given envelope; injected into Device so the

@@ -1,0 +1,22 @@
+// TraceContext: the 16 bytes that ride along with a task so its whole story
+// — submit, queue, cold start, body, kernels, retries — forms one connected
+// tree in the causal tracer. Deliberately header-only and dependency-free:
+// faas::TaskRecord embeds one by value whether or not telemetry is
+// installed.
+#pragma once
+
+#include <cstdint>
+
+namespace faaspart::obs {
+
+struct TraceContext {
+  /// Trace (logical task) id; 0 means "not traced" and downstream layers
+  /// skip span creation entirely.
+  std::uint64_t trace = 0;
+  /// Span under which downstream layers open their children.
+  std::uint64_t span = 0;
+
+  [[nodiscard]] bool active() const { return trace != 0; }
+};
+
+}  // namespace faaspart::obs

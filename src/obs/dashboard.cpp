@@ -1,0 +1,103 @@
+#include "obs/dashboard.hpp"
+
+#include <algorithm>
+
+#include "obs/telemetry.hpp"
+#include "trace/table.hpp"
+#include "util/strings.hpp"
+#include "util/units.hpp"
+
+namespace faaspart::obs {
+
+namespace {
+
+// Eight-level block sparkline of a utilization series, resampled to fit.
+std::string sparkline(const std::vector<PartitionSample>& samples,
+                      std::size_t width = 40) {
+  static const char* kBlocks[] = {" ", "▁", "▂", "▃",
+                                  "▄", "▅", "▆", "▇",
+                                  "█"};
+  if (samples.empty()) return "";
+  std::string out;
+  const std::size_t n = std::min(width, samples.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    // Mean utilization over this cell's slice of the series.
+    const std::size_t lo = i * samples.size() / n;
+    const std::size_t hi = std::max(lo + 1, (i + 1) * samples.size() / n);
+    double sum = 0;
+    for (std::size_t j = lo; j < hi; ++j) sum += samples[j].utilization;
+    const double v = std::clamp(sum / static_cast<double>(hi - lo), 0.0, 1.0);
+    out += kBlocks[static_cast<std::size_t>(v * 8.0 + 0.5)];
+  }
+  return out;
+}
+
+}  // namespace
+
+void write_dashboard(std::ostream& os, const Telemetry& telemetry,
+                     const std::string& title) {
+  const auto& metrics = telemetry.metrics();
+  os << "== " << title << " ==\n";
+
+  if (!metrics.counters().empty()) {
+    trace::Table t({"counter", "value"});
+    for (const auto& [key, c] : metrics.counters()) {
+      t.add_row({MetricsRegistry::series_id(key), util::fixed(c->value(), 0)});
+    }
+    os << "\n";
+    t.print(os);
+  }
+
+  if (!metrics.gauges().empty()) {
+    trace::Table t({"gauge", "value"});
+    for (const auto& [key, g] : metrics.gauges()) {
+      t.add_row({MetricsRegistry::series_id(key), util::fixed(g->value(), 3)});
+    }
+    os << "\n";
+    t.print(os);
+  }
+
+  if (!metrics.histograms().empty()) {
+    trace::Table t({"histogram", "count", "mean", "p50", "p95", "p99"});
+    for (const auto& [key, h] : metrics.histograms()) {
+      t.add_row({MetricsRegistry::series_id(key),
+                 std::to_string(h->count()), util::fixed(h->mean(), 4),
+                 util::fixed(h->p50(), 4), util::fixed(h->p95(), 4),
+                 util::fixed(h->p99(), 4)});
+    }
+    os << "\n";
+    t.print(os);
+  }
+
+  const auto& sampler = telemetry.sampler();
+  bool any_samples = false;
+  for (const auto& s : sampler.series()) {
+    if (!s.samples.empty()) any_samples = true;
+  }
+  if (any_samples) {
+    trace::Table t({"partition", "samples", "mean util", "peak util",
+                    "peak mem", "utilization"});
+    for (const auto& s : sampler.series()) {
+      if (s.samples.empty()) continue;
+      double peak = 0;
+      const double span_s =
+          (s.samples.back().at - s.samples.front().at).seconds() +
+          sampler.period().seconds();
+      for (const auto& p : s.samples) peak = std::max(peak, p.utilization);
+      const double mean = span_s > 0 ? s.busy_integral_s / span_s : 0;
+      t.add_row({s.name, std::to_string(s.samples.size()),
+                 util::fixed(mean, 3), util::fixed(peak, 3),
+                 util::format_bytes(s.memory_peak), sparkline(s.samples)});
+    }
+    os << "\n";
+    t.print(os);
+  }
+
+  if (const auto* tracer = telemetry.tracer();
+      tracer != nullptr && !tracer->spans().empty()) {
+    os << "\ncausal traces: " << tracer->trace_count() << " tasks, "
+       << tracer->spans().size() << " spans\n";
+  }
+}
+
+}  // namespace faaspart::obs

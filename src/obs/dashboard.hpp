@@ -1,0 +1,15 @@
+// Terminal summary dashboard: the "watch nvidia-smi + the scheduler log"
+// view of a finished run, rendered as tables and sparklines.
+#pragma once
+
+#include <ostream>
+#include <string>
+
+namespace faaspart::obs {
+
+class Telemetry;
+
+void write_dashboard(std::ostream& os, const Telemetry& telemetry,
+                     const std::string& title = "telemetry");
+
+}  // namespace faaspart::obs

@@ -1,0 +1,113 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace faaspart::obs {
+
+namespace {
+
+// Shared bucket ladder: 1e-6 s doubling 36 times (~6.9e4 s). One static
+// copy; every histogram indexes into it.
+const std::vector<double>& bucket_bounds() {
+  static const std::vector<double> bounds = [] {
+    std::vector<double> b;
+    double v = 1e-6;
+    for (int i = 0; i < 37; ++i) {
+      b.push_back(v);
+      v *= 2;
+    }
+    return b;
+  }();
+  return bounds;
+}
+
+Labels sorted(Labels labels) {
+  std::sort(labels.begin(), labels.end());
+  return labels;
+}
+
+}  // namespace
+
+Histogram::Histogram() : buckets_(bucket_bounds().size() + 1, 0) {}
+
+const std::vector<double>& Histogram::bounds() const { return bucket_bounds(); }
+
+void Histogram::observe(double v) {
+  const auto& bounds = bucket_bounds();
+  const auto it = std::upper_bound(bounds.begin(), bounds.end(), v);
+  ++buckets_[static_cast<std::size_t>(it - bounds.begin())];
+  ++count_;
+  sum_ += v;
+  if (count_ == 1 || v < min_) min_ = v;
+  if (count_ == 1 || v > max_) max_ = v;
+}
+
+double Histogram::quantile(double q) const {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count_);
+  const auto& bounds = bucket_bounds();
+  std::uint64_t below = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    const std::uint64_t in_bucket = buckets_[i];
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(below + in_bucket) >= target) {
+      if (i >= bounds.size()) return max_;  // overflow bucket
+      const double lo = std::max(i == 0 ? 0.0 : bounds[i - 1], min_);
+      const double hi = std::min(bounds[i], max_);
+      const double frac =
+          (target - static_cast<double>(below)) / static_cast<double>(in_bucket);
+      return lo + (hi - lo) * std::clamp(frac, 0.0, 1.0);
+    }
+    below += in_bucket;
+  }
+  return max_;
+}
+
+void MetricsRegistry::check_type(const std::string& name, const char* type) {
+  const auto [it, inserted] = types_.emplace(name, type);
+  if (!inserted && std::string(it->second) != type) {
+    throw util::ConfigError(util::strf("metric '", name, "' registered as ",
+                                       it->second, ", requested as ", type));
+  }
+}
+
+Counter& MetricsRegistry::counter(const std::string& name,
+                                  const Labels& labels) {
+  check_type(name, "counter");
+  auto& slot = counters_[Key{name, sorted(labels)}];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name, const Labels& labels) {
+  check_type(name, "gauge");
+  auto& slot = gauges_[Key{name, sorted(labels)}];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      const Labels& labels) {
+  check_type(name, "histogram");
+  auto& slot = histograms_[Key{name, sorted(labels)}];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+std::string MetricsRegistry::series_id(const Key& key) {
+  if (key.second.empty()) return key.first;
+  std::string out = key.first + "{";
+  for (std::size_t i = 0; i < key.second.size(); ++i) {
+    if (i > 0) out += ",";
+    out += key.second[i].first + "=\"" + key.second[i].second + "\"";
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace faaspart::obs

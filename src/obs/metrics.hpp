@@ -1,0 +1,135 @@
+// Metrics registry: named counters, gauges, and log-bucketed histograms.
+//
+// The registry is the numeric half of the telemetry layer (the causal half
+// lives in tracer.hpp). Instrumentation sites reach it through
+// sim::Simulator::telemetry() — a single pointer null-check — so a run
+// without telemetry pays nothing, and hot paths cache the returned
+// Counter*/Gauge*/Histogram* handles, which stay stable for the registry's
+// lifetime.
+//
+// Metric identity is (name, labels). Labels follow the Prometheus model:
+// a small ordered set of key/value pairs baked into the series identity,
+// e.g. kernel_launches_total{policy="mps"}.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace faaspart::obs {
+
+/// Label set for one series. Kept sorted by key on registration so that
+/// {a=1,b=2} and {b=2,a=1} name the same series.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// Monotonically increasing value (events, seconds-of-X accumulated).
+class Counter {
+ public:
+  void add(double n = 1.0) { v_ += n; }
+  [[nodiscard]] double value() const { return v_; }
+
+ private:
+  double v_ = 0;
+};
+
+/// Point-in-time value (queue depth, memory in use). set_max() turns a
+/// gauge into a high-water mark.
+class Gauge {
+ public:
+  void set(double v) { v_ = v; }
+  void add(double d) { v_ += d; }
+  void set_max(double v) {
+    if (v > v_) v_ = v;
+  }
+  [[nodiscard]] double value() const { return v_; }
+
+ private:
+  double v_ = 0;
+};
+
+/// Log-bucketed histogram for latency-like observations in seconds.
+///
+/// Buckets are exponential (factor 2 from 1 µs), covering 1e-6 s to ~6.9e4 s
+/// with 37 bounds plus an overflow bucket — coarse enough to be cheap,
+/// fine enough that interpolated p50/p95/p99 land within a factor-2 bucket
+/// of the truth, which is what capacity decisions need.
+class Histogram {
+ public:
+  Histogram();
+
+  void observe(double v);
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] double sum() const { return sum_; }
+  [[nodiscard]] double min() const { return count_ > 0 ? min_ : 0; }
+  [[nodiscard]] double max() const { return count_ > 0 ? max_ : 0; }
+  [[nodiscard]] double mean() const {
+    return count_ > 0 ? sum_ / static_cast<double>(count_) : 0;
+  }
+
+  /// Interpolated quantile estimate, q in [0, 1]. Returns 0 when empty.
+  [[nodiscard]] double quantile(double q) const;
+  [[nodiscard]] double p50() const { return quantile(0.50); }
+  [[nodiscard]] double p95() const { return quantile(0.95); }
+  [[nodiscard]] double p99() const { return quantile(0.99); }
+
+  /// Upper bounds of the finite buckets (ascending); buckets() has one more
+  /// entry — the +Inf overflow bucket — and holds per-bucket (not
+  /// cumulative) counts.
+  [[nodiscard]] const std::vector<double>& bounds() const;
+  [[nodiscard]] const std::vector<std::uint64_t>& buckets() const {
+    return buckets_;
+  }
+
+ private:
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+};
+
+/// Owns every series of a run. Lookup creates on first use; returned
+/// references stay valid until the registry is destroyed. Iteration is in
+/// (name, labels) order, so exports are deterministic.
+class MetricsRegistry {
+ public:
+  using Key = std::pair<std::string, Labels>;
+
+  Counter& counter(const std::string& name, const Labels& labels = {});
+  Gauge& gauge(const std::string& name, const Labels& labels = {});
+  Histogram& histogram(const std::string& name, const Labels& labels = {});
+
+  [[nodiscard]] const std::map<Key, std::unique_ptr<Counter>>& counters() const {
+    return counters_;
+  }
+  [[nodiscard]] const std::map<Key, std::unique_ptr<Gauge>>& gauges() const {
+    return gauges_;
+  }
+  [[nodiscard]] const std::map<Key, std::unique_ptr<Histogram>>& histograms()
+      const {
+    return histograms_;
+  }
+
+  [[nodiscard]] std::size_t series_count() const {
+    return counters_.size() + gauges_.size() + histograms_.size();
+  }
+
+  /// "name" or "name{k=\"v\",...}" — the exposition identity of a series.
+  static std::string series_id(const Key& key);
+
+ private:
+  /// Throws util::ConfigError when `name` is already registered with a
+  /// different metric type — the classic Prometheus type-clash bug.
+  void check_type(const std::string& name, const char* type);
+
+  std::map<Key, std::unique_ptr<Counter>> counters_;
+  std::map<Key, std::unique_ptr<Gauge>> gauges_;
+  std::map<Key, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, const char*> types_;  // name -> registered type
+};
+
+}  // namespace faaspart::obs

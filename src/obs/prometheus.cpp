@@ -1,0 +1,206 @@
+#include "obs/prometheus.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+
+#include "obs/metrics.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace faaspart::obs {
+
+namespace {
+
+void write_label_value(std::ostream& os, const std::string& v) {
+  os << '"';
+  for (const char c : v) {
+    switch (c) {
+      case '\\': os << "\\\\"; break;
+      case '"': os << "\\\""; break;
+      case '\n': os << "\\n"; break;
+      default: os << c;
+    }
+  }
+  os << '"';
+}
+
+/// Writes `name{k="v",...}` with an optional extra label appended (used for
+/// histogram `le`).
+void write_series(std::ostream& os, const std::string& name,
+                  const Labels& labels, const std::string& extra_key = "",
+                  const std::string& extra_value = "") {
+  os << name;
+  if (labels.empty() && extra_key.empty()) return;
+  os << '{';
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) os << ',';
+    first = false;
+    os << k << '=';
+    write_label_value(os, v);
+  }
+  if (!extra_key.empty()) {
+    if (!first) os << ',';
+    os << extra_key << '=';
+    write_label_value(os, extra_value);
+  }
+  os << '}';
+}
+
+void write_value(std::ostream& os, double v) {
+  std::ostringstream tmp;
+  tmp << std::setprecision(std::numeric_limits<double>::max_digits10) << v;
+  os << tmp.str();
+}
+
+void write_header(std::ostream& os, std::string& last_family,
+                  const std::string& name, const char* type) {
+  if (name == last_family) return;
+  last_family = name;
+  os << "# HELP " << name << " faaspart " << type << '\n';
+  os << "# TYPE " << name << ' ' << type << '\n';
+}
+
+bool valid_name_char(char c, bool first) {
+  if (std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':') {
+    return true;
+  }
+  return !first && std::isdigit(static_cast<unsigned char>(c));
+}
+
+[[noreturn]] void parse_fail(std::size_t line_no, const std::string& why) {
+  throw util::Error(util::strf("prometheus parse: line ", line_no, ": ", why));
+}
+
+}  // namespace
+
+void write_prometheus(std::ostream& os, const MetricsRegistry& registry) {
+  std::string last_family;
+  for (const auto& [key, counter] : registry.counters()) {
+    write_header(os, last_family, key.first, "counter");
+    write_series(os, key.first, key.second);
+    os << ' ';
+    write_value(os, counter->value());
+    os << '\n';
+  }
+  for (const auto& [key, gauge] : registry.gauges()) {
+    write_header(os, last_family, key.first, "gauge");
+    write_series(os, key.first, key.second);
+    os << ' ';
+    write_value(os, gauge->value());
+    os << '\n';
+  }
+  for (const auto& [key, hist] : registry.histograms()) {
+    write_header(os, last_family, key.first, "histogram");
+    const auto& bounds = hist->bounds();
+    const auto& buckets = hist->buckets();
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < bounds.size(); ++i) {
+      cumulative += buckets[i];
+      write_series(os, key.first + "_bucket", key.second, "le",
+                   util::strf(bounds[i]));
+      os << ' ' << cumulative << '\n';
+    }
+    write_series(os, key.first + "_bucket", key.second, "le", "+Inf");
+    os << ' ' << hist->count() << '\n';
+    write_series(os, key.first + "_sum", key.second);
+    os << ' ';
+    write_value(os, hist->sum());
+    os << '\n';
+    write_series(os, key.first + "_count", key.second);
+    os << ' ' << hist->count() << '\n';
+  }
+}
+
+std::vector<PromSample> parse_prometheus_text(const std::string& text) {
+  std::vector<PromSample> out;
+  std::istringstream in(text);
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::size_t i = 0;
+    while (i < line.size() && std::isspace(static_cast<unsigned char>(line[i]))) {
+      ++i;
+    }
+    if (i == line.size() || line[i] == '#') continue;
+
+    PromSample sample;
+    const std::size_t name_start = i;
+    while (i < line.size() && valid_name_char(line[i], i == name_start)) ++i;
+    if (i == name_start) parse_fail(line_no, "expected metric name");
+    sample.name = line.substr(name_start, i - name_start);
+
+    if (i < line.size() && line[i] == '{') {
+      ++i;
+      while (true) {
+        while (i < line.size() &&
+               std::isspace(static_cast<unsigned char>(line[i]))) {
+          ++i;
+        }
+        if (i < line.size() && line[i] == '}') {
+          ++i;
+          break;
+        }
+        const std::size_t key_start = i;
+        while (i < line.size() && valid_name_char(line[i], i == key_start)) ++i;
+        if (i == key_start) parse_fail(line_no, "expected label name");
+        const std::string key = line.substr(key_start, i - key_start);
+        if (i >= line.size() || line[i] != '=') {
+          parse_fail(line_no, "expected '=' after label name");
+        }
+        ++i;
+        if (i >= line.size() || line[i] != '"') {
+          parse_fail(line_no, "expected '\"' opening label value");
+        }
+        ++i;
+        std::string value;
+        while (i < line.size() && line[i] != '"') {
+          if (line[i] == '\\') {
+            ++i;
+            if (i >= line.size()) parse_fail(line_no, "dangling escape");
+            switch (line[i]) {
+              case 'n': value += '\n'; break;
+              case '\\': value += '\\'; break;
+              case '"': value += '"'; break;
+              default: parse_fail(line_no, "unknown escape in label value");
+            }
+          } else {
+            value += line[i];
+          }
+          ++i;
+        }
+        if (i >= line.size()) parse_fail(line_no, "unterminated label value");
+        ++i;  // closing quote
+        sample.labels.emplace(key, std::move(value));
+        if (i < line.size() && line[i] == ',') ++i;
+      }
+    }
+
+    while (i < line.size() && std::isspace(static_cast<unsigned char>(line[i]))) {
+      ++i;
+    }
+    if (i == line.size()) parse_fail(line_no, "missing sample value");
+    const std::string value_str = line.substr(i);
+    if (value_str == "+Inf") {
+      sample.value = std::numeric_limits<double>::infinity();
+    } else {
+      char* end = nullptr;
+      sample.value = std::strtod(value_str.c_str(), &end);
+      if (end == value_str.c_str()) parse_fail(line_no, "non-numeric value");
+      while (*end != '\0') {
+        if (!std::isspace(static_cast<unsigned char>(*end))) {
+          parse_fail(line_no, "trailing junk after value");
+        }
+        ++end;
+      }
+    }
+    out.push_back(std::move(sample));
+  }
+  return out;
+}
+
+}  // namespace faaspart::obs

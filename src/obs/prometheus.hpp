@@ -1,0 +1,31 @@
+// Prometheus text exposition (version 0.0.4) for a MetricsRegistry, plus a
+// minimal line parser used by tests (and any in-repo tool) to prove the
+// output round-trips: write_prometheus() -> parse_prometheus_text() must
+// recover every sample.
+#pragma once
+
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace faaspart::obs {
+
+class MetricsRegistry;
+
+/// Writes every series with # HELP / # TYPE headers. Histograms expand into
+/// cumulative `_bucket{le=...}` samples plus `_sum` and `_count`.
+void write_prometheus(std::ostream& os, const MetricsRegistry& registry);
+
+struct PromSample {
+  std::string name;
+  std::map<std::string, std::string> labels;
+  double value = 0;
+};
+
+/// Parses exposition text into flat samples. Comment (#) and blank lines are
+/// skipped; anything else malformed (bad metric name, unterminated label
+/// string, non-numeric value) throws util::Error.
+std::vector<PromSample> parse_prometheus_text(const std::string& text);
+
+}  // namespace faaspart::obs

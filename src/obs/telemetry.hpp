@@ -1,0 +1,81 @@
+// The telemetry hub: one object that owns the metrics registry, the causal
+// tracer, and the utilization sampler, and installs itself on the Simulator
+// so every layer can reach it through a single nullable pointer
+// (sim.telemetry()). Constructed before the devices/executors it observes
+// and destroyed after them, mirroring faults::FaultInjector.
+//
+//   sim::Simulator sim;
+//   obs::Telemetry tel(sim);          // opt in (one flag in the benches)
+//   ... build testbed, run ...
+//   tel.finish();                     // flush partial sampler windows
+//   tel.export_all("runinfo/obs");    // metrics.prom, trace.json, timeseries.csv
+//   obs::write_dashboard(std::cout, tel);
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/sampler.hpp"
+#include "obs/tracer.hpp"
+#include "util/units.hpp"
+
+namespace faaspart::sim {
+class Simulator;
+}  // namespace faaspart::sim
+
+namespace faaspart::trace {
+class Recorder;
+}  // namespace faaspart::trace
+
+namespace faaspart::obs {
+
+struct TelemetryOptions {
+  /// Sampler cadence — 50 ms of virtual time, i.e. DCGM's default polling
+  /// class. 0 disables periodic sampling (sources still flush at finish()).
+  util::Duration sample_period = util::milliseconds(50);
+  /// Causal span collection; metrics stay on when this is off.
+  bool tracing = true;
+};
+
+class Telemetry {
+ public:
+  explicit Telemetry(sim::Simulator& sim, TelemetryOptions opts = {});
+  ~Telemetry();
+
+  Telemetry(const Telemetry&) = delete;
+  Telemetry& operator=(const Telemetry&) = delete;
+
+  [[nodiscard]] sim::Simulator& simulator() { return sim_; }
+  [[nodiscard]] const TelemetryOptions& options() const { return opts_; }
+
+  [[nodiscard]] MetricsRegistry& metrics() { return metrics_; }
+  [[nodiscard]] const MetricsRegistry& metrics() const { return metrics_; }
+  [[nodiscard]] UtilizationSampler& sampler() { return sampler_; }
+  [[nodiscard]] const UtilizationSampler& sampler() const { return sampler_; }
+
+  /// Null when options().tracing is false — span call sites skip work.
+  [[nodiscard]] Tracer* tracer() { return opts_.tracing ? &tracer_ : nullptr; }
+  [[nodiscard]] const Tracer* tracer() const {
+    return opts_.tracing ? &tracer_ : nullptr;
+  }
+
+  /// Flushes sampler windows and stops the periodic tick. Idempotent; call
+  /// after the run drains and before exporting.
+  void finish();
+
+  /// Writes metrics.prom (Prometheus text), trace.json (enriched Chrome
+  /// trace; pass the run's Recorder for resource lanes, or null), and
+  /// timeseries.csv into `dir` (created if missing). Returns the paths.
+  std::vector<std::string> export_all(const std::string& dir,
+                                      const trace::Recorder* rec = nullptr);
+
+ private:
+  sim::Simulator& sim_;
+  TelemetryOptions opts_;
+  MetricsRegistry metrics_;
+  Tracer tracer_;
+  UtilizationSampler sampler_;
+};
+
+}  // namespace faaspart::obs

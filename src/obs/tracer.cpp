@@ -1,0 +1,66 @@
+#include "obs/tracer.hpp"
+
+#include "sim/simulator.hpp"
+#include "util/error.hpp"
+
+namespace faaspart::obs {
+
+std::uint64_t Tracer::open_span(std::uint64_t trace, std::uint64_t parent,
+                                std::string name, std::string kind,
+                                std::string site, int attempt) {
+  FP_CHECK_MSG(trace != 0, "span opened without a trace id");
+  CausalSpan s;
+  s.trace = trace;
+  s.id = spans_.size() + 1;
+  s.parent = parent;
+  s.name = std::move(name);
+  s.kind = std::move(kind);
+  s.site = std::move(site);
+  s.attempt = attempt;
+  s.start = sim_.now();
+  s.end = s.start;  // grows on close; exporters treat open spans as instants
+  spans_.push_back(std::move(s));
+  return spans_.back().id;
+}
+
+std::uint64_t Tracer::add_closed(std::uint64_t trace, std::uint64_t parent,
+                                 std::string name, std::string kind,
+                                 util::TimePoint start, util::TimePoint end,
+                                 std::string site, int attempt) {
+  FP_CHECK_MSG(end >= start, "causal span ends before it starts");
+  const auto id =
+      open_span(trace, parent, std::move(name), std::move(kind),
+                std::move(site), attempt);
+  auto& s = spans_[id - 1];
+  s.start = start;
+  s.end = end;
+  s.open = false;
+  return id;
+}
+
+void Tracer::close_span(std::uint64_t id) {
+  if (id == 0) return;
+  FP_CHECK_MSG(id <= spans_.size(), "close of unknown span");
+  auto& s = spans_[id - 1];
+  if (!s.open) return;  // idempotent — late closers after an error path
+  s.end = sim_.now();
+  s.open = false;
+}
+
+void Tracer::annotate(std::uint64_t id, const std::string& note) {
+  if (id == 0) return;
+  FP_CHECK_MSG(id <= spans_.size(), "annotate of unknown span");
+  auto& s = spans_[id - 1];
+  if (!s.note.empty()) s.note += "; ";
+  s.note += note;
+}
+
+std::vector<const CausalSpan*> Tracer::trace_spans(std::uint64_t trace) const {
+  std::vector<const CausalSpan*> out;
+  for (const auto& s : spans_) {
+    if (s.trace == trace) out.push_back(&s);
+  }
+  return out;
+}
+
+}  // namespace faaspart::obs

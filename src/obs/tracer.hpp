@@ -1,0 +1,84 @@
+// Causal task tracer.
+//
+// trace::Recorder answers "what ran where" — spans live on resource lanes
+// (workers, copy engines) and a retried task is three disjoint boxes. The
+// Tracer answers "what happened to this task": every span carries a trace id
+// and a parent span id, so one submit's retries, backoff pauses, queue
+// waits, cold starts, and kernels form a single tree. The chrome exporter
+// turns parent links into flow events; fault annotations land in `note`.
+//
+// Propagation rules (documented in DESIGN.md §7):
+//   DFK opens the root "task" span at submit and one "attempt" span per
+//   executor submission; the attempt's TraceContext is stamped into the
+//   attempt's TaskRecord, the executor derives queue/cold/body children
+//   from it, and TaskContext::launch() derives "kernel" children from the
+//   body span. Span ids are global and never reused.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/context.hpp"
+#include "util/units.hpp"
+
+namespace faaspart::sim {
+class Simulator;
+}  // namespace faaspart::sim
+
+namespace faaspart::obs {
+
+struct CausalSpan {
+  std::uint64_t trace = 0;   ///< which task tree this span belongs to
+  std::uint64_t id = 0;      ///< global span id (1-based)
+  std::uint64_t parent = 0;  ///< parent span id; 0 for trace roots
+  std::string name;          ///< e.g. the app or kernel name
+  std::string kind;          ///< task|attempt|queue|cold|body|kernel|backoff
+  std::string site;          ///< where it ran (executor, worker, device)
+  int attempt = 0;           ///< 1-based attempt number; 0 when n/a
+  util::TimePoint start{};
+  util::TimePoint end{};
+  std::string note;  ///< annotations: errors, fault hits, memo, slo
+  bool open = true;  ///< still running (close_span not yet called)
+};
+
+class Tracer {
+ public:
+  explicit Tracer(sim::Simulator& sim) : sim_(sim) {}
+
+  /// Allocates a fresh trace id (1-based).
+  std::uint64_t begin_trace() { return next_trace_++; }
+
+  /// Opens a span starting now. parent == 0 makes it a trace root.
+  std::uint64_t open_span(std::uint64_t trace, std::uint64_t parent,
+                          std::string name, std::string kind,
+                          std::string site = "", int attempt = 0);
+
+  /// Records an already-finished span (used for intervals only known in
+  /// hindsight, like queue waits). Returns its id.
+  std::uint64_t add_closed(std::uint64_t trace, std::uint64_t parent,
+                           std::string name, std::string kind,
+                           util::TimePoint start, util::TimePoint end,
+                           std::string site = "", int attempt = 0);
+
+  /// Ends a span at the current instant. id == 0 is a no-op so call sites
+  /// can hold "maybe traced" ids unconditionally.
+  void close_span(std::uint64_t id);
+
+  /// Appends a note ("; "-joined) to a span. id == 0 is a no-op.
+  void annotate(std::uint64_t id, const std::string& note);
+
+  [[nodiscard]] const std::vector<CausalSpan>& spans() const { return spans_; }
+  [[nodiscard]] std::uint64_t trace_count() const { return next_trace_ - 1; }
+
+  /// Spans of one trace, in id (creation) order.
+  [[nodiscard]] std::vector<const CausalSpan*> trace_spans(
+      std::uint64_t trace) const;
+
+ private:
+  sim::Simulator& sim_;
+  std::uint64_t next_trace_ = 1;
+  std::vector<CausalSpan> spans_;  // index = id - 1
+};
+
+}  // namespace faaspart::obs

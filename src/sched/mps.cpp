@@ -18,7 +18,8 @@ int MpsEngine::effective_sms(const gpu::KernelJob& job) const {
 }
 
 void MpsEngine::submit(gpu::KernelJob job) {
-  queue_.push_back(std::move(job));
+  note_launch();
+  queue_.push_back(Pending{std::move(job), env_.sim->now()});
   try_admit();
 }
 
@@ -27,10 +28,12 @@ void MpsEngine::try_admit() {
   // FIFO admission: the head waits for SMs; later jobs do not jump it (this
   // mirrors the hardware work scheduler filling SMs in launch order).
   while (!queue_.empty()) {
-    const int need = effective_sms(queue_.front());
+    const int need = effective_sms(queue_.front().job);
     if (sms_in_use_ + need > env_.sms) break;
-    admit(std::move(queue_.front()));
+    Pending p = std::move(queue_.front());
     queue_.pop_front();
+    note_throttle(env_.sim->now() - p.since, p.job.sm_cap);
+    admit(std::move(p.job));
     admitted = true;
   }
   if (admitted) replan();
@@ -128,9 +131,10 @@ void MpsEngine::evict(std::map<std::uint64_t, Running>::iterator it,
 
 std::size_t MpsEngine::abort_all(std::exception_ptr error) {
   std::size_t n = queue_.size() + running_.size();
-  for (auto& job : queue_) job.done.set_exception(error);
+  for (auto& p : queue_) p.job.done.set_exception(error);
   queue_.clear();
   while (!running_.empty()) evict(running_.begin(), error);
+  note_aborts(n);
   return n;
 }
 
@@ -138,8 +142,8 @@ std::size_t MpsEngine::abort_context(gpu::ContextId ctx,
                                      std::exception_ptr error) {
   std::size_t n = 0;
   for (auto it = queue_.begin(); it != queue_.end();) {
-    if (it->ctx == ctx) {
-      it->done.set_exception(error);
+    if (it->job.ctx == ctx) {
+      it->job.done.set_exception(error);
       it = queue_.erase(it);
       ++n;
     } else {
@@ -163,6 +167,7 @@ std::size_t MpsEngine::abort_context(gpu::ContextId ctx,
     try_admit();
     if (running_.size() == before) replan();
   }
+  note_aborts(n);
   return n;
 }
 

@@ -48,6 +48,11 @@ class MpsEngine final : public gpu::SharingEngine {
   [[nodiscard]] int sms_in_use() const { return sms_in_use_; }
 
  private:
+  struct Pending {
+    gpu::KernelJob job;
+    util::TimePoint since{};  ///< enqueue time — SM-cap throttle accounting
+  };
+
   struct Running {
     gpu::KernelJob job;
     int sms = 0;                  ///< SMs occupied until completion
@@ -72,7 +77,7 @@ class MpsEngine final : public gpu::SharingEngine {
   [[nodiscard]] int effective_sms(const gpu::KernelJob& job) const;
 
   MpsOptions opts_;
-  std::deque<gpu::KernelJob> queue_;
+  std::deque<Pending> queue_;
   std::map<std::uint64_t, Running> running_;
   std::uint64_t next_rid_ = 1;
   int sms_in_use_ = 0;

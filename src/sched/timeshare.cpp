@@ -7,6 +7,7 @@
 namespace faaspart::sched {
 
 void TimeShareEngine::submit(gpu::KernelJob job) {
+  note_launch();
   queue_.push_back(std::move(job));
   if (!inflight_) start_next();
 }
@@ -60,6 +61,7 @@ std::size_t TimeShareEngine::abort_all(std::exception_ptr error) {
     fail_inflight(error);
     ++n;
   }
+  note_aborts(n);
   return n;
 }
 
@@ -80,6 +82,7 @@ std::size_t TimeShareEngine::abort_context(gpu::ContextId ctx,
     ++n;
     start_next();  // other clients' queued kernels keep flowing
   }
+  note_aborts(n);
   return n;
 }
 

@@ -32,6 +32,7 @@ int VgpuEngine::slot_of(gpu::ContextId ctx) const {
 }
 
 void VgpuEngine::submit(gpu::KernelJob job) {
+  note_launch();
   const int slot = assign_slot(job.ctx);
   slots_[static_cast<std::size_t>(slot)].queue.push_back(std::move(job));
   if (!slots_[static_cast<std::size_t>(slot)].running) start_next(slot);
@@ -84,6 +85,7 @@ std::size_t VgpuEngine::abort_all(std::exception_ptr error) {
       ++n;
     }
   }
+  note_aborts(n);
   return n;
 }
 
@@ -107,6 +109,7 @@ std::size_t VgpuEngine::abort_context(gpu::ContextId ctx,
     ++n;
     start_next(slot);  // a slot-mate's queued kernel takes over
   }
+  note_aborts(n);
   return n;
 }
 

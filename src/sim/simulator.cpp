@@ -12,32 +12,53 @@ void DelayAwaiter::await_suspend(std::coroutine_handle<> h) {
   sim.schedule_in(d, [h] { h.resume(); });
 }
 
-Simulator::EventId Simulator::schedule_at(TimePoint t, Callback cb) {
+Simulator::EventId Simulator::schedule_impl(TimePoint t, Callback cb,
+                                            bool weak) {
   FP_CHECK_MSG(t >= now_, "event scheduled in the past");
   FP_CHECK_MSG(static_cast<bool>(cb), "null event callback");
   const EventId id = next_id_++;
   heap_.push(HeapEntry{t, next_seq_++, id});
-  callbacks_.emplace(id, std::move(cb));
+  callbacks_.emplace(id, Slot{std::move(cb), weak});
   ++live_events_;
+  if (weak) ++weak_events_;
   return id;
+}
+
+Simulator::EventId Simulator::schedule_at(TimePoint t, Callback cb) {
+  return schedule_impl(t, std::move(cb), /*weak=*/false);
 }
 
 Simulator::EventId Simulator::schedule_in(Duration d, Callback cb) {
   FP_CHECK_MSG(d.ns >= 0, "negative delay");
-  return schedule_at(now_ + d, std::move(cb));
+  return schedule_impl(now_ + d, std::move(cb), /*weak=*/false);
+}
+
+Simulator::EventId Simulator::schedule_weak_at(TimePoint t, Callback cb) {
+  return schedule_impl(t, std::move(cb), /*weak=*/true);
+}
+
+Simulator::EventId Simulator::schedule_weak_in(Duration d, Callback cb) {
+  FP_CHECK_MSG(d.ns >= 0, "negative delay");
+  return schedule_impl(now_ + d, std::move(cb), /*weak=*/true);
 }
 
 bool Simulator::cancel(EventId id) {
   const auto it = callbacks_.find(id);
   if (it == callbacks_.end()) return false;
+  if (it->second.weak) --weak_events_;
   callbacks_.erase(it);
   --live_events_;
   // The heap entry stays behind and is skipped lazily in step().
   return true;
 }
 
-bool Simulator::step() {
+bool Simulator::step() { return step_impl(/*run_weak_only=*/false); }
+
+bool Simulator::step_impl(bool run_weak_only) {
   while (!heap_.empty()) {
+    // With nothing but weak observers pending, the simulation is done:
+    // samplers would tick forever against a finished workload.
+    if (!run_weak_only && live_events_ == weak_events_) return false;
     const HeapEntry top = heap_.top();
     const auto it = callbacks_.find(top.id);
     if (it == callbacks_.end()) {
@@ -47,7 +68,8 @@ bool Simulator::step() {
     FP_CHECK(top.t >= now_);
     heap_.pop();
     now_ = top.t;
-    Callback cb = std::move(it->second);
+    if (it->second.weak) --weak_events_;
+    Callback cb = std::move(it->second.cb);
     callbacks_.erase(it);
     --live_events_;
     ++processed_;
@@ -74,7 +96,9 @@ void Simulator::run_until(TimePoint t) {
       continue;
     }
     if (heap_.top().t > t) break;
-    step();
+    // Weak events inside the horizon still run: a bounded run_until() is a
+    // live observation window, not a drain.
+    step_impl(/*run_weak_only=*/true);
     rethrow_failure_if_any();
   }
   now_ = t;

@@ -27,6 +27,10 @@ namespace faaspart::faults {
 class FaultInjector;
 }  // namespace faaspart::faults
 
+namespace faaspart::obs {
+class Telemetry;
+}  // namespace faaspart::obs
+
 namespace faaspart::sim {
 
 using util::Duration;
@@ -76,11 +80,21 @@ class Simulator {
   /// the same timestamp.
   EventId schedule_now(Callback cb) { return schedule_in(Duration{0}, std::move(cb)); }
 
+  /// Schedules a *weak* (observer) event. Weak events run in timestamp order
+  /// like any other event while regular work remains, but do not keep the
+  /// simulation alive: run() returns once only weak events are pending.
+  /// Periodic samplers use these so instrumentation can tick forever without
+  /// stalling queue drain — the in-sim analogue of a monitoring daemon that
+  /// dies with the workload.
+  EventId schedule_weak_at(TimePoint t, Callback cb);
+  EventId schedule_weak_in(Duration d, Callback cb);
+
   /// Cancels a pending event. Returns false if it already ran or was
   /// cancelled (both are benign — cancellation is idempotent).
   bool cancel(EventId id);
 
-  /// Runs the next event. Returns false when the queue is empty.
+  /// Runs the next event. Returns false when the queue is empty or only weak
+  /// events remain.
   bool step();
 
   /// Runs until the queue drains. Rethrows the first exception that escaped
@@ -115,6 +129,13 @@ class Simulator {
   void install_faults(faults::FaultInjector* injector) { faults_ = injector; }
   [[nodiscard]] faults::FaultInjector* faults() const { return faults_; }
 
+  /// Optional telemetry layer, mirroring the fault hook: obs::Telemetry
+  /// installs itself on construction and uninstalls on destruction.
+  /// Instrumentation sites null-check once, so an uninstrumented run pays a
+  /// single pointer load.
+  void install_telemetry(obs::Telemetry* telemetry) { telemetry_ = telemetry; }
+  [[nodiscard]] obs::Telemetry* telemetry() const { return telemetry_; }
+
  private:
   struct HeapEntry {
     TimePoint t;
@@ -125,6 +146,13 @@ class Simulator {
     }
   };
 
+  struct Slot {
+    Callback cb;
+    bool weak = false;
+  };
+
+  EventId schedule_impl(TimePoint t, Callback cb, bool weak);
+  bool step_impl(bool run_weak_only);
   void rethrow_failure_if_any();
   void reap_root(std::uint64_t id);
   friend struct RootReaper;  // defined in simulator.cpp
@@ -134,9 +162,10 @@ class Simulator {
   EventId next_id_ = 1;
   std::uint64_t processed_ = 0;
   std::size_t live_events_ = 0;  // scheduled and not yet run/cancelled
+  std::size_t weak_events_ = 0;  // subset of live_events_ that is weak
   std::size_t live_processes_ = 0;
   std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>> heap_;
-  std::unordered_map<EventId, Callback> callbacks_;
+  std::unordered_map<EventId, Slot> callbacks_;
   std::vector<ProcessFailure> failures_;
   std::size_t next_failure_to_rethrow_ = 0;
 
@@ -147,6 +176,7 @@ class Simulator {
   std::unordered_map<std::uint64_t, std::coroutine_handle<>> roots_;
 
   faults::FaultInjector* faults_ = nullptr;
+  obs::Telemetry* telemetry_ = nullptr;
 };
 
 }  // namespace faaspart::sim

@@ -2,8 +2,6 @@
 
 namespace faaspart::trace {
 
-namespace {
-
 void write_json_string(std::ostream& os, const std::string& s) {
   os << '"';
   for (const char c : s) {
@@ -24,8 +22,6 @@ void write_json_string(std::ostream& os, const std::string& s) {
   }
   os << '"';
 }
-
-}  // namespace
 
 void write_chrome_trace(std::ostream& os, const Recorder& rec,
                         const std::string& process_name) {

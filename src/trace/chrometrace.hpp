@@ -10,6 +10,10 @@
 
 namespace faaspart::trace {
 
+/// Emits `s` as a double-quoted JSON string (escapes quotes, backslashes,
+/// and control characters). Shared by the trace and obs exporters.
+void write_json_string(std::ostream& os, const std::string& s);
+
 /// Writes Trace Event Format JSON: one complete ("X") event per span, lanes
 /// mapped to tids under a single process. Virtual-time ns map to trace µs.
 void write_chrome_trace(std::ostream& os, const Recorder& rec,

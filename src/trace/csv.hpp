@@ -12,7 +12,8 @@
 namespace faaspart::trace {
 
 /// Writes rows with RFC-4180-style quoting (quotes fields containing the
-/// separator, quotes, or newlines).
+/// separator, quotes, carriage returns, or newlines), so task/span names
+/// like "llama2,13b" survive a spreadsheet round-trip intact.
 class CsvWriter {
  public:
   explicit CsvWriter(std::ostream& os) : os_(os) {}
@@ -31,7 +32,7 @@ class CsvWriter {
 
  private:
   void write_field(const std::string& f) {
-    if (f.find_first_of(",\"\n") == std::string::npos) {
+    if (f.find_first_of(",\"\r\n") == std::string::npos) {
       os_ << f;
       return;
     }

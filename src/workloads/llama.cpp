@@ -152,6 +152,33 @@ sim::Co<void> llama_completion(sim::Simulator& sim, gpu::Device& dev,
   if (kv_alloc != 0) dev.free(ctx, kv_alloc);
 }
 
+sim::Co<void> llama_completion(faas::TaskContext& tctx, const LlamaSpec& spec,
+                               const LlamaRunConfig& cfg, CompletionShape shape) {
+  gpu::Device& dev = tctx.device();
+  const gpu::ContextId ctx = tctx.gpu_context();
+  gpu::AllocationId kv_alloc = 0;
+  if (cfg.model_kv_cache) {
+    const util::Bytes kv_total =
+        llama_kv_bytes_per_token(spec, cfg) *
+        (shape.prompt_tokens + shape.output_tokens);
+    if (kv_total > 0) kv_alloc = dev.alloc(ctx, kv_total, "kv-cache");
+  }
+
+  if (shape.prompt_tokens > 0) {
+    co_await tctx.launch(llama_prefill_kernel(spec, cfg, shape.prompt_tokens));
+  }
+  const util::Duration per_token_sync =
+      cfg.shards > 1 ? cfg.sync_per_layer * spec.n_layers : util::Duration{0};
+  for (int t = 0; t < shape.output_tokens; ++t) {
+    co_await tctx.launch(
+        llama_decode_kernel_at(spec, cfg, shape.prompt_tokens + t));
+    if (per_token_sync.ns > 0) co_await tctx.sim().delay(per_token_sync);
+    co_await tctx.sim().delay(cfg.host_gap_per_token);
+  }
+
+  if (kv_alloc != 0) dev.free(ctx, kv_alloc);
+}
+
 faas::AppDef make_llama_completion_app(const std::string& name, LlamaSpec spec,
                                        LlamaRunConfig cfg, CompletionShape shape) {
   faas::AppDef app;
@@ -160,8 +187,7 @@ faas::AppDef make_llama_completion_app(const std::string& name, LlamaSpec spec,
   app.model_bytes = llama_memory_footprint(spec, cfg);
   app.model_key = spec.name + util::strf("@", cfg.bytes_per_param, "B");
   app.body = [spec, cfg, shape](faas::TaskContext& tctx) -> sim::Co<faas::AppValue> {
-    co_await llama_completion(tctx.sim(), tctx.device(), tctx.gpu_context(), spec,
-                              cfg, shape);
+    co_await llama_completion(tctx, spec, cfg, shape);
     co_return faas::AppValue{static_cast<double>(shape.output_tokens)};
   };
   return app;

@@ -135,4 +135,10 @@ sim::Co<void> llama_completion(sim::Simulator& sim, gpu::Device& dev,
                                gpu::ContextId ctx, const LlamaSpec& spec,
                                const LlamaRunConfig& cfg, CompletionShape shape);
 
+/// Task-context variant: identical timing, but kernels go through
+/// TaskContext::launch so each one becomes a "kernel" span in the causal
+/// trace when telemetry is on. make_llama_completion_app uses this.
+sim::Co<void> llama_completion(faas::TaskContext& tctx, const LlamaSpec& spec,
+                               const LlamaRunConfig& cfg, CompletionShape shape);
+
 }  // namespace faaspart::workloads

@@ -7,6 +7,10 @@
 #include "faas/dfk.hpp"
 #include "faas/provider.hpp"
 #include "nvml/manager.hpp"
+#include "obs/chrome.hpp"
+#include "obs/dashboard.hpp"
+#include "obs/prometheus.hpp"
+#include "obs/telemetry.hpp"
 #include "trace/chrometrace.hpp"
 #include "util/error.hpp"
 #include "util/strings.hpp"
@@ -48,6 +52,15 @@ MultiplexRunResult run_multiplex_experiment(const MultiplexRunConfig& cfg) {
 
   sim::Simulator sim;
   trace::Recorder rec;
+  // Telemetry before everything it observes (destroyed after them, so device
+  // destructors can still detach their sampler sources).
+  std::unique_ptr<obs::Telemetry> telemetry;
+  if (cfg.observability) {
+    obs::TelemetryOptions topts;
+    topts.sample_period = cfg.obs_sample_period;
+    topts.tracing = cfg.obs_tracing;
+    telemetry = std::make_unique<obs::Telemetry>(sim, topts);
+  }
   // The injector outlives the devices/executors that subscribe to it
   // (declared before DeviceManager so it is destroyed after them).
   std::unique_ptr<faults::FaultInjector> injector;
@@ -132,6 +145,30 @@ MultiplexRunResult run_multiplex_experiment(const MultiplexRunConfig& cfg) {
   const auto extent_end = rec.last_end();
   result.gpu_utilization = mgr.device(gpu).measured_utilization(
       extent_end - result.batch.makespan, extent_end);
+  if (telemetry != nullptr) {
+    telemetry->finish();
+    for (const auto& s : telemetry->sampler().series()) {
+      result.partition_busy_s.emplace_back(s.name, s.busy_integral_s);
+    }
+    if (cfg.obs_render) {
+      std::ostringstream prom;
+      obs::write_prometheus(prom, telemetry->metrics());
+      result.prometheus_text = prom.str();
+      std::ostringstream enriched;
+      obs::write_enriched_chrome_trace(enriched, &rec, telemetry->tracer(),
+                                       &telemetry->sampler());
+      result.obs_chrome_trace = enriched.str();
+      std::ostringstream dash;
+      obs::write_dashboard(
+          dash, *telemetry,
+          util::strf(cfg.processes, "-process ",
+                     multiplex_mode_name(cfg.mode), " telemetry"));
+      result.dashboard_text = dash.str();
+    }
+    if (!cfg.obs_export_dir.empty()) {
+      (void)telemetry->export_all(cfg.obs_export_dir, &rec);
+    }
+  }
   return result;
 }
 

@@ -15,6 +15,8 @@
 #pragma once
 
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "faults/faults.hpp"
 #include "workloads/llama.hpp"
@@ -49,6 +51,24 @@ struct MultiplexRunConfig {
   bool allow_failures = false;
   /// Serialize the run's chrome trace into the result (determinism checks).
   bool capture_chrome_trace = false;
+
+  // -- observability (PR: unified telemetry layer) --------------------------
+  /// Installs an obs::Telemetry for the run: metrics at every layer, causal
+  /// task spans, and per-partition utilization sampling. Off by default so
+  /// undisturbed runs stay byte-identical to the uninstrumented baseline.
+  bool observability = false;
+  /// Virtual-time sampling cadence for partition utilization.
+  util::Duration obs_sample_period = util::milliseconds(50);
+  /// Causal span collection; metrics + sampling stay on when false.
+  bool obs_tracing = true;
+  /// Render prometheus_text / obs_chrome_trace / dashboard_text into the
+  /// result. bench/sec6_overheads turns this off to time the in-run
+  /// instrumentation alone — serialization is a post-run cost you pay only
+  /// when you ask for the artifacts.
+  bool obs_render = true;
+  /// When set (and observability is on): export metrics.prom, trace.json
+  /// and timeseries.csv into this directory after the run.
+  std::string obs_export_dir;
 };
 
 struct MultiplexRunResult {
@@ -61,6 +81,14 @@ struct MultiplexRunResult {
   std::string chrome_trace;         ///< filled when capture_chrome_trace
   util::Duration gpu_busy{};        ///< total busy time on the device
   util::TimePoint run_end{};        ///< virtual clock when the run drained
+
+  // Filled when cfg.observability:
+  std::string prometheus_text;      ///< the metrics registry, exposition text
+  std::string obs_chrome_trace;     ///< enriched trace (causal spans + flows)
+  std::string dashboard_text;       ///< terminal dashboard rendering
+  /// Sampler busy integrals per partition (name → seconds) — each equals the
+  /// partition's engine busy time up to float rounding.
+  std::vector<std::pair<std::string, double>> partition_busy_s;
 };
 
 /// Builds the testbed, runs the batch to completion, returns measurements.

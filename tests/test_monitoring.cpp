@@ -107,6 +107,36 @@ TEST_F(MonitoringFixture, CsvExportWritesFiles) {
   std::filesystem::remove_all(mon.run_dir());
 }
 
+TEST_F(MonitoringFixture, CsvCarriesRetryColumnsAndQuotesAppNames) {
+  (void)dfk.submit(app("llama2,13b", 1_s), "cpu");
+  sim.run();
+  Monitoring mon(dfk, nullptr, tmp_dir("retrycols"));
+  const auto files = mon.export_csv();
+  ASSERT_EQ(files.size(), 1u);
+  std::ifstream is(files[0]);
+  std::string header;
+  std::getline(is, header);
+  EXPECT_NE(header.find("backoff_s"), std::string::npos);
+  EXPECT_NE(header.find("timed_out"), std::string::npos);
+  std::stringstream rest;
+  rest << is.rdbuf();
+  // The comma-bearing app name must survive as one quoted field.
+  EXPECT_NE(rest.str().find("\"llama2,13b\""), std::string::npos);
+  std::filesystem::remove_all(mon.run_dir());
+}
+
+TEST_F(MonitoringFixture, AppSummariesCountRetriesAndKills) {
+  (void)dfk.submit(app("plain", 1_s), "cpu");
+  sim.run();
+  Monitoring mon(dfk, nullptr, tmp_dir("retrysum"));
+  const auto apps = mon.app_summaries();
+  ASSERT_EQ(apps.size(), 1u);
+  // No retries configured: the new aggregates must all read zero.
+  EXPECT_EQ(apps[0].retries, 0u);
+  EXPECT_EQ(apps[0].walltime_kills, 0u);
+  EXPECT_EQ(apps[0].backoff_total.ns, 0);
+}
+
 TEST_F(MonitoringFixture, CsvWithoutRecorderSkipsSpans) {
   (void)dfk.submit(app("t", 1_s), "cpu");
   sim.run();

@@ -134,5 +134,67 @@ TEST(Simulator, NullCallbackRejected) {
   EXPECT_THROW(sim.schedule_in(1_s, Simulator::Callback{}), util::Error);
 }
 
+// -- weak events (telemetry sampler ticks) ----------------------------------
+
+TEST(Simulator, WeakEventsAloneDoNotKeepRunAlive) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_weak_in(1_s, [&] { ++fired; });
+  sim.run();  // drains immediately: only weak work is pending
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(sim.now().ns, 0);
+}
+
+TEST(Simulator, WeakEventsRunWhileStrongWorkPends) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_weak_in(1_s, [&] { order.push_back(1); });
+  sim.schedule_weak_in(3_s, [&] { order.push_back(3); });
+  sim.schedule_in(2_s, [&] { order.push_back(2); });
+  sim.run();
+  // The 1 s weak tick runs (strong work still pending at that point); the
+  // 3 s one is beyond the last strong event and never fires.
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(sim.now(), TimePoint{} + 2_s);
+}
+
+TEST(Simulator, RearmingWeakEventDoesNotSpinForever) {
+  Simulator sim;
+  int ticks = 0;
+  // A self-rearming weak tick — the sampler pattern. Without the weak
+  // accounting this would keep run() alive forever.
+  std::function<void()> tick = [&] {
+    ++ticks;
+    sim.schedule_weak_in(1_s, tick);
+  };
+  sim.schedule_weak_in(1_s, tick);
+  sim.schedule_in(5_s, [] {});
+  sim.run();
+  EXPECT_EQ(ticks, 4);  // t=1..4; the t=5 rearm outlives the strong work
+  EXPECT_EQ(sim.now(), TimePoint{} + 5_s);
+}
+
+TEST(Simulator, WeakEventsInsideRunUntilHorizonStillFire) {
+  Simulator sim;
+  int ticks = 0;
+  std::function<void()> tick = [&] {
+    ++ticks;
+    sim.schedule_weak_in(1_s, tick);
+  };
+  sim.schedule_weak_in(1_s, tick);
+  sim.run_until(TimePoint{} + 3_s + util::milliseconds(500));
+  EXPECT_EQ(ticks, 3);  // run_until advances the clock, so ticks fire
+  EXPECT_EQ(sim.now(), TimePoint{} + 3_s + util::milliseconds(500));
+}
+
+TEST(Simulator, CancelledWeakEventKeepsAccounting) {
+  Simulator sim;
+  const auto id = sim.schedule_weak_in(1_s, [] { FAIL() << "cancelled"; });
+  EXPECT_TRUE(sim.cancel(id));
+  sim.schedule_in(2_s, [] {});
+  sim.run();  // would throw/hang if weak_events_ went out of sync
+  EXPECT_EQ(sim.now(), TimePoint{} + 2_s);
+}
+
 }  // namespace
 }  // namespace faaspart::sim

@@ -98,5 +98,22 @@ TEST(Csv, PlainRow) {
   EXPECT_EQ(os.str(), "x,1,2.5\n");
 }
 
+TEST(Csv, QuotesCarriageReturns) {
+  // A bare \r (Windows-edited app name, say) must be quoted too, or Excel
+  // and the RFC-4180 readers split the row.
+  std::ostringstream os;
+  CsvWriter w(os);
+  w.row({"a\rb", "plain"});
+  EXPECT_EQ(os.str(), "\"a\rb\",plain\n");
+}
+
+TEST(Csv, CommaInModelNameRoundTrips) {
+  // The motivating case: an app named "llama2,13b" must stay one field.
+  std::ostringstream os;
+  CsvWriter w(os);
+  w.row({"llama2,13b", "done"});
+  EXPECT_EQ(os.str(), "\"llama2,13b\",done\n");
+}
+
 }  // namespace
 }  // namespace faaspart::trace

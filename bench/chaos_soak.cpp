@@ -7,133 +7,29 @@
 //      (success, or failure with retries exhausted) and the paper's
 //      completion-time ordering (MPS <= MIG <= timeshare) survives;
 //   3. determinism: an identical seed + FaultPlan replays byte-identically.
+//
+// The independent runs inside each phase shard across the parallel runner
+// (`--jobs N`); phase boundaries are real data dependencies (sweep horizons
+// derive from phase-1 baselines). The report is byte-identical for any N —
+// bench/runner determinism is itself one of the chaos suite's gates.
 #include <iostream>
 
-#include "trace/table.hpp"
-#include "util/strings.hpp"
-#include "workloads/multiplex_experiment.hpp"
+#include "runner/experiments.hpp"
+#include "runner/runner.hpp"
 
 using namespace faaspart;
-using workloads::MultiplexMode;
-using workloads::MultiplexRunConfig;
-using workloads::MultiplexRunResult;
 
-namespace {
-
-constexpr int kProcesses = 4;
-constexpr int kCompletions = 40;
-
-MultiplexRunConfig base_config(MultiplexMode mode) {
-  MultiplexRunConfig cfg;
-  cfg.processes = kProcesses;
-  cfg.mode = mode;
-  cfg.total_completions = kCompletions;
-  return cfg;
-}
-
-MultiplexRunConfig chaos_config(MultiplexMode mode, double crash_rate_hz,
-                                util::Duration horizon) {
-  MultiplexRunConfig cfg = base_config(mode);
-  cfg.retries = 6;
-  cfg.retry_backoff_base = util::milliseconds(200);
-  cfg.allow_failures = true;
-  if (crash_rate_hz > 0) {
-    cfg.faults.worker_crash_rate_hz = crash_rate_hz;
-    cfg.faults.device_error_rate_hz = crash_rate_hz / 4.0;
-    cfg.faults.horizon = util::TimePoint{} + horizon;
-  }
-  return cfg;
-}
-
-}  // namespace
-
-int main() {
-  trace::print_banner(std::cout,
-                      "Chaos soak: Fig-4 workload (4-way LLaMa-2 7B, A100-80GB) "
-                      "under increasing fault rates");
-
-  const MultiplexMode modes[] = {MultiplexMode::kTimeshare, MultiplexMode::kMps,
-                                 MultiplexMode::kMig};
-
-  // -- 1. Fault layer off == baseline, exactly -----------------------------
-  std::cout << "\n[1] zero-cost when disabled (rate 0 vs plain Fig-4 run)\n";
-  bool zero_cost_ok = true;
-  double baseline_makespan[3] = {};
-  for (int m = 0; m < 3; ++m) {
-    MultiplexRunConfig plain = base_config(modes[m]);
-    plain.capture_chrome_trace = true;
-    const auto base = run_multiplex_experiment(plain);
-    MultiplexRunConfig off = chaos_config(modes[m], 0.0, {});
-    off.capture_chrome_trace = true;
-    const auto quiet = run_multiplex_experiment(off);
-    baseline_makespan[m] = base.batch.makespan.seconds();
-    const bool same = base.batch.makespan.ns == quiet.batch.makespan.ns &&
-                      base.chrome_trace == quiet.chrome_trace;
-    zero_cost_ok = zero_cost_ok && same;
-    std::cout << "  " << workloads::multiplex_mode_name(modes[m]) << ": baseline "
-              << util::fixed(baseline_makespan[m], 1) << " s, chaos-at-rate-0 "
-              << util::fixed(quiet.batch.makespan.seconds(), 1) << " s — "
-              << (same ? "identical (trace byte-equal)" : "MISMATCH") << "\n";
+int main(int argc, char** argv) {
+  const runner::JobsFlag jobs = runner::parse_jobs_flag(argc, argv);
+  if (!jobs.ok || argc > 1) {
+    std::cerr << (jobs.ok ? "unknown argument" : jobs.error) << "\nusage: "
+              << argv[0] << " [--jobs N]\n";
+    return 2;
   }
 
-  // -- 2. Fault-rate sweep --------------------------------------------------
-  std::cout << "\n[2] completion-time inflation under worker-crash storms\n";
-  trace::Table table({"mode", "crash rate (Hz)", "completion (s)", "inflation",
-                      "retries", "failures", "faults"});
-  const double rates[] = {0.005, 0.01, 0.02};
-  bool ordering_ok = true;
-  const auto sweep_one = [&](trace::Table& out, MultiplexMode mode, int m,
-                             double rate) {
-    // Bound the Poisson processes well past the longest expected run.
-    const auto horizon = util::from_seconds(baseline_makespan[m] * 4.0 + 60.0);
-    const auto r = run_multiplex_experiment(chaos_config(mode, rate, horizon));
-    out.add_row({workloads::multiplex_mode_name(mode),
-                 util::fixed(rate, 3),
-                 util::fixed(r.batch.makespan.seconds(), 1),
-                 util::fixed(100.0 * (r.batch.makespan.seconds() /
-                                      baseline_makespan[m] - 1.0), 1) + "%",
-                 std::to_string(r.retries_used),
-                 std::to_string(r.failures),
-                 std::to_string(r.faults_injected)});
-    return r.batch.makespan.seconds();
-  };
-  for (const double rate : rates) {
-    double completion[3] = {};
-    for (int m = 0; m < 3; ++m) completion[m] = sweep_one(table, modes[m], m, rate);
-    // Paper ordering at 4 processes: MPS <= MIG <= timeshare (indices 1,2,0).
-    ordering_ok = ordering_ok && completion[1] <= completion[2] &&
-                  completion[2] <= completion[0];
-  }
-  table.print(std::cout);
-  std::cout << "  mode ordering MPS <= MIG <= timeshare preserved: "
-            << (ordering_ok ? "yes" : "NO") << "\n";
-
-  // Extreme churn, reported but not gated: every crash re-pays a model
-  // reload, and MIG slices HBM bandwidth hard, so its reloads cost several
-  // times more than MPS/timeshare ones — past ~0.05 Hz that recovery tax can
-  // push MIG behind even plain timesharing.
-  std::cout << "\n[2b] extreme churn (informational, no ordering gate)\n";
-  trace::Table stress({"mode", "crash rate (Hz)", "completion (s)", "inflation",
-                       "retries", "failures", "faults"});
-  for (int m = 0; m < 3; ++m) (void)sweep_one(stress, modes[m], m, 0.05);
-  stress.print(std::cout);
-
-  // -- 3. Deterministic replay ---------------------------------------------
-  std::cout << "\n[3] deterministic replay of a chaotic run\n";
-  MultiplexRunConfig replay = chaos_config(MultiplexMode::kMps, 0.02,
-                                           util::from_seconds(baseline_makespan[1] * 4.0 + 60.0));
-  replay.capture_chrome_trace = true;
-  const auto first = run_multiplex_experiment(replay);
-  const auto second = run_multiplex_experiment(replay);
-  const bool replay_ok = first.chrome_trace == second.chrome_trace &&
-                         first.batch.makespan.ns == second.batch.makespan.ns;
-  std::cout << "  two consecutive runs, seed " << replay.seed << " / fault seed "
-            << replay.faults.seed << ": "
-            << (replay_ok ? "byte-identical chrome traces" : "DIVERGED") << " ("
-            << first.faults_injected << " faults, " << first.retries_used
-            << " retries)\n";
-
-  const bool ok = zero_cost_ok && ordering_ok && replay_ok;
-  std::cout << "\nchaos soak: " << (ok ? "PASS" : "FAIL") << "\n";
-  return ok ? 0 : 1;
+  runner::ChaosSoakOptions opts;
+  opts.jobs = jobs.jobs;
+  const runner::ChaosSoakReport report = runner::run_chaos_soak(opts);
+  std::cout << report.text;
+  return report.pass ? 0 : 1;
 }

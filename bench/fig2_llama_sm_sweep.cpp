@@ -9,91 +9,29 @@
 //
 // Each grant point runs a real completion through the Device + MpsEngine
 // stack (not just the analytic curve), so launch overheads, stream ordering
-// and host gaps are included.
+// and host gaps are included. The points are independent replications, so
+// they shard across the parallel runner (`--jobs N`, default one worker per
+// hardware thread); the merged output is byte-identical for any N.
 #include <iostream>
 
-#include "gpu/device.hpp"
-#include "sched/engines.hpp"
-#include "trace/table.hpp"
-#include "util/strings.hpp"
-#include "workloads/llama.hpp"
+#include "runner/experiments.hpp"
+#include "runner/runner.hpp"
 
 using namespace faaspart;
 
-namespace {
-
-/// Runs one fp32 completion with an SM cap on `shards` fresh A100-40GBs;
-/// returns the virtual completion latency.
-util::Duration run_completion(const workloads::LlamaSpec& spec, int shards,
-                              int sm_cap, int tokens) {
-  sim::Simulator sim;
-  const auto arch = gpu::arch::a100_sxm4_40gb();
-  const auto cfg = workloads::fig2_config(shards);
-  const double pct = 100.0 * sm_cap / arch.total_sms;
-
-  // Tensor parallelism: each shard device runs the same kernel sequence;
-  // a step completes when every shard finishes (plus per-layer syncs,
-  // which llama_completion charges through cfg).
-  std::vector<std::unique_ptr<gpu::Device>> devs;
-  std::vector<gpu::ContextId> ctxs;
-  for (int s = 0; s < shards; ++s) {
-    devs.push_back(std::make_unique<gpu::Device>(sim, arch, s,
-                                                 sched::mps_factory()));
-    ctxs.push_back(devs.back()->create_context(
-        "llama", {.active_thread_percentage = pct}));
+int main(int argc, char** argv) {
+  const runner::JobsFlag jobs = runner::parse_jobs_flag(argc, argv);
+  if (!jobs.ok || argc > 1) {
+    std::cerr << (jobs.ok ? "unknown argument" : jobs.error) << "\nusage: "
+              << argv[0] << " [--jobs N]\n";
+    return 2;
   }
-  // Drive the primary shard's completion; secondary shards mirror each
-  // kernel. With identical grants they finish simultaneously, so awaiting
-  // the primary suffices for timing.
-  sim.spawn(workloads::llama_completion(sim, *devs[0], ctxs[0], spec, cfg,
-                                        {32, tokens}));
-  for (int s = 1; s < shards; ++s) {
-    sim.spawn(workloads::llama_completion(sim, *devs[s], ctxs[s], spec, cfg,
-                                          {32, tokens}));
-  }
-  sim.run();
-  return sim.now() - util::TimePoint{};
-}
 
-}  // namespace
-
-int main() {
-  trace::print_banner(std::cout,
-                      "Fig 2: LLaMa-2 inference run-time vs granted SMs (fp32)");
-
-  const int kTokens = 27;  // a 20-word completion
-  const auto cpu = gpu::arch::xeon_testbed();
-  const double cpu7 =
-      workloads::llama_cpu_completion_time(workloads::llama2_7b(), cpu, kTokens)
-          .seconds();
-  const double cpu13 =
-      workloads::llama_cpu_completion_time(workloads::llama2_13b(), cpu, kTokens)
-          .seconds();
-
-  trace::Table table({"SMs", "7B 1xA100 (s)", "13B 2xA100 (s)",
-                      "7B speedup vs CPU", "13B speedup vs CPU"});
-
-  const int sweep[] = {2, 5, 10, 15, 20, 27, 40, 54, 81, 108};
-  double t7_full = 0;
-  double t7_at20 = 0;
-  for (const int sms : sweep) {
-    const double t7 =
-        run_completion(workloads::llama2_7b(), 1, sms, kTokens).seconds();
-    const double t13 =
-        run_completion(workloads::llama2_13b(), 2, sms, kTokens).seconds();
-    if (sms == 108) t7_full = t7;
-    if (sms == 20) t7_at20 = t7;
-    table.add_row({std::to_string(sms), util::fixed(t7, 2), util::fixed(t13, 2),
-                   util::fixed(cpu7 / t7, 1) + "x",
-                   util::fixed(cpu13 / t13, 1) + "x"});
-  }
-  table.print(std::cout);
-
-  std::cout << "\nCPU baselines (paper: ~180 s and ~360 s): 7B "
-            << util::fixed(cpu7, 0) << " s, 13B " << util::fixed(cpu13, 0)
-            << " s\nKnee check: latency at 20 SMs is within "
-            << util::fixed(100.0 * (t7_at20 / t7_full - 1.0), 1)
-            << "% of the full-GPU latency -- more than ~20 SMs buys nothing"
-               " (the paper's observation).\n";
+  const auto points = runner::fig2_points();
+  const auto results = runner::run_points<runner::Fig2Result>(
+      static_cast<int>(points.size()),
+      [&](int i) { return runner::run_fig2_point(points[static_cast<std::size_t>(i)]); },
+      jobs.jobs);
+  std::cout << runner::render_fig2(results);
   return 0;
 }

@@ -3,7 +3,10 @@
 //
 // Reproduces the paper's sweep: 1–4 concurrent LLaMa-2 7B instances on one
 // A100-80GB under default time-sharing, CUDA MPS (equal GPU percentages)
-// and MIG (3g/2g/1g layouts), against the 1-process FaaS default.
+// and MIG (3g/2g/1g layouts), against the 1-process FaaS default. The ten
+// configuration points are independent replications and shard across the
+// parallel runner (`--jobs N`); the table is rendered from the canonical
+// merge, so output is byte-identical regardless of worker count.
 //
 // `--obs[=DIR]` repeats the headline 4-process MPS run with the telemetry
 // layer on: prints the terminal dashboard and exports metrics.prom,
@@ -12,8 +15,8 @@
 #include <iostream>
 #include <string>
 
-#include "trace/table.hpp"
-#include "util/strings.hpp"
+#include "runner/experiments.hpp"
+#include "runner/runner.hpp"
 #include "workloads/multiplex_experiment.hpp"
 
 using namespace faaspart;
@@ -22,8 +25,10 @@ using workloads::MultiplexRunConfig;
 using workloads::MultiplexRunResult;
 
 int main(int argc, char** argv) {
+  const runner::JobsFlag jobs = runner::parse_jobs_flag(argc, argv);
   bool obs = false;
   std::string obs_dir = "runinfo/obs-fig4";
+  bool usage = !jobs.ok;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--obs") {
@@ -32,52 +37,21 @@ int main(int argc, char** argv) {
       obs = true;
       obs_dir = arg.substr(6);
     } else {
-      std::cerr << "usage: " << argv[0] << " [--obs[=DIR]]\n";
-      return 2;
+      usage = true;
     }
   }
-
-  trace::print_banner(std::cout,
-                      "Fig 4: time to complete 100 LLaMa-2 7B text completions "
-                      "(A100-80GB, virtual time)");
-
-  MultiplexRunResult single;
-  {
-    MultiplexRunConfig cfg;
-    cfg.processes = 1;
-    cfg.mode = MultiplexMode::kSingle;
-    single = run_multiplex_experiment(cfg);
+  if (usage) {
+    if (!jobs.ok) std::cerr << jobs.error << "\n";
+    std::cerr << "usage: " << argv[0] << " [--obs[=DIR]] [--jobs N]\n";
+    return 2;
   }
 
-  trace::Table table({"processes", "mode", "completion time (s)",
-                      "vs 1 process", "throughput (tasks/s)", "GPU util"});
-  const auto add_row = [&](const MultiplexRunResult& r) {
-    const double base = single.batch.makespan.seconds();
-    const double t = r.batch.makespan.seconds();
-    table.add_row({std::to_string(r.config.processes),
-                   workloads::multiplex_mode_name(r.config.mode),
-                   util::fixed(t, 1),
-                   util::fixed(100.0 * (1.0 - t / base), 1) + "%",
-                   util::fixed(r.batch.throughput(), 3),
-                   util::fixed(100.0 * r.gpu_utilization, 1) + "%"});
-  };
-  add_row(single);
-
-  for (const auto mode :
-       {MultiplexMode::kTimeshare, MultiplexMode::kMps, MultiplexMode::kMig}) {
-    for (int procs = 2; procs <= 4; ++procs) {
-      MultiplexRunConfig cfg;
-      cfg.processes = procs;
-      cfg.mode = mode;
-      add_row(run_multiplex_experiment(cfg));
-    }
-  }
-  table.print(std::cout);
-
-  std::cout << "\nPaper's headline: 4-way MPS multiplexing cuts task completion"
-               " time by up to ~60% and raises throughput ~2.5x vs one model"
-               " per GPU; MPS edges out MIG at 3-4 processes because its"
-               " partitions are finer (1/3 vs 2/7, 1/4 vs 1/7 of the GPU).\n";
+  const auto points = runner::fig4_points();
+  const auto results = runner::run_points<MultiplexRunResult>(
+      static_cast<int>(points.size()),
+      [&](int i) { return runner::run_fig4_point(points[static_cast<std::size_t>(i)]); },
+      jobs.jobs);
+  std::cout << runner::render_fig4(results);
 
   if (obs) {
     MultiplexRunConfig cfg;

@@ -1,0 +1,93 @@
+// Benchmark-only baseline: the event-queue design the simulator shipped
+// with before the indexed-heap overhaul — a std::priority_queue of
+// (time, seq, id) entries plus an unordered_map id→callback, where cancel()
+// erases the map entry and leaves a tombstone in the heap to be skipped
+// lazily at pop time.
+//
+// Kept as a faithful minimal copy (same ordering rule, same tombstone
+// skip loop) so micro_simcore and simcore_baseline can report honest
+// before/after numbers for the hot path. Not part of the library.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace faaspart::benchlegacy {
+
+/// The pre-overhaul scheduling core: binary heap + hash map + tombstones.
+class LegacyEventQueue {
+ public:
+  using EventId = std::uint64_t;
+  using Callback = std::function<void()>;
+
+  EventId schedule_at(util::TimePoint t, Callback cb) {
+    const EventId id = next_id_++;
+    heap_.push(HeapEntry{t, next_seq_++, id});
+    callbacks_.emplace(id, std::move(cb));
+    return id;
+  }
+
+  EventId schedule_in(util::Duration d, Callback cb) {
+    return schedule_at(now_ + d, std::move(cb));
+  }
+
+  bool cancel(EventId id) {
+    const auto it = callbacks_.find(id);
+    if (it == callbacks_.end()) return false;
+    callbacks_.erase(it);
+    // The heap entry stays behind and is skipped lazily in step().
+    return true;
+  }
+
+  bool step() {
+    while (!heap_.empty()) {
+      const HeapEntry top = heap_.top();
+      const auto it = callbacks_.find(top.id);
+      if (it == callbacks_.end()) {
+        heap_.pop();  // cancelled — discard the stale heap entry
+        continue;
+      }
+      heap_.pop();
+      now_ = top.t;
+      Callback cb = std::move(it->second);
+      callbacks_.erase(it);
+      ++processed_;
+      cb();
+      return true;
+    }
+    return false;
+  }
+
+  void run() {
+    while (step()) {
+    }
+  }
+
+  [[nodiscard]] util::TimePoint now() const { return now_; }
+  [[nodiscard]] std::uint64_t processed_events() const { return processed_; }
+
+ private:
+  struct HeapEntry {
+    util::TimePoint t;
+    std::uint64_t seq;
+    EventId id;
+    bool operator>(const HeapEntry& o) const {
+      return t > o.t || (t == o.t && seq > o.seq);
+    }
+  };
+
+  util::TimePoint now_{};
+  std::uint64_t next_seq_ = 0;
+  EventId next_id_ = 1;
+  std::uint64_t processed_ = 0;
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>> heap_;
+  std::unordered_map<EventId, Callback> callbacks_;
+};
+
+}  // namespace faaspart::benchlegacy

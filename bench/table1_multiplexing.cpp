@@ -6,159 +6,32 @@
 // we report measured utilization, aggregate throughput and per-tenant
 // latency, plus each technique's operational properties (resource
 // reconfiguration, isolation) as enforced by the library's state machines.
+//
+// The five techniques are independent replications (each builds its own
+// virtual testbed) and shard across the parallel runner (`--jobs N`); the
+// merged table is byte-identical for any worker count.
 #include <iostream>
-#include <map>
 
-#include "core/partitioner.hpp"
-#include "faas/dfk.hpp"
-#include "faas/provider.hpp"
-#include "nvml/manager.hpp"
-#include "sched/engines.hpp"
-#include "trace/table.hpp"
-#include "util/strings.hpp"
-#include "workloads/dnn.hpp"
-#include "workloads/llama.hpp"
-#include "workloads/serving.hpp"
+#include "runner/experiments.hpp"
+#include "runner/runner.hpp"
 
 using namespace faaspart;
-using namespace util::literals;
 
-namespace {
-
-faas::AppDef resnet_app(const std::string& name) {
-  faas::AppDef app;
-  app.name = name;
-  app.function_init = 500_ms;
-  app.model_bytes = 2 * util::GB;  // weights + runtime
-  app.model_key = "resnet50";
-  const auto kernels = workloads::models::resnet50().inference_kernels(8);
-  app.body = [kernels](faas::TaskContext& ctx) -> sim::Co<faas::AppValue> {
-    for (const auto& k : kernels) co_await ctx.launch(k);
-    co_return faas::AppValue{};
-  };
-  return app;
-}
-
-struct TechniqueResult {
-  std::string technique;
-  double gpu_util = 0;
-  double throughput = 0;       // tasks/s over the window
-  double resnet_p95_ms = 0;
-  double llama_mean_s = 0;
-  std::string reconfigure;
-  std::string isolation;
-};
-
-TechniqueResult run_technique(const std::string& technique) {
-  sim::Simulator sim;
-  trace::Recorder rec;
-  nvml::DeviceManager mgr(sim, &rec);
-  const int gpu = mgr.add_device(gpu::arch::a100_80gb());
-  faas::LocalProvider provider(sim, 24);
-  core::GpuPartitioner part(mgr);
-  faas::DataFlowKernel dfk(sim, faas::Config{});
-
-  faas::HtexConfig htex;
-  htex.label = "gpu";
-  if (technique == "timeshare") {
-    htex.available_accelerators = {"0", "0", "0"};
-  } else if (technique == "mps-default") {
-    part.mps(gpu).start();  // daemon up, no per-client caps
-    htex.available_accelerators = {"0", "0", "0"};
-  } else if (technique == "mps-percentage") {
-    htex.available_accelerators = {"0", "0", "0"};
-    htex.gpu_percentages = {30, 30, 40};
-  } else if (technique == "mig") {
-    gpu::Device& dev = mgr.device(gpu);
-    dev.enable_mig();
-    for (const char* p : {"2g.20gb", "2g.20gb", "3g.40gb"}) {
-      htex.available_accelerators.push_back(
-          dev.instance(dev.create_instance(p)).uuid);
-    }
-  } else if (technique == "vgpu") {
-    mgr.device(gpu).set_engine_factory(sched::vgpu_factory({.slots = 3}));
-    htex.available_accelerators = {"0", "0", "0"};
+int main(int argc, char** argv) {
+  const runner::JobsFlag jobs = runner::parse_jobs_flag(argc, argv);
+  if (!jobs.ok || argc > 1) {
+    std::cerr << (jobs.ok ? "unknown argument" : jobs.error) << "\nusage: "
+              << argv[0] << " [--jobs N]\n";
+    return 2;
   }
-  dfk.add_executor(part.build_executor(sim, provider, htex, nullptr, &rec));
 
-  // Mixed tenant set: two ResNet-50 serving tenants (open loop, offered load
-  // high enough to saturate a time-shared GPU) and one LLaMa chatbot
-  // (closed loop) — saturation is where the techniques' utilization and
-  // throughput separate, which is the paper's Table 1 comparison.
-  const util::Duration window = util::seconds(60);
-  auto r1 = std::make_shared<std::vector<faas::AppHandle>>();
-  auto r2 = std::make_shared<std::vector<faas::AppHandle>>();
-  workloads::spawn_open_loop(sim, dfk, "gpu", resnet_app("resnet-a"), 12.0,
-                             window, 11, r1);
-  workloads::spawn_open_loop(sim, dfk, "gpu", resnet_app("resnet-b"), 12.0,
-                             window, 13, r2);
-  auto llama = std::make_shared<workloads::BatchRunResult>();
-  workloads::spawn_closed_loop_batch(
-      sim, dfk, "gpu",
-      workloads::make_llama_completion_app("llama-chat", workloads::llama2_7b(),
-                                           workloads::serving_config(),
-                                           {64, 20}),
-      1, 8, llama);
-  sim.run();
-
-  TechniqueResult out;
-  out.technique = technique;
-  const auto end = rec.last_end();
-  const auto begin = rec.first_start();
-  out.gpu_util = mgr.device(gpu).measured_utilization(begin, end);
-  std::vector<double> resnet_lat;
-  std::size_t tasks = 0;
-  for (const auto* handles : {r1.get(), r2.get()}) {
-    for (const auto& h : *handles) {
-      if (h.record->state != faas::TaskRecord::State::kDone) continue;
-      resnet_lat.push_back(h.record->run_time().millis());
-      ++tasks;
-    }
-  }
-  tasks += llama->tasks;
-  out.throughput = static_cast<double>(tasks) / (end - begin).seconds();
-  out.resnet_p95_ms = trace::summarize(std::move(resnet_lat)).p95;
-  out.llama_mean_s = llama->latency.mean;
-
-  static const std::map<std::string, std::pair<std::string, std::string>> props{
-      {"timeshare", {"none needed", "none"}},
-      {"mps-default", {"no caps to change", "none (shared memory)"}},
-      {"mps-percentage", {"process restart", "compute only"}},
-      {"mig", {"GPU reset + restart", "compute + memory"}},
-      {"vgpu", {"VM restart", "slot-level"}},
-  };
-  out.reconfigure = props.at(technique).first;
-  out.isolation = props.at(technique).second;
-  return out;
-}
-
-}  // namespace
-
-int main() {
-  trace::print_banner(std::cout,
-                      "Table 1: multiplexing techniques on a mixed tenant set");
-  std::cout << "workload: 2x ResNet-50 serving (Poisson 4 req/s each, batch 8)"
-               " + 1 LLaMa-2 7B chatbot, one A100-80GB, 120 s window\n\n";
-
-  trace::Table table({"technique", "GPU util", "tasks/s", "ResNet p95 (ms)",
-                      "LLaMa mean (s)", "reconfiguration", "isolation"});
-  for (const char* technique :
-       {"timeshare", "mps-default", "mps-percentage", "mig", "vgpu"}) {
-    const auto r = run_technique(technique);
-    table.add_row({r.technique, util::fixed(100.0 * r.gpu_util, 1) + "%",
-                   util::fixed(r.throughput, 2), util::fixed(r.resnet_p95_ms, 1),
-                   util::fixed(r.llama_mean_s, 2), r.reconfigure, r.isolation});
-  }
-  table.print(std::cout);
-
-  std::cout << "\nHow to read this against the paper's Table 1: under"
-               " time-sharing the device reports busy while each narrow kernel"
-               " wastes the other ~88 SMs (\"Low\" utilization) -- visible as"
-               " the worst tail latency. Spatial partitioning (MPS percentage,"
-               " MIG, vGPU) runs tenants concurrently, cutting ResNet p95 by"
-               " ~6x. MIG buys full compute+memory isolation at the price of"
-               " coarse slices (lower throughput) and reset-based"
-               " reconfiguration; vGPU is spatial but locked to homogeneous"
-               " slots; only MPS offers fine-grained, per-process splits.\n";
+  const auto techniques = runner::table1_points();
+  const auto results = runner::run_points<runner::Table1Result>(
+      static_cast<int>(techniques.size()),
+      [&](int i) {
+        return runner::run_table1_point(techniques[static_cast<std::size_t>(i)]);
+      },
+      jobs.jobs);
+  std::cout << runner::render_table1(results);
   return 0;
 }

@@ -10,6 +10,6 @@ ctest --test-dir build --output-on-failure -j2
 
 # Second tree with sanitizers; only the chaos-labelled binaries need to
 # build, which keeps the single-core builder's turnaround tolerable.
-cmake -B build-asan -S . -DFAASPART_SANITIZE=ON
-cmake --build build-asan -j2 --target test_faults test_properties
+cmake -B build-asan -S . -DFAASPART_SANITIZE=address
+cmake --build build-asan -j2 --target test_faults test_properties test_runner_determinism
 ctest --test-dir build-asan -L chaos --output-on-failure

@@ -1,0 +1,106 @@
+// Canonical experiment point sets + per-point drivers for the paper's
+// figure/table sweeps, shared by the bench mains and the determinism test
+// battery.
+//
+// Each `run_*_point` builds a fresh, self-contained virtual testbed (its
+// own Simulator, and FaultInjector/Telemetry when configured) and is safe
+// to run on any worker thread of the replication runner. Each `render_*`
+// takes results **in canonical point order** and produces the bench's
+// complete stdout text — so `render(run_points(...))` is byte-identical
+// for --jobs 1 and --jobs 8, which is exactly what the golden tests pin.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/units.hpp"
+#include "workloads/multiplex_experiment.hpp"
+
+namespace faaspart::runner {
+
+// -- Fig 2: LLaMa-2 inference run-time vs granted SMs -----------------------
+
+struct Fig2Point {
+  int sms;          ///< CUDA MPS SM grant (out of 108 on A100)
+  int tokens = 27;  ///< completion length; 27 ≈ the paper's 20 words
+};
+
+/// The paper's sweep: 2..108 SMs, 27-token completions.
+std::vector<Fig2Point> fig2_points();
+
+struct Fig2Result {
+  Fig2Point point;
+  double t7_s = 0;   ///< 7B on one A100-40GB
+  double t13_s = 0;  ///< 13B tensor-parallel on two A100-40GBs
+};
+
+Fig2Result run_fig2_point(const Fig2Point& point);
+
+std::string render_fig2(const std::vector<Fig2Result>& results);
+
+// -- Fig 4: time for the 100-completion batch, 1–4 processes ----------------
+
+struct Fig4Point {
+  workloads::MultiplexMode mode = workloads::MultiplexMode::kSingle;
+  int processes = 1;
+  int total_completions = 100;
+  std::uint64_t seed = 1;
+};
+
+/// Canonical order: the 1-process baseline, then timeshare/mps/mig × 2–4.
+std::vector<Fig4Point> fig4_points();
+
+workloads::MultiplexRunResult run_fig4_point(const Fig4Point& point);
+
+/// `results[0]` must be the 1-process baseline (fig4_points() order).
+std::string render_fig4(const std::vector<workloads::MultiplexRunResult>& results);
+
+// -- Table 1: multiplexing techniques on a mixed tenant set -----------------
+
+struct Table1Options {
+  /// Open-loop offered-load window for the two ResNet serving tenants.
+  util::Duration window = util::seconds(60);
+  /// Closed-loop LLaMa chatbot batch size.
+  int llama_completions = 8;
+};
+
+/// Canonical technique order: timeshare, mps-default, mps-percentage, mig,
+/// vgpu.
+std::vector<std::string> table1_points();
+
+struct Table1Result {
+  std::string technique;
+  double gpu_util = 0;
+  double throughput = 0;  ///< tasks/s over the measured window
+  double resnet_p95_ms = 0;
+  double llama_mean_s = 0;
+  std::string reconfigure;
+  std::string isolation;
+};
+
+Table1Result run_table1_point(const std::string& technique,
+                              const Table1Options& opts = {});
+
+std::string render_table1(const std::vector<Table1Result>& results);
+
+// -- Chaos soak: the Fig-4 workload under increasing fault rates ------------
+
+struct ChaosSoakOptions {
+  int jobs = 0;          ///< runner width for each phase (0 = hw threads)
+  int processes = 4;     ///< concurrent model instances
+  int completions = 40;  ///< batch size per run
+};
+
+struct ChaosSoakReport {
+  std::string text;  ///< the full bench stdout
+  bool pass = false;
+};
+
+/// Runs all three chaos-soak phases (zero-cost-when-disabled, fault-rate
+/// sweep, deterministic replay), parallelizing the independent runs inside
+/// each phase; phase boundaries are data dependencies (sweep horizons come
+/// from phase-1 baselines). The report text is byte-identical across jobs.
+ChaosSoakReport run_chaos_soak(const ChaosSoakOptions& opts = {});
+
+}  // namespace faaspart::runner

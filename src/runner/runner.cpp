@@ -1,0 +1,132 @@
+#include "runner/runner.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <deque>
+#include <mutex>
+#include <thread>
+
+#include "util/strings.hpp"
+
+namespace faaspart::runner {
+
+int effective_jobs(int requested) {
+  if (requested >= 1) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+JobsFlag parse_jobs_flag(int& argc, char** argv) {
+  JobsFlag flag;
+  const auto parse_value = [&](const char* text) {
+    char* end = nullptr;
+    const long v = std::strtol(text, &end, 10);
+    if (end == text || *end != '\0' || v < 0) {
+      flag.ok = false;
+      flag.error = util::strf("invalid --jobs value '", text, "'");
+      return;
+    }
+    flag.jobs = static_cast<int>(v);
+  };
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--jobs") {
+      if (i + 1 >= argc) {
+        flag.ok = false;
+        flag.error = "--jobs needs a value";
+        break;
+      }
+      parse_value(argv[++i]);
+    } else if (arg.rfind("--jobs=", 0) == 0) {
+      parse_value(arg.c_str() + 7);
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+  return flag;
+}
+
+namespace detail {
+namespace {
+
+// A worker's deque plus its lock. Contention is negligible — tasks are
+// whole simulations, and steals happen only when a worker runs dry.
+struct WorkQueue {
+  std::mutex m;
+  std::deque<int> q;
+};
+
+}  // namespace
+
+void run_indexed(int n, const std::function<void(int)>& body, int jobs) {
+  if (n <= 0) return;
+  jobs = effective_jobs(jobs);
+  if (jobs > n) jobs = n;
+
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(n));
+  const auto run_one = [&](int idx) {
+    try {
+      body(idx);
+    } catch (...) {
+      errors[static_cast<std::size_t>(idx)] = std::current_exception();
+    }
+  };
+
+  if (jobs == 1) {
+    // Inline on the calling thread: no pool, identical semantics.
+    for (int i = 0; i < n; ++i) run_one(i);
+  } else {
+    // Canonical deal: point i starts in deque i % jobs. The deal is part of
+    // the contract only in that it balances load — results never depend on
+    // which worker ran a point.
+    std::vector<WorkQueue> queues(static_cast<std::size_t>(jobs));
+    for (int i = 0; i < n; ++i) {
+      queues[static_cast<std::size_t>(i % jobs)].q.push_back(i);
+    }
+
+    const auto worker = [&](int self) {
+      for (;;) {
+        int idx = -1;
+        {
+          WorkQueue& own = queues[static_cast<std::size_t>(self)];
+          std::lock_guard<std::mutex> lock(own.m);
+          if (!own.q.empty()) {
+            idx = own.q.front();
+            own.q.pop_front();
+          }
+        }
+        if (idx < 0) {
+          // Steal from the back of the first non-empty victim. The task set
+          // is fixed, so finding every deque empty means we are done.
+          for (int k = 1; k < jobs && idx < 0; ++k) {
+            WorkQueue& victim =
+                queues[static_cast<std::size_t>((self + k) % jobs)];
+            std::lock_guard<std::mutex> lock(victim.m);
+            if (!victim.q.empty()) {
+              idx = victim.q.back();
+              victim.q.pop_back();
+            }
+          }
+          if (idx < 0) return;
+        }
+        run_one(idx);
+      }
+    };
+
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(jobs - 1));
+    for (int w = 1; w < jobs; ++w) threads.emplace_back(worker, w);
+    worker(0);
+    for (auto& t : threads) t.join();
+  }
+
+  // First failure in canonical point order, independent of thread count.
+  for (auto& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+}
+
+}  // namespace detail
+}  // namespace faaspart::runner

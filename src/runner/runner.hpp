@@ -1,0 +1,68 @@
+// The parallel replication runner.
+//
+// Every figure/table bench is the same shape: a grid of *independent*
+// replication points (seed × sharing mode × SM percentage × fleet size),
+// each of which builds its own Simulator (plus FaultInjector/Telemetry when
+// asked) and runs to completion. The runner shards those points across a
+// work-stealing thread pool and merges results **in canonical point
+// order**, so the merged output is byte-identical no matter how many
+// workers ran it — determinism comes from the merge order plus each
+// point's self-contained virtual testbed, never from scheduling luck.
+//
+// The pool is deliberately simple: indices are dealt round-robin into
+// per-worker deques; an idle worker takes from the front of its own deque
+// and steals from the back of a victim's. The task set is fixed up front
+// (no task spawns tasks), so a worker that finds every deque empty can
+// simply retire.
+#pragma once
+
+#include <exception>
+#include <functional>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace faaspart::runner {
+
+/// Resolves a --jobs request to a worker count: values >= 1 pass through,
+/// anything else (0, negative) means "one worker per hardware thread".
+int effective_jobs(int requested);
+
+/// Result of scanning a bench CLI for `--jobs N` / `--jobs=N`. The flag is
+/// removed from argv (argc updated); unrelated arguments are left alone.
+struct JobsFlag {
+  int jobs = 0;  ///< 0 = default (hardware concurrency)
+  bool ok = true;
+  std::string error;
+};
+JobsFlag parse_jobs_flag(int& argc, char** argv);
+
+namespace detail {
+/// Type-erased core: runs body(i) for every i in [0, n) on `jobs` workers.
+/// Exceptions are captured per index; after the pool drains, the one with
+/// the smallest index is rethrown (canonical, jobs-independent).
+void run_indexed(int n, const std::function<void(int)>& body, int jobs);
+}  // namespace detail
+
+/// Runs fn(i) for each point index in [0, n) across the pool and returns
+/// the results in index order.
+template <typename R, typename Fn>
+std::vector<R> run_points(int n, Fn&& fn, int jobs = 0) {
+  std::vector<std::optional<R>> slots(static_cast<std::size_t>(n > 0 ? n : 0));
+  detail::run_indexed(
+      n, [&](int i) { slots[static_cast<std::size_t>(i)].emplace(fn(i)); },
+      jobs);
+  std::vector<R> results;
+  results.reserve(slots.size());
+  for (auto& s : slots) results.push_back(std::move(*s));
+  return results;
+}
+
+/// Void-returning form for callers that sink results themselves.
+inline void for_each_point(int n, const std::function<void(int)>& body,
+                           int jobs = 0) {
+  detail::run_indexed(n, body, jobs);
+}
+
+}  // namespace faaspart::runner

@@ -1,0 +1,127 @@
+// FrameArena — a size-classed slab recycler for coroutine frames.
+//
+// Simulation processes are short-lived Co<> chains: a llama completion
+// allocates and frees thousands of identical frames, and under the parallel
+// replication runner every worker thread does so concurrently — straight
+// through the global allocator that is both a malloc/free round trip per
+// frame and a point of cross-thread contention. The arena caches freed
+// blocks on thread-local free lists keyed by power-of-two size class, so
+// the steady state allocates nothing and touches no shared state.
+//
+// Safety properties (deliberately boring):
+//   * every block is an ordinary ::operator new allocation with an 8-byte
+//     header, so a block freed on a *different* thread than it was
+//     allocated on is simply returned to the matching class of that
+//     thread's arena — valid wherever it ends up;
+//   * thread exit releases all cached blocks to the global allocator;
+//   * oversized requests bypass the cache entirely (header tag kNoClass).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <new>
+
+namespace faaspart::sim {
+
+class FrameArena {
+ public:
+  static constexpr std::uint64_t kNoClass = 0xffffffffffffffffull;
+  static constexpr std::size_t kClasses = 9;      // 64 B … 16 KiB
+  static constexpr std::size_t kMinBlock = 64;    // class 0
+  static constexpr std::size_t kMaxBlock = kMinBlock << (kClasses - 1);
+
+  struct Stats {
+    std::uint64_t fresh = 0;     ///< blocks taken from ::operator new
+    std::uint64_t reused = 0;    ///< blocks served from a free list
+    std::uint64_t oversize = 0;  ///< requests beyond kMaxBlock
+  };
+
+  FrameArena() = default;
+  FrameArena(const FrameArena&) = delete;
+  FrameArena& operator=(const FrameArena&) = delete;
+
+  ~FrameArena() {
+    for (auto& head : free_) {
+      while (head != nullptr) {
+        FreeBlock* next = head->next;
+        ::operator delete(header_of(head));
+        head = next;
+      }
+    }
+  }
+
+  /// The calling thread's arena.
+  static FrameArena& local() {
+    thread_local FrameArena arena;
+    return arena;
+  }
+
+  void* allocate(std::size_t n) {
+    const std::size_t total = n + kHeaderSize;
+    if (total > kMaxBlock) {
+      ++stats_.oversize;
+      auto* header = static_cast<Header*>(::operator new(total));
+      header->cls = kNoClass;
+      return header + 1;
+    }
+    const std::size_t cls = class_for(total);
+    if (free_[cls] != nullptr) {
+      ++stats_.reused;
+      FreeBlock* block = free_[cls];
+      free_[cls] = block->next;
+      return block;
+    }
+    ++stats_.fresh;
+    auto* header = static_cast<Header*>(::operator new(kMinBlock << cls));
+    header->cls = cls;
+    return header + 1;
+  }
+
+  /// Frees a pointer obtained from any FrameArena (any thread).
+  static void deallocate(void* p) {
+    Header* header = static_cast<Header*>(p) - 1;
+    const std::uint64_t cls = header->cls;
+    if (cls == kNoClass) {
+      ::operator delete(header);
+      return;
+    }
+    FrameArena& arena = local();
+    auto* block = static_cast<FreeBlock*>(p);
+    block->next = arena.free_[cls];
+    arena.free_[cls] = block;
+  }
+
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  // 16 bytes so the payload keeps the default new alignment — coroutine
+  // frames assume at least __STDCPP_DEFAULT_NEW_ALIGNMENT__.
+  struct alignas(16) Header {
+    std::uint64_t cls;
+    std::uint64_t unused;
+  };
+  static constexpr std::size_t kHeaderSize = sizeof(Header);
+
+  struct FreeBlock {
+    FreeBlock* next;
+  };
+
+  static Header* header_of(void* p) {
+    return static_cast<Header*>(static_cast<void*>(p)) - 1;
+  }
+
+  static std::size_t class_for(std::size_t total) {
+    std::size_t cls = 0;
+    std::size_t cap = kMinBlock;
+    while (cap < total) {
+      cap <<= 1;
+      ++cls;
+    }
+    return cls;
+  }
+
+  FreeBlock* free_[kClasses] = {};
+  Stats stats_;
+};
+
+}  // namespace faaspart::sim

@@ -15,6 +15,7 @@
 #include <utility>
 #include <variant>
 
+#include "sim/arena.hpp"
 #include "util/error.hpp"
 
 namespace faaspart::sim {
@@ -27,6 +28,16 @@ namespace detail {
 template <typename T>
 struct CoPromiseBase {
   std::coroutine_handle<> continuation;  // who to resume when we finish
+
+  // Coroutine frames come from the thread-local FrameArena: simulation
+  // processes churn through frames of a handful of sizes, and the slab
+  // recycler turns that churn into pointer pushes/pops instead of
+  // malloc/free round trips (and, under the parallel runner, removes the
+  // global allocator as a cross-thread contention point).
+  static void* operator new(std::size_t n) {
+    return FrameArena::local().allocate(n);
+  }
+  static void operator delete(void* p) { FrameArena::deallocate(p); }
 
   struct FinalAwaiter {
     bool await_ready() const noexcept { return false; }

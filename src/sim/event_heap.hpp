@@ -1,0 +1,131 @@
+// EventHeap — the simulator's timer wheel: an *indexed* 4-ary min-heap
+// keyed by (time, insertion sequence).
+//
+// Why not std::priority_queue: the sharing engines replan in-flight work
+// constantly (cancel a completion timer, schedule a later one), and a
+// binary heap with lazy deletion leaves a tombstone per cancel that every
+// later pop must sift past. Here each node carries the owning slab slot and
+// a side table maps slot → heap position, so erase() removes the node in
+// O(log n) and the heap never holds dead entries. The 4-ary layout halves
+// tree depth versus binary and keeps the hot sift-down loop inside one or
+// two cache lines of children per level — the classic d-ary trade (cheaper
+// pops for slightly costlier pushes) that wins on pop/erase-heavy
+// simulation workloads.
+//
+// Ordering is strict weak on (t, seq): equal timestamps pop in insertion
+// order, which is what makes simulation runs bit-for-bit deterministic.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace faaspart::sim {
+
+class EventHeap {
+ public:
+  static constexpr std::uint32_t kNpos = 0xffffffffu;
+
+  struct Node {
+    util::TimePoint t;
+    std::uint64_t seq;
+    std::uint32_t slot;  ///< owning slab slot (dense, reused)
+  };
+
+  [[nodiscard]] bool empty() const { return nodes_.empty(); }
+  [[nodiscard]] std::size_t size() const { return nodes_.size(); }
+
+  /// The minimum node. Precondition: !empty().
+  [[nodiscard]] const Node& top() const { return nodes_.front(); }
+
+  [[nodiscard]] bool contains(std::uint32_t slot) const {
+    return slot < pos_.size() && pos_[slot] != kNpos;
+  }
+
+  void push(util::TimePoint t, std::uint64_t seq, std::uint32_t slot) {
+    if (slot >= pos_.size()) pos_.resize(slot + 1, kNpos);
+    nodes_.push_back(Node{t, seq, slot});
+    sift_up(nodes_.size() - 1);
+  }
+
+  /// Removes and returns the slot of the minimum node. Precondition:
+  /// !empty().
+  std::uint32_t pop() {
+    const std::uint32_t slot = nodes_.front().slot;
+    remove_at(0);
+    return slot;
+  }
+
+  /// Removes the node owned by `slot`, if present. O(log n), no tombstone.
+  bool erase(std::uint32_t slot) {
+    if (!contains(slot)) return false;
+    remove_at(pos_[slot]);
+    return true;
+  }
+
+  void clear() {
+    nodes_.clear();
+    pos_.clear();
+  }
+
+ private:
+  static bool less(const Node& a, const Node& b) {
+    return a.t < b.t || (a.t == b.t && a.seq < b.seq);
+  }
+
+  void place(std::size_t i, const Node& n) {
+    nodes_[i] = n;
+    pos_[n.slot] = static_cast<std::uint32_t>(i);
+  }
+
+  void remove_at(std::size_t i) {
+    pos_[nodes_[i].slot] = kNpos;
+    const Node last = nodes_.back();
+    nodes_.pop_back();
+    if (i == nodes_.size()) return;  // removed the tail
+    place(i, last);
+    // The hole filler can be out of order in either direction.
+    if (i > 0 && less(nodes_[i], nodes_[(i - 1) >> 2])) {
+      sift_up(i);
+    } else {
+      sift_down(i);
+    }
+  }
+
+  void sift_up(std::size_t i) {
+    Node n = nodes_[i];
+    while (i > 0) {
+      const std::size_t parent = (i - 1) >> 2;
+      if (!less(n, nodes_[parent])) break;
+      place(i, nodes_[parent]);
+      i = parent;
+    }
+    place(i, n);
+  }
+
+  void sift_down(std::size_t i) {
+    Node n = nodes_[i];
+    const std::size_t size = nodes_.size();
+    for (;;) {
+      const std::size_t first_child = 4 * i + 1;
+      if (first_child >= size) break;
+      const std::size_t last_child =
+          first_child + 4 <= size ? first_child + 4 : size;
+      std::size_t best = first_child;
+      for (std::size_t c = first_child + 1; c < last_child; ++c) {
+        if (less(nodes_[c], nodes_[best])) best = c;
+      }
+      if (!less(nodes_[best], n)) break;
+      place(i, nodes_[best]);
+      i = best;
+    }
+    place(i, n);
+  }
+
+  std::vector<Node> nodes_;
+  std::vector<std::uint32_t> pos_;  ///< slot → index in nodes_, kNpos if out
+};
+
+}  // namespace faaspart::sim

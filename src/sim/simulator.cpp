@@ -12,13 +12,42 @@ void DelayAwaiter::await_suspend(std::coroutine_handle<> h) {
   sim.schedule_in(d, [h] { h.resume(); });
 }
 
+std::uint32_t Simulator::acquire_slot() {
+  if (free_head_ != EventHeap::kNpos) {
+    const std::uint32_t slot = free_head_;
+    free_head_ = slots_[slot].next_free;
+    return slot;
+  }
+  slots_.emplace_back();
+  return static_cast<std::uint32_t>(slots_.size() - 1);
+}
+
+Simulator::Callback Simulator::retire_slot(std::uint32_t slot, Retire how) {
+  EventSlot& s = slots_[slot];
+  Callback cb = std::move(s.cb);
+  s.cb = nullptr;
+  s.pending = false;
+  if (s.weak) --weak_events_;
+  s.weak = false;
+  s.retired_how = how;
+  ++s.gen;
+  s.next_free = free_head_;
+  free_head_ = slot;
+  --live_events_;
+  return cb;
+}
+
 Simulator::EventId Simulator::schedule_impl(TimePoint t, Callback cb,
                                             bool weak) {
   FP_CHECK_MSG(t >= now_, "event scheduled in the past");
   FP_CHECK_MSG(static_cast<bool>(cb), "null event callback");
-  const EventId id = next_id_++;
-  heap_.push(HeapEntry{t, next_seq_++, id});
-  callbacks_.emplace(id, Slot{std::move(cb), weak});
+  const std::uint32_t slot = acquire_slot();
+  EventSlot& s = slots_[slot];
+  const EventId id = (static_cast<EventId>(s.gen) << 32) | slot;
+  s.cb = std::move(cb);
+  s.pending = true;
+  s.weak = weak;
+  heap_.push(t, next_seq_++, slot);
   ++live_events_;
   if (weak) ++weak_events_;
   return id;
@@ -42,41 +71,43 @@ Simulator::EventId Simulator::schedule_weak_in(Duration d, Callback cb) {
   return schedule_impl(now_ + d, std::move(cb), /*weak=*/true);
 }
 
-bool Simulator::cancel(EventId id) {
-  const auto it = callbacks_.find(id);
-  if (it == callbacks_.end()) return false;
-  if (it->second.weak) --weak_events_;
-  callbacks_.erase(it);
-  --live_events_;
-  // The heap entry stays behind and is skipped lazily in step().
-  return true;
+Simulator::CancelResult Simulator::cancel_event(EventId id) {
+  const std::uint32_t slot = slot_of(id);
+  const std::uint32_t gen = gen_of(id);
+  if (slot >= slots_.size() || gen == 0) return CancelResult::kUnknown;
+  EventSlot& s = slots_[slot];
+  if (s.pending && s.gen == gen) {
+    heap_.erase(slot);  // O(log n), no tombstone left behind
+    (void)retire_slot(slot, Retire::kCancelled);
+    return CancelResult::kCancelled;
+  }
+  // Only the most recently retired occupant's fate is recorded; once the
+  // slot moved on past that generation the answer is honest ignorance.
+  if (s.gen == gen + 1) {
+    switch (s.retired_how) {
+      case Retire::kFired: return CancelResult::kAlreadyFired;
+      case Retire::kCancelled: return CancelResult::kAlreadyCancelled;
+      case Retire::kNone: break;
+    }
+  }
+  return CancelResult::kUnknown;
 }
 
 bool Simulator::step() { return step_impl(/*run_weak_only=*/false); }
 
 bool Simulator::step_impl(bool run_weak_only) {
-  while (!heap_.empty()) {
-    // With nothing but weak observers pending, the simulation is done:
-    // samplers would tick forever against a finished workload.
-    if (!run_weak_only && live_events_ == weak_events_) return false;
-    const HeapEntry top = heap_.top();
-    const auto it = callbacks_.find(top.id);
-    if (it == callbacks_.end()) {
-      heap_.pop();  // cancelled — discard the stale heap entry
-      continue;
-    }
-    FP_CHECK(top.t >= now_);
-    heap_.pop();
-    now_ = top.t;
-    if (it->second.weak) --weak_events_;
-    Callback cb = std::move(it->second.cb);
-    callbacks_.erase(it);
-    --live_events_;
-    ++processed_;
-    cb();
-    return true;
-  }
-  return false;
+  if (heap_.empty()) return false;
+  // With nothing but weak observers pending, the simulation is done:
+  // samplers would tick forever against a finished workload.
+  if (!run_weak_only && live_events_ == weak_events_) return false;
+  const EventHeap::Node top = heap_.top();
+  FP_CHECK(top.t >= now_);
+  heap_.pop();
+  now_ = top.t;
+  Callback cb = retire_slot(top.slot, Retire::kFired);
+  ++processed_;
+  cb();
+  return true;
 }
 
 void Simulator::run() {
@@ -89,13 +120,8 @@ void Simulator::run() {
 void Simulator::run_until(TimePoint t) {
   FP_CHECK_MSG(t >= now_, "run_until into the past");
   rethrow_failure_if_any();
-  while (!heap_.empty()) {
-    // Skip stale (cancelled) entries so the horizon check sees a real event.
-    if (callbacks_.find(heap_.top().id) == callbacks_.end()) {
-      heap_.pop();
-      continue;
-    }
-    if (heap_.top().t > t) break;
+  // The heap holds no cancelled entries, so the head is always a real event.
+  while (!heap_.empty() && heap_.top().t <= t) {
     // Weak events inside the horizon still run: a bounded run_until() is a
     // live observation window, not a drain.
     step_impl(/*run_weak_only=*/true);

@@ -15,12 +15,12 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "sim/co.hpp"
+#include "sim/event_heap.hpp"
 #include "util/units.hpp"
 
 namespace faaspart::faults {
@@ -89,9 +89,29 @@ class Simulator {
   EventId schedule_weak_at(TimePoint t, Callback cb);
   EventId schedule_weak_in(Duration d, Callback cb);
 
-  /// Cancels a pending event. Returns false if it already ran or was
-  /// cancelled (both are benign — cancellation is idempotent).
-  bool cancel(EventId id);
+  /// Outcome of a cancel() request, in decreasing order of "it worked":
+  /// kCancelled   — the event was pending and is now removed;
+  /// kAlreadyFired    — the event ran before the cancel arrived;
+  /// kAlreadyCancelled — a previous cancel already removed it;
+  /// kUnknown     — the id was never issued, or its slot has since been
+  ///                recycled so its fate is no longer recorded.
+  enum class CancelResult : std::uint8_t {
+    kCancelled,
+    kAlreadyFired,
+    kAlreadyCancelled,
+    kUnknown,
+  };
+
+  /// Cancels a pending event and reports what actually happened. All
+  /// non-kCancelled outcomes are benign — cancellation is idempotent — but
+  /// callers that must not race their own completion (engine replanning)
+  /// can now tell "too late, it ran" from "already cancelled".
+  CancelResult cancel_event(EventId id);
+
+  /// Convenience form: true iff the event was pending and got cancelled.
+  bool cancel(EventId id) {
+    return cancel_event(id) == CancelResult::kCancelled;
+  }
 
   /// Runs the next event. Returns false when the queue is empty or only weak
   /// events remain.
@@ -137,21 +157,40 @@ class Simulator {
   [[nodiscard]] obs::Telemetry* telemetry() const { return telemetry_; }
 
  private:
-  struct HeapEntry {
-    TimePoint t;
-    std::uint64_t seq;
-    EventId id;
-    bool operator>(const HeapEntry& o) const {
-      return t > o.t || (t == o.t && seq > o.seq);
-    }
+  // Pending events live in a slab of slots; the indexed 4-ary EventHeap
+  // orders the pending slots by (time, seq). An EventId encodes
+  // (generation << 32 | slot): a slot's generation bumps every time the
+  // event in it retires (fires or is cancelled), so stale ids can never
+  // touch the slot's next occupant. Generations start at 1 so no valid id
+  // is ever 0 — callers use 0 as a "no event" sentinel. Compared with the
+  // old priority_queue + unordered_map design this removes the per-event
+  // hash-map node allocation, the hash lookups on the pop path, and the
+  // tombstones cancels used to leave in the queue.
+  enum class Retire : std::uint8_t { kNone, kFired, kCancelled };
+
+  struct EventSlot {
+    Callback cb;
+    std::uint32_t gen = 1;
+    std::uint32_t next_free = EventHeap::kNpos;
+    bool pending = false;
+    bool weak = false;
+    /// How the previous occupant (generation `gen - 1`) retired — the
+    /// record cancel_event() consults to explain a stale id.
+    Retire retired_how = Retire::kNone;
   };
 
-  struct Slot {
-    Callback cb;
-    bool weak = false;
-  };
+  static std::uint32_t slot_of(EventId id) {
+    return static_cast<std::uint32_t>(id & 0xffffffffu);
+  }
+  static std::uint32_t gen_of(EventId id) {
+    return static_cast<std::uint32_t>(id >> 32);
+  }
 
   EventId schedule_impl(TimePoint t, Callback cb, bool weak);
+  std::uint32_t acquire_slot();
+  /// Marks `slot` retired (generation bump + free-list push) and returns
+  /// its callback for the caller to run or drop.
+  Callback retire_slot(std::uint32_t slot, Retire how);
   bool step_impl(bool run_weak_only);
   void rethrow_failure_if_any();
   void reap_root(std::uint64_t id);
@@ -159,13 +198,13 @@ class Simulator {
 
   TimePoint now_{};
   std::uint64_t next_seq_ = 0;
-  EventId next_id_ = 1;
   std::uint64_t processed_ = 0;
   std::size_t live_events_ = 0;  // scheduled and not yet run/cancelled
   std::size_t weak_events_ = 0;  // subset of live_events_ that is weak
   std::size_t live_processes_ = 0;
-  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>> heap_;
-  std::unordered_map<EventId, Slot> callbacks_;
+  EventHeap heap_;
+  std::vector<EventSlot> slots_;
+  std::uint32_t free_head_ = EventHeap::kNpos;
   std::vector<ProcessFailure> failures_;
   std::size_t next_failure_to_rethrow_ = 0;
 

@@ -1,0 +1,123 @@
+// Determinism goldens for the parallel replication runner: the fig2 / fig4
+// / table1 point sets (reduced for test runtime) and the chaos soak with an
+// active FaultPlan must produce byte-identical merged output and identical
+// per-point makespans at --jobs 1, 2 and 8. This is the ctest target behind
+// the PR's acceptance criterion; the binary carries the `chaos` label so
+// the battery also re-runs under the ASan/UBSan tier (scripts/tier1.sh).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "runner/experiments.hpp"
+#include "runner/runner.hpp"
+
+namespace faaspart::runner {
+namespace {
+
+const int kJobTiers[] = {1, 2, 8};
+
+TEST(RunnerDeterminism, Fig2PointSetByteIdenticalAcrossJobs) {
+  std::vector<Fig2Point> points;
+  for (const int sms : {2, 20, 108}) points.push_back(Fig2Point{sms, 5});
+
+  std::string golden;
+  std::vector<double> golden_latencies;
+  for (const int jobs : kJobTiers) {
+    const auto results = run_points<Fig2Result>(
+        static_cast<int>(points.size()),
+        [&](int i) { return run_fig2_point(points[static_cast<std::size_t>(i)]); },
+        jobs);
+    const std::string text = render_fig2(results);
+    std::vector<double> latencies;
+    for (const auto& r : results) {
+      latencies.push_back(r.t7_s);
+      latencies.push_back(r.t13_s);
+    }
+    if (jobs == 1) {
+      golden = text;
+      golden_latencies = latencies;
+      EXPECT_NE(golden.find("Knee check"), std::string::npos);
+    } else {
+      EXPECT_EQ(text, golden) << "jobs=" << jobs;
+      EXPECT_EQ(latencies, golden_latencies) << "jobs=" << jobs;
+    }
+  }
+}
+
+TEST(RunnerDeterminism, Fig4PointSetByteIdenticalAcrossJobs) {
+  auto points = fig4_points();
+  for (auto& p : points) p.total_completions = 12;
+
+  std::string golden;
+  std::vector<std::int64_t> golden_makespans;
+  for (const int jobs : kJobTiers) {
+    const auto results = run_points<workloads::MultiplexRunResult>(
+        static_cast<int>(points.size()),
+        [&](int i) { return run_fig4_point(points[static_cast<std::size_t>(i)]); },
+        jobs);
+    const std::string text = render_fig4(results);
+    std::vector<std::int64_t> makespans;
+    for (const auto& r : results) makespans.push_back(r.batch.makespan.ns);
+    if (jobs == 1) {
+      golden = text;
+      golden_makespans = makespans;
+    } else {
+      EXPECT_EQ(text, golden) << "jobs=" << jobs;
+      EXPECT_EQ(makespans, golden_makespans) << "jobs=" << jobs;
+    }
+  }
+}
+
+TEST(RunnerDeterminism, Table1PointSetByteIdenticalAcrossJobs) {
+  Table1Options opts;
+  opts.window = util::seconds(10);
+  opts.llama_completions = 2;
+  const auto techniques = table1_points();
+
+  std::string golden;
+  for (const int jobs : kJobTiers) {
+    const auto results = run_points<Table1Result>(
+        static_cast<int>(techniques.size()),
+        [&](int i) {
+          return run_table1_point(techniques[static_cast<std::size_t>(i)], opts);
+        },
+        jobs);
+    const std::string text = render_table1(results);
+    if (jobs == 1) {
+      golden = text;
+      EXPECT_NE(golden.find("mps-percentage"), std::string::npos);
+    } else {
+      EXPECT_EQ(text, golden) << "jobs=" << jobs;
+    }
+  }
+}
+
+// The chaos soak runs with an *active* FaultPlan (worker crashes + device
+// errors at several Poisson rates): fault delivery, DFK retries and
+// backoff must all land identically whether the replications share one
+// thread or race across eight.
+TEST(RunnerDeterminism, ChaosSoakWithActiveFaultPlanAcrossJobs) {
+  std::string golden;
+  bool golden_pass = false;
+  for (const int jobs : kJobTiers) {
+    ChaosSoakOptions opts;
+    opts.jobs = jobs;
+    opts.completions = 8;
+    const ChaosSoakReport report = run_chaos_soak(opts);
+    if (jobs == 1) {
+      golden = report.text;
+      golden_pass = report.pass;
+      // The reduced configuration still injects real faults.
+      EXPECT_NE(golden.find("faults"), std::string::npos);
+      EXPECT_EQ(golden.find("DIVERGED"), std::string::npos);
+      EXPECT_EQ(golden.find("MISMATCH"), std::string::npos);
+    } else {
+      EXPECT_EQ(report.text, golden) << "jobs=" << jobs;
+      EXPECT_EQ(report.pass, golden_pass) << "jobs=" << jobs;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace faaspart::runner

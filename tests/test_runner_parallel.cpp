@@ -1,0 +1,185 @@
+// Stress tests for the work-stealing replication runner: many tiny
+// simulations sharing one result sink, exception propagation in canonical
+// order, and the --jobs CLI contract. This binary is also the TSan tier's
+// subject (FAASPART_SANITIZE=thread in CI): every simulator, coroutine
+// frame and arena block here is created and destroyed on pool worker
+// threads, so a data race anywhere on those paths trips the sanitizer.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "runner/runner.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace faaspart::runner {
+namespace {
+
+using namespace util::literals;
+
+/// One tiny self-contained simulation: a few hundred events including a
+/// coroutine chain and cancel churn, returning a value derived from the
+/// final virtual clock.
+std::int64_t tiny_sim(int index) {
+  sim::Simulator sim;
+  util::Rng rng(static_cast<std::uint64_t>(index) + 1);
+  std::int64_t acc = 0;
+  for (int i = 0; i < 100; ++i) {
+    sim.schedule_in(util::nanoseconds(rng.uniform_int(0, 1000)),
+                    [&acc] { ++acc; });
+  }
+  // Cancel churn: half the timers get replanned once.
+  std::vector<sim::Simulator::EventId> timers;
+  for (int i = 0; i < 50; ++i) {
+    timers.push_back(sim.schedule_in(util::nanoseconds(2000 + i), [] {}));
+  }
+  for (std::size_t i = 0; i < timers.size(); i += 2) {
+    EXPECT_TRUE(sim.cancel(timers[i]));
+    sim.schedule_in(util::nanoseconds(rng.uniform_int(0, 3000)), [] {});
+  }
+  sim.spawn([](sim::Simulator& s, std::int64_t* out) -> sim::Co<void> {
+    for (int hop = 0; hop < 20; ++hop) co_await s.delay(1_ns);
+    *out += 1000;
+  }(sim, &acc));
+  sim.run();
+  return acc * 1000 + sim.now().ns % 1000 + index;
+}
+
+TEST(RunnerParallel, ManyTinySimsSharedSink) {
+  const int n = 200;
+  // Reference results, computed inline.
+  std::vector<std::int64_t> expected;
+  expected.reserve(n);
+  for (int i = 0; i < n; ++i) expected.push_back(tiny_sim(i));
+
+  for (const int jobs : {1, 2, 8}) {
+    std::atomic<std::int64_t> sum{0};  // a second, racy-if-buggy sink
+    const auto results = run_points<std::int64_t>(
+        n,
+        [&](int i) {
+          const std::int64_t r = tiny_sim(i);
+          sum.fetch_add(r, std::memory_order_relaxed);
+          return r;
+        },
+        jobs);
+    EXPECT_EQ(results, expected) << "jobs=" << jobs;
+    EXPECT_EQ(sum.load(),
+              std::accumulate(expected.begin(), expected.end(),
+                              std::int64_t{0}))
+        << "jobs=" << jobs;
+  }
+}
+
+TEST(RunnerParallel, EveryIndexRunsExactlyOnce) {
+  const int n = 500;
+  std::vector<std::atomic<int>> counts(n);
+  for (auto& c : counts) c.store(0);
+  for_each_point(n, [&](int i) { counts[static_cast<std::size_t>(i)]++; }, 8);
+  for (int i = 0; i < n; ++i) EXPECT_EQ(counts[static_cast<std::size_t>(i)].load(), 1);
+}
+
+TEST(RunnerParallel, FirstExceptionInCanonicalOrderWins) {
+  for (const int jobs : {1, 2, 8}) {
+    try {
+      for_each_point(
+          64,
+          [](int i) {
+            if (i == 41 || i == 7) {
+              throw std::runtime_error("point " + std::to_string(i));
+            }
+          },
+          jobs);
+      FAIL() << "expected an exception (jobs=" << jobs << ")";
+    } catch (const std::runtime_error& e) {
+      // Independent of which worker hit its failure first, the rethrow is
+      // the smallest failing index.
+      EXPECT_STREQ(e.what(), "point 7") << "jobs=" << jobs;
+    }
+  }
+}
+
+TEST(RunnerParallel, AllPointsFinishEvenWhenOneThrows) {
+  std::vector<std::atomic<int>> counts(32);
+  for (auto& c : counts) c.store(0);
+  EXPECT_THROW(for_each_point(
+                   32,
+                   [&](int i) {
+                     counts[static_cast<std::size_t>(i)]++;
+                     if (i == 3) throw std::runtime_error("boom");
+                   },
+                   4),
+               std::runtime_error);
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(counts[static_cast<std::size_t>(i)].load(), 1) << "point " << i;
+  }
+}
+
+TEST(RunnerParallel, ZeroAndNegativePointsAreNoops) {
+  int ran = 0;
+  for_each_point(0, [&](int) { ++ran; }, 4);
+  for_each_point(-3, [&](int) { ++ran; }, 4);
+  EXPECT_EQ(ran, 0);
+}
+
+TEST(RunnerParallel, MoreJobsThanPoints) {
+  const auto results =
+      run_points<int>(3, [](int i) { return i * i; }, 64);
+  EXPECT_EQ(results, (std::vector<int>{0, 1, 4}));
+}
+
+TEST(RunnerParallel, EffectiveJobsDefaultsToHardware) {
+  EXPECT_GE(effective_jobs(0), 1);
+  EXPECT_GE(effective_jobs(-5), 1);
+  EXPECT_EQ(effective_jobs(3), 3);
+}
+
+// -- --jobs flag parsing -----------------------------------------------------
+
+TEST(RunnerParallel, ParseJobsFlagForms) {
+  {
+    const char* raw[] = {"bench", "--jobs", "4", "--obs"};
+    char* argv[4];
+    for (int i = 0; i < 4; ++i) argv[i] = const_cast<char*>(raw[i]);
+    int argc = 4;
+    const JobsFlag flag = parse_jobs_flag(argc, argv);
+    EXPECT_TRUE(flag.ok);
+    EXPECT_EQ(flag.jobs, 4);
+    ASSERT_EQ(argc, 2);  // --jobs 4 consumed, --obs kept
+    EXPECT_STREQ(argv[1], "--obs");
+  }
+  {
+    const char* raw[] = {"bench", "--jobs=8"};
+    char* argv[2];
+    for (int i = 0; i < 2; ++i) argv[i] = const_cast<char*>(raw[i]);
+    int argc = 2;
+    const JobsFlag flag = parse_jobs_flag(argc, argv);
+    EXPECT_TRUE(flag.ok);
+    EXPECT_EQ(flag.jobs, 8);
+    EXPECT_EQ(argc, 1);
+  }
+}
+
+TEST(RunnerParallel, ParseJobsFlagRejectsGarbage) {
+  {
+    const char* raw[] = {"bench", "--jobs", "nope"};
+    char* argv[3];
+    for (int i = 0; i < 3; ++i) argv[i] = const_cast<char*>(raw[i]);
+    int argc = 3;
+    EXPECT_FALSE(parse_jobs_flag(argc, argv).ok);
+  }
+  {
+    const char* raw[] = {"bench", "--jobs"};
+    char* argv[2];
+    for (int i = 0; i < 2; ++i) argv[i] = const_cast<char*>(raw[i]);
+    int argc = 2;
+    EXPECT_FALSE(parse_jobs_flag(argc, argv).ok);
+  }
+}
+
+}  // namespace
+}  // namespace faaspart::runner

@@ -1,0 +1,219 @@
+// Property tests for the indexed 4-ary EventHeap: randomized interleavings
+// of push / erase / pop cross-checked against a naive sorted-vector model.
+// The heap is the ordering authority for every simulation run, so the
+// properties pinned here — (t, seq) min order, equal-timestamp FIFO,
+// erase-anywhere correctness — are what "bit-for-bit deterministic"
+// ultimately rests on.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "sim/event_heap.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace faaspart::sim {
+namespace {
+
+using util::TimePoint;
+
+/// The naive model: a flat vector scanned for the (t, seq) minimum.
+class NaiveModel {
+ public:
+  struct Entry {
+    TimePoint t;
+    std::uint64_t seq;
+    std::uint32_t slot;
+  };
+
+  void push(TimePoint t, std::uint64_t seq, std::uint32_t slot) {
+    entries_.push_back({t, seq, slot});
+  }
+
+  [[nodiscard]] bool empty() const { return entries_.empty(); }
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+  [[nodiscard]] const Entry& top() const {
+    return *std::min_element(entries_.begin(), entries_.end(),
+                             [](const Entry& a, const Entry& b) {
+                               return a.t < b.t || (a.t == b.t && a.seq < b.seq);
+                             });
+  }
+
+  std::uint32_t pop() {
+    const Entry min = top();
+    erase(min.slot);
+    return min.slot;
+  }
+
+  bool erase(std::uint32_t slot) {
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (it->slot == slot) {
+        entries_.erase(it);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  [[nodiscard]] bool contains(std::uint32_t slot) const {
+    for (const auto& e : entries_) {
+      if (e.slot == slot) return true;
+    }
+    return false;
+  }
+
+ private:
+  std::vector<Entry> entries_;
+};
+
+TEST(EventHeap, PopsInTimeOrder) {
+  EventHeap heap;
+  heap.push(TimePoint{30}, 0, 0);
+  heap.push(TimePoint{10}, 1, 1);
+  heap.push(TimePoint{20}, 2, 2);
+  EXPECT_EQ(heap.pop(), 1u);
+  EXPECT_EQ(heap.pop(), 2u);
+  EXPECT_EQ(heap.pop(), 0u);
+  EXPECT_TRUE(heap.empty());
+}
+
+TEST(EventHeap, EqualTimestampsPopFifo) {
+  EventHeap heap;
+  for (std::uint32_t i = 0; i < 64; ++i) heap.push(TimePoint{5}, i, i);
+  for (std::uint32_t i = 0; i < 64; ++i) EXPECT_EQ(heap.pop(), i);
+}
+
+TEST(EventHeap, EraseRemovesWithoutTombstone) {
+  EventHeap heap;
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    heap.push(TimePoint{static_cast<std::int64_t>(i)}, i, i);
+  }
+  EXPECT_TRUE(heap.erase(0));   // erase the head
+  EXPECT_TRUE(heap.erase(5));   // erase mid-heap
+  EXPECT_TRUE(heap.erase(9));   // erase the max
+  EXPECT_FALSE(heap.erase(5));  // already gone
+  EXPECT_EQ(heap.size(), 7u);
+  std::vector<std::uint32_t> order;
+  while (!heap.empty()) order.push_back(heap.pop());
+  EXPECT_EQ(order, (std::vector<std::uint32_t>{1, 2, 3, 4, 6, 7, 8}));
+}
+
+TEST(EventHeap, EraseOfPoppedSlotFails) {
+  EventHeap heap;
+  heap.push(TimePoint{1}, 0, 7);
+  EXPECT_EQ(heap.pop(), 7u);
+  EXPECT_FALSE(heap.contains(7));
+  EXPECT_FALSE(heap.erase(7));
+}
+
+TEST(EventHeap, SlotReuseAfterErase) {
+  EventHeap heap;
+  heap.push(TimePoint{10}, 0, 3);
+  EXPECT_TRUE(heap.erase(3));
+  heap.push(TimePoint{20}, 1, 3);  // the slab reuses slot 3
+  EXPECT_TRUE(heap.contains(3));
+  EXPECT_EQ(heap.top().t, TimePoint{20});
+  EXPECT_EQ(heap.pop(), 3u);
+}
+
+// The main battery: random interleavings with heavy timestamp collisions
+// (small time range) so FIFO tie-breaks and mid-heap erases are exercised
+// constantly, cross-checked op-for-op against the naive model.
+TEST(EventHeap, RandomInterleavingsMatchNaiveModel) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    EventHeap heap;
+    NaiveModel model;
+    util::Rng rng(seed);
+    std::uint64_t seq = 0;
+    std::uint32_t next_slot = 0;
+    std::vector<std::uint32_t> live;  // slots currently in both structures
+    std::vector<std::uint32_t> free_slots;
+
+    for (int op = 0; op < 4000; ++op) {
+      const int kind = rng.uniform_int(0, 99);
+      if (kind < 50 || live.empty()) {
+        // push — slots recycle through a free list like the simulator slab
+        std::uint32_t slot;
+        if (!free_slots.empty() && rng.uniform_int(0, 1) == 0) {
+          slot = free_slots.back();
+          free_slots.pop_back();
+        } else {
+          slot = next_slot++;
+        }
+        const TimePoint t{rng.uniform_int(0, 50)};
+        heap.push(t, seq, slot);
+        model.push(t, seq, slot);
+        ++seq;
+        live.push_back(slot);
+      } else if (kind < 75) {
+        // pop the minimum from both; they must agree exactly
+        ASSERT_FALSE(heap.empty());
+        ASSERT_EQ(heap.top().t, model.top().t);
+        ASSERT_EQ(heap.top().seq, model.top().seq);
+        const std::uint32_t got = heap.pop();
+        const std::uint32_t want = model.pop();
+        ASSERT_EQ(got, want);
+        live.erase(std::find(live.begin(), live.end(), got));
+        free_slots.push_back(got);
+      } else {
+        // erase a uniformly chosen live slot
+        const std::size_t pick = static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<int>(live.size()) - 1));
+        const std::uint32_t slot = live[pick];
+        ASSERT_TRUE(heap.erase(slot));
+        ASSERT_TRUE(model.erase(slot));
+        ASSERT_FALSE(heap.contains(slot));
+        live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
+        free_slots.push_back(slot);
+      }
+      ASSERT_EQ(heap.size(), model.size());
+    }
+
+    // Drain: the full remaining pop order must match the model.
+    while (!model.empty()) {
+      ASSERT_EQ(heap.pop(), model.pop());
+    }
+    ASSERT_TRUE(heap.empty());
+  }
+}
+
+// Churn shape the sharing engines produce: schedule far-future completion,
+// cancel it, schedule a nearer one — repeatedly, against a base load.
+TEST(EventHeap, CancelRescheduleChurnMatchesModel) {
+  EventHeap heap;
+  NaiveModel model;
+  util::Rng rng(42);
+  std::uint64_t seq = 0;
+  // Base load of stable timers.
+  for (std::uint32_t i = 0; i < 100; ++i) {
+    const TimePoint t{rng.uniform_int(1000, 2000)};
+    heap.push(t, seq, i);
+    model.push(t, seq, i);
+    ++seq;
+  }
+  std::uint32_t churn_slot = 100;
+  bool churn_live = false;
+  for (int round = 0; round < 2000; ++round) {
+    if (churn_live) {
+      ASSERT_TRUE(heap.erase(churn_slot));
+      ASSERT_TRUE(model.erase(churn_slot));
+    }
+    const TimePoint t{rng.uniform_int(0, 3000)};
+    heap.push(t, seq, churn_slot);
+    model.push(t, seq, churn_slot);
+    ++seq;
+    churn_live = true;
+    if (round % 50 == 49) {
+      ASSERT_EQ(heap.pop(), model.pop());
+      // The churn timer itself may have been the minimum.
+      churn_live = heap.contains(churn_slot);
+    }
+  }
+  while (!model.empty()) ASSERT_EQ(heap.pop(), model.pop());
+}
+
+}  // namespace
+}  // namespace faaspart::sim

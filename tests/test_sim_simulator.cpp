@@ -134,6 +134,75 @@ TEST(Simulator, NullCallbackRejected) {
   EXPECT_THROW(sim.schedule_in(1_s, Simulator::Callback{}), util::Error);
 }
 
+// -- cancel status (regression: fired-event cancel used to be a silent
+// no-op that left the id mapping stale) --------------------------------------
+
+TEST(Simulator, CancelEventReportsCancelled) {
+  Simulator sim;
+  const auto id = sim.schedule_in(1_s, [] {});
+  EXPECT_EQ(sim.cancel_event(id), Simulator::CancelResult::kCancelled);
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(Simulator, CancelOfFiredEventReportsAlreadyFired) {
+  Simulator sim;
+  bool ran = false;
+  const auto id = sim.schedule_in(1_s, [&] { ran = true; });
+  sim.run();
+  EXPECT_TRUE(ran);
+  // Regression: this used to be indistinguishable from "never existed" and
+  // relied on lazy map cleanup; it now reports the event's actual fate and
+  // the slot is fully retired (no stale mapping for the id).
+  EXPECT_EQ(sim.cancel_event(id), Simulator::CancelResult::kAlreadyFired);
+  EXPECT_FALSE(sim.cancel(id));
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(Simulator, DoubleCancelReportsAlreadyCancelled) {
+  Simulator sim;
+  const auto id = sim.schedule_in(1_s, [] {});
+  EXPECT_EQ(sim.cancel_event(id), Simulator::CancelResult::kCancelled);
+  EXPECT_EQ(sim.cancel_event(id), Simulator::CancelResult::kAlreadyCancelled);
+  sim.run();
+  EXPECT_EQ(sim.cancel_event(id), Simulator::CancelResult::kAlreadyCancelled);
+}
+
+TEST(Simulator, CancelOfUnknownIdReportsUnknown) {
+  Simulator sim;
+  // 0 is the "no event" sentinel used across the engines; huge ids name
+  // slots that were never allocated.
+  EXPECT_EQ(sim.cancel_event(0), Simulator::CancelResult::kUnknown);
+  EXPECT_EQ(sim.cancel_event(0xdeadbeefdeadbeefull),
+            Simulator::CancelResult::kUnknown);
+  EXPECT_FALSE(sim.cancel(0));
+}
+
+TEST(Simulator, StaleIdAfterSlotReuseStaysStale) {
+  Simulator sim;
+  bool second_ran = false;
+  const auto first = sim.schedule_in(1_s, [] {});
+  sim.run();  // fires; its slot returns to the free list
+  const auto second = sim.schedule_in(1_s, [&] { second_ran = true; });
+  EXPECT_NE(first, second);  // generation bump keeps ids distinct
+  // Cancelling the fired event's id must not touch the slot's new occupant.
+  EXPECT_NE(sim.cancel_event(first), Simulator::CancelResult::kCancelled);
+  sim.run();
+  EXPECT_TRUE(second_ran);
+}
+
+TEST(Simulator, CancelFiredWeakEventKeepsAccounting) {
+  Simulator sim;
+  const auto weak = sim.schedule_weak_in(1_s, [] {});
+  sim.schedule_in(2_s, [] {});
+  sim.run();  // the weak tick fires at 1 s while strong work pends
+  EXPECT_EQ(sim.cancel_event(weak), Simulator::CancelResult::kAlreadyFired);
+  // A fresh strong event still drains normally (weak counter not corrupted).
+  bool ran = false;
+  sim.schedule_in(1_s, [&] { ran = true; });
+  sim.run();
+  EXPECT_TRUE(ran);
+}
+
 // -- weak events (telemetry sampler ticks) ----------------------------------
 
 TEST(Simulator, WeakEventsAloneDoNotKeepRunAlive) {

@@ -1,0 +1,39 @@
+// Cluster serving — routing policies on a federated GPU fleet (DESIGN.md §9).
+//
+// An open-loop Poisson sweep over 16 A100 endpoints serving a mixed
+// LLaMa-2 7B + ResNet-50 tenant pair each, run at 0.5x / 1x / 2x the
+// saturation arrival rate for each routing policy. The table reports
+// throughput, p50/p95/p99 completion, shed rate, fleet utilization, and
+// weight-cache reloads — the contrast the serving layer exists for:
+//   * sticky / slo-aware routing keeps models where their weights already
+//     live, so the `reloads` column collapses vs round-robin;
+//   * at 2x saturation, admission control sheds instead of queueing without
+//     bound, keeping admitted-request p99 within the SLO envelope.
+//
+// Points shard across the parallel runner (`--jobs N`); output is
+// byte-identical for any N (pinned in tests/test_runner_determinism.cpp).
+#include <iostream>
+
+#include "runner/experiments.hpp"
+#include "runner/runner.hpp"
+
+using namespace faaspart;
+
+int main(int argc, char** argv) {
+  const runner::JobsFlag jobs = runner::parse_jobs_flag(argc, argv);
+  if (!jobs.ok || argc > 1) {
+    std::cerr << (jobs.ok ? "unknown argument" : jobs.error) << "\nusage: "
+              << argv[0] << " [--jobs N]\n";
+    return 2;
+  }
+
+  const auto points = runner::cluster_serving_points();
+  const auto results = runner::run_points<runner::ClusterServingResult>(
+      static_cast<int>(points.size()),
+      [&points](int i) {
+        return runner::run_cluster_serving_point(points[static_cast<std::size_t>(i)]);
+      },
+      jobs.jobs);
+  std::cout << runner::render_cluster_serving(results);
+  return 0;
+}

@@ -8,8 +8,9 @@ cmake -B build -S .
 cmake --build build -j2
 ctest --test-dir build --output-on-failure -j2
 
-# Second tree with sanitizers; only the chaos-labelled binaries need to
-# build, which keeps the single-core builder's turnaround tolerable.
+# Second tree with sanitizers; only the chaos/federation-labelled binaries
+# need to build, which keeps the single-core builder's turnaround tolerable.
 cmake -B build-asan -S . -DFAASPART_SANITIZE=address
-cmake --build build-asan -j2 --target test_faults test_properties test_runner_determinism
-ctest --test-dir build-asan -L chaos --output-on-failure
+cmake --build build-asan -j2 --target test_faults test_properties \
+  test_runner_determinism test_federation test_federation_cluster
+ctest --test-dir build-asan -L "chaos|federation" --output-on-failure

@@ -36,8 +36,10 @@ sim::Co<void> WeightCache::load(gpu::Device& dev, gpu::ContextId ctx,
     co_return;
   }
 
-  // Miss: allocate in the daemon context, evicting LRU entries on pressure.
+  // Miss: allocate in the daemon context, evicting LRU entries on pressure —
+  // first against the configured byte budget, then against device OOM.
   ++misses_;
+  evict_for_budget(dev, scope, app.model_bytes);
   gpu::AllocationId alloc = 0;
   while (true) {
     try {
@@ -66,6 +68,32 @@ sim::Co<void> WeightCache::load(gpu::Device& dev, gpu::ContextId ctx,
       util::from_seconds(static_cast<double>(app.model_bytes) / rate));
   // The requesting worker then attaches like any other consumer.
   co_await dev.simulator().delay(attach_cost_);
+}
+
+void WeightCache::evict_for_budget(gpu::Device& dev, Scope& scope,
+                                   util::Bytes incoming) {
+  if (capacity_ <= 0) return;
+  const auto resident = [&scope] {
+    util::Bytes total = 0;
+    for (const auto& [name, entry] : scope.entries) total += entry.bytes;
+    return total;
+  };
+  while (!scope.entries.empty() && resident() + incoming > capacity_) {
+    auto lru = scope.entries.begin();
+    for (auto it = scope.entries.begin(); it != scope.entries.end(); ++it) {
+      if (it->second.last_used < lru->second.last_used) lru = it;
+    }
+    dev.free(scope.daemon_ctx, lru->second.alloc);
+    scope.entries.erase(lru);
+    ++evictions_;
+  }
+}
+
+bool WeightCache::holds(const std::string& model_key) const {
+  for (const auto& [key, scope] : scopes_) {
+    if (scope.entries.contains(model_key)) return true;
+  }
+  return false;
 }
 
 util::Bytes WeightCache::resident_bytes(const gpu::Device& dev) const {

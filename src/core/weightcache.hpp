@@ -28,9 +28,13 @@ namespace faaspart::core {
 class WeightCache final : public faas::ModelLoader {
  public:
   /// `attach_cost`: virtual time to map an already-resident model into a
-  /// new context (IPC handle open + pointer fix-up).
-  explicit WeightCache(util::Duration attach_cost = util::milliseconds(120))
-      : attach_cost_(attach_cost) {}
+  /// new context (IPC handle open + pointer fix-up). `capacity` caps the
+  /// bytes resident per pool scope (0 = limited only by device memory);
+  /// loads over budget evict LRU entries first, so the cache can be held
+  /// below the working set to study reload thrash (bench/cluster_serving).
+  explicit WeightCache(util::Duration attach_cost = util::milliseconds(120),
+                       util::Bytes capacity = 0)
+      : attach_cost_(attach_cost), capacity_(capacity) {}
 
   sim::Co<void> load(gpu::Device& dev, gpu::ContextId ctx,
                      const faas::AppDef& app) override;
@@ -46,6 +50,12 @@ class WeightCache final : public faas::ModelLoader {
   [[nodiscard]] std::uint64_t hits() const { return hits_; }
   [[nodiscard]] std::uint64_t misses() const { return misses_; }
   [[nodiscard]] std::uint64_t evictions() const { return evictions_; }
+  [[nodiscard]] util::Duration attach_cost() const { return attach_cost_; }
+  [[nodiscard]] util::Bytes capacity() const { return capacity_; }
+
+  /// True when any scope holds `model_key` — the routing-layer signal for
+  /// sticky dispatch (a load would hit the attach path, not the upload).
+  [[nodiscard]] bool holds(const std::string& model_key) const;
 
   /// Weights currently resident for one pool scope.
   [[nodiscard]] util::Bytes resident_bytes(const gpu::Device& dev) const;
@@ -83,7 +93,12 @@ class WeightCache final : public faas::ModelLoader {
     return ScopeKey{&dev, instance};
   }
 
+  /// Frees LRU entries until `scope` can take `incoming` more bytes under
+  /// capacity_ (no-op when capacity_ == 0).
+  void evict_for_budget(gpu::Device& dev, Scope& scope, util::Bytes incoming);
+
   util::Duration attach_cost_;
+  util::Bytes capacity_;
   std::map<ScopeKey, Scope> scopes_;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;

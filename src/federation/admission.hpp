@@ -1,0 +1,89 @@
+// Admission control for the cluster serving subsystem (DESIGN.md §9).
+//
+// Two knobs, both per function class:
+//   - a token bucket caps the sustained submit rate (burst-tolerant), and
+//   - queue-depth / deadline policies shed requests that would only sit in
+//     the service queue past any useful completion time.
+//
+// Shedding at the front door is what keeps admitted-request p99 bounded at
+// 2× saturation: every request the bucket or the depth check turns away is
+// one that would otherwise push the queue — and everyone behind it — further
+// past its deadline. Shed requests fail fast with ShedError; nothing is
+// silently dropped (the caller still gets a settled future and a record).
+#pragma once
+
+#include <algorithm>
+#include <string>
+
+#include "util/error.hpp"
+#include "util/units.hpp"
+
+namespace faaspart::federation {
+
+/// A request refused by admission control; `what()` carries the reason.
+class ShedError : public util::Error {
+ public:
+  explicit ShedError(const std::string& what) : Error("shed: " + what) {}
+};
+
+/// Token bucket over virtual time: capacity `burst` tokens, refilled at
+/// `rate_hz`. Lazy refill — no events, so an idle bucket costs nothing.
+class TokenBucket {
+ public:
+  TokenBucket(double rate_hz, double burst, util::TimePoint start = {})
+      : rate_hz_(rate_hz), burst_(burst), tokens_(burst), last_(start) {
+    FP_CHECK_MSG(rate_hz > 0, "token bucket rate must be positive");
+    FP_CHECK_MSG(burst >= 1.0, "token bucket burst must hold >= 1 token");
+  }
+
+  /// Takes one token if available at `now`; false = rate-limited.
+  bool try_take(util::TimePoint now) {
+    refill(now);
+    if (tokens_ < 1.0) return false;
+    tokens_ -= 1.0;
+    return true;
+  }
+
+  [[nodiscard]] double tokens(util::TimePoint now) {
+    refill(now);
+    return tokens_;
+  }
+
+ private:
+  void refill(util::TimePoint now) {
+    FP_CHECK_MSG(now >= last_, "token bucket time went backwards");
+    tokens_ = std::min(burst_, tokens_ + (now - last_).seconds() * rate_hz_);
+    last_ = now;
+  }
+
+  double rate_hz_;
+  double burst_;
+  double tokens_;
+  util::TimePoint last_;
+};
+
+/// Per-function serving class: WFQ share, admission limits, SLO.
+struct FunctionClass {
+  /// Weighted-fair-queueing share; backlogged functions drain in proportion.
+  double weight = 1.0;
+
+  /// Sustained admission rate (token bucket); 0 = unlimited.
+  double rate_hz = 0.0;
+  /// Bucket depth in requests (how much burst above rate_hz is absorbed).
+  double burst = 1.0;
+
+  /// Service-side queue cap for this function; 0 = unbounded.
+  std::size_t max_queue = 0;
+
+  /// Completion SLO measured from cluster submit. New requests whose
+  /// predicted queue wait exceeds it are shed at admission ("deadline");
+  /// queued requests already past it are shed at dispatch ("expired").
+  /// 0 = none.
+  util::Duration deadline{};
+
+  /// Initial per-request service-time guess (WFQ cost unit); refined by an
+  /// EWMA of observed run times once completions arrive.
+  util::Duration service_estimate = util::seconds(1);
+};
+
+}  // namespace faaspart::federation

@@ -1,0 +1,360 @@
+#include "federation/cluster.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "obs/telemetry.hpp"
+#include "util/strings.hpp"
+
+namespace faaspart::federation {
+
+const char* to_string(ClusterPolicy policy) {
+  switch (policy) {
+    case ClusterPolicy::kRoundRobin: return "round-robin";
+    case ClusterPolicy::kLeastLoaded: return "least-loaded";
+    case ClusterPolicy::kSticky: return "sticky";
+    case ClusterPolicy::kSloAware: return "slo-aware";
+  }
+  return "?";
+}
+
+ClusterService::ClusterService(sim::Simulator& sim, ComputeService& service,
+                               ClusterOptions opts)
+    : sim_(sim),
+      service_(service),
+      opts_(opts),
+      work_gate_(sim, /*open=*/false),
+      credit_gate_(sim, /*open=*/false) {
+  FP_CHECK_MSG(opts_.inflight_per_slot > 0, "inflight_per_slot must be positive");
+  FP_CHECK_MSG(opts_.ewma_alpha > 0 && opts_.ewma_alpha <= 1,
+               "ewma_alpha must be in (0, 1]");
+}
+
+void ClusterService::configure_function(const std::string& function_id,
+                                        FunctionClass cls) {
+  (void)service_.function_def(function_id);  // throws on unknown functions
+  FP_CHECK_MSG(cls.weight > 0, "function weight must be positive");
+  FunctionState& st = functions_[function_id];
+  st.cls = cls;
+  st.bucket = cls.rate_hz > 0
+                  ? std::make_unique<TokenBucket>(cls.rate_hz,
+                                                  std::max(1.0, cls.burst),
+                                                  sim_.now())
+                  : nullptr;
+  queue_.set_weight(function_id, cls.weight);
+}
+
+ClusterService::FunctionState& ClusterService::state_of(
+    const std::string& function_id) {
+  return functions_[function_id];
+}
+
+double ClusterService::service_estimate_s(const FunctionState& st) const {
+  if (st.service_ewma_s > 0) return st.service_ewma_s;
+  const double guess = st.cls.service_estimate.seconds();
+  return guess > 0 ? guess : 1.0;
+}
+
+util::Duration ClusterService::predicted_wait() const {
+  // Conservative until the first completion lands: an unknown service time
+  // predicts zero wait rather than shedding on a guess.
+  if (mean_service_s_ <= 0 || queue_.empty()) return util::Duration{};
+  std::size_t slots = 0;
+  for (const auto& name : service_.endpoint_names()) {
+    slots += service_.endpoint(name).worker_slots();
+  }
+  const double wait_s = static_cast<double>(queue_.size()) * mean_service_s_ /
+                        static_cast<double>(std::max<std::size_t>(1, slots));
+  return util::from_seconds(wait_s);
+}
+
+void ClusterService::shed(const std::string& function_id, const Pending& p,
+                          const std::string& reason) {
+  ++stats_.shed;
+  ++stats_.shed_by_reason[reason];
+  p.record->state = faas::TaskRecord::State::kFailed;
+  p.record->finished = sim_.now();
+  p.record->error = "shed: " + reason;
+  if (auto* tel = sim_.telemetry()) {
+    tel->metrics()
+        .counter("federation_shed_total",
+                 {{"function", function_id}, {"reason", reason}})
+        .add();
+    if (auto* tr = tel->tracer()) {
+      const auto trace = tr->begin_trace();
+      tr->add_closed(trace, 0, p.record->app, "shed", p.enqueued, sim_.now(),
+                     "cluster:" + reason);
+    }
+  }
+  p.promise.set_exception(std::make_exception_ptr(
+      ShedError(reason + " (" + function_id + ")")));
+}
+
+faas::AppHandle ClusterService::submit(const std::string& function_id,
+                                       const std::string& executor_label) {
+  const faas::AppDef& app = service_.function_def(function_id);
+  FunctionState& st = state_of(function_id);
+  ++stats_.submitted;
+
+  auto record = std::make_shared<faas::TaskRecord>();
+  record->app = app.name;
+  record->executor = "cluster";
+  record->submitted = sim_.now();
+  sim::Promise<faas::AppValue> promise(sim_);
+  auto future = promise.future();
+  Pending p{function_id, executor_label, std::move(promise), record, sim_.now()};
+
+  std::string reason;
+  if (st.bucket && !st.bucket->try_take(sim_.now())) {
+    reason = "rate-limit";
+  } else if (st.cls.max_queue > 0 &&
+             queue_.queued(function_id) >= st.cls.max_queue) {
+    reason = "queue-full";
+  } else if (st.cls.deadline.ns > 0 && predicted_wait() > st.cls.deadline) {
+    reason = "deadline";
+  }
+  if (!reason.empty()) {
+    shed(function_id, p, reason);
+    return faas::AppHandle{std::move(future), std::move(record)};
+  }
+
+  ++stats_.admitted;
+  if (auto* tel = sim_.telemetry()) {
+    tel->metrics()
+        .counter("federation_admitted_total", {{"function", function_id}})
+        .add();
+  }
+  admitted_futures_.push_back(future);
+  queue_.push(function_id, service_estimate_s(st), std::move(p));
+  work_gate_.open();
+  if (!pump_running_) {
+    pump_running_ = true;
+    sim_.spawn(pump(), "cluster-pump");
+  }
+  return faas::AppHandle{std::move(future), std::move(record)};
+}
+
+std::size_t ClusterService::credit_limit(const Endpoint& ep) const {
+  const auto limit = static_cast<std::size_t>(
+      static_cast<double>(ep.worker_slots()) * opts_.inflight_per_slot);
+  return std::max<std::size_t>(1, limit);
+}
+
+bool ClusterService::any_credit() const {
+  // A partitioned endpoint's credit only counts when *nothing* is reachable:
+  // while any endpoint is up, waiting for one of its credits beats parking
+  // work behind a WAN gate of unknown duration (dispatch never selects a
+  // partitioned endpoint while a reachable one exists — see
+  // test_federation_cluster's partition properties).
+  bool any_reachable = false;
+  bool reachable_credit = false;
+  bool any = false;
+  for (const auto& name : service_.endpoint_names()) {
+    const Endpoint& ep = service_.endpoint(name);
+    const auto it = inflight_.find(name);
+    const std::size_t used = it != inflight_.end() ? it->second : 0;
+    const bool credit = used < credit_limit(ep);
+    const bool up = ep.reachable();
+    any_reachable = any_reachable || up;
+    any = any || credit;
+    reachable_credit = reachable_credit || (credit && up);
+  }
+  return any_reachable ? reachable_credit : any;
+}
+
+Endpoint* ClusterService::choose_endpoint(const Pending& p) {
+  const faas::AppDef& app = service_.function_def(p.function_id);
+  const std::string& model = app.effective_model_key();
+  const std::vector<std::string> names = service_.endpoint_names();
+
+  if (opts_.policy == ClusterPolicy::kRoundRobin) {
+    // Cycle the (sorted) name list; reachable endpoints with credit win,
+    // partitioned ones only serve when nothing reachable has credit.
+    Endpoint* fallback = nullptr;
+    for (std::size_t hop = 0; hop < names.size(); ++hop) {
+      const std::size_t i = (round_robin_next_ + hop) % names.size();
+      Endpoint& ep = service_.endpoint(names[i]);
+      const auto it = inflight_.find(names[i]);
+      const std::size_t used = it != inflight_.end() ? it->second : 0;
+      if (used >= credit_limit(ep)) continue;
+      if (ep.reachable()) {
+        round_robin_next_ = (i + 1) % names.size();
+        return &ep;
+      }
+      if (fallback == nullptr) fallback = &ep;
+    }
+    round_robin_next_ = (round_robin_next_ + 1) % names.size();
+    return fallback;
+  }
+
+  // Score-based policies: lower is better; candidates arrive in name order,
+  // so strict `<` makes every tie-break the lowest endpoint name.
+  struct Cand {
+    Endpoint* ep;
+    double per_slot_load;
+    bool holds;
+  };
+  std::vector<Cand> reachable;
+  std::vector<Cand> partitioned;
+  for (const auto& name : names) {
+    Endpoint& ep = service_.endpoint(name);
+    const auto it = inflight_.find(name);
+    const std::size_t used = it != inflight_.end() ? it->second : 0;
+    if (used >= credit_limit(ep)) continue;
+    const double slots =
+        static_cast<double>(std::max<std::size_t>(1, ep.worker_slots()));
+    const bool holds = app.model_bytes > 0 && ep.holds_model(model);
+    Cand c{&ep, static_cast<double>(used) / slots, holds};
+    (ep.reachable() ? reachable : partitioned).push_back(c);
+  }
+  const std::vector<Cand>& cands = reachable.empty() ? partitioned : reachable;
+  if (cands.empty()) return nullptr;
+
+  const auto least_loaded = [](const std::vector<Cand>& set) {
+    const Cand* best = nullptr;
+    for (const auto& c : set) {
+      if (best == nullptr || c.per_slot_load < best->per_slot_load) best = &c;
+    }
+    return best->ep;
+  };
+
+  switch (opts_.policy) {
+    case ClusterPolicy::kLeastLoaded:
+      return least_loaded(cands);
+    case ClusterPolicy::kSticky: {
+      std::vector<Cand> warm;
+      for (const auto& c : cands) {
+        if (c.holds) warm.push_back(c);
+      }
+      if (!warm.empty()) return least_loaded(warm);
+      const auto sit = functions_.find(p.function_id);
+      if (sit != functions_.end() && !sit->second.last_endpoint.empty()) {
+        for (const auto& c : cands) {
+          if (c.ep->name() == sit->second.last_endpoint) return c.ep;
+        }
+      }
+      return least_loaded(cands);
+    }
+    case ClusterPolicy::kSloAware: {
+      const auto fit = functions_.find(p.function_id);
+      const double svc = fit != functions_.end()
+                             ? service_estimate_s(fit->second)
+                             : 1.0;
+      const Cand* best = nullptr;
+      double best_score = std::numeric_limits<double>::max();
+      for (const auto& c : cands) {
+        const double score = c.ep->rtt().seconds() + c.per_slot_load * svc +
+                             c.ep->cold_start_estimate(app).seconds();
+        if (best == nullptr || score < best_score) {
+          best = &c;
+          best_score = score;
+        }
+      }
+      return best->ep;
+    }
+    case ClusterPolicy::kRoundRobin: break;  // handled above
+  }
+  return nullptr;
+}
+
+void ClusterService::dispatch(Pending p) {
+  Endpoint* ep = choose_endpoint(p);
+  FP_CHECK_MSG(ep != nullptr, "dispatch without an eligible endpoint");
+  const std::string name = ep->name();
+  const faas::AppDef& app = service_.function_def(p.function_id);
+  if (app.model_bytes > 0 && ep->holds_model(app.effective_model_key())) {
+    ++stats_.sticky_hits;
+  }
+  ++stats_.dispatched;
+  ++inflight_[name];
+  state_of(p.function_id).last_endpoint = name;
+
+  faas::AppHandle inner = service_.submit(p.function_id, name, p.executor_label);
+  // Chain the endpoint-side settle back into the cluster-level handle: adopt
+  // the execution observables but keep the cluster submit time, so
+  // completion_time() includes the service-queue wait.
+  auto outer_rec = p.record;
+  auto inner_rec = inner.record;
+  auto inner_future = inner.future;
+  auto promise = p.promise;  // shared state; safe to copy into the callback
+  const auto cluster_submit = outer_rec->submitted;
+  const std::string fn = p.function_id;
+  inner_future.on_ready([this, name, fn, outer_rec, inner_rec, inner_future,
+                         promise, cluster_submit] {
+    *outer_rec = *inner_rec;
+    outer_rec->submitted = cluster_submit;
+    --inflight_[name];
+    credit_gate_.open();
+    if (outer_rec->state == faas::TaskRecord::State::kDone) {
+      const double obs = inner_rec->run_time().seconds();
+      if (obs > 0) {
+        auto& st = state_of(fn);
+        st.service_ewma_s =
+            st.service_ewma_s > 0
+                ? opts_.ewma_alpha * obs + (1 - opts_.ewma_alpha) * st.service_ewma_s
+                : obs;
+        mean_service_s_ =
+            mean_service_s_ > 0
+                ? opts_.ewma_alpha * obs + (1 - opts_.ewma_alpha) * mean_service_s_
+                : obs;
+      }
+    }
+    if (auto err = inner_future.error()) {
+      promise.set_exception(err);
+    } else {
+      promise.set_value(inner_future.value());
+    }
+  });
+}
+
+sim::Co<void> ClusterService::pump() {
+  while (true) {
+    if (queue_.empty()) {
+      if (stopping_) break;
+      work_gate_.close();
+      co_await work_gate_.wait();
+      continue;
+    }
+    {
+      // Shed queued requests whose deadline already passed — dispatching
+      // them would burn an endpoint credit on a guaranteed SLO miss.
+      const std::string fn = queue_.peek().function_id;
+      const FunctionState& st = state_of(fn);
+      if (st.cls.deadline.ns > 0 &&
+          queue_.peek().enqueued + st.cls.deadline <= sim_.now()) {
+        const Pending expired = queue_.pop(fn);
+        shed(fn, expired, "expired");
+        continue;
+      }
+    }
+    if (!any_credit()) {
+      credit_gate_.close();
+      co_await credit_gate_.wait();
+      continue;  // re-check expiry: the head may have aged past its deadline
+    }
+    const std::string fn = queue_.peek().function_id;
+    Pending next = queue_.pop(fn);
+    dispatch(std::move(next));
+  }
+  pump_running_ = false;
+}
+
+sim::Co<void> ClusterService::shutdown() {
+  stopping_ = true;
+  work_gate_.open();
+  // Admitted futures settle as the pump drains; re-check the (growing) list
+  // like ComputeService::shutdown does.
+  std::size_t settled = 0;
+  while (settled < admitted_futures_.size()) {
+    const auto f = admitted_futures_[settled];
+    ++settled;
+    try {
+      (void)co_await f;
+    } catch (...) {
+      // Sheds and task failures settle too; that's all shutdown needs.
+    }
+  }
+  co_await service_.shutdown();
+}
+
+}  // namespace faaspart::federation

@@ -1,0 +1,134 @@
+// ClusterService — the cluster-scale serving layer on top of ComputeService
+// (DESIGN.md §9).
+//
+// ComputeService routes each submit to an endpoint immediately; at cluster
+// load that just relocates the queue to whichever endpoint the policy hit.
+// ClusterService instead keeps a *service-side* queue:
+//
+//   submit → admission control (token bucket, queue cap, deadline)
+//          → weighted fair queue across functions
+//          → pump: dispatch to the best endpoint that has a credit
+//
+// Credits bound the work in flight per endpoint (worker_slots ×
+// inflight_per_slot), so endpoints stay busy without absorbing the backlog —
+// the queue, and therefore the fairness and shedding decisions, stay at the
+// service where every function and every endpoint is visible.
+//
+// Routing policies (tie-breaks are always the lexicographically smallest
+// endpoint name — determinism is load-bearing, see test_runner_determinism):
+//   kRoundRobin   cycle endpoints, skipping unreachable/credit-less ones
+//   kLeastLoaded  fewest in-flight per worker slot
+//   kSticky       prefer endpoints whose WeightCache already holds the
+//                 function's model (MQFQ-Sticky, arXiv:2507.08954), then the
+//                 function's last endpoint, then least-loaded
+//   kSloAware     minimize predicted completion: WAN RTT + queue-wait
+//                 estimate + cold-start/weight-reload estimate
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "federation/admission.hpp"
+#include "federation/service.hpp"
+#include "federation/wfq.hpp"
+
+namespace faaspart::federation {
+
+enum class ClusterPolicy { kRoundRobin, kLeastLoaded, kSticky, kSloAware };
+
+[[nodiscard]] const char* to_string(ClusterPolicy policy);
+
+struct ClusterOptions {
+  ClusterPolicy policy = ClusterPolicy::kSloAware;
+  /// Dispatch credits per endpoint worker slot: how deep each endpoint's
+  /// local pipeline may run before further work waits in the service queue.
+  double inflight_per_slot = 2.0;
+  /// Smoothing for observed per-function service times (WFQ costs and
+  /// queue-wait predictions).
+  double ewma_alpha = 0.2;
+};
+
+struct ClusterStats {
+  std::size_t submitted = 0;
+  std::size_t admitted = 0;
+  std::size_t shed = 0;
+  std::size_t dispatched = 0;
+  /// Dispatches that landed on an endpoint already holding the function's
+  /// model (no weight reload) — the stickiness payoff.
+  std::size_t sticky_hits = 0;
+  std::map<std::string, std::size_t> shed_by_reason;
+};
+
+class ClusterService {
+ public:
+  ClusterService(sim::Simulator& sim, ComputeService& service,
+                 ClusterOptions opts = {});
+
+  /// Sets the serving class of a registered function (weight, rate limit,
+  /// queue cap, deadline). Unconfigured functions get FunctionClass{}.
+  void configure_function(const std::string& function_id, FunctionClass cls);
+
+  /// Submits through admission control and the fair queue. Always returns a
+  /// handle whose future settles: with the task's value, its execution
+  /// error, or ShedError when admission refused it.
+  faas::AppHandle submit(const std::string& function_id,
+                         const std::string& executor_label);
+
+  /// Drains the service queue, settles every admitted request, then shuts
+  /// down the underlying ComputeService and its endpoints.
+  sim::Co<void> shutdown();
+
+  [[nodiscard]] const ClusterStats& stats() const { return stats_; }
+  [[nodiscard]] std::size_t queue_depth() const { return queue_.size(); }
+  [[nodiscard]] ComputeService& service() { return service_; }
+
+ private:
+  struct Pending {
+    std::string function_id;
+    std::string executor_label;
+    sim::Promise<faas::AppValue> promise;
+    std::shared_ptr<faas::TaskRecord> record;
+    util::TimePoint enqueued{};
+  };
+
+  struct FunctionState {
+    FunctionClass cls;
+    std::unique_ptr<TokenBucket> bucket;  ///< null when cls.rate_hz == 0
+    double service_ewma_s = 0;            ///< 0 until the first completion
+    std::string last_endpoint;            ///< sticky fallback
+  };
+
+  FunctionState& state_of(const std::string& function_id);
+  [[nodiscard]] double service_estimate_s(const FunctionState& st) const;
+  /// Predicted service-queue wait for a newly admitted request.
+  [[nodiscard]] util::Duration predicted_wait() const;
+
+  void shed(const std::string& function_id, const Pending& p,
+            const std::string& reason);
+  [[nodiscard]] std::size_t credit_limit(const Endpoint& ep) const;
+  [[nodiscard]] bool any_credit() const;
+  /// The policy decision. Only considers endpoints with spare credit
+  /// (callers guarantee at least one exists).
+  [[nodiscard]] Endpoint* choose_endpoint(const Pending& p);
+  void dispatch(Pending p);
+  sim::Co<void> pump();
+
+  sim::Simulator& sim_;
+  ComputeService& service_;
+  ClusterOptions opts_;
+  WfqScheduler<Pending> queue_;
+  std::map<std::string, FunctionState> functions_;
+  std::map<std::string, std::size_t> inflight_;  ///< per endpoint (credits used)
+  ClusterStats stats_;
+  double mean_service_s_ = 0;  ///< EWMA across all functions
+  sim::Gate work_gate_;        ///< opened when the queue gains work
+  sim::Gate credit_gate_;      ///< opened when an endpoint credit frees up
+  bool pump_running_ = false;
+  bool stopping_ = false;
+  std::size_t round_robin_next_ = 0;
+  std::vector<sim::Future<faas::AppValue>> admitted_futures_;
+};
+
+}  // namespace faaspart::federation

@@ -69,11 +69,56 @@ void Endpoint::add_cpu_executor(const std::string& label, int workers) {
 
 void Endpoint::add_gpu_executor(const faas::HtexConfig& cfg,
                                 faas::ModelLoader* loader) {
-  dfk_.add_executor(partitioner_.build_executor(sim_, provider_, cfg, loader, rec_));
+  if (loader == nullptr) loader = cache_.get();
+  auto ex = partitioner_.build_executor(sim_, provider_, cfg, loader, rec_);
+  gpu_executors_[cfg.label] = ex.get();
+  dfk_.add_executor(std::move(ex));
   executor_labels_.push_back(cfg.label);
   worker_slots_ += cfg.available_accelerators.empty()
                        ? static_cast<std::size_t>(cfg.max_workers)
                        : cfg.available_accelerators.size();
+}
+
+core::WeightCache& Endpoint::enable_weight_cache(util::Duration attach_cost,
+                                                 util::Bytes capacity) {
+  FP_CHECK_MSG(cache_ == nullptr, "weight cache already enabled");
+  FP_CHECK_MSG(gpu_executors_.empty(),
+               "enable_weight_cache must precede add_gpu_executor");
+  cache_ = std::make_unique<core::WeightCache>(attach_cost, capacity);
+  return *cache_;
+}
+
+bool Endpoint::holds_model(const std::string& model_key) const {
+  return cache_ != nullptr && cache_->holds(model_key);
+}
+
+util::Duration Endpoint::cold_start_estimate(const faas::AppDef& app) const {
+  if (app.model_bytes <= 0) return app.function_init;
+  if (holds_model(app.effective_model_key())) return cache_->attach_cost();
+  // Uploads ride the first device's model-load path; a GPU-less endpoint
+  // keeps a pessimistic default so routing still orders sensibly.
+  const double bw = devices_.device_count() > 0
+                        ? devices_.device(0).arch().model_load_bw
+                        : 1e9;
+  return app.function_init +
+         util::from_seconds(static_cast<double>(app.model_bytes) / bw);
+}
+
+core::Autoscaler& Endpoint::enable_autoscaler(
+    const std::vector<std::pair<std::string, int>>& tenants,
+    util::TimePoint deadline, core::AutoscalerOptions opts) {
+  FP_CHECK_MSG(autoscaler_ == nullptr, "autoscaler already enabled");
+  FP_CHECK_MSG(!tenants.empty(), "autoscaler needs tenants");
+  reconfigurer_ = std::make_unique<core::Reconfigurer>(devices_);
+  autoscaler_ = std::make_unique<core::Autoscaler>(sim_, *reconfigurer_, opts);
+  for (const auto& [label, pct] : tenants) {
+    const auto it = gpu_executors_.find(label);
+    FP_CHECK_MSG(it != gpu_executors_.end(),
+                 "autoscaler tenant must be a GPU executor label");
+    autoscaler_->add_tenant(*it->second, pct);
+  }
+  sim_.spawn(autoscaler_->run(deadline), "autoscaler@" + opts_.name);
+  return *autoscaler_;
 }
 
 std::size_t Endpoint::outstanding() const {

@@ -8,11 +8,15 @@
 // cloud service that routed the task.
 #pragma once
 
+#include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "core/autoscale.hpp"
 #include "core/partitioner.hpp"
+#include "core/weightcache.hpp"
 #include "faas/dfk.hpp"
 #include "faas/provider.hpp"
 #include "nvml/manager.hpp"
@@ -64,9 +68,42 @@ class Endpoint {
   void add_cpu_executor(const std::string& label, int workers);
 
   /// Convenience: a GPU executor from a paper-style HtexConfig (accelerator
-  /// strings + optional percentages), built through the partitioner.
+  /// strings + optional percentages), built through the partitioner. With no
+  /// explicit `loader`, executors load through the endpoint's weight cache
+  /// when enable_weight_cache() was called first.
   void add_gpu_executor(const faas::HtexConfig& cfg,
                         faas::ModelLoader* loader = nullptr);
+
+  // -- Serving-layer hooks (federation/cluster.hpp) -------------------------
+
+  /// Installs an endpoint-owned WeightCache; subsequent GPU executors load
+  /// through it. `capacity` caps resident bytes per pool scope (0 = device
+  /// memory only). Must precede add_gpu_executor.
+  core::WeightCache& enable_weight_cache(
+      util::Duration attach_cost = util::milliseconds(120),
+      util::Bytes capacity = 0);
+
+  /// The endpoint's weight cache, or null when none was enabled.
+  [[nodiscard]] core::WeightCache* weight_cache() { return cache_.get(); }
+
+  /// True when the endpoint's weight cache holds `model_key` — routing to
+  /// this endpoint pays the attach cost instead of the full upload.
+  [[nodiscard]] bool holds_model(const std::string& model_key) const;
+
+  /// Predicted cold-start charge were `app` dispatched here now: the attach
+  /// cost when the weights are cached, otherwise function init + the weight
+  /// upload at the endpoint's model-load bandwidth.
+  [[nodiscard]] util::Duration cold_start_estimate(const faas::AppDef& app) const;
+
+  /// Installs an endpoint-owned Reconfigurer + Autoscaler over GPU executor
+  /// tenants `(label, initial_percentage)` and spawns its control loop until
+  /// `deadline`. Labels must name GPU executors added earlier; tenants are
+  /// assumed to share the endpoint's first device (core/autoscale contract).
+  core::Autoscaler& enable_autoscaler(
+      const std::vector<std::pair<std::string, int>>& tenants,
+      util::TimePoint deadline, core::AutoscalerOptions opts = {});
+
+  [[nodiscard]] core::Autoscaler* autoscaler() { return autoscaler_.get(); }
 
   /// Tasks queued or running across all executors — the load signal the
   /// service's least-loaded routing uses.
@@ -91,6 +128,10 @@ class Endpoint {
   std::vector<std::uint64_t> fault_subs_;
   std::vector<std::string> executor_labels_;
   std::size_t worker_slots_ = 0;
+  std::unique_ptr<core::WeightCache> cache_;
+  std::map<std::string, faas::HighThroughputExecutor*> gpu_executors_;
+  std::unique_ptr<core::Reconfigurer> reconfigurer_;
+  std::unique_ptr<core::Autoscaler> autoscaler_;
 };
 
 }  // namespace faaspart::federation

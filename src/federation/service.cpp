@@ -140,7 +140,10 @@ faas::AppHandle ComputeService::submit_routed(const std::string& function_id,
       // Normalize by worker count so a 4-worker site and a 1-worker edge box
       // compare by per-worker backlog, and count service-side in-flight
       // tasks that have not reached the endpoint yet. Reachable endpoints
-      // always beat partitioned ones.
+      // always beat partitioned ones; equal scores break to the
+      // lexicographically smallest endpoint name, explicitly — the pick must
+      // not lean on container iteration order (pinned by test_federation's
+      // tie-break regression).
       double best = std::numeric_limits<double>::max();
       bool best_reachable = false;
       for (auto& [name, ep] : endpoints_) {
@@ -151,8 +154,12 @@ faas::AppHandle ComputeService::submit_routed(const std::string& function_id,
             static_cast<double>(std::max<std::size_t>(1, ep->worker_slots()));
         const double score = load / workers;
         const bool up = ep->reachable();
-        if ((up && !best_reachable) ||
-            (up == best_reachable && score < best)) {
+        const bool better =
+            (up && !best_reachable) ||
+            (up == best_reachable &&
+             (score < best ||
+              (score == best && chosen != nullptr && name < chosen->name())));
+        if (better) {
           best = score;
           best_reachable = up;
           chosen = ep.get();

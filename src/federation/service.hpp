@@ -33,6 +33,11 @@ class ComputeService {
   /// Registers a function; returns its id (Globus Compute's function UUID).
   std::string register_function(faas::AppDef app);
 
+  /// The registered definition; throws util::NotFoundError on unknown ids.
+  [[nodiscard]] const faas::AppDef& function_def(const std::string& function_id) const {
+    return function(function_id);
+  }
+
   /// Submits a registered function to a named endpoint's executor.
   faas::AppHandle submit(const std::string& function_id,
                          const std::string& endpoint_name,

@@ -1,0 +1,100 @@
+// Weighted fair queueing across functions (the service-side queue of the
+// cluster serving subsystem, DESIGN.md §9).
+//
+// Classic virtual-clock WFQ, specialised to the single-threaded simulator:
+// every function ("flow") has a weight; a request arriving with an expected
+// cost c gets the finish tag
+//
+//   F = max(V, F_last(flow)) + c / weight(flow)
+//
+// where V is the virtual clock (the finish tag of the most recently
+// dequeued request). pop() returns the smallest finish tag, FIFO within
+// ties via a global arrival sequence — so backlogged flows share dispatch
+// bandwidth in proportion to their weights, an idle flow's unused share is
+// redistributed, and the order is bit-for-bit deterministic.
+//
+// MQFQ-Sticky (arXiv:2507.08954) applies exactly this shape to serverless
+// GPU functions; we add its "stickiness" at the routing layer
+// (federation/cluster.hpp), not in the queue itself.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace faaspart::federation {
+
+template <typename T>
+class WfqScheduler {
+ public:
+  /// Sets (or changes) a flow's weight; flows default to weight 1 on first
+  /// push. Heavier flows drain proportionally faster under backlog.
+  void set_weight(const std::string& flow, double weight) {
+    FP_CHECK_MSG(weight > 0, "WFQ weight must be positive");
+    flows_[flow].weight = weight;
+  }
+
+  /// Enqueues one request of expected cost `cost` (any positive unit —
+  /// seconds of service works well) on `flow`.
+  void push(const std::string& flow, double cost, T item) {
+    FP_CHECK_MSG(cost > 0, "WFQ cost must be positive");
+    Flow& f = flows_[flow];  // default weight 1
+    const double start = std::max(vtime_, f.last_finish);
+    const double finish = start + cost / f.weight;
+    f.last_finish = finish;
+    ++f.queued;
+    items_.emplace(Key{finish, next_seq_++}, std::move(item));
+  }
+
+  [[nodiscard]] bool empty() const { return items_.empty(); }
+  [[nodiscard]] std::size_t size() const { return items_.size(); }
+  [[nodiscard]] std::size_t queued(const std::string& flow) const {
+    const auto it = flows_.find(flow);
+    return it == flows_.end() ? 0 : it->second.queued;
+  }
+
+  /// The item pop() would return next. Requires !empty().
+  [[nodiscard]] const T& peek() const {
+    FP_CHECK_MSG(!items_.empty(), "peek on an empty WFQ");
+    return items_.begin()->second;
+  }
+
+  /// Dequeues the smallest finish tag (FIFO within a tag tie) and advances
+  /// the virtual clock. `flow_of` must name the flow the item was pushed on.
+  T pop(const std::string& flow_of) {
+    FP_CHECK_MSG(!items_.empty(), "pop on an empty WFQ");
+    auto it = items_.begin();
+    vtime_ = std::max(vtime_, it->first.finish);
+    T out = std::move(it->second);
+    items_.erase(it);
+    auto fit = flows_.find(flow_of);
+    FP_CHECK_MSG(fit != flows_.end() && fit->second.queued > 0,
+                 "WFQ pop flow mismatch");
+    --fit->second.queued;
+    return out;
+  }
+
+  [[nodiscard]] double virtual_time() const { return vtime_; }
+
+ private:
+  struct Key {
+    double finish;
+    std::uint64_t seq;
+    auto operator<=>(const Key&) const = default;
+  };
+  struct Flow {
+    double weight = 1.0;
+    double last_finish = 0.0;
+    std::size_t queued = 0;
+  };
+
+  std::map<Key, T> items_;
+  std::map<std::string, Flow> flows_;
+  double vtime_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace faaspart::federation

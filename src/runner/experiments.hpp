@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "federation/cluster.hpp"
 #include "util/units.hpp"
 #include "workloads/multiplex_experiment.hpp"
 
@@ -102,5 +103,48 @@ struct ChaosSoakReport {
 /// each phase; phase boundaries are data dependencies (sweep horizons come
 /// from phase-1 baselines). The report text is byte-identical across jobs.
 ChaosSoakReport run_chaos_soak(const ChaosSoakOptions& opts = {});
+
+// -- Cluster serving: routing policies on a federated GPU fleet -------------
+
+struct ClusterServingOptions {
+  int endpoints = 16;  ///< A100-80GB sites, each a llama + resnet MPS tenant pair
+  util::Duration window = util::seconds(120);  ///< open-loop offered-load window
+  /// Offered load at rate_mult = 1 (≈ fleet saturation for the defaults).
+  double llama_rate_hz = 8.0;
+  double resnet_rate_hz = 48.0;
+  /// Per-endpoint autoscaler driving the Reconfigurer between the tenants.
+  bool autoscale = true;
+  std::uint64_t seed = 1;
+};
+
+struct ClusterServingPoint {
+  federation::ClusterPolicy policy = federation::ClusterPolicy::kRoundRobin;
+  double rate_mult = 1.0;  ///< arrival-rate multiplier vs the options' base
+  ClusterServingOptions opts;
+};
+
+/// Canonical order: policy (round-robin, least-loaded, sticky, slo-aware)
+/// major, rate multiplier (0.5, 1, 2) minor.
+std::vector<ClusterServingPoint> cluster_serving_points(
+    const ClusterServingOptions& opts = {});
+
+struct ClusterServingResult {
+  ClusterServingPoint point;
+  std::size_t offered = 0;    ///< requests submitted to the cluster
+  std::size_t admitted = 0;
+  std::size_t shed = 0;
+  double shed_rate = 0;       ///< shed / offered
+  double throughput = 0;      ///< completed requests per second of window
+  double p50_s = 0;           ///< admitted-request completion times
+  double p95_s = 0;
+  double p99_s = 0;
+  double gpu_util = 0;        ///< fleet mean over the window
+  std::uint64_t weight_reloads = 0;  ///< weight-cache misses fleet-wide
+  double sticky_hit_rate = 0;        ///< dispatches landing on cached weights
+};
+
+ClusterServingResult run_cluster_serving_point(const ClusterServingPoint& point);
+
+std::string render_cluster_serving(const std::vector<ClusterServingResult>& results);
 
 }  // namespace faaspart::runner

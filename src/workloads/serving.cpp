@@ -52,20 +52,27 @@ sim::Co<void> client_loop(faas::DataFlowKernel& dfk, std::string label,
   if (--*clients_left == 0) *out = summarize_handles(*handles);
 }
 
-sim::Co<void> open_loop(sim::Simulator& sim, faas::DataFlowKernel& dfk,
-                        std::string label, faas::AppDef app, double rate_hz,
+sim::Co<void> open_loop(sim::Simulator& sim, double rate_hz,
                         util::Duration duration, std::uint64_t seed,
-                        std::shared_ptr<std::vector<faas::AppHandle>> out) {
+                        std::function<void()> submit_one) {
   util::Rng rng(seed);
   const util::TimePoint end = sim.now() + duration;
   while (sim.now() < end) {
     co_await sim.delay(rng.exponential_duration(util::from_seconds(1.0 / rate_hz)));
     if (sim.now() >= end) break;
-    out->push_back(dfk.submit(app, label));
+    submit_one();
   }
 }
 
 }  // namespace
+
+std::vector<int> split_evenly(int total, int parts) {
+  FP_CHECK_MSG(parts >= 1, "need at least one part");
+  FP_CHECK_MSG(total >= 0, "negative total");
+  std::vector<int> shares(static_cast<std::size_t>(parts), total / parts);
+  for (int i = 0; i < total % parts; ++i) ++shares[static_cast<std::size_t>(i)];
+  return shares;
+}
 
 void spawn_closed_loop_batch(sim::Simulator& sim, faas::DataFlowKernel& dfk,
                              const std::string& executor_label, faas::AppDef app,
@@ -75,23 +82,31 @@ void spawn_closed_loop_batch(sim::Simulator& sim, faas::DataFlowKernel& dfk,
   FP_CHECK_MSG(total_tasks >= clients, "fewer tasks than clients");
   auto handles = std::make_shared<std::vector<faas::AppHandle>>();
   auto left = std::make_shared<int>(clients);
-  const int base = total_tasks / clients;
-  int extra = total_tasks % clients;
+  const std::vector<int> shares = split_evenly(total_tasks, clients);
   for (int c = 0; c < clients; ++c) {
-    const int n = base + (extra-- > 0 ? 1 : 0);
-    sim.spawn(client_loop(dfk, executor_label, app, n, handles, left, out),
+    sim.spawn(client_loop(dfk, executor_label, app,
+                          shares[static_cast<std::size_t>(c)], handles, left, out),
               "client" + std::to_string(c));
   }
+}
+
+void spawn_open_loop_fn(sim::Simulator& sim, double rate_hz,
+                        util::Duration duration, std::uint64_t seed,
+                        std::function<void()> submit_one) {
+  FP_CHECK_MSG(rate_hz > 0, "rate must be positive");
+  FP_CHECK_MSG(static_cast<bool>(submit_one), "open loop needs a callback");
+  sim.spawn(open_loop(sim, rate_hz, duration, seed, std::move(submit_one)),
+            "open-loop");
 }
 
 void spawn_open_loop(sim::Simulator& sim, faas::DataFlowKernel& dfk,
                      const std::string& executor_label, faas::AppDef app,
                      double rate_hz, util::Duration duration, std::uint64_t seed,
                      std::shared_ptr<std::vector<faas::AppHandle>> out) {
-  FP_CHECK_MSG(rate_hz > 0, "rate must be positive");
-  sim.spawn(open_loop(sim, dfk, executor_label, std::move(app), rate_hz, duration,
-                      seed, std::move(out)),
-            "open-loop");
+  spawn_open_loop_fn(sim, rate_hz, duration, seed,
+                     [&dfk, label = executor_label, app = std::move(app), out] {
+                       out->push_back(dfk.submit(app, label));
+                     });
 }
 
 }  // namespace faaspart::workloads

@@ -6,6 +6,7 @@
 // workload.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -36,12 +37,25 @@ void spawn_closed_loop_batch(sim::Simulator& sim, faas::DataFlowKernel& dfk,
                              int clients, int total_tasks,
                              std::shared_ptr<BatchRunResult> out);
 
+/// The closed-loop work split: `parts` shares of `total`, as even as
+/// possible, earlier shares taking the remainder (sums to exactly `total`,
+/// shares differ by at most one).
+[[nodiscard]] std::vector<int> split_evenly(int total, int parts);
+
 /// Spawns a Poisson open-loop generator: submits `app` at `rate_hz` for
 /// `duration`, appending handles to `out`. Caller runs the simulator.
 void spawn_open_loop(sim::Simulator& sim, faas::DataFlowKernel& dfk,
                      const std::string& executor_label, faas::AppDef app,
                      double rate_hz, util::Duration duration, std::uint64_t seed,
                      std::shared_ptr<std::vector<faas::AppHandle>> out);
+
+/// The generator behind spawn_open_loop, decoupled from the DFK: calls
+/// `submit_one` at Poisson arrival instants for `duration`. Lets the
+/// federation layers (ClusterService) reuse the exact arrival process — same
+/// seed ⇒ identical submit times regardless of what the callback does.
+void spawn_open_loop_fn(sim::Simulator& sim, double rate_hz,
+                        util::Duration duration, std::uint64_t seed,
+                        std::function<void()> submit_one);
 
 /// Folds a set of finished handles into a BatchRunResult.
 BatchRunResult summarize_handles(const std::vector<faas::AppHandle>& handles);

@@ -1,0 +1,154 @@
+// WeightCache invariants (core/weightcache.hpp): miss-then-hit accounting
+// and timing, residency surviving worker-context teardown, LRU eviction
+// under both the configured byte budget and device OOM, and the teardown
+// paths (evict / release_device).
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/weightcache.hpp"
+#include "faas/app.hpp"
+#include "gpu/arch.hpp"
+#include "nvml/manager.hpp"
+#include "util/error.hpp"
+
+namespace faaspart::core {
+namespace {
+
+using namespace util::literals;
+
+faas::AppDef model_app(const std::string& key, util::Bytes bytes) {
+  faas::AppDef app;
+  app.name = key;
+  app.model_key = key;
+  app.model_bytes = bytes;
+  app.body = [](faas::TaskContext&) -> sim::Co<faas::AppValue> {
+    co_return faas::AppValue{};
+  };
+  return app;
+}
+
+struct WeightCacheFixture : ::testing::Test {
+  sim::Simulator sim;
+  nvml::DeviceManager mgr{sim};
+  gpu::Device* dev = nullptr;
+
+  void SetUp() override {
+    mgr.add_device(gpu::arch::a100_80gb());
+    dev = &mgr.device(0);
+  }
+
+  /// Runs one load to completion and returns its virtual-time cost.
+  util::Duration timed_load(WeightCache& cache, gpu::ContextId ctx,
+                            const faas::AppDef& app) {
+    const auto t0 = sim.now();
+    sim.spawn(cache.load(*dev, ctx, app), "load");
+    sim.run();
+    return sim.now() - t0;
+  }
+};
+
+TEST_F(WeightCacheFixture, MissPaysUploadHitPaysAttachOnly) {
+  WeightCache cache(/*attach_cost=*/120_ms);
+  const auto ctx = dev->create_context("worker");
+  const auto app = model_app("llama", 10 * util::GB);
+
+  const auto miss = timed_load(cache, ctx, app);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 0u);
+  const double upload_s =
+      static_cast<double>(app.model_bytes) / dev->arch().model_load_bw;
+  EXPECT_NEAR(miss.seconds(), upload_s + 0.120, 1e-9);
+
+  const auto hit = timed_load(cache, ctx, app);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_NEAR(hit.seconds(), 0.120, 1e-9);
+  EXPECT_TRUE(cache.holds("llama"));
+  EXPECT_EQ(cache.resident_bytes(*dev), app.model_bytes);
+}
+
+TEST_F(WeightCacheFixture, ResidencySurvivesWorkerContextTeardown) {
+  WeightCache cache;
+  const auto ctx1 = dev->create_context("worker-1");
+  const auto app = model_app("resnet", 1 * util::GB);
+  (void)timed_load(cache, ctx1, app);
+  ASSERT_EQ(cache.misses(), 1u);
+
+  // The worker restarts (reconfiguration, crash, ...): its context dies but
+  // the weights belong to the cache's daemon context.
+  cache.on_context_destroyed(*dev, ctx1);
+  dev->destroy_context(ctx1);
+  EXPECT_TRUE(cache.holds("resnet"));
+
+  const auto ctx2 = dev->create_context("worker-2");
+  (void)timed_load(cache, ctx2, app);
+  EXPECT_EQ(cache.misses(), 1u);  // no re-upload
+  EXPECT_EQ(cache.hits(), 1u);
+}
+
+TEST_F(WeightCacheFixture, CapacityBudgetEvictsLeastRecentlyUsed) {
+  WeightCache cache(120_ms, /*capacity=*/25 * util::GB);
+  const auto ctx = dev->create_context("worker");
+  const auto a = model_app("a", 10 * util::GB);
+  const auto b = model_app("b", 10 * util::GB);
+  const auto c = model_app("c", 10 * util::GB);
+
+  (void)timed_load(cache, ctx, a);
+  (void)timed_load(cache, ctx, b);
+  EXPECT_EQ(cache.evictions(), 0u);  // both fit under 25 GB
+
+  (void)timed_load(cache, ctx, a);  // touch a — b becomes the LRU entry
+  (void)timed_load(cache, ctx, c);  // needs room: evicts b, not a
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_TRUE(cache.holds("a"));
+  EXPECT_FALSE(cache.holds("b"));
+  EXPECT_TRUE(cache.holds("c"));
+  EXPECT_EQ(cache.resident_bytes(*dev), 20 * util::GB);
+}
+
+TEST_F(WeightCacheFixture, DeviceOomEvictsLruInsteadOfFailing) {
+  WeightCache cache;  // no byte budget: limited by the 80 GB device alone
+  const auto ctx = dev->create_context("worker");
+  const auto a = model_app("a", 45 * util::GB);
+  const auto b = model_app("b", 45 * util::GB);
+
+  (void)timed_load(cache, ctx, a);
+  (void)timed_load(cache, ctx, b);  // 90 GB > 80 GB: OOM path evicts a
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_FALSE(cache.holds("a"));
+  EXPECT_TRUE(cache.holds("b"));
+}
+
+TEST_F(WeightCacheFixture, ExplicitEvictFreesAndUnknownKeyThrows) {
+  WeightCache cache;
+  const auto ctx = dev->create_context("worker");
+  (void)timed_load(cache, ctx, model_app("m", 4 * util::GB));
+
+  EXPECT_THROW(cache.evict(*dev, "never-loaded"), util::NotFoundError);
+  cache.evict(*dev, "m");
+  EXPECT_FALSE(cache.holds("m"));
+  EXPECT_EQ(cache.resident_bytes(*dev), 0);
+  EXPECT_EQ(cache.evictions(), 1u);
+}
+
+TEST_F(WeightCacheFixture, ReleaseDeviceDropsEveryScopeAndStartsCold) {
+  WeightCache cache;
+  const auto ctx = dev->create_context("worker");
+  const auto app = model_app("m", 4 * util::GB);
+  (void)timed_load(cache, ctx, app);
+  ASSERT_TRUE(cache.holds("m"));
+
+  dev->destroy_context(ctx);
+  cache.release_device(*dev);  // MIG re-layout / reset path
+  EXPECT_FALSE(cache.holds("m"));
+  EXPECT_EQ(cache.resident_bytes(*dev), 0);
+
+  // The cache rebuilds its daemon context on the next load.
+  const auto ctx2 = dev->create_context("worker");
+  (void)timed_load(cache, ctx2, app);
+  EXPECT_EQ(cache.misses(), 2u);
+  EXPECT_TRUE(cache.holds("m"));
+}
+
+}  // namespace
+}  // namespace faaspart::core

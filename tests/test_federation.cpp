@@ -1,5 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <map>
+#include <memory>
+#include <string>
+
+#include "faults/faults.hpp"
 #include "federation/service.hpp"
 #include "util/error.hpp"
 #include "workloads/llama.hpp"
@@ -156,6 +161,145 @@ TEST_F(FederationFixture, CpuExecutorConvenience) {
   sim.run();
   EXPECT_FALSE(h.future.failed());
   EXPECT_EQ(ep.devices().device_count(), 0u);
+}
+
+// Regression: with identical per-slot load, least-loaded must pick the
+// lexicographically smallest endpoint name — the tie-break is structural
+// (an explicit name comparison in the selection predicate), not an accident
+// of container iteration order, because the parallel-runner determinism
+// goldens depend on it.
+TEST_F(FederationFixture, LeastLoadedTieBreakPicksLowestName) {
+  make_endpoint("b", 1, 1_ms);
+  make_endpoint("a", 1, 1_ms);
+  const auto fn = service.register_function(quick_app(10_s));
+  for (int i = 0; i < 3; ++i) {
+    (void)service.submit_routed(fn, "gpu", RoutingPolicy::kLeastLoaded);
+  }
+  sim.run();
+  const auto counts = service.dispatch_counts();
+  // Ties at (0,0) and (1,1) both go to "a"; the middle submit sees "a"
+  // loaded and picks "b".
+  EXPECT_EQ(counts.at("a"), 2u);
+  EXPECT_EQ(counts.at("b"), 1u);
+}
+
+// Chaos property: routed dispatch never selects a WAN-partitioned endpoint
+// while reachable ones exist — under either policy.
+TEST_F(FederationFixture, RoutedDispatchAvoidsPartitionedEndpoint) {
+  make_endpoint("near", 1, 1_ms);
+  Endpoint& cut = make_endpoint("wan-cut", 1, 1_ms);
+  const auto fn = service.register_function(quick_app(1_s));
+  cut.partition_for(60_s);
+  for (int i = 0; i < 6; ++i) {
+    (void)service.submit_routed(fn, "gpu", RoutingPolicy::kLeastLoaded);
+  }
+  for (int i = 0; i < 4; ++i) {
+    (void)service.submit_routed(fn, "gpu", RoutingPolicy::kRoundRobin);
+  }
+  sim.run();
+  const auto counts = service.dispatch_counts();
+  EXPECT_EQ(counts.at("near"), 10u);
+  EXPECT_EQ(counts.find("wan-cut"), counts.end());
+  EXPECT_EQ(cut.wan_partitions(), 1u);
+}
+
+sim::Co<void> routed_arrivals(sim::Simulator* sim, ComputeService* service,
+                              std::string fn, int n, util::Duration gap) {
+  for (int i = 0; i < n; ++i) {
+    (void)service->submit_routed(fn, "gpu", RoutingPolicy::kLeastLoaded);
+    co_await sim->delay(gap);
+  }
+}
+
+std::map<std::string, std::size_t> counts_under_plan(std::uint64_t seed) {
+  sim::Simulator sim;
+  faults::FaultPlan plan;
+  plan.seed = seed;
+  plan.wan_partition_rate_hz = 0.2;
+  plan.wan_partition_mean = 2_s;
+  plan.worker_crash_rate_hz = 0.1;
+  plan.horizon = util::TimePoint{} + 30_s;
+  // The injector must exist before the endpoints: they subscribe to
+  // kWanPartition in their constructors via sim.faults().
+  faults::FaultInjector injector(sim, plan);
+  ComputeService service(sim);
+  for (const std::string name : {"a", "b", "c"}) {
+    Endpoint::Options opts;
+    opts.name = name;
+    opts.rtt = 5_ms;
+    opts.gpus = {gpu::arch::a100_80gb()};
+    Endpoint& ep =
+        service.register_endpoint(std::make_unique<Endpoint>(sim, opts));
+    faas::HtexConfig cfg;
+    cfg.label = "gpu";
+    cfg.available_accelerators = {"0"};
+    ep.add_gpu_executor(cfg);
+  }
+  faas::AppDef app;
+  app.name = "quick";
+  app.body = [](faas::TaskContext& ctx) -> sim::Co<faas::AppValue> {
+    co_await ctx.compute(1_s);
+    co_return faas::AppValue{1.0};
+  };
+  const auto fn = service.register_function(std::move(app));
+  sim.spawn(routed_arrivals(&sim, &service, fn, 30, 500_ms), "arrivals");
+  sim.run();
+  return service.dispatch_counts();
+}
+
+// Chaos property: with the same seed and the same FaultPlan, routing
+// decisions replay bit-for-bit — partitions, crashes and all.
+TEST(FederationChaos, SameSeedSameFaultPlanSameDispatchCounts) {
+  const auto first = counts_under_plan(11);
+  const auto second = counts_under_plan(11);
+  EXPECT_EQ(first, second);
+  std::size_t total = 0;
+  for (const auto& [name, n] : first) total += n;
+  EXPECT_EQ(total, 30u);  // nothing silently dropped either
+}
+
+// Chaos property: a worker-crash storm never loses a routed future — every
+// submit settles as kDone or (retries exhausted) kFailed.
+TEST(FederationChaos, CrashStormEveryRoutedFutureSettles) {
+  sim::Simulator sim;
+  faults::FaultPlan plan;
+  plan.seed = 5;
+  plan.worker_crash_rate_hz = 1.0;
+  plan.horizon = util::TimePoint{} + 60_s;
+  faults::FaultInjector injector(sim, plan);
+  ComputeService service(sim);
+  for (const std::string name : {"left", "right"}) {
+    Endpoint::Options opts;
+    opts.name = name;
+    opts.rtt = 2_ms;
+    opts.gpus = {gpu::arch::a100_80gb()};
+    opts.dfk_retries = 2;
+    Endpoint& ep =
+        service.register_endpoint(std::make_unique<Endpoint>(sim, opts));
+    faas::HtexConfig cfg;
+    cfg.label = "gpu";
+    cfg.available_accelerators = {"0"};
+    ep.add_gpu_executor(cfg);
+  }
+  faas::AppDef app;
+  app.name = "sleepy";
+  app.body = [](faas::TaskContext& ctx) -> sim::Co<faas::AppValue> {
+    co_await ctx.compute(2_s);
+    co_return faas::AppValue{1.0};
+  };
+  const auto fn = service.register_function(std::move(app));
+  std::vector<faas::AppHandle> handles;
+  for (int i = 0; i < 20; ++i) {
+    handles.push_back(
+        service.submit_routed(fn, "gpu", RoutingPolicy::kLeastLoaded));
+  }
+  sim.run();
+  EXPECT_GT(injector.stats().injected_total(), 0u);
+  for (const auto& h : handles) {
+    ASSERT_TRUE(h.future.ready());
+    EXPECT_TRUE(h.record->state == faas::TaskRecord::State::kDone ||
+                h.record->state == faas::TaskRecord::State::kFailed);
+  }
 }
 
 }  // namespace

@@ -93,6 +93,44 @@ TEST(RunnerDeterminism, Table1PointSetByteIdenticalAcrossJobs) {
   }
 }
 
+// The cluster-serving sweep is the heaviest composition in the repo (WFQ +
+// admission control + per-endpoint autoscalers + weight caches, all behind
+// the routing policies): its merged table and per-point tail latencies must
+// not depend on how the points shard across the pool.
+TEST(RunnerDeterminism, ClusterServingSweepByteIdenticalAcrossJobs) {
+  ClusterServingOptions opts;
+  opts.endpoints = 3;
+  opts.window = util::seconds(15);
+  opts.llama_rate_hz = 2.0;
+  opts.resnet_rate_hz = 12.0;
+  const auto points = cluster_serving_points(opts);
+
+  std::string golden;
+  std::vector<double> golden_tails;
+  for (const int jobs : kJobTiers) {
+    const auto results = run_points<ClusterServingResult>(
+        static_cast<int>(points.size()),
+        [&](int i) {
+          return run_cluster_serving_point(points[static_cast<std::size_t>(i)]);
+        },
+        jobs);
+    const std::string text = render_cluster_serving(results);
+    std::vector<double> tails;
+    for (const auto& r : results) {
+      tails.push_back(r.p99_s);
+      tails.push_back(r.shed_rate);
+    }
+    if (jobs == 1) {
+      golden = text;
+      golden_tails = tails;
+      EXPECT_NE(golden.find("sticky"), std::string::npos);
+    } else {
+      EXPECT_EQ(text, golden) << "jobs=" << jobs;
+      EXPECT_EQ(tails, golden_tails) << "jobs=" << jobs;
+    }
+  }
+}
+
 // The chaos soak runs with an *active* FaultPlan (worker crashes + device
 // errors at several Poisson rates): fault delivery, DFK retries and
 // backoff must all land identically whether the replications share one

@@ -1,10 +1,44 @@
 #!/usr/bin/env sh
-# Tier-1 gate: full build + full test suite, then the chaos suite again
-# under AddressSanitizer/UBSan (FAASPART_SANITIZE, see CMakeLists.txt).
+# Tier-1 gate: lint, then full build + full test suite, then the chaos suite
+# again under AddressSanitizer/UBSan (FAASPART_SANITIZE, see CMakeLists.txt).
+#
+#   scripts/tier1.sh          full gate
+#   scripts/tier1.sh --lint   lint stage only (fast pre-commit check)
 set -eu
 cd "$(dirname "$0")/.."
 
+lint_only=0
+for arg in "$@"; do
+  case "$arg" in
+    --lint) lint_only=1 ;;
+    *) echo "usage: $0 [--lint]" >&2; exit 2 ;;
+  esac
+done
+
+# --- lint stage -----------------------------------------------------------
+# faaspart-lint (tools/lint) enforces the determinism/concurrency rules
+# D1/D2/C1/C2/O1 over src/ under .faaspart-lint; any unsuppressed finding
+# fails the build. The run is driven by the exported compile database plus a
+# directory walk (so headers are covered too) and drops a machine-readable
+# findings file under build/ for CI to archive. The .clang-tidy baseline
+# runs when clang-tidy exists (the dev container ships only GCC; CI
+# installs it).
 cmake -B build -S .
+cmake --build build -j2 --target faaspart_lint
+./build/tools/lint/faaspart_lint --root . \
+  --compile-commands build/compile_commands.json --only src \
+  --json=build/lint_findings.jsonl src
+if command -v clang-tidy >/dev/null 2>&1; then
+  clang-tidy -p build --quiet src/sim/*.cpp src/runner/*.cpp
+else
+  echo "tier1: clang-tidy not installed; skipping the .clang-tidy baseline"
+fi
+
+if [ "$lint_only" -eq 1 ]; then
+  exit 0
+fi
+
+# --- full build + test suite ----------------------------------------------
 cmake --build build -j2
 ctest --test-dir build --output-on-failure -j2
 

@@ -80,6 +80,8 @@ sim::Co<void> DataFlowKernel::run_attempts(
   obs::Tracer* tracer =
       tel != nullptr && logical->trace.active() ? tel->tracer() : nullptr;
   const auto count = [tel](const char* name, double n = 1.0) {
+    // faaspart-lint: allow(O1) -- cold path: only retry/walltime-kill/failure
+    // bookkeeping goes through this helper, never the per-task happy path
     if (tel != nullptr) tel->metrics().counter(name).add(n);
   };
   const auto close_root = [&](const std::string& note) {

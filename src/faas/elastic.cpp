@@ -47,6 +47,8 @@ sim::Co<void> ElasticController::run(util::TimePoint deadline) {
   const auto count = [this, tel](const char* name) {
     if (tel != nullptr) {
       tel->metrics()
+          // faaspart-lint: allow(O1) -- cold path: scaling decisions fire
+          // once per poll interval, not per task
           .counter(name, {{"executor", executor_.label()}})
           .add();
     }

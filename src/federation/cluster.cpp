@@ -76,10 +76,14 @@ void ClusterService::shed(const std::string& function_id, const Pending& p,
   p.record->finished = sim_.now();
   p.record->error = "shed: " + reason;
   if (auto* tel = sim_.telemetry()) {
-    tel->metrics()
-        .counter("federation_shed_total",
-                 {{"function", function_id}, {"reason", reason}})
-        .add();
+    FunctionState& st = state_of(function_id);
+    auto [it, inserted] = st.shed_counters.try_emplace(reason, nullptr);
+    if (inserted) {
+      it->second = &tel->metrics().counter(
+          "federation_shed_total",
+          {{"function", function_id}, {"reason", reason}});
+    }
+    it->second->add();
     if (auto* tr = tel->tracer()) {
       const auto trace = tr->begin_trace();
       tr->add_closed(trace, 0, p.record->app, "shed", p.enqueued, sim_.now(),
@@ -120,9 +124,11 @@ faas::AppHandle ClusterService::submit(const std::string& function_id,
 
   ++stats_.admitted;
   if (auto* tel = sim_.telemetry()) {
-    tel->metrics()
-        .counter("federation_admitted_total", {{"function", function_id}})
-        .add();
+    if (st.admitted_counter == nullptr) {  // don't latch — may install later
+      st.admitted_counter = &tel->metrics().counter(
+          "federation_admitted_total", {{"function", function_id}});
+    }
+    st.admitted_counter->add();
   }
   admitted_futures_.push_back(future);
   queue_.push(function_id, service_estimate_s(st), std::move(p));

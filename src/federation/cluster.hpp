@@ -34,6 +34,10 @@
 #include "federation/service.hpp"
 #include "federation/wfq.hpp"
 
+namespace faaspart::obs {
+class Counter;
+}  // namespace faaspart::obs
+
 namespace faaspart::federation {
 
 enum class ClusterPolicy { kRoundRobin, kLeastLoaded, kSticky, kSloAware };
@@ -98,6 +102,10 @@ class ClusterService {
     std::unique_ptr<TokenBucket> bucket;  ///< null when cls.rate_hz == 0
     double service_ewma_s = 0;            ///< 0 until the first completion
     std::string last_endpoint;            ///< sticky fallback
+    // Cached metric handles (rule O1): admission runs once per request, so
+    // the registry lookup happens once per function/reason, not per call.
+    obs::Counter* admitted_counter = nullptr;
+    std::map<std::string, obs::Counter*> shed_counters;  ///< by shed reason
   };
 
   FunctionState& state_of(const std::string& function_id);

@@ -41,6 +41,8 @@ void Endpoint::partition_for(util::Duration length) {
   ++wan_partitions_;
   if (auto* tel = sim_.telemetry()) {
     tel->metrics()
+        // faaspart-lint: allow(O1) -- cold path: WAN partitions are injected
+        // faults, a handful per run
         .counter("federation_wan_partitions_total", {{"endpoint", opts_.name}})
         .add();
   }

@@ -94,9 +94,12 @@ faas::AppHandle ComputeService::dispatch(const faas::AppDef& app, Endpoint& ep,
   ++dispatch_counts_[ep.name()];
   ++inflight_[ep.name()];
   if (auto* tel = sim_.telemetry()) {
-    tel->metrics()
-        .counter("federation_dispatches_total", {{"endpoint", ep.name()}})
-        .add();
+    auto [it, inserted] = dispatch_counters_.try_emplace(ep.name(), nullptr);
+    if (inserted) {
+      it->second = &tel->metrics().counter("federation_dispatches_total",
+                                           {{"endpoint", ep.name()}});
+    }
+    it->second->add();
   }
   auto record = std::make_shared<faas::TaskRecord>();
   record->app = app.name;

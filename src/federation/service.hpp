@@ -12,6 +12,10 @@
 #include "faas/app.hpp"
 #include "federation/endpoint.hpp"
 
+namespace faaspart::obs {
+class Counter;
+}  // namespace faaspart::obs
+
 namespace faaspart::federation {
 
 enum class RoutingPolicy {
@@ -71,6 +75,9 @@ class ComputeService {
   std::size_t round_robin_next_ = 0;
   std::size_t tasks_submitted_ = 0;
   std::map<std::string, std::size_t> dispatch_counts_;
+  // Cached per-endpoint metric handles (rule O1): dispatch is per-request,
+  // so the registry lookup must not be.
+  std::map<std::string, obs::Counter*> dispatch_counters_;
   /// Service-visible load: routed tasks not yet settled, per endpoint —
   /// includes tasks still in their WAN dispatch leg, which the endpoint's
   /// own outstanding() cannot see yet.

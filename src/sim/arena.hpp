@@ -52,6 +52,9 @@ class FrameArena {
 
   /// The calling thread's arena.
   static FrameArena& local() {
+    // faaspart-lint: allow(C1) -- the whole point: one private arena per
+    // runner worker means frame allocation never crosses threads, which is
+    // exactly the isolation rule C1 exists to protect
     thread_local FrameArena arena;
     return arena;
   }

@@ -15,8 +15,8 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "sim/co.hpp"
@@ -210,9 +210,11 @@ class Simulator {
 
   // Root coroutine frames, owned by the simulator: reaped right after a
   // process finishes, destroyed wholesale (suspended mid-chain or not) when
-  // the simulator goes away.
+  // the simulator goes away. An ordered map (rule D2): the destructor walks
+  // it, and frame destructors can run user code, so teardown must happen in
+  // spawn order — not in whatever order a hash table shook out.
   std::uint64_t next_root_id_ = 1;
-  std::unordered_map<std::uint64_t, std::coroutine_handle<>> roots_;
+  std::map<std::uint64_t, std::coroutine_handle<>> roots_;
 
   faults::FaultInjector* faults_ = nullptr;
   obs::Telemetry* telemetry_ = nullptr;

@@ -186,6 +186,8 @@ faas::AppDef make_llama_completion_app(const std::string& name, LlamaSpec spec,
   app.function_init = util::milliseconds(1200);  // torch import + env setup
   app.model_bytes = llama_memory_footprint(spec, cfg);
   app.model_key = spec.name + util::strf("@", cfg.bytes_per_param, "B");
+  // faaspart-lint: allow(C2) -- stored in AppDef::body for the app's whole
+  // lifetime; the executor never outlives the AppDef it runs
   app.body = [spec, cfg, shape](faas::TaskContext& tctx) -> sim::Co<faas::AppValue> {
     co_await llama_completion(tctx, spec, cfg, shape);
     co_return faas::AppValue{static_cast<double>(shape.output_tokens)};

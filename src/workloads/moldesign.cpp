@@ -50,6 +50,8 @@ AppDef MolDesignCampaign::make_simulate_app(double true_ip) {
   app.name = "simulate_molecule";
   const util::Duration mean = cfg_.simulation_mean;
   const double cv = cfg_.simulation_cv;
+  // faaspart-lint: allow(C2) -- stored in AppDef::body for the app's whole
+  // lifetime; coroutines it starts finish while the AppDef is alive
   app.body = [mean, cv, true_ip](TaskContext& ctx) -> sim::Co<AppValue> {
     // Quantum-chemistry step: CPU-bound for a lognormal time (§3.4: the
     // simulation phase uses only CPU).
@@ -68,6 +70,8 @@ AppDef MolDesignCampaign::make_train_app(int dataset_size) {
   const double flops =
       cfg_.train_flops_per_sample * dataset_size * cfg_.train_epochs;
   const int epochs = cfg_.train_epochs;
+  // faaspart-lint: allow(C2) -- stored in AppDef::body, outlives its
+  // coroutines (same contract as make_simulate_app)
   app.body = [flops, epochs](TaskContext& ctx) -> sim::Co<AppValue> {
     // One wide GEMM-shaped kernel per epoch.
     for (int e = 0; e < epochs; ++e) {
@@ -92,6 +96,8 @@ AppDef MolDesignCampaign::make_infer_app(int chunk_size) {
   app.model_bytes = 512 * util::MB;
   app.model_key = "mol-emulator";
   const double flops = cfg_.infer_flops_per_molecule * chunk_size;
+  // faaspart-lint: allow(C2) -- stored in AppDef::body, outlives its
+  // coroutines (same contract as make_simulate_app)
   app.body = [flops](TaskContext& ctx) -> sim::Co<AppValue> {
     gpu::KernelDesc k;
     k.name = "infer/chunk";

@@ -1,0 +1,19 @@
+// Rule C1 fixture (bad): raw threading outside src/runner.
+// DO NOT reformat — test_lint.cpp asserts exact line numbers.
+// This file is lexed by the linter, never compiled.
+#include <atomic>
+#include <mutex>
+#include <thread>
+
+namespace fixture {
+
+std::mutex gate;                      // line 10: C1
+std::atomic<int> shared_count{0};     // line 11: C1
+thread_local int scratch = 0;         // line 12: C1
+
+inline void fire_and_forget() {
+  std::thread worker([] { shared_count.fetch_add(scratch); });  // line 15: C1
+  worker.detach();                    // line 16: C1
+}
+
+}  // namespace fixture

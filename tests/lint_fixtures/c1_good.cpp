@@ -1,0 +1,25 @@
+// Rule C1 fixture (good): single-threaded simulator code; `detach` on a
+// project type does not match, and one thread_local carries a justification.
+// Must lint clean. This file is lexed, never compiled.
+#include <vector>
+
+namespace fixture {
+
+struct Sampler {
+  // A member named detach()/join() is not a std::thread operation: without
+  // a threading header in the file the name alone never matches.
+  void detach() {}
+  void join() {}
+};
+
+inline void single_threaded() {
+  Sampler s;
+  s.detach();
+  s.join();
+  // faaspart-lint: allow(C1) -- fixture: proves a justified thread_local
+  // passes review
+  thread_local int cached = 0;
+  (void)cached;
+}
+
+}  // namespace fixture

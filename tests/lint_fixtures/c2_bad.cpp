@@ -1,0 +1,23 @@
+// Rule C2 fixture (bad): coroutine-lifetime hazards.
+// DO NOT reformat — test_lint.cpp asserts exact line numbers.
+// This file is lexed by the linter, never compiled.
+#include "sim/co.hpp"
+
+namespace fixture {
+
+using faaspart::sim::Co;
+
+inline Co<int> leaky() {
+  int local = 7;
+  // The capture lives in the lambda object; the lambda temporary dies at
+  // the end of this statement while the coroutine is still suspended.
+  auto bad = [local]() -> Co<int> { co_return local; };  // line 14: C2
+  return bad();
+}
+
+inline Co<void> dangle(std::string&& name) {  // line 18: C2
+  co_await delay_one_tick();
+  (void)name;
+}
+
+}  // namespace fixture

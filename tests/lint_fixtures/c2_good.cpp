@@ -1,0 +1,33 @@
+// Rule C2 fixture (good): coroutines that keep their state in the frame,
+// plus one justified capturing-lambda exception. Must lint clean.
+// This file is lexed by the linter, never compiled.
+#include "sim/co.hpp"
+
+namespace fixture {
+
+using faaspart::sim::Co;
+
+// By-value parameters move into the coroutine frame: safe.
+inline Co<int> safe_params(std::string name, int count) {
+  co_return static_cast<int>(name.size()) + count;
+}
+
+// A non-capturing lambda has no lambda-object state to dangle.
+inline Co<int> safe_lambda() {
+  auto body = [](int seed) -> Co<int> { co_return seed * 2; };
+  return body(21);
+}
+
+// Captures are fine when the owner provably outlives every coroutine, and
+// the annotation makes that argument visible in review.
+struct Holder {
+  int seed = 1;
+  Co<int> start() {
+    // faaspart-lint: allow(C2) -- fixture: named local, co_awaited to
+    // completion by the caller before it can go out of scope
+    auto body = [this]() -> Co<int> { co_return seed; };
+    return body();
+  }
+};
+
+}  // namespace fixture

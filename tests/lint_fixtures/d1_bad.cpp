@@ -1,0 +1,19 @@
+// Rule D1 fixture (bad): every wall-clock/entropy construct below must be
+// flagged. DO NOT reformat — test_lint.cpp asserts exact line numbers.
+// This file is lexed by the linter, never compiled.
+#include <chrono>
+
+namespace fixture {
+
+inline long entropy_soup() {
+  auto wall = std::chrono::system_clock::now();    // line 9: D1
+  auto mono = std::chrono::steady_clock::now();    // line 10: D1
+  std::random_device rd;                           // line 11: D1
+  int r = rand();                                  // line 12: D1
+  long t = time(nullptr);                          // line 13: D1
+  const char* home = getenv("HOME");               // line 14: D1
+  return t + r + (home != nullptr) + rd() + wall.time_since_epoch().count() +
+         mono.time_since_epoch().count();
+}
+
+}  // namespace fixture

@@ -1,0 +1,30 @@
+// Rule D1 fixture (good): deterministic time/randomness plus one justified
+// suppression. Must lint clean. This file is lexed, never compiled.
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace fixture {
+
+// Identifiers that merely *contain* banned substrings never match: member
+// calls like run_time() and names like clock_ are fine.
+struct Record {
+  long run_time() const { return clock_; }
+  long clock_ = 0;
+};
+
+inline double deterministic(faaspart::sim::Simulator& sim,
+                            faaspart::util::Rng& rng) {
+  Record rec;
+  const auto now = sim.now();  // virtual clock, not the wall
+  (void)now;
+  // A string mentioning system_clock is not a use of it.
+  const char* doc = "never call system_clock::now() here";
+  (void)doc;
+  // faaspart-lint: allow(D1) -- fixture: proves an annotated read of the
+  // environment is accepted when the reason is spelled out
+  const char* tz = getenv("TZ");
+  (void)tz;
+  return rng.next_double() + static_cast<double>(rec.run_time());
+}
+
+}  // namespace fixture

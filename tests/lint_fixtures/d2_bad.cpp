@@ -1,0 +1,21 @@
+// Rule D2 fixture (bad): unordered containers in order-sensitive code.
+// DO NOT reformat — test_lint.cpp asserts exact line numbers.
+// This file is lexed by the linter, never compiled.
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace fixture {
+
+struct Renderer {
+  std::unordered_map<std::string, double> cells;       // line 11: D2
+  std::unordered_set<int> seen;                        // line 12: D2
+
+  double render_sum() const {
+    double total = 0;
+    for (const auto& [key, value] : cells) total += value;
+    return total;  // iteration order leaked into a rendered number
+  }
+};
+
+}  // namespace fixture

@@ -1,0 +1,24 @@
+// Rule D2 fixture (good): ordered containers, plus one justified exception.
+// Must lint clean. This file is lexed, never compiled.
+#include <map>
+#include <string>
+#include <vector>
+
+namespace fixture {
+
+struct Renderer {
+  std::map<std::string, double> cells;      // sorted: stable render order
+  std::vector<int> seen_sorted;             // kept sorted by the caller
+
+  double render_sum() const {
+    double total = 0;
+    for (const auto& [key, value] : cells) total += value;
+    return total;
+  }
+};
+
+// faaspart-lint: allow(D2) -- fixture: counts-only lookup table, nothing
+// ever iterates it and no key order can reach the output
+std::unordered_map<int, int> lookup_only;
+
+}  // namespace fixture

@@ -1,0 +1,15 @@
+// Rule O1 fixture (bad): per-call metric registry lookups on a hot path.
+// DO NOT reformat — test_lint.cpp asserts exact line numbers.
+// This file is lexed by the linter, never compiled.
+#include "obs/telemetry.hpp"
+
+namespace fixture {
+
+inline void per_kernel(faaspart::obs::Telemetry* tel, double seconds) {
+  // Each of these re-hashes the metric name + labels on every kernel.
+  tel->metrics().counter("kernel_launches_total").add();          // line 10: O1
+  tel->metrics().gauge("queue_depth").set(3);                     // line 11: O1
+  tel->metrics().histogram("kernel_seconds").observe(seconds);    // line 12: O1
+}
+
+}  // namespace fixture

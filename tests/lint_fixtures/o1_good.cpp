@@ -1,0 +1,30 @@
+// Rule O1 fixture (good): cached handles, resolved once; plus one justified
+// cold-path lookup. Must lint clean. This file is lexed, never compiled.
+#include "obs/telemetry.hpp"
+
+namespace fixture {
+
+struct Engine {
+  faaspart::obs::Counter* launches_ = nullptr;
+  faaspart::obs::Histogram* seconds_ = nullptr;
+
+  // The one registry lookup: binding the handle does not chain into a use,
+  // so it is not a finding.
+  void resolve(faaspart::obs::Telemetry* tel) {
+    launches_ = &tel->metrics().counter("kernel_launches_total");
+    seconds_ = &tel->metrics().histogram("kernel_seconds");
+  }
+
+  void per_kernel(double seconds) {
+    launches_->add();
+    seconds_->observe(seconds);
+  }
+
+  void on_crash(faaspart::obs::Telemetry* tel) {
+    // faaspart-lint: allow(O1) -- fixture: crash path runs a handful of
+    // times per chaos run, the lookup cost is irrelevant
+    tel->metrics().counter("crashes_total").add();
+  }
+};
+
+}  // namespace fixture

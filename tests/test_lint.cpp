@@ -1,0 +1,280 @@
+// Tests for tools/lint (faaspart-lint): each rule proven to fire on its bad
+// fixture with exact rule IDs and file:line spans, to stay quiet on its good
+// fixture (which also exercises a justified suppression per rule), plus the
+// annotation-hygiene meta rule, config handling, compile_commands parsing,
+// and the acceptance canary: seeding a system_clock::now() into
+// src/sched/mps.cpp must fail the gate under the repo's own config.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "lint.hpp"
+
+namespace lint = faaspart::lint;
+
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+std::string fixture_path(const std::string& name) {
+  return std::string(LINT_FIXTURE_DIR) + "/" + name;
+}
+
+/// Lints a fixture under an all-rules-on config and returns (rule, line)
+/// pairs in report order.
+std::vector<std::pair<std::string, int>> lint_fixture(
+    const std::string& name) {
+  const lint::Config cfg;  // empty config: every rule on, nothing skipped
+  const std::string rel = "tests/lint_fixtures/" + name;
+  std::vector<std::pair<std::string, int>> out;
+  for (const lint::Finding& f :
+       lint::lint_source(rel, read_file(fixture_path(name)), cfg)) {
+    EXPECT_EQ(f.file, rel);
+    out.emplace_back(f.rule, f.line);
+  }
+  return out;
+}
+
+using Spans = std::vector<std::pair<std::string, int>>;
+
+}  // namespace
+
+// ---------------------------------------------------------------- rules ---
+
+TEST(LintFixtures, D1FiresWithExactSpans) {
+  EXPECT_EQ(lint_fixture("d1_bad.cpp"),
+            (Spans{{"D1", 9},
+                   {"D1", 10},
+                   {"D1", 11},
+                   {"D1", 12},
+                   {"D1", 13},
+                   {"D1", 14}}));
+}
+
+TEST(LintFixtures, D1GoodIsCleanAndSuppressionWorks) {
+  EXPECT_EQ(lint_fixture("d1_good.cpp"), Spans{});
+}
+
+TEST(LintFixtures, D2FiresWithExactSpans) {
+  EXPECT_EQ(lint_fixture("d2_bad.cpp"),
+            (Spans{{"D2", 5}, {"D2", 6}, {"D2", 11}, {"D2", 12}}));
+}
+
+TEST(LintFixtures, D2GoodIsCleanAndSuppressionWorks) {
+  EXPECT_EQ(lint_fixture("d2_good.cpp"), Spans{});
+}
+
+TEST(LintFixtures, C1FiresWithExactSpans) {
+  EXPECT_EQ(lint_fixture("c1_bad.cpp"),
+            (Spans{{"C1", 4},
+                   {"C1", 5},
+                   {"C1", 6},
+                   {"C1", 10},
+                   {"C1", 11},
+                   {"C1", 12},
+                   {"C1", 15},
+                   {"C1", 16}}));
+}
+
+TEST(LintFixtures, C1GoodIsCleanAndSuppressionWorks) {
+  EXPECT_EQ(lint_fixture("c1_good.cpp"), Spans{});
+}
+
+TEST(LintFixtures, C2FiresWithExactSpans) {
+  EXPECT_EQ(lint_fixture("c2_bad.cpp"), (Spans{{"C2", 14}, {"C2", 18}}));
+}
+
+TEST(LintFixtures, C2GoodIsCleanAndSuppressionWorks) {
+  EXPECT_EQ(lint_fixture("c2_good.cpp"), Spans{});
+}
+
+TEST(LintFixtures, O1FiresWithExactSpans) {
+  EXPECT_EQ(lint_fixture("o1_bad.cpp"),
+            (Spans{{"O1", 10}, {"O1", 11}, {"O1", 12}}));
+}
+
+TEST(LintFixtures, O1GoodIsCleanAndSuppressionWorks) {
+  EXPECT_EQ(lint_fixture("o1_good.cpp"), Spans{});
+}
+
+// ----------------------------------------------------- suppressions/X1 ----
+
+TEST(LintSuppression, InlineAllowOnTheSameLine) {
+  const lint::Config cfg;
+  const auto fs = lint::lint_source(
+      "x.cpp",
+      "int f() { return rand(); }  "
+      "// faaspart-lint: allow(D1) -- seeded upstream\n",
+      cfg);
+  EXPECT_TRUE(fs.empty());
+}
+
+TEST(LintSuppression, AllowCoversOnlyItsOwnRule) {
+  const lint::Config cfg;
+  const auto fs = lint::lint_source(
+      "x.cpp",
+      "int f() { return rand(); }  "
+      "// faaspart-lint: allow(D2) -- wrong rule on purpose\n",
+      cfg);
+  // The D1 finding survives AND the D2 annotation is reported unused.
+  ASSERT_EQ(fs.size(), 2u);
+  EXPECT_EQ(fs[0].rule, "D1");
+  EXPECT_EQ(fs[1].rule, "X1");
+}
+
+TEST(LintSuppression, MultiRuleAllowAndOwnLinePlacement) {
+  const lint::Config cfg;
+  const auto fs = lint::lint_source(
+      "x.cpp",
+      "// faaspart-lint: allow(D1,C1) -- both fire on the next line\n"
+      "thread_local int x = rand();\n",
+      cfg);
+  EXPECT_TRUE(fs.empty());
+}
+
+TEST(LintSuppression, MissingReasonIsAnX1Finding) {
+  const lint::Config cfg;
+  const auto fs = lint::lint_source(
+      "x.cpp", "int f() { return rand(); }  // faaspart-lint: allow(D1)\n",
+      cfg);
+  ASSERT_EQ(fs.size(), 2u);  // the D1 still reported + the X1
+  EXPECT_EQ(fs[0].rule, "D1");
+  EXPECT_EQ(fs[1].rule, "X1");
+  EXPECT_NE(fs[1].message.find("without a reason"), std::string::npos);
+}
+
+TEST(LintSuppression, UnknownRuleInAllowIsAnX1Finding) {
+  const lint::Config cfg;
+  const auto fs = lint::lint_source(
+      "x.cpp", "// faaspart-lint: allow(Z9) -- no such rule\nint x = 0;\n",
+      cfg);
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_EQ(fs[0].rule, "X1");
+}
+
+TEST(LintSuppression, UnusedAllowIsAnX1Finding) {
+  const lint::Config cfg;
+  const auto fs = lint::lint_source(
+      "x.cpp",
+      "// faaspart-lint: allow(D1) -- stale: nothing below triggers it\n"
+      "int x = 0;\n",
+      cfg);
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_EQ(fs[0].rule, "X1");
+  EXPECT_NE(fs[0].message.find("unused suppression"), std::string::npos);
+}
+
+// ---------------------------------------------------------------- config --
+
+TEST(LintConfig, AllowDisablesARuleUnderAPrefix) {
+  lint::Config cfg;
+  std::string err;
+  ASSERT_TRUE(lint::parse_config(
+      "# comment\nallow D1 src/runner/\nskip build\n", cfg, err))
+      << err;
+  EXPECT_TRUE(cfg.rule_enabled("D1", "src/sim/simulator.hpp"));
+  EXPECT_FALSE(cfg.rule_enabled("D1", "src/runner/runner.cpp"));
+  EXPECT_TRUE(cfg.rule_enabled("C1", "src/runner/runner.cpp"));
+  EXPECT_TRUE(cfg.skipped("build/foo.cpp"));
+  EXPECT_FALSE(cfg.skipped("src/foo.cpp"));
+}
+
+TEST(LintConfig, RejectsUnknownDirectivesAndRules) {
+  lint::Config cfg;
+  std::string err;
+  EXPECT_FALSE(lint::parse_config("frobnicate src\n", cfg, err));
+  EXPECT_FALSE(lint::parse_config("allow Z9 src/\n", cfg, err));
+  EXPECT_FALSE(lint::parse_config("allow X1 src/\n", cfg, err));
+}
+
+TEST(LintConfig, DisabledRuleProducesNoFindings) {
+  lint::Config cfg;
+  std::string err;
+  ASSERT_TRUE(lint::parse_config("allow D1 src/util/rng.\n", cfg, err));
+  EXPECT_TRUE(
+      lint::lint_source("src/util/rng.cpp", "int x = rand();\n", cfg).empty());
+  EXPECT_EQ(
+      lint::lint_source("src/util/other.cpp", "int x = rand();\n", cfg).size(),
+      1u);
+}
+
+// ---------------------------------------------------- compile_commands ----
+
+TEST(LintCompileCommands, ExtractsFileEntries) {
+  const std::string json = R"([
+    {"directory": "/b", "command": "g++ -c a.cpp", "file": "/r/src/a.cpp"},
+    {"directory": "/b", "command": "g++ -c b.cpp", "file" : "/r/src/b.cpp"},
+    {"directory": "/b", "output": "file.o", "file": "/r/src/c.cpp"}
+  ])";
+  EXPECT_EQ(lint::compile_commands_files(json),
+            (std::vector<std::string>{"/r/src/a.cpp", "/r/src/b.cpp",
+                                      "/r/src/c.cpp"}));
+}
+
+// ------------------------------------------------------------- formats ----
+
+TEST(LintFormat, HumanAndJsonLines) {
+  const lint::Finding f{"src/a.cpp", 7, "D1", "uses \"rand\""};
+  EXPECT_EQ(lint::format_human(f), "src/a.cpp:7: D1: uses \"rand\"");
+  EXPECT_EQ(lint::format_json(f),
+            "{\"file\":\"src/a.cpp\",\"line\":7,\"rule\":\"D1\","
+            "\"message\":\"uses \\\"rand\\\"\"}");
+}
+
+TEST(LintFormat, OutputIsDeterministic) {
+  const lint::Config cfg;
+  const std::string src = read_file(fixture_path("c1_bad.cpp"));
+  const auto a = lint::lint_source("f.cpp", src, cfg);
+  const auto b = lint::lint_source("f.cpp", src, cfg);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i)
+    EXPECT_EQ(lint::format_json(a[i]), lint::format_json(b[i]));
+}
+
+// -------------------------------------------------------------- canary ----
+
+// Acceptance criterion: the repo's own sources are clean under the repo's
+// own config, and seeding a deliberate wall-clock read into
+// src/sched/mps.cpp produces exactly one new D1 finding — which is what
+// makes the CI lint stage (and `ctest -L lint`) fail.
+TEST(LintCanary, RepoConfigCleanOnMps) {
+  lint::Config cfg;
+  std::string err;
+  ASSERT_TRUE(lint::parse_config(
+      read_file(std::string(LINT_REPO_ROOT) + "/.faaspart-lint"), cfg, err))
+      << err;
+  const std::string mps =
+      read_file(std::string(LINT_REPO_ROOT) + "/src/sched/mps.cpp");
+  EXPECT_TRUE(lint::lint_source("src/sched/mps.cpp", mps, cfg).empty());
+}
+
+TEST(LintCanary, SeededSystemClockInMpsFailsTheGate) {
+  lint::Config cfg;
+  std::string err;
+  ASSERT_TRUE(lint::parse_config(
+      read_file(std::string(LINT_REPO_ROOT) + "/.faaspart-lint"), cfg, err))
+      << err;
+  const std::string mps =
+      read_file(std::string(LINT_REPO_ROOT) + "/src/sched/mps.cpp");
+  const std::string seeded =
+      mps +
+      "\nstatic const auto kBootWall = std::chrono::system_clock::now();\n";
+  const auto fs = lint::lint_source("src/sched/mps.cpp", seeded, cfg);
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_EQ(fs[0].rule, "D1");
+  const int expected_line =
+      static_cast<int>(std::count(mps.begin(), mps.end(), '\n')) + 2;
+  EXPECT_EQ(fs[0].line, expected_line);
+  EXPECT_NE(fs[0].message.find("system_clock"), std::string::npos);
+}

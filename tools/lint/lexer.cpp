@@ -1,0 +1,206 @@
+#include "lexer.hpp"
+
+#include <array>
+#include <cctype>
+
+namespace faaspart::lint {
+namespace {
+
+bool is_ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+// Multi-character punctuators, longest first so maximal munch works with a
+// simple prefix scan. Only operators that can actually start with the same
+// character need to be ordered; everything absent falls back to one char.
+constexpr std::array<std::string_view, 27> kPuncts = {
+    "<<=", ">>=", "<=>", "->*", "...", "::", "->", "<<", ">>", "<=",
+    ">=",  "==",  "!=",  "&&",  "||",  "+=", "-=", "*=", "/=", "%=",
+    "&=",  "|=",  "^=",  "++",  "--",  "##", ".*"};
+
+}  // namespace
+
+LexResult lex(std::string_view src) {
+  LexResult out;
+  std::size_t i = 0;
+  const std::size_t n = src.size();
+  int line = 1;
+  bool line_has_code = false;   // any token emitted on the current line
+  bool in_pp_line = false;      // inside a preprocessor directive
+  bool pp_saw_include = false;  // the directive is #include / #include_next
+
+  auto advance_line = [&] {
+    ++line;
+    line_has_code = false;
+    if (in_pp_line && (i < 2 || src[i - 2] != '\\')) {
+      in_pp_line = false;
+      pp_saw_include = false;
+    }
+  };
+
+  while (i < n) {
+    const char c = src[i];
+
+    if (c == '\n') {
+      ++i;
+      advance_line();
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f') {
+      ++i;
+      continue;
+    }
+
+    // Line comment.
+    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+      const std::size_t start = i + 2;
+      std::size_t e = start;
+      while (e < n && src[e] != '\n') ++e;
+      out.comments.push_back(
+          {src.substr(start, e - start), line, !line_has_code});
+      i = e;
+      continue;
+    }
+
+    // Block comment.
+    if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+      const int start_line = line;
+      const bool own = !line_has_code;
+      const std::size_t start = i + 2;
+      std::size_t e = start;
+      while (e + 1 < n && !(src[e] == '*' && src[e + 1] == '/')) {
+        if (src[e] == '\n') ++line;
+        ++e;
+      }
+      out.comments.push_back({src.substr(start, e - start), start_line, own});
+      i = (e + 1 < n) ? e + 2 : n;
+      // line_has_code is left as-is: /* x */ code is still code's line.
+      continue;
+    }
+
+    // Preprocessor directive start.
+    if (c == '#' && !line_has_code) {
+      in_pp_line = true;
+      out.tokens.push_back({Tok::kPunct, src.substr(i, 1), line});
+      line_has_code = true;
+      ++i;
+      continue;
+    }
+
+    // <header> after #include becomes a single kHeaderName token.
+    if (c == '<' && in_pp_line && pp_saw_include) {
+      std::size_t e = i + 1;
+      while (e < n && src[e] != '>' && src[e] != '\n') ++e;
+      if (e < n && src[e] == '>') {
+        out.tokens.push_back(
+            {Tok::kHeaderName, src.substr(i, e - i + 1), line});
+        pp_saw_include = false;
+        i = e + 1;
+        continue;
+      }
+    }
+
+    // Raw string literal: R"delim( ... )delim".
+    if (c == 'R' && i + 1 < n && src[i + 1] == '"') {
+      std::size_t d = i + 2;
+      while (d < n && src[d] != '(' && src[d] != '\n') ++d;
+      if (d < n && src[d] == '(') {
+        std::string closer = ")";
+        closer.append(src.substr(i + 2, d - (i + 2)));
+        closer += '"';
+        const std::size_t body = d + 1;
+        const std::size_t found = src.find(closer, body);
+        const std::size_t e = (found == std::string_view::npos)
+                                  ? n
+                                  : found + closer.size();
+        const int start_line = line;
+        for (std::size_t k = i; k < e; ++k)
+          if (src[k] == '\n') ++line;
+        out.tokens.push_back({Tok::kString, src.substr(i, e - i), start_line});
+        line_has_code = true;
+        i = e;
+        continue;
+      }
+    }
+
+    // String / char literal (escape-aware).
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      std::size_t e = i + 1;
+      while (e < n && src[e] != quote) {
+        if (src[e] == '\\' && e + 1 < n) ++e;
+        if (src[e] == '\n') break;  // unterminated; stop at EOL
+        ++e;
+      }
+      if (e < n && src[e] == quote) ++e;
+      out.tokens.push_back({quote == '"' ? Tok::kString : Tok::kChar,
+                            src.substr(i, e - i), line});
+      line_has_code = true;
+      i = e;
+      continue;
+    }
+
+    // Identifier / keyword.
+    if (is_ident_start(c)) {
+      std::size_t e = i + 1;
+      while (e < n && is_ident_char(src[e])) ++e;
+      const std::string_view ident = src.substr(i, e - i);
+      // A string prefix like u8"..." — re-lex from the quote.
+      if (e < n && (src[e] == '"' || src[e] == '\'') &&
+          (ident == "u8" || ident == "u" || ident == "U" || ident == "L")) {
+        i = e;
+        continue;
+      }
+      if (in_pp_line && (ident == "include" || ident == "include_next"))
+        pp_saw_include = true;
+      out.tokens.push_back({Tok::kIdent, ident, line});
+      line_has_code = true;
+      i = e;
+      continue;
+    }
+
+    // pp-number: digits, ident chars, ' separators, exponent signs.
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0 ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(src[i + 1])) != 0)) {
+      std::size_t e = i + 1;
+      while (e < n) {
+        const char d = src[e];
+        if (is_ident_char(d) || d == '.') {
+          ++e;
+        } else if (d == '\'' && e + 1 < n && is_ident_char(src[e + 1])) {
+          e += 2;
+        } else if ((d == '+' || d == '-') &&
+                   (src[e - 1] == 'e' || src[e - 1] == 'E' ||
+                    src[e - 1] == 'p' || src[e - 1] == 'P')) {
+          ++e;
+        } else {
+          break;
+        }
+      }
+      out.tokens.push_back({Tok::kNumber, src.substr(i, e - i), line});
+      line_has_code = true;
+      i = e;
+      continue;
+    }
+
+    // Punctuation: longest match from the table, else a single character.
+    std::string_view text = src.substr(i, 1);
+    for (const std::string_view p : kPuncts) {
+      if (src.compare(i, p.size(), p) == 0) {
+        text = src.substr(i, p.size());
+        break;
+      }
+    }
+    out.tokens.push_back({Tok::kPunct, text, line});
+    line_has_code = true;
+    i += text.size();
+  }
+
+  return out;
+}
+
+}  // namespace faaspart::lint

@@ -1,0 +1,52 @@
+// Token scanner for faaspart-lint.
+//
+// A deliberately small C++ lexer: it does not build an AST, it produces the
+// flat token stream the rule checks in rules.cpp pattern-match against.
+// Three things matter and are handled carefully, because getting them wrong
+// produces false findings:
+//   * comments are captured (with line numbers and whether they stand on a
+//     line of their own) — suppression annotations live in them;
+//   * string/char/raw-string literals are opaque single tokens, so a string
+//     containing "system_clock" never trips rule D1;
+//   * `#include <...>` header names become one kHeaderName token (`<thread>`),
+//     so rules can ban whole headers without parsing `<` `thread` `>`.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace faaspart::lint {
+
+enum class Tok {
+  kIdent,       // identifiers and keywords, including co_await etc.
+  kNumber,      // pp-number (never inspected by rules)
+  kString,      // "..." or R"(...)" including quotes
+  kChar,        // '...'
+  kHeaderName,  // <thread> — only from an #include line
+  kPunct,       // longest-match punctuation: ::, ->, &&, ...
+};
+
+struct Token {
+  Tok kind;
+  std::string_view text;  // view into the source buffer passed to lex()
+  int line;
+};
+
+struct Comment {
+  std::string_view text;  // body only: no // or /* */ fences
+  int line;               // line the comment starts on
+  bool own_line;          // no code precedes it on its line
+};
+
+struct LexResult {
+  std::vector<Token> tokens;
+  std::vector<Comment> comments;
+};
+
+/// Tokenizes `src`. Never throws on malformed input (an unterminated string
+/// swallows the rest of the file — the compiler will complain, not us).
+/// The returned views point into `src`, which must outlive the result.
+LexResult lex(std::string_view src);
+
+}  // namespace faaspart::lint

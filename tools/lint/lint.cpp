@@ -1,0 +1,335 @@
+#include "lint.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "lexer.hpp"
+#include "rules.hpp"
+
+namespace faaspart::lint {
+namespace {
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.compare(0, prefix.size(), prefix) == 0;
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front())))
+    s.remove_prefix(1);
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back())))
+    s.remove_suffix(1);
+  return s;
+}
+
+/// A parsed `faaspart-lint: allow(...) -- reason` annotation.
+struct Annotation {
+  int target_line = 0;  // line whose findings it suppresses
+  int own_line = 0;     // line the comment itself sits on (for X1 reports)
+  std::vector<std::string> rules;
+  bool used = false;
+};
+
+constexpr std::string_view kMarker = "faaspart-lint:";
+
+}  // namespace
+
+bool Config::skipped(std::string_view path) const {
+  return std::any_of(skip_prefixes.begin(), skip_prefixes.end(),
+                     [&](const std::string& p) { return starts_with(path, p); });
+}
+
+bool Config::rule_enabled(std::string_view rule, std::string_view path) const {
+  return std::none_of(allows.begin(), allows.end(), [&](const AllowEntry& a) {
+    return a.rule == rule && starts_with(path, a.prefix);
+  });
+}
+
+const std::vector<std::string>& known_rules() {
+  static const std::vector<std::string> kRules = {"D1", "D2", "C1",
+                                                  "C2", "O1", "X1"};
+  return kRules;
+}
+
+namespace {
+bool is_known_rule(std::string_view r) {
+  const auto& rules = known_rules();
+  return std::find(rules.begin(), rules.end(), r) != rules.end();
+}
+}  // namespace
+
+bool parse_config(std::string_view text, Config& out, std::string& error) {
+  int lineno = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t eol = text.find('\n', pos);
+    std::string_view line = text.substr(
+        pos, eol == std::string_view::npos ? text.size() - pos : eol - pos);
+    pos = eol == std::string_view::npos ? text.size() + 1 : eol + 1;
+    ++lineno;
+
+    const std::size_t hash = line.find('#');
+    if (hash != std::string_view::npos) line = line.substr(0, hash);
+    line = trim(line);
+    if (line.empty()) continue;
+
+    std::istringstream ss{std::string(line)};
+    std::string directive, a, b, extra;
+    ss >> directive >> a >> b >> extra;
+    if (directive == "skip" && !a.empty() && b.empty()) {
+      out.skip_prefixes.push_back(a);
+    } else if (directive == "allow" && !a.empty() && !b.empty() &&
+               extra.empty()) {
+      if (!is_known_rule(a) || a == "X1") {
+        error = "line " + std::to_string(lineno) + ": unknown rule '" + a +
+                "' (X1 cannot be disabled)";
+        return false;
+      }
+      out.allows.push_back({a, b});
+    } else {
+      error = "line " + std::to_string(lineno) +
+              ": expected 'skip <prefix>' or 'allow <RULE> <prefix>', got '" +
+              std::string(line) + "'";
+      return false;
+    }
+  }
+  return true;
+}
+
+namespace {
+
+/// Parses annotations out of the comment list; malformed ones become X1
+/// findings immediately. `code_lines` is the sorted list of lines that carry
+/// at least one token, used to resolve which line an own-line annotation
+/// covers (the next code line below it).
+std::vector<Annotation> collect_annotations(const LexResult& lx,
+                                            std::vector<RawFinding>& x1) {
+  std::vector<int> code_lines;
+  code_lines.reserve(lx.tokens.size());
+  for (const Token& t : lx.tokens) code_lines.push_back(t.line);
+  std::sort(code_lines.begin(), code_lines.end());
+  code_lines.erase(std::unique(code_lines.begin(), code_lines.end()),
+                   code_lines.end());
+
+  std::vector<Annotation> out;
+  for (const Comment& c : lx.comments) {
+    const std::size_t at = c.text.find(kMarker);
+    if (at == std::string_view::npos) continue;
+    std::string_view rest = trim(c.text.substr(at + kMarker.size()));
+
+    auto malformed = [&](const std::string& why) {
+      x1.push_back({c.line, "X1",
+                    "malformed faaspart-lint annotation (" + why +
+                        "); expected: faaspart-lint: allow(RULE[,RULE]) "
+                        "-- reason"});
+    };
+
+    if (!starts_with(rest, "allow")) {
+      malformed("only 'allow' is recognised");
+      continue;
+    }
+    rest = trim(rest.substr(5));
+    if (rest.empty() || rest.front() != '(') {
+      malformed("missing '(' after allow");
+      continue;
+    }
+    const std::size_t close = rest.find(')');
+    if (close == std::string_view::npos) {
+      malformed("missing ')'");
+      continue;
+    }
+
+    Annotation ann;
+    std::string_view list = rest.substr(1, close - 1);
+    bool bad_rule = false;
+    while (!list.empty()) {
+      const std::size_t comma = list.find(',');
+      std::string_view id = trim(
+          comma == std::string_view::npos ? list : list.substr(0, comma));
+      list = comma == std::string_view::npos ? std::string_view{}
+                                             : list.substr(comma + 1);
+      if (id.empty()) continue;
+      if (!is_known_rule(id) || id == "X1") {
+        std::string why = "'";
+        why.append(id);
+        why += "' is not a suppressible rule";
+        malformed(why);
+        bad_rule = true;
+        break;
+      }
+      ann.rules.emplace_back(id);
+    }
+    if (bad_rule) continue;
+    if (ann.rules.empty()) {
+      malformed("empty rule list");
+      continue;
+    }
+
+    // The reason is not optional: suppressions must be reviewable.
+    std::string_view tail = trim(rest.substr(close + 1));
+    if (!starts_with(tail, "--") || trim(tail.substr(2)).empty()) {
+      x1.push_back({c.line, "X1",
+                    "suppression without a reason: every allow() must end "
+                    "with '-- <why this exception is sound>'"});
+      continue;
+    }
+
+    ann.own_line = c.line;
+    if (c.own_line) {
+      // Stand-alone comment: covers the next line that has code.
+      const auto it =
+          std::upper_bound(code_lines.begin(), code_lines.end(), c.line);
+      ann.target_line = it != code_lines.end() ? *it : c.line;
+    } else {
+      ann.target_line = c.line;
+    }
+    out.push_back(std::move(ann));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<Finding> lint_source(std::string_view path,
+                                 std::string_view content, const Config& cfg) {
+  std::vector<Finding> findings;
+  if (cfg.skipped(path)) return findings;
+
+  const LexResult lx = lex(content);
+  std::vector<RawFinding> raw;
+  run_rules(path, lx, cfg, raw);
+
+  std::vector<RawFinding> x1;
+  std::vector<Annotation> anns = collect_annotations(lx, x1);
+
+  for (RawFinding& f : raw) {
+    bool suppressed = false;
+    for (Annotation& a : anns) {
+      if (a.target_line != f.line) continue;
+      if (std::find(a.rules.begin(), a.rules.end(), f.rule) ==
+          a.rules.end())
+        continue;
+      a.used = true;
+      suppressed = true;  // keep scanning: sibling annotations stay "used"
+    }
+    if (!suppressed)
+      findings.push_back({std::string(path), f.line, f.rule, f.message});
+  }
+
+  for (const Annotation& a : anns) {
+    if (a.used) continue;
+    std::string rules;
+    for (const std::string& r : a.rules)
+      rules += (rules.empty() ? "" : ",") + r;
+    x1.push_back({a.own_line, "X1",
+                  "unused suppression allow(" + rules +
+                      "): nothing on the covered line triggers it — remove "
+                      "the annotation or fix its placement"});
+  }
+
+  for (const RawFinding& f : x1)
+    findings.push_back({std::string(path), f.line, f.rule, f.message});
+
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.line != b.line) return a.line < b.line;
+              if (a.rule != b.rule) return a.rule < b.rule;
+              return a.message < b.message;
+            });
+  return findings;
+}
+
+bool lint_file(const std::string& root, const std::string& rel_path,
+               const Config& cfg, std::vector<Finding>& out,
+               std::string& error) {
+  const std::string full = root.empty() ? rel_path : root + "/" + rel_path;
+  std::ifstream in(full, std::ios::binary);
+  if (!in) {
+    error = "cannot read " + full;
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string content = buf.str();
+  std::vector<Finding> fs = lint_source(rel_path, content, cfg);
+  out.insert(out.end(), std::make_move_iterator(fs.begin()),
+             std::make_move_iterator(fs.end()));
+  return true;
+}
+
+std::vector<std::string> compile_commands_files(std::string_view json) {
+  std::vector<std::string> out;
+  std::size_t pos = 0;
+  while (true) {
+    const std::size_t key = json.find("\"file\"", pos);
+    if (key == std::string_view::npos) break;
+    std::size_t p = key + 6;
+    while (p < json.size() &&
+           std::isspace(static_cast<unsigned char>(json[p])))
+      ++p;
+    if (p >= json.size() || json[p] != ':') {
+      pos = key + 6;
+      continue;
+    }
+    ++p;
+    while (p < json.size() &&
+           std::isspace(static_cast<unsigned char>(json[p])))
+      ++p;
+    if (p >= json.size() || json[p] != '"') {
+      pos = p;
+      continue;
+    }
+    ++p;
+    std::string value;
+    while (p < json.size() && json[p] != '"') {
+      if (json[p] == '\\' && p + 1 < json.size()) {
+        ++p;  // minimal unescape: \" \\ \/ keep the escaped char
+      }
+      value += json[p++];
+    }
+    out.push_back(std::move(value));
+    pos = p;
+  }
+  return out;
+}
+
+std::string format_human(const Finding& f) {
+  return f.file + ":" + std::to_string(f.line) + ": " + f.rule + ": " +
+         f.message;
+}
+
+namespace {
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+}  // namespace
+
+std::string format_json(const Finding& f) {
+  return "{\"file\":\"" + json_escape(f.file) +
+         "\",\"line\":" + std::to_string(f.line) + ",\"rule\":\"" +
+         json_escape(f.rule) + "\",\"message\":\"" + json_escape(f.message) +
+         "\"}";
+}
+
+}  // namespace faaspart::lint

@@ -1,0 +1,88 @@
+// faaspart-lint — determinism & concurrency static analysis for this repo.
+//
+// The simulator's headline guarantee is that every figure/table is
+// byte-identical across --jobs counts, replays, and sanitizer tiers
+// (DESIGN.md §8). Runtime goldens catch drift after it ships; this tool is
+// the compile-time firewall in front of them. It scans the repo's own
+// sources (token stream, no AST) and enforces five named rules:
+//
+//   D1  no wall-clock / entropy sources (system_clock, random_device, rand,
+//       time(), getenv, ...) outside the allowlisted RNG and runner shims;
+//   D2  no std::unordered_{map,set,...} in order-sensitive code — anything
+//       that renders output, hashes state, or feeds scheduling order;
+//   C1  no raw threading primitives (std::thread/mutex/atomic/..., their
+//       headers, thread_local, .detach()/.join()) outside src/runner;
+//   C2  coroutine-lifetime hazards: a capturing lambda used as a coroutine
+//       body, or an rvalue-reference parameter into a coroutine frame;
+//   O1  no per-call metric registry lookups (`...metrics().counter("x").add()`
+//       in one expression) — hot paths must cache the handle (DESIGN.md §7).
+//
+// Every finding is suppressible only with an inline annotation that names
+// the rule AND gives a reason:
+//     // faaspart-lint: allow(D1) -- reason visible in review
+// placed on the offending line or alone on the line above. Malformed
+// (reason-less) and unused annotations are themselves findings (rule X1),
+// so suppressions can never silently rot.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace faaspart::lint {
+
+struct Finding {
+  std::string file;  // repo-relative, '/'-separated
+  int line = 0;
+  std::string rule;  // "D1".."O1", or "X1" for annotation hygiene
+  std::string message;
+};
+
+/// Per-file-configurable rule switches, loaded from `.faaspart-lint` at the
+/// repo root (see parse_config). Path prefixes are repo-relative.
+struct Config {
+  struct AllowEntry {
+    std::string rule;
+    std::string prefix;
+  };
+  std::vector<std::string> skip_prefixes;  // not linted at all
+  std::vector<AllowEntry> allows;          // rule disabled under prefix
+
+  [[nodiscard]] bool skipped(std::string_view path) const;
+  [[nodiscard]] bool rule_enabled(std::string_view rule,
+                                  std::string_view path) const;
+};
+
+/// Parses the config text. Lines: `skip <prefix>`, `allow <RULE> <prefix>`,
+/// blank, or `# comment`. Unknown directives are reported in `error` and
+/// make the parse fail (a typo in the lint config must not silently widen
+/// the gate).
+bool parse_config(std::string_view text, Config& out, std::string& error);
+
+/// All rule ids this build knows, in report order.
+const std::vector<std::string>& known_rules();
+
+/// Lints one in-memory source. `path` is the repo-relative path used for
+/// config matching and reporting; the file is NOT read from disk, so tests
+/// can lint synthetic content against real paths.
+std::vector<Finding> lint_source(std::string_view path,
+                                 std::string_view content, const Config& cfg);
+
+/// Reads and lints one file from disk. Returns false (and sets `error`)
+/// only on I/O failure; findings are appended to `out`.
+bool lint_file(const std::string& root, const std::string& rel_path,
+               const Config& cfg, std::vector<Finding>& out,
+               std::string& error);
+
+/// Extracts the "file" entries from a compile_commands.json buffer.
+/// Tolerant, order-preserving, duplicates removed by the caller. Only the
+/// `"file" : "value"` pairs are interpreted; everything else is skipped.
+std::vector<std::string> compile_commands_files(std::string_view json);
+
+/// One human-readable line: `src/x.cpp:12: D1: message`.
+std::string format_human(const Finding& f);
+
+/// One JSON line: {"file":...,"line":N,"rule":...,"message":...}.
+std::string format_json(const Finding& f);
+
+}  // namespace faaspart::lint

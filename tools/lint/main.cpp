@@ -1,0 +1,238 @@
+// faaspart_lint CLI.
+//
+//   faaspart_lint [--root DIR] [--config FILE] [--compile-commands FILE]
+//                 [--only PREFIX]... [--json[=FILE]] [--quiet]
+//                 [--list-rules] [PATH]...
+//
+// PATH arguments (files or directories, repo-relative or absolute under
+// --root) are walked for .cpp/.cc/.hpp/.h sources; --compile-commands adds
+// every translation unit listed in a compile_commands.json. --only filters
+// the merged set to the given prefixes. The file list is sorted before
+// linting, so output order is stable no matter how inputs were gathered —
+// the linter holds itself to the determinism bar it enforces.
+//
+// Exit codes: 0 clean, 1 findings, 2 usage or I/O error.
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint.hpp"
+
+namespace fs = std::filesystem;
+using faaspart::lint::Config;
+using faaspart::lint::Finding;
+
+namespace {
+
+bool has_source_ext(const fs::path& p) {
+  const std::string e = p.extension().string();
+  return e == ".cpp" || e == ".cc" || e == ".cxx" || e == ".hpp" ||
+         e == ".hh" || e == ".h";
+}
+
+/// Repo-relative, '/'-separated form of `p` under `root`; empty if outside.
+std::string relativize(const fs::path& root, const fs::path& p) {
+  std::error_code ec;
+  const fs::path rel = fs::relative(fs::weakly_canonical(p, ec),
+                                    fs::weakly_canonical(root, ec), ec);
+  if (ec || rel.empty()) return {};
+  std::string s = rel.generic_string();
+  if (s.rfind("..", 0) == 0) return {};
+  return s;
+}
+
+int usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " [--root DIR] [--config FILE] [--compile-commands FILE]\n"
+               "       [--only PREFIX]... [--json[=FILE]] [--quiet] "
+               "[--list-rules] [PATH]...\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  std::string config_path;
+  std::string compile_commands;
+  std::string json_out;
+  bool json_enabled = false;
+  bool quiet = false;
+  std::vector<std::string> only;
+  std::vector<std::string> paths;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](const char* flag) -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << flag << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--root") {
+      root = next("--root");
+    } else if (arg == "--config") {
+      config_path = next("--config");
+    } else if (arg == "--compile-commands") {
+      compile_commands = next("--compile-commands");
+    } else if (arg == "--only") {
+      only.push_back(next("--only"));
+    } else if (arg == "--json") {
+      json_enabled = true;
+    } else if (arg.rfind("--json=", 0) == 0) {
+      json_enabled = true;
+      json_out = arg.substr(7);
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "--list-rules") {
+      for (const std::string& r : faaspart::lint::known_rules())
+        std::cout << r << "\n";
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "unknown flag: " << arg << "\n";
+      return usage(argv[0]);
+    } else {
+      paths.push_back(arg);
+    }
+  }
+
+  // Config: explicit path, else <root>/.faaspart-lint if present.
+  Config cfg;
+  {
+    std::string effective = config_path;
+    if (effective.empty()) {
+      const fs::path def = fs::path(root) / ".faaspart-lint";
+      if (fs::exists(def)) effective = def.string();
+    }
+    if (!effective.empty()) {
+      std::ifstream in(effective, std::ios::binary);
+      if (!in) {
+        std::cerr << "faaspart-lint: cannot read config " << effective << "\n";
+        return 2;
+      }
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      std::string err;
+      if (!faaspart::lint::parse_config(buf.str(), cfg, err)) {
+        std::cerr << "faaspart-lint: bad config " << effective << ": " << err
+                  << "\n";
+        return 2;
+      }
+    }
+  }
+
+  // Gather the file set (repo-relative, deduped via std::set = sorted).
+  std::set<std::string> files;
+  const fs::path root_path(root);
+  for (const std::string& p : paths) {
+    const fs::path full =
+        fs::path(p).is_absolute() ? fs::path(p) : root_path / p;
+    std::error_code ec;
+    if (fs::is_directory(full, ec)) {
+      for (auto it = fs::recursive_directory_iterator(full, ec);
+           !ec && it != fs::recursive_directory_iterator(); ++it) {
+        if (it->is_regular_file(ec) && has_source_ext(it->path())) {
+          const std::string rel = relativize(root_path, it->path());
+          if (!rel.empty()) files.insert(rel);
+        }
+      }
+    } else if (fs::is_regular_file(full, ec)) {
+      const std::string rel = relativize(root_path, full);
+      files.insert(rel.empty() ? p : rel);
+    } else {
+      std::cerr << "faaspart-lint: no such file or directory: " << p << "\n";
+      return 2;
+    }
+  }
+  if (!compile_commands.empty()) {
+    std::ifstream in(compile_commands, std::ios::binary);
+    if (!in) {
+      std::cerr << "faaspart-lint: cannot read " << compile_commands << "\n";
+      return 2;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    for (const std::string& f :
+         faaspart::lint::compile_commands_files(buf.str())) {
+      const fs::path full =
+          fs::path(f).is_absolute() ? fs::path(f) : root_path / f;
+      if (!has_source_ext(full)) continue;
+      const std::string rel = relativize(root_path, full);
+      if (!rel.empty()) files.insert(rel);
+    }
+  }
+  if (!only.empty()) {
+    for (auto it = files.begin(); it != files.end();) {
+      const bool keep = std::any_of(
+          only.begin(), only.end(), [&](const std::string& pfx) {
+            return it->rfind(pfx, 0) == 0;
+          });
+      it = keep ? std::next(it) : files.erase(it);
+    }
+  }
+  if (files.empty()) {
+    std::cerr << "faaspart-lint: no input files (give PATHs or "
+                 "--compile-commands)\n";
+    return 2;
+  }
+
+  std::vector<Finding> findings;
+  int scanned = 0;
+  for (const std::string& rel : files) {
+    if (cfg.skipped(rel)) continue;
+    std::string err;
+    if (!faaspart::lint::lint_file(root, rel, cfg, findings, err)) {
+      std::cerr << "faaspart-lint: " << err << "\n";
+      return 2;
+    }
+    ++scanned;
+  }
+
+  if (json_enabled) {
+    std::ofstream jf;
+    std::ostream* js = &std::cout;
+    if (!json_out.empty() && json_out != "-") {
+      jf.open(json_out, std::ios::binary);
+      if (!jf) {
+        std::cerr << "faaspart-lint: cannot write " << json_out << "\n";
+        return 2;
+      }
+      js = &jf;
+    }
+    for (const Finding& f : findings)
+      *js << faaspart::lint::format_json(f) << "\n";
+  }
+  if (!quiet && !(json_enabled && json_out.empty())) {
+    for (const Finding& f : findings)
+      std::cerr << faaspart::lint::format_human(f) << "\n";
+  }
+
+  if (!quiet) {
+    std::map<std::string, int> by_rule;
+    for (const Finding& f : findings) ++by_rule[f.rule];
+    std::cerr << "faaspart-lint: " << findings.size() << " finding"
+              << (findings.size() == 1 ? "" : "s") << " in " << scanned
+              << " file" << (scanned == 1 ? "" : "s");
+    if (!findings.empty()) {
+      std::cerr << " (";
+      bool first = true;
+      for (const auto& [rule, n] : by_rule) {
+        std::cerr << (first ? "" : " ") << rule << ":" << n;
+        first = false;
+      }
+      std::cerr << ")";
+    }
+    std::cerr << "\n";
+  }
+  return findings.empty() ? 0 : 1;
+}

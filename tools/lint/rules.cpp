@@ -1,0 +1,357 @@
+#include "rules.hpp"
+
+#include <algorithm>
+#include <array>
+#include <string>
+
+namespace faaspart::lint {
+namespace {
+
+using Tokens = std::vector<Token>;
+
+bool is_punct(const Token& t, std::string_view p) {
+  return t.kind == Tok::kPunct && t.text == p;
+}
+bool is_ident(const Token& t, std::string_view s) {
+  return t.kind == Tok::kIdent && t.text == s;
+}
+template <std::size_t N>
+bool one_of(std::string_view s, const std::array<std::string_view, N>& set) {
+  return std::find(set.begin(), set.end(), s) != set.end();
+}
+
+/// Index of the `(` matching the `)` at `close`, or npos.
+std::size_t match_back_paren(const Tokens& t, std::size_t close) {
+  int depth = 0;
+  for (std::size_t k = close + 1; k-- > 0;) {
+    if (is_punct(t[k], ")")) ++depth;
+    if (is_punct(t[k], "(") && --depth == 0) return k;
+  }
+  return std::string_view::npos;
+}
+
+/// Index of the `)` matching the `(` at `open`, or npos.
+std::size_t match_fwd_paren(const Tokens& t, std::size_t open) {
+  int depth = 0;
+  for (std::size_t k = open; k < t.size(); ++k) {
+    if (is_punct(t[k], "(")) ++depth;
+    if (is_punct(t[k], ")") && --depth == 0) return k;
+  }
+  return std::string_view::npos;
+}
+
+/// Index of the `[` matching the `]` at `close`, or npos.
+std::size_t match_back_bracket(const Tokens& t, std::size_t close) {
+  int depth = 0;
+  for (std::size_t k = close + 1; k-- > 0;) {
+    if (is_punct(t[k], "]")) ++depth;
+    if (is_punct(t[k], "[") && --depth == 0) return k;
+  }
+  return std::string_view::npos;
+}
+
+// ---------------------------------------------------------------- D1 ------
+// Banned wherever they appear: no spelling of these is innocent in a
+// deterministic simulator.
+constexpr std::array<std::string_view, 16> kD1Always = {
+    "system_clock",  "steady_clock", "high_resolution_clock",
+    "random_device", "gettimeofday", "clock_gettime",
+    "timespec_get",  "localtime",    "gmtime",
+    "mktime",        "srand",        "rand_r",
+    "drand48",       "getentropy",   "random_shuffle",
+    "utc_clock"};
+// Banned only as a free/qualified call — `rand(`, `std::time(` — so member
+// functions like `record->run_time()` never match.
+constexpr std::array<std::string_view, 4> kD1Call = {"rand", "time", "clock",
+                                                     "getenv"};
+
+void rule_d1(const Tokens& t, std::vector<RawFinding>& out) {
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != Tok::kIdent) continue;
+    if (one_of(t[i].text, kD1Always)) {
+      out.push_back({t[i].line, "D1",
+                     "wall-clock/entropy source '" + std::string(t[i].text) +
+                         "': simulated time comes from Simulator::now(), "
+                         "randomness from a seeded util::Rng"});
+      continue;
+    }
+    if (one_of(t[i].text, kD1Call) && i + 1 < t.size() &&
+        is_punct(t[i + 1], "(")) {
+      const bool member_call =
+          i > 0 && (is_punct(t[i - 1], ".") || is_punct(t[i - 1], "->"));
+      if (!member_call) {
+        out.push_back({t[i].line, "D1",
+                       "call to '" + std::string(t[i].text) +
+                           "(': wall-clock/entropy/environment reads make "
+                           "replays diverge; thread the value in explicitly"});
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------- D2 ------
+constexpr std::array<std::string_view, 4> kD2Types = {
+    "unordered_map", "unordered_set", "unordered_multimap",
+    "unordered_multiset"};
+
+void rule_d2(const Tokens& t, std::vector<RawFinding>& out) {
+  for (const Token& tok : t) {
+    if (tok.kind == Tok::kIdent && one_of(tok.text, kD2Types)) {
+      out.push_back({tok.line, "D2",
+                     "'std::" + std::string(tok.text) +
+                         "' in order-sensitive code: its iteration order is "
+                         "implementation-defined and can leak into rendered "
+                         "output, hashes, or scheduling order; use std::map, "
+                         "a sorted vector, or justify with an annotation"});
+    } else if (tok.kind == Tok::kHeaderName &&
+               (tok.text == "<unordered_map>" ||
+                tok.text == "<unordered_set>")) {
+      out.push_back({tok.line, "D2",
+                     "include of " + std::string(tok.text) +
+                         " in order-sensitive code (see rule D2)"});
+    }
+  }
+}
+
+// ---------------------------------------------------------------- C1 ------
+constexpr std::array<std::string_view, 29> kC1Types = {
+    "thread",        "jthread",
+    "mutex",         "recursive_mutex",
+    "timed_mutex",   "recursive_timed_mutex",
+    "shared_mutex",  "shared_timed_mutex",
+    "condition_variable", "condition_variable_any",
+    "atomic",        "atomic_flag",
+    "atomic_ref",    "counting_semaphore",
+    "binary_semaphore",   "latch",
+    "barrier",       "future",
+    "shared_future", "promise",
+    "packaged_task", "async",
+    "lock_guard",    "unique_lock",
+    "scoped_lock",   "shared_lock",
+    "stop_token",    "call_once",
+    "once_flag"};
+constexpr std::array<std::string_view, 10> kC1Headers = {
+    "<thread>", "<mutex>",           "<shared_mutex>", "<atomic>",
+    "<future>", "<condition_variable>", "<semaphore>", "<latch>",
+    "<barrier>", "<stop_token>"};
+
+void rule_c1(const Tokens& t, std::vector<RawFinding>& out) {
+  bool has_thread_header = false;
+  for (const Token& tok : t)
+    if (tok.kind == Tok::kHeaderName && one_of(tok.text, kC1Headers))
+      has_thread_header = true;
+
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    const Token& tok = t[i];
+    if (tok.kind == Tok::kHeaderName && one_of(tok.text, kC1Headers)) {
+      out.push_back({tok.line, "C1",
+                     "include of " + std::string(tok.text) +
+                         ": raw threading is confined to src/runner — the "
+                         "simulator itself is single-threaded by design"});
+      continue;
+    }
+    if (tok.kind != Tok::kIdent) continue;
+    if (tok.text == "thread_local") {
+      out.push_back({tok.line, "C1",
+                     "'thread_local': per-thread state outside src/runner "
+                     "hides cross-thread sharing from review"});
+      continue;
+    }
+    // std::thread, std::mutex, ... — the std:: qualification keeps members
+    // and project types named e.g. `promise` from matching.
+    if (one_of(tok.text, kC1Types) && i >= 2 && is_punct(t[i - 1], "::") &&
+        is_ident(t[i - 2], "std")) {
+      out.push_back({tok.line, "C1",
+                     "'std::" + std::string(tok.text) +
+                         "' outside src/runner: shared mutable state must "
+                         "stay inside the replication runner"});
+      continue;
+    }
+    // .detach()/.join() only count in files that pull in a threading
+    // header, so e.g. obs::UtilizationSampler::detach() never matches.
+    if (has_thread_header && (tok.text == "detach" || tok.text == "join") &&
+        i > 0 && (is_punct(t[i - 1], ".") || is_punct(t[i - 1], "->")) &&
+        i + 1 < t.size() && is_punct(t[i + 1], "(")) {
+      out.push_back({tok.line, "C1",
+                     "'." + std::string(tok.text) +
+                         "()' on a thread outside src/runner"});
+    }
+  }
+}
+
+// ---------------------------------------------------------------- C2 ------
+// Scope-tracking pass. Every `{` is classified by looking backwards:
+//   `] {` or `](params){` (with optional mutable/noexcept and a trailing
+//   return type)                      -> lambda, capturing if [..] non-empty
+//   `name(params){`                   -> function definition
+//   `if/for/while/switch/catch (..){` -> control block (transparent)
+//   anything else                     -> plain block (transparent)
+// A co_await/co_return/co_yield token belongs to the nearest enclosing
+// lambda-or-function scope; that owner is checked for (a) captures and
+// (b) rvalue-reference parameters.
+struct Scope {
+  enum class Kind { kPlain, kLambda, kFunction } kind = Kind::kPlain;
+  bool capturing = false;
+  int header_line = 0;
+  std::size_t params_begin = 0, params_end = 0;  // token range inside ( )
+  bool reported_capture = false;
+  bool reported_params = false;
+};
+
+constexpr std::array<std::string_view, 5> kControlKw = {"if", "for", "while",
+                                                        "switch", "catch"};
+constexpr std::array<std::string_view, 5> kSpecifierKw = {
+    "mutable", "noexcept", "const", "override", "final"};
+
+Scope classify_open_brace(const Tokens& t, std::size_t brace) {
+  Scope s;
+  if (brace == 0) return s;
+  std::size_t j = brace - 1;
+
+  // Skip trailing specifiers (`mutable`, `noexcept`, ...).
+  while (j > 0 && t[j].kind == Tok::kIdent && one_of(t[j].text, kSpecifierKw))
+    --j;
+
+  // Skip a trailing return type `-> sim::Co<faas::AppValue>`: walk back over
+  // type-ish tokens; if that walk reaches a `->` preceded by `)`, resume the
+  // classification from that `)`.
+  {
+    std::size_t k = j;
+    int steps = 0;
+    while (steps++ < 64) {
+      const Token& tk = t[k];
+      if (is_punct(tk, "->")) {
+        if (k >= 1 && is_punct(t[k - 1], ")")) j = k - 1;
+        break;
+      }
+      const bool type_tok =
+          tk.kind == Tok::kIdent || tk.kind == Tok::kNumber ||
+          is_punct(tk, "::") || is_punct(tk, "<") || is_punct(tk, ">") ||
+          is_punct(tk, ">>") || is_punct(tk, ",") || is_punct(tk, "*") ||
+          is_punct(tk, "&") || is_punct(tk, "&&");
+      if (!type_tok || k == 0) break;
+      --k;
+    }
+  }
+
+  if (is_punct(t[j], "]")) {  // parameterless lambda `[x] {`
+    const std::size_t open = match_back_bracket(t, j);
+    if (open == std::string_view::npos) return s;
+    s.kind = Scope::Kind::kLambda;
+    s.capturing = j - open > 1;
+    s.header_line = t[open].line;
+    return s;
+  }
+
+  if (!is_punct(t[j], ")")) return s;
+  const std::size_t open = match_back_paren(t, j);
+  if (open == std::string_view::npos || open == 0) return s;
+  const Token& before = t[open - 1];
+
+  if (is_punct(before, "]")) {  // lambda with parameter list
+    const std::size_t lb = match_back_bracket(t, open - 1);
+    if (lb == std::string_view::npos) return s;
+    s.kind = Scope::Kind::kLambda;
+    s.capturing = (open - 1) - lb > 1;
+    s.header_line = t[lb].line;
+    s.params_begin = open + 1;
+    s.params_end = j;
+    return s;
+  }
+
+  if (before.kind == Tok::kIdent) {
+    if (one_of(before.text, kControlKw)) return s;  // control block
+    if (before.text == "constexpr" && open >= 2 && is_ident(t[open - 2], "if"))
+      return s;  // `if constexpr (...) {`
+    s.kind = Scope::Kind::kFunction;
+    s.header_line = before.line;
+    s.params_begin = open + 1;
+    s.params_end = j;
+  }
+  return s;
+}
+
+constexpr std::array<std::string_view, 3> kCoKw = {"co_await", "co_return",
+                                                   "co_yield"};
+
+void rule_c2(const Tokens& t, std::vector<RawFinding>& out) {
+  std::vector<Scope> stack;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (is_punct(t[i], "{")) {
+      stack.push_back(classify_open_brace(t, i));
+      continue;
+    }
+    if (is_punct(t[i], "}")) {
+      if (!stack.empty()) stack.pop_back();
+      continue;
+    }
+    if (t[i].kind != Tok::kIdent || !one_of(t[i].text, kCoKw)) continue;
+
+    // Nearest enclosing lambda-or-function owns this coroutine keyword.
+    for (std::size_t d = stack.size(); d-- > 0;) {
+      Scope& owner = stack[d];
+      if (owner.kind == Scope::Kind::kPlain) continue;
+      if (owner.kind == Scope::Kind::kLambda && owner.capturing &&
+          !owner.reported_capture) {
+        owner.reported_capture = true;
+        out.push_back(
+            {owner.header_line, "C2",
+             "capturing lambda used as a coroutine body: captures live in "
+             "the lambda object, not the coroutine frame, and dangle if the "
+             "lambda dies before the coroutine finishes; pass state as "
+             "parameters or keep the lambda alive for the full run"});
+      }
+      if (!owner.reported_params) {
+        owner.reported_params = true;
+        for (std::size_t k = owner.params_begin; k < owner.params_end; ++k) {
+          if (is_punct(t[k], "&&")) {
+            out.push_back(
+                {t[k].line, "C2",
+                 "rvalue-reference parameter into a coroutine frame: the "
+                 "referent dies at the first suspension point; take it by "
+                 "value so it moves into the frame"});
+          }
+        }
+      }
+      break;
+    }
+  }
+}
+
+// ---------------------------------------------------------------- O1 ------
+constexpr std::array<std::string_view, 3> kRegistryLookups = {
+    "counter", "gauge", "histogram"};
+
+void rule_o1(const Tokens& t, std::vector<RawFinding>& out) {
+  for (std::size_t i = 1; i + 1 < t.size(); ++i) {
+    if (t[i].kind != Tok::kIdent || !one_of(t[i].text, kRegistryLookups))
+      continue;
+    if (!is_punct(t[i - 1], ".") && !is_punct(t[i - 1], "->")) continue;
+    if (!is_punct(t[i + 1], "(")) continue;
+    const std::size_t close = match_fwd_paren(t, i + 1);
+    if (close == std::string_view::npos || close + 1 >= t.size()) continue;
+    // Lookup immediately chained into a use (`.add()`, `.observe()`, ...):
+    // that is a registry map lookup per call. Cached-handle init sites bind
+    // the result (`x_ = &m.counter(...)`), so nothing chains and they pass.
+    if (is_punct(t[close + 1], ".") || is_punct(t[close + 1], "->")) {
+      out.push_back(
+          {t[i].line, "O1",
+           "per-call metric registry lookup '." + std::string(t[i].text) +
+               "(...)' chained straight into a use: hot paths must cache "
+               "the handle once (DESIGN.md §7) or annotate a cold path"});
+    }
+  }
+}
+
+}  // namespace
+
+void run_rules(std::string_view path, const LexResult& lx, const Config& cfg,
+               std::vector<RawFinding>& out) {
+  if (cfg.rule_enabled("D1", path)) rule_d1(lx.tokens, out);
+  if (cfg.rule_enabled("D2", path)) rule_d2(lx.tokens, out);
+  if (cfg.rule_enabled("C1", path)) rule_c1(lx.tokens, out);
+  if (cfg.rule_enabled("C2", path)) rule_c2(lx.tokens, out);
+  if (cfg.rule_enabled("O1", path)) rule_o1(lx.tokens, out);
+}
+
+}  // namespace faaspart::lint

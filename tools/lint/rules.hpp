@@ -1,0 +1,26 @@
+// The five determinism/concurrency checks, run over a lexed file.
+// Suppression handling lives one layer up (lint.cpp): rules emit every
+// match; annotations then filter them and flag their own hygiene issues.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lexer.hpp"
+#include "lint.hpp"
+
+namespace faaspart::lint {
+
+struct RawFinding {
+  int line = 0;
+  std::string rule;
+  std::string message;
+};
+
+/// Runs every rule enabled for `path` (per cfg) over the token stream and
+/// appends matches to `out`, in source order per rule.
+void run_rules(std::string_view path, const LexResult& lx, const Config& cfg,
+               std::vector<RawFinding>& out);
+
+}  // namespace faaspart::lint

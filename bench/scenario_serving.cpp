@@ -1,0 +1,39 @@
+// Scenario serving — trace-driven load on the routing policies (DESIGN.md
+// §11).
+//
+// Where bench/cluster_serving drives the fleet with flat open-loop Poisson
+// arrivals, this sweep replays a synthesized .fstrace: a diurnal
+// trough/ramp/peak shape ending in a flash-crowd phase with ON/OFF bursts,
+// Zipf-distributed popularity over a mixed interactive/batch catalog, and
+// per-tenant admission classes — the regime where WFQ fairness, token-bucket
+// shedding and cold-starts actually fight. All four routing policies replay
+// the *same* trace, so the table isolates the routing decision.
+//
+// Points shard across the parallel runner (`--jobs N`); output is
+// byte-identical for any N (pinned in tests/test_runner_determinism.cpp).
+#include <iostream>
+
+#include "runner/experiments.hpp"
+#include "runner/runner.hpp"
+
+using namespace faaspart;
+
+int main(int argc, char** argv) {
+  const runner::JobsFlag jobs = runner::parse_jobs_flag(argc, argv);
+  if (!jobs.ok || argc > 1) {
+    std::cerr << (jobs.ok ? "unknown argument" : jobs.error) << "\nusage: "
+              << argv[0] << " [--jobs N]\n";
+    return 2;
+  }
+
+  const auto points = runner::scenario_serving_points();
+  const auto results = runner::run_points<runner::ScenarioServingResult>(
+      static_cast<int>(points.size()),
+      [&points](int i) {
+        return runner::run_scenario_serving_point(
+            points[static_cast<std::size_t>(i)]);
+      },
+      jobs.jobs);
+  std::cout << runner::render_scenario_serving(results);
+  return 0;
+}

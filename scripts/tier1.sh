@@ -26,8 +26,9 @@ done
 cmake -B build -S .
 cmake --build build -j2 --target faaspart_lint
 ./build/tools/lint/faaspart_lint --root . \
-  --compile-commands build/compile_commands.json --only src \
-  --json=build/lint_findings.jsonl src
+  --compile-commands build/compile_commands.json \
+  --only src --only tests/prop \
+  --json=build/lint_findings.jsonl src tests/prop
 if command -v clang-tidy >/dev/null 2>&1; then
   clang-tidy -p build --quiet src/sim/*.cpp src/runner/*.cpp
 else

@@ -147,4 +147,50 @@ ClusterServingResult run_cluster_serving_point(const ClusterServingPoint& point)
 
 std::string render_cluster_serving(const std::vector<ClusterServingResult>& results);
 
+// -- Scenario serving: trace-driven diurnal/bursty load, Zipf popularity ----
+
+struct ScenarioServingOptions {
+  int endpoints = 16;  ///< CPU serving sites across four WAN RTT tiers
+  int workers_per_endpoint = 4;
+  /// Catalog size; popularity is Zipf(s=1) over it, tenants alternate
+  /// interactive/batch in rank order.
+  int functions = 6;
+  /// Aggregate arrival rate at phase multiplier 1 (the four-phase diurnal
+  /// shape runs 0.3x → 0.7x → 1x → 2x with ON/OFF bursts on the last).
+  double base_rate_hz = 120.0;
+  util::Duration phase_len = util::seconds(30);
+  std::uint64_t seed = 1;
+};
+
+struct ScenarioServingPoint {
+  federation::ClusterPolicy policy = federation::ClusterPolicy::kRoundRobin;
+  ScenarioServingOptions opts;
+};
+
+/// Canonical order: the four routing policies over one shared trace (same
+/// seed ⇒ byte-identical arrivals for every policy).
+std::vector<ScenarioServingPoint> scenario_serving_points(
+    const ScenarioServingOptions& opts = {});
+
+struct ScenarioServingResult {
+  ScenarioServingPoint point;
+  std::size_t offered = 0;
+  std::size_t completed = 0;
+  std::size_t shed = 0;
+  double shed_rate = 0;
+  double throughput = 0;  ///< completed per second of trace horizon
+  double p50_s = 0;       ///< completed-request submit→finish
+  double p95_s = 0;
+  double p99_s = 0;
+  /// Outcome digest from scenario::ReplayReport — the determinism goldens
+  /// pin it across --jobs tiers.
+  std::string digest;
+};
+
+ScenarioServingResult run_scenario_serving_point(
+    const ScenarioServingPoint& point);
+
+std::string render_scenario_serving(
+    const std::vector<ScenarioServingResult>& results);
+
 }  // namespace faaspart::runner

@@ -1,0 +1,102 @@
+#include "scenario/driver.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+#include <utility>
+
+namespace faaspart::scenario {
+
+TraceDriver::TraceDriver(sim::Simulator& sim,
+                         federation::ClusterService& cluster, Trace trace)
+    : sim_(sim), cluster_(cluster), trace_(std::move(trace)) {
+  validate(trace_);
+  std::stable_sort(trace_.events.begin(), trace_.events.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.at < b.at;
+                   });
+}
+
+void TraceDriver::bind_all(const AppFactory& make_app,
+                           const std::string& executor_label) {
+  for (const TraceFunction& f : trace_.catalog) {
+    faas::AppDef app = make_app(f);
+    app.name = f.name;
+    const std::string id =
+        cluster_.service().register_function(std::move(app));
+    cluster_.configure_function(id, f.cls);
+    bindings_[f.name] = Binding{id, executor_label, f.tenant};
+  }
+}
+
+sim::Co<void> TraceDriver::arrivals() {
+  for (const TraceEvent& ev : trace_.events) {
+    if (ev.at > sim_.now()) co_await sim_.delay(ev.at - sim_.now());
+    const Binding& b = bindings_.at(ev.function);
+    handles_.push_back(cluster_.submit(b.function_id, b.executor_label));
+  }
+}
+
+void TraceDriver::start() {
+  FP_CHECK_MSG(!started_, "TraceDriver::start called twice");
+  FP_CHECK_MSG(bindings_.size() == trace_.catalog.size(),
+               "TraceDriver::start before bind_all");
+  started_ = true;
+  sim_.spawn(arrivals(), "trace-driver");
+}
+
+ReplayReport TraceDriver::report() const {
+  ReplayReport r;
+  r.submitted = handles_.size();
+  std::vector<double> completions;
+  std::ostringstream hashed;
+  for (const faas::AppHandle& h : handles_) {
+    const faas::TaskRecord& rec = *h.record;
+    ++r.submitted_by_function[rec.app];
+    if (rec.state == faas::TaskRecord::State::kDone) {
+      ++r.completed;
+      const auto bit = bindings_.find(rec.app);
+      if (bit != bindings_.end()) ++r.completed_by_tenant[bit->second.tenant];
+      completions.push_back(rec.completion_time().seconds());
+    } else if (rec.error.rfind("shed: ", 0) == 0) {
+      ++r.shed;
+    } else {
+      ++r.failed;
+    }
+    hashed << rec.app << '|' << static_cast<int>(rec.state) << '|'
+           << rec.finished.ns << '|' << rec.error << '\n';
+  }
+  r.completion = trace::summarize(std::move(completions));
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(fnv1a(hashed.str())));
+  r.digest = buf;
+  return r;
+}
+
+namespace {
+
+sim::Co<void> drain_after(sim::Simulator& sim,
+                          federation::ClusterService& cluster,
+                          util::Duration at_least) {
+  co_await sim.delay(at_least);
+  co_await cluster.shutdown();
+}
+
+}  // namespace
+
+ReplayReport replay_trace(sim::Simulator& sim,
+                          federation::ClusterService& cluster, Trace trace,
+                          const TraceDriver::AppFactory& make_app,
+                          const std::string& executor_label,
+                          util::Duration drain_grace) {
+  TraceDriver driver(sim, cluster, std::move(trace));
+  driver.bind_all(make_app, executor_label);
+  driver.start();
+  sim.spawn(drain_after(sim, cluster, driver.trace().horizon + drain_grace),
+            "trace-drain");
+  sim.run();
+  return driver.report();
+}
+
+}  // namespace faaspart::scenario

@@ -1,0 +1,93 @@
+// TraceDriver — deterministic replay of an .fstrace scenario into the
+// cluster serving layer (DESIGN.md §11).
+//
+// The driver owns none of the serving stack: the caller builds the
+// Simulator, endpoints and ClusterService, then hands the driver a trace
+// plus an AppDef factory. bind_all() registers one function per catalog
+// entry (through the ComputeService) and installs its serving class;
+// start() spawns the arrival coroutine, which submits each event at its
+// exact virtual timestamp — so a trace replays byte-identically however
+// many runner jobs shard the surrounding sweep, and a synthesize→save→
+// load→replay round trip lands on the same outcome digest.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "faas/app.hpp"
+#include "federation/cluster.hpp"
+#include "scenario/trace.hpp"
+#include "trace/stats.hpp"
+
+namespace faaspart::scenario {
+
+/// Outcome of one replay, summarized after the cluster drains.
+struct ReplayReport {
+  std::size_t submitted = 0;
+  std::size_t completed = 0;  ///< records in State::kDone
+  std::size_t shed = 0;       ///< failed with a ShedError ("shed: ...")
+  std::size_t failed = 0;     ///< failed for any other reason
+  std::map<std::string, std::size_t> submitted_by_function;
+  std::map<std::string, std::size_t> completed_by_tenant;
+  trace::Summary completion;  ///< submit→finish seconds, completed requests
+  /// FNV-1a over every request's (function, state, finished_ns, error) in
+  /// submit order — byte-identical replays have equal digests.
+  std::string digest;
+};
+
+class TraceDriver {
+ public:
+  /// Builds an executable app for a catalog entry. The returned AppDef's
+  /// name is overridden with the catalog name so reports reconcile.
+  using AppFactory = std::function<faas::AppDef(const TraceFunction&)>;
+
+  /// Sorts the trace's events by (time, input order); `trace` must be
+  /// valid (scenario::validate) — throws TraceFormatError otherwise.
+  TraceDriver(sim::Simulator& sim, federation::ClusterService& cluster,
+              Trace trace);
+
+  /// Registers every catalog function with the compute service, installs
+  /// its FunctionClass on the cluster, and remembers the (function id,
+  /// executor label) binding replay will submit with.
+  void bind_all(const AppFactory& make_app, const std::string& executor_label);
+
+  /// Spawns the arrival coroutine; the caller then runs the simulator and
+  /// drains the cluster (typically shutdown after the trace horizon).
+  void start();
+
+  [[nodiscard]] const Trace& trace() const { return trace_; }
+  [[nodiscard]] const std::vector<faas::AppHandle>& handles() const {
+    return handles_;
+  }
+
+  /// Summarizes the replay; call after the simulator drained.
+  [[nodiscard]] ReplayReport report() const;
+
+ private:
+  struct Binding {
+    std::string function_id;
+    std::string executor_label;
+    std::string tenant;
+  };
+
+  sim::Co<void> arrivals();
+
+  sim::Simulator& sim_;
+  federation::ClusterService& cluster_;
+  Trace trace_;
+  std::map<std::string, Binding> bindings_;
+  std::vector<faas::AppHandle> handles_;
+  bool started_ = false;
+};
+
+/// Convenience one-shot: bind, replay, drain `drain_grace` past the trace
+/// horizon, shut the cluster down, and return the report.
+ReplayReport replay_trace(sim::Simulator& sim,
+                          federation::ClusterService& cluster, Trace trace,
+                          const TraceDriver::AppFactory& make_app,
+                          const std::string& executor_label,
+                          util::Duration drain_grace = util::seconds(60));
+
+}  // namespace faaspart::scenario

@@ -1,0 +1,150 @@
+#include "scenario/synthesize.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+namespace faaspart::scenario {
+namespace {
+
+/// Zipf probability mass over ranks 0..n-1 with exponent s, as a CDF for
+/// inverse-transform sampling.
+std::vector<double> zipf_cdf(int n, double s) {
+  std::vector<double> cdf(static_cast<std::size_t>(n));
+  double total = 0;
+  for (int r = 0; r < n; ++r) {
+    total += 1.0 / std::pow(static_cast<double>(r + 1), s);
+    cdf[static_cast<std::size_t>(r)] = total;
+  }
+  for (double& c : cdf) c /= total;
+  return cdf;
+}
+
+int sample_cdf(const std::vector<double>& cdf, double u) {
+  const auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+  return static_cast<int>(std::min<std::ptrdiff_t>(
+      it - cdf.begin(), static_cast<std::ptrdiff_t>(cdf.size()) - 1));
+}
+
+}  // namespace
+
+std::vector<PhaseSpec> diurnal_burst_phases(util::Duration phase_len,
+                                            double peak_mult,
+                                            double burst_mult) {
+  return {
+      {.length = phase_len, .rate_mult = 0.3 * peak_mult},
+      {.length = phase_len, .rate_mult = 0.7 * peak_mult},
+      {.length = phase_len, .rate_mult = 1.0 * peak_mult},
+      {.length = phase_len,
+       .rate_mult = burst_mult * peak_mult,
+       .burstiness = 0.8,
+       .burst_period = util::seconds(3)},
+  };
+}
+
+Trace synthesize(const SynthesisSpec& spec) {
+  FP_CHECK_MSG(spec.functions > 0, "synthesize needs >= 1 function");
+  FP_CHECK_MSG(spec.base_rate_hz > 0, "synthesize needs a positive base rate");
+  FP_CHECK_MSG(spec.zipf_s >= 0, "zipf exponent must be non-negative");
+
+  std::vector<PhaseSpec> phases = spec.phases;
+  if (phases.empty()) {
+    phases.push_back({.length = spec.horizon, .rate_mult = 1.0});
+  }
+  double peak_mult = 0;
+  util::Duration horizon{};
+  for (const PhaseSpec& ph : phases) {
+    FP_CHECK_MSG(ph.length.ns > 0, "phase length must be positive");
+    FP_CHECK_MSG(ph.rate_mult >= 0, "phase rate_mult must be non-negative");
+    FP_CHECK_MSG(ph.burstiness >= 0 && ph.burstiness <= 1,
+                 "phase burstiness must be in [0, 1]");
+    horizon += ph.length;
+    peak_mult =
+        std::max(peak_mult, ph.rate_mult * (1.0 + ph.burstiness));
+  }
+  std::vector<TenantSpec> tenants = spec.tenants;
+  if (tenants.empty()) tenants.push_back(TenantSpec{});
+
+  Trace trace;
+  trace.seed = spec.seed;
+  trace.horizon = horizon;
+
+  // Catalog: rank r gets the Zipf share of the offered load; its admission
+  // limits scale from the peak per-function rate so the hot head and the
+  // cold tail get proportionate buckets rather than one global knob.
+  const std::vector<double> cdf = zipf_cdf(spec.functions, spec.zipf_s);
+  for (int r = 0; r < spec.functions; ++r) {
+    const double share =
+        cdf[static_cast<std::size_t>(r)] -
+        (r > 0 ? cdf[static_cast<std::size_t>(r - 1)] : 0.0);
+    const TenantSpec& tenant =
+        tenants[static_cast<std::size_t>(r) % tenants.size()];
+    TraceFunction f;
+    f.name = util::strf("fn-", r < 10 ? "0" : "", r);
+    f.tenant = tenant.name;
+    f.cls.weight = tenant.weight;
+    const double peak_fn_rate = spec.base_rate_hz * peak_mult * share;
+    if (tenant.rate_headroom > 0) {
+      f.cls.rate_hz = tenant.rate_headroom * peak_fn_rate;
+      f.cls.burst = std::max(1.0, tenant.burst_seconds * peak_fn_rate);
+    }
+    f.cls.max_queue = tenant.max_queue;
+    f.cls.deadline = tenant.deadline;
+    f.cls.service_estimate = tenant.service_estimate;
+    trace.catalog.push_back(std::move(f));
+  }
+
+  // Arrival process: one RNG stream, consumed phase by phase. Inside a
+  // bursty phase a two-state modulation gate switches between ON/OFF rates
+  // with exponential sojourns; arrivals are a Poisson process at the
+  // current state's rate, functions drawn Zipf per arrival.
+  util::Rng rng(spec.seed);
+  util::TimePoint t{};
+  util::TimePoint phase_start{};
+  for (const PhaseSpec& ph : phases) {
+    const util::TimePoint phase_end = phase_start + ph.length;
+    bool on = true;
+    util::TimePoint state_until =
+        ph.burstiness > 0
+            ? phase_start + rng.exponential_duration(ph.burst_period)
+            : phase_end;
+    if (t < phase_start) t = phase_start;
+    while (true) {
+      const double state_rate =
+          spec.base_rate_hz * ph.rate_mult *
+          (ph.burstiness > 0
+               ? (on ? 1.0 + ph.burstiness : std::max(0.0, 1.0 - ph.burstiness))
+               : 1.0);
+      if (state_rate <= 0) {
+        // Silent state: jump to its end (consuming no draws keeps the
+        // stream aligned with the state switches, which do draw).
+        t = state_until;
+      } else {
+        t = t + rng.exponential_duration(util::from_seconds(1.0 / state_rate));
+      }
+      while (t >= state_until && state_until < phase_end) {
+        on = !on;
+        state_until = state_until + rng.exponential_duration(ph.burst_period);
+        if (state_until > phase_end) state_until = phase_end;
+      }
+      if (t >= phase_end) break;
+      TraceEvent e;
+      e.at = t;
+      e.function =
+          trace.catalog[static_cast<std::size_t>(
+                            sample_cdf(cdf, rng.next_double()))]
+              .name;
+      trace.events.push_back(std::move(e));
+    }
+    phase_start = phase_end;
+    t = phase_start;
+  }
+
+  validate(trace);
+  return trace;
+}
+
+}  // namespace faaspart::scenario

@@ -1,0 +1,77 @@
+// Seeded scenario synthesis (DESIGN.md §11) — the traffic regime the
+// partitioning decisions actually face: open-loop arrivals whose rate is
+// modulated by diurnal/bursty phases, spread over a function catalog with
+// Zipf-distributed popularity (a few hot functions, a long cold tail) and
+// per-tenant SLO classes.
+//
+// Everything draws from one util::Rng stream seeded by SynthesisSpec::seed,
+// so the same spec always yields byte-identical traces (pinned by the
+// property suite's SynthesizeDeterministic invariant).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "scenario/trace.hpp"
+
+namespace faaspart::scenario {
+
+/// One segment of the modulated-Poisson arrival process.
+struct PhaseSpec {
+  util::Duration length{};
+  /// Arrival-rate multiplier on SynthesisSpec::base_rate_hz for the phase
+  /// (the diurnal shape: trough ~0.3, ramp ~0.7, peak ~1, flash burst 2+).
+  double rate_mult = 1.0;
+  /// ON/OFF burstiness inside the phase (two-state modulated Poisson): the
+  /// process alternates ON windows at rate*(1+burstiness) and OFF windows
+  /// at rate*max(0, 1-burstiness), mean window `burst_period`. 0 = plain
+  /// Poisson.
+  double burstiness = 0.0;
+  util::Duration burst_period = util::seconds(5);
+};
+
+/// A tenant SLO class applied to every function assigned to it. Admission
+/// limits are scaled per function from its expected share of the offered
+/// load, so hot and cold functions get proportionate buckets.
+struct TenantSpec {
+  std::string name = "default";
+  double weight = 1.0;          ///< WFQ share
+  util::Duration deadline{};    ///< completion SLO; 0 = none
+  util::Duration service_estimate = util::milliseconds(200);
+  /// Token-bucket rate as a multiple of the function's expected peak rate;
+  /// 0 disables rate limiting for the tenant.
+  double rate_headroom = 1.25;
+  /// Bucket depth in seconds of the function's expected peak rate (>= 1
+  /// token enforced).
+  double burst_seconds = 2.0;
+  std::size_t max_queue = 0;  ///< service-side queue cap; 0 = unbounded
+};
+
+struct SynthesisSpec {
+  std::uint64_t seed = 1;
+  int functions = 8;
+  /// Zipf popularity exponent over function rank (s=0 uniform; ~1 the
+  /// classic serverless skew).
+  double zipf_s = 1.0;
+  /// Aggregate arrival rate at rate_mult = 1, across all functions.
+  double base_rate_hz = 50.0;
+  /// Phases played back-to-back; empty = one flat phase of `horizon`.
+  std::vector<PhaseSpec> phases;
+  /// Used only when `phases` is empty.
+  util::Duration horizon = util::seconds(120);
+  /// Tenants assigned to functions round-robin in popularity-rank order, so
+  /// every class sees both hot and cold functions; empty = one default
+  /// tenant.
+  std::vector<TenantSpec> tenants;
+};
+
+/// A four-phase trough → ramp → peak → flash-crowd shape, `phase_len` each.
+[[nodiscard]] std::vector<PhaseSpec> diurnal_burst_phases(
+    util::Duration phase_len, double peak_mult = 1.0,
+    double burst_mult = 2.0);
+
+/// Generates a validated, canonical-ordered trace from the spec.
+[[nodiscard]] Trace synthesize(const SynthesisSpec& spec);
+
+}  // namespace faaspart::scenario

@@ -1,0 +1,262 @@
+#include "scenario/trace.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <sstream>
+#include <utility>
+
+#include "util/strings.hpp"
+
+namespace faaspart::scenario {
+namespace {
+
+/// Shortest-round-trip decimal form of `v`: try increasing precision until
+/// the parse recovers the exact double, so canonical text is both readable
+/// ("2", "0.5") and loss-free (save→load→save is byte-stable).
+std::string canonical_double(double v) {
+  char buf[64];
+  for (int prec = 1; prec <= 17; ++prec) {
+    std::snprintf(buf, sizeof buf, "%.*g", prec, v);
+    if (std::strtod(buf, nullptr) == v) break;
+  }
+  return buf;
+}
+
+bool valid_name(const std::string& s) {
+  if (s.empty()) return false;
+  for (const char c : s) {
+    if (c == '=' || c == '#' || c == ' ' || c == '\t' || c == '\n' ||
+        c == '\r') {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<std::string> split_ws(const std::string& line) {
+  std::vector<std::string> out;
+  std::istringstream in(line);
+  std::string tok;
+  while (in >> tok) out.push_back(tok);
+  return out;
+}
+
+std::int64_t parse_i64(const std::string& s, int lineno, const char* what) {
+  char* end = nullptr;
+  const long long v = std::strtoll(s.c_str(), &end, 10);
+  if (end == s.c_str() || *end != '\0') {
+    throw TraceFormatError(util::strf("line ", lineno, ": bad ", what, " '",
+                                      s, "'"));
+  }
+  return static_cast<std::int64_t>(v);
+}
+
+/// Seeds use the full unsigned range; strtoll would clamp anything past
+/// INT64_MAX (caught by the trace-canonical-roundtrip property).
+std::uint64_t parse_u64(const std::string& s, int lineno, const char* what) {
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+  if (end == s.c_str() || *end != '\0' || s.front() == '-' ||
+      errno == ERANGE) {
+    throw TraceFormatError(util::strf("line ", lineno, ": bad ", what, " '",
+                                      s, "'"));
+  }
+  return static_cast<std::uint64_t>(v);
+}
+
+double parse_f64(const std::string& s, int lineno, const char* what) {
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (end == s.c_str() || *end != '\0') {
+    throw TraceFormatError(util::strf("line ", lineno, ": bad ", what, " '",
+                                      s, "'"));
+  }
+  return v;
+}
+
+/// Splits "key=value"; throws when there is no '='.
+std::pair<std::string, std::string> split_kv(const std::string& tok,
+                                             int lineno) {
+  const auto eq = tok.find('=');
+  if (eq == std::string::npos || eq == 0) {
+    throw TraceFormatError(
+        util::strf("line ", lineno, ": expected key=value, got '", tok, "'"));
+  }
+  return {tok.substr(0, eq), tok.substr(eq + 1)};
+}
+
+}  // namespace
+
+std::string save(Trace trace) {
+  validate(trace);
+  std::stable_sort(trace.catalog.begin(), trace.catalog.end(),
+                   [](const TraceFunction& a, const TraceFunction& b) {
+                     return a.name < b.name;
+                   });
+  std::stable_sort(trace.events.begin(), trace.events.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.at < b.at;
+                   });
+  std::ostringstream os;
+  os << "fstrace " << trace.version << "\n";
+  os << "seed " << trace.seed << "\n";
+  os << "horizon_ns " << trace.horizon.ns << "\n";
+  for (const TraceFunction& f : trace.catalog) {
+    os << "function " << f.name << " tenant=" << f.tenant
+       << " weight=" << canonical_double(f.cls.weight)
+       << " rate_hz=" << canonical_double(f.cls.rate_hz)
+       << " burst=" << canonical_double(f.cls.burst)
+       << " max_queue=" << f.cls.max_queue
+       << " deadline_ns=" << f.cls.deadline.ns
+       << " service_ns=" << f.cls.service_estimate.ns << "\n";
+  }
+  for (const TraceEvent& e : trace.events) {
+    os << "event " << e.at.ns << " " << e.function << "\n";
+  }
+  return os.str();
+}
+
+Trace load(const std::string& text) {
+  Trace trace;
+  bool saw_header = false;
+  std::istringstream in(text);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    const auto toks = split_ws(line);
+    if (toks.empty() || toks[0][0] == '#') continue;
+    if (!saw_header) {
+      if (toks[0] != "fstrace" || toks.size() != 2) {
+        throw TraceFormatError(
+            util::strf("line ", lineno, ": expected 'fstrace <version>'"));
+      }
+      trace.version = static_cast<int>(parse_i64(toks[1], lineno, "version"));
+      if (trace.version != 1) {
+        throw TraceFormatError(
+            util::strf("unsupported version ", trace.version));
+      }
+      saw_header = true;
+      continue;
+    }
+    if (toks[0] == "seed" && toks.size() == 2) {
+      trace.seed = parse_u64(toks[1], lineno, "seed");
+    } else if (toks[0] == "horizon_ns" && toks.size() == 2) {
+      trace.horizon = util::Duration{parse_i64(toks[1], lineno, "horizon")};
+    } else if (toks[0] == "function") {
+      if (toks.size() < 2) {
+        throw TraceFormatError(
+            util::strf("line ", lineno, ": function needs a name"));
+      }
+      TraceFunction f;
+      f.name = toks[1];
+      for (std::size_t i = 2; i < toks.size(); ++i) {
+        const auto [key, val] = split_kv(toks[i], lineno);
+        if (key == "tenant") {
+          f.tenant = val;
+        } else if (key == "weight") {
+          f.cls.weight = parse_f64(val, lineno, "weight");
+        } else if (key == "rate_hz") {
+          f.cls.rate_hz = parse_f64(val, lineno, "rate_hz");
+        } else if (key == "burst") {
+          f.cls.burst = parse_f64(val, lineno, "burst");
+        } else if (key == "max_queue") {
+          f.cls.max_queue =
+              static_cast<std::size_t>(parse_i64(val, lineno, "max_queue"));
+        } else if (key == "deadline_ns") {
+          f.cls.deadline = util::Duration{parse_i64(val, lineno, "deadline")};
+        } else if (key == "service_ns") {
+          f.cls.service_estimate =
+              util::Duration{parse_i64(val, lineno, "service")};
+        } else {
+          throw TraceFormatError(
+              util::strf("line ", lineno, ": unknown function key '", key,
+                         "'"));
+        }
+      }
+      trace.catalog.push_back(std::move(f));
+    } else if (toks[0] == "event" && toks.size() == 3) {
+      TraceEvent e;
+      e.at = util::TimePoint{parse_i64(toks[1], lineno, "event time")};
+      e.function = toks[2];
+      trace.events.push_back(std::move(e));
+    } else {
+      throw TraceFormatError(
+          util::strf("line ", lineno, ": unrecognized directive '", toks[0],
+                     "'"));
+    }
+  }
+  if (!saw_header) throw TraceFormatError("missing 'fstrace <version>' header");
+  validate(trace);
+  return trace;
+}
+
+void validate(const Trace& trace) {
+  if (trace.version != 1) {
+    throw TraceFormatError(util::strf("unsupported version ", trace.version));
+  }
+  if (trace.horizon.ns < 0) throw TraceFormatError("negative horizon");
+  std::map<std::string, const TraceFunction*> by_name;
+  for (const TraceFunction& f : trace.catalog) {
+    if (!valid_name(f.name)) {
+      throw TraceFormatError("bad function name '" + f.name + "'");
+    }
+    if (!valid_name(f.tenant)) {
+      throw TraceFormatError("function " + f.name + ": bad tenant '" +
+                             f.tenant + "'");
+    }
+    if (!by_name.emplace(f.name, &f).second) {
+      throw TraceFormatError("duplicate function '" + f.name + "'");
+    }
+    if (f.cls.weight <= 0) {
+      throw TraceFormatError("function " + f.name + ": weight must be > 0");
+    }
+    if (f.cls.rate_hz < 0 || f.cls.burst < 0) {
+      throw TraceFormatError("function " + f.name +
+                             ": negative rate_hz/burst");
+    }
+    if (f.cls.rate_hz > 0 && f.cls.burst < 1.0) {
+      throw TraceFormatError("function " + f.name +
+                             ": rate-limited class needs burst >= 1");
+    }
+    if (f.cls.deadline.ns < 0 || f.cls.service_estimate.ns < 0) {
+      throw TraceFormatError("function " + f.name +
+                             ": negative deadline/service estimate");
+    }
+  }
+  for (const TraceEvent& e : trace.events) {
+    if (e.at.ns < 0) throw TraceFormatError("event before time zero");
+    if (e.at.ns > trace.horizon.ns) {
+      throw TraceFormatError(
+          util::strf("event at ", e.at.ns, " ns past the horizon (",
+                     trace.horizon.ns, " ns)"));
+    }
+    if (by_name.find(e.function) == by_name.end()) {
+      throw TraceFormatError("event names unknown function '" + e.function +
+                             "'");
+    }
+  }
+}
+
+std::uint64_t fnv1a(const std::string& bytes, std::uint64_t seed) {
+  std::uint64_t h = seed;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::string digest(const Trace& trace) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(fnv1a(save(trace))));
+  return buf;
+}
+
+}  // namespace faaspart::scenario

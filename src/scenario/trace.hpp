@@ -1,0 +1,84 @@
+// The .fstrace scenario format (DESIGN.md §11) — a compact, versioned,
+// diffable text description of an open-loop load scenario: a catalog of
+// functions with their serving classes (WFQ weight, admission limits, SLO
+// deadline — federation::FunctionClass verbatim) plus a time-sorted list of
+// arrival events over a horizon.
+//
+// The format is the contract between three consumers:
+//   * scenario::synthesize (modulated-Poisson phases × Zipf popularity)
+//     emits it,
+//   * scenario::TraceDriver replays it into a federation::ClusterService
+//     deterministically, and
+//   * tests/prop serializes shrunk property counterexamples into it, so a
+//     CI failure is a file you can `git add` to the regression corpus.
+//
+// Canonical form: save() always emits the same bytes for the same Trace
+// (catalog sorted by name, events by (time, input order), doubles printed
+// with round-trip precision), so `save(load(save(t))) == save(t)` holds —
+// the property tests pin it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "federation/admission.hpp"
+#include "util/error.hpp"
+#include "util/units.hpp"
+
+namespace faaspart::scenario {
+
+/// A malformed or internally inconsistent .fstrace.
+class TraceFormatError : public util::Error {
+ public:
+  explicit TraceFormatError(const std::string& what)
+      : Error("fstrace: " + what) {}
+};
+
+/// One catalog entry: a function name, the tenant (SLO class) it belongs
+/// to, and its full serving class.
+struct TraceFunction {
+  std::string name;
+  std::string tenant;  ///< free-form SLO-class label ("interactive", ...)
+  federation::FunctionClass cls;
+};
+
+/// One open-loop arrival.
+struct TraceEvent {
+  util::TimePoint at{};
+  std::string function;  ///< must name a catalog entry
+};
+
+/// A complete scenario. `seed` records provenance (the synthesis seed; 0
+/// for hand-written or shrunk traces) — replay never draws from it.
+struct Trace {
+  int version = 1;
+  std::uint64_t seed = 0;
+  util::Duration horizon{};  ///< end of the arrival window
+  std::vector<TraceFunction> catalog;
+  std::vector<TraceEvent> events;
+};
+
+/// Serializes to canonical .fstrace text. Sorts the catalog by name and the
+/// events by (time, position); the input Trace is taken by value so callers
+/// keep their ordering.
+[[nodiscard]] std::string save(Trace trace);
+
+/// Parses .fstrace text; throws TraceFormatError on malformed input,
+/// unknown versions, or events naming functions missing from the catalog.
+[[nodiscard]] Trace load(const std::string& text);
+
+/// Checks internal consistency (catalog names unique and non-empty, events
+/// sorted by time, every event's function in the catalog, non-negative
+/// times within the horizon); throws TraceFormatError on violation.
+void validate(const Trace& trace);
+
+/// FNV-1a hex digest over the canonical serialization — a cheap identity
+/// for replay/determinism assertions.
+[[nodiscard]] std::string digest(const Trace& trace);
+
+/// FNV-1a over arbitrary bytes (exposed for replay-outcome digests).
+[[nodiscard]] std::uint64_t fnv1a(const std::string& bytes,
+                                  std::uint64_t seed = 14695981039346656037ull);
+
+}  // namespace faaspart::scenario

@@ -1,0 +1,20 @@
+// Property-generator fixture (bad): a tests/prop-style generator that draws
+// from ambient entropy and accumulates state in a hashed container — both
+// break the suite's replay-from-seed bar (generators draw only from
+// util::Rng). DO NOT reformat — test_lint.cpp asserts exact line numbers.
+// This file is lexed by the linter, never compiled.
+#include <random>
+#include <unordered_map>
+
+namespace fixture {
+
+inline int unstable_generator() {
+  std::random_device rd;                             // line 12: D1
+  std::unordered_map<int, int> seen;                 // line 13: D2
+  int r = rand();                                    // line 14: D1
+  const char* budget = getenv("PROP_ITERS");         // line 15: D1
+  seen[r] = static_cast<int>(rd());
+  return r + static_cast<int>(seen.size()) + (budget != nullptr);
+}
+
+}  // namespace fixture

@@ -1,0 +1,86 @@
+// A deliberately broken WfqScheduler — the mutant the property suite must
+// kill (ISSUE: "a deliberately-broken WFQ tie-break, caught with a shrunk
+// counterexample"). NEVER include this from src/.
+//
+// The mutation is a one-comparator flip: within an exact finish-tag tie the
+// *newest* arrival wins (LIFO) instead of the oldest (FIFO). Everything
+// else — finish-tag arithmetic, virtual clock, per-flow bookkeeping — is
+// verbatim WfqScheduler, so only a property sensitive to cross-flow tie
+// order can tell the two apart. Unit-style weight/share tests all pass on
+// this mutant; the model-equivalence property does not.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace faaspart::prop {
+
+template <typename T>
+class BrokenTieBreakWfq {
+ public:
+  void set_weight(const std::string& flow, double weight) {
+    FP_CHECK_MSG(weight > 0, "WFQ weight must be positive");
+    flows_[flow].weight = weight;
+  }
+
+  void push(const std::string& flow, double cost, T item) {
+    FP_CHECK_MSG(cost > 0, "WFQ cost must be positive");
+    Flow& f = flows_[flow];
+    const double start = std::max(vtime_, f.last_finish);
+    const double finish = start + cost / f.weight;
+    f.last_finish = finish;
+    ++f.queued;
+    items_.emplace(Key{finish, next_seq_++}, std::move(item));
+  }
+
+  [[nodiscard]] bool empty() const { return items_.empty(); }
+
+  [[nodiscard]] const T& peek() const {
+    FP_CHECK_MSG(!items_.empty(), "peek on an empty WFQ");
+    return items_.begin()->second;
+  }
+
+  T pop(const std::string& flow_of) {
+    FP_CHECK_MSG(!items_.empty(), "pop on an empty WFQ");
+    auto it = items_.begin();
+    vtime_ = std::max(vtime_, it->first.finish);
+    T out = std::move(it->second);
+    items_.erase(it);
+    auto fit = flows_.find(flow_of);
+    FP_CHECK_MSG(fit != flows_.end() && fit->second.queued > 0,
+                 "WFQ pop flow mismatch");
+    --fit->second.queued;
+    return out;
+  }
+
+  [[nodiscard]] double virtual_time() const { return vtime_; }
+
+ private:
+  struct Key {
+    double finish;
+    std::uint64_t seq;
+    // THE BUG: equal finish tags order by *descending* sequence — the most
+    // recent arrival in a tie dequeues first.
+    bool operator<(const Key& o) const {
+      if (finish != o.finish) return finish < o.finish;
+      return seq > o.seq;
+    }
+  };
+  struct Flow {
+    double weight = 1.0;
+    double last_finish = 0.0;
+    std::size_t queued = 0;
+  };
+
+  std::map<Key, T> items_;
+  std::map<std::string, Flow> flows_;
+  double vtime_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace faaspart::prop

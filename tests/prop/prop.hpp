@@ -1,0 +1,115 @@
+// Dependency-free property-testing core (DESIGN.md §11) — the
+// rapidcheck-style loop specialised to this repo's determinism rules:
+// generators draw only from the seeded util::Rng (never std entropy), every
+// iteration's seed derives from the configured base seed, and a falsified
+// property is shrunk greedily to a minimal counterexample before it is
+// reported — so a CI failure names a tiny, replayable input instead of a
+// 60-event haystack.
+//
+// The gtest glue lives next door (prop_gtest.hpp): properties over
+// scenario::Trace serialize their shrunk counterexample into
+// tests/prop/corpus/*.fstrace, which the corpus regression test replays
+// first on every run.
+#pragma once
+
+#include <cstdlib>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace faaspart::prop {
+
+struct Config {
+  int iterations = 40;
+  std::uint64_t seed = 0x5eed;
+  /// Total predicate evaluations the shrinker may spend.
+  int max_shrink_evals = 500;
+};
+
+/// Iteration budget override: FAASPART_PROP_ITERS when set and positive,
+/// `fallback` otherwise. CI's main job runs a small budget; the label-gated
+/// long-sweep job raises it.
+inline int env_iterations(int fallback) {
+  // faaspart-lint: allow(D1) -- test-budget knob, not simulated state: the
+  // value never reaches a Simulator, only the number of check() iterations.
+  const char* v = std::getenv("FAASPART_PROP_ITERS");
+  if (v == nullptr) return fallback;
+  const int n = std::atoi(v);
+  return n > 0 ? n : fallback;
+}
+
+/// Generates a random value from the seeded stream.
+template <typename T>
+using Gen = std::function<T(util::Rng&)>;
+
+/// Candidate simplifications of a failing value, best (smallest) first.
+template <typename T>
+using Shrink = std::function<std::vector<T>(const T&)>;
+
+/// Empty string = property holds; otherwise the failure message.
+template <typename T>
+using Pred = std::function<std::string(const T&)>;
+
+template <typename T>
+struct Outcome {
+  bool falsified = false;
+  T counterexample{};       ///< minimal failing value (when falsified)
+  std::string message;      ///< predicate message for the minimal value
+  std::uint64_t failing_seed = 0;
+  int iterations_run = 0;
+  int shrink_steps = 0;     ///< accepted simplifications
+};
+
+/// Greedy shrink: repeatedly take the first candidate that still fails,
+/// until no candidate fails or the evaluation budget runs out.
+template <typename T>
+void shrink_to_minimal(const Shrink<T>& shrink, const Pred<T>& pred,
+                       Outcome<T>& out, int max_evals) {
+  int evals = 0;
+  bool progressed = true;
+  while (progressed && evals < max_evals) {
+    progressed = false;
+    for (T& cand : shrink(out.counterexample)) {
+      if (++evals > max_evals) break;
+      std::string msg = pred(cand);
+      if (!msg.empty()) {
+        out.counterexample = std::move(cand);
+        out.message = std::move(msg);
+        ++out.shrink_steps;
+        progressed = true;
+        break;
+      }
+    }
+  }
+}
+
+/// The check loop: `cfg.iterations` generate→test rounds; on the first
+/// failure, shrink to a minimal counterexample and stop.
+template <typename T>
+Outcome<T> check(const Gen<T>& gen, const Shrink<T>& shrink,
+                 const Pred<T>& pred, Config cfg = {}) {
+  Outcome<T> out;
+  for (int i = 0; i < cfg.iterations; ++i) {
+    // SplitMix-style per-iteration derivation: independent streams from one
+    // base seed, stable across platforms.
+    const std::uint64_t iter_seed =
+        cfg.seed ^ (0x9e3779b97f4a7c15ull * static_cast<std::uint64_t>(i + 1));
+    util::Rng rng(iter_seed);
+    T value = gen(rng);
+    ++out.iterations_run;
+    std::string msg = pred(value);
+    if (msg.empty()) continue;
+    out.falsified = true;
+    out.failing_seed = iter_seed;
+    out.counterexample = std::move(value);
+    out.message = std::move(msg);
+    shrink_to_minimal(shrink, pred, out, cfg.max_shrink_evals);
+    return out;
+  }
+  return out;
+}
+
+}  // namespace faaspart::prop

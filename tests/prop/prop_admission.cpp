@@ -1,0 +1,74 @@
+// Token-bucket admission invariants (DESIGN.md §9): replay each rate-limited
+// function's arrival times through a TokenBucket and check the rate bound
+// and the token range algebraically.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "federation/admission.hpp"
+#include "prop/registry.hpp"
+#include "util/strings.hpp"
+
+namespace faaspart::prop {
+namespace {
+
+// Sustained-rate bound: over any run starting from a full bucket, the
+// number of accepted requests can never exceed burst + rate * elapsed —
+// the defining property of a token bucket (one token per accept, refill
+// capped at the rate).
+std::string rate_bound(const scenario::Trace& trace) {
+  for (const scenario::TraceFunction& f : trace.catalog) {
+    if (f.cls.rate_hz <= 0) continue;
+    federation::TokenBucket bucket(f.cls.rate_hz, f.cls.burst);
+    std::size_t accepted = 0;
+    util::TimePoint last{};
+    for (const scenario::TraceEvent& ev : trace.events) {
+      if (ev.function != f.name) continue;
+      if (bucket.try_take(ev.at)) ++accepted;
+      last = ev.at;
+    }
+    const double bound =
+        f.cls.burst + f.cls.rate_hz * (last - util::TimePoint{}).seconds();
+    if (static_cast<double>(accepted) > std::floor(bound + 1e-9)) {
+      return util::strf("function ", f.name, " accepted ", accepted,
+                        " requests, bound is ", bound, " (rate ",
+                        f.cls.rate_hz, " Hz, burst ", f.cls.burst, ")");
+    }
+  }
+  return {};
+}
+const bool reg_rate = register_trace_property("bucket-rate-bound", rate_bound);
+
+// Token count stays within [0, burst] at every observation point — lazy
+// refill never overfills past the burst and try_take never overdraws.
+std::string tokens_bounded(const scenario::Trace& trace) {
+  for (const scenario::TraceFunction& f : trace.catalog) {
+    if (f.cls.rate_hz <= 0) continue;
+    federation::TokenBucket bucket(f.cls.rate_hz, f.cls.burst);
+    for (const scenario::TraceEvent& ev : trace.events) {
+      if (ev.function != f.name) continue;
+      (void)bucket.try_take(ev.at);
+      const double tokens = bucket.tokens(ev.at);
+      if (tokens < -1e-9 || tokens > f.cls.burst + 1e-9) {
+        return util::strf("function ", f.name, " bucket at ", ev.at.ns,
+                          " ns holds ", tokens, " tokens (burst ",
+                          f.cls.burst, ")");
+      }
+    }
+  }
+  return {};
+}
+const bool reg_tokens =
+    register_trace_property("bucket-tokens-bounded", tokens_bounded);
+
+TEST(PropAdmission, TokenBucketRateBound) {
+  expect_property_holds("bucket-rate-bound");
+}
+
+TEST(PropAdmission, TokenBucketTokensBounded) {
+  expect_property_holds("bucket-tokens-bounded");
+}
+
+}  // namespace
+}  // namespace faaspart::prop

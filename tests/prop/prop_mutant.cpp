@@ -1,0 +1,82 @@
+// Mutation check: the suite must be strong enough to kill a deliberately
+// broken WFQ tie-break (broken_wfq.hpp — LIFO within a finish-tag tie).
+//
+// The model-equivalence property is pointed at the mutant instead of the
+// production scheduler and must falsify, shrink to a tiny trace (<= 20
+// events; in practice two same-instant arrivals with colliding cost/weight
+// ratios), and serialize that counterexample cleanly. The committed corpus
+// copy (corpus/wfq-tie-break.fstrace) re-kills the mutant with no random
+// search at all, pinning the suite's sensitivity forever.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "prop/broken_wfq.hpp"
+#include "prop/registry.hpp"
+#include "prop/trace_gen.hpp"
+#include "prop/wfq_model.hpp"
+
+namespace faaspart::prop {
+namespace {
+
+// Non-empty when the mutant's pop order diverges from the reference model —
+// the same check prop_wfq.cpp runs against the real WfqScheduler.
+std::string mutant_matches_reference(const scenario::Trace& trace) {
+  BrokenTieBreakWfq<WfqItem> broken;
+  const WfqRun got = run_wfq_schedule(trace, broken);
+  ReferenceWfq model;
+  const WfqRun want = run_wfq_schedule(trace, model);
+  if (got.pops != want.pops) {
+    return "mutant diverged: got " + format_pops(got.pops) + ", want " +
+           format_pops(want.pops);
+  }
+  return {};
+}
+
+TEST(PropMutant, BrokenTieBreakIsCaughtWithASmallCounterexample) {
+  Config cfg;
+  cfg.iterations = env_iterations(60);
+  cfg.seed = scenario::fnv1a("wfq-tie-break-mutant");
+  const Outcome<scenario::Trace> out = check<scenario::Trace>(
+      random_trace, shrink_trace, mutant_matches_reference, cfg);
+
+  ASSERT_TRUE(out.falsified)
+      << "the property suite no longer distinguishes the broken tie-break "
+      << "from the spec — it would miss this bug in src/";
+  EXPECT_LE(out.counterexample.events.size(), 20u)
+      << "shrinking stalled; counterexample still has "
+      << out.counterexample.events.size() << " events";
+  EXPECT_FALSE(mutant_matches_reference(out.counterexample).empty());
+
+  // The shrunk counterexample is corpus material: canonical, reloadable,
+  // and still failing after a round trip.
+  const std::string text = scenario::save(out.counterexample);
+  const scenario::Trace reloaded = scenario::load(text);
+  EXPECT_EQ(scenario::save(reloaded), text);
+  EXPECT_FALSE(mutant_matches_reference(reloaded).empty());
+
+  // Leave it in the build tree so a refreshed corpus copy is one cp away.
+  const std::filesystem::path dir = FP_PROP_ARTIFACT_DIR;
+  std::filesystem::create_directories(dir);
+  std::ofstream(dir / "wfq-tie-break.fstrace") << text;
+}
+
+TEST(PropMutant, CorpusCounterexampleStillKillsTheMutant) {
+  const std::filesystem::path path =
+      std::filesystem::path(FP_PROP_CORPUS_DIR) / "wfq-tie-break.fstrace";
+  ASSERT_TRUE(std::filesystem::exists(path)) << path;
+  std::ifstream in(path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const scenario::Trace trace = scenario::load(buf.str());
+  EXPECT_LE(trace.events.size(), 20u);
+  EXPECT_FALSE(mutant_matches_reference(trace).empty())
+      << "the committed counterexample no longer exposes the broken "
+      << "tie-break — regenerate it from PropMutant.BrokenTieBreak*";
+}
+
+}  // namespace
+}  // namespace faaspart::prop

@@ -1,0 +1,70 @@
+// Format-level invariants for .fstrace itself: canonical serialization is a
+// fixed point, and synthesis is a pure function of its spec.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "prop/registry.hpp"
+#include "scenario/synthesize.hpp"
+
+namespace faaspart::prop {
+namespace {
+
+// save(load(save(t))) == save(t): one save reaches canonical form, and the
+// parser preserves everything the emitter wrote (doubles included — this is
+// what the round-trip %.17g fallback in canonical_double buys).
+std::string canonical_roundtrip(const scenario::Trace& trace) {
+  const std::string once = scenario::save(trace);
+  const std::string twice = scenario::save(scenario::load(once));
+  if (once != twice) {
+    return "canonical form is not a fixed point:\n--- save ---\n" + once +
+           "--- save(load(save)) ---\n" + twice;
+  }
+  if (scenario::digest(trace) != scenario::digest(scenario::load(once))) {
+    return "digest changed across save/load";
+  }
+  return {};
+}
+const bool reg_roundtrip =
+    register_trace_property("trace-canonical-roundtrip", canonical_roundtrip);
+
+// synthesize() is deterministic in its seed and always emits a valid trace
+// whose arrivals respect the horizon. The input trace only contributes its
+// seed — the spec itself stays fixed so the property is about the
+// synthesizer, not the spec space.
+std::string synthesize_deterministic(const scenario::Trace& trace) {
+  scenario::SynthesisSpec spec;
+  spec.seed = trace.seed;
+  spec.functions = 4;
+  spec.base_rate_hz = 20.0;
+  spec.phases = scenario::diurnal_burst_phases(util::seconds(5));
+  spec.horizon = util::seconds(20);
+
+  const scenario::Trace a = scenario::synthesize(spec);
+  const scenario::Trace b = scenario::synthesize(spec);
+  if (scenario::save(a) != scenario::save(b)) {
+    return "two syntheses from one spec diverged";
+  }
+  try {
+    scenario::validate(a);
+  } catch (const scenario::TraceFormatError& e) {
+    return std::string("synthesized trace invalid: ") + e.what();
+  }
+  for (const scenario::TraceEvent& ev : a.events) {
+    if (ev.at.ns >= a.horizon.ns) return "arrival at/past the horizon";
+  }
+  return {};
+}
+const bool reg_synth = register_trace_property("synthesize-deterministic",
+                                               synthesize_deterministic);
+
+TEST(PropTrace, CanonicalFormIsAFixedPoint) {
+  expect_property_holds("trace-canonical-roundtrip");
+}
+
+TEST(PropTrace, SynthesisIsDeterministic) {
+  expect_property_holds("synthesize-deterministic", 10);
+}
+
+}  // namespace
+}  // namespace faaspart::prop

@@ -1,0 +1,119 @@
+// WFQ scheduler invariants (DESIGN.md §9), property-tested over random
+// trace-derived push/pop schedules.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "federation/wfq.hpp"
+#include "prop/registry.hpp"
+#include "prop/wfq_model.hpp"
+#include "util/strings.hpp"
+
+namespace faaspart::prop {
+namespace {
+
+WfqRun run_production(const scenario::Trace& trace) {
+  federation::WfqScheduler<WfqItem> queue;
+  return run_wfq_schedule(trace, queue);
+}
+
+// The virtual clock never runs backwards: each pop advances V to at least
+// the popped finish tag and V is monotone across the whole run.
+std::string vtime_monotone(const scenario::Trace& trace) {
+  const WfqRun run = run_production(trace);
+  double prev = 0.0;
+  for (std::size_t i = 0; i < run.vtimes.size(); ++i) {
+    if (run.vtimes[i] < prev) {
+      return util::strf("virtual clock regressed at pop ", i, ": ",
+                        run.vtimes[i], " < ", prev);
+    }
+    prev = run.vtimes[i];
+  }
+  return {};
+}
+const bool reg_vtime =
+    register_trace_property("wfq-vtime-monotone", vtime_monotone);
+
+// Within one flow, dispatch order is arrival order — weights and the
+// virtual clock may interleave flows arbitrarily, but never reorder a
+// single function's own backlog.
+std::string per_flow_fifo(const scenario::Trace& trace) {
+  const WfqRun run = run_production(trace);
+  std::map<std::string, std::size_t> last;  // flow -> last popped index + 1
+  for (const WfqItem& p : run.pops) {
+    auto [it, fresh] = last.emplace(p.flow, 0);
+    if (!fresh && p.index + 1 <= it->second) {
+      return util::strf("flow ", p.flow, " popped index ", p.index,
+                        " after index ", it->second - 1, ": ",
+                        format_pops(run.pops));
+    }
+    it->second = p.index + 1;
+  }
+  return {};
+}
+const bool reg_fifo = register_trace_property("wfq-per-flow-fifo",
+                                              per_flow_fifo);
+
+// Conservation: the drain pops exactly the pushed multiset — every event
+// index once, queue and per-flow counters empty afterwards.
+std::string conservation(const scenario::Trace& trace) {
+  federation::WfqScheduler<WfqItem> queue;
+  const WfqRun run = run_wfq_schedule(trace, queue);
+  if (run.pops.size() != trace.events.size()) {
+    return util::strf("popped ", run.pops.size(), " of ",
+                      trace.events.size(), " pushes");
+  }
+  std::vector<bool> seen(trace.events.size(), false);
+  for (const WfqItem& p : run.pops) {
+    if (seen[p.index]) return util::strf("index ", p.index, " popped twice");
+    seen[p.index] = true;
+  }
+  if (!queue.empty() || queue.size() != 0) return "queue not empty at drain";
+  for (const scenario::TraceFunction& f : trace.catalog) {
+    if (queue.queued(f.name) != 0) {
+      return util::strf("flow ", f.name, " still counts ",
+                        queue.queued(f.name), " queued at drain");
+    }
+  }
+  return {};
+}
+const bool reg_conserve =
+    register_trace_property("wfq-conservation", conservation);
+
+// Model equivalence: the production scheduler's pop sequence and virtual
+// clock match the naive reference transcription of the spec exactly. This
+// is the property that kills the broken tie-break mutant (prop_mutant.cpp).
+std::string matches_reference(const scenario::Trace& trace) {
+  const WfqRun got = run_production(trace);
+  ReferenceWfq model;
+  const WfqRun want = run_wfq_schedule(trace, model);
+  if (got.pops != want.pops) {
+    return util::strf("pop order diverged from the reference model:\n    got ",
+                      format_pops(got.pops), "\n   want ",
+                      format_pops(want.pops));
+  }
+  // Identical formulas over identical operands — exact equality, not NEAR.
+  if (got.vtimes != want.vtimes) return "virtual clocks diverged";
+  return {};
+}
+const bool reg_model =
+    register_trace_property("wfq-matches-reference", matches_reference);
+
+TEST(PropWfq, VirtualClockMonotone) {
+  expect_property_holds("wfq-vtime-monotone");
+}
+
+TEST(PropWfq, PerFlowFifo) { expect_property_holds("wfq-per-flow-fifo"); }
+
+TEST(PropWfq, ConservationAtDrain) {
+  expect_property_holds("wfq-conservation");
+}
+
+TEST(PropWfq, MatchesReferenceModel) {
+  expect_property_holds("wfq-matches-reference");
+}
+
+}  // namespace
+}  // namespace faaspart::prop

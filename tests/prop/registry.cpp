@@ -1,0 +1,58 @@
+#include "prop/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "prop/trace_gen.hpp"
+
+namespace faaspart::prop {
+
+std::map<std::string, TraceProperty>& trace_properties() {
+  static std::map<std::string, TraceProperty> registry;
+  return registry;
+}
+
+bool register_trace_property(const std::string& name, TraceProperty pred) {
+  const bool fresh = trace_properties().emplace(name, std::move(pred)).second;
+  FP_CHECK_MSG(fresh, "duplicate property name: " + name);
+  return true;
+}
+
+namespace {
+
+std::string write_counterexample(const std::string& name,
+                                 const scenario::Trace& trace) {
+  const std::filesystem::path dir = FP_PROP_ARTIFACT_DIR;
+  std::filesystem::create_directories(dir);
+  const std::filesystem::path path = dir / (name + ".fstrace");
+  std::ofstream out(path);
+  out << scenario::save(trace);
+  return path.string();
+}
+
+}  // namespace
+
+void expect_property_holds(const std::string& name, int fallback_iterations) {
+  const auto it = trace_properties().find(name);
+  ASSERT_NE(it, trace_properties().end()) << "unregistered property " << name;
+
+  Config cfg;
+  cfg.iterations = env_iterations(fallback_iterations);
+  cfg.seed = scenario::fnv1a(name);
+  const Outcome<scenario::Trace> out =
+      check<scenario::Trace>(random_trace, shrink_trace, it->second, cfg);
+  if (!out.falsified) return;
+
+  const std::string path = write_counterexample(name, out.counterexample);
+  ADD_FAILURE() << "property '" << name << "' falsified (iteration seed "
+                << out.failing_seed << ", shrunk " << out.shrink_steps
+                << " steps to " << out.counterexample.events.size()
+                << " events):\n  " << out.message
+                << "\n  counterexample written to " << path
+                << "\n  (fix the bug, then adopt the file into"
+                << " tests/prop/corpus/ as a regression input)";
+}
+
+}  // namespace faaspart::prop

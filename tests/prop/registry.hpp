@@ -1,0 +1,37 @@
+// Name → property registry, shared across the prop_*.cpp suites.
+//
+// Every *real* invariant (over src/, not the deliberately-broken fixtures)
+// registers itself here at static-init time. That buys two things:
+//   * prop_corpus.cpp replays the whole registry over every .fstrace in the
+//     committed corpus before any random search runs — yesterday's shrunk
+//     counterexamples are today's first regression tests, and
+//   * expect_property_holds() gives each suite one uniform entry point that
+//     searches, shrinks, and serializes any new counterexample to the build
+//     tree for adoption into the corpus.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "prop/prop.hpp"
+#include "scenario/trace.hpp"
+
+namespace faaspart::prop {
+
+using TraceProperty = Pred<scenario::Trace>;
+
+/// All registered real invariants, keyed by name (deterministic order).
+std::map<std::string, TraceProperty>& trace_properties();
+
+/// Registers at static-init time; returns true so it can seed a static bool.
+bool register_trace_property(const std::string& name, TraceProperty pred);
+
+/// Runs the named property through the check/shrink loop (iteration budget:
+/// FAASPART_PROP_ITERS or `fallback_iterations`; seed derived from the
+/// name). On falsification, writes the shrunk counterexample to
+/// FP_PROP_ARTIFACT_DIR/<name>.fstrace and fails the current gtest test with
+/// the path, the failing seed, and the predicate's message.
+void expect_property_holds(const std::string& name,
+                           int fallback_iterations = 60);
+
+}  // namespace faaspart::prop

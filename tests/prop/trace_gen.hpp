@@ -1,0 +1,156 @@
+// Generator + shrinker for scenario::Trace — the single input type every
+// property in tests/prop takes, so any shrunk counterexample serializes
+// straight into the .fstrace corpus (see corpus/README.md).
+//
+// Generation draws weights, costs and admission knobs from *small discrete
+// sets* on purpose: cross-flow WFQ finish-tag ties (the thing a broken
+// tie-break gets wrong) only happen when cost/weight ratios collide, and
+// continuous draws would make collisions measure-zero.
+#pragma once
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "prop/prop.hpp"
+#include "scenario/trace.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace faaspart::prop {
+
+inline scenario::Trace random_trace(util::Rng& rng) {
+  using util::milliseconds;
+  scenario::Trace t;
+  t.seed = rng.next_u64();
+  t.horizon = util::seconds(10);
+
+  static const char* const kTenants[] = {"interactive", "batch"};
+  static const double kWeights[] = {1.0, 2.0, 4.0};
+  static const std::int64_t kServiceMs[] = {50, 100, 200, 400};
+  static const double kRates[] = {0.0, 2.0, 10.0, 50.0};
+  static const double kBursts[] = {1.0, 2.0, 4.0};
+  static const std::size_t kQueues[] = {0, 1, 2, 8};
+  static const std::int64_t kDeadlinesMs[] = {0, 200, 1000, 5000};
+
+  const int functions = static_cast<int>(rng.uniform_int(1, 4));
+  for (int i = 0; i < functions; ++i) {
+    scenario::TraceFunction f;
+    f.name = "fn-" + std::string(1, static_cast<char>('a' + i));
+    f.tenant = kTenants[rng.uniform_int(0, 1)];
+    f.cls.weight = kWeights[rng.uniform_int(0, 2)];
+    f.cls.service_estimate = milliseconds(kServiceMs[rng.uniform_int(0, 3)]);
+    f.cls.rate_hz = kRates[rng.uniform_int(0, 3)];
+    f.cls.burst = f.cls.rate_hz > 0 ? kBursts[rng.uniform_int(0, 2)] : 1.0;
+    f.cls.max_queue = kQueues[rng.uniform_int(0, 3)];
+    f.cls.deadline = milliseconds(kDeadlinesMs[rng.uniform_int(0, 3)]);
+    t.catalog.push_back(std::move(f));
+  }
+
+  const int events = static_cast<int>(rng.uniform_int(0, 24));
+  for (int i = 0; i < events; ++i) {
+    scenario::TraceEvent ev;
+    // Coarse 10 ms grid: co-arrivals (same timestamp) are common, which is
+    // exactly when queue order, not arrival time, decides dispatch.
+    ev.at = util::TimePoint{} +
+            milliseconds(10 * rng.uniform_int(0, 999));
+    ev.function = t.catalog[static_cast<std::size_t>(
+                                rng.uniform_int(0, functions - 1))]
+                      .name;
+    t.events.push_back(std::move(ev));
+  }
+  std::stable_sort(t.events.begin(), t.events.end(),
+                   [](const scenario::TraceEvent& a,
+                      const scenario::TraceEvent& b) { return a.at < b.at; });
+  return t;
+}
+
+namespace detail {
+
+inline scenario::Trace drop_event_range(const scenario::Trace& t,
+                                        std::size_t first, std::size_t count) {
+  scenario::Trace out = t;
+  out.seed = 0;  // shrunk traces are hand-shaped, not synthesized
+  out.events.erase(
+      out.events.begin() + static_cast<std::ptrdiff_t>(first),
+      out.events.begin() + static_cast<std::ptrdiff_t>(first + count));
+  return out;
+}
+
+inline void drop_unused_functions(scenario::Trace& t) {
+  std::erase_if(t.catalog, [&t](const scenario::TraceFunction& f) {
+    return std::none_of(t.events.begin(), t.events.end(),
+                        [&f](const scenario::TraceEvent& ev) {
+                          return ev.function == f.name;
+                        });
+  });
+}
+
+}  // namespace detail
+
+/// Shrink candidates, most aggressive first: halve the event list, drop
+/// single events, garbage-collect unused catalog entries, then normalise
+/// each function's class knobs one at a time toward the defaults.
+inline std::vector<scenario::Trace> shrink_trace(const scenario::Trace& t) {
+  std::vector<scenario::Trace> out;
+  const std::size_t n = t.events.size();
+  if (n >= 2) {
+    out.push_back(detail::drop_event_range(t, n / 2, n - n / 2));  // tail
+    out.push_back(detail::drop_event_range(t, 0, n / 2));          // head
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(detail::drop_event_range(t, i, 1));
+  }
+  for (scenario::Trace& cand : out) detail::drop_unused_functions(cand);
+
+  if (t.catalog.size() > 1) {
+    scenario::Trace cand = t;
+    cand.seed = 0;
+    detail::drop_unused_functions(cand);
+    if (cand.catalog.size() < t.catalog.size()) out.push_back(std::move(cand));
+  }
+
+  for (std::size_t i = 0; i < t.catalog.size(); ++i) {
+    const federation::FunctionClass& c = t.catalog[i].cls;
+    const federation::FunctionClass plain;  // defaults
+    auto with = [&t, i](federation::FunctionClass cls) {
+      scenario::Trace cand = t;
+      cand.seed = 0;
+      cand.catalog[i].cls = cls;
+      return cand;
+    };
+    if (c.weight != plain.weight) {
+      federation::FunctionClass cls = c;
+      cls.weight = plain.weight;
+      out.push_back(with(cls));
+    }
+    if (c.rate_hz != plain.rate_hz || c.burst != plain.burst) {
+      federation::FunctionClass cls = c;
+      cls.rate_hz = plain.rate_hz;
+      cls.burst = plain.burst;
+      out.push_back(with(cls));
+    }
+    if (c.max_queue != plain.max_queue) {
+      federation::FunctionClass cls = c;
+      cls.max_queue = plain.max_queue;
+      out.push_back(with(cls));
+    }
+    if (c.deadline != plain.deadline) {
+      federation::FunctionClass cls = c;
+      cls.deadline = plain.deadline;
+      out.push_back(with(cls));
+    }
+  }
+
+  // Pull all arrivals to t=0 — the smallest trace that still exhibits a
+  // queue-order bug is usually "everything arrives at once".
+  if (!t.events.empty() && t.events.back().at != util::TimePoint{}) {
+    scenario::Trace cand = t;
+    cand.seed = 0;
+    for (scenario::TraceEvent& ev : cand.events) ev.at = util::TimePoint{};
+    out.push_back(std::move(cand));
+  }
+  return out;
+}
+
+}  // namespace faaspart::prop

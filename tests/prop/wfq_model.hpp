@@ -1,0 +1,147 @@
+// A trace-derived WFQ operation schedule plus a naive reference model.
+//
+// Trace events become pushes in arrival order (cost = the function's
+// service_estimate in seconds); every third push is followed by a pop, and
+// the queue drains at the end. That interleaving exercises both regimes:
+// pops against a backlog (where finish-tag order decides) and pops racing
+// arrivals (where the virtual clock's max() with the popped tag matters).
+//
+// ReferenceWfq is the spec written as an O(n) scan — no std::map, no
+// incremental bookkeeping — so a divergence between it and the production
+// WfqScheduler (or a deliberately broken fixture) localises the bug to the
+// optimised implementation.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "scenario/trace.hpp"
+#include "util/strings.hpp"
+
+namespace faaspart::prop {
+
+struct WfqItem {
+  std::string flow;
+  std::size_t index = 0;  ///< position in the trace's event list
+  bool operator==(const WfqItem&) const = default;
+};
+
+/// Pop sequence and the virtual clock observed after each pop.
+struct WfqRun {
+  std::vector<WfqItem> pops;
+  std::vector<double> vtimes;
+};
+
+/// Direct transcription of the WFQ spec (DESIGN.md §9): finish tag
+/// F = max(V, F_last(flow)) + cost / weight, pop = min (finish, seq).
+class ReferenceWfq {
+ public:
+  void set_weight(const std::string& flow, double weight) {
+    flow_of(flow).weight = weight;
+  }
+
+  void push(const std::string& flow, double cost, WfqItem item) {
+    Flow& f = flow_of(flow);
+    const double finish = std::max(vtime_, f.last_finish) + cost / f.weight;
+    f.last_finish = finish;
+    items_.push_back(Pending{finish, next_seq_++, std::move(item)});
+  }
+
+  [[nodiscard]] bool empty() const { return items_.empty(); }
+
+  [[nodiscard]] const WfqItem& peek() const { return best()->item; }
+
+  WfqItem pop(const std::string& /*flow_of*/) {
+    const auto it = best();
+    vtime_ = std::max(vtime_, it->finish);
+    WfqItem out = std::move(it->item);
+    items_.erase(it);
+    return out;
+  }
+
+  [[nodiscard]] double virtual_time() const { return vtime_; }
+
+ private:
+  struct Pending {
+    double finish;
+    std::uint64_t seq;
+    WfqItem item;
+  };
+  struct Flow {
+    double weight = 1.0;
+    double last_finish = 0.0;
+  };
+
+  [[nodiscard]] std::vector<Pending>::const_iterator best() const {
+    return std::min_element(items_.begin(), items_.end(),
+                            [](const Pending& a, const Pending& b) {
+                              if (a.finish != b.finish)
+                                return a.finish < b.finish;
+                              return a.seq < b.seq;
+                            });
+  }
+  [[nodiscard]] std::vector<Pending>::iterator best() {
+    return items_.begin() + (std::as_const(*this).best() - items_.cbegin());
+  }
+
+  Flow& flow_of(const std::string& name) {
+    for (auto& [flow, state] : flows_) {
+      if (flow == name) return state;
+    }
+    flows_.emplace_back(name, Flow{});
+    return flows_.back().second;
+  }
+
+  std::vector<Pending> items_;
+  std::vector<std::pair<std::string, Flow>> flows_;
+  double vtime_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+};
+
+/// Runs the trace-derived schedule against any queue with the WfqScheduler
+/// surface (set_weight / push / empty / peek / pop / virtual_time).
+template <typename Queue>
+WfqRun run_wfq_schedule(const scenario::Trace& trace, Queue& queue) {
+  for (const scenario::TraceFunction& f : trace.catalog) {
+    queue.set_weight(f.name, f.cls.weight);
+  }
+  const auto cost_of = [&trace](const std::string& name) {
+    for (const scenario::TraceFunction& f : trace.catalog) {
+      if (f.name == name) {
+        // WFQ requires cost > 0; a zero service estimate (legal in the
+        // format) degrades to a 1 ms floor rather than aborting the run.
+        return std::max(f.cls.service_estimate.seconds(), 1e-3);
+      }
+    }
+    return 1.0;
+  };
+
+  WfqRun run;
+  const auto pop_one = [&queue, &run] {
+    const WfqItem top = queue.peek();  // copy before pop erases the owner
+    (void)queue.pop(top.flow);
+    run.pops.push_back(top);
+    run.vtimes.push_back(queue.virtual_time());
+  };
+  for (std::size_t i = 0; i < trace.events.size(); ++i) {
+    const scenario::TraceEvent& ev = trace.events[i];
+    queue.push(ev.function, cost_of(ev.function), WfqItem{ev.function, i});
+    if (i % 3 == 2) pop_one();
+  }
+  while (!queue.empty()) pop_one();
+  return run;
+}
+
+/// "(flow[index] flow[index] ...)" — for failure messages.
+inline std::string format_pops(const std::vector<WfqItem>& pops) {
+  std::string out = "(";
+  for (const WfqItem& p : pops) {
+    if (out.size() > 1) out += ' ';
+    out += util::strf(p.flow, "[", p.index, "]");
+  }
+  return out + ")";
+}
+
+}  // namespace faaspart::prop

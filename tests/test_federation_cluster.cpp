@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "faas/monitoring.hpp"
 #include "federation/cluster.hpp"
 #include "trace/stats.hpp"
 #include "util/error.hpp"
@@ -263,6 +264,103 @@ TEST_F(ClusterFixture, RoundRobinSkipsPartitionedEndpoints) {
   EXPECT_EQ(counts.at("a"), 4u);
   EXPECT_EQ(counts.at("c"), 4u);
   EXPECT_EQ(counts.find("b"), counts.end());
+}
+
+// -- Admission edges ---------------------------------------------------------
+
+sim::Co<void> submit_after(sim::Simulator* sim, ClusterService* cluster,
+                           std::string fn, util::Duration delay) {
+  co_await sim->delay(delay);
+  (void)cluster->submit(fn, "cpu");
+}
+
+TEST_F(ClusterFixture, ExactCapacityBurstAdmitsTheWholeBurstAndShedsTheNext) {
+  make_cpu_endpoint("ep", 4);
+  const auto fn = register_compute_fn(10_ms);
+  ClusterService cluster(sim, service);
+  FunctionClass cls;
+  cls.rate_hz = 1.0;
+  cls.burst = 4.0;
+  cluster.configure_function(fn, cls);
+
+  // Exactly `burst` requests in the same instant drain the bucket to zero
+  // without shedding; the (burst+1)-th is the first to bounce.
+  std::vector<faas::AppHandle> hs;
+  for (int i = 0; i < 5; ++i) hs.push_back(cluster.submit(fn, "cpu"));
+  EXPECT_EQ(cluster.stats().admitted, 4u);
+  EXPECT_EQ(cluster.stats().shed_by_reason.at("rate-limit"), 1u);
+
+  // One token refills after exactly 1 s at 1 Hz — the boundary admits again.
+  sim.spawn(submit_after(&sim, &cluster, fn, 1_s), "late-arrival");
+  sim.spawn(shutdown_after(&sim, &cluster, 2_s), "drain");
+  sim.run();
+  EXPECT_EQ(cluster.stats().admitted, 5u);
+  EXPECT_EQ(cluster.stats().shed, 1u);
+}
+
+TEST_F(ClusterFixture, ZeroDeadlineClassNeverShedsDeadlineOrExpired) {
+  make_cpu_endpoint("ep", 1);
+  const auto fn = register_compute_fn(100_ms);
+  ClusterOptions opts;
+  opts.inflight_per_slot = 1.0;  // deep service-side queue
+  ClusterService cluster(sim, service, opts);
+  FunctionClass cls;  // deadline == 0: no SLO, unlimited rate and queue
+  cluster.configure_function(fn, cls);
+
+  // A 12-deep same-instant backlog on one worker: ~1.2 s of queueing, which
+  // would trip any non-zero deadline — with deadline 0 nothing sheds and
+  // everything completes.
+  std::vector<faas::AppHandle> hs;
+  for (int i = 0; i < 12; ++i) hs.push_back(cluster.submit(fn, "cpu"));
+  sim.spawn(shutdown_after(&sim, &cluster, 10_s), "drain");
+  sim.run();
+
+  EXPECT_EQ(cluster.stats().shed, 0u);
+  EXPECT_TRUE(cluster.stats().shed_by_reason.empty());
+  EXPECT_EQ(cluster.stats().dispatched, 12u);
+  for (const auto& h : hs) {
+    EXPECT_EQ(h.record->state, faas::TaskRecord::State::kDone);
+  }
+}
+
+TEST_F(ClusterFixture, ShedTotalsReconcileWithEndpointAppSummaries) {
+  Endpoint& a = make_cpu_endpoint("a", 2);
+  Endpoint& b = make_cpu_endpoint("b", 2);
+  const auto fn = register_compute_fn(50_ms);
+  ClusterOptions opts;
+  opts.policy = ClusterPolicy::kRoundRobin;
+  ClusterService cluster(sim, service, opts);
+  FunctionClass cls;
+  cls.rate_hz = 2.0;
+  cls.burst = 6.0;
+  cluster.configure_function(fn, cls);
+
+  for (int i = 0; i < 10; ++i) (void)cluster.submit(fn, "cpu");
+  sim.spawn(shutdown_after(&sim, &cluster, 5_s), "drain");
+  sim.run();
+
+  // The cluster's ledger and the endpoints' DFK-level monitoring describe
+  // the same world: every dispatched request is exactly one endpoint app
+  // submission, sheds never reach an endpoint, and nothing is lost between
+  // the two layers.
+  const auto& st = cluster.stats();
+  EXPECT_EQ(st.submitted, 10u);
+  EXPECT_EQ(st.shed_by_reason.at("rate-limit"), 10u - st.admitted);
+  EXPECT_EQ(st.dispatched, st.admitted);  // nothing expired in-queue
+
+  std::size_t ep_submitted = 0, ep_done = 0, ep_failed = 0;
+  for (Endpoint* ep : {&a, &b}) {
+    const faas::Monitoring mon(ep->dfk(), nullptr, "unused");
+    for (const auto& s : mon.app_summaries()) {
+      ep_submitted += s.submitted;
+      ep_done += s.done;
+      ep_failed += s.failed;
+    }
+  }
+  EXPECT_EQ(ep_submitted, st.dispatched);
+  EXPECT_EQ(ep_done, st.dispatched);
+  EXPECT_EQ(ep_failed, 0u);
+  EXPECT_EQ(st.submitted, ep_submitted + st.shed);
 }
 
 // -- Sticky routing vs round-robin: weight reloads ---------------------------

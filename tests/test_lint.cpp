@@ -108,6 +108,23 @@ TEST(LintFixtures, O1GoodIsCleanAndSuppressionWorks) {
   EXPECT_EQ(lint_fixture("o1_good.cpp"), Spans{});
 }
 
+// The tests/prop generator pair: the determinism bar the property harness
+// documents ("generators draw only from util::Rng") is exactly D1 + D2, so
+// the gate that covers tests/prop (tools/lint lint_src, scripts/tier1.sh)
+// catches a generator that reaches for ambient entropy or hashed iteration.
+TEST(LintFixtures, PropGeneratorBadFiresD1AndD2WithExactSpans) {
+  EXPECT_EQ(lint_fixture("prop_gen_bad.cpp"),
+            (Spans{{"D2", 7},
+                   {"D1", 12},
+                   {"D2", 13},
+                   {"D1", 14},
+                   {"D1", 15}}));
+}
+
+TEST(LintFixtures, PropGeneratorGoodIsCleanIncludingBudgetKnobSuppression) {
+  EXPECT_EQ(lint_fixture("prop_gen_good.cpp"), Spans{});
+}
+
 // ----------------------------------------------------- suppressions/X1 ----
 
 TEST(LintSuppression, InlineAllowOnTheSameLine) {

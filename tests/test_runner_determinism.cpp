@@ -131,6 +131,47 @@ TEST(RunnerDeterminism, ClusterServingSweepByteIdenticalAcrossJobs) {
   }
 }
 
+// The scenario sweep replays a synthesized .fstrace (modulated-Poisson
+// phases x Zipf popularity) through all four routing policies; its rendered
+// table and the per-point replay-outcome digests must survive any sharding
+// — this is the trace-driven analogue of the cluster-serving golden and the
+// pin behind `bench/scenario_serving --jobs N`.
+TEST(RunnerDeterminism, ScenarioServingSweepByteIdenticalAcrossJobs) {
+  ScenarioServingOptions opts;
+  opts.endpoints = 3;
+  opts.workers_per_endpoint = 2;
+  opts.functions = 4;
+  opts.base_rate_hz = 30.0;
+  opts.phase_len = util::seconds(5);
+  const auto points = scenario_serving_points(opts);
+
+  std::string golden;
+  std::vector<std::string> golden_digests;
+  for (const int jobs : kJobTiers) {
+    const auto results = run_points<ScenarioServingResult>(
+        static_cast<int>(points.size()),
+        [&](int i) {
+          return run_scenario_serving_point(points[static_cast<std::size_t>(i)]);
+        },
+        jobs);
+    const std::string text = render_scenario_serving(results);
+    std::vector<std::string> digests;
+    for (const auto& r : results) digests.push_back(r.digest);
+    if (jobs == 1) {
+      golden = text;
+      golden_digests = digests;
+      EXPECT_NE(golden.find(".fstrace"), std::string::npos);
+      // All four policies replay the same offered load...
+      for (const auto& r : results) EXPECT_EQ(r.offered, results[0].offered);
+      // ...but route it differently, so outcomes must not all collapse.
+      EXPECT_NE(digests[0], digests[2]);  // round-robin vs sticky
+    } else {
+      EXPECT_EQ(text, golden) << "jobs=" << jobs;
+      EXPECT_EQ(digests, golden_digests) << "jobs=" << jobs;
+    }
+  }
+}
+
 // The chaos soak runs with an *active* FaultPlan (worker crashes + device
 // errors at several Poisson rates): fault delivery, DFK retries and
 // backoff must all land identically whether the replications share one

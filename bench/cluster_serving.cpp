@@ -21,9 +21,23 @@ using namespace faaspart;
 
 int main(int argc, char** argv) {
   const runner::JobsFlag jobs = runner::parse_jobs_flag(argc, argv);
-  if (!jobs.ok || argc > 1) {
-    std::cerr << (jobs.ok ? "unknown argument" : jobs.error) << "\nusage: "
-              << argv[0] << " [--jobs N]\n";
+  bool obs = false;
+  std::string obs_dir = "runinfo/obs-cluster";
+  bool usage = !jobs.ok;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--obs") {
+      obs = true;
+    } else if (arg.rfind("--obs=", 0) == 0) {
+      obs = true;
+      obs_dir = arg.substr(6);
+    } else {
+      usage = true;
+    }
+  }
+  if (usage) {
+    if (!jobs.ok) std::cerr << jobs.error << "\n";
+    std::cerr << "usage: " << argv[0] << " [--obs[=DIR]] [--jobs N]\n";
     return 2;
   }
 
@@ -35,5 +49,23 @@ int main(int argc, char** argv) {
       },
       jobs.jobs);
   std::cout << runner::render_cluster_serving(results);
+
+  if (obs) {
+    // One instrumented run at 2x saturation under slo-aware routing — the
+    // point where the p99 story (sheds, queue waits, cold starts) is
+    // richest. The sweep above stays un-instrumented and byte-identical.
+    runner::ClusterServingPoint point;
+    point.policy = federation::ClusterPolicy::kSloAware;
+    point.rate_mult = 2.0;
+    point.opts.observability = true;
+    point.opts.flight = true;
+    point.opts.obs_export_dir = obs_dir;
+    const auto r = runner::run_cluster_serving_point(point);
+    std::cout << "\n" << r.critical_path_text;
+    std::cout << "\ntraced " << r.traced_requests << " requests, "
+              << r.slo_alerts << " SLO alert transitions; artifacts in "
+              << obs_dir << "/ (trace.json, metrics.prom, flight.fdump — "
+              << "query offline with faaspart_obsquery).\n";
+  }
   return 0;
 }

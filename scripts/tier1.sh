@@ -43,6 +43,13 @@ fi
 cmake --build build -j2
 ctest --test-dir build --output-on-failure -j2
 
+# --- observability overhead gate ------------------------------------------
+# bench/obs_overhead runs the same cluster-serving point with telemetry off,
+# metrics-only, and full tracing; metrics-only must stay within 2% CPU of
+# off (and must not perturb the virtual outcome). Non-zero exit fails the
+# gate; BENCH_obs.json is the machine-readable artifact CI archives.
+./build/bench/obs_overhead build/BENCH_obs.json
+
 # Second tree with sanitizers; only the chaos/federation-labelled binaries
 # need to build, which keeps the single-core builder's turnaround tolerable.
 cmake -B build-asan -S . -DFAASPART_SANITIZE=address

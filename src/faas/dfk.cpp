@@ -37,13 +37,15 @@ const Executor& DataFlowKernel::executor(const std::string& label) const {
   return *it->second;
 }
 
-AppHandle DataFlowKernel::submit(AppDef app, const std::string& executor_label) {
-  return submit_after({}, std::move(app), executor_label);
+AppHandle DataFlowKernel::submit(AppDef app, const std::string& executor_label,
+                                 obs::TraceContext parent) {
+  return submit_after({}, std::move(app), executor_label, parent);
 }
 
 AppHandle DataFlowKernel::submit_after(std::vector<sim::Future<AppValue>> deps,
                                        AppDef app,
-                                       const std::string& executor_label) {
+                                       const std::string& executor_label,
+                                       obs::TraceContext parent) {
   Executor* ex = &executor(executor_label);
   auto logical = std::make_shared<TaskRecord>();
   logical->id = next_id_++;
@@ -55,10 +57,12 @@ AppHandle DataFlowKernel::submit_after(std::vector<sim::Future<AppValue>> deps,
     submits_counter_->add();
     if (auto* tracer = tel->tracer()) {
       // Root of the task's causal tree; every attempt/queue/cold/body/kernel
-      // span downstream hangs off it.
-      const auto trace = tracer->begin_trace();
-      const auto root =
-          tracer->open_span(trace, 0, logical->app, "task", executor_label);
+      // span downstream hangs off it. With an upstream parent (a federation
+      // request root), the task tree attaches there instead of starting a
+      // new trace.
+      const auto trace = parent.active() ? parent.trace : tracer->begin_trace();
+      const auto root = tracer->open_span(trace, parent.span, logical->app,
+                                          "task", executor_label);
       logical->trace = obs::TraceContext{trace, root};
     }
   }

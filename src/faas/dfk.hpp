@@ -27,14 +27,19 @@ class DataFlowKernel {
   /// Submits an app to the labeled executor with DFK-level retries: on
   /// failure the task is resubmitted up to cfg.retries times; the returned
   /// future settles with the final outcome. The returned record is the
-  /// logical task (tries counts attempts).
-  AppHandle submit(AppDef app, const std::string& executor_label);
+  /// logical task (tries counts attempts). An active `parent` context joins
+  /// the task tree to an upstream trace (the federation request root), so a
+  /// cluster request's story stays one connected tree across endpoints;
+  /// default {} starts a fresh trace.
+  AppHandle submit(AppDef app, const std::string& executor_label,
+                   obs::TraceContext parent = {});
 
   /// Like submit, but waits for `deps` to succeed first. A failed dependency
   /// fails this task without consuming retries (dependency errors are not
   /// execution errors — mirrors Parsl).
   AppHandle submit_after(std::vector<sim::Future<AppValue>> deps, AppDef app,
-                         const std::string& executor_label);
+                         const std::string& executor_label,
+                         obs::TraceContext parent = {});
 
   /// Awaits every task submitted so far; does not throw on task failures
   /// (inspect records / counts instead).

@@ -138,6 +138,15 @@ void FaultInjector::deliver(FaultEvent ev) {
         .counter("faults_delivered_total",
                  {{"kind", fault_kind_name(ev.kind)}})
         .add(static_cast<double>(hit.size()));
+    if (auto* fr = tel->flight()) {
+      // A delivered fault is a post-mortem anchor: log it to the victim's
+      // ring, then snapshot every ring as of this instant.
+      const std::string label =
+          std::string(fault_kind_name(ev.kind)) +
+          (ev.target.empty() ? "" : ":" + ev.target);
+      fr->record(ev.target.empty() ? "faults" : ev.target, "fault", label);
+      fr->dump("fault:" + label);
+    }
   }
   if (rec_ != nullptr) {
     rec_->record(lane_,

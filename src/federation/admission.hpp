@@ -26,6 +26,32 @@ class ShedError : public util::Error {
   explicit ShedError(const std::string& what) : Error("shed: " + what) {}
 };
 
+/// Why a request was shed. This enum is the single source of truth for the
+/// reason spelling: ClusterStats keys, the federation_shed_total /
+/// slo_shed_total metric labels, ShedError messages, and the SLO monitor's
+/// shed accounting all go through shed_reason_name(), so a reason can never
+/// drift into two spellings (pinned by test_federation_cluster's
+/// ShedReasonSpellingsAreCanonicalEverywhere regression).
+enum class ShedReason {
+  kRateLimit,  ///< token bucket empty at submit
+  kQueueFull,  ///< per-function service-queue cap reached
+  kDeadline,   ///< predicted queue wait already exceeds the SLO at submit
+  kExpired,    ///< aged past the SLO while queued; shed at dispatch
+};
+
+inline constexpr std::size_t kShedReasonCount = 4;
+
+/// Canonical label: "rate-limit", "queue-full", "deadline", "expired".
+[[nodiscard]] constexpr const char* shed_reason_name(ShedReason reason) {
+  switch (reason) {
+    case ShedReason::kRateLimit: return "rate-limit";
+    case ShedReason::kQueueFull: return "queue-full";
+    case ShedReason::kDeadline: return "deadline";
+    case ShedReason::kExpired: return "expired";
+  }
+  return "?";
+}
+
 /// Token bucket over virtual time: capacity `burst` tokens, refilled at
 /// `rate_hz`. Lazy refill — no events, so an idle bucket costs nothing.
 class TokenBucket {
@@ -64,6 +90,13 @@ class TokenBucket {
 
 /// Per-function serving class: WFQ share, admission limits, SLO.
 struct FunctionClass {
+  /// Tenant / SLO-class label ("interactive", "batch", ...). Purely
+  /// observational: it rides into request spans and the SLO monitor so
+  /// breakdowns group per tenant, and never affects scheduling. Not part of
+  /// the .fstrace serialization (the trace catalog carries the tenant;
+  /// TraceDriver::bind_all stamps it here).
+  std::string tenant;
+
   /// Weighted-fair-queueing share; backlogged functions drain in proportion.
   double weight = 1.0;
 

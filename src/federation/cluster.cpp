@@ -42,6 +42,15 @@ void ClusterService::configure_function(const std::string& function_id,
                                                   sim_.now())
                   : nullptr;
   queue_.set_weight(function_id, cls.weight);
+  if (auto* tel = sim_.telemetry()) {
+    // Every configured function gets an SLI stream: the class deadline is
+    // the completion objective (0 = goodput only), and the class tenant
+    // labels the series for per-tenant burn-rate views.
+    obs::SloTarget target;
+    target.tenant = cls.tenant;
+    target.objective = cls.deadline;
+    tel->slo().configure(function_id, target);
+  }
 }
 
 ClusterService::FunctionState& ClusterService::state_of(
@@ -69,29 +78,38 @@ util::Duration ClusterService::predicted_wait() const {
 }
 
 void ClusterService::shed(const std::string& function_id, const Pending& p,
-                          const std::string& reason) {
+                          ShedReason reason) {
+  const std::string reason_name = shed_reason_name(reason);
   ++stats_.shed;
-  ++stats_.shed_by_reason[reason];
+  ++stats_.shed_by_reason[reason_name];
   p.record->state = faas::TaskRecord::State::kFailed;
   p.record->finished = sim_.now();
-  p.record->error = "shed: " + reason;
+  p.record->error = "shed: " + reason_name;
   if (auto* tel = sim_.telemetry()) {
     FunctionState& st = state_of(function_id);
-    auto [it, inserted] = st.shed_counters.try_emplace(reason, nullptr);
+    auto [it, inserted] = st.shed_counters.try_emplace(reason_name, nullptr);
     if (inserted) {
       it->second = &tel->metrics().counter(
           "federation_shed_total",
-          {{"function", function_id}, {"reason", reason}});
+          {{"function", function_id}, {"reason", reason_name}});
     }
     it->second->add();
-    if (auto* tr = tel->tracer()) {
-      const auto trace = tr->begin_trace();
-      tr->add_closed(trace, 0, p.record->app, "shed", p.enqueued, sim_.now(),
-                     "cluster:" + reason);
+    if (auto* tr = tel->tracer(); tr != nullptr && p.trace.active()) {
+      // The refused interval becomes a "shed" child under the request root,
+      // so shed requests decompose like served ones (segment "shed").
+      tr->add_closed(p.trace.trace, p.trace.span, p.record->app, "shed",
+                     p.enqueued, sim_.now(), "cluster:" + reason_name);
+      tr->annotate(p.trace.span, "shed: " + reason_name);
+      tr->close_span(p.trace.span);
+    }
+    tel->slo().record_shed(function_id, reason_name);
+    if (auto* fr = tel->flight()) {
+      fr->record("service", "shed", function_id + " " + reason_name,
+                 p.trace.trace);
     }
   }
   p.promise.set_exception(std::make_exception_ptr(
-      ShedError(reason + " (" + function_id + ")")));
+      ShedError(reason_name + " (" + function_id + ")")));
 }
 
 faas::AppHandle ClusterService::submit(const std::string& function_id,
@@ -107,17 +125,36 @@ faas::AppHandle ClusterService::submit(const std::string& function_id,
   sim::Promise<faas::AppValue> promise(sim_);
   auto future = promise.future();
   Pending p{function_id, executor_label, std::move(promise), record, sim_.now()};
+  if (auto* tel = sim_.telemetry()) {
+    if (auto* tr = tel->tracer()) {
+      // The request root spans submit → settle and anchors the whole
+      // cross-endpoint tree: squeue/wan/task children hang off it, and the
+      // critical-path analyzer decomposes its extent. Opened before
+      // admission so shed requests trace too. Site = routing policy, so
+      // breakdowns group by policy; tenant = the function's SLO class.
+      const auto trace = tr->begin_trace();
+      const auto root = tr->open_span(trace, 0, app.name, "request",
+                                      to_string(opts_.policy));
+      if (!st.cls.tenant.empty()) tr->set_tenant(root, st.cls.tenant);
+      p.trace = obs::TraceContext{trace, root};
+      record->trace = p.trace;
+    }
+  }
 
-  std::string reason;
+  ShedReason reason{};
+  bool refused = false;
   if (st.bucket && !st.bucket->try_take(sim_.now())) {
-    reason = "rate-limit";
+    reason = ShedReason::kRateLimit;
+    refused = true;
   } else if (st.cls.max_queue > 0 &&
              queue_.queued(function_id) >= st.cls.max_queue) {
-    reason = "queue-full";
+    reason = ShedReason::kQueueFull;
+    refused = true;
   } else if (st.cls.deadline.ns > 0 && predicted_wait() > st.cls.deadline) {
-    reason = "deadline";
+    reason = ShedReason::kDeadline;
+    refused = true;
   }
-  if (!reason.empty()) {
+  if (refused) {
     shed(function_id, p, reason);
     return faas::AppHandle{std::move(future), std::move(record)};
   }
@@ -275,20 +312,36 @@ void ClusterService::dispatch(Pending p) {
   ++inflight_[name];
   state_of(p.function_id).last_endpoint = name;
 
-  faas::AppHandle inner = service_.submit(p.function_id, name, p.executor_label);
+  if (auto* tel = sim_.telemetry()) {
+    if (auto* tr = tel->tracer(); tr != nullptr && p.trace.active()) {
+      // The service-queue wait (admission → dispatch) is only known in
+      // hindsight; record it as a closed "squeue" child of the request root.
+      tr->add_closed(p.trace.trace, p.trace.span, p.record->app, "squeue",
+                     p.enqueued, sim_.now(), "service");
+    }
+    if (auto* fr = tel->flight()) {
+      fr->record(name, "dispatch", p.function_id, p.trace.trace);
+    }
+  }
+
+  faas::AppHandle inner =
+      service_.submit(p.function_id, name, p.executor_label, p.trace);
   // Chain the endpoint-side settle back into the cluster-level handle: adopt
-  // the execution observables but keep the cluster submit time, so
-  // completion_time() includes the service-queue wait.
+  // the execution observables but keep the cluster submit time (so
+  // completion_time() includes the service-queue wait) and the request-root
+  // trace context, which closes here with the request outcome.
   auto outer_rec = p.record;
   auto inner_rec = inner.record;
   auto inner_future = inner.future;
   auto promise = p.promise;  // shared state; safe to copy into the callback
   const auto cluster_submit = outer_rec->submitted;
+  const auto request_ctx = p.trace;
   const std::string fn = p.function_id;
   inner_future.on_ready([this, name, fn, outer_rec, inner_rec, inner_future,
-                         promise, cluster_submit] {
+                         promise, cluster_submit, request_ctx] {
     *outer_rec = *inner_rec;
     outer_rec->submitted = cluster_submit;
+    outer_rec->trace = request_ctx;
     --inflight_[name];
     credit_gate_.open();
     if (outer_rec->state == faas::TaskRecord::State::kDone) {
@@ -303,6 +356,27 @@ void ClusterService::dispatch(Pending p) {
             mean_service_s_ > 0
                 ? opts_.ewma_alpha * obs + (1 - opts_.ewma_alpha) * mean_service_s_
                 : obs;
+      }
+    }
+    if (auto* tel = sim_.telemetry()) {
+      const auto latency = sim_.now() - cluster_submit;
+      const bool failed = inner_future.error() != nullptr;
+      const auto& cls = state_of(fn).cls;
+      const bool good =
+          !failed && (cls.deadline.ns <= 0 || latency <= cls.deadline);
+      if (auto* tr = tel->tracer(); tr != nullptr && request_ctx.active()) {
+        if (failed) {
+          tr->annotate(request_ctx.span, "failed");
+        } else if (!good) {
+          tr->annotate(request_ctx.span, "deadline miss");
+        }
+        tr->close_span(request_ctx.span);
+      }
+      tel->slo().record_latency(fn, latency, good);
+      if (auto* fr = tel->flight()) {
+        fr->record(name, "settle",
+                   fn + (good ? " good" : failed ? " failed" : " late"),
+                   request_ctx.trace);
       }
     }
     if (auto err = inner_future.error()) {
@@ -329,7 +403,7 @@ sim::Co<void> ClusterService::pump() {
       if (st.cls.deadline.ns > 0 &&
           queue_.peek().enqueued + st.cls.deadline <= sim_.now()) {
         const Pending expired = queue_.pop(fn);
-        shed(fn, expired, "expired");
+        shed(fn, expired, ShedReason::kExpired);
         continue;
       }
     }

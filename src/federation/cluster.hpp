@@ -95,6 +95,9 @@ class ClusterService {
     sim::Promise<faas::AppValue> promise;
     std::shared_ptr<faas::TaskRecord> record;
     util::TimePoint enqueued{};
+    /// Request-root span context (opened at submit, before admission, so
+    /// shed requests trace too); inactive when tracing is off.
+    obs::TraceContext trace{};
   };
 
   struct FunctionState {
@@ -114,7 +117,7 @@ class ClusterService {
   [[nodiscard]] util::Duration predicted_wait() const;
 
   void shed(const std::string& function_id, const Pending& p,
-            const std::string& reason);
+            ShedReason reason);
   [[nodiscard]] std::size_t credit_limit(const Endpoint& ep) const;
   [[nodiscard]] bool any_credit() const;
   /// The policy decision. Only considers endpoints with spare credit

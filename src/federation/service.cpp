@@ -51,16 +51,31 @@ const faas::AppDef& ComputeService::function(const std::string& function_id) con
 namespace {
 
 /// Dispatch leg: wait half the RTT, submit at the endpoint, await the
-/// result, wait the return leg, settle the outer promise.
+/// result, wait the return leg, settle the outer promise. An active trace
+/// context hangs "wan-out" / "wan-back" spans off the upstream request root
+/// — partition stalls show up as inflated WAN legs, exactly where the
+/// latency was spent.
 sim::Co<void> wan_task(sim::Simulator* sim, Endpoint* ep, faas::AppDef app,
                        std::string executor_label,
                        sim::Promise<faas::AppValue> outer,
-                       std::shared_ptr<faas::TaskRecord> record) {
+                       std::shared_ptr<faas::TaskRecord> record,
+                       obs::TraceContext parent) {
+  const std::string app_name = app.name;
+  const auto tracer = [sim, parent]() -> obs::Tracer* {
+    if (!parent.active()) return nullptr;
+    auto* tel = sim->telemetry();
+    return tel != nullptr ? tel->tracer() : nullptr;
+  };
   // A WAN partition (faults::FaultKind::kWanPartition) delays traffic rather
   // than dropping it: each leg waits for the link before paying its half-RTT.
+  const auto out_start = sim->now();
   co_await ep->wan_gate().wait();
   co_await sim->delay(ep->rtt() * 0.5);
-  faas::AppHandle inner = ep->dfk().submit(std::move(app), executor_label);
+  if (auto* tr = tracer()) {
+    tr->add_closed(parent.trace, parent.span, app_name, "wan-out", out_start,
+                   sim->now(), ep->name());
+  }
+  faas::AppHandle inner = ep->dfk().submit(std::move(app), executor_label, parent);
   faas::AppValue value;
   std::exception_ptr error;
   try {
@@ -68,17 +83,24 @@ sim::Co<void> wan_task(sim::Simulator* sim, Endpoint* ep, faas::AppDef app,
   } catch (...) {
     error = std::current_exception();
   }
+  const auto back_start = sim->now();
   co_await ep->wan_gate().wait();
   co_await sim->delay(ep->rtt() * 0.5);  // result's way back over the WAN
+  if (auto* tr = tracer()) {
+    tr->add_closed(parent.trace, parent.span, app_name, "wan-back", back_start,
+                   sim->now(), ep->name());
+  }
   // Adopt the endpoint-side execution observables (started/finished bound
   // the actual run, so run_time stays endpoint-local) but keep the
-  // service-side identity and submission time. The return WAN leg is
-  // visible through the outer future's settle time.
+  // service-side identity, submission time, and trace context. The return
+  // WAN leg is visible through the outer future's settle time.
   const auto submitted = record->submitted;
   const auto executor = record->executor;
+  const auto trace_ctx = record->trace;
   *record = *inner.record;
   record->submitted = submitted;
   record->executor = executor;
+  record->trace = trace_ctx;
   if (error) {
     outer.set_exception(error);
   } else {
@@ -89,7 +111,8 @@ sim::Co<void> wan_task(sim::Simulator* sim, Endpoint* ep, faas::AppDef app,
 }  // namespace
 
 faas::AppHandle ComputeService::dispatch(const faas::AppDef& app, Endpoint& ep,
-                                         const std::string& executor_label) {
+                                         const std::string& executor_label,
+                                         obs::TraceContext parent) {
   ++tasks_submitted_;
   ++dispatch_counts_[ep.name()];
   ++inflight_[ep.name()];
@@ -105,19 +128,23 @@ faas::AppHandle ComputeService::dispatch(const faas::AppDef& app, Endpoint& ep,
   record->app = app.name;
   record->executor = ep.name() + "/" + executor_label;
   record->submitted = sim_.now();
+  record->trace = parent;  // service-side identity: the upstream request root
   sim::Promise<faas::AppValue> outer(sim_);
   auto future = outer.future();
   futures_.push_back(future);
   future.on_ready([this, name = ep.name()] { --inflight_[name]; });
-  sim_.spawn(wan_task(&sim_, &ep, app, executor_label, std::move(outer), record),
+  sim_.spawn(wan_task(&sim_, &ep, app, executor_label, std::move(outer), record,
+                      parent),
              "wan-task@" + ep.name());
   return faas::AppHandle{std::move(future), std::move(record)};
 }
 
 faas::AppHandle ComputeService::submit(const std::string& function_id,
                                        const std::string& endpoint_name,
-                                       const std::string& executor_label) {
-  return dispatch(function(function_id), endpoint(endpoint_name), executor_label);
+                                       const std::string& executor_label,
+                                       obs::TraceContext parent) {
+  return dispatch(function(function_id), endpoint(endpoint_name),
+                  executor_label, parent);
 }
 
 faas::AppHandle ComputeService::submit_routed(const std::string& function_id,

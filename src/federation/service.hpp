@@ -42,10 +42,13 @@ class ComputeService {
     return function(function_id);
   }
 
-  /// Submits a registered function to a named endpoint's executor.
+  /// Submits a registered function to a named endpoint's executor. An
+  /// active `parent` context threads an upstream trace (the cluster request
+  /// root) through the WAN legs and the endpoint-side task tree.
   faas::AppHandle submit(const std::string& function_id,
                          const std::string& endpoint_name,
-                         const std::string& executor_label);
+                         const std::string& executor_label,
+                         obs::TraceContext parent = {});
 
   /// Submits to an endpoint chosen by policy; every endpoint must expose
   /// `executor_label`.
@@ -65,7 +68,8 @@ class ComputeService {
 
  private:
   faas::AppHandle dispatch(const faas::AppDef& app, Endpoint& ep,
-                           const std::string& executor_label);
+                           const std::string& executor_label,
+                           obs::TraceContext parent = {});
   [[nodiscard]] const faas::AppDef& function(const std::string& function_id) const;
 
   sim::Simulator& sim_;

@@ -1,5 +1,6 @@
 #include "obs/chrome.hpp"
 
+#include <limits>
 #include <map>
 
 #include "obs/sampler.hpp"
@@ -23,6 +24,11 @@ void write_enriched_chrome_trace(std::ostream& os, const trace::Recorder* rec,
                                  const Tracer* tracer,
                                  const UtilizationSampler* sampler,
                                  const std::string& process_name) {
+  // Full double precision: µs timestamps late in a long run would otherwise
+  // truncate to 6 significant digits, and obs-query's offline reconstruction
+  // (tools/obsquery/loader.cpp) must re-quantize them to exact nanoseconds.
+  const auto saved_precision =
+      os.precision(std::numeric_limits<double>::max_digits10);
   os << "{\"traceEvents\":[";
   bool first = true;
   const auto begin = [&]() -> std::ostream& {
@@ -89,6 +95,10 @@ void write_enriched_chrome_trace(std::ostream& os, const trace::Recorder* rec,
         os << ",\"site\":";
         write_json_string(os, s.site);
       }
+      if (!s.tenant.empty()) {
+        os << ",\"tenant\":";
+        write_json_string(os, s.tenant);
+      }
       if (!s.note.empty()) {
         os << ",\"note\":";
         write_json_string(os, s.note);
@@ -132,6 +142,7 @@ void write_enriched_chrome_trace(std::ostream& os, const trace::Recorder* rec,
   }
 
   os << "]}";
+  os.precision(saved_precision);
 }
 
 }  // namespace faaspart::obs

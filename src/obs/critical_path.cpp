@@ -1,0 +1,249 @@
+#include "obs/critical_path.hpp"
+
+#include <algorithm>
+#include <cstddef>
+#include <sstream>
+#include <string_view>
+#include <utility>
+
+#include "trace/table.hpp"
+#include "util/strings.hpp"
+
+namespace faaspart::obs {
+
+namespace {
+
+/// Overlap priority: when two segments cover the same instant, the most
+/// specific one wins (execution beats the cold start that contains it, the
+/// endpoint queue beats the WAN window it sits inside, and so on). 0 means
+/// structural — never attributed directly.
+int segment_priority(const char* segment) {
+  const std::string_view s = segment;
+  if (s == "exec") return 70;
+  if (s == "cold") return 60;
+  if (s == "equeue") return 50;
+  if (s == "backoff") return 40;
+  if (s == "wan") return 30;
+  if (s == "squeue") return 20;
+  if (s == "shed") return 10;
+  return 0;
+}
+
+struct Interval {
+  std::int64_t start;
+  std::int64_t end;
+  int priority;
+  const char* segment;
+};
+
+}  // namespace
+
+const char* segment_for_kind(const std::string& kind) {
+  if (kind == "body") return "exec";
+  if (kind == "cold") return "cold";
+  if (kind == "queue") return "equeue";
+  if (kind == "backoff") return "backoff";
+  if (kind == "wan-out" || kind == "wan-back") return "wan";
+  if (kind == "squeue") return "squeue";
+  if (kind == "shed") return "shed";
+  // request/task/attempt are structural containers; kernels run inside the
+  // body span, which already owns their time.
+  return "";
+}
+
+util::Duration RequestBreakdown::attributed() const {
+  util::Duration named{};
+  for (const auto& [segment, d] : segments) {
+    if (segment != "other") named += d;
+  }
+  return named;
+}
+
+double RequestBreakdown::coverage() const {
+  if (total.ns <= 0) return 1.0;
+  return static_cast<double>(attributed().ns) / static_cast<double>(total.ns);
+}
+
+std::vector<RequestBreakdown> analyze_requests(
+    const std::vector<CausalSpan>& spans) {
+  // Children by parent id; spans_ ids are 1-based and dense, but offline
+  // reconstructions may be sparse, so index through a map.
+  std::map<std::uint64_t, std::vector<const CausalSpan*>> children;
+  std::vector<const CausalSpan*> roots;
+  for (const CausalSpan& s : spans) {
+    if (s.parent == 0) {
+      roots.push_back(&s);
+    } else {
+      children[s.parent].push_back(&s);
+    }
+  }
+
+  std::vector<RequestBreakdown> out;
+  for (const CausalSpan* root : roots) {
+    if (root->open) continue;  // never settled — a crashed run's residue
+    RequestBreakdown b;
+    b.trace = root->trace;
+    b.root_span = root->id;
+    b.name = root->name;
+    b.tenant = root->tenant;
+    b.site = root->site;
+    b.note = root->note;
+    b.start = root->start;
+    b.total = root->end - root->start;
+
+    // Collect the tree's segment intervals, clipped to the root extent.
+    std::vector<Interval> intervals;
+    std::vector<const CausalSpan*> frontier{root};
+    while (!frontier.empty()) {
+      const CausalSpan* s = frontier.back();
+      frontier.pop_back();
+      const auto it = children.find(s->id);
+      if (it != children.end()) {
+        for (const CausalSpan* c : it->second) frontier.push_back(c);
+      }
+      if (s == root) continue;
+      const char* segment = segment_for_kind(s->kind);
+      const int priority = segment_priority(segment);
+      if (priority == 0) continue;
+      const std::int64_t lo = std::max(s->start.ns, root->start.ns);
+      const std::int64_t hi = std::min(s->end.ns, root->end.ns);
+      if (hi > lo) intervals.push_back({lo, hi, priority, segment});
+    }
+
+    // Priority sweep over the elementary slices between interval bounds:
+    // each instant goes to exactly one segment, so the decomposition sums
+    // to the end-to-end latency by construction.
+    std::vector<std::int64_t> bounds{root->start.ns, root->end.ns};
+    for (const Interval& iv : intervals) {
+      bounds.push_back(iv.start);
+      bounds.push_back(iv.end);
+    }
+    std::sort(bounds.begin(), bounds.end());
+    bounds.erase(std::unique(bounds.begin(), bounds.end()), bounds.end());
+    util::Duration covered{};
+    for (std::size_t i = 0; i + 1 < bounds.size(); ++i) {
+      const std::int64_t lo = bounds[i];
+      const std::int64_t hi = bounds[i + 1];
+      if (lo < root->start.ns || hi > root->end.ns) continue;
+      const Interval* best = nullptr;
+      for (const Interval& iv : intervals) {
+        if (iv.start <= lo && hi <= iv.end &&
+            (best == nullptr || iv.priority > best->priority)) {
+          best = &iv;
+        }
+      }
+      if (best != nullptr) {
+        b.segments[best->segment] += util::Duration{hi - lo};
+        covered += util::Duration{hi - lo};
+      }
+    }
+    if (b.total > covered) b.segments["other"] += b.total - covered;
+    out.push_back(std::move(b));
+  }
+
+  std::sort(out.begin(), out.end(),
+            [](const RequestBreakdown& a, const RequestBreakdown& b) {
+              return a.root_span < b.root_span;
+            });
+  return out;
+}
+
+namespace {
+
+double nearest_rank(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0;
+  const auto n = static_cast<double>(sorted.size());
+  auto idx = static_cast<std::size_t>(q * n);
+  if (idx >= sorted.size()) idx = sorted.size() - 1;
+  return sorted[idx];
+}
+
+}  // namespace
+
+std::vector<GroupBreakdown> aggregate_breakdowns(
+    const std::vector<RequestBreakdown>& requests, GroupBy by) {
+  std::map<std::string, std::vector<const RequestBreakdown*>> groups;
+  for (const RequestBreakdown& r : requests) {
+    const std::string* key = &r.name;
+    if (by == GroupBy::kTenant) key = &r.tenant;
+    if (by == GroupBy::kSite) key = &r.site;
+    groups[key->empty() ? "-" : *key].push_back(&r);
+  }
+
+  std::vector<GroupBreakdown> out;
+  for (const auto& [key, members] : groups) {
+    GroupBreakdown g;
+    g.key = key;
+    g.requests = members.size();
+    std::vector<double> totals;
+    totals.reserve(members.size());
+    double sum = 0;
+    for (const RequestBreakdown* r : members) {
+      totals.push_back(r->total.seconds());
+      sum += r->total.seconds();
+      for (const auto& [segment, d] : r->segments) g.segments[segment] += d;
+      g.min_coverage = std::min(g.min_coverage, r->coverage());
+    }
+    std::sort(totals.begin(), totals.end());
+    g.mean_s = sum / static_cast<double>(members.size());
+    g.p50_s = nearest_rank(totals, 0.50);
+    g.p99_s = nearest_rank(totals, 0.99);
+    for (const RequestBreakdown* r : members) {
+      if (r->total.seconds() < g.p99_s) continue;
+      ++g.tail_requests;
+      for (const auto& [segment, d] : r->segments) g.tail_segments[segment] += d;
+    }
+    out.push_back(std::move(g));
+  }
+  return out;
+}
+
+namespace {
+
+/// "exec 62% · cold 21% · wan 9%" — top-3 shares of a segment sum.
+std::string top_shares(const std::map<std::string, util::Duration>& segments) {
+  util::Duration total{};
+  for (const auto& [segment, d] : segments) total += d;
+  if (total.ns <= 0) return "-";
+  std::vector<std::pair<std::string, util::Duration>> ranked(segments.begin(),
+                                                             segments.end());
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    return a.second.ns != b.second.ns ? a.second.ns > b.second.ns
+                                      : a.first < b.first;
+  });
+  std::string out;
+  int shown = 0;
+  for (const auto& [segment, d] : ranked) {
+    if (shown == 3 || d.ns <= 0) break;
+    const double share =
+        100.0 * static_cast<double>(d.ns) / static_cast<double>(total.ns);
+    if (!out.empty()) out += " · ";
+    out += segment + " " + util::fixed(share, 0) + "%";
+    ++shown;
+  }
+  return out.empty() ? "-" : out;
+}
+
+}  // namespace
+
+std::string render_critical_path(const std::vector<GroupBreakdown>& groups,
+                                 const std::string& title) {
+  std::ostringstream os;
+  os << title << "\n";
+  trace::Table table({"group", "requests", "mean (s)", "p50 (s)", "p99 (s)",
+                      "all requests", "p99 tail", "named"});
+  for (const GroupBreakdown& g : groups) {
+    table.add_row({g.key, std::to_string(g.requests), util::fixed(g.mean_s, 3),
+                   util::fixed(g.p50_s, 3), util::fixed(g.p99_s, 3),
+                   top_shares(g.segments), top_shares(g.tail_segments),
+                   util::fixed(100.0 * g.min_coverage, 1) + "%"});
+  }
+  table.print(os);
+  os << "segments: squeue=service fair queue, wan=dispatch/result WAN legs, "
+        "equeue=endpoint executor queue,\n  cold=cold start, exec=body "
+        "execution, backoff=retry pauses; `named` is the worst per-request\n"
+        "  fraction of end-to-end latency attributed to named segments.\n";
+  return os.str();
+}
+
+}  // namespace faaspart::obs

@@ -1,0 +1,90 @@
+// Critical-path analyzer — "where did this request's latency go?"
+//
+// Operates on a plain vector of CausalSpans (live from a Tracer, or
+// reconstructed offline by tools/obs-query from a Chrome trace), so the same
+// decomposition runs inside a bench and against an exported artifact.
+//
+// Each request tree's root span ("request" for cluster submissions, "task"
+// for direct DFK submissions) covers the whole submit→settle interval. The
+// analyzer partitions that interval across named segments by a priority
+// sweep: every descendant span maps to a segment (service queue, WAN legs,
+// endpoint queue, cold start, execution, retry backoff, shed), overlapping
+// segments resolve to the most specific one, and time no segment covers is
+// attributed to "other". Time is attributed exactly once, so the per-request
+// segment durations sum to the end-to-end latency — coverage() reports the
+// named (non-"other") fraction, and the acceptance bar is >= 95% of every
+// request's latency landing in named segments (tests/test_cluster_obs.cpp).
+//
+// Aggregation answers the operator question "where did p99 go": group
+// requests by function, tenant, or routing site, take each group's p99
+// end-to-end latency, and compare mean segment shares between the whole
+// group and its tail (requests at or above p99).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/tracer.hpp"
+#include "util/units.hpp"
+
+namespace faaspart::obs {
+
+/// One request's latency decomposition.
+struct RequestBreakdown {
+  std::uint64_t trace = 0;
+  std::uint64_t root_span = 0;
+  std::string name;    ///< function / app name (root span name)
+  std::string tenant;  ///< root span tenant ("" when untagged)
+  std::string site;    ///< root span site (routing policy or executor label)
+  std::string note;    ///< root span note (outcome annotations)
+  util::TimePoint start{};
+  util::Duration total{};  ///< end-to-end latency (root span extent)
+  /// Named-segment durations, e.g. {"squeue", "wan", "equeue", "cold",
+  /// "exec", "backoff", "shed"}; holds "other" for unattributed time.
+  std::map<std::string, util::Duration> segments;
+
+  /// Time attributed to named (non-"other") segments.
+  [[nodiscard]] util::Duration attributed() const;
+  /// attributed() / total in [0, 1]; 1.0 for zero-length requests.
+  [[nodiscard]] double coverage() const;
+};
+
+/// Segment a span kind contributes to, or "" for structural kinds
+/// (request/task/attempt containers) that never receive time directly.
+[[nodiscard]] const char* segment_for_kind(const std::string& kind);
+
+/// Decomposes every request tree in `spans`. Roots are spans with
+/// parent == 0; still-open roots (crashed runs) are skipped. Results are in
+/// root-span-id (creation) order, so output is deterministic.
+[[nodiscard]] std::vector<RequestBreakdown> analyze_requests(
+    const std::vector<CausalSpan>& spans);
+
+enum class GroupBy { kFunction, kTenant, kSite };
+
+/// One group's aggregated decomposition.
+struct GroupBreakdown {
+  std::string key;
+  std::size_t requests = 0;
+  double mean_s = 0;
+  double p50_s = 0;
+  double p99_s = 0;
+  /// Summed segment durations over all requests / over the p99 tail
+  /// (requests with total >= the group p99).
+  std::map<std::string, util::Duration> segments;
+  std::map<std::string, util::Duration> tail_segments;
+  std::size_t tail_requests = 0;
+  double min_coverage = 1.0;  ///< worst per-request named coverage
+};
+
+/// Groups breakdowns by function name, tenant, or site (empty keys become
+/// "-"); groups are sorted by key.
+[[nodiscard]] std::vector<GroupBreakdown> aggregate_breakdowns(
+    const std::vector<RequestBreakdown>& requests, GroupBy by);
+
+/// Renders the "where did p99 go" table: one row per group with p50/p99 and
+/// the tail's top segment shares.
+[[nodiscard]] std::string render_critical_path(
+    const std::vector<GroupBreakdown>& groups, const std::string& title);
+
+}  // namespace faaspart::obs

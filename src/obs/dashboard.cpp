@@ -98,6 +98,26 @@ void write_dashboard(std::ostream& os, const Telemetry& telemetry,
     os << "\ncausal traces: " << tracer->trace_count() << " tasks, "
        << tracer->spans().size() << " spans\n";
   }
+
+  const SloMonitor& slo = telemetry.slo();
+  if (!slo.alerts().empty()) {
+    trace::Table t(
+        {"slo alert", "key", "tenant", "at (s)", "burn long", "burn short"});
+    for (const SloAlert& a : slo.alerts()) {
+      t.add_row({a.firing ? "fire" : "clear", a.key,
+                 a.tenant.empty() ? "-" : a.tenant,
+                 util::fixed(a.at.seconds(), 3), util::fixed(a.burn_long, 2),
+                 util::fixed(a.burn_short, 2)});
+    }
+    os << "\n";
+    t.print(os);
+  }
+
+  if (const auto* fr = telemetry.flight()) {
+    os << "\nflight recorder: " << fr->events_recorded() << " events across "
+       << fr->keys().size() << " rings, " << fr->dumps().size() << " dumps ("
+       << fr->dumps_taken() << " triggers)\n";
+  }
 }
 
 }  // namespace faaspart::obs

@@ -1,0 +1,93 @@
+#include "obs/flight.hpp"
+
+#include <algorithm>
+
+#include "sim/simulator.hpp"
+#include "util/error.hpp"
+
+namespace faaspart::obs {
+
+FlightRecorder::FlightRecorder(sim::Simulator& sim, std::size_t capacity_per_key,
+                               std::size_t max_dumps)
+    : sim_(sim), capacity_(capacity_per_key), max_dumps_(max_dumps) {
+  FP_CHECK_MSG(capacity_ > 0, "flight recorder ring capacity must be positive");
+}
+
+void FlightRecorder::record(const std::string& key, const std::string& kind,
+                            const std::string& message, std::uint64_t trace) {
+  auto& ring = rings_[key];
+  if (ring.size() == capacity_) {
+    ring.pop_front();
+    ++evicted_;
+  }
+  FlightEvent ev;
+  ev.at = sim_.now();
+  ev.seq = next_seq_++;
+  ev.key = key;
+  ev.kind = kind;
+  ev.message = message;
+  ev.trace = trace;
+  ring.push_back(std::move(ev));
+  ++recorded_;
+}
+
+int FlightRecorder::dump(const std::string& reason) {
+  ++dumps_taken_;
+  if (dumps_.size() >= max_dumps_) return -1;
+  FlightDump d;
+  d.at = sim_.now();
+  d.reason = reason;
+  for (const auto& [key, ring] : rings_) {
+    d.events.insert(d.events.end(), ring.begin(), ring.end());
+  }
+  std::sort(d.events.begin(), d.events.end(),
+            [](const FlightEvent& a, const FlightEvent& b) {
+              return a.at.ns != b.at.ns ? a.at.ns < b.at.ns : a.seq < b.seq;
+            });
+  dumps_.push_back(std::move(d));
+  return static_cast<int>(dumps_.size()) - 1;
+}
+
+std::vector<FlightEvent> FlightRecorder::ring(const std::string& key) const {
+  const auto it = rings_.find(key);
+  if (it == rings_.end()) return {};
+  return {it->second.begin(), it->second.end()};
+}
+
+std::vector<std::string> FlightRecorder::keys() const {
+  std::vector<std::string> out;
+  out.reserve(rings_.size());
+  for (const auto& [key, ring] : rings_) out.push_back(key);
+  return out;
+}
+
+std::string fdump_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '\t': out += "\\t"; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+void FlightRecorder::write(std::ostream& os) const {
+  os << "fdump v1\n";
+  for (std::size_t i = 0; i < dumps_.size(); ++i) {
+    const FlightDump& d = dumps_[i];
+    os << "dump " << i + 1 << " at_ns " << d.at.ns << " events "
+       << d.events.size() << " reason " << fdump_escape(d.reason) << "\n";
+    for (const FlightEvent& ev : d.events) {
+      os << ev.at.ns << '\t' << ev.seq << '\t' << fdump_escape(ev.key) << '\t'
+         << fdump_escape(ev.kind) << '\t' << ev.trace << '\t'
+         << fdump_escape(ev.message) << '\n';
+    }
+    os << "end\n";
+  }
+}
+
+}  // namespace faaspart::obs

@@ -1,0 +1,96 @@
+// Post-mortem flight recorder — bounded rings of recent events per key
+// (endpoint name, "service", a device), dumped when something goes wrong.
+//
+// The recorder is always cheap: record() appends into a fixed-capacity ring
+// (old events fall off the front), and nothing is formatted until a dump is
+// taken. Dumps are triggered by the layers that detect trouble — the fault
+// injector on every delivered fault, the SLO monitor when a burn-rate alert
+// fires — and snapshot every ring merged into one time-ordered event list,
+// so the artifact reads as "the last N things each site saw before the
+// incident". write() emits the versioned .fdump text format that
+// tools/obs-query loads back (obsquery::load_fdump).
+//
+// Everything here runs in virtual time and never schedules events, so an
+// enabled recorder cannot perturb a run (pinned with the other zero-residue
+// properties in tests/test_obs_flight.cpp).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace faaspart::sim {
+class Simulator;
+}  // namespace faaspart::sim
+
+namespace faaspart::obs {
+
+struct FlightEvent {
+  util::TimePoint at{};
+  std::uint64_t seq = 0;  ///< global record order (ties in virtual time)
+  std::string key;        ///< which ring: endpoint name, "service", ...
+  std::string kind;       ///< dispatch|shed|settle|fault|alert|...
+  std::string message;
+  std::uint64_t trace = 0;  ///< causal trace id; 0 when n/a
+};
+
+/// One snapshot, taken at dump() time.
+struct FlightDump {
+  util::TimePoint at{};
+  std::string reason;  ///< "fault:wan-partition", "slo:fn-1-llama", ...
+  std::vector<FlightEvent> events;  ///< merged rings, (at, seq) order
+};
+
+class FlightRecorder {
+ public:
+  /// `capacity_per_key` bounds each ring; `max_dumps` bounds the dump list
+  /// (later triggers still count via dumps_taken() but stop snapshotting —
+  /// an incident storm must not grow memory without bound).
+  explicit FlightRecorder(sim::Simulator& sim, std::size_t capacity_per_key = 128,
+                          std::size_t max_dumps = 32);
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// Appends an event to `key`'s ring, evicting the oldest past capacity.
+  void record(const std::string& key, const std::string& kind,
+              const std::string& message, std::uint64_t trace = 0);
+
+  /// Snapshots every ring into a new dump (until max_dumps). Returns the
+  /// dump index, or -1 when the dump list is full.
+  int dump(const std::string& reason);
+
+  [[nodiscard]] std::size_t capacity_per_key() const { return capacity_; }
+  [[nodiscard]] std::uint64_t events_recorded() const { return recorded_; }
+  [[nodiscard]] std::uint64_t events_evicted() const { return evicted_; }
+  [[nodiscard]] std::size_t dumps_taken() const { return dumps_taken_; }
+  [[nodiscard]] const std::vector<FlightDump>& dumps() const { return dumps_; }
+  /// Live ring contents for one key, oldest first ({} for unknown keys).
+  [[nodiscard]] std::vector<FlightEvent> ring(const std::string& key) const;
+  [[nodiscard]] std::vector<std::string> keys() const;
+
+  /// Writes every dump in the versioned .fdump text format.
+  void write(std::ostream& os) const;
+
+ private:
+  sim::Simulator& sim_;
+  std::size_t capacity_;
+  std::size_t max_dumps_;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t recorded_ = 0;
+  std::uint64_t evicted_ = 0;
+  std::size_t dumps_taken_ = 0;
+  std::map<std::string, std::deque<FlightEvent>> rings_;
+  std::vector<FlightDump> dumps_;
+};
+
+/// Escapes tabs/newlines/backslashes for one .fdump field (reversed by
+/// tools/obs-query's loader).
+[[nodiscard]] std::string fdump_escape(const std::string& s);
+
+}  // namespace faaspart::obs

@@ -1,0 +1,148 @@
+#include "obs/slo.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "sim/simulator.hpp"
+#include "util/error.hpp"
+
+namespace faaspart::obs {
+
+SloMonitor::SloMonitor(sim::Simulator& sim, MetricsRegistry* metrics)
+    : sim_(sim), metrics_(metrics) {}
+
+void SloMonitor::configure(const std::string& key, SloTarget target) {
+  FP_CHECK_MSG(target.target > 0.0 && target.target < 1.0,
+               "SLO target must be a fraction in (0, 1)");
+  FP_CHECK_MSG(target.short_window <= target.long_window,
+               "SLO short window must not exceed the long window");
+  State& st = states_[key];
+  st.target = std::move(target);
+  if (metrics_ != nullptr && st.latency == nullptr) {
+    const Labels labels{{"function", key}, {"tenant", st.target.tenant}};
+    st.latency = &metrics_->histogram("slo_latency_seconds", labels);
+    st.good = &metrics_->counter("slo_good_total", labels);
+    st.bad = &metrics_->counter("slo_breach_total", labels);
+  }
+}
+
+bool SloMonitor::configured(const std::string& key) const {
+  return states_.count(key) != 0;
+}
+
+const SloTarget* SloMonitor::target(const std::string& key) const {
+  const auto it = states_.find(key);
+  return it == states_.end() ? nullptr : &it->second.target;
+}
+
+void SloMonitor::record_latency(const std::string& key, util::Duration latency,
+                                bool good) {
+  const auto it = states_.find(key);
+  if (it == states_.end()) return;
+  State& st = it->second;
+  if (st.latency != nullptr) {
+    st.latency->observe(latency.seconds());
+    (good ? st.good : st.bad)->add();
+  }
+  note_outcome(key, st, !good);
+}
+
+void SloMonitor::record_shed(const std::string& key,
+                             const std::string& reason) {
+  const auto it = states_.find(key);
+  if (it == states_.end()) return;
+  State& st = it->second;
+  if (metrics_ != nullptr) {
+    Counter*& handle = st.shed[reason];  // cold path: one lookup per reason
+    if (handle == nullptr) {
+      handle = &metrics_->counter("slo_shed_total",
+                                  {{"function", key}, {"reason", reason}});
+    }
+    handle->add();
+  }
+  note_outcome(key, st, /*is_bad=*/true);
+}
+
+void SloMonitor::note_outcome(const std::string& key, State& st, bool is_bad) {
+  const util::TimePoint now = sim_.now();
+  st.window.push_back({now.ns, is_bad});
+  st.bad_long_n += is_bad;
+  ++st.short_n;
+  st.short_bad_n += is_bad;
+
+  // Virtual time is monotone, so both window boundaries only move forward:
+  // each outcome enters each tally once and leaves it once — O(1) amortized.
+  const std::int64_t short_lo = now.ns - st.target.short_window.ns;
+  while (st.short_pos < st.window.size() &&
+         st.window[st.short_pos].at_ns < short_lo) {
+    --st.short_n;
+    st.short_bad_n -= st.window[st.short_pos].bad;
+    ++st.short_pos;
+  }
+  const std::int64_t long_lo = now.ns - st.target.long_window.ns;
+  while (!st.window.empty() && st.window.front().at_ns < long_lo) {
+    st.bad_long_n -= st.window.front().bad;
+    if (st.short_pos == 0) {  // still inside the short tally: evict there too
+      --st.short_n;
+      st.short_bad_n -= st.window.front().bad;
+    } else {
+      --st.short_pos;
+    }
+    st.window.pop_front();
+  }
+
+  const double budget = 1.0 - st.target.target;
+  const auto frac = [](std::size_t bad, std::size_t n) {
+    return n == 0 ? 0.0 : static_cast<double>(bad) / static_cast<double>(n);
+  };
+  st.burn_long = frac(st.bad_long_n, st.window.size()) / budget;
+  st.burn_short = frac(st.short_bad_n, st.short_n) / budget;
+
+  bool transition = false;
+  if (!st.firing) {
+    transition = st.window.size() >= st.target.min_samples &&
+                 st.burn_long >= st.target.burn_threshold &&
+                 st.burn_short >= st.target.burn_threshold;
+  } else {
+    // Hysteresis: a firing alert clears only once the sustained burn falls
+    // below half the threshold, so it doesn't flap at the boundary.
+    transition = st.burn_long < st.target.burn_threshold / 2.0;
+  }
+  if (!transition) return;
+  st.firing = !st.firing;
+
+  SloAlert alert;
+  alert.at = now;
+  alert.key = key;
+  alert.tenant = st.target.tenant;
+  alert.firing = st.firing;
+  alert.burn_long = st.burn_long;
+  alert.burn_short = st.burn_short;
+  alerts_.push_back(alert);
+  if (metrics_ != nullptr) {
+    // Transitions are rare by construction (hysteresis), so the label
+    // lookup here is off the hot path.
+    metrics_
+        ->counter("slo_alerts_total",
+                  {{"function", key}, {"state", st.firing ? "fire" : "clear"}})
+        .add();
+  }
+  if (hook_) hook_(alerts_.back());
+}
+
+bool SloMonitor::firing(const std::string& key) const {
+  const auto it = states_.find(key);
+  return it != states_.end() && it->second.firing;
+}
+
+double SloMonitor::burn_long(const std::string& key) const {
+  const auto it = states_.find(key);
+  return it == states_.end() ? 0.0 : it->second.burn_long;
+}
+
+double SloMonitor::burn_short(const std::string& key) const {
+  const auto it = states_.find(key);
+  return it == states_.end() ? 0.0 : it->second.burn_short;
+}
+
+}  // namespace faaspart::obs

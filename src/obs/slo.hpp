@@ -1,0 +1,135 @@
+// SLO monitors — per-function/tenant SLI recording and multi-window
+// burn-rate alerting, entirely in virtual time.
+//
+// Each configured key (a cluster function id) gets an SLI stream: the
+// serving layer reports every settled request (latency + good/bad against
+// the completion objective) and every shed. The monitor keeps a sliding
+// window of outcomes and evaluates the SRE-style multi-window burn rate on
+// every record:
+//
+//     burn = (bad fraction over window) / (1 - target)
+//
+// i.e. how many times faster than sustainable the error budget is burning.
+// An alert fires when BOTH the long window (sustained, not one blip) and
+// the short window (still happening now) burn at or above the threshold;
+// it clears with hysteresis once the long-window burn drops below half the
+// threshold. Evaluation is purely event-driven — no timers, no simulator
+// events — so an installed monitor can never perturb virtual time, and the
+// alert sequence is a deterministic function of the workload (pinned in
+// tests/test_obs_slo.cpp).
+//
+// SLIs also land in the metrics registry (latency histograms, goodput /
+// breach / shed-by-reason counters — shed reasons spelled via
+// federation::shed_reason_name, see admission.hpp), and an alert hook lets
+// the Telemetry hub chain breaches into the flight recorder's dump trigger.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "util/units.hpp"
+
+namespace faaspart::sim {
+class Simulator;
+}  // namespace faaspart::sim
+
+namespace faaspart::obs {
+
+/// One key's objective and alerting policy.
+struct SloTarget {
+  std::string tenant;          ///< SLO-class label for grouping ("" = none)
+  util::Duration objective{};  ///< completion-latency SLO; 0 = goodput only
+  double target = 0.99;        ///< good-outcome fraction the SLO promises
+  util::Duration long_window = util::seconds(60);
+  util::Duration short_window = util::seconds(5);
+  double burn_threshold = 2.0;  ///< alert at >= this burn on both windows
+  std::size_t min_samples = 10; ///< long-window outcomes before alerting
+};
+
+/// An alert transition (fire or clear), emitted into virtual time.
+struct SloAlert {
+  util::TimePoint at{};
+  std::string key;
+  std::string tenant;
+  bool firing = false;  ///< true on fire, false on clear
+  double burn_long = 0;
+  double burn_short = 0;
+};
+
+class SloMonitor {
+ public:
+  using AlertHook = std::function<void(const SloAlert&)>;
+
+  /// `metrics` (optional) receives the SLI series; null keeps the monitor
+  /// purely in-memory (unit tests).
+  explicit SloMonitor(sim::Simulator& sim, MetricsRegistry* metrics = nullptr);
+
+  SloMonitor(const SloMonitor&) = delete;
+  SloMonitor& operator=(const SloMonitor&) = delete;
+
+  /// Registers (or replaces) a key's target. Records for unconfigured keys
+  /// are dropped — the serving layer configures every function it serves.
+  void configure(const std::string& key, SloTarget target);
+  [[nodiscard]] bool configured(const std::string& key) const;
+  [[nodiscard]] const SloTarget* target(const std::string& key) const;
+
+  /// Reports a settled request. `good` = completed within the objective.
+  void record_latency(const std::string& key, util::Duration latency,
+                      bool good);
+
+  /// Reports a shed request (always burns budget); `reason` is the
+  /// canonical shed-reason spelling (federation::shed_reason_name).
+  void record_shed(const std::string& key, const std::string& reason);
+
+  /// Called on every fire/clear, after the alert is appended to alerts().
+  void set_alert_hook(AlertHook hook) { hook_ = std::move(hook); }
+
+  [[nodiscard]] const std::vector<SloAlert>& alerts() const { return alerts_; }
+  [[nodiscard]] bool firing(const std::string& key) const;
+  /// Burn rates over the configured windows at the last record ({0,0}
+  /// before any outcome).
+  [[nodiscard]] double burn_long(const std::string& key) const;
+  [[nodiscard]] double burn_short(const std::string& key) const;
+  [[nodiscard]] std::size_t keys_configured() const { return states_.size(); }
+
+ private:
+  struct Outcome {
+    std::int64_t at_ns;
+    bool bad;
+  };
+
+  struct State {
+    SloTarget target;
+    std::deque<Outcome> window;  ///< pruned to long_window on every record
+    // Incremental window tallies, so each record is O(1) amortized instead
+    // of a full window rescan (the scan made sustained load quadratic and
+    // blew the <2% metrics-only budget bench/obs_overhead gates).
+    std::size_t bad_long_n = 0;   ///< bad outcomes currently in the window
+    std::size_t short_n = 0;      ///< outcomes within short_window of now
+    std::size_t short_bad_n = 0;  ///< bad outcomes within short_window
+    std::size_t short_pos = 0;    ///< window index of the short-window start
+    bool firing = false;
+    double burn_long = 0;
+    double burn_short = 0;
+    // Cached SLI handles (rule O1): resolved once at configure().
+    Histogram* latency = nullptr;
+    Counter* good = nullptr;
+    Counter* bad = nullptr;
+    std::map<std::string, Counter*> shed;  ///< by canonical reason
+  };
+
+  void note_outcome(const std::string& key, State& st, bool is_bad);
+
+  sim::Simulator& sim_;
+  MetricsRegistry* metrics_;
+  std::map<std::string, State> states_;
+  std::vector<SloAlert> alerts_;
+  AlertHook hook_;
+};
+
+}  // namespace faaspart::obs

@@ -15,9 +15,22 @@ Telemetry::Telemetry(sim::Simulator& sim, TelemetryOptions opts)
     : sim_(sim),
       opts_(opts),
       tracer_(sim),
-      sampler_(sim, opts.sample_period, &metrics_) {
+      sampler_(sim, opts.sample_period, &metrics_),
+      slo_(sim, &metrics_) {
   FP_CHECK_MSG(sim_.telemetry() == nullptr,
                "a Telemetry is already installed on this simulator");
+  if (opts_.flight) {
+    flight_ = std::make_unique<FlightRecorder>(sim, opts_.flight_capacity);
+    // A burn-rate alert is exactly the "something went wrong" moment the
+    // flight recorder exists for: snapshot the rings at the transition.
+    slo_.set_alert_hook([this](const SloAlert& alert) {
+      flight_->record("slo", alert.firing ? "alert-fire" : "alert-clear",
+                      util::strf(alert.key, " burn long=",
+                                 util::fixed(alert.burn_long, 2),
+                                 " short=", util::fixed(alert.burn_short, 2)));
+      if (alert.firing) flight_->dump(util::strf("slo:", alert.key));
+    });
+  }
   sim_.install_telemetry(this);
 }
 
@@ -50,6 +63,10 @@ std::vector<std::string> Telemetry::export_all(const std::string& dir,
   {
     auto os = open("timeseries.csv");
     sampler_.write_csv(os);
+  }
+  if (flight_ != nullptr) {
+    auto os = open("flight.fdump");
+    flight_->write(os);
   }
   return paths;
 }

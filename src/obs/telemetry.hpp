@@ -15,8 +15,12 @@
 #include <string>
 #include <vector>
 
+#include <memory>
+
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 #include "obs/sampler.hpp"
+#include "obs/slo.hpp"
 #include "obs/tracer.hpp"
 #include "util/units.hpp"
 
@@ -36,6 +40,11 @@ struct TelemetryOptions {
   util::Duration sample_period = util::milliseconds(50);
   /// Causal span collection; metrics stay on when this is off.
   bool tracing = true;
+  /// Post-mortem flight recorder; off by default — most runs only want
+  /// metrics + spans, incident studies opt in.
+  bool flight = false;
+  /// Ring size per flight-recorder key when `flight` is on.
+  std::size_t flight_capacity = 128;
 };
 
 class Telemetry {
@@ -60,13 +69,23 @@ class Telemetry {
     return opts_.tracing ? &tracer_ : nullptr;
   }
 
+  /// Always present; the serving layer feeds it for configured functions.
+  /// Alerts automatically trigger a flight-recorder dump when one is on.
+  [[nodiscard]] SloMonitor& slo() { return slo_; }
+  [[nodiscard]] const SloMonitor& slo() const { return slo_; }
+
+  /// Null when options().flight is false — recording sites skip work.
+  [[nodiscard]] FlightRecorder* flight() { return flight_.get(); }
+  [[nodiscard]] const FlightRecorder* flight() const { return flight_.get(); }
+
   /// Flushes sampler windows and stops the periodic tick. Idempotent; call
   /// after the run drains and before exporting.
   void finish();
 
   /// Writes metrics.prom (Prometheus text), trace.json (enriched Chrome
-  /// trace; pass the run's Recorder for resource lanes, or null), and
-  /// timeseries.csv into `dir` (created if missing). Returns the paths.
+  /// trace; pass the run's Recorder for resource lanes, or null),
+  /// timeseries.csv, and — when the flight recorder is on — flight.fdump
+  /// into `dir` (created if missing). Returns the paths.
   std::vector<std::string> export_all(const std::string& dir,
                                       const trace::Recorder* rec = nullptr);
 
@@ -76,6 +95,8 @@ class Telemetry {
   MetricsRegistry metrics_;
   Tracer tracer_;
   UtilizationSampler sampler_;
+  SloMonitor slo_;
+  std::unique_ptr<FlightRecorder> flight_;
 };
 
 }  // namespace faaspart::obs

@@ -55,6 +55,12 @@ void Tracer::annotate(std::uint64_t id, const std::string& note) {
   s.note += note;
 }
 
+void Tracer::set_tenant(std::uint64_t id, std::string tenant) {
+  if (id == 0) return;
+  FP_CHECK_MSG(id <= spans_.size(), "set_tenant of unknown span");
+  spans_[id - 1].tenant = std::move(tenant);
+}
+
 std::vector<const CausalSpan*> Tracer::trace_spans(std::uint64_t trace) const {
   std::vector<const CausalSpan*> out;
   for (const auto& s : spans_) {

@@ -33,8 +33,11 @@ struct CausalSpan {
   std::uint64_t id = 0;      ///< global span id (1-based)
   std::uint64_t parent = 0;  ///< parent span id; 0 for trace roots
   std::string name;          ///< e.g. the app or kernel name
-  std::string kind;          ///< task|attempt|queue|cold|body|kernel|backoff
+  /// request|squeue|wan-out|wan-back|task|attempt|queue|cold|body|kernel|
+  /// backoff|shed — the span taxonomy (DESIGN.md §12).
+  std::string kind;
   std::string site;          ///< where it ran (executor, worker, device)
+  std::string tenant;        ///< SLO-class label; set on request roots
   int attempt = 0;           ///< 1-based attempt number; 0 when n/a
   util::TimePoint start{};
   util::TimePoint end{};
@@ -68,6 +71,9 @@ class Tracer {
   /// Appends a note ("; "-joined) to a span. id == 0 is a no-op.
   void annotate(std::uint64_t id, const std::string& note);
 
+  /// Tags a span with its tenant / SLO-class label. id == 0 is a no-op.
+  void set_tenant(std::uint64_t id, std::string tenant);
+
   [[nodiscard]] const std::vector<CausalSpan>& spans() const { return spans_; }
   [[nodiscard]] std::uint64_t trace_count() const { return next_trace_ - 1; }
 
@@ -79,6 +85,39 @@ class Tracer {
   sim::Simulator& sim_;
   std::uint64_t next_trace_ = 1;
   std::vector<CausalSpan> spans_;  // index = id - 1
+};
+
+/// Closes a span when the scope exits (lint rule O2's preferred shape for
+/// synchronous spans; spans that outlive a scope — request roots settled
+/// from callbacks — hold the raw id and close explicitly). A null tracer or
+/// zero id makes every operation a no-op, so guards can wrap "maybe traced"
+/// paths unconditionally.
+class SpanGuard {
+ public:
+  SpanGuard(Tracer* tracer, std::uint64_t id) : tracer_(tracer), id_(id) {}
+  ~SpanGuard() {
+    if (tracer_ != nullptr) tracer_->close_span(id_);
+  }
+  SpanGuard(const SpanGuard&) = delete;
+  SpanGuard& operator=(const SpanGuard&) = delete;
+
+  [[nodiscard]] std::uint64_t id() const { return id_; }
+
+  /// Appends a note to the guarded span (e.g. an error on the way out).
+  void annotate(const std::string& note) {
+    if (tracer_ != nullptr) tracer_->annotate(id_, note);
+  }
+
+  /// Detaches without closing (ownership handed to an async continuation).
+  std::uint64_t release() {
+    const auto id = id_;
+    id_ = 0;
+    return id;
+  }
+
+ private:
+  Tracer* tracer_;
+  std::uint64_t id_;
 };
 
 }  // namespace faaspart::obs

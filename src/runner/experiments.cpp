@@ -10,6 +10,8 @@
 #include "faas/provider.hpp"
 #include "gpu/device.hpp"
 #include "nvml/manager.hpp"
+#include "obs/critical_path.hpp"
+#include "obs/telemetry.hpp"
 #include "runner/runner.hpp"
 #include "scenario/driver.hpp"
 #include "scenario/synthesize.hpp"
@@ -501,6 +503,16 @@ sim::Co<void> drain_cluster(sim::Simulator& sim,
 ClusterServingResult run_cluster_serving_point(const ClusterServingPoint& point) {
   const ClusterServingOptions& o = point.opts;
   sim::Simulator sim;
+  // Opt-in observability: installed before anything that instruments
+  // (configure_function wires SLO monitors at configure time) and declared
+  // first so it is destroyed last.
+  std::unique_ptr<obs::Telemetry> tel;
+  if (o.observability) {
+    obs::TelemetryOptions topts;
+    topts.flight = o.flight;
+    topts.tracing = o.obs_tracing;
+    tel = std::make_unique<obs::Telemetry>(sim, topts);
+  }
   // One Recorder per endpoint feeds measured_utilization; declared before
   // the service so they outlive the endpoints that reference them.
   std::vector<std::unique_ptr<trace::Recorder>> recorders;
@@ -549,6 +561,7 @@ ClusterServingResult run_cluster_serving_point(const ClusterServingPoint& point)
   federation::ClusterService cluster(sim, service, {.policy = point.policy});
   {
     federation::FunctionClass llama_cls;
+    llama_cls.tenant = "llm";
     llama_cls.weight = 2.0;
     llama_cls.rate_hz = 1.25 * o.llama_rate_hz;
     llama_cls.burst = 16;
@@ -557,6 +570,7 @@ ClusterServingResult run_cluster_serving_point(const ClusterServingPoint& point)
     llama_cls.service_estimate = 2_s;
     cluster.configure_function(llama_fn, llama_cls);
     federation::FunctionClass resnet_cls;
+    resnet_cls.tenant = "vision";
     resnet_cls.weight = 1.0;
     resnet_cls.rate_hz = 1.25 * o.resnet_rate_hz;
     resnet_cls.burst = 32;
@@ -618,6 +632,25 @@ ClusterServingResult run_cluster_serving_point(const ClusterServingPoint& point)
       st.dispatched > 0
           ? static_cast<double>(st.sticky_hits) / static_cast<double>(st.dispatched)
           : 0.0;
+  if (tel != nullptr) {
+    tel->finish();
+    if (const auto* tracer = tel->tracer()) {  // null in metrics-only mode
+      const auto breakdowns = obs::analyze_requests(tracer->spans());
+      r.traced_requests = breakdowns.size();
+      r.min_coverage = breakdowns.empty() ? 0.0 : 1.0;
+      for (const auto& b : breakdowns) {
+        r.min_coverage = std::min(r.min_coverage, b.coverage());
+      }
+      const auto groups =
+          obs::aggregate_breakdowns(breakdowns, obs::GroupBy::kFunction);
+      r.critical_path_text = obs::render_critical_path(
+          groups, util::strf("where did p99 go — policy ",
+                             federation::to_string(point.policy), ", ",
+                             point.rate_mult, "x offered load"));
+    }
+    r.slo_alerts = tel->slo().alerts().size();
+    if (!o.obs_export_dir.empty()) tel->export_all(o.obs_export_dir);
+  }
   return r;
 }
 

@@ -115,6 +115,18 @@ struct ClusterServingOptions {
   /// Per-endpoint autoscaler driving the Reconfigurer between the tenants.
   bool autoscale = true;
   std::uint64_t seed = 1;
+  /// Install a Telemetry hub (tracing + SLO monitors; flight recorder when
+  /// `flight` is set) on the point's simulator. Off by default — the sweep
+  /// must stay byte-identical to an un-instrumented run.
+  bool observability = false;
+  bool flight = false;
+  /// Span collection within the Telemetry hub. Metrics + SLO monitors stay
+  /// on when this is false — the "metrics-only" tier bench/obs_overhead
+  /// holds to the <2% host-overhead budget.
+  bool obs_tracing = true;
+  /// When observability is on and this is non-empty, export metrics.prom /
+  /// trace.json / timeseries.csv (and flight.fdump) here after the run.
+  std::string obs_export_dir;
 };
 
 struct ClusterServingPoint {
@@ -141,6 +153,11 @@ struct ClusterServingResult {
   double gpu_util = 0;        ///< fleet mean over the window
   std::uint64_t weight_reloads = 0;  ///< weight-cache misses fleet-wide
   double sticky_hit_rate = 0;        ///< dispatches landing on cached weights
+  // Filled only when the point ran with observability on:
+  std::string critical_path_text;  ///< "where did p99 go" table
+  std::size_t traced_requests = 0;
+  double min_coverage = 0;  ///< worst per-request named-segment coverage
+  std::size_t slo_alerts = 0;
 };
 
 ClusterServingResult run_cluster_serving_point(const ClusterServingPoint& point);

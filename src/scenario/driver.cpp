@@ -24,7 +24,9 @@ void TraceDriver::bind_all(const AppFactory& make_app,
     app.name = f.name;
     const std::string id =
         cluster_.service().register_function(std::move(app));
-    cluster_.configure_function(id, f.cls);
+    federation::FunctionClass cls = f.cls;
+    cls.tenant = f.tenant;  // tag request spans / SLIs with the SLO class
+    cluster_.configure_function(id, cls);
     bindings_[f.name] = Binding{id, executor_label, f.tenant};
   }
 }

@@ -1,0 +1,17 @@
+// Rule O2 fixture (bad): span ids discarded at creation — nobody can ever
+// close them, so every request tree they belong to stays open and the
+// critical-path analyzer drops it. DO NOT reformat — test_lint.cpp asserts
+// exact line numbers. This file is lexed by the linter, never compiled.
+#include "obs/tracer.hpp"
+
+namespace fixture {
+
+inline void leaks(faaspart::obs::Tracer* tracer, faaspart::obs::Telemetry* tel,
+                  std::uint64_t trace) {
+  tracer->open_span(trace, 0, "app", "task");                     // line 11: O2
+  if (trace != 0) {
+    tel->tracer()->open_span(trace, 0, "app", "attempt", "gpu");  // line 13: O2
+  }
+}
+
+}  // namespace fixture

@@ -1,0 +1,36 @@
+// Rule O2 fixture (good): every span id is consumed — bound and closed,
+// guarded, returned, or passed along — so nothing leaks an open span.
+// Must lint clean. This file is lexed by the linter, never compiled.
+#include "obs/tracer.hpp"
+
+namespace fixture {
+
+inline void bound_and_closed(faaspart::obs::Tracer* tracer,
+                             std::uint64_t trace) {
+  const auto id = tracer->open_span(trace, 0, "app", "task");
+  tracer->close_span(id);
+}
+
+inline void guarded(faaspart::obs::Tracer* tracer, std::uint64_t trace) {
+  faaspart::obs::SpanGuard guard(
+      tracer, tracer->open_span(trace, 0, "app", "body", "gpu"));
+  guard.annotate("ok");
+}
+
+inline std::uint64_t returned(faaspart::obs::Tracer* tracer,
+                              std::uint64_t trace) {
+  return tracer->open_span(trace, 0, "app", "attempt");
+}
+
+inline void passed(faaspart::obs::Tracer* tracer, std::uint64_t trace,
+                   void (*sink)(std::uint64_t)) {
+  sink(tracer->open_span(trace, 0, "app", "queue", "htex"));
+}
+
+inline void justified(faaspart::obs::Tracer* tracer, std::uint64_t trace) {
+  // faaspart-lint: allow(O2) -- fixture: the span is intentionally left
+  // open; the trace ends with the run and the dump tool reports it as such
+  tracer->open_span(trace, 0, "app", "task");
+}
+
+}  // namespace fixture

@@ -108,6 +108,14 @@ TEST(LintFixtures, O1GoodIsCleanAndSuppressionWorks) {
   EXPECT_EQ(lint_fixture("o1_good.cpp"), Spans{});
 }
 
+TEST(LintFixtures, O2FiresWithExactSpans) {
+  EXPECT_EQ(lint_fixture("o2_bad.cpp"), (Spans{{"O2", 11}, {"O2", 13}}));
+}
+
+TEST(LintFixtures, O2GoodIsCleanAndSuppressionWorks) {
+  EXPECT_EQ(lint_fixture("o2_good.cpp"), Spans{});
+}
+
 // The tests/prop generator pair: the determinism bar the property harness
 // documents ("generators draw only from util::Rng") is exactly D1 + D2, so
 // the gate that covers tests/prop (tools/lint lint_src, scripts/tier1.sh)

@@ -1,0 +1,217 @@
+// Unit tests for the critical-path analyzer: the kind→segment map, the
+// exactly-once attribution sweep (overlaps, gaps, nesting), and the
+// group/p99-tail aggregation behind the "where did p99 go" table.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/critical_path.hpp"
+#include "util/units.hpp"
+
+namespace faaspart::obs {
+namespace {
+
+using namespace util::literals;
+
+CausalSpan span(std::uint64_t trace, std::uint64_t id, std::uint64_t parent,
+                const std::string& kind, std::int64_t start_ns,
+                std::int64_t end_ns, const std::string& name = "fn") {
+  CausalSpan s;
+  s.trace = trace;
+  s.id = id;
+  s.parent = parent;
+  s.name = name;
+  s.kind = kind;
+  s.start = util::TimePoint{start_ns};
+  s.end = util::TimePoint{end_ns};
+  s.open = false;
+  return s;
+}
+
+TEST(CriticalPath, KindToSegmentMapCoversTheTaxonomy) {
+  EXPECT_STREQ(segment_for_kind("body"), "exec");
+  EXPECT_STREQ(segment_for_kind("cold"), "cold");
+  EXPECT_STREQ(segment_for_kind("queue"), "equeue");
+  EXPECT_STREQ(segment_for_kind("squeue"), "squeue");
+  EXPECT_STREQ(segment_for_kind("wan-out"), "wan");
+  EXPECT_STREQ(segment_for_kind("wan-back"), "wan");
+  EXPECT_STREQ(segment_for_kind("backoff"), "backoff");
+  EXPECT_STREQ(segment_for_kind("shed"), "shed");
+  // Structural containers receive no time directly.
+  EXPECT_STREQ(segment_for_kind("request"), "");
+  EXPECT_STREQ(segment_for_kind("task"), "");
+  EXPECT_STREQ(segment_for_kind("attempt"), "");
+  EXPECT_STREQ(segment_for_kind("kernel"), "");
+}
+
+TEST(CriticalPath, SegmentsPartitionTheRootExactly) {
+  // request root 0..100ms with a gapless pipeline of leaf segments.
+  std::vector<CausalSpan> spans;
+  spans.push_back(span(1, 1, 0, "request", 0, 100'000'000));
+  spans.push_back(span(1, 2, 1, "squeue", 0, 10'000'000));
+  spans.push_back(span(1, 3, 1, "wan-out", 10'000'000, 20'000'000));
+  spans.push_back(span(1, 4, 1, "queue", 20'000'000, 30'000'000));
+  spans.push_back(span(1, 5, 1, "cold", 30'000'000, 60'000'000));
+  spans.push_back(span(1, 6, 1, "body", 60'000'000, 95'000'000));
+  spans.push_back(span(1, 7, 1, "wan-back", 95'000'000, 100'000'000));
+
+  const auto reqs = analyze_requests(spans);
+  ASSERT_EQ(reqs.size(), 1u);
+  const RequestBreakdown& r = reqs.front();
+  EXPECT_EQ(r.total, 100_ms);
+  EXPECT_EQ(r.segments.at("squeue"), 10_ms);
+  EXPECT_EQ(r.segments.at("wan"), 15_ms);  // out + back legs pooled
+  EXPECT_EQ(r.segments.at("equeue"), 10_ms);
+  EXPECT_EQ(r.segments.at("cold"), 30_ms);
+  EXPECT_EQ(r.segments.at("exec"), 35_ms);
+  EXPECT_EQ(r.segments.count("other"), 0u);
+  EXPECT_EQ(r.attributed(), r.total);
+  EXPECT_DOUBLE_EQ(r.coverage(), 1.0);
+}
+
+TEST(CriticalPath, OverlapResolvesToTheHigherPrioritySegment) {
+  // body overlaps the tail of cold (the engine pipelines warm-up with the
+  // first kernel): the contested interval counts as exec, never twice.
+  std::vector<CausalSpan> spans;
+  spans.push_back(span(1, 1, 0, "request", 0, 100'000'000));
+  spans.push_back(span(1, 2, 1, "cold", 0, 60'000'000));
+  spans.push_back(span(1, 3, 1, "body", 40'000'000, 100'000'000));
+
+  const auto reqs = analyze_requests(spans);
+  ASSERT_EQ(reqs.size(), 1u);
+  const RequestBreakdown& r = reqs.front();
+  EXPECT_EQ(r.segments.at("cold"), 40_ms);
+  EXPECT_EQ(r.segments.at("exec"), 60_ms);
+  EXPECT_EQ(r.attributed(), 100_ms);
+}
+
+TEST(CriticalPath, UncoveredTimeLandsInOther) {
+  std::vector<CausalSpan> spans;
+  spans.push_back(span(1, 1, 0, "request", 0, 100'000'000));
+  spans.push_back(span(1, 2, 1, "body", 0, 90'000'000));
+  // 90..100ms is covered by no leaf: attributed to "other", so the sum
+  // still equals the end-to-end latency and coverage reports the gap.
+  const auto reqs = analyze_requests(spans);
+  ASSERT_EQ(reqs.size(), 1u);
+  const RequestBreakdown& r = reqs.front();
+  EXPECT_EQ(r.segments.at("exec"), 90_ms);
+  EXPECT_EQ(r.segments.at("other"), 10_ms);
+  EXPECT_EQ(r.attributed(), 90_ms);
+  EXPECT_DOUBLE_EQ(r.coverage(), 0.9);
+}
+
+TEST(CriticalPath, DeepTreesAttributeThroughStructuralSpans) {
+  // request -> task -> attempt -> {queue, cold, body -> kernel}: the
+  // structural layers contribute nothing themselves; their leaves do.
+  std::vector<CausalSpan> spans;
+  spans.push_back(span(1, 1, 0, "request", 0, 50'000'000));
+  spans.push_back(span(1, 2, 1, "task", 0, 50'000'000));
+  spans.push_back(span(1, 3, 2, "attempt", 0, 50'000'000));
+  spans.push_back(span(1, 4, 3, "queue", 0, 5'000'000));
+  spans.push_back(span(1, 5, 3, "cold", 5'000'000, 20'000'000));
+  spans.push_back(span(1, 6, 3, "body", 20'000'000, 50'000'000));
+  spans.push_back(span(1, 7, 6, "kernel", 22'000'000, 48'000'000));
+
+  const auto reqs = analyze_requests(spans);
+  ASSERT_EQ(reqs.size(), 1u);
+  const RequestBreakdown& r = reqs.front();
+  EXPECT_EQ(r.segments.at("equeue"), 5_ms);
+  EXPECT_EQ(r.segments.at("cold"), 15_ms);
+  EXPECT_EQ(r.segments.at("exec"), 30_ms);
+  EXPECT_DOUBLE_EQ(r.coverage(), 1.0);
+}
+
+TEST(CriticalPath, OpenRootsAreSkippedAndOrderIsById) {
+  std::vector<CausalSpan> spans;
+  spans.push_back(span(1, 1, 0, "request", 0, 10'000'000, "beta"));
+  auto crashed = span(2, 2, 0, "request", 0, 0, "gamma");
+  crashed.open = true;
+  spans.push_back(crashed);
+  spans.push_back(span(3, 3, 0, "task", 0, 20'000'000, "alpha"));
+
+  const auto reqs = analyze_requests(spans);
+  ASSERT_EQ(reqs.size(), 2u);
+  EXPECT_EQ(reqs[0].root_span, 1u);
+  EXPECT_EQ(reqs[0].name, "beta");
+  EXPECT_EQ(reqs[1].root_span, 3u);
+  EXPECT_EQ(reqs[1].name, "alpha");
+}
+
+TEST(CriticalPath, ZeroLengthRequestsHaveFullCoverage) {
+  std::vector<CausalSpan> spans;
+  spans.push_back(span(1, 1, 0, "request", 5, 5));
+  const auto reqs = analyze_requests(spans);
+  ASSERT_EQ(reqs.size(), 1u);
+  EXPECT_DOUBLE_EQ(reqs.front().coverage(), 1.0);
+}
+
+std::vector<RequestBreakdown> two_tenant_fleet() {
+  // 10 "vision" requests at 10ms (exec-bound) plus one 100ms straggler
+  // that spent 80ms queued; "llm" gets a single 50ms request.
+  std::vector<CausalSpan> spans;
+  std::uint64_t id = 0;
+  for (int i = 0; i < 10; ++i) {
+    auto root = span(i + 1, ++id, 0, "request", 0, 10'000'000, "resnet");
+    root.tenant = "vision";
+    root.site = "ep-" + std::to_string(i % 2);
+    const auto root_id = id;
+    spans.push_back(root);
+    spans.push_back(span(i + 1, ++id, root_id, "body", 0, 10'000'000));
+  }
+  auto straggler = span(11, ++id, 0, "request", 0, 100'000'000, "resnet");
+  straggler.tenant = "vision";
+  straggler.site = "ep-0";
+  const auto straggler_id = id;
+  spans.push_back(straggler);
+  spans.push_back(span(11, ++id, straggler_id, "queue", 0, 80'000'000));
+  spans.push_back(span(11, ++id, straggler_id, "body", 80'000'000, 100'000'000));
+  auto llama = span(12, ++id, 0, "request", 0, 50'000'000, "llama");
+  llama.tenant = "llm";
+  llama.site = "ep-1";
+  const auto llama_id = id;
+  spans.push_back(llama);
+  spans.push_back(span(12, ++id, llama_id, "body", 0, 50'000'000));
+  return analyze_requests(spans);
+}
+
+TEST(CriticalPath, AggregationGroupsAndFindsTheTailSegments) {
+  const auto reqs = two_tenant_fleet();
+  ASSERT_EQ(reqs.size(), 12u);
+
+  const auto by_tenant = aggregate_breakdowns(reqs, GroupBy::kTenant);
+  ASSERT_EQ(by_tenant.size(), 2u);  // sorted: llm, vision
+  EXPECT_EQ(by_tenant[0].key, "llm");
+  EXPECT_EQ(by_tenant[0].requests, 1u);
+  EXPECT_EQ(by_tenant[1].key, "vision");
+  EXPECT_EQ(by_tenant[1].requests, 11u);
+  // The vision tail is the straggler, and its latency went to the queue —
+  // exactly the "where did p99 go" answer the table exists to surface.
+  const GroupBreakdown& vision = by_tenant[1];
+  EXPECT_DOUBLE_EQ(vision.p99_s, 0.1);
+  EXPECT_EQ(vision.tail_requests, 1u);
+  EXPECT_EQ(vision.tail_segments.at("equeue"), 80_ms);
+  EXPECT_EQ(vision.tail_segments.at("exec"), 20_ms);
+  EXPECT_EQ(vision.segments.at("exec"), 120_ms);  // 10*10 + 20
+  EXPECT_DOUBLE_EQ(vision.min_coverage, 1.0);
+
+  const auto by_fn = aggregate_breakdowns(reqs, GroupBy::kFunction);
+  ASSERT_EQ(by_fn.size(), 2u);
+  EXPECT_EQ(by_fn[0].key, "llama");
+  EXPECT_EQ(by_fn[1].key, "resnet");
+  const auto by_site = aggregate_breakdowns(reqs, GroupBy::kSite);
+  ASSERT_EQ(by_site.size(), 2u);
+}
+
+TEST(CriticalPath, RenderShowsGroupsAndTailShares) {
+  const auto reqs = two_tenant_fleet();
+  const auto groups = aggregate_breakdowns(reqs, GroupBy::kTenant);
+  const std::string text = render_critical_path(groups, "where did p99 go");
+  EXPECT_NE(text.find("where did p99 go"), std::string::npos);
+  EXPECT_NE(text.find("llm"), std::string::npos);
+  EXPECT_NE(text.find("vision"), std::string::npos);
+  EXPECT_NE(text.find("equeue"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace faaspart::obs

@@ -220,6 +220,42 @@ TEST(Prometheus, WriteParsesBackToTheSameSamples) {
   EXPECT_TRUE(buckets_cumulative);
 }
 
+TEST(Prometheus, EmptyLabelSetsRoundTrip) {
+  // A series with no labels writes bare (`up 1`), but the parser must also
+  // accept the explicit empty-braces form other exporters emit.
+  MetricsRegistry reg;
+  reg.counter("bare_total").add(7);
+  std::ostringstream os;
+  write_prometheus(os, reg);
+  EXPECT_NE(os.str().find("bare_total 7"), std::string::npos);
+
+  const auto bare = parse_prometheus_text(os.str());
+  ASSERT_EQ(bare.size(), 1u);
+  EXPECT_TRUE(bare[0].labels.empty());
+  EXPECT_EQ(bare[0].value, 7.0);
+
+  const auto braced = parse_prometheus_text("bare_total{} 7\n");
+  ASSERT_EQ(braced.size(), 1u);
+  EXPECT_EQ(braced[0].name, "bare_total");
+  EXPECT_TRUE(braced[0].labels.empty());
+  EXPECT_EQ(braced[0].value, 7.0);
+}
+
+TEST(Prometheus, EscapedQuotesBackslashesAndNewlinesRoundTrip) {
+  MetricsRegistry reg;
+  const std::string awkward = "he said \"p99\", path C:\\gpu\nline2";
+  reg.counter("quoted_total", {{"msg", awkward}}).add(1);
+  std::ostringstream os;
+  write_prometheus(os, reg);
+  // On the wire, the value is escaped per the exposition format...
+  EXPECT_NE(os.str().find(R"(\"p99\")"), std::string::npos);
+  EXPECT_NE(os.str().find(R"(C:\\gpu\n)"), std::string::npos);
+  // ...and the parser recovers the original bytes.
+  const auto samples = parse_prometheus_text(os.str());
+  ASSERT_EQ(samples.size(), 1u);
+  EXPECT_EQ(samples[0].labels.at("msg"), awkward);
+}
+
 TEST(Prometheus, ParserSkipsCommentsAndRejectsGarbage) {
   const auto ok = parse_prometheus_text(
       "# HELP up is the process up\n# TYPE up gauge\n\nup 1\n");
@@ -403,6 +439,37 @@ TEST(ObsExport, DashboardFromABareTelemetryDoesNotCrash) {
   write_dashboard(os, tel, "bare");
   EXPECT_NE(os.str().find("bare"), std::string::npos);
   EXPECT_NE(os.str().find("lonely_total"), std::string::npos);
+}
+
+TEST(ObsExport, DashboardRendersSloAlertsAndFlightState) {
+  sim::Simulator sim;
+  TelemetryOptions topts;
+  topts.flight = true;
+  Telemetry tel(sim, topts);
+
+  SloTarget target;
+  target.tenant = "llm";
+  target.target = 0.9;
+  tel.slo().configure("fn-1", target);
+  // Drive a fire transition (and, through the telemetry hook, a flight
+  // dump): 12 consecutive breaches saturate both burn windows.
+  for (int i = 0; i < 12; ++i) {
+    tel.slo().record_latency("fn-1", util::seconds(2), /*good=*/false);
+  }
+  ASSERT_FALSE(tel.slo().alerts().empty());
+  ASSERT_NE(tel.flight(), nullptr);
+  EXPECT_GE(tel.flight()->dumps().size(), 1u);
+
+  tel.finish();
+  std::ostringstream os;
+  write_dashboard(os, tel, "incident");
+  const std::string text = os.str();
+  EXPECT_NE(text.find("slo alert"), std::string::npos);
+  EXPECT_NE(text.find("fire"), std::string::npos);
+  EXPECT_NE(text.find("fn-1"), std::string::npos);
+  EXPECT_NE(text.find("llm"), std::string::npos);
+  EXPECT_NE(text.find("flight recorder:"), std::string::npos);
+  EXPECT_NE(text.find("1 dumps"), std::string::npos);
 }
 
 }  // namespace

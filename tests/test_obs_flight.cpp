@@ -1,0 +1,108 @@
+// Unit tests for obs::FlightRecorder — ring eviction, time/seq-ordered dump
+// merging, the dump-list cap, the .fdump text format, and the zero-residue
+// property (recording never schedules simulator events).
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "obs/flight.hpp"
+#include "sim/simulator.hpp"
+#include "util/units.hpp"
+
+namespace faaspart::obs {
+namespace {
+
+using namespace util::literals;
+
+TEST(Flight, RingEvictsOldestPastCapacity) {
+  sim::Simulator sim;
+  FlightRecorder fr(sim, /*capacity_per_key=*/4);
+  for (int i = 0; i < 6; ++i) {
+    fr.record("ep-0", "dispatch", "msg-" + std::to_string(i));
+  }
+  EXPECT_EQ(fr.events_recorded(), 6u);
+  EXPECT_EQ(fr.events_evicted(), 2u);
+  const auto ring = fr.ring("ep-0");
+  ASSERT_EQ(ring.size(), 4u);
+  EXPECT_EQ(ring.front().message, "msg-2");  // 0 and 1 fell off the front
+  EXPECT_EQ(ring.back().message, "msg-5");
+  EXPECT_TRUE(fr.ring("unknown").empty());
+}
+
+TEST(Flight, DumpMergesRingsInTimeThenSeqOrder) {
+  sim::Simulator sim;
+  FlightRecorder fr(sim, 8);
+  // Interleave two keys at t=0, then advance virtual time and record more;
+  // the merged dump must come out (at, seq)-ordered regardless of key.
+  fr.record("ep-1", "dispatch", "b");
+  fr.record("ep-0", "dispatch", "a");
+  sim.schedule_at(util::TimePoint{(2_s).ns}, [&fr] {
+    fr.record("ep-0", "settle", "c");
+    fr.record("service", "shed", "d", /*trace=*/7);
+  });
+  sim.run();
+  ASSERT_EQ(fr.dump("incident"), 0);
+
+  ASSERT_EQ(fr.dumps().size(), 1u);
+  const FlightDump& d = fr.dumps().front();
+  EXPECT_EQ(d.reason, "incident");
+  EXPECT_EQ(d.at, util::TimePoint{(2_s).ns});
+  ASSERT_EQ(d.events.size(), 4u);
+  // Same timestamp -> global record order breaks the tie.
+  EXPECT_EQ(d.events[0].message, "b");
+  EXPECT_EQ(d.events[1].message, "a");
+  EXPECT_EQ(d.events[2].message, "c");
+  EXPECT_EQ(d.events[3].message, "d");
+  EXPECT_EQ(d.events[3].trace, 7u);
+  for (std::size_t i = 1; i < d.events.size(); ++i) {
+    EXPECT_LT(d.events[i - 1].seq, d.events[i].seq);
+  }
+}
+
+TEST(Flight, DumpListIsCappedButTriggersStillCount) {
+  sim::Simulator sim;
+  FlightRecorder fr(sim, 4, /*max_dumps=*/2);
+  fr.record("ep-0", "fault", "x");
+  EXPECT_EQ(fr.dump("one"), 0);
+  EXPECT_EQ(fr.dump("two"), 1);
+  EXPECT_EQ(fr.dump("storm"), -1);  // capped: no snapshot taken
+  EXPECT_EQ(fr.dump("storm"), -1);
+  EXPECT_EQ(fr.dumps().size(), 2u);
+  EXPECT_EQ(fr.dumps_taken(), 4u);
+}
+
+TEST(Flight, EscapeRoundTripsControlCharacters) {
+  EXPECT_EQ(fdump_escape("plain"), "plain");
+  EXPECT_EQ(fdump_escape("a\tb"), "a\\tb");
+  EXPECT_EQ(fdump_escape("a\nb"), "a\\nb");
+  EXPECT_EQ(fdump_escape("a\\b"), "a\\\\b");
+}
+
+TEST(Flight, WriteEmitsTheVersionedFormat) {
+  sim::Simulator sim;
+  FlightRecorder fr(sim, 4);
+  fr.record("ep-0", "shed", "fn-1 queue-full", 42);
+  fr.dump("slo:fn-1\twith tab");
+
+  std::ostringstream os;
+  fr.write(os);
+  const std::string text = os.str();
+  EXPECT_EQ(text.rfind("fdump v1\n", 0), 0u);  // versioned header first
+  EXPECT_NE(text.find("dump 1 at_ns 0 events 1 reason slo:fn-1\\twith tab"),
+            std::string::npos);
+  EXPECT_NE(text.find("\tep-0\tshed\t42\tfn-1 queue-full"), std::string::npos);
+  EXPECT_NE(text.find("end\n"), std::string::npos);
+}
+
+TEST(Flight, RecorderNeverSchedulesSimulatorEvents) {
+  sim::Simulator sim;
+  FlightRecorder fr(sim, 8);
+  for (int i = 0; i < 50; ++i) fr.record("ep-0", "dispatch", "m");
+  fr.dump("check");
+  sim.run();
+  EXPECT_EQ(sim.now().ns, 0);
+}
+
+}  // namespace
+}  // namespace faaspart::obs

@@ -276,6 +276,74 @@ TEST(Sampler, FeedsPartitionGaugesIntoTheRegistry) {
   EXPECT_TRUE(saw_queue);
 }
 
+TEST(Sampler, MissingProbesReadAsZero) {
+  // Probes are optional: a source with no queue/memory probe (a CPU pool,
+  // say) samples zeros there instead of crashing.
+  sim::Simulator sim;
+  UtilizationSampler s(sim, 1_s);
+  (void)s.add_source("probeless", {});
+  sim.schedule_in(2_s, [] {});
+  sim.run();
+  s.finish();
+  const auto* series = s.find("probeless");
+  ASSERT_NE(series, nullptr);
+  ASSERT_FALSE(series->samples.empty());
+  for (const auto& sample : series->samples) {
+    EXPECT_EQ(sample.utilization, 0.0);
+    EXPECT_EQ(sample.queue_depth, 0.0);
+    EXPECT_EQ(sample.memory, 0u);
+  }
+  EXPECT_EQ(series->busy_integral_s, 0.0);
+}
+
+TEST(Sampler, FinishIsIdempotentAndDetachTwiceIsSafe) {
+  sim::Simulator sim;
+  UtilizationSampler s(sim, 1_s);
+  const auto id = s.add_source(
+      "p0", {.busy = [&] { return util::Duration{sim.now().ns}; }});
+  sim.schedule_in(1_s + 500_ms, [] {});
+  sim.run();
+  s.finish();
+  const auto samples_after_first = s.find("p0")->samples.size();
+  s.finish();  // no extra partial window
+  s.detach(id);
+  EXPECT_EQ(s.find("p0")->samples.size(), samples_after_first);
+}
+
+TEST(Sampler, MemoryPeakTracksTheHighWaterMark) {
+  sim::Simulator sim;
+  UtilizationSampler s(sim, 1_s);
+  // Ramps to 300 bytes at t=2s then falls back; the peak is what capacity
+  // planning reads, not the final value.
+  (void)s.add_source(
+      "p0", {.memory = [&]() -> util::Bytes {
+        return sim.now().ns == (2_s).ns ? 300 : 100;
+      }});
+  sim.schedule_in(4_s, [] {});
+  sim.run();
+  s.finish();
+  const auto* series = s.find("p0");
+  ASSERT_NE(series, nullptr);
+  EXPECT_EQ(series->memory_peak, 300u);
+  EXPECT_EQ(series->samples.back().memory, 100u);
+}
+
+TEST(Sampler, RecentQueueDepthClampsToAvailableSamples) {
+  sim::Simulator sim;
+  UtilizationSampler s(sim, 1_s);
+  (void)s.add_source("p0", {.queue_depth = [&] {
+    return static_cast<double>(sim.now().ns) / 1e9;
+  }});
+  sim.schedule_in(2_s + 500_ms, [] {});
+  sim.run();
+  // Two samples (t=1s, 2s): asking for the last 10 means over what exists.
+  const auto recent = s.recent_queue_depth("p0", 10);
+  ASSERT_TRUE(recent.has_value());
+  EXPECT_NEAR(*recent, 1.5, 1e-9);
+  // n = 0 degenerates to "no samples requested" — treated as absent.
+  EXPECT_FALSE(s.recent_queue_depth("p0", 0).has_value());
+}
+
 TEST(Sampler, CsvExportHasHeaderAndOneRowPerSample) {
   sim::Simulator sim;
   UtilizationSampler s(sim, 1_s);

@@ -1,0 +1,231 @@
+// Unit tests for obs::SloMonitor — multi-window burn-rate evaluation,
+// hysteresis, shed accounting, SLI metric series, and the zero-residue /
+// determinism properties the serving layer relies on.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/slo.hpp"
+#include "sim/simulator.hpp"
+#include "util/error.hpp"
+#include "util/units.hpp"
+
+namespace faaspart::obs {
+namespace {
+
+using namespace util::literals;
+
+SloTarget tight_target() {
+  SloTarget t;
+  t.tenant = "llm";
+  t.objective = 500_ms;
+  t.target = 0.9;  // 10% budget: burn 2.0 == 20% bad
+  t.long_window = 60_s;
+  t.short_window = 5_s;
+  t.burn_threshold = 2.0;
+  t.min_samples = 10;
+  return t;
+}
+
+// Feeds `n` outcomes spaced `gap` apart starting at the sim's current time,
+// via scheduled callbacks so the monitor sees advancing virtual time.
+void feed(sim::Simulator& sim, SloMonitor& slo, const std::string& key,
+          int n, util::Duration gap, bool good, util::TimePoint from) {
+  for (int i = 0; i < n; ++i) {
+    sim.schedule_at(util::TimePoint{from.ns + i * gap.ns},
+                    [&slo, key, good] { slo.record_latency(key, 100_ms, good); });
+  }
+}
+
+TEST(Slo, ConfigureValidatesTargets) {
+  sim::Simulator sim;
+  SloMonitor slo(sim);
+  SloTarget bad = tight_target();
+  bad.target = 1.0;
+  EXPECT_THROW(slo.configure("fn", bad), util::Error);
+  bad = tight_target();
+  bad.short_window = bad.long_window + bad.long_window;
+  EXPECT_THROW(slo.configure("fn", bad), util::Error);
+  slo.configure("fn", tight_target());
+  EXPECT_TRUE(slo.configured("fn"));
+  ASSERT_NE(slo.target("fn"), nullptr);
+  EXPECT_EQ(slo.target("fn")->tenant, "llm");
+  EXPECT_EQ(slo.keys_configured(), 1u);
+}
+
+TEST(Slo, UnconfiguredKeysAreDropped) {
+  sim::Simulator sim;
+  SloMonitor slo(sim);
+  slo.record_latency("ghost", 1_s, false);
+  slo.record_shed("ghost", "queue-full");
+  EXPECT_FALSE(slo.configured("ghost"));
+  EXPECT_TRUE(slo.alerts().empty());
+  EXPECT_EQ(slo.burn_long("ghost"), 0.0);
+}
+
+TEST(Slo, AlertFiresOnlyWhenBothWindowsBurn) {
+  sim::Simulator sim;
+  SloMonitor slo(sim);
+  slo.configure("fn", tight_target());
+
+  // 40 good outcomes over 40s: no alert, burn 0.
+  feed(sim, slo, "fn", 40, 1_s, /*good=*/true, util::TimePoint{0});
+  // Then an incident: 12 bad outcomes in quick succession. The long-window
+  // bad fraction climbs past 20% (burn >= 2) while the short window is
+  // saturated bad — both conditions hold, so the alert fires exactly once.
+  feed(sim, slo, "fn", 12, 200_ms, /*good=*/false, util::TimePoint{(40_s).ns});
+  sim.run();
+
+  ASSERT_FALSE(slo.alerts().empty());
+  EXPECT_EQ(slo.alerts().size(), 1u);
+  const SloAlert& alert = slo.alerts().front();
+  EXPECT_TRUE(alert.firing);
+  EXPECT_EQ(alert.key, "fn");
+  EXPECT_EQ(alert.tenant, "llm");
+  EXPECT_GE(alert.burn_long, 2.0);
+  EXPECT_GE(alert.burn_short, 2.0);
+  EXPECT_TRUE(slo.firing("fn"));
+}
+
+TEST(Slo, LongBurnAloneDoesNotFireOnceTheIncidentIsOver) {
+  sim::Simulator sim;
+  SloMonitor slo(sim);
+  slo.configure("fn", tight_target());
+
+  // An 8-outcome bad burst ends before min_samples is met (gated), then a
+  // good stream starts well past the short window. The long-window burn
+  // stays >= 2 for tens of seconds, but every evaluation now sees a clean
+  // short window — a past incident that already ended must not page.
+  feed(sim, slo, "fn", 8, 200_ms, /*good=*/false, util::TimePoint{0});
+  feed(sim, slo, "fn", 30, 1_s, /*good=*/true, util::TimePoint{(8_s).ns});
+  sim.run();
+
+  EXPECT_TRUE(slo.alerts().empty());
+  EXPECT_FALSE(slo.firing("fn"));
+  EXPECT_EQ(slo.burn_short("fn"), 0.0);
+}
+
+TEST(Slo, ClearsWithHysteresisAfterRecovery) {
+  sim::Simulator sim;
+  SloMonitor slo(sim);
+  slo.configure("fn", tight_target());
+
+  feed(sim, slo, "fn", 12, 200_ms, /*good=*/false, util::TimePoint{0});
+  // Recovery: a steady stream of good outcomes dilutes the long window (and
+  // eventually the bad outcomes age out of it entirely) until the sustained
+  // burn drops below threshold/2 and the alert clears.
+  feed(sim, slo, "fn", 80, 1_s, /*good=*/true, util::TimePoint{(3_s).ns});
+  sim.run();
+
+  ASSERT_EQ(slo.alerts().size(), 2u);
+  EXPECT_TRUE(slo.alerts()[0].firing);
+  EXPECT_FALSE(slo.alerts()[1].firing);
+  EXPECT_LT(slo.alerts()[1].burn_long, 1.0);
+  EXPECT_FALSE(slo.firing("fn"));
+  EXPECT_GT(slo.alerts()[1].at, slo.alerts()[0].at);
+}
+
+TEST(Slo, MinSamplesGatesEarlyAlerts) {
+  sim::Simulator sim;
+  SloMonitor slo(sim);
+  SloTarget t = tight_target();
+  t.min_samples = 50;
+  slo.configure("fn", t);
+  feed(sim, slo, "fn", 20, 100_ms, /*good=*/false, util::TimePoint{0});
+  sim.run();
+  // 100% bad, but only 20 outcomes — below the evidence floor.
+  EXPECT_TRUE(slo.alerts().empty());
+  EXPECT_GT(slo.burn_long("fn"), 2.0);
+}
+
+TEST(Slo, ShedsBurnBudgetAndCountByReason) {
+  sim::Simulator sim;
+  MetricsRegistry reg;
+  SloMonitor slo(sim, &reg);
+  slo.configure("fn", tight_target());
+
+  for (int i = 0; i < 8; ++i) slo.record_shed("fn", "queue-full");
+  for (int i = 0; i < 4; ++i) slo.record_shed("fn", "rate-limit");
+  EXPECT_NEAR(slo.burn_long("fn"), 10.0, 1e-9);  // 100% bad / 10% budget
+
+  EXPECT_EQ(reg.counter("slo_shed_total",
+                        {{"function", "fn"}, {"reason", "queue-full"}})
+                .value(),
+            8.0);
+  EXPECT_EQ(reg.counter("slo_shed_total",
+                        {{"function", "fn"}, {"reason", "rate-limit"}})
+                .value(),
+            4.0);
+}
+
+TEST(Slo, MetricsCarryLatencyAndGoodput) {
+  sim::Simulator sim;
+  MetricsRegistry reg;
+  SloMonitor slo(sim, &reg);
+  slo.configure("fn", tight_target());
+
+  slo.record_latency("fn", 100_ms, true);
+  slo.record_latency("fn", 2_s, false);
+  slo.record_latency("fn", 200_ms, true);
+
+  const Labels labels{{"function", "fn"}, {"tenant", "llm"}};
+  EXPECT_EQ(reg.counter("slo_good_total", labels).value(), 2.0);
+  EXPECT_EQ(reg.counter("slo_breach_total", labels).value(), 1.0);
+  Histogram& h = reg.histogram("slo_latency_seconds", labels);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_NEAR(h.sum(), 2.3, 1e-9);
+}
+
+TEST(Slo, AlertHookSeesEveryTransitionInOrder) {
+  sim::Simulator sim;
+  SloMonitor slo(sim);
+  slo.configure("fn", tight_target());
+  std::vector<bool> seen;
+  slo.set_alert_hook([&seen](const SloAlert& a) { seen.push_back(a.firing); });
+
+  feed(sim, slo, "fn", 12, 200_ms, /*good=*/false, util::TimePoint{0});
+  feed(sim, slo, "fn", 80, 1_s, /*good=*/true, util::TimePoint{(3_s).ns});
+  sim.run();
+
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_TRUE(seen[0]);
+  EXPECT_FALSE(seen[1]);
+}
+
+TEST(Slo, MonitorNeverSchedulesSimulatorEvents) {
+  sim::Simulator sim;
+  SloMonitor slo(sim);
+  slo.configure("fn", tight_target());
+  for (int i = 0; i < 100; ++i) slo.record_latency("fn", 1_s, false);
+  slo.record_shed("fn", "deadline");
+  // Purely event-driven: with no workload events, run() returns at t=0.
+  sim.run();
+  EXPECT_EQ(sim.now().ns, 0);
+}
+
+TEST(Slo, AlertSequenceIsDeterministic) {
+  // Same outcome stream twice -> byte-identical alert transitions. This is
+  // the property the determinism goldens lean on when observability is on.
+  const auto run_once = [] {
+    sim::Simulator sim;
+    SloMonitor slo(sim);
+    slo.configure("fn", tight_target());
+    feed(sim, slo, "fn", 30, 1_s, /*good=*/true, util::TimePoint{0});
+    feed(sim, slo, "fn", 12, 250_ms, /*good=*/false, util::TimePoint{(30_s).ns});
+    feed(sim, slo, "fn", 90, 1_s, /*good=*/true, util::TimePoint{(34_s).ns});
+    sim.run();
+    std::string digest;
+    for (const SloAlert& a : slo.alerts()) {
+      digest += (a.firing ? "F@" : "C@") + std::to_string(a.at.ns) + ";";
+    }
+    return digest;
+  };
+  const std::string first = run_once();
+  EXPECT_FALSE(first.empty());
+  EXPECT_EQ(first, run_once());
+}
+
+}  // namespace
+}  // namespace faaspart::obs

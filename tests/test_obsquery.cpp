@@ -1,0 +1,185 @@
+// tools/obs-query round-trips: the JSON parser, the Chrome-trace span
+// loader inverting obs::write_enriched_chrome_trace, and the .fdump loader
+// inverting obs::FlightRecorder::write — so offline breakdowns run on
+// exactly the spans a live Tracer held.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "json.hpp"
+#include "loader.hpp"
+#include "obs/chrome.hpp"
+#include "obs/critical_path.hpp"
+#include "obs/flight.hpp"
+#include "obs/tracer.hpp"
+#include "sim/simulator.hpp"
+#include "util/error.hpp"
+#include "util/units.hpp"
+
+namespace faaspart::obsquery {
+namespace {
+
+using namespace util::literals;
+
+// -- JSON parser -------------------------------------------------------------
+
+TEST(ObsQueryJson, ParsesTheBasicShapes) {
+  const JsonValue v = parse_json(
+      R"({"a": [1, 2.5, -3e2], "s": "he\"llo\nA", "t": true, "n": null})");
+  const auto& obj = v.as_object();
+  EXPECT_EQ(obj.at("a").as_array().size(), 3u);
+  EXPECT_EQ(obj.at("a").as_array()[0].as_number(), 1.0);
+  EXPECT_EQ(obj.at("a").as_array()[2].as_number(), -300.0);
+  EXPECT_EQ(obj.at("s").as_string(), "he\"llo\nA");
+  EXPECT_TRUE(obj.at("t").as_bool());
+  EXPECT_EQ(obj.at("n").kind(), JsonValue::Kind::kNull);
+}
+
+TEST(ObsQueryJson, RejectsMalformedInput) {
+  EXPECT_THROW(parse_json("{"), util::Error);
+  EXPECT_THROW(parse_json("[1,]"), util::Error);
+  EXPECT_THROW(parse_json("{\"a\" 1}"), util::Error);
+  EXPECT_THROW(parse_json("\"unterminated"), util::Error);
+  EXPECT_THROW(parse_json("12 34"), util::Error);  // trailing garbage
+}
+
+// -- Chrome trace -> spans ---------------------------------------------------
+
+TEST(ObsQueryLoader, ChromeTraceRoundTripsEverySpanField) {
+  sim::Simulator sim;
+  obs::Tracer tracer(sim);
+
+  // A request tree with every field populated: root (tenant, note), an
+  // add_closed squeue leg, a wan leg, and an attempt-numbered body.
+  const auto trace = tracer.begin_trace();
+  const auto root = tracer.open_span(trace, 0, "serve", "request", "slo-aware");
+  tracer.set_tenant(root, "llm");
+  sim.schedule_at(util::TimePoint{(3_ms).ns}, [&] {
+    tracer.add_closed(trace, root, "serve", "squeue", util::TimePoint{0},
+                      util::TimePoint{(3_ms).ns}, "service");
+    tracer.add_closed(trace, root, "serve", "wan-out", util::TimePoint{(3_ms).ns},
+                      util::TimePoint{(5_ms).ns}, "n0");
+  });
+  sim.schedule_at(util::TimePoint{(5_ms).ns}, [&] {
+    const auto body =
+        tracer.open_span(trace, root, "serve", "body", "n0:cpu", /*attempt=*/1);
+    sim.schedule_at(util::TimePoint{(55_ms).ns}, [&tracer, body, root] {
+      tracer.close_span(body);
+      tracer.annotate(root, "deadline miss");
+      tracer.close_span(root);
+    });
+  });
+  sim.run();
+
+  std::ostringstream os;
+  obs::write_enriched_chrome_trace(os, nullptr, &tracer, nullptr);
+  std::istringstream in(os.str());
+  const auto loaded = load_chrome_spans(in);
+
+  const auto& live = tracer.spans();
+  ASSERT_EQ(loaded.size(), live.size());
+  for (std::size_t i = 0; i < live.size(); ++i) {
+    EXPECT_EQ(loaded[i].trace, live[i].trace);
+    EXPECT_EQ(loaded[i].id, live[i].id);
+    EXPECT_EQ(loaded[i].parent, live[i].parent);
+    EXPECT_EQ(loaded[i].name, live[i].name);
+    EXPECT_EQ(loaded[i].kind, live[i].kind);
+    EXPECT_EQ(loaded[i].site, live[i].site);
+    EXPECT_EQ(loaded[i].tenant, live[i].tenant);
+    EXPECT_EQ(loaded[i].attempt, live[i].attempt);
+    EXPECT_EQ(loaded[i].note, live[i].note);
+    EXPECT_EQ(loaded[i].start.ns, live[i].start.ns) << "span " << live[i].id;
+    EXPECT_EQ(loaded[i].end.ns, live[i].end.ns) << "span " << live[i].id;
+    EXPECT_FALSE(loaded[i].open);
+  }
+
+  // The point of the inversion: the critical-path analyzer decomposes the
+  // exported artifact exactly as it decomposes the live spans.
+  const auto live_breakdown = obs::analyze_requests(live);
+  const auto offline_breakdown = obs::analyze_requests(loaded);
+  ASSERT_EQ(live_breakdown.size(), 1u);
+  ASSERT_EQ(offline_breakdown.size(), 1u);
+  EXPECT_EQ(live_breakdown[0].segments, offline_breakdown[0].segments);
+  EXPECT_EQ(live_breakdown[0].total, offline_breakdown[0].total);
+  EXPECT_EQ(offline_breakdown[0].note, "deadline miss");
+}
+
+TEST(ObsQueryLoader, ChromeLoaderSkipsResourceLanesFlowsAndCounters) {
+  // A hand-written trace with pid-1 lanes, flow events, and pid-3 counters
+  // around one pid-2 span: only the span survives loading.
+  const std::string text = R"({"traceEvents":[
+    {"name":"worker","ph":"X","pid":1,"tid":1,"ts":0,"dur":10,"args":{}},
+    {"name":"body:fn","cat":"body","ph":"X","pid":2,"tid":7,"ts":1.5,
+     "dur":2.25,"args":{"span":4,"parent":0}},
+    {"name":"causal","cat":"causal","ph":"s","id":4,"pid":2,"tid":7,"ts":0},
+    {"name":"util","ph":"C","pid":3,"ts":0,"args":{"utilization":0.5}}]})";
+  std::istringstream in(text);
+  const auto spans = load_chrome_spans(in);
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].trace, 7u);
+  EXPECT_EQ(spans[0].id, 4u);
+  EXPECT_EQ(spans[0].kind, "body");
+  EXPECT_EQ(spans[0].name, "fn");  // "kind:" prefix stripped
+  EXPECT_EQ(spans[0].start.ns, 1500);
+  EXPECT_EQ(spans[0].end.ns, 3750);
+}
+
+// -- .fdump ------------------------------------------------------------------
+
+TEST(ObsQueryLoader, FdumpRoundTripsDumpsAndEscapedFields) {
+  sim::Simulator sim;
+  obs::FlightRecorder fr(sim, 8);
+  fr.record("ep-0", "shed", "fn-1\tqueue-full\nline2", 9);
+  sim.schedule_at(util::TimePoint{(2_ms).ns},
+                  [&fr] { fr.record("service", "fault", "back\\slash"); });
+  sim.run();
+  fr.dump("slo:fn-1");
+  fr.dump("fault:wan\tpartition");
+
+  std::ostringstream os;
+  fr.write(os);
+  std::istringstream in(os.str());
+  const auto dumps = load_fdump(in);
+
+  ASSERT_EQ(dumps.size(), 2u);
+  EXPECT_EQ(dumps[0].reason, "slo:fn-1");
+  EXPECT_EQ(dumps[1].reason, "fault:wan\tpartition");
+  ASSERT_EQ(dumps[0].events.size(), 2u);
+  EXPECT_EQ(dumps[0].events[0].key, "ep-0");
+  EXPECT_EQ(dumps[0].events[0].kind, "shed");
+  EXPECT_EQ(dumps[0].events[0].message, "fn-1\tqueue-full\nline2");
+  EXPECT_EQ(dumps[0].events[0].trace, 9u);
+  EXPECT_EQ(dumps[0].events[1].message, "back\\slash");
+  EXPECT_EQ(dumps[0].events[1].at.ns, 2'000'000);
+  EXPECT_EQ(dumps[0].at.ns, 2'000'000);
+}
+
+TEST(ObsQueryLoader, FdumpUnescapeInvertsEscape) {
+  const std::string raw = "a\tb\nc\\d";
+  EXPECT_EQ(fdump_unescape(obs::fdump_escape(raw)), raw);
+  EXPECT_EQ(fdump_unescape("plain"), "plain");
+}
+
+TEST(ObsQueryLoader, FdumpRejectsMalformedInput) {
+  const auto load = [](const std::string& text) {
+    std::istringstream in(text);
+    return load_fdump(in);
+  };
+  EXPECT_THROW(load("not a dump\n"), util::Error);  // missing header
+  EXPECT_THROW(load("fdump v2\n"), util::Error);    // unknown version
+  // Event count disagrees with the header.
+  EXPECT_THROW(load("fdump v1\n"
+                    "dump 1 at_ns 0 events 2 reason r\n"
+                    "0\t1\tk\tkind\t0\tm\n"
+                    "end\n"),
+               util::Error);
+  // Truncated mid-dump (no "end").
+  EXPECT_THROW(load("fdump v1\n"
+                    "dump 1 at_ns 0 events 1 reason r\n"
+                    "0\t1\tk\tkind\t0\tm\n"),
+               util::Error);
+}
+
+}  // namespace
+}  // namespace faaspart::obsquery

@@ -48,8 +48,8 @@ bool Config::rule_enabled(std::string_view rule, std::string_view path) const {
 }
 
 const std::vector<std::string>& known_rules() {
-  static const std::vector<std::string> kRules = {"D1", "D2", "C1",
-                                                  "C2", "O1", "X1"};
+  static const std::vector<std::string> kRules = {"D1", "D2", "C1", "C2",
+                                                  "O1", "O2", "X1"};
   return kRules;
 }
 

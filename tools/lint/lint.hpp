@@ -4,7 +4,7 @@
 // byte-identical across --jobs counts, replays, and sanitizer tiers
 // (DESIGN.md §8). Runtime goldens catch drift after it ships; this tool is
 // the compile-time firewall in front of them. It scans the repo's own
-// sources (token stream, no AST) and enforces five named rules:
+// sources (token stream, no AST) and enforces six named rules:
 //
 //   D1  no wall-clock / entropy sources (system_clock, random_device, rand,
 //       time(), getenv, ...) outside the allowlisted RNG and runner shims;
@@ -15,7 +15,10 @@
 //   C2  coroutine-lifetime hazards: a capturing lambda used as a coroutine
 //       body, or an rvalue-reference parameter into a coroutine frame;
 //   O1  no per-call metric registry lookups (`...metrics().counter("x").add()`
-//       in one expression) — hot paths must cache the handle (DESIGN.md §7).
+//       in one expression) — hot paths must cache the handle (DESIGN.md §7);
+//   O2  no span id discarded at creation (`tracer->open_span(...);` as a full
+//       statement) — an unclosed span poisons its whole causal tree; bind
+//       the id and close it, or wrap it in an obs::SpanGuard (DESIGN.md §12).
 //
 // Every finding is suppressible only with an inline annotation that names
 // the rule AND gives a reason:
@@ -34,7 +37,7 @@ namespace faaspart::lint {
 struct Finding {
   std::string file;  // repo-relative, '/'-separated
   int line = 0;
-  std::string rule;  // "D1".."O1", or "X1" for annotation hygiene
+  std::string rule;  // "D1".."O2", or "X1" for annotation hygiene
   std::string message;
 };
 

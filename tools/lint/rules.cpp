@@ -343,6 +343,54 @@ void rule_o1(const Tokens& t, std::vector<RawFinding>& out) {
   }
 }
 
+// ---------------------------------------------------------------- O2 ------
+// A span id discarded at creation can never be closed: the span stays open
+// forever, the critical-path analyzer skips its whole request tree, and the
+// p99 breakdown silently loses the trace. The id must be consumed — bound
+// to a variable, returned, passed as an argument, or handed to an
+// obs::SpanGuard whose destructor closes it.
+
+void rule_o2(const Tokens& t, std::vector<RawFinding>& out) {
+  for (std::size_t i = 1; i + 1 < t.size(); ++i) {
+    if (!is_ident(t[i], "open_span") || !is_punct(t[i + 1], "(")) continue;
+    if (!is_punct(t[i - 1], ".") && !is_punct(t[i - 1], "->")) continue;
+    // Walk the callee chain back to its first token:
+    // `tel->tracer()->open_span`, `tracer_.open_span`, `obs().tr.open_span`.
+    std::size_t j = i;
+    while (j > 0 && (is_punct(t[j - 1], ".") || is_punct(t[j - 1], "->") ||
+                     is_punct(t[j - 1], "::"))) {
+      if (j >= 2 && t[j - 2].kind == Tok::kIdent) {
+        j -= 2;
+        continue;
+      }
+      if (j >= 2 && is_punct(t[j - 2], ")")) {
+        const std::size_t open = match_back_paren(t, j - 2);
+        if (open == std::string_view::npos || open == 0 ||
+            t[open - 1].kind != Tok::kIdent) {
+          break;  // `(expr)->open_span`: can't see the receiver; stay quiet
+        }
+        j = open - 1;
+        continue;
+      }
+      break;
+    }
+    if (j == 0 || (!is_punct(t[j - 1], ".") && !is_punct(t[j - 1], "->") &&
+                   !is_punct(t[j - 1], "::"))) {
+      // j is the chain's first token; the token before it tells us whether
+      // the call's result is consumed. Only a bare statement discards it.
+      const bool discarded = j == 0 || is_punct(t[j - 1], ";") ||
+                             is_punct(t[j - 1], "{") || is_punct(t[j - 1], "}");
+      if (discarded) {
+        out.push_back(
+            {t[i].line, "O2",
+             "span id discarded at creation: an unclosed span poisons its "
+             "causal tree; bind the id and close_span() it, or wrap it in "
+             "an obs::SpanGuard (DESIGN.md §12)"});
+      }
+    }
+  }
+}
+
 }  // namespace
 
 void run_rules(std::string_view path, const LexResult& lx, const Config& cfg,
@@ -352,6 +400,7 @@ void run_rules(std::string_view path, const LexResult& lx, const Config& cfg,
   if (cfg.rule_enabled("C1", path)) rule_c1(lx.tokens, out);
   if (cfg.rule_enabled("C2", path)) rule_c2(lx.tokens, out);
   if (cfg.rule_enabled("O1", path)) rule_o1(lx.tokens, out);
+  if (cfg.rule_enabled("O2", path)) rule_o2(lx.tokens, out);
 }
 
 }  // namespace faaspart::lint

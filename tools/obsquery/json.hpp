@@ -1,0 +1,68 @@
+// Minimal recursive-descent JSON reader for obs-query's offline loaders.
+//
+// Deliberately tiny: the tool only ever reads artifacts this repo's own
+// exporters wrote (trace.json, and nothing exotic inside it), so this parses
+// strict JSON — objects, arrays, strings with the standard escapes, numbers,
+// booleans, null — and throws util::Error with a byte offset on anything
+// malformed. No streaming, no comments, no trailing commas.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace faaspart::obsquery {
+
+class JsonValue;
+using JsonObject = std::map<std::string, JsonValue>;
+using JsonArray = std::vector<JsonValue>;
+
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() = default;
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+  [[nodiscard]] bool is_object() const { return kind_ == Kind::kObject; }
+  [[nodiscard]] bool is_array() const { return kind_ == Kind::kArray; }
+  [[nodiscard]] bool is_string() const { return kind_ == Kind::kString; }
+  [[nodiscard]] bool is_number() const { return kind_ == Kind::kNumber; }
+
+  /// Typed accessors; throw util::Error on kind mismatch.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_number() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const JsonArray& as_array() const;
+  [[nodiscard]] const JsonObject& as_object() const;
+
+  /// Object member lookup; null when absent or not an object.
+  [[nodiscard]] const JsonValue* find(const std::string& key) const;
+  /// Convenience: member's string / number with a default when absent.
+  [[nodiscard]] std::string string_or(const std::string& key,
+                                      std::string fallback = "") const;
+  [[nodiscard]] double number_or(const std::string& key,
+                                 double fallback = 0) const;
+
+  static JsonValue make_null();
+  static JsonValue make_bool(bool b);
+  static JsonValue make_number(double n);
+  static JsonValue make_string(std::string s);
+  static JsonValue make_array(JsonArray a);
+  static JsonValue make_object(JsonObject o);
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0;
+  std::string string_;
+  std::shared_ptr<JsonArray> array_;
+  std::shared_ptr<JsonObject> object_;
+};
+
+/// Parses one JSON document (the whole input; trailing non-space throws).
+[[nodiscard]] JsonValue parse_json(const std::string& text);
+
+}  // namespace faaspart::obsquery

@@ -1,0 +1,142 @@
+#include "loader.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "json.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace faaspart::obsquery {
+
+namespace {
+
+std::int64_t us_to_ns(double us) {
+  return static_cast<std::int64_t>(std::llround(us * 1e3));
+}
+
+}  // namespace
+
+std::vector<obs::CausalSpan> load_chrome_spans(std::istream& in) {
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const JsonValue doc = parse_json(buf.str());
+  const JsonValue* events = doc.find("traceEvents");
+  if (events == nullptr || !events->is_array()) {
+    throw util::Error("trace.json: no traceEvents array");
+  }
+
+  std::vector<obs::CausalSpan> spans;
+  for (const JsonValue& ev : events->as_array()) {
+    if (!ev.is_object()) continue;
+    if (ev.string_or("ph") != "X" || ev.number_or("pid") != 2) continue;
+    const JsonValue* args = ev.find("args");
+    if (args == nullptr) continue;
+
+    obs::CausalSpan s;
+    s.trace = static_cast<std::uint64_t>(ev.number_or("tid"));
+    s.id = static_cast<std::uint64_t>(args->number_or("span"));
+    s.parent = static_cast<std::uint64_t>(args->number_or("parent"));
+    s.kind = ev.string_or("cat");
+    // The writer names pid-2 boxes "kind:name"; strip the kind prefix.
+    s.name = ev.string_or("name");
+    if (s.name.rfind(s.kind + ":", 0) == 0) {
+      s.name = s.name.substr(s.kind.size() + 1);
+    }
+    s.site = args->string_or("site");
+    s.tenant = args->string_or("tenant");
+    s.note = args->string_or("note");
+    s.attempt = static_cast<int>(args->number_or("attempt"));
+    s.start = util::TimePoint{us_to_ns(ev.number_or("ts"))};
+    s.end = util::TimePoint{s.start.ns + us_to_ns(ev.number_or("dur"))};
+    s.open = false;  // the exporter only writes completed slices
+    spans.push_back(std::move(s));
+  }
+  std::sort(spans.begin(), spans.end(),
+            [](const obs::CausalSpan& a, const obs::CausalSpan& b) {
+              return a.id < b.id;
+            });
+  return spans;
+}
+
+std::string fdump_unescape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '\\' || i + 1 == s.size()) {
+      out += s[i];
+      continue;
+    }
+    ++i;
+    switch (s[i]) {
+      case '\\': out += '\\'; break;
+      case 't': out += '\t'; break;
+      case 'n': out += '\n'; break;
+      default:
+        out += '\\';
+        out += s[i];
+    }
+  }
+  return out;
+}
+
+std::vector<obs::FlightDump> load_fdump(std::istream& in) {
+  std::string line;
+  std::size_t lineno = 1;
+  if (!std::getline(in, line) || util::trim(line) != "fdump v1") {
+    throw util::Error("fdump: missing 'fdump v1' header");
+  }
+
+  std::vector<obs::FlightDump> dumps;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (util::trim(line).empty()) continue;
+    const std::vector<std::string> head = util::split(line, ' ');
+    if (head.size() < 7 || head[0] != "dump" || head[2] != "at_ns" ||
+        head[4] != "events" || head[6] != "reason") {
+      throw util::Error(util::strf("fdump: line ", lineno, ": bad dump header"));
+    }
+    obs::FlightDump d;
+    d.at = util::TimePoint{std::stoll(head[3])};
+    const auto expected = static_cast<std::size_t>(std::stoull(head[5]));
+    // The reason is everything after " reason " (it may contain spaces).
+    const std::string marker = " reason ";
+    d.reason = fdump_unescape(line.substr(line.find(marker) + marker.size()));
+
+    bool terminated = false;
+    while (std::getline(in, line)) {
+      ++lineno;
+      if (line == "end") {
+        terminated = true;
+        break;
+      }
+      const std::vector<std::string> f = util::split(line, '\t');
+      if (f.size() != 6) {
+        throw util::Error(
+            util::strf("fdump: line ", lineno, ": expected 6 fields"));
+      }
+      obs::FlightEvent ev;
+      ev.at = util::TimePoint{std::stoll(f[0])};
+      ev.seq = std::stoull(f[1]);
+      ev.key = fdump_unescape(f[2]);
+      ev.kind = fdump_unescape(f[3]);
+      ev.trace = std::stoull(f[4]);
+      ev.message = fdump_unescape(f[5]);
+      d.events.push_back(std::move(ev));
+    }
+    if (!terminated) {
+      throw util::Error(
+          util::strf("fdump: line ", lineno, ": truncated dump (no 'end')"));
+    }
+    if (d.events.size() != expected) {
+      throw util::Error(util::strf("fdump: dump at line ", lineno, " has ",
+                                   d.events.size(), " events, header said ",
+                                   expected));
+    }
+    dumps.push_back(std::move(d));
+  }
+  return dumps;
+}
+
+}  // namespace faaspart::obsquery

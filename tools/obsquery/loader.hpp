@@ -1,0 +1,37 @@
+// Offline artifact loaders for obs-query.
+//
+// Two formats come back from a run's export directory:
+//   trace.json    — the enriched Chrome trace (obs/chrome.cpp). Pid-2 "X"
+//                   events are causal spans; this loader inverts the writer
+//                   so obs::analyze_requests runs on exported artifacts
+//                   exactly as it runs on a live Tracer.
+//   flight.fdump  — the flight recorder's versioned dump file
+//                   (obs/flight.cpp write()).
+//
+// Both loaders throw util::Error with a line/offset on malformed input —
+// a truncated artifact should fail loudly, not decompose quietly.
+#pragma once
+
+#include <istream>
+#include <string>
+#include <vector>
+
+#include "obs/flight.hpp"
+#include "obs/tracer.hpp"
+
+namespace faaspart::obsquery {
+
+/// Reconstructs causal spans from an enriched Chrome trace. Only pid-2
+/// complete ("X") events are spans; resource lanes (pid 1), counters
+/// (pid 3), metadata, and flow events are skipped. Spans come back closed,
+/// in span-id order, with timestamps re-quantized from the trace's
+/// microsecond floats to nanoseconds.
+[[nodiscard]] std::vector<obs::CausalSpan> load_chrome_spans(std::istream& in);
+
+/// Parses a .fdump file (any number of dumps, "fdump v1" header).
+[[nodiscard]] std::vector<obs::FlightDump> load_fdump(std::istream& in);
+
+/// Reverses obs::fdump_escape.
+[[nodiscard]] std::string fdump_unescape(const std::string& s);
+
+}  // namespace faaspart::obsquery

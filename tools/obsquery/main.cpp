@@ -1,0 +1,158 @@
+// obs-query — offline breakdown queries over a run's exported observability
+// artifacts (the directory Telemetry::export_all wrote).
+//
+//   faaspart_obsquery breakdown runinfo/obs/trace.json [--by tenant]
+//       "where did p99 go": per-group latency decomposition from the
+//       exported causal spans (same analyzer the benches run live).
+//   faaspart_obsquery requests runinfo/obs/trace.json [--top 10]
+//       the slowest requests, one line each, with per-segment shares.
+//   faaspart_obsquery flight runinfo/obs/flight.fdump [--dump 1] [--key ep-a]
+//       post-mortem: replay a flight-recorder dump's merged event ring.
+#include <algorithm>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "loader.hpp"
+#include "obs/critical_path.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace {
+
+using namespace faaspart;  // tool main: keep call sites short
+
+int usage() {
+  std::cerr
+      << "usage:\n"
+      << "  faaspart_obsquery breakdown <trace.json> [--by function|tenant|site]\n"
+      << "  faaspart_obsquery requests <trace.json> [--top N]\n"
+      << "  faaspart_obsquery flight <flight.fdump> [--dump N] [--key KEY]\n";
+  return 2;
+}
+
+std::vector<obs::CausalSpan> spans_of(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw util::Error("cannot open " + path);
+  return obsquery::load_chrome_spans(in);
+}
+
+int cmd_breakdown(const std::vector<std::string>& args) {
+  obs::GroupBy by = obs::GroupBy::kFunction;
+  std::string by_name = "function";
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    if (args[i] == "--by" && i + 1 < args.size()) {
+      by_name = args[++i];
+    } else {
+      return usage();
+    }
+  }
+  if (by_name == "function") {
+    by = obs::GroupBy::kFunction;
+  } else if (by_name == "tenant") {
+    by = obs::GroupBy::kTenant;
+  } else if (by_name == "site") {
+    by = obs::GroupBy::kSite;
+  } else {
+    return usage();
+  }
+
+  const auto requests = obs::analyze_requests(spans_of(args[0]));
+  if (requests.empty()) {
+    std::cout << "no closed request trees in " << args[0] << "\n";
+    return 0;
+  }
+  const auto groups = obs::aggregate_breakdowns(requests, by);
+  std::cout << obs::render_critical_path(
+      groups, util::strf("critical path by ", by_name, " (", requests.size(),
+                         " requests) — ", args[0]));
+  return 0;
+}
+
+int cmd_requests(const std::vector<std::string>& args) {
+  std::size_t top = 10;
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    if (args[i] == "--top" && i + 1 < args.size()) {
+      top = static_cast<std::size_t>(std::stoull(args[++i]));
+    } else {
+      return usage();
+    }
+  }
+  auto requests = obs::analyze_requests(spans_of(args[0]));
+  std::sort(requests.begin(), requests.end(),
+            [](const obs::RequestBreakdown& a, const obs::RequestBreakdown& b) {
+              return a.total.ns != b.total.ns ? a.total.ns > b.total.ns
+                                              : a.root_span < b.root_span;
+            });
+  if (requests.size() > top) requests.resize(top);
+  for (const auto& r : requests) {
+    std::cout << "trace " << r.trace << " " << r.name;
+    if (!r.tenant.empty()) std::cout << " tenant=" << r.tenant;
+    if (!r.site.empty()) std::cout << " via=" << r.site;
+    std::cout << " total=" << util::fixed(r.total.seconds(), 3) << "s";
+    for (const auto& [segment, d] : r.segments) {
+      std::cout << " " << segment << "="
+                << util::fixed(d.seconds(), 3) << "s";
+    }
+    if (!r.note.empty()) std::cout << " note=\"" << r.note << "\"";
+    std::cout << "\n";
+  }
+  return 0;
+}
+
+int cmd_flight(const std::vector<std::string>& args) {
+  std::size_t which = 0;  // 0 = latest
+  std::string key;
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    if (args[i] == "--dump" && i + 1 < args.size()) {
+      which = static_cast<std::size_t>(std::stoull(args[++i]));
+    } else if (args[i] == "--key" && i + 1 < args.size()) {
+      key = args[++i];
+    } else {
+      return usage();
+    }
+  }
+  std::ifstream in(args[0]);
+  if (!in) throw util::Error("cannot open " + args[0]);
+  const auto dumps = obsquery::load_fdump(in);
+  if (dumps.empty()) {
+    std::cout << "no dumps in " << args[0] << "\n";
+    return 0;
+  }
+  if (which == 0) which = dumps.size();
+  if (which > dumps.size()) {
+    throw util::Error(util::strf("dump ", which, " out of range (", dumps.size(),
+                                 " dumps)"));
+  }
+  const obs::FlightDump& d = dumps[which - 1];
+  std::cout << "dump " << which << "/" << dumps.size() << " at "
+            << util::fixed(d.at.seconds(), 6) << "s reason \"" << d.reason
+            << "\" (" << d.events.size() << " events)\n";
+  for (const auto& ev : d.events) {
+    if (!key.empty() && ev.key != key) continue;
+    std::cout << util::fixed(ev.at.seconds(), 6) << "s  " << ev.key << "  "
+              << ev.kind << "  " << ev.message;
+    if (ev.trace != 0) std::cout << "  [trace " << ev.trace << "]";
+    std::cout << "\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  if (args.size() < 2) return usage();
+  const std::string cmd = args[0];
+  args.erase(args.begin());
+  try {
+    if (cmd == "breakdown") return cmd_breakdown(args);
+    if (cmd == "requests") return cmd_requests(args);
+    if (cmd == "flight") return cmd_flight(args);
+  } catch (const std::exception& e) {
+    std::cerr << "obs-query: " << e.what() << "\n";
+    return 1;
+  }
+  return usage();
+}

@@ -1,0 +1,98 @@
+// Repartition ablation — online MIG replanning vs the best static layout
+// (DESIGN.md §13).
+//
+// Four modes over the same shifting-mix trace (llama-heavy phase, then
+// resnet-heavy): three static MIG layouts and the online mode, where the
+// Repartitioner chases the mix through MpsProbe scores and the
+// PartitionPlanner. Writes the machine-readable summary to
+// BENCH_repartition.json (path overridable as the first non-flag argument).
+//
+// The gate tier1.sh enforces: the online mode must beat the best static
+// layout on throughput or SLO attainment, no dispatch may reach an endpoint
+// mid-relayout, and no relayout may degrade to the MPS/timeshare fallback
+// (this bench injects no faults — a fallback here means a planner/applier
+// bug, not resilience).
+//
+// Points shard across the parallel runner (`--jobs N`); stdout and the
+// JSON are byte-identical for any N (pinned in test_runner_determinism).
+#include <algorithm>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "runner/experiments.hpp"
+#include "runner/runner.hpp"
+
+using namespace faaspart;
+
+int main(int argc, char** argv) {
+  const runner::JobsFlag jobs = runner::parse_jobs_flag(argc, argv);
+  if (!jobs.ok) {
+    std::cerr << jobs.error << "\n"
+              << "usage: " << argv[0] << " [JSON_PATH] [--jobs N]\n";
+    return 2;
+  }
+  const std::string json_path = argc > 1 ? argv[1] : "BENCH_repartition.json";
+
+  const auto points = runner::repartition_points();
+  const auto results = runner::run_points<runner::RepartitionResult>(
+      static_cast<int>(points.size()),
+      [&points](int i) {
+        return runner::run_repartition_point(points[static_cast<std::size_t>(i)]);
+      },
+      jobs.jobs);
+  std::cout << runner::render_repartition(results);
+
+  const runner::RepartitionResult* online = nullptr;
+  double best_static_tput = 0;
+  double best_static_slo = 0;
+  bool clean = true;
+  for (const auto& r : results) {
+    clean = clean && r.mid_reset_dispatches == 0 && r.degraded == 0;
+    if (r.point.mode == "online") {
+      online = &r;
+    } else {
+      best_static_tput = std::max(best_static_tput, r.throughput);
+      best_static_slo = std::max(best_static_slo, r.slo_attainment);
+    }
+  }
+  const bool adapted = online != nullptr && online->applies >= 1;
+  const bool beats_static =
+      online != nullptr && (online->throughput > best_static_tput ||
+                            online->slo_attainment > best_static_slo);
+  const bool gate_pass = clean && adapted && beats_static;
+
+  std::cout << "\ngate: online tasks/s "
+            << (online != nullptr ? online->throughput : 0)
+            << " vs best static " << best_static_tput << ", SLO "
+            << (online != nullptr ? online->slo_attainment : 0) << " vs "
+            << best_static_slo << "; applies "
+            << (online != nullptr ? online->applies : 0)
+            << ", mid-reset/degraded clean " << (clean ? "yes" : "NO")
+            << " -> " << (gate_pass ? "PASS" : "FAIL") << "\n";
+
+  std::ofstream js(json_path);
+  js << "{\n  \"bench\": \"ablation_repartition\",\n  \"modes\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    js << "    {\"mode\": \"" << r.point.mode << "\", \"offered\": "
+       << r.offered << ", \"completed\": " << r.completed << ", \"shed\": "
+       << r.shed << ", \"throughput_hz\": " << r.throughput
+       << ", \"slo_attainment\": " << r.slo_attainment << ", \"p95_s\": "
+       << r.p95_s << ", \"gpu_util\": " << r.gpu_util << ", \"plans\": "
+       << r.plans << ", \"applies\": " << r.applies << ", \"relayouts\": "
+       << r.relayouts << ", \"degraded\": " << r.degraded
+       << ", \"mid_reset_dispatches\": " << r.mid_reset_dispatches
+       << ", \"digest\": \"" << r.digest << "\"}"
+       << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  js << "  ],\n"
+     << "  \"best_static_throughput_hz\": " << best_static_tput << ",\n"
+     << "  \"best_static_slo_attainment\": " << best_static_slo << ",\n"
+     << "  \"online_adapted\": " << (adapted ? "true" : "false") << ",\n"
+     << "  \"clean\": " << (clean ? "true" : "false") << ",\n"
+     << "  \"gate_pass\": " << (gate_pass ? "true" : "false") << "\n"
+     << "}\n";
+  std::cout << "wrote " << json_path << "\n";
+  return gate_pass ? 0 : 1;
+}

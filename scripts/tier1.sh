@@ -50,9 +50,17 @@ ctest --test-dir build --output-on-failure -j2
 # gate; BENCH_obs.json is the machine-readable artifact CI archives.
 ./build/bench/obs_overhead build/BENCH_obs.json
 
+# --- repartitioning ablation gate -----------------------------------------
+# bench/ablation_repartition replays the two-phase llama/resnet mix through
+# three static layouts and the online optimizer; the run fails unless the
+# online mode beats the best static layout on throughput and SLO attainment
+# with zero mid-reset dispatches. BENCH_repartition.json is archived by CI.
+./build/bench/ablation_repartition build/BENCH_repartition.json
+
 # Second tree with sanitizers; only the chaos/federation-labelled binaries
 # need to build, which keeps the single-core builder's turnaround tolerable.
 cmake -B build-asan -S . -DFAASPART_SANITIZE=address
 cmake --build build-asan -j2 --target test_faults test_properties \
-  test_runner_determinism test_federation test_federation_cluster
+  test_runner_determinism test_federation test_federation_cluster \
+  test_federation_repartition
 ctest --test-dir build-asan -L "chaos|federation" --output-on-failure

@@ -55,6 +55,26 @@ class Reconfigurer {
                                                std::vector<std::string> profiles,
                                                WeightCache* cache = nullptr);
 
+  /// One tenant's share of a multi-tenant device relayout.
+  struct TenantLayout {
+    faas::HighThroughputExecutor* executor = nullptr;
+    /// One profile per worker of `executor`. Empty = park-only: the tenant
+    /// has no instance on this device in the new plan, so its workers stay
+    /// parked (the cluster layer must stop routing to it first).
+    std::vector<std::string> profiles;
+  };
+
+  /// Multi-tenant version of change_mig_layout: parks every worker of every
+  /// tenant, resets device `device_index` to the concatenation of the
+  /// tenants' profiles, and restarts each non-empty tenant's workers against
+  /// its own instances. An all-empty layout clears MIG and leaves everything
+  /// parked. Degrades MIG→MPS→timeshare exactly like change_mig_layout; in
+  /// the degraded modes park-only tenants also stay parked. This is the
+  /// apply path of the online Repartitioner (federation/repartition.hpp).
+  sim::Co<ReconfigureReport> change_device_layout(
+      std::vector<TenantLayout> tenants, int device_index,
+      WeightCache* cache = nullptr);
+
  private:
   nvml::DeviceManager& manager_;
 };

@@ -160,6 +160,7 @@ faas::AppHandle ClusterService::submit(const std::string& function_id,
   }
 
   ++stats_.admitted;
+  ++stats_.admitted_by_function[function_id];
   if (auto* tel = sim_.telemetry()) {
     if (st.admitted_counter == nullptr) {  // don't latch — may install later
       st.admitted_counter = &tel->metrics().counter(
@@ -183,17 +184,23 @@ std::size_t ClusterService::credit_limit(const Endpoint& ep) const {
   return std::max<std::size_t>(1, limit);
 }
 
-bool ClusterService::any_credit() const {
+bool ClusterService::any_credit(const Pending& p) const {
   // A partitioned endpoint's credit only counts when *nothing* is reachable:
   // while any endpoint is up, waiting for one of its credits beats parking
   // work behind a WAN gate of unknown duration (dispatch never selects a
   // partitioned endpoint while a reachable one exists — see
   // test_federation_cluster's partition properties).
+  //
+  // Endpoints mid-repartition or not serving p's function contribute
+  // nothing at all — unlike a WAN partition there is no "last resort" tier:
+  // dispatching into a draining GPU reset would strand the request, and the
+  // Repartitioner reopens the gate via notify_endpoints_changed().
   bool any_reachable = false;
   bool reachable_credit = false;
   bool any = false;
   for (const auto& name : service_.endpoint_names()) {
     const Endpoint& ep = service_.endpoint(name);
+    if (ep.repartitioning() || !ep.serves(p.function_id)) continue;
     const auto it = inflight_.find(name);
     const std::size_t used = it != inflight_.end() ? it->second : 0;
     const bool credit = used < credit_limit(ep);
@@ -217,6 +224,7 @@ Endpoint* ClusterService::choose_endpoint(const Pending& p) {
     for (std::size_t hop = 0; hop < names.size(); ++hop) {
       const std::size_t i = (round_robin_next_ + hop) % names.size();
       Endpoint& ep = service_.endpoint(names[i]);
+      if (ep.repartitioning() || !ep.serves(p.function_id)) continue;
       const auto it = inflight_.find(names[i]);
       const std::size_t used = it != inflight_.end() ? it->second : 0;
       if (used >= credit_limit(ep)) continue;
@@ -241,6 +249,7 @@ Endpoint* ClusterService::choose_endpoint(const Pending& p) {
   std::vector<Cand> partitioned;
   for (const auto& name : names) {
     Endpoint& ep = service_.endpoint(name);
+    if (ep.repartitioning() || !ep.serves(p.function_id)) continue;
     const auto it = inflight_.find(name);
     const std::size_t used = it != inflight_.end() ? it->second : 0;
     if (used >= credit_limit(ep)) continue;
@@ -308,6 +317,7 @@ void ClusterService::dispatch(Pending p) {
   if (app.model_bytes > 0 && ep->holds_model(app.effective_model_key())) {
     ++stats_.sticky_hits;
   }
+  if (ep->repartitioning()) ++stats_.mid_reset_dispatches;
   ++stats_.dispatched;
   ++inflight_[name];
   state_of(p.function_id).last_endpoint = name;
@@ -407,7 +417,7 @@ sim::Co<void> ClusterService::pump() {
         continue;
       }
     }
-    if (!any_credit()) {
+    if (!any_credit(queue_.peek())) {
       credit_gate_.close();
       co_await credit_gate_.wait();
       continue;  // re-check expiry: the head may have aged past its deadline

@@ -62,7 +62,14 @@ struct ClusterStats {
   /// Dispatches that landed on an endpoint already holding the function's
   /// model (no weight reload) — the stickiness payoff.
   std::size_t sticky_hits = 0;
+  /// Dispatches that reached an endpoint mid-repartition. Must stay zero —
+  /// property-tested (repartition-no-dispatch-mid-reset); counted here so
+  /// the invariant is observable rather than asserted deep in routing.
+  std::size_t mid_reset_dispatches = 0;
   std::map<std::string, std::size_t> shed_by_reason;
+  /// Admitted requests per function — the demand signal the online
+  /// Repartitioner differentiates into offered rates.
+  std::map<std::string, std::size_t> admitted_by_function;
 };
 
 class ClusterService {
@@ -87,6 +94,12 @@ class ClusterService {
   [[nodiscard]] const ClusterStats& stats() const { return stats_; }
   [[nodiscard]] std::size_t queue_depth() const { return queue_.size(); }
   [[nodiscard]] ComputeService& service() { return service_; }
+
+  /// Wakes the pump after endpoint eligibility changed out-of-band — the
+  /// Repartitioner calls this after end_repartition()/set_serving(), which
+  /// free no credit and would otherwise leave the pump parked on the credit
+  /// gate while dispatchable work queues.
+  void notify_endpoints_changed() { credit_gate_.open(); }
 
  private:
   struct Pending {
@@ -119,7 +132,9 @@ class ClusterService {
   void shed(const std::string& function_id, const Pending& p,
             ShedReason reason);
   [[nodiscard]] std::size_t credit_limit(const Endpoint& ep) const;
-  [[nodiscard]] bool any_credit() const;
+  /// True when some endpoint eligible for `p` (serving its function, not
+  /// mid-repartition) has spare credit.
+  [[nodiscard]] bool any_credit(const Pending& p) const;
   /// The policy decision. Only considers endpoints with spare credit
   /// (callers guarantee at least one exists).
   [[nodiscard]] Endpoint* choose_endpoint(const Pending& p);

@@ -57,6 +57,33 @@ void Endpoint::partition_for(util::Duration length) {
   });
 }
 
+void Endpoint::begin_repartition() {
+  FP_CHECK_MSG(!repartitioning_, "repartition already in progress");
+  repartitioning_ = true;
+  ++repartitions_;
+  if (auto* tel = sim_.telemetry()) {
+    tel->metrics()
+        // faaspart-lint: allow(O1) -- cold path: a repartition costs seconds
+        // of simulated drain + reset time, one lookup is noise
+        .counter("federation_repartitions_total", {{"endpoint", opts_.name}})
+        .add();
+  }
+}
+
+void Endpoint::end_repartition() {
+  FP_CHECK_MSG(repartitioning_, "end_repartition without begin");
+  repartitioning_ = false;
+}
+
+bool Endpoint::serves(const std::string& function_id) const {
+  const auto it = serving_.find(function_id);
+  return it == serving_.end() || it->second;
+}
+
+void Endpoint::set_serving(const std::string& function_id, bool serving) {
+  serving_[function_id] = serving;
+}
+
 void Endpoint::add_cpu_executor(const std::string& label, int workers) {
   faas::HighThroughputExecutor::Options ex_opts;
   ex_opts.label = label;
@@ -111,7 +138,9 @@ core::Autoscaler& Endpoint::enable_autoscaler(
     util::TimePoint deadline, core::AutoscalerOptions opts) {
   FP_CHECK_MSG(autoscaler_ == nullptr, "autoscaler already enabled");
   FP_CHECK_MSG(!tenants.empty(), "autoscaler needs tenants");
-  reconfigurer_ = std::make_unique<core::Reconfigurer>(devices_);
+  if (reconfigurer_ == nullptr) {
+    reconfigurer_ = std::make_unique<core::Reconfigurer>(devices_);
+  }
   autoscaler_ = std::make_unique<core::Autoscaler>(sim_, *reconfigurer_, opts);
   for (const auto& [label, pct] : tenants) {
     const auto it = gpu_executors_.find(label);
@@ -121,6 +150,22 @@ core::Autoscaler& Endpoint::enable_autoscaler(
   }
   sim_.spawn(autoscaler_->run(deadline), "autoscaler@" + opts_.name);
   return *autoscaler_;
+}
+
+faas::HighThroughputExecutor& Endpoint::gpu_executor(const std::string& label) {
+  const auto it = gpu_executors_.find(label);
+  if (it == gpu_executors_.end()) {
+    throw util::NotFoundError(
+        util::strf("no GPU executor '", label, "' on ", opts_.name));
+  }
+  return *it->second;
+}
+
+core::Reconfigurer& Endpoint::reconfigurer() {
+  if (reconfigurer_ == nullptr) {
+    reconfigurer_ = std::make_unique<core::Reconfigurer>(devices_);
+  }
+  return *reconfigurer_;
 }
 
 std::size_t Endpoint::outstanding() const {

@@ -59,6 +59,27 @@ class Endpoint {
 
   [[nodiscard]] std::size_t wan_partitions() const { return wan_partitions_; }
 
+  // -- Online repartitioning (federation/repartition.hpp) -------------------
+
+  /// Marks the endpoint as mid-relayout: routing must not dispatch here
+  /// until end_repartition(). Unlike a WAN partition the endpoint is healthy
+  /// — its in-flight work drains normally; only *new* dispatches stop.
+  void begin_repartition();
+  void end_repartition();
+  [[nodiscard]] bool repartitioning() const { return repartitioning_; }
+  [[nodiscard]] std::size_t repartitions() const { return repartitions_; }
+
+  /// Routing eligibility: reachable over the WAN and not mid-relayout.
+  [[nodiscard]] bool accepting() const {
+    return reachable() && !repartitioning_;
+  }
+
+  /// Whether this endpoint currently hosts an instance of `function_id`.
+  /// Defaults to true — only layouts applied by the Repartitioner narrow an
+  /// endpoint to a subset of the catalogue.
+  [[nodiscard]] bool serves(const std::string& function_id) const;
+  void set_serving(const std::string& function_id, bool serving);
+
   [[nodiscard]] nvml::DeviceManager& devices() { return devices_; }
   [[nodiscard]] faas::LocalProvider& provider() { return provider_; }
   [[nodiscard]] core::GpuPartitioner& partitioner() { return partitioner_; }
@@ -105,6 +126,14 @@ class Endpoint {
 
   [[nodiscard]] core::Autoscaler* autoscaler() { return autoscaler_.get(); }
 
+  /// The GPU executor added under `label`; throws util::NotFoundError.
+  [[nodiscard]] faas::HighThroughputExecutor& gpu_executor(
+      const std::string& label);
+
+  /// Endpoint-owned Reconfigurer, created on first use (shared with the
+  /// autoscaler when both are enabled).
+  [[nodiscard]] core::Reconfigurer& reconfigurer();
+
   /// Tasks queued or running across all executors — the load signal the
   /// service's least-loaded routing uses.
   [[nodiscard]] std::size_t outstanding() const;
@@ -125,6 +154,9 @@ class Endpoint {
   sim::Gate wan_gate_;
   util::TimePoint partition_until_{};
   std::size_t wan_partitions_ = 0;
+  bool repartitioning_ = false;
+  std::size_t repartitions_ = 0;
+  std::map<std::string, bool> serving_;  ///< absent = serves (default true)
   std::vector<std::uint64_t> fault_subs_;
   std::vector<std::string> executor_labels_;
   std::size_t worker_slots_ = 0;

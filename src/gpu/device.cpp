@@ -319,9 +319,42 @@ InstanceId Device::create_instance(const MigProfile& profile) {
                                        profile.name, " on ", name(), ")"));
   }
 
+  // Lowest-free-first contiguous slice placement (real MIG's fixed placement
+  // trees, simplified): scan occupied runs, take the first gap that fits.
+  const auto lowest_free_run = [](int budget, const auto& runs, int need) {
+    std::vector<bool> occupied(static_cast<std::size_t>(budget), false);
+    for (const auto& [start, len] : runs) {
+      for (int i = start; i < start + len && i < budget; ++i) {
+        occupied[static_cast<std::size_t>(i)] = true;
+      }
+    }
+    for (int s = 0; s + need <= budget; ++s) {
+      bool free = true;
+      for (int i = s; i < s + need; ++i) {
+        free = free && !occupied[static_cast<std::size_t>(i)];
+      }
+      if (free) return s;
+    }
+    return -1;
+  };
+  std::vector<std::pair<int, int>> compute_runs;
+  std::vector<std::pair<int, int>> mem_runs;
+  for (const auto& [iid, other] : instances_) {
+    if (other.compute_start >= 0) {
+      compute_runs.emplace_back(other.compute_start, other.profile.compute_slices);
+    }
+    if (other.mem_start >= 0) {
+      mem_runs.emplace_back(other.mem_start, other.profile.mem_slices);
+    }
+  }
+
   GpuInstance inst;
   inst.id = next_instance_id_++;
   inst.profile = profile;
+  inst.compute_start =
+      lowest_free_run(arch_.mig_slices, compute_runs, profile.compute_slices);
+  inst.mem_start =
+      lowest_free_run(arch_.mem_slices, mem_runs, profile.mem_slices);
   inst.uuid = util::strf("MIG-GPU", index_, "/", profile.name, "/", inst.id);
   inst.memory = std::make_unique<MemoryPool>(profile.memory(arch_));
   inst.lane = rec_ != nullptr ? rec_->add_lane(inst.uuid) : lane_;

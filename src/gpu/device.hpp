@@ -87,6 +87,12 @@ struct GpuInstance {
   std::unique_ptr<SharingEngine> engine;
   trace::LaneId lane = 0;
   std::size_t context_count = 0;
+  /// Concrete slice placement, assigned lowest-free-first at creation (the
+  /// fixed placement real MIG uses). -1 when fragmentation after destroys
+  /// left no contiguous run — capacity validation still holds either way;
+  /// the offsets exist so overlap is a checkable invariant (tests/prop).
+  int compute_start = -1;
+  int mem_start = -1;
   /// Utilization-sampler source keyed by the instance UUID; detached when
   /// the instance is destroyed so the sampler never holds dangling probes.
   std::size_t obs_source = static_cast<std::size_t>(-1);

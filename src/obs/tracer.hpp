@@ -34,7 +34,10 @@ struct CausalSpan {
   std::uint64_t parent = 0;  ///< parent span id; 0 for trace roots
   std::string name;          ///< e.g. the app or kernel name
   /// request|squeue|wan-out|wan-back|task|attempt|queue|cold|body|kernel|
-  /// backoff|shed — the span taxonomy (DESIGN.md §12).
+  /// backoff|shed — the span taxonomy (DESIGN.md §12) — plus the control-
+  /// plane kinds repartition|plan|apply emitted by the online Repartitioner
+  /// (DESIGN.md §13): one repartition root per optimizer cycle, a plan child
+  /// for the probe+plan decision and one apply child per relayouted device.
   std::string kind;
   std::string site;          ///< where it ran (executor, worker, device)
   std::string tenant;        ///< SLO-class label; set on request roots

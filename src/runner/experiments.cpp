@@ -7,6 +7,7 @@
 
 #include "core/partitioner.hpp"
 #include "faas/dfk.hpp"
+#include "federation/repartition.hpp"
 #include "faas/provider.hpp"
 #include "gpu/device.hpp"
 #include "nvml/manager.hpp"
@@ -16,6 +17,7 @@
 #include "scenario/driver.hpp"
 #include "scenario/synthesize.hpp"
 #include "sched/engines.hpp"
+#include "sched/probe.hpp"
 #include "trace/recorder.hpp"
 #include "trace/table.hpp"
 #include "util/strings.hpp"
@@ -782,6 +784,351 @@ std::string render_scenario_serving(
         " determinism goldens pin across --jobs tiers; policies differ in"
         " how much of the flash crowd they complete (tasks/s), how much"
         " admission control sheds, and where the interactive tail lands.\n";
+  return os.str();
+}
+
+// -- Repartition ablation ---------------------------------------------------
+
+std::vector<std::string> repartition_modes() {
+  return {"static-balanced", "static-llama", "static-resnet", "online"};
+}
+
+std::vector<RepartitionPoint> repartition_points(const RepartitionOptions& opts) {
+  std::vector<RepartitionPoint> points;
+  for (const auto& mode : repartition_modes()) {
+    points.push_back(RepartitionPoint{mode, opts});
+  }
+  return points;
+}
+
+namespace {
+
+constexpr const char* kLlamaFn = "llama-7b";
+constexpr const char* kResnetFn = "resnet-score";
+/// One vision request scores a batch of 256 frames — offline/batch scoring,
+/// heavy enough that a saturated phase needs most of the fleet's SMs (a
+/// batch-8 serving request is so cheap a single 1g slice absorbs any
+/// plausible rate, which would leave the planner nothing to trade).
+constexpr int kResnetBatch = 256;
+
+faas::AppDef repartition_resnet_app(const std::string& name) {
+  faas::AppDef app;
+  app.name = name;
+  app.function_init = 500_ms;
+  app.model_bytes = 2 * util::GB;  // weights + runtime
+  app.model_key = "resnet50";
+  const auto kernels =
+      workloads::models::resnet50().inference_kernels(kResnetBatch);
+  // faaspart-lint: allow(C2) -- the lambda is stored in AppDef::body for the
+  // app's whole lifetime; every coroutine it starts finishes while the
+  // owning AppDef (and so the captures) is still alive
+  app.body = [kernels](faas::TaskContext& ctx) -> sim::Co<faas::AppValue> {
+    for (const auto& k : kernels) co_await ctx.launch(k);
+    co_return faas::AppValue{};
+  };
+  return app;
+}
+
+/// The per-endpoint static MIG layout a mode starts from (and, for static
+/// modes, keeps): (executor label, profile) pairs. Each tilted mode gives
+/// its function full-GPU slices on as many devices as its heavy phase
+/// needs (two cover llama_hot, three cover resnet_hot) — the best static
+/// answer for that phase, and the layout the online planner should
+/// rediscover on its own when the phase arrives.
+std::vector<std::pair<std::string, std::string>> repartition_layout(
+    const std::string& mode, int endpoint_index) {
+  if (mode == "static-llama" && endpoint_index < 2) {
+    return {{"llama", "7g.80gb"}};
+  }
+  if (mode == "static-resnet" && endpoint_index < 3) {
+    return {{"resnet", "7g.80gb"}};
+  }
+  return {{"llama", "3g.40gb"}, {"resnet", "3g.40gb"}};
+}
+
+/// The shifting-mix trace: llama-heavy for one phase, resnet-heavy for the
+/// next. Poisson arrivals per (function, phase), deterministic in the seed.
+scenario::Trace repartition_trace(const RepartitionOptions& o) {
+  scenario::Trace t;
+  t.seed = o.seed;
+  t.horizon = o.phase + o.phase;
+  {
+    scenario::TraceFunction llama;
+    llama.name = kLlamaFn;
+    llama.tenant = "llm";
+    llama.cls.weight = 2.0;
+    llama.cls.rate_hz = 1.25 * std::max(o.llama_hot_hz, o.llama_cold_hz);
+    llama.cls.burst = 16;
+    llama.cls.max_queue = 64;
+    llama.cls.deadline = 20_s;
+    llama.cls.service_estimate = 2_s;
+    scenario::TraceFunction resnet;
+    resnet.name = kResnetFn;
+    resnet.tenant = "vision";
+    resnet.cls.weight = 1.0;
+    resnet.cls.rate_hz = 1.25 * std::max(o.resnet_hot_hz, o.resnet_cold_hz);
+    resnet.cls.burst = 32;
+    resnet.cls.max_queue = 256;
+    resnet.cls.deadline = 8_s;
+    resnet.cls.service_estimate = 300_ms;
+    t.catalog = {llama, resnet};
+  }
+  const auto arrivals = [&t](const std::string& fn, double rate_hz,
+                             util::TimePoint from, util::TimePoint to,
+                             std::uint64_t seed) {
+    if (rate_hz <= 0) return;
+    util::Rng rng(seed);
+    util::TimePoint at = from;
+    for (;;) {
+      at = at + rng.exponential_duration(util::from_seconds(1.0 / rate_hz));
+      if (!(at < to)) break;
+      t.events.push_back(scenario::TraceEvent{at, fn});
+    }
+  };
+  const util::TimePoint start{};
+  const util::TimePoint flip = start + o.phase;
+  const util::TimePoint end = start + t.horizon;
+  arrivals(kLlamaFn, o.llama_hot_hz, start, flip, o.seed * 7919 + 11);
+  arrivals(kLlamaFn, o.llama_cold_hz, flip, end, o.seed * 7919 + 13);
+  arrivals(kResnetFn, o.resnet_cold_hz, start, flip, o.seed * 7919 + 17);
+  arrivals(kResnetFn, o.resnet_hot_hz, flip, end, o.seed * 7919 + 19);
+  std::stable_sort(t.events.begin(), t.events.end(),
+                   [](const scenario::TraceEvent& a, const scenario::TraceEvent& b) {
+                     return a.at < b.at;
+                   });
+  return t;
+}
+
+/// MpsProbe scores for the llama completion request. The probe measures the
+/// kernel chain (prefill + 8 decode steps); a served completion additionally
+/// pays the profile-independent host gap per output token, so fold that in
+/// before the planner treats 1/latency as per-instance capacity.
+std::vector<core::ProfileScore> repartition_llama_scores(
+    const gpu::GpuArchSpec& arch) {
+  const workloads::LlamaSpec spec = workloads::llama2_7b();
+  const workloads::LlamaRunConfig cfg = workloads::serving_config();
+  std::vector<gpu::KernelDesc> kernels;
+  kernels.push_back(workloads::llama_prefill_kernel(spec, cfg, 32));
+  for (int i = 0; i < 8; ++i) {
+    kernels.push_back(workloads::llama_decode_kernel(spec, cfg));
+  }
+  sched::MpsProbe probe(arch);
+  std::vector<core::ProfileScore> scores = probe.score_function(kernels);
+  const double host_s = 8 * cfg.host_gap_per_token.seconds();
+  for (auto& s : scores) {
+    s.latency_s += host_s;
+    s.throughput_hz = 1.0 / s.latency_s;
+  }
+  return scores;
+}
+
+std::vector<core::ProfileScore> repartition_resnet_scores(
+    const gpu::GpuArchSpec& arch) {
+  sched::MpsProbe probe(arch);
+  return probe.score_function(
+      workloads::models::resnet50().inference_kernels(kResnetBatch));
+}
+
+}  // namespace
+
+RepartitionResult run_repartition_point(const RepartitionPoint& point) {
+  const RepartitionOptions& o = point.opts;
+  const bool online = point.mode == "online";
+  const util::Duration horizon = o.phase + o.phase;
+  const gpu::GpuArchSpec arch = gpu::arch::a100_80gb();
+
+  sim::Simulator sim;
+  std::unique_ptr<obs::Telemetry> tel;
+  if (o.observability) tel = std::make_unique<obs::Telemetry>(sim);
+  std::vector<std::unique_ptr<trace::Recorder>> recorders;
+  federation::ComputeService service(sim);
+
+  for (int i = 0; i < o.endpoints; ++i) {
+    federation::Endpoint::Options eo;
+    eo.name = util::strf("ep-", i < 10 ? "0" : "", i);
+    eo.cpu_cores = 8;
+    eo.rtt = util::milliseconds(10 + 10 * (i % 4));  // WAN tiers: 10..40 ms
+    eo.gpus = {arch};
+    recorders.push_back(std::make_unique<trace::Recorder>());
+    auto ep = std::make_unique<federation::Endpoint>(sim, eo,
+                                                     recorders.back().get());
+    ep->enable_weight_cache();
+    gpu::Device& dev = ep->devices().device(0);
+    dev.enable_mig();
+    for (const auto& [label, profile] : repartition_layout(point.mode, i)) {
+      faas::HtexConfig tenant;
+      tenant.label = label;
+      tenant.available_accelerators = {
+          dev.instance(dev.create_instance(profile)).uuid};
+      ep->add_gpu_executor(tenant);
+    }
+    service.register_endpoint(std::move(ep));
+  }
+
+  federation::ClusterService cluster(
+      sim, service, {.policy = federation::ClusterPolicy::kLeastLoaded});
+  scenario::TraceDriver driver(sim, cluster, repartition_trace(o));
+  driver.bind_all(
+      [](const scenario::TraceFunction& f) {
+        if (f.name == kLlamaFn) {
+          return workloads::make_llama_completion_app(
+              f.name, workloads::llama2_7b(), workloads::serving_config(),
+              {32, 8});
+        }
+        return repartition_resnet_app(f.name);
+      },
+      [](const scenario::TraceFunction& f) {
+        return std::string(f.name == kLlamaFn ? "llama" : "resnet");
+      });
+  const std::string llama_id = driver.function_id(kLlamaFn);
+  const std::string resnet_id = driver.function_id(kResnetFn);
+
+  // Tilted static modes: half the fleet hosts only one function — tell the
+  // router, which otherwise assumes every endpoint serves the catalog.
+  for (int i = 0; i < o.endpoints; ++i) {
+    bool has_llama = false;
+    bool has_resnet = false;
+    for (const auto& [label, profile] : repartition_layout(point.mode, i)) {
+      has_llama = has_llama || label == "llama";
+      has_resnet = has_resnet || label == "resnet";
+    }
+    federation::Endpoint& ep =
+        service.endpoint(util::strf("ep-", i < 10 ? "0" : "", i));
+    if (!has_llama) ep.set_serving(llama_id, false);
+    if (!has_resnet) ep.set_serving(resnet_id, false);
+  }
+
+  // The optimizer rides on the balanced layout (every endpoint has both
+  // executors, the Repartitioner contract); the disabled instance on
+  // static-balanced doubles as the zero-interaction-when-off check.
+  std::unique_ptr<federation::Repartitioner> repart;
+  if (point.mode == "static-balanced" || online) {
+    std::vector<federation::RepartitionTenant> tenants(2);
+    tenants[0].function_id = llama_id;
+    tenants[0].executor_label = "llama";
+    tenants[0].memory = workloads::llama_memory_footprint(
+        workloads::llama2_7b(), workloads::serving_config());
+    tenants[0].scores = repartition_llama_scores(arch);
+    tenants[0].initial_profile = "3g.40gb";
+    tenants[1].function_id = resnet_id;
+    tenants[1].executor_label = "resnet";
+    tenants[1].memory = 3 * util::GB;  // weights + runtime + activations
+    tenants[1].scores = repartition_resnet_scores(arch);
+    tenants[1].initial_profile = "3g.40gb";
+    federation::RepartitionerOptions ro;
+    ro.interval = o.interval;
+    ro.enabled = online;
+    // Drain + MIG reset + worker restarts + weight re-upload on the moved
+    // tenants; amortized over well under a phase, so a mix flip repays the
+    // resets but measurement jitter cannot trigger churn.
+    ro.planner.reset_cost_s = 5.0;
+    ro.planner.horizon_s = 90.0;
+    ro.planner.min_gain_hz = 0.1;
+    repart = std::make_unique<federation::Repartitioner>(
+        sim, cluster, std::move(tenants), ro);
+    for (const auto& name : service.endpoint_names()) {
+      repart->add_endpoint(service.endpoint(name));
+    }
+    sim.spawn(repart->run(util::TimePoint{} + horizon), "repartitioner");
+  }
+
+  driver.start();
+  sim.spawn(drain_cluster(sim, cluster, horizon + util::seconds(60)), "drain");
+  sim.run();
+
+  RepartitionResult r;
+  r.point = point;
+  const scenario::ReplayReport rep = driver.report();
+  r.offered = rep.submitted;
+  r.completed = rep.completed;
+  r.shed = rep.shed;
+  r.failed = rep.failed;
+  r.throughput = static_cast<double>(rep.completed) / horizon.seconds();
+  r.p50_s = rep.completion.p50;
+  r.p95_s = rep.completion.p95;
+  r.p99_s = rep.completion.p99;
+  r.digest = rep.digest;
+
+  std::map<std::string, util::Duration> deadlines;
+  for (const auto& f : driver.trace().catalog) deadlines[f.name] = f.cls.deadline;
+  std::size_t met = 0;
+  for (const auto& h : driver.handles()) {
+    if (h.record->state != faas::TaskRecord::State::kDone) continue;
+    if (h.record->completion_time() <= deadlines.at(h.record->app)) ++met;
+  }
+  r.slo_attainment = rep.submitted > 0
+                         ? static_cast<double>(met) /
+                               static_cast<double>(rep.submitted)
+                         : 0.0;
+
+  double util_total = 0;
+  for (const auto& name : service.endpoint_names()) {
+    util_total += service.endpoint(name).devices().device(0).measured_utilization(
+        util::TimePoint{}, util::TimePoint{} + horizon);
+  }
+  r.gpu_util = util_total / std::max(1, o.endpoints);
+  if (repart != nullptr) {
+    r.plans = repart->plans();
+    r.applies = repart->applies();
+    for (const auto& c : repart->cycles()) {
+      r.relayouts += static_cast<std::size_t>(c.endpoints_changed);
+      r.degraded += static_cast<std::size_t>(c.degraded);
+    }
+  }
+  r.mid_reset_dispatches = cluster.stats().mid_reset_dispatches;
+  if (tel != nullptr) tel->finish();
+  return r;
+}
+
+std::string render_repartition(const std::vector<RepartitionResult>& results) {
+  std::ostringstream os;
+  trace::print_banner(
+      os, "Repartition ablation: online MIG replanning vs static layouts");
+  if (!results.empty()) {
+    const RepartitionOptions& o = results.front().point.opts;
+    os << "fleet: " << o.endpoints
+       << "x A100-80GB MIG endpoints (llama + resnet tenants)\n"
+       << "traffic: phase 1 (" << util::fixed(o.phase.seconds(), 0)
+       << " s) llama-heavy " << util::fixed(o.llama_hot_hz, 1) << "/"
+       << util::fixed(o.resnet_cold_hz, 1)
+       << " req/s, phase 2 resnet-heavy " << util::fixed(o.llama_cold_hz, 1)
+       << "/" << util::fixed(o.resnet_hot_hz, 1) << " req/s\n"
+       << "online: MpsProbe scores -> PartitionPlanner every "
+       << util::fixed(o.interval.seconds(), 0)
+       << " s -> live relayout through the Reconfigurer\n\n";
+  }
+  trace::Table table({"mode", "offered", "shed", "tasks/s", "SLO att",
+                      "p95 (s)", "GPU util", "plans", "applies", "relayouts",
+                      "mid-reset", "digest"});
+  for (const auto& r : results) {
+    table.add_row({r.point.mode, std::to_string(r.offered),
+                   util::fixed(100.0 * static_cast<double>(r.shed) /
+                                   static_cast<double>(std::max<std::size_t>(
+                                       r.offered, 1)),
+                               1) +
+                       "%",
+                   util::fixed(r.throughput, 2),
+                   util::fixed(100.0 * r.slo_attainment, 1) + "%",
+                   util::fixed(r.p95_s, 2),
+                   util::fixed(100.0 * r.gpu_util, 1) + "%",
+                   std::to_string(r.plans), std::to_string(r.applies),
+                   std::to_string(r.relayouts),
+                   std::to_string(r.mid_reset_dispatches), r.digest});
+  }
+  table.print(os);
+
+  os << "\nHow to read this: the traffic mix flips halfway through the"
+        " trace, so each static layout fits one phase and loses the other"
+        " — balanced saturates on the llama surge, the tilted layouts"
+        " starve whichever function they displaced. The online mode starts"
+        " balanced and lets the profile->predict->reconfigure loop chase"
+        " the mix: MPS co-run probes score each function per MIG profile,"
+        " the planner packs profiles fleet-wide and applies only plans"
+        " whose predicted gain amortizes the GPU resets, and the"
+        " Repartitioner rolls accepted plans out endpoint by endpoint"
+        " while routing steers around the mid-reset device (the mid-reset"
+        " column must read 0). The digest column is the replay-outcome"
+        " hash the determinism goldens pin across --jobs tiers.\n";
   return os.str();
 }
 

@@ -210,4 +210,77 @@ ScenarioServingResult run_scenario_serving_point(
 std::string render_scenario_serving(
     const std::vector<ScenarioServingResult>& results);
 
+// -- Repartition ablation: online MIG replanning vs static layouts ----------
+//
+// A small MIG fleet serves a two-function mix (LLaMa-2 7B completions +
+// ResNet-50 batch-8) whose composition flips halfway through the trace:
+// phase 1 is llama-heavy, phase 2 resnet-heavy. Three static layouts
+// (balanced, llama-tilted, resnet-tilted) each fit one phase and lose the
+// other; the online mode starts balanced and lets the Repartitioner
+// (MpsProbe scores -> PartitionPlanner -> live relayout) chase the mix.
+
+struct RepartitionOptions {
+  int endpoints = 4;  ///< A100-80GB sites, one GPU each, llama+resnet tenants
+  /// Length of each traffic phase; the trace horizon is two phases.
+  util::Duration phase = util::seconds(240);
+  // Offered load (fleet-wide Poisson): each function has a heavy and a light
+  // phase, sized against the probed per-instance capacities (llama 7B
+  // completion: 0.50 Hz on 3g, 0.69 Hz on 7g; resnet batch-256 scoring:
+  // 3.45 Hz on 3g, 8.4 Hz on 7g) so the heavy side saturates the balanced
+  // layout but fits the matching tilt.
+  double llama_hot_hz = 2.3;
+  double llama_cold_hz = 0.45;
+  double resnet_cold_hz = 5.0;
+  double resnet_hot_hz = 16.0;
+  /// Repartitioner replanning period (online mode only).
+  util::Duration interval = util::seconds(20);
+  std::uint64_t seed = 1;
+  /// Install a Telemetry hub (repartition/plan/apply control-plane spans).
+  /// Off by default — the sweep must stay byte-identical without it.
+  bool observability = false;
+};
+
+/// Canonical order: static-balanced, static-llama, static-resnet, online.
+std::vector<std::string> repartition_modes();
+
+struct RepartitionPoint {
+  std::string mode;
+  RepartitionOptions opts;
+};
+
+std::vector<RepartitionPoint> repartition_points(
+    const RepartitionOptions& opts = {});
+
+struct RepartitionResult {
+  RepartitionPoint point;
+  std::size_t offered = 0;
+  std::size_t completed = 0;
+  std::size_t shed = 0;
+  std::size_t failed = 0;
+  double throughput = 0;      ///< completed per second of trace horizon
+  /// Requests finishing within their class deadline, over *offered* — shed
+  /// and failed requests count as misses, so layouts can't shed their way
+  /// to a good tail.
+  double slo_attainment = 0;
+  double p50_s = 0;           ///< completed-request submit→finish
+  double p95_s = 0;
+  double p99_s = 0;
+  double gpu_util = 0;        ///< fleet mean over the horizon
+  // Online-mode optimizer activity (zero for static modes):
+  std::size_t plans = 0;      ///< optimizer cycles run
+  std::size_t applies = 0;    ///< cycles whose plan was applied
+  std::size_t relayouts = 0;  ///< endpoint relayouts across all applies
+  std::size_t degraded = 0;   ///< relayouts that fell back to MPS/timeshare
+  /// Dispatches that reached an endpoint mid-relayout — must be zero (the
+  /// no-dispatch-mid-reset invariant, also property-tested).
+  std::size_t mid_reset_dispatches = 0;
+  /// Replay-outcome digest (scenario::ReplayReport) — the determinism
+  /// goldens pin it across --jobs tiers and with observability toggled.
+  std::string digest;
+};
+
+RepartitionResult run_repartition_point(const RepartitionPoint& point);
+
+std::string render_repartition(const std::vector<RepartitionResult>& results);
+
 }  // namespace faaspart::runner

@@ -19,6 +19,11 @@ TraceDriver::TraceDriver(sim::Simulator& sim,
 
 void TraceDriver::bind_all(const AppFactory& make_app,
                            const std::string& executor_label) {
+  bind_all(make_app,
+           [&executor_label](const TraceFunction&) { return executor_label; });
+}
+
+void TraceDriver::bind_all(const AppFactory& make_app, const LabelFn& label_of) {
   for (const TraceFunction& f : trace_.catalog) {
     faas::AppDef app = make_app(f);
     app.name = f.name;
@@ -27,7 +32,7 @@ void TraceDriver::bind_all(const AppFactory& make_app,
     federation::FunctionClass cls = f.cls;
     cls.tenant = f.tenant;  // tag request spans / SLIs with the SLO class
     cluster_.configure_function(id, cls);
-    bindings_[f.name] = Binding{id, executor_label, f.tenant};
+    bindings_[f.name] = Binding{id, label_of(f), f.tenant};
   }
 }
 

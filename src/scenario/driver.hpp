@@ -48,16 +48,30 @@ class TraceDriver {
   TraceDriver(sim::Simulator& sim, federation::ClusterService& cluster,
               Trace trace);
 
+  /// Picks the executor label a catalog function's submits target — lets
+  /// one trace span heterogeneous executors (e.g. one GPU executor per
+  /// function under the Repartitioner).
+  using LabelFn = std::function<std::string(const TraceFunction&)>;
+
   /// Registers every catalog function with the compute service, installs
   /// its FunctionClass on the cluster, and remembers the (function id,
   /// executor label) binding replay will submit with.
   void bind_all(const AppFactory& make_app, const std::string& executor_label);
+  void bind_all(const AppFactory& make_app, const LabelFn& label_of);
 
   /// Spawns the arrival coroutine; the caller then runs the simulator and
   /// drains the cluster (typically shutdown after the trace horizon).
   void start();
 
   [[nodiscard]] const Trace& trace() const { return trace_; }
+
+  /// The ComputeService function id bind_all registered for a catalog name —
+  /// what callers need to configure per-function machinery (e.g. the online
+  /// Repartitioner) around a replay. Throws std::out_of_range before
+  /// bind_all or for names missing from the catalog.
+  [[nodiscard]] const std::string& function_id(const std::string& name) const {
+    return bindings_.at(name).function_id;
+  }
   [[nodiscard]] const std::vector<faas::AppHandle>& handles() const {
     return handles_;
   }

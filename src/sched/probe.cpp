@@ -1,0 +1,121 @@
+#include "sched/probe.hpp"
+
+#include <algorithm>
+
+#include "gpu/device.hpp"
+#include "sched/mps.hpp"
+#include "sim/simulator.hpp"
+#include "util/error.hpp"
+
+namespace faaspart::sched {
+
+namespace {
+
+sim::Co<void> run_foreground(sim::Simulator& sim, gpu::Device& dev,
+                             gpu::ContextId ctx,
+                             const std::vector<gpu::KernelDesc>& kernels,
+                             int requests, util::Duration gap,
+                             util::Duration& total, bool& done) {
+  for (int i = 0; i < requests; ++i) {
+    const util::TimePoint start = sim.now();
+    for (const auto& k : kernels) {
+      auto fut = dev.launch(ctx, k);
+      co_await fut;
+    }
+    total += sim.now() - start;
+    if (gap.ns > 0) co_await sim.delay(gap);
+  }
+  done = true;
+}
+
+sim::Co<void> run_background(sim::Simulator& sim, gpu::Device& dev,
+                             gpu::ContextId ctx,
+                             const std::vector<gpu::KernelDesc>& kernels,
+                             util::Duration offset, const bool& done) {
+  if (offset.ns > 0) co_await sim.delay(offset);
+  while (!done) {
+    for (const auto& k : kernels) {
+      if (done) break;
+      auto fut = dev.launch(ctx, k);
+      co_await fut;
+    }
+  }
+}
+
+}  // namespace
+
+MpsProbe::MpsProbe(gpu::GpuArchSpec arch, ProbeOptions opts)
+    : arch_(std::move(arch)), opts_(opts) {
+  FP_CHECK_MSG(opts_.requests > 0, "probe needs at least one request");
+}
+
+core::ProfileScore MpsProbe::score_profile(
+    const gpu::MigProfile& profile, const std::vector<gpu::KernelDesc>& kernels,
+    const std::vector<gpu::KernelDesc>& background) const {
+  sim::Simulator sim;
+  gpu::Device dev(sim, arch_, /*index=*/0, mps_factory());
+
+  const double fg_pct = std::clamp(
+      100.0 * profile.sms(arch_) / arch_.total_sms, 1.0, 100.0);
+  gpu::ContextOptions fg_opts;
+  fg_opts.active_thread_percentage = fg_pct;
+  const gpu::ContextId fg = dev.create_context("probe-fg", fg_opts);
+
+  util::Duration total{};
+  bool done = false;
+  sim.spawn(run_foreground(sim, dev, fg, kernels, opts_.requests,
+                           opts_.host_gap, total, done),
+            "probe-fg");
+  if (fg_pct <= 99.0) {
+    gpu::ContextOptions bg_opts;
+    bg_opts.active_thread_percentage = 100.0 - fg_pct;
+    const gpu::ContextId bg = dev.create_context("probe-bg", bg_opts);
+    const util::Duration offset{
+        opts_.host_gap.ns > 0
+            ? static_cast<std::int64_t>(opts_.seed %
+                                        static_cast<std::uint64_t>(opts_.host_gap.ns))
+            : 0};
+    sim.spawn(run_background(sim, dev, bg, background, offset, done),
+              "probe-bg");
+  }
+  sim.run();
+
+  const double measured_s =
+      total.seconds() / static_cast<double>(opts_.requests);
+
+  // Analytic bandwidth-slice floor: on the MIG instance the request's bytes
+  // drain at the profile's HBM slice share, not the whole device's.
+  double floor_s = 0;
+  const int grant_sms = std::max(1, profile.sms(arch_));
+  for (const auto& k : kernels) {
+    const gpu::KernelTiming t =
+        gpu::kernel_timing(arch_, k, gpu::KernelGrant{grant_sms});
+    const double slice_share = static_cast<double>(profile.mem_slices) /
+                               static_cast<double>(arch_.mem_slices);
+    const double slice_bw = std::max(1.0, t.solo_bw * slice_share);
+    const double mem_s = static_cast<double>(t.bytes) / slice_bw;
+    floor_s += arch_.kernel_launch_overhead.seconds() +
+               std::max(t.compute.seconds(), mem_s);
+  }
+
+  core::ProfileScore score;
+  score.profile = profile.name;
+  score.latency_s = std::max(measured_s, floor_s);
+  score.throughput_hz = score.latency_s > 0 ? 1.0 / score.latency_s : 0.0;
+  return score;
+}
+
+std::vector<core::ProfileScore> MpsProbe::score_function(
+    const std::vector<gpu::KernelDesc>& kernels,
+    const std::vector<gpu::KernelDesc>& background) const {
+  FP_CHECK_MSG(!kernels.empty(), "probe needs kernels");
+  const std::vector<gpu::KernelDesc>& bg =
+      background.empty() ? kernels : background;
+  std::vector<core::ProfileScore> scores;
+  for (const auto& profile : gpu::mig_profiles(arch_)) {
+    scores.push_back(score_profile(profile, kernels, bg));
+  }
+  return scores;
+}
+
+}  // namespace faaspart::sched

@@ -1,0 +1,36 @@
+// Repartitioner-idiom fixture (bad): the concurrency hazards the online
+// optimizer's control loop must avoid. DO NOT reformat — test_lint.cpp
+// asserts exact line numbers. This file is lexed by the linter, never
+// compiled.
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/co.hpp"
+
+namespace fixture {
+
+using faaspart::sim::Co;
+
+struct Repartitioner {
+  // Plan state iterated when applying endpoint by endpoint: unordered
+  // iteration order would make the relayout order (and every digest) flap.
+  std::unordered_map<std::string, int> plan_;
+
+  // The control loop as a capturing lambda: the lambda object dies at the
+  // end of start() while the loop coroutine is still suspended on its
+  // first interval sleep.
+  void start() {
+    auto loop = [this]() -> Co<void> { co_await plan_cycle(); };
+    spawn(loop());
+  }
+
+  // Rvalue-ref parameter: the caller's temporary is gone after the first
+  // suspension; the coroutine frame holds a dangling reference.
+  Co<void> apply(std::vector<int>&& layout) {
+    co_await drain();
+    (void)layout;
+  }
+};
+
+}  // namespace fixture

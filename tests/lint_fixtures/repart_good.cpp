@@ -1,0 +1,39 @@
+// Repartitioner-idiom fixture (good): the shapes the online optimizer
+// actually uses — member coroutines whose frames own their state, ordered
+// plan maps, layouts moved into the frame by value, and one justified
+// capturing spawn. Must lint clean. Lexed by the linter, never compiled.
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/co.hpp"
+
+namespace fixture {
+
+using faaspart::sim::Co;
+
+struct Repartitioner {
+  // Ordered map: the apply order (and every replay digest) is deterministic.
+  std::map<std::string, int> plan_;
+
+  // The control loop is a member coroutine spawned directly: its frame is
+  // the only state, no lambda object to outlive.
+  Co<void> run(int cycles) {
+    for (int i = 0; i < cycles; ++i) co_await plan_cycle();
+  }
+
+  // Layouts are taken by value and move into the coroutine frame.
+  Co<void> apply(std::vector<int> layout) {
+    co_await drain();
+    (void)layout;
+  }
+
+  void start() {
+    // faaspart-lint: allow(C2) -- fixture: the Repartitioner owns the loop
+    // and joins it in its destructor before `this` can die
+    auto loop = [this]() -> Co<void> { co_await run(3); };
+    spawn(loop());
+  }
+};
+
+}  // namespace fixture

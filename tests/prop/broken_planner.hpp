@@ -1,0 +1,72 @@
+// Deliberately broken fleet packer — the mutation check for the planner
+// differential (prop_planner.cpp, mirroring broken_wfq.hpp for the WFQ
+// suite).
+//
+// The mutant is the naive thing plan_fleet explicitly is not: a demand-blind
+// first-fit that walks functions in name order, grabs each one's LARGEST
+// memory-feasible profile, and drops it on the first device with room — no
+// presence floor for whoever comes later, no gain-per-slice ranking, no
+// right-sizing. One greedy 7g grab can evict three functions' worth of
+// satisfied demand, so the optimality-ratio property must be able to tell
+// this packer from the real one; if it can't, it would miss the same
+// regression in src/core.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "prop/planner_world.hpp"
+
+namespace faaspart::prop {
+
+inline core::FleetPlan first_fit_plan(const PlannerWorld& w) {
+  const std::size_t n_gpus = static_cast<std::size_t>(w.gpu_count);
+  std::vector<std::vector<std::pair<std::string, std::string>>> assignments(
+      n_gpus);
+  std::vector<int> compute_used(n_gpus, 0);
+  std::vector<int> mem_used(n_gpus, 0);
+
+  std::vector<const core::FunctionDemand*> fns;
+  for (const auto& d : w.demands) fns.push_back(&d);
+  std::sort(fns.begin(), fns.end(),
+            [](const core::FunctionDemand* a, const core::FunctionDemand* b) {
+              return a->name < b->name;
+            });
+
+  for (const auto* d : fns) {
+    // Largest feasible profile, ignoring demand entirely.
+    gpu::MigProfile biggest;
+    bool found = false;
+    for (const auto& s : d->scores) {
+      if (s.throughput_hz <= 0) continue;
+      const gpu::MigProfile p = gpu::mig_profile(w.arch, s.profile);
+      if (p.memory(w.arch) < d->memory) continue;
+      if (!found || p.compute_slices > biggest.compute_slices) {
+        biggest = p;
+        found = true;
+      }
+    }
+    if (!found) continue;
+    for (std::size_t g = 0; g < n_gpus; ++g) {
+      if (compute_used[g] + biggest.compute_slices > w.arch.mig_slices ||
+          mem_used[g] + biggest.mem_slices > w.arch.mem_slices) {
+        continue;
+      }
+      compute_used[g] += biggest.compute_slices;
+      mem_used[g] += biggest.mem_slices;
+      assignments[g].emplace_back(d->name, biggest.name);
+      break;
+    }
+  }
+
+  core::FleetPlan plan;
+  for (std::size_t g = 0; g < n_gpus; ++g) {
+    plan.gpus.push_back(core::layout_from_profiles(w.arch, assignments[g]));
+  }
+  return plan;
+}
+
+}  // namespace faaspart::prop

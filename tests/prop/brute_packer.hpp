@@ -1,0 +1,94 @@
+// Brute-force optimal MIG packer over small fleets — the reference side of
+// the PartitionPlanner differential (prop_planner.cpp).
+//
+// Search space: per GPU, each function holds at most one instance of one of
+// its memory-feasible profiles (the same space plan_fleet's rung matrix
+// spans). Identical GPUs make layouts exchangeable, so the fleet search
+// enumerates multisets of feasible per-device configurations — exact for the
+// <= 3 GPU / <= 5 function worlds the generator produces, and growing only
+// combinatorially with the per-device configuration count L (C(L+2, 3) for
+// three GPUs), which planner_world keeps enumerable by scoring four profiles.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "prop/planner_world.hpp"
+
+namespace faaspart::prop {
+
+/// Maximum satisfied demand — sum over functions of min(rate, capacity) —
+/// over every feasible fleet assignment. Exhaustive within the one-instance-
+/// per-(function, GPU) model; returns 0 for empty demand sets.
+inline double brute_force_best(const PlannerWorld& w) {
+  const std::size_t n = w.demands.size();
+  if (n == 0 || w.gpu_count <= 0) return 0.0;
+
+  struct Option {
+    int compute = 0;
+    int mem = 0;
+    double throughput = 0;  // 0 for "no instance"
+  };
+  std::vector<std::vector<Option>> options(n, {Option{}});
+  for (std::size_t f = 0; f < n; ++f) {
+    for (const auto& s : w.demands[f].scores) {
+      if (s.throughput_hz <= 0) continue;
+      const gpu::MigProfile p = gpu::mig_profile(w.arch, s.profile);
+      if (p.memory(w.arch) < w.demands[f].memory) continue;
+      options[f].push_back(
+          Option{p.compute_slices, p.mem_slices, s.throughput_hz});
+    }
+  }
+
+  // Every feasible per-device configuration, as a per-function capacity
+  // vector (flattened: configs[c * n + f]).
+  std::vector<double> configs;
+  std::vector<std::size_t> pick(n, 0);
+  for (;;) {
+    int compute = 0;
+    int mem = 0;
+    for (std::size_t f = 0; f < n; ++f) {
+      compute += options[f][pick[f]].compute;
+      mem += options[f][pick[f]].mem;
+    }
+    if (compute <= w.arch.mig_slices && mem <= w.arch.mem_slices) {
+      for (std::size_t f = 0; f < n; ++f) {
+        configs.push_back(options[f][pick[f]].throughput);
+      }
+    }
+    std::size_t f = 0;
+    while (f < n && ++pick[f] == options[f].size()) pick[f++] = 0;
+    if (f == n) break;
+  }
+  const std::size_t count = configs.size() / n;
+
+  // Multisets of `gpu_count` configurations (nondecreasing indices).
+  double best = 0.0;
+  std::vector<double> capacity(n, 0.0);
+  std::vector<std::size_t> chosen;
+  const auto evaluate = [&]() {
+    double total = 0.0;
+    for (std::size_t f = 0; f < n; ++f) {
+      total += std::min(w.demands[f].rate_hz, capacity[f]);
+    }
+    best = std::max(best, total);
+  };
+  const std::function<void(std::size_t, int)> recurse =
+      [&](std::size_t from, int remaining) {
+        if (remaining == 0) {
+          evaluate();
+          return;
+        }
+        for (std::size_t c = from; c < count; ++c) {
+          for (std::size_t f = 0; f < n; ++f) capacity[f] += configs[c * n + f];
+          recurse(c, remaining - 1);
+          for (std::size_t f = 0; f < n; ++f) capacity[f] -= configs[c * n + f];
+        }
+      };
+  recurse(0, w.gpu_count);
+  return best;
+}
+
+}  // namespace faaspart::prop

@@ -1,0 +1,78 @@
+// Deterministic scenario::Trace -> PartitionPlanner input mapping, so the
+// planner invariants (prop_planner.cpp) ride the same generator / shrinker /
+// corpus machinery as every other property: any shrunk counterexample is an
+// .fstrace file, and the committed corpus replays through the planner suite
+// for free.
+//
+// The mapping is a pure function of the trace:
+//   gpu_count   1..3 from the trace's shape (catalog + event counts),
+//   rate_hz     0.5 Hz per arrival of the function (dropping events shrinks
+//               demand, which is exactly what the shrinker does),
+//   memory      scaled from the class's service estimate (50 ms -> 5 GB ...
+//               400 ms -> 40 GB), spanning the MIG memory tiers so the
+//               planner's feasibility filter actually bites,
+//   scores      base * slices^expo with (base, expo) hashed from the
+//               function name — strictly increasing in compute slices, so
+//               the MISO ladder keeps every feasible profile and the
+//               brute-force packer searches the same candidate set.
+#pragma once
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "core/partition_planner.hpp"
+#include "gpu/arch.hpp"
+#include "scenario/trace.hpp"
+#include "util/units.hpp"
+
+namespace faaspart::prop {
+
+/// The candidate profiles the world scores (a subset of the A100 catalog,
+/// enough to exercise every packing tradeoff while keeping the brute-force
+/// differential's search space enumerable).
+inline const std::vector<std::string>& planner_world_profiles() {
+  static const std::vector<std::string> kProfiles = {"1g.10gb", "2g.20gb",
+                                                     "3g.40gb", "7g.80gb"};
+  return kProfiles;
+}
+
+struct PlannerWorld {
+  gpu::GpuArchSpec arch;
+  int gpu_count = 1;
+  std::vector<core::FunctionDemand> demands;
+};
+
+inline PlannerWorld planner_world(const scenario::Trace& t) {
+  PlannerWorld w;
+  w.arch = gpu::arch::a100_80gb();
+  w.gpu_count = 1 + static_cast<int>((t.catalog.size() + t.events.size()) % 3);
+  for (const auto& f : t.catalog) {
+    core::FunctionDemand d;
+    d.name = f.name;
+    std::size_t arrivals = 0;
+    for (const auto& ev : t.events) {
+      if (ev.function == f.name) ++arrivals;
+    }
+    d.rate_hz = 0.5 * static_cast<double>(arrivals);
+    // 10 ms of service estimate -> 1 GB of footprint; the generator's 50 to
+    // 400 ms estimates land on 5 to 40 GB, straddling the 10 GB slice size.
+    d.memory = f.cls.service_estimate.ns / 10'000'000 * util::GB;
+    const std::uint64_t h = scenario::fnv1a(f.name);
+    const double base = 0.5 + 0.5 * static_cast<double>(h % 4);
+    const double expo = 0.6 + 0.2 * static_cast<double>((h >> 8) % 3);
+    for (const auto& name : planner_world_profiles()) {
+      const gpu::MigProfile p = gpu::mig_profile(w.arch, name);
+      core::ProfileScore s;
+      s.profile = name;
+      s.throughput_hz =
+          base * std::pow(static_cast<double>(p.compute_slices), expo);
+      s.latency_s = 1.0 / s.throughput_hz;
+      d.scores.push_back(std::move(s));
+    }
+    w.demands.push_back(std::move(d));
+  }
+  return w;
+}
+
+}  // namespace faaspart::prop

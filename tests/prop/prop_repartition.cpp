@@ -1,0 +1,187 @@
+// Online repartitioning invariants: random traces replayed through a real
+// Simulator + ClusterService with one single-worker GPU executor per catalog
+// function per endpoint (the Repartitioner contract) while the optimizer
+// replans every virtual second. Planner inputs (memory tiers, profile
+// scores) come from the same planner_world mapping the pure-planner suite
+// uses, so the .fstrace corpus exercises both layers.
+//
+//   * no request is ever dispatched to an endpoint mid-reset, and every
+//     request still settles exactly once while layouts change under load;
+//   * a constructed-but-disabled Repartitioner leaves the serving outcome
+//     byte-identical to having no optimizer at all.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "federation/cluster.hpp"
+#include "federation/repartition.hpp"
+#include "prop/planner_world.hpp"
+#include "prop/registry.hpp"
+#include "scenario/driver.hpp"
+#include "util/strings.hpp"
+
+namespace faaspart::prop {
+namespace {
+
+using namespace util::literals;
+
+enum class Optimizer { kNone, kDisabled, kOnline };
+
+struct RepartOutcome {
+  scenario::ReplayReport report;
+  federation::ClusterStats stats;
+  std::size_t applies = 0;
+};
+
+sim::Co<void> drain(sim::Simulator& sim, federation::ClusterService& cluster,
+                    util::Duration at_least) {
+  co_await sim.delay(at_least);
+  co_await cluster.shutdown();
+}
+
+// Two GPU endpoints, one A100 each in MIG mode, every catalog function on
+// its own "1g.10gb" instance (<= 4 functions, so the floor always fits).
+// Tenant memory/scores come from planner_world, which spreads functions
+// across memory tiers and profile ladders — so the optimizer has real moves
+// to make within the 10 s trace horizon.
+RepartOutcome replay_repart(const scenario::Trace& trace, Optimizer mode) {
+  const gpu::GpuArchSpec arch = gpu::arch::a100_80gb();
+  const PlannerWorld world = planner_world(trace);
+
+  sim::Simulator sim;
+  federation::ComputeService service(sim);
+  for (const std::string name : {"ep-a", "ep-b"}) {
+    federation::Endpoint::Options eo;
+    eo.name = name;
+    eo.cpu_cores = 4;
+    eo.rtt = 1_ms;
+    eo.gpus = {arch};
+    auto ep = std::make_unique<federation::Endpoint>(sim, eo);
+    ep->enable_weight_cache();
+    gpu::Device& dev = ep->devices().device(0);
+    dev.enable_mig();
+    for (const scenario::TraceFunction& f : trace.catalog) {
+      faas::HtexConfig tenant;
+      tenant.label = "g-" + f.name;
+      tenant.available_accelerators = {
+          dev.instance(dev.create_instance("1g.10gb")).uuid};
+      ep->add_gpu_executor(tenant);
+    }
+    service.register_endpoint(std::move(ep));
+  }
+  federation::ClusterService cluster(
+      sim, service, {.policy = federation::ClusterPolicy::kLeastLoaded});
+
+  scenario::TraceDriver driver(sim, cluster, trace);
+  driver.bind_all(
+      [](const scenario::TraceFunction& f) {
+        faas::AppDef app;
+        const util::Duration d =
+            f.cls.service_estimate.ns > 0 ? f.cls.service_estimate : 1_ms;
+        // faaspart-lint: allow(C2) -- the lambda lives in AppDef::body for
+        // the whole replay; d is captured by value.
+        app.body = [d](faas::TaskContext& ctx) -> sim::Co<faas::AppValue> {
+          co_await ctx.compute(d);
+          co_return faas::AppValue{1.0};
+        };
+        return app;
+      },
+      [](const scenario::TraceFunction& f) { return "g-" + f.name; });
+
+  std::unique_ptr<federation::Repartitioner> repart;
+  if (mode != Optimizer::kNone) {
+    std::map<std::string, const core::FunctionDemand*> demand_of;
+    for (const core::FunctionDemand& d : world.demands) demand_of[d.name] = &d;
+    std::vector<federation::RepartitionTenant> tenants;
+    for (const scenario::TraceFunction& f : trace.catalog) {
+      federation::RepartitionTenant t;
+      t.function_id = driver.function_id(f.name);
+      t.executor_label = "g-" + f.name;
+      t.memory = demand_of.at(f.name)->memory;
+      t.scores = demand_of.at(f.name)->scores;
+      t.initial_profile = "1g.10gb";
+      tenants.push_back(std::move(t));
+    }
+    federation::RepartitionerOptions ro;
+    ro.interval = util::seconds(1);
+    ro.enabled = mode == Optimizer::kOnline;
+    ro.planner.reset_cost_s = 0.5;
+    ro.planner.horizon_s = 60.0;
+    ro.planner.min_gain_hz = 0.0;
+    repart = std::make_unique<federation::Repartitioner>(
+        sim, cluster, std::move(tenants), ro);
+    repart->add_endpoint(service.endpoint("ep-a"));
+    repart->add_endpoint(service.endpoint("ep-b"));
+    sim.spawn(repart->run(util::TimePoint{} + trace.horizon), "repartitioner");
+  }
+
+  driver.start();
+  sim.spawn(drain(sim, cluster, trace.horizon + util::seconds(30)),
+            "prop-drain");
+  sim.run();
+
+  RepartOutcome out;
+  out.report = driver.report();
+  out.stats = cluster.stats();
+  out.applies = repart ? repart->applies() : 0;
+  return out;
+}
+
+// While the optimizer relays out devices under live load, routing exclusion
+// must hold (zero mid-reset dispatches) and the settlement ledger must stay
+// exact — no request lost to an executor teardown, none settled twice.
+std::string no_mid_reset_dispatch(const scenario::Trace& trace) {
+  const RepartOutcome out = replay_repart(trace, Optimizer::kOnline);
+  if (out.stats.mid_reset_dispatches != 0) {
+    return util::strf(out.stats.mid_reset_dispatches,
+                      " dispatches reached an endpoint mid-reset");
+  }
+  const auto& rep = out.report;
+  if (rep.submitted != trace.events.size()) {
+    return util::strf("submitted ", rep.submitted, " of ",
+                      trace.events.size(), " events");
+  }
+  if (rep.completed + rep.shed + rep.failed != rep.submitted) {
+    return util::strf("settlement leak under repartitioning: ", rep.completed,
+                      " completed + ", rep.shed, " shed + ", rep.failed,
+                      " failed != ", rep.submitted, " submitted");
+  }
+  if (rep.failed != 0) {
+    return util::strf(rep.failed, " requests failed during repartitioning");
+  }
+  return {};
+}
+const bool reg_mid_reset = register_trace_property(
+    "repartition-no-mid-reset-dispatch", no_mid_reset_dispatch);
+
+// enabled=false is a true no-op: same outcome digest as never constructing
+// the optimizer — the serving path must not even observe the instance.
+std::string disabled_is_noop(const scenario::Trace& trace) {
+  const RepartOutcome off = replay_repart(trace, Optimizer::kDisabled);
+  if (off.applies != 0) {
+    return util::strf("disabled optimizer applied ", off.applies, " plans");
+  }
+  const RepartOutcome none = replay_repart(trace, Optimizer::kNone);
+  if (off.report.digest != none.report.digest) {
+    return "disabled optimizer perturbed the replay: " + off.report.digest +
+           " vs " + none.report.digest;
+  }
+  return {};
+}
+const bool reg_disabled =
+    register_trace_property("repartition-disabled-noop", disabled_is_noop);
+
+TEST(PropRepartition, NoDispatchMidResetAndSettlementHolds) {
+  expect_property_holds("repartition-no-mid-reset-dispatch", 15);
+}
+
+TEST(PropRepartition, DisabledOptimizerIsByteIdenticalToNone) {
+  expect_property_holds("repartition-disabled-noop", 10);
+}
+
+}  // namespace
+}  // namespace faaspart::prop

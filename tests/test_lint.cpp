@@ -133,6 +133,20 @@ TEST(LintFixtures, PropGeneratorGoodIsCleanIncludingBudgetKnobSuppression) {
   EXPECT_EQ(lint_fixture("prop_gen_good.cpp"), Spans{});
 }
 
+// The online-Repartitioner idiom: a coroutine control loop applying plan
+// state endpoint by endpoint. The bad file stacks both hazards the real
+// federation/repartition.cpp avoids — a capturing-lambda loop body plus an
+// rvalue-ref layout parameter (C2) and unordered plan state whose iteration
+// order would leak into relayout order and digests (D2).
+TEST(LintFixtures, RepartitionerIdiomBadFiresWithExactSpans) {
+  EXPECT_EQ(lint_fixture("repart_bad.cpp"),
+            (Spans{{"D2", 6}, {"D2", 18}, {"C2", 24}, {"C2", 30}}));
+}
+
+TEST(LintFixtures, RepartitionerIdiomGoodIsCleanIncludingJustifiedSpawn) {
+  EXPECT_EQ(lint_fixture("repart_good.cpp"), Spans{});
+}
+
 // ----------------------------------------------------- suppressions/X1 ----
 
 TEST(LintSuppression, InlineAllowOnTheSameLine) {

@@ -172,6 +172,53 @@ TEST(RunnerDeterminism, ScenarioServingSweepByteIdenticalAcrossJobs) {
   }
 }
 
+// The repartition ablation layers the online optimizer (MpsProbe scores →
+// PartitionPlanner → live relayouts) on top of the serving stack; its
+// rendered table and per-point replay digests must survive any sharding,
+// and the digests must not move when the Telemetry hub is installed — the
+// observability-off byte-identity pin mirroring bench/obs_overhead.
+TEST(RunnerDeterminism, RepartitionSweepByteIdenticalAcrossJobs) {
+  RepartitionOptions opts;
+  opts.phase = util::seconds(60);
+  opts.interval = util::seconds(15);
+  const auto points = repartition_points(opts);
+
+  std::string golden;
+  std::vector<std::string> golden_digests;
+  for (const int jobs : kJobTiers) {
+    const auto results = run_points<RepartitionResult>(
+        static_cast<int>(points.size()),
+        [&](int i) {
+          return run_repartition_point(points[static_cast<std::size_t>(i)]);
+        },
+        jobs);
+    const std::string text = render_repartition(results);
+    std::vector<std::string> digests;
+    for (const auto& r : results) {
+      digests.push_back(r.digest);
+      EXPECT_EQ(r.mid_reset_dispatches, 0u) << r.point.mode;
+    }
+    if (jobs == 1) {
+      golden = text;
+      golden_digests = digests;
+      EXPECT_NE(golden.find("online"), std::string::npos);
+      // The optimizer actually moved layouts in the reduced config...
+      EXPECT_GT(results.back().applies, 0u);
+      // ...and the modes don't collapse into one outcome.
+      EXPECT_NE(digests[0], digests[3]);  // static-balanced vs online
+    } else {
+      EXPECT_EQ(text, golden) << "jobs=" << jobs;
+      EXPECT_EQ(digests, golden_digests) << "jobs=" << jobs;
+    }
+  }
+
+  // Observability must be a pure observer: the online point's replay digest
+  // is byte-identical with the Telemetry hub installed.
+  RepartitionPoint online = points.back();
+  online.opts.observability = true;
+  EXPECT_EQ(run_repartition_point(online).digest, golden_digests.back());
+}
+
 // The chaos soak runs with an *active* FaultPlan (worker crashes + device
 // errors at several Poisson rates): fault delivery, DFK retries and
 // backoff must all land identically whether the replications share one

@@ -1,0 +1,102 @@
+// LLM serving bench — continuous batching + prefill/decode disaggregation
+// vs run-to-completion MPS co-location (DESIGN.md §14).
+//
+// Four modes replay the same Poisson arrival sequence at 0.5/1/2× the
+// run-to-completion baseline's saturation rate. Writes the machine-readable
+// summary to BENCH_llm_serving.json (path overridable as the first non-flag
+// argument).
+//
+// The gate tier1.sh enforces: at 1× and 2× saturation both continuous
+// batching and disaggregation must beat run-to-completion on goodput AND
+// p99 TTFT, and the balancer mode must apply at least one pool relayout.
+//
+// Points shard across the parallel runner (`--jobs N`); stdout and the
+// JSON are byte-identical for any N (pinned in test_runner_determinism).
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "runner/experiments.hpp"
+#include "runner/runner.hpp"
+
+using namespace faaspart;
+
+int main(int argc, char** argv) {
+  const runner::JobsFlag jobs = runner::parse_jobs_flag(argc, argv);
+  if (!jobs.ok) {
+    std::cerr << jobs.error << "\n"
+              << "usage: " << argv[0] << " [JSON_PATH] [--jobs N]\n";
+    return 2;
+  }
+  const std::string json_path = argc > 1 ? argv[1] : "BENCH_llm_serving.json";
+
+  const auto points = runner::llm_serving_points();
+  const auto results = runner::run_points<runner::LlmServingResult>(
+      static_cast<int>(points.size()),
+      [&points](int i) {
+        return runner::run_llm_serving_point(
+            points[static_cast<std::size_t>(i)]);
+      },
+      jobs.jobs);
+  std::cout << runner::render_llm_serving(results);
+
+  // Index results by (mode, rate) for the gate.
+  std::map<std::string, const runner::LlmServingResult*> by_key;
+  for (const auto& r : results) {
+    by_key[r.point.mode + "@" + std::to_string(r.point.rate_mult)] = &r;
+  }
+  bool gate_pass = true;
+  std::size_t balance_relayouts = 0;
+  std::cout << "\n";
+  for (const double mult : {1.0, 2.0}) {
+    const auto* rtc = by_key["rtc@" + std::to_string(mult)];
+    for (const std::string mode : {"continuous", "disagg"}) {
+      const auto* m = by_key[mode + "@" + std::to_string(mult)];
+      if (rtc == nullptr || m == nullptr) {
+        gate_pass = false;
+        continue;
+      }
+      const bool better_goodput = m->goodput_hz > rtc->goodput_hz;
+      const bool better_ttft = m->ttft_p99_s < rtc->ttft_p99_s;
+      gate_pass = gate_pass && better_goodput && better_ttft;
+      std::cout << "gate: " << mode << " @" << mult << "x goodput "
+                << m->goodput_hz << " vs rtc " << rtc->goodput_hz
+                << (better_goodput ? " OK" : " FAIL") << ", ttft p99 "
+                << m->ttft_p99_s << " vs " << rtc->ttft_p99_s
+                << (better_ttft ? " OK" : " FAIL") << "\n";
+    }
+  }
+  for (const auto& r : results) {
+    if (r.point.mode == "disagg-balance") balance_relayouts += r.relayouts;
+  }
+  const bool adapted = balance_relayouts >= 1;
+  gate_pass = gate_pass && adapted;
+  std::cout << "gate: disagg-balance relayouts " << balance_relayouts
+            << (adapted ? " OK" : " FAIL") << " -> "
+            << (gate_pass ? "PASS" : "FAIL") << "\n";
+
+  std::ofstream js(json_path);
+  js << "{\n  \"bench\": \"llm_serving\",\n  \"points\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    js << "    {\"mode\": \"" << r.point.mode << "\", \"rate_mult\": "
+       << r.point.rate_mult << ", \"offered\": " << r.offered
+       << ", \"completed\": " << r.completed << ", \"shed\": " << r.shed
+       << ", \"failed\": " << r.failed << ", \"goodput_hz\": " << r.goodput_hz
+       << ", \"throughput_hz\": " << r.throughput_hz << ", \"tokens_per_s\": "
+       << r.tokens_per_s << ", \"ttft_p50_s\": " << r.ttft_p50_s
+       << ", \"ttft_p99_s\": " << r.ttft_p99_s << ", \"tpot_p99_ms\": "
+       << r.tpot_p99_ms << ", \"latency_p99_s\": " << r.latency_p99_s
+       << ", \"preemptions\": " << r.preemptions << ", \"handoffs\": "
+       << r.handoffs << ", \"relayouts\": " << r.relayouts
+       << ", \"peak_kv_pages\": " << r.peak_kv_pages << ", \"digest\": \""
+       << r.digest << "\"}" << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  js << "  ],\n"
+     << "  \"balance_relayouts\": " << balance_relayouts << ",\n"
+     << "  \"gate_pass\": " << (gate_pass ? "true" : "false") << "\n"
+     << "}\n";
+  std::cout << "wrote " << json_path << "\n";
+  return gate_pass ? 0 : 1;
+}

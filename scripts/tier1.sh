@@ -57,10 +57,21 @@ ctest --test-dir build --output-on-failure -j2
 # with zero mid-reset dispatches. BENCH_repartition.json is archived by CI.
 ./build/bench/ablation_repartition build/BENCH_repartition.json
 
-# Second tree with sanitizers; only the chaos/federation-labelled binaries
-# need to build, which keeps the single-core builder's turnaround tolerable.
+# --- LLM serving gate ------------------------------------------------------
+# bench/llm_serving replays the same Poisson arrival set through run-to-
+# completion, continuous batching, and prefill/decode disaggregation at
+# 0.5/1/2x saturation; the run fails unless the batched engines beat RTC on
+# goodput and p99 TTFT at 1x and 2x and the pool balancer actually
+# re-partitions. BENCH_llm_serving.json is archived by CI.
+./build/bench/llm_serving build/BENCH_llm_serving.json
+
+# Second tree with sanitizers; only the chaos/federation/property-labelled
+# binaries need to build, which keeps the single-core builder's turnaround
+# tolerable. test_prop rides along so the shrinking property suites (and
+# their pager/engine mutation checks) run under ASan at the default
+# iteration budget.
 cmake -B build-asan -S . -DFAASPART_SANITIZE=address
 cmake --build build-asan -j2 --target test_faults test_properties \
   test_runner_determinism test_federation test_federation_cluster \
-  test_federation_repartition
-ctest --test-dir build-asan -L "chaos|federation" --output-on-failure
+  test_federation_repartition test_serve_chaos test_prop
+ctest --test-dir build-asan -L "chaos|federation|property" --output-on-failure

@@ -1,0 +1,117 @@
+#include "gpu/kv_pager.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace faaspart::gpu {
+
+KvPager::KvPager(KvPagerConfig cfg) : cfg_(cfg) {
+  FP_CHECK_MSG(cfg_.page_tokens > 0, "kv pager: page_tokens must be positive");
+  FP_CHECK_MSG(cfg_.bytes_per_token > 0,
+               "kv pager: bytes_per_token must be positive");
+  FP_CHECK_MSG(cfg_.capacity >= 0, "kv pager: negative capacity");
+  FP_CHECK_MSG(cfg_.admit_watermark > 0.0 && cfg_.admit_watermark <= 1.0,
+               "kv pager: admit_watermark must be in (0, 1]");
+  total_pages_ = static_cast<int>(cfg_.capacity / page_bytes());
+  watermark_pages_ =
+      static_cast<int>(cfg_.admit_watermark * static_cast<double>(total_pages_));
+  for (int p = 0; p < total_pages_; ++p) free_.insert(p);
+}
+
+util::Bytes KvPager::page_bytes() const {
+  return static_cast<util::Bytes>(cfg_.page_tokens) * cfg_.bytes_per_token;
+}
+
+util::Bytes KvPager::bytes_in_use() const {
+  return static_cast<util::Bytes>(used_pages()) * page_bytes();
+}
+
+int KvPager::pages_for_tokens(int tokens) const {
+  FP_CHECK_MSG(tokens >= 0, "kv pager: negative token count");
+  return (tokens + cfg_.page_tokens - 1) / cfg_.page_tokens;
+}
+
+bool KvPager::can_admit(int tokens) const {
+  return used_pages() + pages_for_tokens(tokens) <= watermark_pages_;
+}
+
+bool KvPager::can_ever_admit(int tokens) const {
+  return pages_for_tokens(tokens) <= watermark_pages_;
+}
+
+bool KvPager::live(KvSeqId id) const { return seqs_.count(id) != 0; }
+
+const KvPager::Seq& KvPager::seq(KvSeqId id) const {
+  const auto it = seqs_.find(id);
+  if (it == seqs_.end()) {
+    throw util::NotFoundError(util::strf("kv pager: unknown sequence ", id));
+  }
+  return it->second;
+}
+
+KvPager::Seq& KvPager::seq_mut(KvSeqId id) {
+  return const_cast<Seq&>(seq(id));
+}
+
+int KvPager::tokens_of(KvSeqId id) const { return seq(id).tokens; }
+
+const std::vector<int>& KvPager::page_table(KvSeqId id) const {
+  return seq(id).pages;
+}
+
+std::vector<KvSeqId> KvPager::sequence_ids() const {
+  std::vector<KvSeqId> ids;
+  ids.reserve(seqs_.size());
+  for (const auto& [id, s] : seqs_) ids.push_back(id);
+  return ids;
+}
+
+KvSeqId KvPager::create(std::string tag) {
+  const KvSeqId id = next_id_++;
+  seqs_.emplace(id, Seq{std::move(tag), 0, {}});
+  ++stats_.sequences_created;
+  return id;
+}
+
+bool KvPager::grow(KvSeqId id, int tokens) {
+  FP_CHECK_MSG(tokens >= 0, "kv pager: negative token count");
+  Seq& s = seq_mut(id);
+  const int target = pages_for_tokens(tokens);
+  const int have = static_cast<int>(s.pages.size());
+  if (target > have) {
+    const int need = target - have;
+    if (need > free_pages()) {
+      ++stats_.grow_failures;
+      return false;
+    }
+    for (int i = 0; i < need; ++i) {
+      const auto it = free_.begin();  // lowest index: deterministic layout
+      s.pages.push_back(*it);
+      free_.erase(it);
+    }
+    stats_.pages_allocated += static_cast<std::uint64_t>(need);
+    stats_.peak_pages_in_use = std::max(stats_.peak_pages_in_use, used_pages());
+  }
+  s.tokens = std::max(s.tokens, tokens);
+  return true;
+}
+
+void KvPager::release(KvSeqId id) {
+  Seq& s = seq_mut(id);
+  for (const int p : s.pages) free_.insert(p);
+  seqs_.erase(id);
+}
+
+int KvPager::preempt(KvSeqId id) {
+  Seq& s = seq_mut(id);
+  const int freed = static_cast<int>(s.pages.size());
+  for (const int p : s.pages) free_.insert(p);
+  s.pages.clear();
+  s.tokens = 0;
+  ++stats_.preemptions;
+  return freed;
+}
+
+}  // namespace faaspart::gpu

@@ -283,4 +283,69 @@ RepartitionResult run_repartition_point(const RepartitionPoint& point);
 
 std::string render_repartition(const std::vector<RepartitionResult>& results);
 
+// -- LLM serving: continuous batching + disaggregation vs run-to-completion -
+
+struct LlmServingOptions {
+  /// Poisson arrival window; every mode sees the same pre-generated arrival
+  /// sequence (times, prompt/output lengths), then drains to completion.
+  util::Duration window = util::seconds(600);
+  /// Offered rate at rate_mult = 1, chosen at the run-to-completion
+  /// baseline's capacity (~4 MPS workers × ~0.1 completions/s for the fp16
+  /// 7B paragraph mix) so 1× saturates it and 2× drowns it while the
+  /// batched engines still have headroom.
+  double saturation_hz = 0.40;
+  double rate_mult = 1.0;
+  /// TTFT SLO for goodput: completions whose first token arrived within it.
+  util::Duration ttft_slo = util::seconds(10);
+  /// Run-to-completion baseline width (MPS co-located workers, each with
+  /// its own weights — four fp16 7B instances fill the A100-80GB).
+  int rtc_workers = 4;
+  std::uint64_t seed = 1;
+  /// Install a Telemetry hub. Off by default; the sweep digest must be
+  /// byte-identical either way (pinned in test_runner_determinism).
+  bool observability = false;
+};
+
+/// Canonical order: rtc, continuous, disagg, disagg-balance.
+std::vector<std::string> llm_serving_modes();
+
+struct LlmServingPoint {
+  std::string mode;
+  double rate_mult = 1.0;
+  LlmServingOptions opts;
+};
+
+/// Canonical order: for each mode, rate_mult 0.5, 1, 2.
+std::vector<LlmServingPoint> llm_serving_points(
+    const LlmServingOptions& opts = {});
+
+struct LlmServingResult {
+  LlmServingPoint point;
+  std::size_t offered = 0;
+  std::size_t completed = 0;
+  std::size_t shed = 0;
+  std::size_t failed = 0;
+  /// Completions whose TTFT met the SLO, per second of arrival window —
+  /// the headline serving metric (late first tokens don't count).
+  double goodput_hz = 0;
+  double throughput_hz = 0;   ///< all completions over the window
+  double tokens_per_s = 0;    ///< output tokens over the window
+  double ttft_p50_s = 0;
+  double ttft_p99_s = 0;
+  double tpot_p50_ms = 0;     ///< (latency - ttft)/(tokens - 1), completed
+  double tpot_p99_ms = 0;
+  double latency_p99_s = 0;
+  std::size_t preemptions = 0;  ///< KV evictions summed over outcomes
+  std::size_t handoffs = 0;     ///< prefill→decode transfers (disagg)
+  std::size_t relayouts = 0;    ///< pool re-partitions (disagg-balance)
+  int peak_kv_pages = 0;        ///< max pages in use across engines
+  /// fnv1a over per-request outcome lines, submit order — byte-identical
+  /// across --jobs tiers and with observability toggled.
+  std::string digest;
+};
+
+LlmServingResult run_llm_serving_point(const LlmServingPoint& point);
+
+std::string render_llm_serving(const std::vector<LlmServingResult>& results);
+
 }  // namespace faaspart::runner

@@ -91,6 +91,42 @@ gpu::KernelDesc llama_decode_kernel_at(const LlamaSpec& spec,
   return k;
 }
 
+gpu::KernelDesc llama_batched_decode_kernel(const LlamaSpec& spec,
+                                            const LlamaRunConfig& cfg,
+                                            const std::vector<int>& positions) {
+  FP_CHECK_MSG(!positions.empty(), "batched decode needs >= 1 sequence");
+  const int batch = static_cast<int>(positions.size());
+  gpu::KernelDesc k;
+  k.name = util::strf(spec.name, "/decode-b", batch);
+  // One fused step: GEMV degenerates to a (thin) GEMM once batch > 1.
+  k.kind = batch > 1 ? gpu::KernelKind::kGemm : gpu::KernelKind::kGemv;
+  k.flops = 2.0 * spec.params() / cfg.shards * batch;
+  k.bytes = llama_weight_bytes(spec, cfg);  // weights stream once per step
+  int max_position = 0;
+  if (cfg.model_kv_cache) {
+    const util::Bytes kv_tok = llama_kv_bytes_per_token(spec, cfg);
+    for (const int position : positions) {
+      FP_CHECK_MSG(position >= 0, "negative context position");
+      max_position = std::max(max_position, position);
+      if (position == 0) continue;
+      // Each sequence's attention streams its own K/V history.
+      k.bytes += kv_tok * position;
+      k.flops += 2.0 * static_cast<double>(kv_tok) / cfg.bytes_per_param *
+                 position;
+    }
+  }
+  // Extra sequences and longer contexts both widen the step (more
+  // independent rows / attention spans to spread over SMs), and a wider
+  // kernel keeps more memory streams in flight, so the achieved bandwidth
+  // fraction scales with width up to the prefill GEMM's fraction.
+  k.width_sms = std::min(
+      128, cfg.decode_width_sms + 2 * (batch - 1) + max_position / 64);
+  k.bw_fraction =
+      std::min(cfg.prefill_bw_fraction,
+               cfg.decode_bw_fraction * k.width_sms / cfg.decode_width_sms);
+  return k;
+}
+
 gpu::KernelDesc llama_prefill_kernel(const LlamaSpec& spec, const LlamaRunConfig& cfg,
                                      int prompt_tokens) {
   FP_CHECK_MSG(prompt_tokens >= 0, "negative prompt length");

@@ -19,6 +19,7 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "faas/app.hpp"
 #include "gpu/arch.hpp"
@@ -102,6 +103,21 @@ gpu::KernelDesc llama_decode_kernel_at(const LlamaSpec& spec,
 /// Bytes of K/V the model stores per context token on one shard.
 util::Bytes llama_kv_bytes_per_token(const LlamaSpec& spec,
                                      const LlamaRunConfig& cfg);
+
+/// One iteration of continuous batching: a single fused decode step that
+/// produces one token for every sequence in `positions` (each entry is that
+/// sequence's context length). The batching win the serving engine banks on
+/// is explicit in the footprint: the weights stream ONCE for the whole
+/// batch (vs once per token in run-to-completion decode), while per-
+/// sequence K/V history still streams individually when model_kv_cache is
+/// on. Width and achieved bandwidth grow with the batch — batching gives
+/// the bandwidth-bound GEMV more parallel work, so it climbs out of the
+/// ~10 %-of-peak batch-1 regime toward the prefill fraction.
+/// An empty batch is a config error; a batch of one at position 0 matches
+/// llama_decode_kernel exactly.
+gpu::KernelDesc llama_batched_decode_kernel(const LlamaSpec& spec,
+                                            const LlamaRunConfig& cfg,
+                                            const std::vector<int>& positions);
 /// Prompt ingestion on one shard.
 gpu::KernelDesc llama_prefill_kernel(const LlamaSpec& spec, const LlamaRunConfig& cfg,
                                      int prompt_tokens);

@@ -1,0 +1,35 @@
+// Engine-loop fixture (bad): the coroutine-lifetime hazards the serving
+// engine's continuous-batching loop must avoid. DO NOT reformat —
+// test_lint.cpp asserts exact line numbers. This file is lexed by the
+// linter, never compiled.
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/co.hpp"
+
+namespace fixture {
+
+using faaspart::sim::Co;
+
+struct ServingEngine {
+  // Live-sequence table iterated to build each batch: unordered iteration
+  // order would reorder decode steps (and every replay digest).
+  std::unordered_map<int, int> sequences_;
+
+  // The engine loop as a capturing lambda: the lambda object dies at the
+  // end of start() while the loop is still parked on its iteration gap.
+  void start() {
+    auto loop = [this]() -> Co<void> { co_await step(); };
+    spawn(loop());
+  }
+
+  // Rvalue-ref request into the frame: the caller's temporary is gone
+  // after the first admission wait; the frame holds a dangling reference.
+  Co<void> submit(std::string&& prompt) {
+    co_await admit();
+    (void)prompt;
+  }
+};
+
+}  // namespace fixture

@@ -1,0 +1,192 @@
+// KvPager invariants (DESIGN.md §14) over the shared trace generator, via
+// the deterministic event -> allocator-op interpreter in pager_ops.hpp:
+//   * isolation — no page is ever mapped by two live sequences,
+//   * conservation — free + mapped == pool size after every op (preempt and
+//     release cannot leak or double-count pages),
+//   * release/realloc round-trip — freeing a sequence and re-growing the
+//     same context takes the same number of pages, drawn lowest-index-first
+//     from the then-free set, and restores the free count, and
+//   * deterministic layout — replaying the same op sequence on a fresh
+//     pager reproduces the exact page tables (what makes engine replay
+//     byte-identical across --jobs shards).
+// The mutation check proves the suite's sensitivity: a pager whose
+// preempt() forgets to clear the page table (broken_pager.hpp) is caught
+// and shrunk to a tiny .fstrace counterexample.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "gpu/kv_pager.hpp"
+#include "prop/broken_pager.hpp"
+#include "prop/pager_ops.hpp"
+#include "prop/registry.hpp"
+#include "prop/trace_gen.hpp"
+#include "util/strings.hpp"
+
+namespace faaspart::prop {
+namespace {
+
+// Isolation + conservation after every op on the real pager.
+std::string pager_invariants_hold(const scenario::Trace& trace) {
+  gpu::KvPager pager(pager_ops_config());
+  return run_pager_ops(trace, pager);
+}
+const bool reg_invariants =
+    register_trace_property("kv-pager-invariants", pager_invariants_hold);
+
+// Release + realloc round-trip: retire a survivor, re-grow the same context,
+// and the pager must hand back the same page count — the lowest-index pages
+// free at that moment — leaving the free count where it started.
+std::string pager_realloc_roundtrip(const scenario::Trace& trace) {
+  gpu::KvPager pager(pager_ops_config());
+  std::vector<gpu::KvSeqId> live;
+  const std::string bad = run_pager_ops(trace, pager, &live);
+  if (!bad.empty()) return bad;
+
+  for (const gpu::KvSeqId id : live) {
+    const int tokens = pager.tokens_of(id);
+    if (tokens == 0) continue;  // preempted down to nothing; nothing to pin
+    const std::vector<int> old_pages = pager.page_table(id);
+    const int free_before = pager.free_pages();
+
+    pager.release(id);
+    if (pager.free_pages() !=
+        free_before + static_cast<int>(old_pages.size())) {
+      return util::strf("release returned ", pager.free_pages() - free_before,
+                        " pages, sequence held ", old_pages.size());
+    }
+    // The free set is now fully determined by the live page tables.
+    std::set<int> free_set;
+    for (int p = 0; p < pager.total_pages(); ++p) free_set.insert(p);
+    for (const auto other : pager.sequence_ids()) {
+      for (const int p : pager.page_table(other)) free_set.erase(p);
+    }
+
+    const gpu::KvSeqId fresh = pager.create("realloc");
+    if (!pager.grow(fresh, tokens)) {
+      return util::strf("realloc of ", tokens,
+                        " tokens refused right after freeing them");
+    }
+    const std::vector<int>& got = pager.page_table(fresh);
+    if (got.size() != old_pages.size()) {
+      return util::strf("realloc took ", got.size(), " pages, release freed ",
+                        old_pages.size());
+    }
+    std::vector<int> want(free_set.begin(), free_set.end());
+    want.resize(got.size());  // lowest-index-first hand-out
+    std::vector<int> got_sorted = got;
+    std::sort(got_sorted.begin(), got_sorted.end());
+    if (got_sorted != want) {
+      return "realloc did not take the lowest-index free pages";
+    }
+    if (pager.free_pages() != free_before) {
+      return util::strf("free count drifted across the round trip: ",
+                        free_before, " -> ", pager.free_pages());
+    }
+    break;  // one round trip per trace keeps the property cheap
+  }
+  return {};
+}
+const bool reg_roundtrip = register_trace_property("kv-pager-realloc-roundtrip",
+                                                   pager_realloc_roundtrip);
+
+// Same ops on a fresh pager => same ids, same page tables, same counters.
+std::string pager_layout_deterministic(const scenario::Trace& trace) {
+  gpu::KvPager a(pager_ops_config());
+  gpu::KvPager b(pager_ops_config());
+  const std::string bad_a = run_pager_ops(trace, a);
+  const std::string bad_b = run_pager_ops(trace, b);
+  if (bad_a != bad_b) return "replays disagree on invariant outcome";
+  if (!bad_a.empty()) return bad_a;
+  const auto ids_a = a.sequence_ids();
+  if (ids_a != b.sequence_ids()) return "replays produced different ids";
+  for (const auto id : ids_a) {
+    if (a.page_table(id) != b.page_table(id)) {
+      return util::strf("seq ", id, " mapped differently across replays");
+    }
+    if (a.tokens_of(id) != b.tokens_of(id)) {
+      return util::strf("seq ", id, " sized differently across replays");
+    }
+  }
+  if (a.stats().pages_allocated != b.stats().pages_allocated ||
+      a.stats().grow_failures != b.stats().grow_failures ||
+      a.stats().preemptions != b.stats().preemptions) {
+    return "stats counters drifted across replays";
+  }
+  return {};
+}
+const bool reg_deterministic = register_trace_property(
+    "kv-pager-deterministic-layout", pager_layout_deterministic);
+
+TEST(PropKvPager, IsolationAndConservationAfterEveryOp) {
+  expect_property_holds("kv-pager-invariants");
+}
+
+TEST(PropKvPager, ReleaseThenReallocRoundTrips) {
+  expect_property_holds("kv-pager-realloc-roundtrip");
+}
+
+TEST(PropKvPager, LayoutIsDeterministicForAFixedTrace) {
+  expect_property_holds("kv-pager-deterministic-layout");
+}
+
+// ------------------------------------------------------------- mutation ---
+
+std::string mutant_invariants_hold(const scenario::Trace& trace) {
+  BrokenPreemptPager pager(pager_ops_config());
+  return run_pager_ops(trace, pager);
+}
+
+TEST(PropKvPagerMutant, StalePreemptPagerIsCaughtWithASmallCounterexample) {
+  Config cfg;
+  cfg.iterations = env_iterations(60);
+  cfg.seed = scenario::fnv1a("kv-pager-preempt-alias-mutant");
+  const Outcome<scenario::Trace> out = check<scenario::Trace>(
+      random_trace, shrink_trace, mutant_invariants_hold, cfg);
+
+  ASSERT_TRUE(out.falsified)
+      << "the allocator invariants no longer distinguish a pager whose "
+      << "preempt leaks its page table from gpu::KvPager — they would miss "
+      << "this regression in src/gpu";
+  EXPECT_LE(out.counterexample.events.size(), 20u)
+      << "shrinking stalled; counterexample still has "
+      << out.counterexample.events.size() << " events";
+  EXPECT_FALSE(mutant_invariants_hold(out.counterexample).empty());
+  // The real pager must survive the same op sequence — otherwise the
+  // counterexample indicts the interpreter, not the mutant.
+  EXPECT_TRUE(pager_invariants_hold(out.counterexample).empty());
+
+  // Corpus material: canonical, reloadable, still failing after a round trip.
+  const std::string text = scenario::save(out.counterexample);
+  const scenario::Trace reloaded = scenario::load(text);
+  EXPECT_EQ(scenario::save(reloaded), text);
+  EXPECT_FALSE(mutant_invariants_hold(reloaded).empty());
+
+  const std::filesystem::path dir = FP_PROP_ARTIFACT_DIR;
+  std::filesystem::create_directories(dir);
+  std::ofstream(dir / "kv-pager-preempt-alias.fstrace") << text;
+}
+
+TEST(PropKvPagerMutant, CorpusCounterexampleStillKillsTheMutant) {
+  const std::filesystem::path path =
+      std::filesystem::path(FP_PROP_CORPUS_DIR) /
+      "kv-pager-preempt-alias.fstrace";
+  ASSERT_TRUE(std::filesystem::exists(path)) << path;
+  std::ifstream in(path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const scenario::Trace trace = scenario::load(buf.str());
+  EXPECT_LE(trace.events.size(), 20u);
+  EXPECT_FALSE(mutant_invariants_hold(trace).empty())
+      << "the committed counterexample no longer exposes the stale-preempt "
+      << "pager — regenerate it from PropKvPagerMutant.StalePreemptPager*";
+}
+
+}  // namespace
+}  // namespace faaspart::prop

@@ -1,0 +1,283 @@
+// ServingEngine invariants (DESIGN.md §14) over the shared trace generator.
+// Each trace event becomes one LLM request (prompt/output sizes hashed from
+// the event), submitted at the event's time against an engine squeezed into
+// a deliberately tiny KV pool (24 pages) and token budget, so admission
+// deferral, LIFO preemption and watermark sheds all fire within two dozen
+// requests. Properties checked from the engine's event log and outcomes:
+//   * the per-iteration token total (admitted prefill context + one decode
+//     token per batched sequence) never exceeds the budget,
+//   * no decode step ever runs for a request whose KV was evicted — every
+//     kDecode happens strictly between an admission and the next
+//     preemption/terminal event,
+//   * every submitted request settles exactly once (all futures resolve,
+//     counts reconcile with the engine's stats), and
+//   * replay is byte-identical across --jobs 1/2/8 (the digest test).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "gpu/device.hpp"
+#include "prop/registry.hpp"
+#include "prop/trace_gen.hpp"
+#include "runner/runner.hpp"
+#include "sched/engines.hpp"
+#include "serve/engine.hpp"
+#include "sim/simulator.hpp"
+#include "util/strings.hpp"
+#include "workloads/llama.hpp"
+
+namespace faaspart::prop {
+namespace {
+
+struct ReqSpec {
+  util::TimePoint at{};
+  serve::LlmRequest req;
+};
+
+// One request per trace event; sizes hashed from the event content (salted
+// differently from pager_ops.hpp so the two suites explore independently).
+std::vector<ReqSpec> requests_from(const scenario::Trace& trace) {
+  std::vector<ReqSpec> reqs;
+  reqs.reserve(trace.events.size());
+  for (std::size_t i = 0; i < trace.events.size(); ++i) {
+    const scenario::TraceEvent& ev = trace.events[i];
+    const std::uint64_t h = scenario::fnv1a(
+        util::strf("req|", ev.function, "|", i, "|", ev.at.ns));
+    ReqSpec r;
+    r.at = ev.at;
+    r.req.prompt_tokens = 1 + static_cast<int>(h % 96);
+    r.req.max_new_tokens = 1 + static_cast<int>((h >> 8) % 24);
+    reqs.push_back(r);
+  }
+  return reqs;
+}
+
+// Tiny pool: 24 pages of 16 tokens. Four ~100-token contexts overflow it,
+// so the generator's co-arrival bursts exercise deferral and preemption.
+serve::EngineConfig prop_engine_config() {
+  serve::EngineConfig cfg;
+  cfg.max_batch = 4;
+  cfg.token_budget = 256;
+  cfg.kv_reserve =
+      24 * 16 * workloads::llama_kv_bytes_per_token(cfg.spec, cfg.run);
+  cfg.keep_log = true;
+  return cfg;
+}
+
+sim::Co<void> drive(sim::Simulator& sim, serve::ServingEngine& engine,
+                    std::vector<ReqSpec> reqs,
+                    std::vector<sim::Future<serve::RequestOutcome>>& futures) {
+  util::TimePoint last{};
+  for (const ReqSpec& r : reqs) {
+    co_await sim.delay(r.at - last);
+    last = r.at;
+    futures.push_back(engine.submit(r.req));
+  }
+}
+
+struct EngineRun {
+  std::vector<serve::RequestOutcome> outcomes;  ///< submission order
+  serve::EngineStats stats;
+  std::vector<serve::EngineEvent> log;
+  int token_budget = 0;
+  std::string error;  ///< unsettled futures etc.
+};
+
+EngineRun run_engine(const scenario::Trace& trace) {
+  EngineRun out;
+  sim::Simulator sim;
+  gpu::Device dev(sim, gpu::arch::a100_80gb(), 0, sched::mps_factory());
+  const serve::EngineConfig cfg = prop_engine_config();
+  out.token_budget = cfg.token_budget;
+  serve::ServingEngine engine(sim, dev, cfg);
+  engine.start();
+
+  std::vector<sim::Future<serve::RequestOutcome>> futures;
+  sim.spawn(drive(sim, engine, requests_from(trace), futures), "driver");
+  sim.run();
+
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    if (!futures[i].ready()) {
+      out.error = util::strf("request ", i, " never settled");
+      return out;
+    }
+    out.outcomes.push_back(futures[i].value());
+  }
+  out.stats = engine.stats();
+  out.log = engine.log();
+  return out;
+}
+
+// Per-iteration token accounting from the raw per-request events must stay
+// within the budget AND agree with the engine's own kIteration totals.
+std::string token_budget_respected(const scenario::Trace& trace) {
+  const EngineRun run = run_engine(trace);
+  if (!run.error.empty()) return run.error;
+  std::map<std::uint64_t, int> tokens;    // iteration -> prefill + decode
+  std::map<std::uint64_t, int> reported;  // iteration -> kIteration.tokens
+  for (const serve::EngineEvent& ev : run.log) {
+    switch (ev.kind) {
+      case serve::EngineEventKind::kPrefill:
+        tokens[ev.iteration] += ev.tokens;
+        break;
+      case serve::EngineEventKind::kDecode:
+        tokens[ev.iteration] += 1;  // one appended token per sequence
+        break;
+      case serve::EngineEventKind::kIteration:
+        reported[ev.iteration] = ev.tokens;
+        break;
+      default:
+        break;
+    }
+  }
+  for (const auto& [iter, total] : tokens) {
+    if (total > run.token_budget) {
+      return util::strf("iteration ", iter, " processed ", total,
+                        " tokens, budget is ", run.token_budget);
+    }
+    const auto it = reported.find(iter);
+    if (it == reported.end()) {
+      return util::strf("iteration ", iter, " has work but no kIteration");
+    }
+    if (it->second != total) {
+      return util::strf("iteration ", iter, " reports ", it->second,
+                        " tokens, events sum to ", total);
+    }
+  }
+  return {};
+}
+const bool reg_budget =
+    register_trace_property("serving-engine-token-budget",
+                            token_budget_respected);
+
+// Log-order state machine per request: decode (and prefill) only while
+// admitted; nothing after the terminal event; admission never doubles up.
+std::string no_decode_after_eviction(const scenario::Trace& trace) {
+  const EngineRun run = run_engine(trace);
+  if (!run.error.empty()) return run.error;
+  std::map<serve::RequestId, char> state;  // 'r' running, 'q' queued, 't' done
+  for (const serve::EngineEvent& ev : run.log) {
+    if (ev.request == 0) continue;  // kIteration
+    const char s = state.count(ev.request) ? state[ev.request] : 'q';
+    if (s == 't') {
+      return util::strf("request ", ev.request, " has events after settling");
+    }
+    switch (ev.kind) {
+      case serve::EngineEventKind::kAdmit:
+        if (s == 'r') {
+          return util::strf("request ", ev.request, " admitted twice");
+        }
+        state[ev.request] = 'r';
+        break;
+      case serve::EngineEventKind::kPrefill:
+      case serve::EngineEventKind::kDecode:
+        if (s != 'r') {
+          return util::strf("request ", ev.request, " decoded with evicted KV");
+        }
+        break;
+      case serve::EngineEventKind::kPreempt:
+        if (s != 'r') {
+          return util::strf("request ", ev.request, " preempted while queued");
+        }
+        state[ev.request] = 'q';
+        break;
+      case serve::EngineEventKind::kComplete:
+      case serve::EngineEventKind::kShed:
+      case serve::EngineEventKind::kFail:
+        state[ev.request] = 't';
+        break;
+      case serve::EngineEventKind::kIteration:
+        break;
+    }
+  }
+  return {};
+}
+const bool reg_evicted = register_trace_property(
+    "serving-engine-no-evicted-decode", no_decode_after_eviction);
+
+// Every submission resolves exactly once, and the outcome counts reconcile
+// with the engine's stats (a request settled twice would FP_CHECK inside
+// settle_*; a request never settled shows up as an unready future).
+std::string settles_exactly_once(const scenario::Trace& trace) {
+  const EngineRun run = run_engine(trace);
+  if (!run.error.empty()) return run.error;
+  std::uint64_t completed = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t failed = 0;
+  for (const serve::RequestOutcome& o : run.outcomes) {
+    switch (o.kind) {
+      case serve::OutcomeKind::kCompleted:
+        ++completed;
+        break;
+      case serve::OutcomeKind::kShed:
+        if (o.reason.empty()) return "shed outcome without a reason";
+        ++shed;
+        break;
+      case serve::OutcomeKind::kFailed:
+        if (o.reason.empty()) return "failed outcome without a reason";
+        ++failed;
+        break;
+    }
+  }
+  if (completed != run.stats.completions || shed != run.stats.sheds ||
+      failed != run.stats.failures) {
+    return util::strf("outcomes (", completed, "/", shed, "/", failed,
+                      ") disagree with stats (", run.stats.completions, "/",
+                      run.stats.sheds, "/", run.stats.failures, ")");
+  }
+  if (completed + shed + failed != run.outcomes.size()) {
+    return "outcome kinds do not partition the submissions";
+  }
+  return {};
+}
+const bool reg_settle = register_trace_property(
+    "serving-engine-settles-once", settles_exactly_once);
+
+TEST(PropServingEngine, IterationTokenTotalStaysWithinBudget) {
+  expect_property_holds("serving-engine-token-budget");
+}
+
+TEST(PropServingEngine, NoDecodeStepForEvictedKv) {
+  expect_property_holds("serving-engine-no-evicted-decode");
+}
+
+TEST(PropServingEngine, EveryAdmittedRequestSettlesExactlyOnce) {
+  expect_property_holds("serving-engine-settles-once");
+}
+
+// Replay determinism across the parallel runner: the same four generated
+// scenarios produce byte-identical outcome digests for --jobs 1, 2 and 8.
+TEST(PropServingEngine, ReplayIsByteIdenticalAcrossJobs) {
+  auto point = [](int i) {
+    util::Rng rng(0x5e4ce0ull ^ (0x9e3779b97f4a7c15ull *
+                                 static_cast<std::uint64_t>(i + 1)));
+    const scenario::Trace trace = random_trace(rng);
+    const EngineRun run = run_engine(trace);
+    std::string lines;
+    for (std::size_t j = 0; j < run.outcomes.size(); ++j) {
+      const serve::RequestOutcome& o = run.outcomes[j];
+      lines += util::strf(j, "|", outcome_kind_name(o.kind), "|", o.reason,
+                          "|", o.ttft.ns, "|", o.latency.ns, "|", o.tokens_out,
+                          "|", o.preemptions, "\n");
+    }
+    lines += util::strf("stats|", run.stats.iterations, "|",
+                        run.stats.decode_tokens, "|", run.stats.preemptions,
+                        "|", run.stats.sheds, "\n");
+    char buf[17];
+    std::snprintf(buf, sizeof buf, "%016llx",
+                  static_cast<unsigned long long>(scenario::fnv1a(lines)));
+    return std::string(buf);
+  };
+  const int n = 4;
+  const auto j1 = runner::run_points<std::string>(n, point, 1);
+  const auto j2 = runner::run_points<std::string>(n, point, 2);
+  const auto j8 = runner::run_points<std::string>(n, point, 8);
+  EXPECT_EQ(j1, j2);
+  EXPECT_EQ(j1, j8);
+}
+
+}  // namespace
+}  // namespace faaspart::prop

@@ -147,6 +147,21 @@ TEST(LintFixtures, RepartitionerIdiomGoodIsCleanIncludingJustifiedSpawn) {
   EXPECT_EQ(lint_fixture("repart_good.cpp"), Spans{});
 }
 
+// The serving-engine-loop idiom: a continuous-batching coroutine whose
+// frame must outlive start() and whose batch order feeds every replay
+// digest. The bad file stacks the hazards src/serve/engine.cpp avoids —
+// a capturing-lambda loop body, an rvalue-ref request parameter (C2) and
+// an unordered live-sequence table whose iteration order would reorder
+// decode steps (D2).
+TEST(LintFixtures, EngineLoopIdiomBadFiresWithExactSpans) {
+  EXPECT_EQ(lint_fixture("engine_bad.cpp"),
+            (Spans{{"D2", 6}, {"D2", 18}, {"C2", 23}, {"C2", 29}}));
+}
+
+TEST(LintFixtures, EngineLoopIdiomGoodIsCleanIncludingJustifiedSpawn) {
+  EXPECT_EQ(lint_fixture("engine_good.cpp"), Spans{});
+}
+
 // ----------------------------------------------------- suppressions/X1 ----
 
 TEST(LintSuppression, InlineAllowOnTheSameLine) {

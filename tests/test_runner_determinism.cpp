@@ -219,6 +219,49 @@ TEST(RunnerDeterminism, RepartitionSweepByteIdenticalAcrossJobs) {
   EXPECT_EQ(run_repartition_point(online).digest, golden_digests.back());
 }
 
+// The LLM serving sweep (continuous batching + disaggregation + the pool
+// balancer's mid-run MIG relayouts vs run-to-completion) must shard
+// freely: the rendered table and the per-point replay-outcome digests are
+// byte-identical at --jobs 1/2/8, and installing the Telemetry hub must
+// not move a digest — the pin behind bench/llm_serving's JSON artifact.
+TEST(RunnerDeterminism, LlmServingSweepByteIdenticalAcrossJobs) {
+  LlmServingOptions opts;
+  opts.window = util::seconds(60);
+  const auto modes = llm_serving_modes();
+  std::vector<LlmServingPoint> points;
+  for (const auto& mode : modes) points.push_back({mode, 1.0, opts});
+
+  std::string golden;
+  std::vector<std::string> golden_digests;
+  for (const int jobs : kJobTiers) {
+    const auto results = run_points<LlmServingResult>(
+        static_cast<int>(points.size()),
+        [&](int i) {
+          return run_llm_serving_point(points[static_cast<std::size_t>(i)]);
+        },
+        jobs);
+    const std::string text = render_llm_serving(results);
+    std::vector<std::string> digests;
+    for (const auto& r : results) digests.push_back(r.digest);
+    if (jobs == 1) {
+      golden = text;
+      golden_digests = digests;
+      EXPECT_NE(golden.find("disagg"), std::string::npos);
+      // Same offered arrivals in every mode, different serving outcomes.
+      for (const auto& r : results) EXPECT_EQ(r.offered, results[0].offered);
+      EXPECT_NE(digests[0], digests[1]);  // rtc vs continuous
+    } else {
+      EXPECT_EQ(text, golden) << "jobs=" << jobs;
+      EXPECT_EQ(digests, golden_digests) << "jobs=" << jobs;
+    }
+  }
+
+  // Observability stays a pure observer for the serving engine too.
+  LlmServingPoint continuous = points[1];
+  continuous.opts.observability = true;
+  EXPECT_EQ(run_llm_serving_point(continuous).digest, golden_digests[1]);
+}
+
 // The chaos soak runs with an *active* FaultPlan (worker crashes + device
 // errors at several Poisson rates): fault delivery, DFK retries and
 // backoff must all land identically whether the replications share one

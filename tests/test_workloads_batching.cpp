@@ -92,6 +92,22 @@ TEST_F(BatchingFixture, BatchingBeatsBatchOneUnderLoad) {
   EXPECT_LT(p95_batched, p95_single * 0.5);  // batched keeps the queue short
 }
 
+TEST_F(BatchingFixture, FlushTickSplitsArrivalsAcrossBatches) {
+  // Two bursts a few ticks apart never share a batch: the server drains on
+  // its cadence, it does not wait to fill max_batch.
+  auto server = make_server(8, 10_ms);
+  sim.spawn(server.run(util::TimePoint{} + 1_s), "server");
+  sim.spawn([](sim::Simulator& s, BatchingServer& srv) -> sim::Co<void> {
+    for (int i = 0; i < 3; ++i) (void)srv.infer();
+    co_await s.delay(25_ms);
+    for (int i = 0; i < 3; ++i) (void)srv.infer();
+  }(sim, server));
+  sim.run();
+  EXPECT_EQ(server.requests_served(), 6u);
+  EXPECT_EQ(server.batches_run(), 2u);
+  EXPECT_DOUBLE_EQ(server.mean_batch_size(), 3.0);
+}
+
 TEST_F(BatchingFixture, Validation) {
   EXPECT_THROW(make_server(0), util::Error);
   EXPECT_THROW(BatchingServer(sim, dev, ctx, models::resnet50(),

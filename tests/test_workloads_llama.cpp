@@ -175,5 +175,85 @@ TEST(Llama, PrefillScalesWithPromptLength) {
   EXPECT_EQ(short_k.bytes, long_k.bytes);  // weights read once either way
 }
 
+// ---------------------------------------------------------------------------
+// Batched (continuous-batching) decode step
+// ---------------------------------------------------------------------------
+
+TEST(Llama, BatchedDecodeOfOneAtPositionZeroMatchesSingleDecode) {
+  const auto spec = llama2_7b();
+  auto cfg = serving_config();
+  cfg.model_kv_cache = true;
+  const auto single = llama_decode_kernel(spec, cfg);
+  const auto batched = llama_batched_decode_kernel(spec, cfg, {0});
+  EXPECT_EQ(batched.kind, gpu::KernelKind::kGemv);
+  EXPECT_DOUBLE_EQ(batched.flops, single.flops);
+  EXPECT_EQ(batched.bytes, single.bytes);
+  EXPECT_EQ(batched.width_sms, single.width_sms);
+  EXPECT_DOUBLE_EQ(batched.bw_fraction, single.bw_fraction);
+}
+
+TEST(Llama, BatchedDecodeStreamsWeightsOncePerStep) {
+  const auto spec = llama2_7b();
+  auto cfg = serving_config();
+  cfg.model_kv_cache = true;
+  // Eight fresh sequences: flops scale with the batch, weight traffic does
+  // not — this asymmetry IS the continuous-batching win.
+  const std::vector<int> fresh(8, 0);
+  const auto k = llama_batched_decode_kernel(spec, cfg, fresh);
+  EXPECT_EQ(k.kind, gpu::KernelKind::kGemm);  // thin GEMM once batch > 1
+  EXPECT_EQ(k.bytes, llama_weight_bytes(spec, cfg));
+  EXPECT_DOUBLE_EQ(k.flops, 8 * llama_decode_kernel(spec, cfg).flops);
+  EXPECT_GT(k.width_sms, cfg.decode_width_sms);
+  EXPECT_GT(k.bw_fraction, cfg.decode_bw_fraction);
+  EXPECT_LE(k.bw_fraction, cfg.prefill_bw_fraction);
+}
+
+TEST(Llama, BatchedDecodeStreamsEachSequencesKvHistory) {
+  const auto spec = llama2_7b();
+  auto cfg = serving_config();
+  cfg.model_kv_cache = true;
+  const util::Bytes kv_tok = llama_kv_bytes_per_token(spec, cfg);
+  const auto k = llama_batched_decode_kernel(spec, cfg, {128, 0, 512});
+  EXPECT_EQ(k.bytes, llama_weight_bytes(spec, cfg) + kv_tok * (128 + 512));
+}
+
+TEST(Llama, BatchedDecodeGqaShrinksSeventyBKvTraffic) {
+  // 70B grouped-query attention: 8 KV heads over 64 query heads, so the
+  // per-token K/V stream is d_model/8-sized — byte accounting must follow
+  // n_kv_heads, not n_heads.
+  const auto spec = llama2_70b();
+  ASSERT_LT(spec.n_kv_heads, spec.n_heads);
+  auto cfg = serving_config();
+  cfg.model_kv_cache = true;
+  const util::Bytes kv_tok = llama_kv_bytes_per_token(spec, cfg);
+  EXPECT_EQ(kv_tok, static_cast<util::Bytes>(2.0 * spec.d_model *
+                                             spec.n_kv_heads / spec.n_heads *
+                                             2 * spec.n_layers));
+  const auto k = llama_batched_decode_kernel(spec, cfg, {1024});
+  EXPECT_EQ(k.bytes, llama_weight_bytes(spec, cfg) + kv_tok * 1024);
+  // An MHA-shaped cache would be n_heads/n_kv_heads = 8x larger.
+  LlamaSpec mha = spec;
+  mha.n_kv_heads = mha.n_heads;
+  EXPECT_EQ(llama_kv_bytes_per_token(mha, cfg), kv_tok * 8);
+}
+
+TEST(Llama, BatchedDecodeKvOffIgnoresPositions) {
+  const auto spec = llama2_7b();
+  auto cfg = serving_config();
+  cfg.model_kv_cache = false;
+  const auto deep = llama_batched_decode_kernel(spec, cfg, {4096, 512});
+  const auto fresh = llama_batched_decode_kernel(spec, cfg, {0, 0});
+  EXPECT_EQ(deep.bytes, fresh.bytes);  // calibrated paths stay put
+  EXPECT_DOUBLE_EQ(deep.flops, fresh.flops);
+}
+
+TEST(Llama, BatchedDecodeValidation) {
+  const auto spec = llama2_7b();
+  auto cfg = serving_config();
+  cfg.model_kv_cache = true;
+  EXPECT_THROW(llama_batched_decode_kernel(spec, cfg, {}), util::Error);
+  EXPECT_THROW(llama_batched_decode_kernel(spec, cfg, {4, -1}), util::Error);
+}
+
 }  // namespace
 }  // namespace faaspart::workloads

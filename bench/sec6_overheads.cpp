@@ -191,6 +191,8 @@ int main() {
   // CPU time equals the run's wall time minus scheduler preemption.
   const auto cpu_now = [] {
     timespec ts{};
+    // faaspart-lint: allow(D1) -- host-side overhead benchmark: measures
+    // real CPU cost of the observability tiers, never simulated results
     clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts);
     return static_cast<double>(ts.tv_sec) +
            static_cast<double>(ts.tv_nsec) * 1e-9;

@@ -14,6 +14,8 @@
 #include <fstream>
 #include <iostream>
 #include <string>
+// faaspart-lint: allow(C1) -- host-side baseline benchmark: reports
+// hardware_concurrency alongside the replication-runner sweep numbers
 #include <thread>
 #include <vector>
 
@@ -31,12 +33,16 @@ namespace {
 
 double cpu_now() {
   timespec ts{};
+  // faaspart-lint: allow(D1) -- host-side baseline benchmark: wall/CPU time
+  // of the harness is the measurement, not simulation input
   clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts);
   return static_cast<double>(ts.tv_sec) + static_cast<double>(ts.tv_nsec) * 1e-9;
 }
 
 double wall_now() {
   timespec ts{};
+  // faaspart-lint: allow(D1) -- host-side baseline benchmark: wall/CPU time
+  // of the harness is the measurement, not simulation input
   clock_gettime(CLOCK_MONOTONIC, &ts);
   return static_cast<double>(ts.tv_sec) + static_cast<double>(ts.tv_nsec) * 1e-9;
 }
@@ -149,6 +155,8 @@ int main(int argc, char** argv) {
                " pre-overhaul design,\nkept in bench/legacy_queue.hpp)."
                " Acceptance gate: cancel-heavy speedup >= 1.5x.\n";
 
+  // faaspart-lint: allow(C1) -- reporting only: how wide the host is, for
+  // interpreting the sweep wall times
   const unsigned hw = std::thread::hardware_concurrency();
   std::cout << "\nReplication-runner sweep wall time (fig4 point set, "
             << runner::fig4_points().size()

@@ -16,19 +16,23 @@ for arg in "$@"; do
 done
 
 # --- lint stage -----------------------------------------------------------
-# faaspart-lint (tools/lint) enforces the determinism/concurrency rules
-# D1/D2/C1/C2/O1 over src/ under .faaspart-lint; any unsuppressed finding
-# fails the build. The run is driven by the exported compile database plus a
-# directory walk (so headers are covered too) and drops a machine-readable
-# findings file under build/ for CI to archive. The .clang-tidy baseline
-# runs when clang-tidy exists (the dev container ships only GCC; CI
-# installs it).
+# faaspart-lint (tools/lint) lints src/, tools/, bench/ and tests/prop as
+# one project under .faaspart-lint: the per-file rules (D1/D2/C1/C2/O1/O2,
+# E1) plus the project passes — include-graph layering (L1) and cross-
+# domain state isolation (S1). It runs in ratchet mode against the
+# committed lint_baseline.jsonl: known findings are tolerated-but-tracked,
+# any FRESH finding fails the gate. The run drops two machine-readable
+# artifacts under build/ for CI to archive: the fresh-findings JSONL and
+# the module-level include graph in DOT form (the DESIGN.md §15 render).
+# The .clang-tidy baseline runs when clang-tidy exists (the dev container
+# ships only GCC; CI installs it).
 cmake -B build -S .
 cmake --build build -j2 --target faaspart_lint
 ./build/tools/lint/faaspart_lint --root . \
   --compile-commands build/compile_commands.json \
-  --only src --only tests/prop \
-  --json=build/lint_findings.jsonl src tests/prop
+  --only src --only tools --only bench --only tests/prop \
+  --emit-dot=build/include_graph.dot \
+  --json=build/lint_findings.jsonl src tools bench tests/prop
 if command -v clang-tidy >/dev/null 2>&1; then
   clang-tidy -p build --quiet src/sim/*.cpp src/runner/*.cpp
 else

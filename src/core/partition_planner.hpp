@@ -20,16 +20,15 @@
 #include <vector>
 
 #include "gpu/mig.hpp"
+#include "sched/profile_score.hpp"
 
 namespace faaspart::core {
 
 /// Predicted per-instance performance of one function on one MIG profile —
-/// the output of a sched::MpsProbe co-run probe (or an analytic model).
-struct ProfileScore {
-  std::string profile;        ///< MIG profile name, e.g. "3g.40gb" or "3g"
-  double latency_s = 0;       ///< predicted per-request latency on the profile
-  double throughput_hz = 0;   ///< predicted sustainable request rate
-};
+/// defined in sched/profile_score.hpp next to the MpsProbe that produces
+/// it (keeps sched below core in the layering DAG), re-exported here for
+/// the planner's callers.
+using sched::ProfileScore;
 
 /// One function's planning input.
 struct FunctionDemand {

@@ -49,7 +49,7 @@ MpsProbe::MpsProbe(gpu::GpuArchSpec arch, ProbeOptions opts)
   FP_CHECK_MSG(opts_.requests > 0, "probe needs at least one request");
 }
 
-core::ProfileScore MpsProbe::score_profile(
+ProfileScore MpsProbe::score_profile(
     const gpu::MigProfile& profile, const std::vector<gpu::KernelDesc>& kernels,
     const std::vector<gpu::KernelDesc>& background) const {
   sim::Simulator sim;
@@ -98,20 +98,20 @@ core::ProfileScore MpsProbe::score_profile(
                std::max(t.compute.seconds(), mem_s);
   }
 
-  core::ProfileScore score;
+  ProfileScore score;
   score.profile = profile.name;
   score.latency_s = std::max(measured_s, floor_s);
   score.throughput_hz = score.latency_s > 0 ? 1.0 / score.latency_s : 0.0;
   return score;
 }
 
-std::vector<core::ProfileScore> MpsProbe::score_function(
+std::vector<ProfileScore> MpsProbe::score_function(
     const std::vector<gpu::KernelDesc>& kernels,
     const std::vector<gpu::KernelDesc>& background) const {
   FP_CHECK_MSG(!kernels.empty(), "probe needs kernels");
   const std::vector<gpu::KernelDesc>& bg =
       background.empty() ? kernels : background;
-  std::vector<core::ProfileScore> scores;
+  std::vector<ProfileScore> scores;
   for (const auto& profile : gpu::mig_profiles(arch_)) {
     scores.push_back(score_profile(profile, kernels, bg));
   }

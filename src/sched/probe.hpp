@@ -19,7 +19,7 @@
 
 #include <vector>
 
-#include "core/partition_planner.hpp"
+#include "sched/profile_score.hpp"
 #include "gpu/kernel.hpp"
 #include "gpu/mig.hpp"
 
@@ -43,12 +43,12 @@ class MpsProbe {
   /// the `kernels` sequence. `background` is the co-runner's kernel mix
   /// (defaults to the function's own kernels — self-interference, the
   /// conservative choice). Deterministic: same inputs, same scores.
-  [[nodiscard]] std::vector<core::ProfileScore> score_function(
+  [[nodiscard]] std::vector<ProfileScore> score_function(
       const std::vector<gpu::KernelDesc>& kernels,
       const std::vector<gpu::KernelDesc>& background = {}) const;
 
  private:
-  [[nodiscard]] core::ProfileScore score_profile(
+  [[nodiscard]] ProfileScore score_profile(
       const gpu::MigProfile& profile,
       const std::vector<gpu::KernelDesc>& kernels,
       const std::vector<gpu::KernelDesc>& background) const;

@@ -1,0 +1,21 @@
+// ProfileScore — predicted per-instance performance of one function on one
+// MIG profile, the output of a sched::MpsProbe co-run probe (or an analytic
+// model) and the input of core::PartitionPlanner.
+//
+// It lives in sched/, with the probe that produces it, so that the probe
+// does not have to include the planner: sched sits below core in the
+// layering DAG (.faaspart-lint), and the planner re-exports the type as
+// core::ProfileScore for its own callers.
+#pragma once
+
+#include <string>
+
+namespace faaspart::sched {
+
+struct ProfileScore {
+  std::string profile;       ///< MIG profile name, e.g. "3g.40gb" or "3g"
+  double latency_s = 0;      ///< predicted per-request latency on the profile
+  double throughput_hz = 0;  ///< predicted sustainable request rate
+};
+
+}  // namespace faaspart::sched

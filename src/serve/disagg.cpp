@@ -235,6 +235,10 @@ sim::Co<void> DisaggLlmServer::run_prefill(PrefillSlot& slot,
       co_return;
     }
     ServingEngine* engine = pick_decode(r->context_tokens());
+    // faaspart-lint: allow(E1) -- adopt_prefilled(ServedRequestPtr&) moves
+    // from r exactly when it returns true, so this co_return leaves with
+    // ownership already transferred; the checker cannot see through the
+    // out-parameter
     if (engine != nullptr && engine->adopt_prefilled(r)) co_return;
     ++stats_.adopt_rejects;
     if (attempt >= cfg_.max_adopt_retries) {

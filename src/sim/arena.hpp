@@ -52,9 +52,10 @@ class FrameArena {
 
   /// The calling thread's arena.
   static FrameArena& local() {
-    // faaspart-lint: allow(C1) -- the whole point: one private arena per
+    // faaspart-lint: allow(C1,S1) -- the whole point: one private arena per
     // runner worker means frame allocation never crosses threads, which is
-    // exactly the isolation rule C1 exists to protect
+    // exactly the isolation rules C1/S1 exist to protect; a PDES shard is a
+    // thread, so thread_local is already per-domain
     thread_local FrameArena arena;
     return arena;
   }

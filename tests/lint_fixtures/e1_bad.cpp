@@ -1,0 +1,45 @@
+// E1 bad fixture — the settle-exactly-once truth table, every row wrong.
+// Owner types and settle names are the config defaults (ServedRequestPtr,
+// settle_completed/settle_shed/settle_failed), so an empty Config fires.
+#include "serve/request.hpp"
+
+// Row 1: early return after adoption, no settle on the error path.
+void early_return_leak(ServedRequestPtr r, bool full) {
+  if (full) return;  // leaks r
+  settle_completed(sim, *r);
+}
+
+// Row 2: co_return leak — coroutine exits the fault path unsettled.
+Co<void> co_return_leak(ServedRequestPtr r) {
+  if (faulted()) co_return;  // leaks r
+  settle_completed(sim, *r);
+}
+
+// Row 3: retry ladder whose exhaustion path forgets the shed.
+Co<void> retry_ladder_leak(ServedRequestPtr r) {
+  for (int attempt = 0;; ++attempt) {
+    if (ready()) {
+      settle_completed(sim, *r);
+      co_return;
+    }
+    if (attempt >= kMaxRetries) co_return;  // leaks r: no settle_shed
+    co_await delay();
+  }
+}
+
+// Row 4: preempt-then-requeue that settles the retained copy but returns
+// early on the preempt path without transferring ownership anywhere.
+Co<void> preempt_requeue_leak(ServedRequestPtr r) {
+  co_await run_decode(*r);
+  if (preempted()) {
+    requeue_front(r);  // by reference: ownership did NOT move
+    co_return;         // leaks r
+  }
+  settle_completed(sim, *r);
+}
+
+// Row 5: double settle — the shed path falls through into the completion.
+void double_settle(ServedRequestPtr r, bool shed) {
+  if (shed) settle_shed(sim, *r, kReasonQueueFull);
+  settle_completed(sim, *r);  // second settle when shed
+}

@@ -1,0 +1,23 @@
+// S1 bad fixture — static mutable state in a file the test harness makes
+// include-reachable from two declared endpoint domains. Every declaration
+// here is state those domains would share behind the WAN boundary's back.
+#include <string>
+
+namespace faaspart {
+
+int g_inflight = 0;                   // mutable global
+static double g_last_rate = 0.0;      // internal-linkage mutable global
+
+struct RouteCache {
+  static int hits;                    // static non-const member
+  int local_score = 0;                // instance member: fine, but the
+};                                    // static above is not
+
+int next_id() {
+  static int counter = 0;             // function-local static
+  thread_local int scratch = 0;       // thread_local local
+  scratch += 1;
+  return ++counter + scratch;
+}
+
+}  // namespace faaspart

@@ -1,0 +1,26 @@
+// S1 good fixture — the same shapes as s1_bad.cpp made domain-safe:
+// immutable constants, instance state, and one reviewed suppression for a
+// process-wide diagnostic counter that is reset between domain runs.
+#include <string>
+
+namespace faaspart {
+
+constexpr int kMaxInflight = 64;            // constexpr: immutable
+const double kDefaultRate = 1.0;            // const global: immutable
+inline constexpr char kRouteTag[] = "r0";   // constexpr array
+
+struct RouteCache {
+  static constexpr int kWays = 4;           // constant static member
+  int hits = 0;                             // instance member: per-owner
+  int local_score = 0;
+};
+
+int next_id(int& counter) {                 // state threaded explicitly
+  return ++counter;
+}
+
+// faaspart-lint: allow(S1) -- diagnostics-only counter, reset by the
+// harness between domain runs; never feeds scheduling or output
+static int g_debug_probes = 0;
+
+}  // namespace faaspart

@@ -1,0 +1,159 @@
+#include "cst.hpp"
+
+namespace faaspart::lint {
+
+bool is_punct(const Token& t, std::string_view p) {
+  return t.kind == Tok::kPunct && t.text == p;
+}
+bool is_ident(const Token& t, std::string_view s) {
+  return t.kind == Tok::kIdent && t.text == s;
+}
+
+std::size_t match_back_paren(const std::vector<Token>& t, std::size_t close) {
+  int depth = 0;
+  for (std::size_t k = close + 1; k-- > 0;) {
+    if (is_punct(t[k], ")")) ++depth;
+    if (is_punct(t[k], "(") && --depth == 0) return k;
+  }
+  return kNpos;
+}
+
+std::size_t match_fwd_paren(const std::vector<Token>& t, std::size_t open) {
+  int depth = 0;
+  for (std::size_t k = open; k < t.size(); ++k) {
+    if (is_punct(t[k], "(")) ++depth;
+    if (is_punct(t[k], ")") && --depth == 0) return k;
+  }
+  return kNpos;
+}
+
+std::size_t match_back_bracket(const std::vector<Token>& t,
+                               std::size_t close) {
+  int depth = 0;
+  for (std::size_t k = close + 1; k-- > 0;) {
+    if (is_punct(t[k], "]")) ++depth;
+    if (is_punct(t[k], "[") && --depth == 0) return k;
+  }
+  return kNpos;
+}
+
+std::size_t match_fwd_brace(const std::vector<Token>& t, std::size_t open) {
+  int depth = 0;
+  for (std::size_t k = open; k < t.size(); ++k) {
+    if (is_punct(t[k], "{")) ++depth;
+    if (is_punct(t[k], "}") && --depth == 0) return k;
+  }
+  return kNpos;
+}
+
+std::vector<Token> strip_preprocessor(const std::vector<Token>& t) {
+  std::vector<Token> out;
+  out.reserve(t.size());
+  std::size_t i = 0;
+  while (i < t.size()) {
+    // The lexer only emits `#` as the first token of a line when it starts
+    // a directive, so a line-leading `#` is unambiguous here.
+    const bool directive_start =
+        is_punct(t[i], "#") && (out.empty() || out.back().line != t[i].line) &&
+        (i == 0 || t[i - 1].line != t[i].line || is_punct(t[i - 1], "#"));
+    if (!directive_start) {
+      out.push_back(t[i++]);
+      continue;
+    }
+    // Swallow the directive: all tokens on its line, plus any lines a
+    // trailing backslash continues onto.
+    int line = t[i].line;
+    bool continued = false;
+    while (i < t.size()) {
+      if (t[i].line == line) {
+        continued = is_punct(t[i], "\\");
+        ++i;
+        continue;
+      }
+      if (!continued) break;
+      line = t[i].line;
+      continued = is_punct(t[i], "\\");
+      ++i;
+    }
+  }
+  return out;
+}
+
+namespace {
+constexpr std::array<std::string_view, 5> kControlKw = {"if", "for", "while",
+                                                        "switch", "catch"};
+constexpr std::array<std::string_view, 5> kSpecifierKw = {
+    "mutable", "noexcept", "const", "override", "final"};
+}  // namespace
+
+BraceScope classify_open_brace(const std::vector<Token>& t,
+                               std::size_t brace) {
+  BraceScope s;
+  if (brace == 0) return s;
+  std::size_t j = brace - 1;
+
+  // Skip trailing specifiers (`mutable`, `noexcept`, ...).
+  while (j > 0 && t[j].kind == Tok::kIdent && one_of(t[j].text, kSpecifierKw))
+    --j;
+
+  // Skip a trailing return type `-> sim::Co<faas::AppValue>`: walk back over
+  // type-ish tokens; if that walk reaches a `->` preceded by `)`, resume the
+  // classification from that `)`.
+  {
+    std::size_t k = j;
+    int steps = 0;
+    while (steps++ < 64) {
+      const Token& tk = t[k];
+      if (is_punct(tk, "->")) {
+        if (k >= 1 && is_punct(t[k - 1], ")")) j = k - 1;
+        break;
+      }
+      const bool type_tok =
+          tk.kind == Tok::kIdent || tk.kind == Tok::kNumber ||
+          is_punct(tk, "::") || is_punct(tk, "<") || is_punct(tk, ">") ||
+          is_punct(tk, ">>") || is_punct(tk, ",") || is_punct(tk, "*") ||
+          is_punct(tk, "&") || is_punct(tk, "&&");
+      if (!type_tok || k == 0) break;
+      --k;
+    }
+  }
+
+  if (is_punct(t[j], "]")) {  // parameterless lambda `[x] {`
+    const std::size_t open = match_back_bracket(t, j);
+    if (open == kNpos) return s;
+    s.kind = BraceScope::Kind::kLambda;
+    s.capturing = j - open > 1;
+    s.header_line = t[open].line;
+    return s;
+  }
+
+  if (!is_punct(t[j], ")")) return s;
+  const std::size_t open = match_back_paren(t, j);
+  if (open == kNpos || open == 0) return s;
+  const Token& before = t[open - 1];
+
+  if (is_punct(before, "]")) {  // lambda with parameter list
+    const std::size_t lb = match_back_bracket(t, open - 1);
+    if (lb == kNpos) return s;
+    s.kind = BraceScope::Kind::kLambda;
+    s.capturing = (open - 1) - lb > 1;
+    s.header_line = t[lb].line;
+    s.params_begin = open + 1;
+    s.params_end = j;
+    return s;
+  }
+
+  if (before.kind == Tok::kIdent) {
+    if (one_of(before.text, kControlKw)) return s;  // control block
+    if (before.text == "constexpr" && open >= 2 && is_ident(t[open - 2], "if"))
+      return s;  // `if constexpr (...) {`
+    s.kind = BraceScope::Kind::kFunction;
+    s.header_line = before.line;
+    s.name_index = open - 1;
+    s.params_begin = open + 1;
+    s.params_end = j;
+  }
+  return s;
+}
+
+}  // namespace faaspart::lint

@@ -1,0 +1,76 @@
+// Shared concrete-syntax helpers for faaspart-lint's passes.
+//
+// rules.cpp (per-file token rules), symbols.cpp (symbol extraction for S1)
+// and paths.cpp (the E1 settlement checker) all pattern-match the same flat
+// token stream. These are the structural helpers they share: punctuation
+// matching, bracket pairing, preprocessor-line stripping, and the
+// open-brace classifier that tells a lambda/function body apart from a
+// control block or a plain scope. None of this builds an AST — the
+// classifier looks backwards from each `{` exactly the way rule C2 always
+// has; it now also reports the function-name token so the newer passes can
+// attribute findings to a named function.
+#pragma once
+
+#include <array>
+#include <string_view>
+#include <vector>
+
+#include "lexer.hpp"
+
+namespace faaspart::lint {
+
+inline constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
+
+[[nodiscard]] bool is_punct(const Token& t, std::string_view p);
+[[nodiscard]] bool is_ident(const Token& t, std::string_view s);
+
+template <std::size_t N>
+[[nodiscard]] bool one_of(std::string_view s,
+                          const std::array<std::string_view, N>& set) {
+  for (const std::string_view v : set)
+    if (v == s) return true;
+  return false;
+}
+
+/// Index of the `(` matching the `)` at `close`, or kNpos.
+[[nodiscard]] std::size_t match_back_paren(const std::vector<Token>& t,
+                                           std::size_t close);
+/// Index of the `)` matching the `(` at `open`, or kNpos.
+[[nodiscard]] std::size_t match_fwd_paren(const std::vector<Token>& t,
+                                          std::size_t open);
+/// Index of the `[` matching the `]` at `close`, or kNpos.
+[[nodiscard]] std::size_t match_back_bracket(const std::vector<Token>& t,
+                                             std::size_t close);
+/// Index of the `}` matching the `{` at `open`, or kNpos.
+[[nodiscard]] std::size_t match_fwd_brace(const std::vector<Token>& t,
+                                          std::size_t open);
+
+/// Copy of `t` with every preprocessor directive removed: from a line-
+/// initial `#` through the end of the directive, including backslash-
+/// continued lines. Structural passes (symbols, paths) run on the stripped
+/// stream so a `#define` body's braces can never desynchronize their scope
+/// tracking; the per-file token rules keep the full stream (a banned
+/// identifier inside a macro is still banned).
+[[nodiscard]] std::vector<Token> strip_preprocessor(
+    const std::vector<Token>& t);
+
+/// Every `{` classified by looking backwards:
+///   `] {` or `](params){` (with optional mutable/noexcept and a trailing
+///   return type)                      -> lambda, capturing if [..] non-empty
+///   `name(params){`                   -> function definition
+///   `if/for/while/switch/catch (..){` -> control block (transparent)
+///   anything else                     -> plain block (transparent)
+struct BraceScope {
+  enum class Kind { kPlain, kLambda, kFunction } kind = Kind::kPlain;
+  bool capturing = false;
+  int header_line = 0;
+  std::size_t name_index = kNpos;  // kFunction: token index of the name
+  std::size_t params_begin = 0, params_end = 0;  // token range inside ( )
+  bool reported_capture = false;  // rule C2 bookkeeping
+  bool reported_params = false;   // rule C2 bookkeeping
+};
+
+[[nodiscard]] BraceScope classify_open_brace(const std::vector<Token>& t,
+                                             std::size_t brace);
+
+}  // namespace faaspart::lint

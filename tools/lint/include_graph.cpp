@@ -1,0 +1,284 @@
+#include "include_graph.hpp"
+
+#include <algorithm>
+#include <functional>
+
+namespace faaspart::lint {
+namespace {
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t'))
+    s.remove_prefix(1);
+  while (!s.empty() &&
+         (s.back() == ' ' || s.back() == '\t' || s.back() == '\r'))
+    s.remove_suffix(1);
+  return s;
+}
+
+/// "src/gpu/mig.hpp" -> "src/gpu"; "lint.hpp" -> "".
+std::string_view dirname_of(std::string_view path) {
+  const std::size_t slash = path.rfind('/');
+  return slash == std::string_view::npos ? std::string_view{}
+                                         : path.substr(0, slash);
+}
+
+/// Lexically normalizes "a/b/../c" and "a/./c" so sibling-relative includes
+/// resolve against the file-set keys, which are already normalized.
+std::string normalize(std::string_view path) {
+  std::vector<std::string_view> parts;
+  std::size_t pos = 0;
+  while (pos <= path.size()) {
+    const std::size_t slash = path.find('/', pos);
+    const std::string_view part = path.substr(
+        pos, slash == std::string_view::npos ? path.size() - pos : slash - pos);
+    pos = slash == std::string_view::npos ? path.size() + 1 : slash + 1;
+    if (part.empty() || part == ".") continue;
+    if (part == ".." && !parts.empty() && parts.back() != "..") {
+      parts.pop_back();
+      continue;
+    }
+    parts.push_back(part);
+  }
+  std::string out;
+  for (const std::string_view p : parts) {
+    if (!out.empty()) out += '/';
+    out.append(p);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<IncludeEdge> IncludeGraph::scan_includes(std::string_view content) {
+  std::vector<IncludeEdge> out;
+  int line = 0;
+  std::size_t pos = 0;
+  while (pos <= content.size()) {
+    const std::size_t eol = content.find('\n', pos);
+    std::string_view l = content.substr(
+        pos, eol == std::string_view::npos ? content.size() - pos : eol - pos);
+    pos = eol == std::string_view::npos ? content.size() + 1 : eol + 1;
+    ++line;
+
+    l = trim(l);
+    if (l.empty() || l.front() != '#') continue;
+    l = trim(l.substr(1));
+    if (l.rfind("include", 0) != 0) continue;
+    l = trim(l.substr(7));
+    if (l.empty() || l.front() != '"') continue;
+    const std::size_t close = l.find('"', 1);
+    if (close == std::string_view::npos) continue;
+    out.push_back({line, std::string(l.substr(1, close - 1)), {}});
+  }
+  return out;
+}
+
+std::string IncludeGraph::module_of(std::string_view path) {
+  if (path.rfind("src/", 0) != 0) return {};
+  const std::string_view rest = path.substr(4);
+  const std::size_t slash = rest.find('/');
+  if (slash == std::string_view::npos) return {};
+  return std::string(rest.substr(0, slash));
+}
+
+IncludeGraph IncludeGraph::build(
+    const std::map<std::string, std::string>& sources) {
+  IncludeGraph g;
+  for (const auto& [path, content] : sources) {
+    std::vector<IncludeEdge> edges = scan_includes(content);
+    const std::string_view dir = dirname_of(path);
+    for (IncludeEdge& e : edges) {
+      // Sibling-relative first (tools/lint includes "lexer.hpp"), then the
+      // repo root, then the src/ include root every target compiles with.
+      const std::string sibling =
+          normalize(dir.empty() ? e.target : std::string(dir) + "/" + e.target);
+      if (sources.count(sibling) != 0) {
+        e.resolved = sibling;
+      } else if (sources.count(normalize(e.target)) != 0) {
+        e.resolved = normalize(e.target);
+      } else if (sources.count("src/" + e.target) != 0) {
+        e.resolved = "src/" + e.target;
+      }
+    }
+    g.files.emplace(path, std::move(edges));
+  }
+  return g;
+}
+
+std::set<std::string> IncludeGraph::reachable_from(
+    std::string_view prefix) const {
+  std::set<std::string> seen;
+  std::vector<const std::string*> work;
+  for (const auto& [path, edges] : files) {
+    if (path.compare(0, prefix.size(), prefix) == 0 &&
+        seen.insert(path).second) {
+      work.push_back(&path);
+    }
+  }
+  while (!work.empty()) {
+    const std::string& cur = *work.back();
+    work.pop_back();
+    const auto it = files.find(cur);
+    if (it == files.end()) continue;
+    for (const IncludeEdge& e : it->second) {
+      if (e.resolved.empty()) continue;
+      const auto [ins, fresh] = seen.insert(e.resolved);
+      if (fresh) work.push_back(&*ins);
+    }
+  }
+  return seen;
+}
+
+std::vector<std::vector<std::string>> IncludeGraph::file_cycles() const {
+  // Iterative three-color DFS; each back edge yields the cycle spelled out
+  // from the current DFS stack. Cycles are canonicalized (rotated to start
+  // at their smallest member) and deduplicated so A->B->A reports once no
+  // matter which file the walk entered from.
+  enum : unsigned char { kWhite, kGray, kBlack };
+  std::map<std::string, unsigned char> color;
+  for (const auto& [path, edges] : files) color[path] = kWhite;
+
+  std::set<std::vector<std::string>> canonical;
+  std::vector<std::string> stack;
+
+  const std::function<void(const std::string&)> dfs =
+      [&](const std::string& node) {
+        color[node] = kGray;
+        stack.push_back(node);
+        const auto it = files.find(node);
+        if (it != files.end()) {
+          for (const IncludeEdge& e : it->second) {
+            if (e.resolved.empty()) continue;
+            const auto cit = color.find(e.resolved);
+            if (cit == color.end()) continue;
+            if (cit->second == kGray) {
+              const auto at =
+                  std::find(stack.begin(), stack.end(), e.resolved);
+              std::vector<std::string> cycle(at, stack.end());
+              const auto smallest =
+                  std::min_element(cycle.begin(), cycle.end());
+              std::rotate(cycle.begin(), smallest, cycle.end());
+              canonical.insert(std::move(cycle));
+            } else if (cit->second == kWhite) {
+              dfs(e.resolved);
+            }
+          }
+        }
+        stack.pop_back();
+        color[node] = kBlack;
+      };
+
+  for (const auto& [path, edges] : files)
+    if (color[path] == kWhite) dfs(path);
+  return {canonical.begin(), canonical.end()};
+}
+
+void IncludeGraph::check_layers(
+    const std::vector<std::vector<std::string>>& layers,
+    std::map<std::string, std::vector<RawFinding>>& out) const {
+  std::map<std::string, std::size_t> rank;
+  for (std::size_t r = 0; r < layers.size(); ++r)
+    for (const std::string& m : layers[r]) rank[m] = r;
+
+  for (const auto& [path, edges] : files) {
+    const std::string from = module_of(path);
+    if (from.empty()) continue;  // layering governs src/ only
+    const auto from_rank = rank.find(from);
+    if (from_rank == rank.end()) {
+      out[path].push_back(
+          {1, "L1",
+           "module '" + from +
+               "' is not declared in the layering (`layer ...` in "
+               ".faaspart-lint); the layering must stay total or the DAG "
+               "gate silently narrows"});
+      continue;
+    }
+    for (const IncludeEdge& e : edges) {
+      if (e.resolved.empty()) continue;
+      const std::string to = module_of(e.resolved);
+      if (to.empty() || to == from) continue;
+      const auto to_rank = rank.find(to);
+      if (to_rank == rank.end()) {
+        out[path].push_back(
+            {e.line, "L1",
+             "include of undeclared module '" + to +
+                 "' (add it to a `layer` line in .faaspart-lint)"});
+        continue;
+      }
+      if (to_rank->second > from_rank->second) {
+        out[path].push_back(
+            {e.line, "L1",
+             "upward include: '" + from + "' (layer " +
+                 std::to_string(from_rank->second) + ") must not include '" +
+                 e.target + "' from higher layer '" + to + "' (layer " +
+                 std::to_string(to_rank->second) +
+                 "); move the shared type down or invert the dependency"});
+      } else if (to_rank->second == from_rank->second) {
+        out[path].push_back(
+            {e.line, "L1",
+             "same-layer include: '" + from + "' and '" + to +
+                 "' share a layer and must stay independent peers; pick an "
+                 "order in .faaspart-lint or move the shared type down"});
+      }
+    }
+  }
+
+  for (const std::vector<std::string>& cycle : file_cycles()) {
+    std::string path;
+    for (const std::string& f : cycle) path += (path.empty() ? "" : " -> ") + f;
+    path += " -> " + cycle.front();
+    out[cycle.front()].push_back(
+        {1, "L1", "include cycle: " + path +
+                      "; headers in a cycle cannot be compiled stand-alone "
+                      "and defeat the layering DAG"});
+  }
+}
+
+std::string IncludeGraph::to_dot(
+    const std::vector<std::vector<std::string>>& layers) const {
+  // module -> module -> #includes (src/ only).
+  std::map<std::string, std::map<std::string, int>> edges;
+  std::set<std::string> modules;
+  for (const auto& [path, file_edges] : files) {
+    const std::string from = module_of(path);
+    if (from.empty()) continue;
+    modules.insert(from);
+    for (const IncludeEdge& e : file_edges) {
+      if (e.resolved.empty()) continue;
+      const std::string to = module_of(e.resolved);
+      if (to.empty() || to == from) continue;
+      modules.insert(to);
+      ++edges[from][to];
+    }
+  }
+
+  std::string dot;
+  dot += "// faaspart src/ module include graph — generated by\n";
+  dot += "// `faaspart_lint --emit-dot`; layers read bottom-up.\n";
+  dot += "digraph src_layering {\n";
+  dot += "  rankdir=BT;\n";
+  dot += "  node [shape=box, fontname=\"Helvetica\"];\n";
+  std::set<std::string> ranked;
+  for (std::size_t r = 0; r < layers.size(); ++r) {
+    std::string members;
+    for (const std::string& m : layers[r]) {
+      if (modules.count(m) == 0) continue;
+      ranked.insert(m);
+      members += " \"" + m + "\";";
+    }
+    if (members.empty()) continue;
+    dot += "  { rank=same; /* layer " + std::to_string(r) + " */" + members +
+           " }\n";
+  }
+  for (const std::string& m : modules)
+    if (ranked.count(m) == 0)
+      dot += "  \"" + m + "\" [color=red];  // undeclared module\n";
+  for (const auto& [from, to_map] : edges)
+    for (const auto& [to, n] : to_map)
+      dot += "  \"" + from + "\" -> \"" + to + "\" [label=\"" +
+             std::to_string(n) + "\"];\n";
+  dot += "}\n";
+  return dot;
+}
+
+}  // namespace faaspart::lint

@@ -1,0 +1,84 @@
+// Include-graph pass for faaspart-lint (rule L1, DESIGN.md §15).
+//
+// ROADMAP #3 (conservative parallel DES) shards the simulator into
+// per-endpoint event domains; that only works if the dependency structure
+// of src/ stays a layered DAG — an upward or cyclic include is exactly the
+// kind of coupling that would let one domain reach into another behind the
+// WAN boundary's back. This pass builds the quoted-include graph over the
+// linted file set, aggregates it per module (the first directory under
+// src/), and checks it against the layering declared in `.faaspart-lint`:
+//
+//   layer util
+//   layer sim trace
+//   ...
+//
+// declares layers lowest-first; a file may include its own module and any
+// module on a strictly lower layer. Same-layer cross-module includes are
+// errors too — two modules sharing a layer line is a statement that they
+// are peers that must not know about each other, which is what keeps the
+// module graph acyclic by construction. File-level include cycles (even
+// inside one module) are always errors. The graph is also exported as DOT
+// (`--emit-dot`) so DESIGN.md can carry the committed render.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "rules.hpp"
+
+namespace faaspart::lint {
+
+struct IncludeEdge {
+  int line = 0;          ///< line of the #include in the including file
+  std::string target;    ///< raw quoted include text, e.g. "gpu/mig.hpp"
+  std::string resolved;  ///< repo-relative path in the file set; "" if not
+};
+
+struct IncludeGraph {
+  /// Repo-relative path -> outgoing quoted-include edges, every linted file
+  /// present (possibly with no edges), so iteration order is stable.
+  std::map<std::string, std::vector<IncludeEdge>> files;
+
+  /// `#include "..."` targets of one source, with line numbers. `<...>`
+  /// includes are system/third-party by repo convention and never scanned.
+  [[nodiscard]] static std::vector<IncludeEdge> scan_includes(
+      std::string_view content);
+
+  /// Module of a path: "src/gpu/mig.hpp" -> "gpu"; "" for anything not of
+  /// the form src/<module>/<file>.
+  [[nodiscard]] static std::string module_of(std::string_view path);
+
+  /// Builds the graph over `sources` (path -> content). A quoted include is
+  /// resolved first relative to the including file's directory, then
+  /// relative to the repo root, then under src/ (the include root every
+  /// target compiles with); unresolved targets keep an empty `resolved`.
+  static IncludeGraph build(const std::map<std::string, std::string>& sources);
+
+  /// Every file reachable from files under `prefix` by following resolved
+  /// edges (the start set included).
+  [[nodiscard]] std::set<std::string> reachable_from(
+      std::string_view prefix) const;
+
+  /// File-level include cycles, each reported once as the cycle's path
+  /// starting from its lexicographically smallest member.
+  [[nodiscard]] std::vector<std::vector<std::string>> file_cycles() const;
+
+  /// Rule L1 over the declared layering (`layers` lowest-first, one vector
+  /// of module names per layer). Emits one finding per offending #include,
+  /// keyed by the including file, plus one per file-level cycle keyed by
+  /// the cycle's smallest member. Modules seen in src/ but absent from the
+  /// declaration are findings as well — the layering must be total or the
+  /// gate silently narrows.
+  void check_layers(const std::vector<std::vector<std::string>>& layers,
+                    std::map<std::string, std::vector<RawFinding>>& out) const;
+
+  /// Module-level DOT graph (src/ only), layers rendered as same-rank
+  /// groups, edges labeled with their include count. Deterministic output.
+  [[nodiscard]] std::string to_dot(
+      const std::vector<std::vector<std::string>>& layers) const;
+};
+
+}  // namespace faaspart::lint

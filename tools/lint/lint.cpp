@@ -4,10 +4,13 @@
 #include <cctype>
 #include <cstdio>
 #include <fstream>
+#include <set>
 #include <sstream>
 
+#include "include_graph.hpp"
 #include "lexer.hpp"
 #include "rules.hpp"
+#include "symbols.hpp"
 
 namespace faaspart::lint {
 namespace {
@@ -24,7 +27,9 @@ std::string_view trim(std::string_view s) {
   return s;
 }
 
-/// A parsed `faaspart-lint: allow(...) -- reason` annotation.
+/// One parsed inline suppression: the marker-prefixed `allow(...) -- reason`
+/// comment form (kMarker below; spelling it here would make this doc comment
+/// itself parse as an annotation).
 struct Annotation {
   int target_line = 0;  // line whose findings it suppresses
   int own_line = 0;     // line the comment itself sits on (for X1 reports)
@@ -48,8 +53,8 @@ bool Config::rule_enabled(std::string_view rule, std::string_view path) const {
 }
 
 const std::vector<std::string>& known_rules() {
-  static const std::vector<std::string> kRules = {"D1", "D2", "C1", "C2",
-                                                  "O1", "O2", "X1"};
+  static const std::vector<std::string> kRules = {
+      "D1", "D2", "C1", "C2", "O1", "O2", "L1", "S1", "E1", "X1"};
   return kRules;
 }
 
@@ -58,11 +63,22 @@ bool is_known_rule(std::string_view r) {
   const auto& rules = known_rules();
   return std::find(rules.begin(), rules.end(), r) != rules.end();
 }
+
+std::vector<std::string> split_fields(std::string_view line) {
+  std::vector<std::string> out;
+  std::istringstream ss{std::string(line)};
+  std::string field;
+  while (ss >> field) out.push_back(field);
+  return out;
+}
 }  // namespace
 
 bool parse_config(std::string_view text, Config& out, std::string& error) {
   int lineno = 0;
   std::size_t pos = 0;
+  bool owners_reset = false;
+  bool settles_reset = false;
+  std::set<std::string> layered_modules;
   while (pos <= text.size()) {
     const std::size_t eol = text.find('\n', pos);
     std::string_view line = text.substr(
@@ -75,24 +91,54 @@ bool parse_config(std::string_view text, Config& out, std::string& error) {
     line = trim(line);
     if (line.empty()) continue;
 
-    std::istringstream ss{std::string(line)};
-    std::string directive, a, b, extra;
-    ss >> directive >> a >> b >> extra;
-    if (directive == "skip" && !a.empty() && b.empty()) {
-      out.skip_prefixes.push_back(a);
-    } else if (directive == "allow" && !a.empty() && !b.empty() &&
-               extra.empty()) {
-      if (!is_known_rule(a) || a == "X1") {
-        error = "line " + std::to_string(lineno) + ": unknown rule '" + a +
-                "' (X1 cannot be disabled)";
-        return false;
-      }
-      out.allows.push_back({a, b});
-    } else {
-      error = "line " + std::to_string(lineno) +
-              ": expected 'skip <prefix>' or 'allow <RULE> <prefix>', got '" +
-              std::string(line) + "'";
+    const std::vector<std::string> f = split_fields(line);
+    auto fail = [&](const std::string& why) {
+      error = "line " + std::to_string(lineno) + ": " + why;
       return false;
+    };
+
+    if (f[0] == "skip" && f.size() == 2) {
+      out.skip_prefixes.push_back(f[1]);
+    } else if (f[0] == "allow" && f.size() == 3) {
+      if (!is_known_rule(f[1]) || f[1] == "X1")
+        return fail("unknown rule '" + f[1] + "' (X1 cannot be disabled)");
+      out.allows.push_back({f[1], f[2]});
+    } else if (f[0] == "layer" && f.size() >= 2) {
+      for (std::size_t i = 1; i < f.size(); ++i) {
+        if (!layered_modules.insert(f[i]).second)
+          return fail("module '" + f[i] +
+                      "' appears in two layers; the layering must be a "
+                      "function of module name");
+      }
+      out.layers.emplace_back(f.begin() + 1, f.end());
+    } else if (f[0] == "domain" && f.size() == 2) {
+      out.domains.push_back(f[1]);
+    } else if (f[0] == "wan-boundary" && f.size() == 2) {
+      out.wan_boundary.push_back(f[1]);
+    } else if (f[0] == "baseline" && f.size() == 2) {
+      if (!out.baseline_path.empty())
+        return fail("duplicate 'baseline' (already '" + out.baseline_path +
+                    "')");
+      out.baseline_path = f[1];
+    } else if (f[0] == "e1-owner" && f.size() == 2) {
+      if (!owners_reset) {
+        out.e1_owners.clear();  // explicit list replaces the defaults
+        owners_reset = true;
+      }
+      out.e1_owners.push_back(f[1]);
+    } else if (f[0] == "e1-settle" && f.size() == 2) {
+      if (!settles_reset) {
+        out.e1_settles.clear();
+        settles_reset = true;
+      }
+      out.e1_settles.push_back(f[1]);
+    } else {
+      return fail(
+          "expected 'skip <prefix>', 'allow <RULE> <prefix>', 'layer "
+          "<module>...', 'domain <prefix>', 'wan-boundary <prefix>', "
+          "'baseline <path>', 'e1-owner <Type>' or 'e1-settle <name>', "
+          "got '" +
+          std::string(line) + "'");
     }
   }
   return true;
@@ -192,15 +238,15 @@ std::vector<Annotation> collect_annotations(const LexResult& lx,
 
 }  // namespace
 
-std::vector<Finding> lint_source(std::string_view path,
-                                 std::string_view content, const Config& cfg) {
+namespace {
+
+/// Applies inline annotations to one file's raw findings and produces the
+/// final per-file report: suppressed findings drop out, unused or
+/// malformed annotations come back as X1, and the result is sorted by
+/// (line, rule, message). Shared by lint_source and lint_project.
+std::vector<Finding> finalize_file(std::string_view path, const LexResult& lx,
+                                   std::vector<RawFinding>& raw) {
   std::vector<Finding> findings;
-  if (cfg.skipped(path)) return findings;
-
-  const LexResult lx = lex(content);
-  std::vector<RawFinding> raw;
-  run_rules(path, lx, cfg, raw);
-
   std::vector<RawFinding> x1;
   std::vector<Annotation> anns = collect_annotations(lx, x1);
 
@@ -238,6 +284,79 @@ std::vector<Finding> lint_source(std::string_view path,
               if (a.rule != b.rule) return a.rule < b.rule;
               return a.message < b.message;
             });
+  return findings;
+}
+
+}  // namespace
+
+std::vector<Finding> lint_source(std::string_view path,
+                                 std::string_view content, const Config& cfg) {
+  if (cfg.skipped(path)) return {};
+  const LexResult lx = lex(content);
+  std::vector<RawFinding> raw;
+  run_rules(path, lx, cfg, raw);
+  return finalize_file(path, lx, raw);
+}
+
+std::vector<Finding> lint_project(
+    const std::map<std::string, std::string>& sources, const Config& cfg,
+    std::string* dot) {
+  // Per-file passes first; the lex results stay alive because tokens view
+  // into the `sources` strings.
+  std::map<std::string, LexResult> lexed;
+  std::map<std::string, std::vector<RawFinding>> raw;
+  for (const auto& [path, content] : sources) {
+    if (cfg.skipped(path)) continue;
+    lexed.emplace(path, lex(content));
+    raw[path];  // every linted file gets an entry even when clean
+  }
+  for (auto& [path, r] : raw) run_rules(path, lexed.at(path), cfg, r);
+
+  // L1: the include graph is built over everything we lint, so tools/ and
+  // bench/ participate as nodes, but layering only governs src/ modules.
+  IncludeGraph graph = IncludeGraph::build(sources);
+  if (!cfg.layers.empty()) {
+    std::map<std::string, std::vector<RawFinding>> l1;
+    graph.check_layers(cfg.layers, l1);
+    for (auto& [path, fs] : l1) {
+      if (cfg.skipped(path)) continue;
+      auto it = raw.find(path);
+      if (it == raw.end()) continue;
+      for (RawFinding& f : fs)
+        if (cfg.rule_enabled("L1", path)) it->second.push_back(std::move(f));
+    }
+  }
+  if (dot != nullptr) *dot = graph.to_dot(cfg.layers);
+
+  // S1: a file is cross-domain iff it is include-reachable from two or
+  // more declared endpoint-domain roots; the WAN boundary is exempt by
+  // declaration — cross-domain state is its whole job.
+  if (cfg.domains.size() >= 2) {
+    std::map<std::string, int> domain_hits;
+    for (const std::string& d : cfg.domains)
+      for (const std::string& path : graph.reachable_from(d))
+        ++domain_hits[path];
+    const auto on_boundary = [&](std::string_view path) {
+      return std::any_of(
+          cfg.wan_boundary.begin(), cfg.wan_boundary.end(),
+          [&](const std::string& p) { return starts_with(path, p); });
+    };
+    for (const auto& [path, hits] : domain_hits) {
+      if (hits < 2 || on_boundary(path) || cfg.skipped(path)) continue;
+      if (!cfg.rule_enabled("S1", path)) continue;
+      const auto it = lexed.find(path);
+      if (it == lexed.end()) continue;
+      const std::vector<Symbol> syms = extract_symbols(path, it->second);
+      check_state_isolation(syms, raw[path]);
+    }
+  }
+
+  std::vector<Finding> findings;
+  for (auto& [path, r] : raw) {
+    std::vector<Finding> fs = finalize_file(path, lexed.at(path), r);
+    findings.insert(findings.end(), std::make_move_iterator(fs.begin()),
+                    std::make_move_iterator(fs.end()));
+  }
   return findings;
 }
 
@@ -330,6 +449,102 @@ std::string format_json(const Finding& f) {
          "\",\"line\":" + std::to_string(f.line) + ",\"rule\":\"" +
          json_escape(f.rule) + "\",\"message\":\"" + json_escape(f.message) +
          "\"}";
+}
+
+namespace {
+
+/// Extracts the string value of `"key":"..."` from one JSONL line,
+/// unescaping the subset format_json emits. Returns false if absent.
+bool json_string_value(std::string_view line, std::string_view key,
+                       std::string& out) {
+  const std::string pat = "\"" + std::string(key) + "\"";
+  std::size_t pos = line.find(pat);
+  if (pos == std::string_view::npos) return false;
+  pos += pat.size();
+  while (pos < line.size() &&
+         std::isspace(static_cast<unsigned char>(line[pos])))
+    ++pos;
+  if (pos >= line.size() || line[pos] != ':') return false;
+  ++pos;
+  while (pos < line.size() &&
+         std::isspace(static_cast<unsigned char>(line[pos])))
+    ++pos;
+  if (pos >= line.size() || line[pos] != '"') return false;
+  ++pos;
+  out.clear();
+  while (pos < line.size() && line[pos] != '"') {
+    char c = line[pos++];
+    if (c == '\\' && pos < line.size()) {
+      const char esc = line[pos++];
+      switch (esc) {
+        case 'n': c = '\n'; break;
+        case 't': c = '\t'; break;
+        case 'r': c = '\r'; break;
+        case 'u': {  // format_json only emits \u00XX for control chars
+          if (pos + 4 > line.size()) return false;
+          c = static_cast<char>(
+              std::stoi(std::string(line.substr(pos, 4)), nullptr, 16));
+          pos += 4;
+          break;
+        }
+        default: c = esc;
+      }
+    }
+    out += c;
+  }
+  return pos < line.size();
+}
+
+}  // namespace
+
+std::string Baseline::key(const Finding& f) {
+  // Line numbers deliberately excluded: pure code motion above a known
+  // finding must not break the ratchet.
+  return f.file + '\x1f' + f.rule + '\x1f' + f.message;
+}
+
+bool parse_baseline(std::string_view jsonl, Baseline& out,
+                    std::string& error) {
+  int lineno = 0;
+  std::size_t pos = 0;
+  while (pos <= jsonl.size()) {
+    const std::size_t eol = jsonl.find('\n', pos);
+    std::string_view line = jsonl.substr(
+        pos, eol == std::string_view::npos ? jsonl.size() - pos : eol - pos);
+    pos = eol == std::string_view::npos ? jsonl.size() + 1 : eol + 1;
+    ++lineno;
+    line = trim(line);
+    if (line.empty()) continue;
+
+    Finding f;
+    if (!json_string_value(line, "file", f.file) ||
+        !json_string_value(line, "rule", f.rule) ||
+        !json_string_value(line, "message", f.message)) {
+      error = "baseline line " + std::to_string(lineno) +
+              ": expected a faaspart-lint JSONL finding with file/rule/"
+              "message";
+      return false;
+    }
+    ++out.counts[Baseline::key(f)];
+  }
+  return true;
+}
+
+BaselineDelta apply_baseline(const std::vector<Finding>& findings,
+                             const Baseline& baseline) {
+  BaselineDelta delta;
+  std::map<std::string, std::size_t> remaining = baseline.counts;
+  for (const Finding& f : findings) {
+    const auto it = remaining.find(Baseline::key(f));
+    if (it != remaining.end() && it->second > 0) {
+      --it->second;
+      ++delta.matched;
+    } else {
+      delta.fresh.push_back(f);
+    }
+  }
+  for (const auto& [key, n] : remaining) delta.stale += n;
+  return delta;
 }
 
 }  // namespace faaspart::lint

@@ -4,7 +4,7 @@
 // byte-identical across --jobs counts, replays, and sanitizer tiers
 // (DESIGN.md §8). Runtime goldens catch drift after it ships; this tool is
 // the compile-time firewall in front of them. It scans the repo's own
-// sources (token stream, no AST) and enforces six named rules:
+// sources (token stream, no AST) and enforces nine named rules:
 //
 //   D1  no wall-clock / entropy sources (system_clock, random_device, rand,
 //       time(), getenv, ...) outside the allowlisted RNG and runner shims;
@@ -18,16 +18,33 @@
 //       in one expression) — hot paths must cache the handle (DESIGN.md §7);
 //   O2  no span id discarded at creation (`tracer->open_span(...);` as a full
 //       statement) — an unclosed span poisons its whole causal tree; bind
-//       the id and close it, or wrap it in an obs::SpanGuard (DESIGN.md §12).
+//       the id and close it, or wrap it in an obs::SpanGuard (DESIGN.md §12);
+//   L1  the src/ module include graph must match the layering DAG declared
+//       with `layer` lines — no upward, same-layer, or cyclic includes
+//       (include_graph.hpp; project mode only);
+//   S1  no static mutable state in files reachable from more than one
+//       declared endpoint `domain` unless under a `wan-boundary` prefix
+//       (symbols.hpp; project mode only);
+//   E1  every adopted request (by-value ServedRequestPtr/SeqPtr) must be
+//       settled or transferred exactly once on every path out of the
+//       function (paths.hpp).
 //
 // Every finding is suppressible only with an inline annotation that names
-// the rule AND gives a reason:
-//     // faaspart-lint: allow(D1) -- reason visible in review
+// the rule AND gives a reason: a comment consisting of the tool's name, a
+// colon, then `allow(D1) -- reason visible in review` (spelling the marker
+// out here would make this header's own comment parse as an annotation),
 // placed on the offending line or alone on the line above. Malformed
 // (reason-less) and unused annotations are themselves findings (rule X1),
 // so suppressions can never silently rot.
+//
+// CI runs in ratchet mode: findings already recorded in the committed
+// baseline (lint_baseline.jsonl) are tolerated-but-tracked, fresh ones
+// fail the gate, and baseline entries that no longer fire are flagged so
+// the file only ever shrinks.
 #pragma once
 
+#include <cstddef>
+#include <map>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -51,15 +68,35 @@ struct Config {
   std::vector<std::string> skip_prefixes;  // not linted at all
   std::vector<AllowEntry> allows;          // rule disabled under prefix
 
+  /// Layering for rule L1, lowest layer first; each entry is the set of
+  /// src/ modules sharing that layer. Empty => L1 off.
+  std::vector<std::vector<std::string>> layers;
+  /// Endpoint-domain root prefixes for rule S1 (e.g. "src/serve/engine.").
+  /// Fewer than two declared domains => S1 off.
+  std::vector<std::string> domains;
+  /// Prefixes exempt from S1: the declared WAN boundary, where cross-domain
+  /// state is the point (queues, mailboxes, the boundary itself).
+  std::vector<std::string> wan_boundary;
+  /// Committed findings baseline (repo-relative), "" if none configured.
+  std::string baseline_path;
+  /// Owner types adopted by value (rule E1) and the settle call names that
+  /// consume them. Defaults match serve/request.hpp; `e1-owner` /
+  /// `e1-settle` lines replace the defaults on first use.
+  std::vector<std::string> e1_owners = {"ServedRequestPtr", "SeqPtr"};
+  std::vector<std::string> e1_settles = {"settle_completed", "settle_shed",
+                                         "settle_failed"};
+
   [[nodiscard]] bool skipped(std::string_view path) const;
   [[nodiscard]] bool rule_enabled(std::string_view rule,
                                   std::string_view path) const;
 };
 
 /// Parses the config text. Lines: `skip <prefix>`, `allow <RULE> <prefix>`,
-/// blank, or `# comment`. Unknown directives are reported in `error` and
-/// make the parse fail (a typo in the lint config must not silently widen
-/// the gate).
+/// `layer <module>...` (one line per layer, lowest first), `domain
+/// <prefix>`, `wan-boundary <prefix>`, `baseline <path>`, `e1-owner
+/// <Type>`, `e1-settle <name>`, blank, or `# comment`. Unknown directives
+/// are reported in `error` and make the parse fail (a typo in the lint
+/// config must not silently widen the gate).
 bool parse_config(std::string_view text, Config& out, std::string& error);
 
 /// All rule ids this build knows, in report order.
@@ -76,6 +113,45 @@ std::vector<Finding> lint_source(std::string_view path,
 bool lint_file(const std::string& root, const std::string& rel_path,
                const Config& cfg, std::vector<Finding>& out,
                std::string& error);
+
+/// Lints a whole project at once (path -> content, paths repo-relative).
+/// Runs every per-file rule plus the project passes that need the global
+/// view: L1 (include-graph layering, when cfg.layers is non-empty) and S1
+/// (static mutable state in files include-reachable from 2+ cfg.domains
+/// roots and not under a wan-boundary prefix). Inline allow() annotations
+/// apply to all of them. If `dot` is non-null it receives the module-level
+/// include graph in DOT form. Findings are ordered by path, then line.
+std::vector<Finding> lint_project(
+    const std::map<std::string, std::string>& sources, const Config& cfg,
+    std::string* dot = nullptr);
+
+/// The findings-ratchet baseline: multiset of known findings keyed by
+/// (file, rule, message) — deliberately line-number-insensitive so pure
+/// code motion above a known finding does not break CI.
+struct Baseline {
+  std::map<std::string, std::size_t> counts;  // key -> allowed occurrences
+  [[nodiscard]] static std::string key(const Finding& f);
+};
+
+/// Parses a baseline from JSONL as written by --write-baseline (one
+/// format_json line per finding; unknown keys ignored; blank lines
+/// skipped). Returns false and sets `error` on a line that has no
+/// file/rule/message triple.
+bool parse_baseline(std::string_view jsonl, Baseline& out,
+                    std::string& error);
+
+/// Result of subtracting a baseline from a findings list.
+struct BaselineDelta {
+  std::vector<Finding> fresh;   ///< not covered by the baseline: CI fails
+  std::size_t matched = 0;      ///< suppressed as already-known
+  std::size_t stale = 0;        ///< baseline entries that no longer fire —
+                                ///< the ratchet can (and should) shrink
+};
+
+/// Applies the ratchet: each finding consumes one baseline count if
+/// available, otherwise lands in `fresh`. Leftover counts become `stale`.
+BaselineDelta apply_baseline(const std::vector<Finding>& findings,
+                             const Baseline& baseline);
 
 /// Extracts the "file" entries from a compile_commands.json buffer.
 /// Tolerant, order-preserving, duplicates removed by the caller. Only the

@@ -2,7 +2,8 @@
 //
 //   faaspart_lint [--root DIR] [--config FILE] [--compile-commands FILE]
 //                 [--only PREFIX]... [--json[=FILE]] [--quiet]
-//                 [--list-rules] [PATH]...
+//                 [--baseline FILE] [--write-baseline FILE]
+//                 [--emit-dot[=FILE]] [--list-rules] [PATH]...
 //
 // PATH arguments (files or directories, repo-relative or absolute under
 // --root) are walked for .cpp/.cc/.hpp/.h sources; --compile-commands adds
@@ -11,7 +12,16 @@
 // linting, so output order is stable no matter how inputs were gathered —
 // the linter holds itself to the determinism bar it enforces.
 //
-// Exit codes: 0 clean, 1 findings, 2 usage or I/O error.
+// The whole file set is linted as one project so the include-graph (L1)
+// and cross-domain state (S1) passes see the global picture. --emit-dot
+// writes the module-level include graph (stdout with no value). --baseline
+// (or a `baseline` line in .faaspart-lint) turns on ratchet mode: known
+// findings are tolerated, only fresh ones fail, stale entries warn.
+// --write-baseline regenerates the committed baseline from the current
+// findings and exits 0.
+//
+// Exit codes: 0 clean (or ratchet-clean), 1 findings, 2 usage or I/O
+// error.
 #include <algorithm>
 #include <filesystem>
 #include <fstream>
@@ -50,9 +60,21 @@ std::string relativize(const fs::path& root, const fs::path& p) {
 int usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " [--root DIR] [--config FILE] [--compile-commands FILE]\n"
-               "       [--only PREFIX]... [--json[=FILE]] [--quiet] "
-               "[--list-rules] [PATH]...\n";
+               "       [--only PREFIX]... [--json[=FILE]] [--quiet]\n"
+               "       [--baseline FILE] [--write-baseline FILE] "
+               "[--emit-dot[=FILE]]\n"
+               "       [--list-rules] [PATH]...\n";
   return 2;
+}
+
+/// Slurps a file; returns false on I/O failure.
+bool read_file(const fs::path& p, std::string& out) {
+  std::ifstream in(p, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  out = buf.str();
+  return true;
 }
 
 }  // namespace
@@ -64,6 +86,10 @@ int main(int argc, char** argv) {
   std::string json_out;
   bool json_enabled = false;
   bool quiet = false;
+  std::string baseline_flag;
+  std::string write_baseline;
+  std::string dot_out;
+  bool emit_dot = false;
   std::vector<std::string> only;
   std::vector<std::string> paths;
 
@@ -91,6 +117,15 @@ int main(int argc, char** argv) {
       json_out = arg.substr(7);
     } else if (arg == "--quiet") {
       quiet = true;
+    } else if (arg == "--baseline") {
+      baseline_flag = next("--baseline");
+    } else if (arg == "--write-baseline") {
+      write_baseline = next("--write-baseline");
+    } else if (arg == "--emit-dot") {
+      emit_dot = true;
+    } else if (arg.rfind("--emit-dot=", 0) == 0) {
+      emit_dot = true;
+      dot_out = arg.substr(11);
     } else if (arg == "--list-rules") {
       for (const std::string& r : faaspart::lint::known_rules())
         std::cout << r << "\n";
@@ -186,16 +221,79 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  std::vector<Finding> findings;
+  // Project mode: load everything, lint once so L1/S1 see the full graph.
+  std::map<std::string, std::string> sources;
   int scanned = 0;
   for (const std::string& rel : files) {
     if (cfg.skipped(rel)) continue;
-    std::string err;
-    if (!faaspart::lint::lint_file(root, rel, cfg, findings, err)) {
-      std::cerr << "faaspart-lint: " << err << "\n";
+    std::string content;
+    if (!read_file(root_path / rel, content)) {
+      std::cerr << "faaspart-lint: cannot read " << (root_path / rel).string()
+                << "\n";
       return 2;
     }
+    sources.emplace(rel, std::move(content));
     ++scanned;
+  }
+
+  std::string dot;
+  std::vector<Finding> findings =
+      faaspart::lint::lint_project(sources, cfg, emit_dot ? &dot : nullptr);
+
+  if (emit_dot) {
+    if (dot_out.empty() || dot_out == "-") {
+      std::cout << dot;
+    } else {
+      std::ofstream df(dot_out, std::ios::binary);
+      if (!df) {
+        std::cerr << "faaspart-lint: cannot write " << dot_out << "\n";
+        return 2;
+      }
+      df << dot;
+    }
+  }
+
+  if (!write_baseline.empty()) {
+    std::ofstream bf(write_baseline, std::ios::binary);
+    if (!bf) {
+      std::cerr << "faaspart-lint: cannot write " << write_baseline << "\n";
+      return 2;
+    }
+    for (const Finding& f : findings)
+      bf << faaspart::lint::format_json(f) << "\n";
+    if (!quiet) {
+      std::cerr << "faaspart-lint: wrote baseline with " << findings.size()
+                << " finding" << (findings.size() == 1 ? "" : "s") << " to "
+                << write_baseline << "\n";
+    }
+    return 0;
+  }
+
+  // Ratchet: the --baseline flag wins over the config's `baseline` line.
+  std::size_t baselined = 0;
+  std::size_t stale = 0;
+  std::string baseline_path = baseline_flag;
+  if (baseline_path.empty() && !cfg.baseline_path.empty())
+    baseline_path = (root_path / cfg.baseline_path).string();
+  if (!baseline_path.empty()) {
+    std::string text;
+    if (!read_file(baseline_path, text)) {
+      std::cerr << "faaspart-lint: cannot read baseline " << baseline_path
+                << " (use --write-baseline to create it)\n";
+      return 2;
+    }
+    faaspart::lint::Baseline base;
+    std::string err;
+    if (!faaspart::lint::parse_baseline(text, base, err)) {
+      std::cerr << "faaspart-lint: bad baseline " << baseline_path << ": "
+                << err << "\n";
+      return 2;
+    }
+    faaspart::lint::BaselineDelta delta =
+        faaspart::lint::apply_baseline(findings, base);
+    baselined = delta.matched;
+    stale = delta.stale;
+    findings = std::move(delta.fresh);
   }
 
   if (json_enabled) {
@@ -220,7 +318,9 @@ int main(int argc, char** argv) {
   if (!quiet) {
     std::map<std::string, int> by_rule;
     for (const Finding& f : findings) ++by_rule[f.rule];
-    std::cerr << "faaspart-lint: " << findings.size() << " finding"
+    std::cerr << "faaspart-lint: " << findings.size()
+              << (baselined != 0 || stale != 0 ? " fresh finding"
+                                               : " finding")
               << (findings.size() == 1 ? "" : "s") << " in " << scanned
               << " file" << (scanned == 1 ? "" : "s");
     if (!findings.empty()) {
@@ -231,6 +331,14 @@ int main(int argc, char** argv) {
         first = false;
       }
       std::cerr << ")";
+    }
+    if (baselined != 0) std::cerr << ", " << baselined << " baselined";
+    if (stale != 0) {
+      std::cerr << "\nfaaspart-lint: warning: " << stale
+                << " baseline entr" << (stale == 1 ? "y" : "ies")
+                << " no longer fire" << (stale == 1 ? "s" : "")
+                << " — shrink the baseline (--write-baseline) so the "
+                   "ratchet only tightens";
     }
     std::cerr << "\n";
   }

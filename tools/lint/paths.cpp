@@ -1,0 +1,485 @@
+#include "paths.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "cst.hpp"
+
+namespace faaspart::lint {
+namespace {
+
+struct VarState {
+  enum class S { kLive, kMoved, kSettled };
+  S s = S::kLive;
+  int adopt_line = 0;
+  int loop_depth = 0;  // enclosing loops at adoption; 0 = function scope
+};
+
+struct Env {
+  std::map<std::string, VarState> vars;
+  std::map<std::string, std::string> aliases;  // alias name -> root var
+
+  /// Resolves an identifier through the alias map to a tracked var name,
+  /// or "" when the identifier tracks nothing.
+  [[nodiscard]] std::string root_of(const std::string& name) const {
+    if (vars.count(name) != 0) return name;
+    const auto it = aliases.find(name);
+    if (it != aliases.end() && vars.count(it->second) != 0) return it->second;
+    return {};
+  }
+};
+
+enum class Term { kNone, kReturn, kThrow, kContinue, kBreak };
+
+struct Walker {
+  const std::vector<Token>& t;
+  const std::vector<std::string>& owners;
+  const std::vector<std::string>& settles;
+  std::vector<RawFinding>& out;
+  std::string func;
+  int loop_depth = 0;
+  // One consumption set per enclosing loop/switch: every var consumed
+  // anywhere inside, even on arms that terminated. Applied optimistically
+  // at the region's exit.
+  std::vector<std::set<std::string>*> regions;
+
+  [[nodiscard]] bool is_owner(std::string_view s) const {
+    for (const std::string& o : owners)
+      if (o == s) return true;
+    return false;
+  }
+  [[nodiscard]] bool is_settle(std::string_view s) const {
+    for (const std::string& o : settles)
+      if (o == s) return true;
+    return false;
+  }
+
+  void note_consumed(const std::string& var) {
+    for (std::set<std::string>* r : regions) r->insert(var);
+  }
+
+  void consume_move(Env& env, const std::string& var) {
+    VarState& v = env.vars.at(var);
+    if (v.s == VarState::S::kLive) v.s = VarState::S::kMoved;
+    note_consumed(var);
+  }
+
+  void consume_settle(Env& env, const std::string& var, int line) {
+    VarState& v = env.vars.at(var);
+    if (v.s == VarState::S::kSettled) {
+      out.push_back({line, "E1",
+                     "in '" + func + "': request '" + var +
+                         "' is settled twice on one path; settle_* must run "
+                         "exactly once per request (FP_CHECK(!r.settled) "
+                         "would fire at runtime)"});
+    }
+    v.s = VarState::S::kSettled;
+    note_consumed(var);
+  }
+
+  void leak(const std::string& var, const VarState& v, int line,
+            std::string_view where) {
+    out.push_back(
+        {line, "E1",
+         "in '" + func + "': " + std::string(where) +
+             " with adopted request '" + var + "' (adopted line " +
+             std::to_string(v.adopt_line) +
+             ") neither settled nor transferred; every exit after adoption "
+             "must reach exactly one settle_*/std::move (serve/request.hpp)"});
+  }
+
+  /// Leak check at a function exit (`return`/`co_return`/function end):
+  /// every live var is in scope and must be consumed.
+  void check_exit(const Env& env, int line, std::string_view where) {
+    for (const auto& [name, v] : env.vars)
+      if (v.s == VarState::S::kLive) leak(name, v, line, where);
+  }
+
+  /// Leak check at a loop edge (`continue`/`break`/end of body): only the
+  /// iteration's own adoptions die here; outer vars live on.
+  void check_loop_edge(const Env& env, int line, std::string_view where) {
+    for (const auto& [name, v] : env.vars)
+      if (v.s == VarState::S::kLive && v.loop_depth >= loop_depth)
+        leak(name, v, line, where);
+  }
+
+  // --- statement collection -------------------------------------------
+
+  /// Collects one expression/declaration statement starting at `i`: every
+  /// token up to the `;` at paren/brace depth zero. Lambda and nested-
+  /// function bodies are excluded (they are analyzed independently) but
+  /// their headers — in particular init-captures like [r = std::move(r)] —
+  /// stay in, so a move into a capture still consumes. Returns the index
+  /// one past the `;`.
+  std::size_t collect_stmt(std::size_t i, std::size_t end,
+                           std::vector<std::size_t>& stmt) {
+    int paren = 0;
+    int brace = 0;
+    while (i < end) {
+      if (is_punct(t[i], ";") && paren == 0 && brace == 0) return i + 1;
+      if (is_punct(t[i], "(") || is_punct(t[i], "[")) ++paren;
+      if (is_punct(t[i], ")") || is_punct(t[i], "]")) --paren;
+      if (is_punct(t[i], "{")) {
+        const BraceScope bs = classify_open_brace(t, i);
+        if (bs.kind != BraceScope::Kind::kPlain) {
+          const std::size_t close = match_fwd_brace(t, i);
+          if (close == kNpos) return end;
+          i = close + 1;
+          continue;
+        }
+        ++brace;
+      }
+      if (is_punct(t[i], "}")) {
+        if (brace == 0) return i;  // ran into the enclosing block's end
+        --brace;
+      }
+      stmt.push_back(i);
+      ++i;
+    }
+    return end;
+  }
+
+  // --- statement semantics --------------------------------------------
+
+  /// Adoption, aliasing and consumption over one collected statement.
+  void process_stmt(const std::vector<std::size_t>& stmt, Env& env) {
+    // Adoption: `Owner name = ...;`, `Owner name{...};`, `Owner name;`.
+    for (std::size_t k = 0; k + 1 < stmt.size(); ++k) {
+      const Token& ty = t[stmt[k]];
+      const Token& nm = t[stmt[k + 1]];
+      if (ty.kind != Tok::kIdent || !is_owner(ty.text)) continue;
+      if (nm.kind != Tok::kIdent) continue;  // `Owner&`, `Owner>`, ...
+      const bool init_ok =
+          k + 2 >= stmt.size() || is_punct(t[stmt[k + 2]], "=") ||
+          is_punct(t[stmt[k + 2]], "{");
+      if (!init_ok) continue;
+      env.vars[std::string(nm.text)] =
+          {VarState::S::kLive, nm.line, loop_depth};
+    }
+    // Reference alias: `Type& name = <expr mentioning a tracked var>;`.
+    for (std::size_t k = 0; k + 2 < stmt.size(); ++k) {
+      if (!is_punct(t[stmt[k]], "&")) continue;
+      const Token& nm = t[stmt[k + 1]];
+      if (nm.kind != Tok::kIdent || !is_punct(t[stmt[k + 2]], "=")) continue;
+      for (std::size_t m = k + 3; m < stmt.size(); ++m) {
+        if (t[stmt[m]].kind != Tok::kIdent) continue;
+        const std::string root = env.root_of(std::string(t[stmt[m]].text));
+        if (!root.empty()) {
+          env.aliases[std::string(nm.text)] = root;
+          break;
+        }
+      }
+    }
+    // Transfer: `std::move(var...)` — also matches field moves like
+    // std::move(seq->r), which strip the shell of its payload.
+    for (std::size_t k = 0; k + 1 < stmt.size(); ++k) {
+      if (!is_ident(t[stmt[k]], "move") || !is_punct(t[stmt[k + 1]], "("))
+        continue;
+      if (k < 2 || !is_punct(t[stmt[k - 1]], "::") ||
+          !is_ident(t[stmt[k - 2]], "std"))
+        continue;
+      if (k + 2 >= stmt.size() || t[stmt[k + 2]].kind != Tok::kIdent) continue;
+      const std::string root = env.root_of(std::string(t[stmt[k + 2]].text));
+      if (!root.empty()) consume_move(env, root);
+    }
+    // Settlement: a settle call naming the var or an alias of it.
+    int settle_line = 0;
+    for (const std::size_t idx : stmt) {
+      if (t[idx].kind == Tok::kIdent && is_settle(t[idx].text)) {
+        settle_line = t[idx].line;
+        break;
+      }
+    }
+    if (settle_line != 0) {
+      std::set<std::string> mentioned;
+      for (const std::size_t idx : stmt) {
+        if (t[idx].kind != Tok::kIdent) continue;
+        const std::string root = env.root_of(std::string(t[idx].text));
+        if (!root.empty()) mentioned.insert(root);
+      }
+      for (const std::string& root : mentioned)
+        consume_settle(env, root, settle_line);
+    }
+  }
+
+  /// `return x;` / `co_return x;`: returning a tracked var (with or
+  /// without std::move) transfers it out.
+  void process_return_value(const std::vector<std::size_t>& stmt, Env& env) {
+    for (const std::size_t idx : stmt) {
+      if (t[idx].kind != Tok::kIdent) continue;
+      const std::string root = env.root_of(std::string(t[idx].text));
+      if (!root.empty()) consume_move(env, root);
+    }
+  }
+
+  // --- control flow ----------------------------------------------------
+
+  /// Merges branch environments back into `env`. Pessimistic: a var counts
+  /// as consumed only if every non-terminated arm consumed it. Terminated
+  /// arms were leak-checked at their own terminators. Vars adopted INSIDE
+  /// a non-terminated arm go out of scope here — still live means leaked.
+  void merge(Env& env, const std::vector<std::pair<Env, Term>>& arms,
+             bool exhaustive) {
+    for (const auto& [e, term] : arms) {
+      if (term != Term::kNone) continue;
+      for (const auto& [name, v] : e.vars)
+        if (v.s == VarState::S::kLive && env.vars.count(name) == 0)
+          leak(name, v, v.adopt_line, "the branch ends");
+    }
+    std::vector<const Env*> live;
+    for (const auto& [e, term] : arms)
+      if (term == Term::kNone) live.push_back(&e);
+    if (!exhaustive) live.push_back(&env);  // the fall-through arm
+    if (live.empty()) return;               // all arms terminated
+    for (auto& [name, v] : env.vars) {
+      bool settled_any = v.s == VarState::S::kSettled;
+      bool consumed_all = true;
+      for (const Env* e : live) {
+        const auto it = e->vars.find(name);
+        if (it == e->vars.end()) continue;
+        if (it->second.s == VarState::S::kLive) consumed_all = false;
+        if (it->second.s == VarState::S::kSettled) settled_any = true;
+      }
+      if (consumed_all && v.s == VarState::S::kLive)
+        v.s = settled_any ? VarState::S::kSettled : VarState::S::kMoved;
+      else if (settled_any)
+        v.s = VarState::S::kSettled;
+    }
+    // New aliases from any arm remain usable afterwards.
+    for (const auto& [e, term] : arms)
+      for (const auto& [a, r] : e.aliases) env.aliases.emplace(a, r);
+  }
+
+  /// Parses one statement starting at `i` (never past `end`), updating
+  /// `env`. Returns {next index, how the statement terminates}.
+  std::pair<std::size_t, Term> parse_stmt(std::size_t i, std::size_t end,
+                                          Env& env) {
+    if (i >= end) return {end, Term::kNone};
+    const Token& tok = t[i];
+
+    if (is_punct(tok, ";")) return {i + 1, Term::kNone};
+
+    if (is_punct(tok, "{")) {
+      const std::size_t close = match_fwd_brace(t, i);
+      if (close == kNpos || close > end) return {end, Term::kNone};
+      const Term term = parse_block(i + 1, close, env);
+      return {close + 1, term};
+    }
+
+    if (is_ident(tok, "if")) {
+      std::size_t j = i + 1;
+      if (j < end && is_ident(t[j], "constexpr")) ++j;
+      if (j >= end || !is_punct(t[j], "(")) return {i + 1, Term::kNone};
+      const std::size_t close_paren = match_fwd_paren(t, j);
+      if (close_paren == kNpos) return {end, Term::kNone};
+      {  // the condition can consume: `if (!try_requeue(std::move(seq)))`
+        std::vector<std::size_t> cond;
+        for (std::size_t k = j + 1; k < close_paren; ++k) cond.push_back(k);
+        process_stmt(cond, env);
+      }
+      std::vector<std::pair<Env, Term>> arms;
+      arms.emplace_back(env, Term::kNone);
+      auto [after_then, term_then] =
+          parse_stmt(close_paren + 1, end, arms.back().first);
+      arms.back().second = term_then;
+      std::size_t next = after_then;
+      bool has_else = false;
+      if (next < end && is_ident(t[next], "else")) {
+        has_else = true;
+        arms.emplace_back(env, Term::kNone);
+        auto [after_else, term_else] =
+            parse_stmt(next + 1, end, arms.back().first);
+        arms.back().second = term_else;
+        next = after_else;
+      }
+      merge(env, arms, /*exhaustive=*/has_else);
+      bool all_terminate = has_else;
+      for (const auto& [e, term] : arms)
+        if (term == Term::kNone) all_terminate = false;
+      return {next, all_terminate ? Term::kReturn : Term::kNone};
+    }
+
+    if (is_ident(tok, "for") || is_ident(tok, "while")) {
+      std::size_t j = i + 1;
+      if (j >= end || !is_punct(t[j], "(")) return {i + 1, Term::kNone};
+      const std::size_t close_paren = match_fwd_paren(t, j);
+      if (close_paren == kNpos) return {end, Term::kNone};
+      std::set<std::string> consumed_inside;
+      regions.push_back(&consumed_inside);
+      ++loop_depth;
+      Env body = env;
+      {  // header: range-for can adopt per-iteration; either kind can consume
+        std::vector<std::size_t> head;
+        for (std::size_t k = j + 1; k < close_paren; ++k) head.push_back(k);
+        process_stmt(head, body);
+      }
+      auto [after_body, term] = parse_stmt(close_paren + 1, end, body);
+      if (term == Term::kNone)
+        check_loop_edge(body, t[close_paren].line, "an iteration can end");
+      --loop_depth;
+      regions.pop_back();
+      for (const std::string& var : consumed_inside) {
+        const auto it = env.vars.find(var);
+        if (it != env.vars.end() && it->second.s == VarState::S::kLive)
+          it->second.s = VarState::S::kMoved;  // optimistic loop exit
+      }
+      return {after_body, Term::kNone};
+    }
+
+    if (is_ident(tok, "do")) {
+      std::set<std::string> consumed_inside;
+      regions.push_back(&consumed_inside);
+      ++loop_depth;
+      Env body = env;
+      auto [after_body, term] = parse_stmt(i + 1, end, body);
+      if (term == Term::kNone)
+        check_loop_edge(body, t[i].line, "an iteration can end");
+      --loop_depth;
+      regions.pop_back();
+      for (const std::string& var : consumed_inside) {
+        const auto it = env.vars.find(var);
+        if (it != env.vars.end() && it->second.s == VarState::S::kLive)
+          it->second.s = VarState::S::kMoved;
+      }
+      // Skip the trailing `while (...) ;`.
+      std::size_t next = after_body;
+      if (next < end && is_ident(t[next], "while") && next + 1 < end &&
+          is_punct(t[next + 1], "(")) {
+        const std::size_t cp = match_fwd_paren(t, next + 1);
+        next = cp == kNpos ? end : cp + 1;
+        if (next < end && is_punct(t[next], ";")) ++next;
+      }
+      return {next, Term::kNone};
+    }
+
+    if (is_ident(tok, "switch")) {
+      std::size_t j = i + 1;
+      if (j >= end || !is_punct(t[j], "(")) return {i + 1, Term::kNone};
+      const std::size_t close_paren = match_fwd_paren(t, j);
+      if (close_paren == kNpos) return {end, Term::kNone};
+      // The body is a may-or-may-not region like a loop body, minus the
+      // per-iteration edge checks (break just leaves the switch).
+      std::set<std::string> consumed_inside;
+      regions.push_back(&consumed_inside);
+      Env body = env;
+      auto [after_body, term] = parse_stmt(close_paren + 1, end, body);
+      (void)term;
+      regions.pop_back();
+      for (const std::string& var : consumed_inside) {
+        const auto it = env.vars.find(var);
+        if (it != env.vars.end() && it->second.s == VarState::S::kLive)
+          it->second.s = VarState::S::kMoved;
+      }
+      return {after_body, Term::kNone};
+    }
+
+    if (is_ident(tok, "return") || is_ident(tok, "co_return")) {
+      std::vector<std::size_t> stmt;
+      const std::size_t next = collect_stmt(i + 1, end, stmt);
+      process_stmt(stmt, env);  // `return settle_and_take(r);` still settles
+      process_return_value(stmt, env);
+      check_exit(env, tok.line,
+                 std::string(tok.text) == "return" ? "'return' leaves"
+                                                   : "'co_return' leaves");
+      return {next, Term::kReturn};
+    }
+
+    if (is_ident(tok, "throw")) {
+      std::vector<std::size_t> stmt;
+      const std::size_t next = collect_stmt(i + 1, end, stmt);
+      // Trusted terminator: the federation sheds by throwing ShedError and
+      // the catch site settles; unwinding is not a silent leak.
+      return {next, Term::kThrow};
+    }
+
+    if (is_ident(tok, "continue") || is_ident(tok, "break")) {
+      const bool is_continue = tok.text == "continue";
+      if (loop_depth > 0)
+        check_loop_edge(env, tok.line,
+                        is_continue ? "'continue' ends an iteration"
+                                    : "'break' leaves the loop");
+      std::size_t next = i + 1;
+      if (next < end && is_punct(t[next], ";")) ++next;
+      return {next, is_continue ? Term::kContinue : Term::kBreak};
+    }
+
+    if (is_ident(tok, "else"))  // dangling else from a skipped arm
+      return parse_stmt(i + 1, end, env);
+
+    if (is_ident(tok, "case") || is_ident(tok, "default")) {
+      // Skip the label head up to `:` so the arm parses as statements.
+      std::size_t j = i;
+      while (j < end && !is_punct(t[j], ":")) ++j;
+      return {j < end ? j + 1 : end, Term::kNone};
+    }
+
+    std::vector<std::size_t> stmt;
+    const std::size_t next = collect_stmt(i, end, stmt);
+    process_stmt(stmt, env);
+    return {next, Term::kNone};
+  }
+
+  /// Parses statements in [i, end) where t[end] is the block's `}`.
+  /// Statements after a terminator are dead and skipped unparsed.
+  Term parse_block(std::size_t i, std::size_t end, Env& env) {
+    while (i < end) {
+      if (is_punct(t[i], "}")) return Term::kNone;  // defensive
+      auto [next, term] = parse_stmt(i, end, env);
+      if (term != Term::kNone) return term;
+      if (next <= i) return Term::kNone;  // no progress: bail quietly
+      i = next;
+    }
+    return Term::kNone;
+  }
+
+  void analyze_function(const BraceScope& bs, std::size_t open,
+                        std::size_t close) {
+    func = bs.name_index != kNpos ? std::string(t[bs.name_index].text)
+                                  : "(lambda)";
+    loop_depth = 0;
+    regions.clear();
+    Env env;
+    for (std::size_t k = bs.params_begin;
+         k + 1 < bs.params_end && k + 1 < t.size(); ++k) {
+      // By-value owner parameter: `Owner name` with nothing between; a
+      // `&`/`*`/`>` after the type means borrowed, not adopted.
+      if (t[k].kind == Tok::kIdent && is_owner(t[k].text) &&
+          t[k + 1].kind == Tok::kIdent) {
+        env.vars[std::string(t[k + 1].text)] =
+            {VarState::S::kLive, t[k + 1].line, 0};
+      }
+    }
+    const Term term = parse_block(open + 1, close, env);
+    if (term == Term::kNone)
+      check_exit(env, t[close].line, "control reaches the end");
+  }
+};
+
+}  // namespace
+
+void check_settlement(const LexResult& lx,
+                      const std::vector<std::string>& owners,
+                      const std::vector<std::string>& settles,
+                      std::vector<RawFinding>& out) {
+  if (owners.empty() || settles.empty()) return;
+  const std::size_t first = out.size();
+  const std::vector<Token> t = strip_preprocessor(lx.tokens);
+  Walker w{t, owners, settles, out};
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (!is_punct(t[i], "{")) continue;
+    const BraceScope bs = classify_open_brace(t, i);
+    if (bs.kind == BraceScope::Kind::kPlain) continue;
+    const std::size_t close = match_fwd_brace(t, i);
+    if (close == kNpos) continue;
+    w.analyze_function(bs, i, close);
+  }
+  // Findings come out grouped per function; re-sort into source order so
+  // the report reads top to bottom like every other rule.
+  std::stable_sort(out.begin() + static_cast<std::ptrdiff_t>(first), out.end(),
+                   [](const RawFinding& a, const RawFinding& b) {
+                     return a.line < b.line;
+                   });
+}
+
+}  // namespace faaspart::lint

@@ -1,0 +1,47 @@
+// Per-function settlement path checker for faaspart-lint (rule E1,
+// DESIGN.md §15).
+//
+// The serving/federation settlement idiom (serve/request.hpp) requires
+// every adopted request to be settled EXACTLY once: a ServingEngine
+// iteration, a federation admission path or a DFK retry ladder that early-
+// returns after adopting a request but before `settle_*` leaks a request
+// the SLO monitors will wait on forever; settling twice trips the
+// FP_CHECK(!r.settled) invariant at runtime. E1 moves that invariant to
+// lint time with a path walk over each function body:
+//
+//   adoption    — a by-value parameter or local declaration of an owner
+//                 type (`e1 owner` in .faaspart-lint; default
+//                 ServedRequestPtr and SeqPtr)
+//   consumption — a settle call (`e1 settle`; default settle_completed /
+//                 settle_shed / settle_failed) naming the variable or one
+//                 of its reference aliases, `std::move(var...)` (transfer
+//                 back into a queue or another owner), or returning it
+//   terminators — return / co_return (leak-checked), throw (trusted: the
+//                 federation sheds by throwing ShedError and the catch
+//                 site owns settlement), continue / break (leak-checked
+//                 against the loop iteration's own adoptions)
+//
+// Branch merges are pessimistic (consumed on all live arms) but loop exits
+// are optimistic (consumed anywhere in the body counts), which is what
+// lets retry ladders settle on a mid-loop arm without a false leak.
+// Lambdas are separate functions: their bodies are skipped by the
+// enclosing walk and analyzed independently.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lexer.hpp"
+#include "rules.hpp"
+
+namespace faaspart::lint {
+
+/// Rule E1 over one file. `owners` are the by-value adopted smart-pointer
+/// type names; `settles` the settlement call names. Appends leak and
+/// double-settle findings to `out`.
+void check_settlement(const LexResult& lx,
+                      const std::vector<std::string>& owners,
+                      const std::vector<std::string>& settles,
+                      std::vector<RawFinding>& out);
+
+}  // namespace faaspart::lint

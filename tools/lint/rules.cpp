@@ -1,54 +1,15 @@
 #include "rules.hpp"
 
-#include <algorithm>
 #include <array>
 #include <string>
+
+#include "cst.hpp"
+#include "paths.hpp"
 
 namespace faaspart::lint {
 namespace {
 
 using Tokens = std::vector<Token>;
-
-bool is_punct(const Token& t, std::string_view p) {
-  return t.kind == Tok::kPunct && t.text == p;
-}
-bool is_ident(const Token& t, std::string_view s) {
-  return t.kind == Tok::kIdent && t.text == s;
-}
-template <std::size_t N>
-bool one_of(std::string_view s, const std::array<std::string_view, N>& set) {
-  return std::find(set.begin(), set.end(), s) != set.end();
-}
-
-/// Index of the `(` matching the `)` at `close`, or npos.
-std::size_t match_back_paren(const Tokens& t, std::size_t close) {
-  int depth = 0;
-  for (std::size_t k = close + 1; k-- > 0;) {
-    if (is_punct(t[k], ")")) ++depth;
-    if (is_punct(t[k], "(") && --depth == 0) return k;
-  }
-  return std::string_view::npos;
-}
-
-/// Index of the `)` matching the `(` at `open`, or npos.
-std::size_t match_fwd_paren(const Tokens& t, std::size_t open) {
-  int depth = 0;
-  for (std::size_t k = open; k < t.size(); ++k) {
-    if (is_punct(t[k], "(")) ++depth;
-    if (is_punct(t[k], ")") && --depth == 0) return k;
-  }
-  return std::string_view::npos;
-}
-
-/// Index of the `[` matching the `]` at `close`, or npos.
-std::size_t match_back_bracket(const Tokens& t, std::size_t close) {
-  int depth = 0;
-  for (std::size_t k = close + 1; k-- > 0;) {
-    if (is_punct(t[k], "]")) ++depth;
-    if (is_punct(t[k], "[") && --depth == 0) return k;
-  }
-  return std::string_view::npos;
-}
 
 // ---------------------------------------------------------------- D1 ------
 // Banned wherever they appear: no spelling of these is innocent in a
@@ -188,94 +149,14 @@ void rule_c1(const Tokens& t, std::vector<RawFinding>& out) {
 //   anything else                     -> plain block (transparent)
 // A co_await/co_return/co_yield token belongs to the nearest enclosing
 // lambda-or-function scope; that owner is checked for (a) captures and
-// (b) rvalue-reference parameters.
-struct Scope {
-  enum class Kind { kPlain, kLambda, kFunction } kind = Kind::kPlain;
-  bool capturing = false;
-  int header_line = 0;
-  std::size_t params_begin = 0, params_end = 0;  // token range inside ( )
-  bool reported_capture = false;
-  bool reported_params = false;
-};
-
-constexpr std::array<std::string_view, 5> kControlKw = {"if", "for", "while",
-                                                        "switch", "catch"};
-constexpr std::array<std::string_view, 5> kSpecifierKw = {
-    "mutable", "noexcept", "const", "override", "final"};
-
-Scope classify_open_brace(const Tokens& t, std::size_t brace) {
-  Scope s;
-  if (brace == 0) return s;
-  std::size_t j = brace - 1;
-
-  // Skip trailing specifiers (`mutable`, `noexcept`, ...).
-  while (j > 0 && t[j].kind == Tok::kIdent && one_of(t[j].text, kSpecifierKw))
-    --j;
-
-  // Skip a trailing return type `-> sim::Co<faas::AppValue>`: walk back over
-  // type-ish tokens; if that walk reaches a `->` preceded by `)`, resume the
-  // classification from that `)`.
-  {
-    std::size_t k = j;
-    int steps = 0;
-    while (steps++ < 64) {
-      const Token& tk = t[k];
-      if (is_punct(tk, "->")) {
-        if (k >= 1 && is_punct(t[k - 1], ")")) j = k - 1;
-        break;
-      }
-      const bool type_tok =
-          tk.kind == Tok::kIdent || tk.kind == Tok::kNumber ||
-          is_punct(tk, "::") || is_punct(tk, "<") || is_punct(tk, ">") ||
-          is_punct(tk, ">>") || is_punct(tk, ",") || is_punct(tk, "*") ||
-          is_punct(tk, "&") || is_punct(tk, "&&");
-      if (!type_tok || k == 0) break;
-      --k;
-    }
-  }
-
-  if (is_punct(t[j], "]")) {  // parameterless lambda `[x] {`
-    const std::size_t open = match_back_bracket(t, j);
-    if (open == std::string_view::npos) return s;
-    s.kind = Scope::Kind::kLambda;
-    s.capturing = j - open > 1;
-    s.header_line = t[open].line;
-    return s;
-  }
-
-  if (!is_punct(t[j], ")")) return s;
-  const std::size_t open = match_back_paren(t, j);
-  if (open == std::string_view::npos || open == 0) return s;
-  const Token& before = t[open - 1];
-
-  if (is_punct(before, "]")) {  // lambda with parameter list
-    const std::size_t lb = match_back_bracket(t, open - 1);
-    if (lb == std::string_view::npos) return s;
-    s.kind = Scope::Kind::kLambda;
-    s.capturing = (open - 1) - lb > 1;
-    s.header_line = t[lb].line;
-    s.params_begin = open + 1;
-    s.params_end = j;
-    return s;
-  }
-
-  if (before.kind == Tok::kIdent) {
-    if (one_of(before.text, kControlKw)) return s;  // control block
-    if (before.text == "constexpr" && open >= 2 && is_ident(t[open - 2], "if"))
-      return s;  // `if constexpr (...) {`
-    s.kind = Scope::Kind::kFunction;
-    s.header_line = before.line;
-    s.params_begin = open + 1;
-    s.params_end = j;
-  }
-  return s;
-}
+// (b) rvalue-reference parameters. The `{` classifier itself now lives in
+// cst.hpp, shared with the symbol and settlement passes.
 
 constexpr std::array<std::string_view, 3> kCoKw = {"co_await", "co_return",
                                                    "co_yield"};
 
 void rule_c2(const Tokens& t, std::vector<RawFinding>& out) {
-  std::vector<Scope> stack;
+  std::vector<BraceScope> stack;
   for (std::size_t i = 0; i < t.size(); ++i) {
     if (is_punct(t[i], "{")) {
       stack.push_back(classify_open_brace(t, i));
@@ -289,9 +170,9 @@ void rule_c2(const Tokens& t, std::vector<RawFinding>& out) {
 
     // Nearest enclosing lambda-or-function owns this coroutine keyword.
     for (std::size_t d = stack.size(); d-- > 0;) {
-      Scope& owner = stack[d];
-      if (owner.kind == Scope::Kind::kPlain) continue;
-      if (owner.kind == Scope::Kind::kLambda && owner.capturing &&
+      BraceScope& owner = stack[d];
+      if (owner.kind == BraceScope::Kind::kPlain) continue;
+      if (owner.kind == BraceScope::Kind::kLambda && owner.capturing &&
           !owner.reported_capture) {
         owner.reported_capture = true;
         out.push_back(
@@ -329,7 +210,7 @@ void rule_o1(const Tokens& t, std::vector<RawFinding>& out) {
     if (!is_punct(t[i - 1], ".") && !is_punct(t[i - 1], "->")) continue;
     if (!is_punct(t[i + 1], "(")) continue;
     const std::size_t close = match_fwd_paren(t, i + 1);
-    if (close == std::string_view::npos || close + 1 >= t.size()) continue;
+    if (close == kNpos || close + 1 >= t.size()) continue;
     // Lookup immediately chained into a use (`.add()`, `.observe()`, ...):
     // that is a registry map lookup per call. Cached-handle init sites bind
     // the result (`x_ = &m.counter(...)`), so nothing chains and they pass.
@@ -365,7 +246,7 @@ void rule_o2(const Tokens& t, std::vector<RawFinding>& out) {
       }
       if (j >= 2 && is_punct(t[j - 2], ")")) {
         const std::size_t open = match_back_paren(t, j - 2);
-        if (open == std::string_view::npos || open == 0 ||
+        if (open == kNpos || open == 0 ||
             t[open - 1].kind != Tok::kIdent) {
           break;  // `(expr)->open_span`: can't see the receiver; stay quiet
         }
@@ -401,6 +282,8 @@ void run_rules(std::string_view path, const LexResult& lx, const Config& cfg,
   if (cfg.rule_enabled("C2", path)) rule_c2(lx.tokens, out);
   if (cfg.rule_enabled("O1", path)) rule_o1(lx.tokens, out);
   if (cfg.rule_enabled("O2", path)) rule_o2(lx.tokens, out);
+  if (cfg.rule_enabled("E1", path))
+    check_settlement(lx, cfg.e1_owners, cfg.e1_settles, out);
 }
 
 }  // namespace faaspart::lint

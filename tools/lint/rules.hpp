@@ -1,4 +1,6 @@
-// The five determinism/concurrency checks, run over a lexed file.
+// The per-file determinism/concurrency/settlement checks, run over a
+// lexed file (the project-wide passes — include graph, symbols — live in
+// include_graph.hpp and symbols.hpp and are driven from lint.cpp).
 // Suppression handling lives one layer up (lint.cpp): rules emit every
 // match; annotations then filter them and flag their own hygiene issues.
 #pragma once

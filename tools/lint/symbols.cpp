@@ -1,0 +1,315 @@
+#include "symbols.hpp"
+
+#include <array>
+
+#include "cst.hpp"
+
+namespace faaspart::lint {
+namespace {
+
+bool is_header(std::string_view path) {
+  const auto ends_with = [&](std::string_view suffix) {
+    return path.size() >= suffix.size() &&
+           path.compare(path.size() - suffix.size(), suffix.size(), suffix) ==
+               0;
+  };
+  return ends_with(".hpp") || ends_with(".hh") || ends_with(".h");
+}
+
+// A statement containing any of these is never a variable declaration (or
+// is one this scanner must not guess at).
+constexpr std::array<std::string_view, 15> kNotADecl = {
+    "using",    "typedef",  "friend",   "static_assert", "template",
+    "operator", "extern",   "namespace", "class",        "struct",
+    "enum",     "union",    "requires", "concept",       "return"};
+
+constexpr std::array<std::string_view, 3> kConstKw = {"const", "constexpr",
+                                                      "constinit"};
+
+struct Frame {
+  enum class Kind { kFile, kNamespace, kClass, kFunction, kBlock, kOpaque };
+  Kind kind = Kind::kFile;
+  std::string name;              // class or function name for reporting
+  std::vector<std::size_t> buf;  // token indices of the pending statement
+};
+
+/// Declared-name extraction over a statement's tokens (indices into `t`):
+/// the last identifier before the first top-level `=` (or the end), with a
+/// `(` anywhere before that point vetoing the match as a function
+/// declaration. Returns kNpos when the statement is not a variable.
+std::size_t decl_name_index(const std::vector<Token>& t,
+                            const std::vector<std::size_t>& buf) {
+  std::size_t name = kNpos;
+  for (const std::size_t idx : buf) {
+    const Token& tok = t[idx];
+    if (is_punct(tok, "=")) break;
+    if (is_punct(tok, "(")) return kNpos;  // function decl / ctor call
+    if (tok.kind == Tok::kIdent && !one_of(tok.text, kConstKw) &&
+        tok.text != "static" && tok.text != "thread_local" &&
+        tok.text != "inline" && tok.text != "mutable" &&
+        tok.text != "volatile") {
+      name = idx;
+    }
+  }
+  return name;
+}
+
+bool buf_has_ident(const std::vector<Token>& t,
+                   const std::vector<std::size_t>& buf, std::string_view s,
+                   bool stop_at_assign = true) {
+  for (const std::size_t idx : buf) {
+    if (stop_at_assign && is_punct(t[idx], "=")) return false;
+    if (is_ident(t[idx], s)) return true;
+  }
+  return false;
+}
+
+std::string type_text(const std::vector<Token>& t,
+                      const std::vector<std::size_t>& buf,
+                      std::size_t name_idx) {
+  std::string out;
+  for (const std::size_t idx : buf) {
+    if (idx == name_idx) break;
+    const std::string_view s = t[idx].text;
+    if (s == "static" || s == "thread_local" || s == "inline" ||
+        s == "mutable") {
+      continue;  // storage/decl specifiers are not part of the type
+    }
+    if (!out.empty() && t[idx].kind == Tok::kIdent &&
+        out.back() != ':' && out.back() != '<' && out.back() != '*' &&
+        out.back() != '&') {
+      out += ' ';
+    }
+    out.append(s);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<Symbol> extract_symbols(std::string_view path,
+                                    const LexResult& lx) {
+  const std::vector<Token> t = strip_preprocessor(lx.tokens);
+  const bool header = is_header(path);
+
+  std::vector<Symbol> out;
+  std::vector<Frame> stack;
+  stack.push_back({Frame::Kind::kFile, "", {}});
+
+  const auto enclosing_class = [&]() -> std::string {
+    for (std::size_t d = stack.size(); d-- > 0;)
+      if (stack[d].kind == Frame::Kind::kClass) return stack[d].name;
+    return {};
+  };
+  const auto enclosing_function = [&]() -> std::string {
+    for (std::size_t d = stack.size(); d-- > 0;)
+      if (stack[d].kind == Frame::Kind::kFunction) return stack[d].name;
+    return {};
+  };
+
+  // Emits the pending statement of `f` as a symbol if it declares one.
+  const auto flush_statement = [&](Frame& f) {
+    std::vector<std::size_t> buf;
+    buf.swap(f.buf);
+    if (buf.empty()) return;
+    const Frame::Kind k = f.kind;
+
+    if (k == Frame::Kind::kFunction || k == Frame::Kind::kBlock) {
+      // Only function-local statics matter; everything else is per-call.
+      const Token& first = t[buf.front()];
+      if (!is_ident(first, "static") && !is_ident(first, "thread_local"))
+        return;
+      const std::size_t name = decl_name_index(t, buf);
+      if (name == kNpos) return;
+      Symbol s;
+      s.kind = SymKind::kStaticLocal;
+      s.name = std::string(t[name].text);
+      s.parent = enclosing_function();
+      s.line = t[name].line;
+      for (const std::size_t idx : buf) {
+        if (is_punct(t[idx], "=")) break;
+        if (t[idx].kind == Tok::kIdent && one_of(t[idx].text, kConstKw))
+          s.is_const = true;
+      }
+      s.is_inline = header;
+      s.type = type_text(t, buf, name);
+      out.push_back(std::move(s));
+      return;
+    }
+    if (k != Frame::Kind::kFile && k != Frame::Kind::kNamespace &&
+        k != Frame::Kind::kClass) {
+      return;
+    }
+    for (const std::size_t idx : buf) {
+      if (is_punct(t[idx], "=")) break;
+      if (t[idx].kind == Tok::kIdent && one_of(t[idx].text, kNotADecl)) return;
+    }
+    const std::size_t name = decl_name_index(t, buf);
+    if (name == kNpos) return;
+    Symbol s;
+    s.name = std::string(t[name].text);
+    s.line = t[name].line;
+    bool is_static = false;
+    for (const std::size_t idx : buf) {
+      if (is_punct(t[idx], "=")) break;
+      if (t[idx].kind == Tok::kIdent && one_of(t[idx].text, kConstKw))
+        s.is_const = true;
+      if (is_ident(t[idx], "static")) is_static = true;
+      if (is_ident(t[idx], "inline")) s.is_inline = true;
+    }
+    if (k == Frame::Kind::kClass) {
+      s.kind = is_static ? SymKind::kStaticMember : SymKind::kMember;
+      s.parent = enclosing_class();
+      s.is_inline = true;  // in-class declarations are implicitly inline-ish
+    } else {
+      s.kind = SymKind::kGlobal;
+      s.is_inline = s.is_inline || header;
+    }
+    s.type = type_text(t, buf, name);
+    out.push_back(std::move(s));
+  };
+
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    Frame& cur = stack.back();
+    const Token& tok = t[i];
+
+    if (is_punct(tok, ";")) {
+      flush_statement(cur);
+      continue;
+    }
+    if (is_punct(tok, ":")) {
+      // Access specifiers separate statements at class scope; anything else
+      // (base clauses, bitfields, ternaries) just rides in the buffer.
+      if (cur.kind == Frame::Kind::kClass && cur.buf.size() == 1 &&
+          (is_ident(t[cur.buf[0]], "public") ||
+           is_ident(t[cur.buf[0]], "private") ||
+           is_ident(t[cur.buf[0]], "protected"))) {
+        cur.buf.clear();
+        continue;
+      }
+      cur.buf.push_back(i);
+      continue;
+    }
+    if (is_punct(tok, "}")) {
+      if (stack.size() > 1) stack.pop_back();
+      stack.back().buf.clear();  // `void f() { ... }` — the head is spent
+      continue;
+    }
+    if (!is_punct(tok, "{")) {
+      cur.buf.push_back(i);
+      continue;
+    }
+
+    // Classify the `{`. Order matters: `template <class T> void f() {` must
+    // classify as a function even though its head spells `class`.
+    const bool has_namespace = buf_has_ident(t, cur.buf, "namespace", false);
+    const bool has_enum = buf_has_ident(t, cur.buf, "enum", false);
+    const BraceScope bs = classify_open_brace(t, i);
+
+    if (has_namespace) {
+      std::string name = "(anonymous)";
+      for (const std::size_t idx : cur.buf)
+        if (t[idx].kind == Tok::kIdent && t[idx].text != "namespace" &&
+            t[idx].text != "inline")
+          name = std::string(t[idx].text);
+      cur.buf.clear();
+      stack.push_back({Frame::Kind::kNamespace, std::move(name), {}});
+      continue;
+    }
+    if (has_enum) {  // enumerators are constants, never state
+      cur.buf.clear();
+      stack.push_back({Frame::Kind::kOpaque, "", {}});
+      continue;
+    }
+    if (bs.kind != BraceScope::Kind::kPlain) {
+      std::string name = "(lambda)";
+      if (bs.name_index != kNpos) name = std::string(t[bs.name_index].text);
+      cur.buf.clear();
+      stack.push_back({Frame::Kind::kFunction, std::move(name), {}});
+      continue;
+    }
+    // Class head? The LAST class-kw wins so `template <class T> struct X`
+    // names X, not T.
+    std::size_t class_kw = kNpos;
+    for (const std::size_t idx : cur.buf)
+      if (is_ident(t[idx], "class") || is_ident(t[idx], "struct") ||
+          is_ident(t[idx], "union"))
+        class_kw = idx;
+    if (class_kw != kNpos) {
+      std::string name = "(anonymous)";
+      for (const std::size_t idx : cur.buf) {
+        if (idx <= class_kw || t[idx].kind != Tok::kIdent) continue;
+        if (is_ident(t[idx], "final") || is_ident(t[idx], "alignas")) continue;
+        name = std::string(t[idx].text);
+        break;
+      }
+      cur.buf.clear();
+      stack.push_back({Frame::Kind::kClass, std::move(name), {}});
+      continue;
+    }
+    if (cur.kind == Frame::Kind::kFunction ||
+        cur.kind == Frame::Kind::kBlock) {
+      // Control/plain block inside a function: transparent, statics inside
+      // still belong to the enclosing function.
+      cur.buf.clear();
+      stack.push_back({Frame::Kind::kBlock, "", {}});
+      continue;
+    }
+    if (!cur.buf.empty()) {
+      // Brace init at class/namespace scope (`int x{0};`): fold the braces
+      // into the pending statement by skipping to the match.
+      const std::size_t close = match_fwd_brace(t, i);
+      if (close == kNpos) break;  // unbalanced; stop quietly
+      i = close;
+      continue;
+    }
+    stack.push_back({Frame::Kind::kOpaque, "", {}});
+  }
+  return out;
+}
+
+void check_state_isolation(const std::vector<Symbol>& symbols,
+                           std::vector<RawFinding>& out) {
+  for (const Symbol& s : symbols) {
+    switch (s.kind) {
+      case SymKind::kGlobal:
+        if (!s.is_const) {
+          out.push_back(
+              {s.line, "S1",
+               "non-const namespace-scope variable '" + s.name +
+                   "' is process-wide mutable state: with per-endpoint event "
+                   "domains (ROADMAP #3) every domain would share it behind "
+                   "the WAN boundary's back; make it const, move it into a "
+                   "domain-owned object, or add it to the wan-boundary "
+                   "allowlist"});
+        }
+        break;
+      case SymKind::kStaticLocal:
+        if (!s.is_const) {
+          out.push_back(
+              {s.line, "S1",
+               "function-local '" + s.type + " " + s.name + "' in '" +
+                   (s.parent.empty() ? "?" : s.parent) +
+                   "' persists across calls and is shared by every domain "
+                   "that executes this code; hoist it into a domain-owned "
+                   "object or justify it with an annotation"});
+        }
+        break;
+      case SymKind::kStaticMember:
+        if (!s.is_const) {
+          out.push_back(
+              {s.line, "S1",
+               "static non-const member '" + s.name + "' of '" + s.parent +
+                   "' is shared by every instance across all endpoint "
+                   "domains; make it per-instance or route it through the "
+                   "WAN boundary"});
+        }
+        break;
+      case SymKind::kClass:
+      case SymKind::kMember:
+        break;
+    }
+  }
+}
+
+}  // namespace faaspart::lint

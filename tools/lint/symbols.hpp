@@ -1,0 +1,63 @@
+// Symbol extraction for faaspart-lint (rule S1, DESIGN.md §15).
+//
+// A lightweight declaration scanner over the stripped token stream: it
+// walks namespace/class/function scopes structurally (no AST, no types)
+// and records data members, namespace-scope variables, and function-local
+// statics (classes appear as the `parent` of their members, not as rows). That table powers rule S1 — cross-domain state
+// isolation for the ROADMAP #3 PDES shard: when the simulator is sharded
+// into per-endpoint event domains, any *static* mutable state (a non-const
+// global, a `static`/`thread_local` local, a static non-const data member)
+// in code reachable from more than one declared endpoint domain is state
+// the domains would share behind the WAN boundary's back. lint.cpp decides
+// WHICH files are in scope (include-graph reachability from the `domain`
+// roots minus the `wan-boundary` allowlist); this pass only answers "what
+// static mutable state does this file declare".
+//
+// Heuristics, stated so the goldens can pin them: a declaration whose
+// tokens contain `const`, `constexpr` or `constinit` anywhere counts as
+// const; a namespace-scope statement with a `(` before the declared name
+// is taken for a function declaration and skipped; members declared with
+// function-typed templates (`std::function<void(int)> cb;`) are skipped for
+// the same reason. False negatives are acceptable — S1 is a tripwire, not
+// a proof — but false positives are not, so every skip errs quiet.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lexer.hpp"
+#include "rules.hpp"
+
+namespace faaspart::lint {
+
+enum class SymKind {
+  kClass,         ///< class/struct/union definition
+  kMember,        ///< non-static data member
+  kStaticMember,  ///< static data member
+  kGlobal,        ///< namespace-scope variable
+  kStaticLocal,   ///< function-local static or thread_local
+};
+
+struct Symbol {
+  SymKind kind = SymKind::kGlobal;
+  std::string name;
+  std::string parent;  ///< enclosing class or function ("" at file scope)
+  int line = 0;
+  bool is_const = false;   ///< const/constexpr/constinit anywhere in the decl
+  bool is_inline = false;  ///< spelled inline, or declared in a header/class
+  std::string type;        ///< best-effort: declaration tokens before the name
+};
+
+/// Extracts the symbol table of one file. `path` only feeds the header
+/// heuristic (members/functions in .hpp/.h are implicitly inline) and
+/// reporting; content is NOT read from disk.
+[[nodiscard]] std::vector<Symbol> extract_symbols(std::string_view path,
+                                                  const LexResult& lx);
+
+/// Rule S1 over one file's symbols: flags every non-const global, static
+/// or thread_local local, and static non-const data member. The caller
+/// gates this on the file being cross-domain-shared (see header comment).
+void check_state_isolation(const std::vector<Symbol>& symbols,
+                           std::vector<RawFinding>& out);
+
+}  // namespace faaspart::lint
